@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig01 motivation experiment.
+//! Run with `cargo bench --bench fig01_motivation` (set `GEOTP_FULL=1` for paper scale).
+
+fn main() {
+    geotp_bench::run_and_print("fig01_motivation", geotp_experiments::figs_motivation::fig01_motivation);
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig05 scalability experiment.
+//! Run with `cargo bench --bench fig05_scalability` (set `GEOTP_FULL=1` for paper scale).
+
+fn main() {
+    geotp_bench::run_and_print("fig05_scalability", geotp_experiments::figs_overall::fig05_scalability);
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig07 dist ratio ycsb experiment.
+//! Run with `cargo bench --bench fig07_dist_ratio_ycsb` (set `GEOTP_FULL=1` for paper scale).
+
+fn main() {
+    geotp_bench::run_and_print("fig07_dist_ratio_ycsb", geotp_experiments::figs_distributed::fig07_dist_ratio_ycsb);
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig13 yugabyte experiment.
+//! Run with `cargo bench --bench fig13_yugabyte` (set `GEOTP_FULL=1` for paper scale).
+
+fn main() {
+    geotp_bench::run_and_print("fig13_yugabyte", geotp_experiments::figs_overall::fig13_yugabyte);
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating the paper's fig14 txn length experiment.
+//! Run with `cargo bench --bench fig14_txn_length` (set `GEOTP_FULL=1` for paper scale).
+
+fn main() {
+    geotp_bench::run_and_print("fig14_txn_length", geotp_experiments::figs_ablation::fig14_txn_length);
+}

@@ -1,0 +1,120 @@
+//! Criterion microbenchmarks for the core data structures the middleware's
+//! hot path relies on: the 2PL lock manager, the hotspot footprint (AVL+LRU),
+//! the geo-scheduler computation and the YCSB Zipfian generator.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use geotp_middleware::{
+    BranchPlan, GeoScheduler, GlobalKey, HotspotConfig, HotspotFootprint, SchedulerConfig,
+};
+use geotp_simrt::Runtime;
+use geotp_storage::{Key, LockManager, LockMode, TableId, Xid};
+use geotp_workloads::ZipfianGenerator;
+
+fn bench_lock_manager(c: &mut Criterion) {
+    c.bench_function("lock_manager/acquire_release_1000_keys", |b| {
+        b.iter_batched(
+            Runtime::new,
+            |mut rt| {
+                rt.block_on(async {
+                    let lm = LockManager::new(Duration::from_secs(5));
+                    let xid = Xid::new(1, 0);
+                    for i in 0..1000u64 {
+                        lm.acquire(xid, Key::new(TableId(0), i), LockMode::Exclusive)
+                            .await
+                            .unwrap();
+                    }
+                    lm.release_all(xid);
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    c.bench_function("hotspot/feedback_and_forecast", |b| {
+        let keys: Vec<GlobalKey> = (0..5).map(|i| GlobalKey::new(TableId(0), i)).collect();
+        b.iter_batched(
+            || HotspotFootprint::new(HotspotConfig::default()),
+            |mut fp| {
+                for _ in 0..200 {
+                    fp.on_access_start(&keys);
+                    fp.on_subtxn_feedback(&keys, Duration::from_millis(3));
+                    fp.on_txn_finish(&keys, true);
+                }
+                criterion::black_box(fp.forecast_local_latency(&keys));
+                criterion::black_box(fp.abort_probability(&keys));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("scheduler/schedule_4_branches", |b| {
+        b.iter_batched(
+            Runtime::new,
+            |mut rt| {
+                rt.block_on(async {
+                    let net = geotp_net_builder();
+                    let monitor = geotp_net::LatencyMonitor::new(
+                        &net,
+                        geotp_net::NodeId::middleware(0),
+                        &(0..4).map(geotp_net::NodeId::data_source).collect::<Vec<_>>(),
+                        geotp_net::MonitorConfig::default(),
+                    );
+                    let scheduler = GeoScheduler::new(SchedulerConfig::default(), monitor);
+                    let plans: Vec<BranchPlan> = (0..4)
+                        .map(|i| BranchPlan {
+                            ds_index: i,
+                            keys: vec![GlobalKey::new(TableId(0), i as u64)],
+                        })
+                        .collect();
+                    for _ in 0..100 {
+                        criterion::black_box(scheduler.schedule(&plans));
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn geotp_net_builder() -> Rc<geotp_net::Network> {
+    let mut builder = geotp_net::NetworkBuilder::new(1);
+    for (i, rtt) in geotp_net::PAPER_DEFAULT_RTTS_MS.iter().enumerate() {
+        builder = builder.static_link(
+            geotp_net::NodeId::middleware(0),
+            geotp_net::NodeId::data_source(i as u32),
+            Duration::from_millis(*rtt),
+        );
+    }
+    builder.build()
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    c.bench_function("zipfian/next_10k_draws_theta_0.9", |b| {
+        let gen = ZipfianGenerator::new(1_000_000, 0.9);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(gen.next(&mut rng));
+            }
+            criterion::black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
+    targets = bench_lock_manager, bench_hotspot, bench_scheduler, bench_zipfian
+}
+criterion_main!(benches);

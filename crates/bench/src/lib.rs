@@ -1,0 +1,19 @@
+//! Helper shared by the per-figure bench targets.
+
+use geotp_experiments::{Scale, Table};
+
+/// Run one experiment function, print its tables and a timing footer.
+pub fn run_and_print(name: &str, experiment: fn(Scale) -> Vec<Table>) {
+    let scale = Scale::from_env();
+    eprintln!(">>> running {name} at {scale:?} scale (set GEOTP_FULL=1 for the paper-scale sweep)");
+    let started = std::time::Instant::now();
+    let tables = experiment(scale);
+    for table in &tables {
+        println!("{table}");
+    }
+    eprintln!(
+        "<<< {name}: {} table(s) in {:.1}s wall-clock",
+        tables.len(),
+        started.elapsed().as_secs_f64()
+    );
+}

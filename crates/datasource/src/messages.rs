@@ -1,0 +1,279 @@
+//! Wire-level message types exchanged between the middleware, the geo-agents
+//! and the data sources.
+
+use std::time::Duration;
+
+use geotp_storage::{Key, Row, StorageError, Xid};
+
+/// SQL dialect spoken by a data source. The two dialects are functionally
+//  equivalent in the simulation but drive different rewritten command
+/// sequences (paper §IV-A): MySQL uses `XA END` + `XA PREPARE`, PostgreSQL
+/// uses a single `PREPARE TRANSACTION`, and PostgreSQL reads are rewritten to
+/// `SELECT ... FOR SHARE` by the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dialect {
+    /// MySQL-style XA participant.
+    MySql,
+    /// PostgreSQL-style prepared transactions.
+    Postgres,
+}
+
+impl Dialect {
+    /// Human-readable name used in reports (Table I scenarios).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dialect::MySql => "MySQL",
+            Dialect::Postgres => "PostgreSQL",
+        }
+    }
+
+    /// The command sequence the geo-agent issues to prepare a branch.
+    pub fn prepare_commands(&self, xid: Xid) -> Vec<String> {
+        match self {
+            Dialect::MySql => vec![
+                format!("XA END '{},{}'", xid.gtrid, xid.bqual),
+                format!("XA PREPARE '{},{}'", xid.gtrid, xid.bqual),
+            ],
+            Dialect::Postgres => vec![format!("PREPARE TRANSACTION '{}_{}'", xid.gtrid, xid.bqual)],
+        }
+    }
+
+    /// The command used to commit a prepared branch.
+    pub fn commit_command(&self, xid: Xid) -> String {
+        match self {
+            Dialect::MySql => format!("XA COMMIT '{},{}'", xid.gtrid, xid.bqual),
+            Dialect::Postgres => format!("COMMIT PREPARED '{}_{}'", xid.gtrid, xid.bqual),
+        }
+    }
+}
+
+/// A single operation within a subtransaction statement batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsOperation {
+    /// Read a record under a shared lock.
+    Read {
+        /// Record to read.
+        key: Key,
+    },
+    /// Read a record under an exclusive lock (`SELECT ... FOR UPDATE`).
+    ReadForUpdate {
+        /// Record to read.
+        key: Key,
+    },
+    /// Insert or overwrite a record.
+    Write {
+        /// Record to write.
+        key: Key,
+        /// New row value.
+        row: Row,
+    },
+    /// Insert a new record (errors if it exists).
+    Insert {
+        /// Record to insert.
+        key: Key,
+        /// Row value.
+        row: Row,
+    },
+    /// Delete a record.
+    Delete {
+        /// Record to delete.
+        key: Key,
+    },
+    /// Add `delta` to integer column `col` (balance-style update).
+    AddInt {
+        /// Record to update.
+        key: Key,
+        /// Column index.
+        col: usize,
+        /// Amount to add.
+        delta: i64,
+    },
+}
+
+impl DsOperation {
+    /// The record this operation touches.
+    pub fn key(&self) -> Key {
+        match self {
+            DsOperation::Read { key }
+            | DsOperation::ReadForUpdate { key }
+            | DsOperation::Write { key, .. }
+            | DsOperation::Insert { key, .. }
+            | DsOperation::Delete { key }
+            | DsOperation::AddInt { key, .. } => *key,
+        }
+    }
+
+    /// Whether the operation takes an exclusive lock.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, DsOperation::Read { .. })
+    }
+}
+
+/// One statement batch dispatched by the middleware to one data source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementRequest {
+    /// The branch this batch belongs to.
+    pub xid: Xid,
+    /// Start the branch (`XA START`) before executing. The middleware piggybacks
+    /// the start on the first batch to save a round trip, as real drivers do.
+    pub begin: bool,
+    /// Operations to execute in order.
+    pub ops: Vec<DsOperation>,
+    /// Annotation: this is the branch's last statement; with decentralized
+    /// prepare enabled the geo-agent starts the prepare phase right after it.
+    pub is_last: bool,
+    /// Whether the geo-agent should run the decentralized prepare when
+    /// `is_last` (GeoTP / Chiller); classic XA middlewares leave this off.
+    pub decentralized_prepare: bool,
+    /// Whether the geo-agent should proactively abort sibling branches on
+    /// failure (GeoTP's early abort).
+    pub early_abort: bool,
+    /// Data-source indexes of the sibling branches of this distributed
+    /// transaction (empty for centralized transactions).
+    pub peers: Vec<u32>,
+}
+
+impl StatementRequest {
+    /// A minimal request executing `ops` for `xid` with every optional
+    /// behaviour disabled. Useful in tests.
+    pub fn simple(xid: Xid, ops: Vec<DsOperation>) -> Self {
+        Self {
+            xid,
+            begin: false,
+            ops,
+            is_last: false,
+            decentralized_prepare: false,
+            early_abort: false,
+            peers: Vec::new(),
+        }
+    }
+}
+
+/// Result of executing a statement batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// All operations succeeded; the rows read (in operation order) follow.
+    Ok {
+        /// Rows produced by read operations.
+        rows: Vec<Row>,
+    },
+    /// An operation failed; the branch has been rolled back locally.
+    Failed {
+        /// The error raised by the storage engine.
+        error: StorageError,
+    },
+}
+
+impl StatementOutcome {
+    /// Whether the batch succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, StatementOutcome::Ok { .. })
+    }
+}
+
+/// Response to a [`StatementRequest`], including local timing the middleware
+/// feeds into the hotspot footprint (`MultiStatementsHandler.feedback()` in
+/// the paper's implementation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatementResponse {
+    /// Outcome of the batch.
+    pub outcome: StatementOutcome,
+    /// Local execution latency of the batch on the data source: lock waits
+    /// plus statement execution, excluding any network time.
+    pub local_execution_latency: Duration,
+}
+
+/// The vote a geo-agent reports for a branch after the (decentralized or
+/// explicit) prepare phase. Mirrors the message set of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrepareVote {
+    /// The branch is prepared and can be committed.
+    Prepared,
+    /// Centralized transaction: no prepare needed, branch idles awaiting the
+    /// one-phase commit.
+    Idle,
+    /// The prepare failed; the branch was rolled back.
+    Failure,
+    /// The branch could not even finish execution and was rolled back.
+    RollbackOnly,
+}
+
+impl PrepareVote {
+    /// Whether this vote allows the transaction to commit.
+    pub fn is_yes(&self) -> bool {
+        matches!(self, PrepareVote::Prepared | PrepareVote::Idle)
+    }
+}
+
+/// Asynchronous notifications pushed from a geo-agent to the middleware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentNotification {
+    /// The outcome of the decentralized prepare phase for a branch.
+    PrepareResult {
+        /// The branch.
+        xid: Xid,
+        /// Its vote.
+        vote: PrepareVote,
+    },
+    /// A branch has been rolled back (possibly triggered by a peer's early
+    /// abort).
+    Rollbacked {
+        /// The branch.
+        xid: Xid,
+    },
+}
+
+impl AgentNotification {
+    /// The branch the notification refers to.
+    pub fn xid(&self) -> Xid {
+        match self {
+            AgentNotification::PrepareResult { xid, .. } | AgentNotification::Rollbacked { xid } => {
+                *xid
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_storage::TableId;
+
+    #[test]
+    fn dialect_command_sequences() {
+        let xid = Xid::new(7, 2);
+        let mysql = Dialect::MySql.prepare_commands(xid);
+        assert_eq!(mysql, vec!["XA END '7,2'", "XA PREPARE '7,2'"]);
+        let pg = Dialect::Postgres.prepare_commands(xid);
+        assert_eq!(pg, vec!["PREPARE TRANSACTION '7_2'"]);
+        assert_eq!(Dialect::MySql.commit_command(xid), "XA COMMIT '7,2'");
+        assert_eq!(Dialect::Postgres.commit_command(xid), "COMMIT PREPARED '7_2'");
+        assert_eq!(Dialect::MySql.name(), "MySQL");
+    }
+
+    #[test]
+    fn operation_key_and_write_flags() {
+        let key = Key::new(TableId(1), 9);
+        assert!(!DsOperation::Read { key }.is_write());
+        assert!(DsOperation::AddInt { key, col: 0, delta: 1 }.is_write());
+        assert_eq!(DsOperation::Delete { key }.key(), key);
+    }
+
+    #[test]
+    fn prepare_vote_semantics() {
+        assert!(PrepareVote::Prepared.is_yes());
+        assert!(PrepareVote::Idle.is_yes());
+        assert!(!PrepareVote::Failure.is_yes());
+        assert!(!PrepareVote::RollbackOnly.is_yes());
+    }
+
+    #[test]
+    fn notification_xid_accessor() {
+        let xid = Xid::new(1, 1);
+        let n = AgentNotification::PrepareResult {
+            xid,
+            vote: PrepareVote::Prepared,
+        };
+        assert_eq!(n.xid(), xid);
+    }
+}

@@ -1,0 +1,722 @@
+//! The data-source server: storage engine + geo-agent.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::{Rc, Weak};
+use std::time::Duration;
+
+use geotp_net::{Network, NodeId};
+use geotp_simrt::sync::mpsc;
+use geotp_simrt::{now, sleep, spawn};
+use geotp_storage::{EngineConfig, Row, StorageEngine, StorageError, Xid};
+
+use crate::messages::{
+    AgentNotification, Dialect, DsOperation, PrepareVote, StatementOutcome, StatementRequest,
+    StatementResponse,
+};
+
+/// Configuration of one data source node.
+#[derive(Debug, Clone)]
+pub struct DataSourceConfig {
+    /// The node identity in the simulated network.
+    pub node: NodeId,
+    /// SQL dialect (drives the rewritten command sequences).
+    pub dialect: Dialect,
+    /// Storage-engine configuration (lock timeout, local costs).
+    pub engine: EngineConfig,
+    /// Round-trip time between the geo-agent and its co-located database
+    /// (the LAN hop the decentralized prepare pays instead of a WAN trip).
+    pub agent_lan_rtt: Duration,
+}
+
+impl DataSourceConfig {
+    /// Defaults: MySQL dialect, default engine configuration, 0.5 ms LAN RTT.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            dialect: Dialect::MySql,
+            engine: EngineConfig::default(),
+            agent_lan_rtt: Duration::from_micros(500),
+        }
+    }
+
+    /// Override the dialect.
+    pub fn with_dialect(mut self, dialect: Dialect) -> Self {
+        self.dialect = dialect;
+        self
+    }
+
+    /// Override the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
+/// Counters maintained by the geo-agent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataSourceStats {
+    /// Statement batches executed.
+    pub statements: u64,
+    /// Decentralized prepares initiated by the geo-agent.
+    pub decentralized_prepares: u64,
+    /// Early-abort notifications sent to peer geo-agents.
+    pub early_aborts_sent: u64,
+    /// Rollbacks performed because a peer geo-agent asked for them.
+    pub peer_rollbacks: u64,
+    /// Statement batches that failed.
+    pub failed_statements: u64,
+}
+
+/// One data source node: the storage engine plus its geo-agent.
+pub struct DataSource {
+    config: DataSourceConfig,
+    engine: Rc<StorageEngine>,
+    net: Rc<Network>,
+    /// Notification channels towards each registered middleware, keyed by the
+    /// middleware's node id.
+    dm_channels: RefCell<HashMap<NodeId, mpsc::Sender<AgentNotification>>>,
+    /// Connection pool towards peer geo-agents, keyed by data-source index.
+    peers: RefCell<HashMap<u32, Weak<DataSource>>>,
+    /// Local transaction manager: which middleware coordinates each branch and
+    /// which peer data sources participate in the same global transaction.
+    branches: RefCell<HashMap<Xid, BranchInfo>>,
+    /// Early-abort tombstones: branches a peer geo-agent asked to abort
+    /// *before* their first statement arrived (possible when the scheduler
+    /// postpones the local branch). The branch is refused on arrival.
+    abort_marks: RefCell<std::collections::HashSet<Xid>>,
+    stats: RefCell<DataSourceStats>,
+}
+
+#[derive(Debug, Clone)]
+struct BranchInfo {
+    coordinator: NodeId,
+    peers: Vec<u32>,
+}
+
+impl DataSource {
+    /// Create a data source attached to the simulated network.
+    pub fn new(config: DataSourceConfig, net: Rc<Network>) -> Rc<Self> {
+        let engine = StorageEngine::new(config.engine);
+        Rc::new(Self {
+            config,
+            engine,
+            net,
+            dm_channels: RefCell::new(HashMap::new()),
+            peers: RefCell::new(HashMap::new()),
+            branches: RefCell::new(HashMap::new()),
+            abort_marks: RefCell::new(std::collections::HashSet::new()),
+            stats: RefCell::new(DataSourceStats::default()),
+        })
+    }
+
+    /// The node identity of this data source.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// The data-source index (within [`NodeId::data_source`] numbering).
+    pub fn index(&self) -> u32 {
+        self.config.node.index()
+    }
+
+    /// The SQL dialect of this data source.
+    pub fn dialect(&self) -> Dialect {
+        self.config.dialect
+    }
+
+    /// Direct access to the underlying storage engine (loading data,
+    /// inspecting state in tests and experiments).
+    pub fn engine(&self) -> &Rc<StorageEngine> {
+        &self.engine
+    }
+
+    /// Geo-agent statistics.
+    pub fn stats(&self) -> DataSourceStats {
+        *self.stats.borrow()
+    }
+
+    /// Register the notification channel of a middleware. Called by the
+    /// cluster builder when a middleware connects.
+    pub fn register_middleware(&self, dm: NodeId, channel: mpsc::Sender<AgentNotification>) {
+        self.dm_channels.borrow_mut().insert(dm, channel);
+    }
+
+    /// Register a peer geo-agent in this agent's connection pool.
+    pub fn register_peer(&self, peer: &Rc<DataSource>) {
+        self.peers
+            .borrow_mut()
+            .insert(peer.index(), Rc::downgrade(peer));
+    }
+
+    /// Bulk-load a record (initial population, no locking or logging).
+    pub fn load(&self, key: geotp_storage::Key, row: Row) {
+        self.engine.load(key, row);
+    }
+
+    fn notify_dm(self: &Rc<Self>, dm: NodeId, notification: AgentNotification) {
+        let Some(channel) = self.dm_channels.borrow().get(&dm).cloned() else {
+            return;
+        };
+        let net = Rc::clone(&self.net);
+        let from = self.config.node;
+        spawn(async move {
+            net.transfer(from, dm).await;
+            let _ = channel.send(notification);
+        });
+    }
+
+    /// Execute a statement batch on behalf of the middleware `from`.
+    ///
+    /// This is the geo-agent's main entry point: it runs the operations on the
+    /// engine, reports the local execution latency back (hotspot feedback) and
+    /// — when the batch is the branch's last statement and decentralized
+    /// prepare is enabled — kicks off the implicit prepare phase.
+    pub async fn execute(self: &Rc<Self>, from: NodeId, req: StatementRequest) -> StatementResponse {
+        let started = now();
+        self.stats.borrow_mut().statements += 1;
+
+        // A peer already asked to abort this branch (early abort raced ahead
+        // of the branch's first statement): refuse it and confirm the rollback.
+        if self.abort_marks.borrow_mut().remove(&req.xid) {
+            self.stats.borrow_mut().failed_statements += 1;
+            self.notify_dm(from, AgentNotification::Rollbacked { xid: req.xid });
+            return StatementResponse {
+                outcome: StatementOutcome::Failed {
+                    error: StorageError::InvalidState {
+                        xid: req.xid,
+                        reason: "branch aborted by a peer before it started",
+                    },
+                },
+                local_execution_latency: now().duration_since(started),
+            };
+        }
+
+        if req.begin {
+            self.branches.borrow_mut().insert(
+                req.xid,
+                BranchInfo {
+                    coordinator: from,
+                    peers: req.peers.clone(),
+                },
+            );
+            if let Err(error) = self.engine.begin(req.xid) {
+                self.stats.borrow_mut().failed_statements += 1;
+                return StatementResponse {
+                    outcome: StatementOutcome::Failed { error },
+                    local_execution_latency: now().duration_since(started),
+                };
+            }
+        } else if let Some(info) = self.branches.borrow_mut().get_mut(&req.xid) {
+            // Later rounds may refine the peer list (interactive transactions).
+            if !req.peers.is_empty() {
+                info.peers = req.peers.clone();
+            }
+        }
+
+        let mut rows = Vec::new();
+        for op in &req.ops {
+            let result = self.apply(req.xid, op).await;
+            match result {
+                Ok(Some(row)) => rows.push(row),
+                Ok(None) => {}
+                Err(error) => {
+                    self.stats.borrow_mut().failed_statements += 1;
+                    self.fail_branch(from, &req, error.clone()).await;
+                    return StatementResponse {
+                        outcome: StatementOutcome::Failed { error },
+                        local_execution_latency: now().duration_since(started),
+                    };
+                }
+            }
+        }
+
+        if req.is_last && req.decentralized_prepare {
+            self.spawn_decentralized_prepare(from, &req);
+        }
+
+        StatementResponse {
+            outcome: StatementOutcome::Ok { rows },
+            local_execution_latency: now().duration_since(started),
+        }
+    }
+
+    async fn apply(&self, xid: Xid, op: &DsOperation) -> Result<Option<Row>, StorageError> {
+        match op {
+            DsOperation::Read { key } => self.engine.read(xid, *key).await.map(Some),
+            DsOperation::ReadForUpdate { key } => {
+                self.engine.read_for_update(xid, *key).await.map(Some)
+            }
+            DsOperation::Write { key, row } => {
+                self.engine.write(xid, *key, row.clone()).await.map(|_| None)
+            }
+            DsOperation::Insert { key, row } => {
+                self.engine.insert(xid, *key, row.clone()).await.map(|_| None)
+            }
+            DsOperation::Delete { key } => self.engine.delete(xid, *key).await.map(|_| None),
+            DsOperation::AddInt { key, col, delta } => self
+                .engine
+                .add_int(xid, *key, *col, *delta)
+                .await
+                .map(|v| Some(Row::int(v))),
+        }
+    }
+
+    /// Handle a statement failure: roll back the local branch and, when early
+    /// abort is enabled, proactively tell peer geo-agents to roll back theirs.
+    async fn fail_branch(self: &Rc<Self>, from: NodeId, req: &StatementRequest, _error: StorageError) {
+        // Stop queueing for any lock we are still waiting on and roll back.
+        self.engine.lock_manager().cancel_waiters(req.xid);
+        let _ = self.engine.rollback(req.xid).await;
+        self.notify_dm(from, AgentNotification::Rollbacked { xid: req.xid });
+
+        if req.early_abort {
+            let peers = if req.peers.is_empty() {
+                self.branches
+                    .borrow()
+                    .get(&req.xid)
+                    .map(|b| b.peers.clone())
+                    .unwrap_or_default()
+            } else {
+                req.peers.clone()
+            };
+            for peer_idx in peers {
+                if peer_idx == self.index() {
+                    continue;
+                }
+                let Some(peer) = self.peers.borrow().get(&peer_idx).and_then(Weak::upgrade) else {
+                    continue;
+                };
+                self.stats.borrow_mut().early_aborts_sent += 1;
+                let net = Rc::clone(&self.net);
+                let from_node = self.config.node;
+                let peer_xid = Xid::new(req.xid.gtrid, peer_idx);
+                let this = Rc::clone(self);
+                spawn(async move {
+                    // WAN hop between the two geo-agents.
+                    net.transfer(from_node, peer.node()).await;
+                    peer.peer_rollback(peer_xid).await;
+                    let _ = this;
+                });
+            }
+        }
+        self.branches.borrow_mut().remove(&req.xid);
+    }
+
+    /// Roll back a branch at the request of a *peer* geo-agent (early abort),
+    /// then notify the coordinating middleware that the branch is gone.
+    pub async fn peer_rollback(self: &Rc<Self>, xid: Xid) {
+        self.stats.borrow_mut().peer_rollbacks += 1;
+        let coordinator = self.branches.borrow().get(&xid).map(|b| b.coordinator);
+        if coordinator.is_none() && self.engine.state_of(xid).is_none() {
+            // The branch has not arrived yet (its dispatch was postponed by
+            // the scheduler). Leave a tombstone so it is refused on arrival.
+            let mut marks = self.abort_marks.borrow_mut();
+            if marks.len() > 100_000 {
+                marks.clear();
+            }
+            marks.insert(xid);
+            return;
+        }
+        self.engine.lock_manager().cancel_waiters(xid);
+        if self.engine.state_of(xid).is_some() {
+            let _ = self.engine.rollback(xid).await;
+        }
+        self.branches.borrow_mut().remove(&xid);
+        if let Some(dm) = coordinator {
+            self.notify_dm(dm, AgentNotification::Rollbacked { xid });
+        }
+    }
+
+    /// Kick off the decentralized prepare phase for a branch in the
+    /// background. The vote is pushed to the middleware asynchronously.
+    fn spawn_decentralized_prepare(self: &Rc<Self>, dm: NodeId, req: &StatementRequest) {
+        self.stats.borrow_mut().decentralized_prepares += 1;
+        let this = Rc::clone(self);
+        let xid = req.xid;
+        let peers_empty = req.peers.is_empty();
+        spawn(async move {
+            // One LAN round trip from the geo-agent to its database.
+            sleep(this.config.agent_lan_rtt).await;
+            let vote = this.async_prepare(xid, peers_empty).await;
+            this.notify_dm(dm, AgentNotification::PrepareResult { xid, vote });
+        });
+    }
+
+    /// The geo-agent's `AsyncPrepare` (Algorithm 1): end the branch, and if
+    /// the transaction is distributed, prepare it. Centralized branches only
+    /// end and report `Idle`.
+    pub async fn async_prepare(self: &Rc<Self>, xid: Xid, centralized: bool) -> PrepareVote {
+        if self.engine.state_of(xid).is_none() {
+            // Already rolled back (e.g. early abort raced with the prepare).
+            return PrepareVote::RollbackOnly;
+        }
+        if let Err(_e) = self.engine.end(xid) {
+            let _ = self.engine.rollback(xid).await;
+            return PrepareVote::RollbackOnly;
+        }
+        if centralized {
+            return PrepareVote::Idle;
+        }
+        match self.engine.prepare(xid).await {
+            Ok(()) => PrepareVote::Prepared,
+            Err(_e) => {
+                let _ = self.engine.rollback(xid).await;
+                PrepareVote::Failure
+            }
+        }
+    }
+
+    /// Explicit prepare, driven by the middleware over the WAN (the classic
+    /// XA path used by the SSP baseline).
+    pub async fn prepare(self: &Rc<Self>, xid: Xid) -> PrepareVote {
+        if self.engine.state_of(xid).is_none() {
+            return PrepareVote::RollbackOnly;
+        }
+        if matches!(self.engine.state_of(xid), Some(geotp_storage::XaState::Active)) {
+            if self.engine.end(xid).is_err() {
+                let _ = self.engine.rollback(xid).await;
+                return PrepareVote::RollbackOnly;
+            }
+        }
+        match self.engine.prepare(xid).await {
+            Ok(()) => PrepareVote::Prepared,
+            Err(_) => {
+                let _ = self.engine.rollback(xid).await;
+                PrepareVote::Failure
+            }
+        }
+    }
+
+    /// Commit a branch (two-phase if prepared, one-phase otherwise).
+    pub async fn commit(self: &Rc<Self>, xid: Xid, one_phase: bool) -> Result<(), StorageError> {
+        let result = self.engine.commit(xid, one_phase).await;
+        self.branches.borrow_mut().remove(&xid);
+        result
+    }
+
+    /// Roll back a branch on the middleware's request.
+    pub async fn rollback(self: &Rc<Self>, xid: Xid) -> Result<(), StorageError> {
+        self.engine.lock_manager().cancel_waiters(xid);
+        let result = if self.engine.state_of(xid).is_some() {
+            self.engine.rollback(xid).await
+        } else {
+            Ok(())
+        };
+        self.branches.borrow_mut().remove(&xid);
+        result
+    }
+
+    /// Branches in the prepared state (`XA RECOVER`), used by middleware
+    /// failure recovery.
+    pub fn recover_prepared(&self) -> Vec<Xid> {
+        self.engine.prepared_xids()
+    }
+
+    /// Abort every branch that has not completed the prepare phase — what the
+    /// data source does when its coordinator disconnects (paper setting ❶).
+    pub async fn coordinator_disconnected(self: &Rc<Self>) -> Vec<Xid> {
+        let victims = self.engine.abort_unprepared().await;
+        for xid in &victims {
+            self.branches.borrow_mut().remove(xid);
+        }
+        victims
+    }
+
+    /// Simulate a crash of this data source (the geo-agent dies with it).
+    pub fn crash(&self) {
+        self.engine.crash();
+    }
+
+    /// Restart after a crash (paper setting ❷): unprepared branches are gone,
+    /// prepared branches survive and wait for the coordinator's decision.
+    pub async fn restart(self: &Rc<Self>) -> Vec<Xid> {
+        self.engine.restart().await
+    }
+
+    /// Whether the data source is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.engine.is_crashed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_net::NetworkBuilder;
+    use geotp_simrt::Runtime;
+    use geotp_storage::{CostModel, Key, TableId};
+
+    fn key(row: u64) -> Key {
+        Key::new(TableId(0), row)
+    }
+
+    fn setup(lan_rtt_ms: u64, wan_ms: u64) -> (Rc<Network>, Rc<DataSource>, NodeId) {
+        let dm = NodeId::middleware(0);
+        let ds_node = NodeId::data_source(0);
+        let net = NetworkBuilder::new(1)
+            .static_link(dm, ds_node, Duration::from_millis(wan_ms))
+            .build();
+        let mut cfg = DataSourceConfig::new(ds_node);
+        cfg.agent_lan_rtt = Duration::from_millis(lan_rtt_ms);
+        cfg.engine = EngineConfig {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::zero(),
+        };
+        let ds = DataSource::new(cfg, Rc::clone(&net));
+        ds.load(key(1), Row::int(100));
+        ds.load(key(2), Row::int(200));
+        (net, ds, dm)
+    }
+
+    #[test]
+    fn execute_reads_and_writes() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(0, 10);
+            let xid = Xid::new(1, 0);
+            let req = StatementRequest {
+                xid,
+                begin: true,
+                ops: vec![
+                    DsOperation::Read { key: key(1) },
+                    DsOperation::AddInt { key: key(2), col: 0, delta: 5 },
+                ],
+                is_last: false,
+                decentralized_prepare: false,
+                early_abort: false,
+                peers: vec![],
+            };
+            let resp = ds.execute(dm, req).await;
+            match resp.outcome {
+                StatementOutcome::Ok { rows } => {
+                    assert_eq!(rows.len(), 2);
+                    assert_eq!(rows[0].int_value(), Some(100));
+                    assert_eq!(rows[1].int_value(), Some(205));
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+            ds.commit(xid, true).await.unwrap();
+            assert_eq!(ds.engine().peek(key(2)).unwrap().int_value(), Some(205));
+        });
+    }
+
+    #[test]
+    fn decentralized_prepare_pushes_vote_to_middleware() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(1, 100);
+            let (tx, mut rx) = mpsc::unbounded();
+            ds.register_middleware(dm, tx);
+            let xid = Xid::new(7, 0);
+            let req = StatementRequest {
+                xid,
+                begin: true,
+                ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: -10 }],
+                is_last: true,
+                decentralized_prepare: true,
+                early_abort: false,
+                peers: vec![1],
+            };
+            let started = now();
+            let resp = ds.execute(dm, req).await;
+            assert!(resp.outcome.is_ok());
+
+            // The vote arrives asynchronously: 1ms LAN + half of the 100ms WAN.
+            let notification = rx.recv().await.unwrap();
+            assert_eq!(
+                notification,
+                AgentNotification::PrepareResult { xid, vote: PrepareVote::Prepared }
+            );
+            let elapsed = now().duration_since(started);
+            assert_eq!(elapsed, Duration::from_millis(51));
+            assert_eq!(ds.recover_prepared(), vec![xid]);
+            assert_eq!(ds.stats().decentralized_prepares, 1);
+        });
+    }
+
+    #[test]
+    fn centralized_branch_votes_idle() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(0, 10);
+            let (tx, mut rx) = mpsc::unbounded();
+            ds.register_middleware(dm, tx);
+            let xid = Xid::new(9, 0);
+            let req = StatementRequest {
+                xid,
+                begin: true,
+                ops: vec![DsOperation::Read { key: key(1) }],
+                is_last: true,
+                decentralized_prepare: true,
+                early_abort: false,
+                peers: vec![],
+            };
+            ds.execute(dm, req).await;
+            let notification = rx.recv().await.unwrap();
+            assert_eq!(
+                notification,
+                AgentNotification::PrepareResult { xid, vote: PrepareVote::Idle }
+            );
+            // One-phase commit still works from the ENDED state.
+            ds.commit(xid, true).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn failed_statement_rolls_back_and_notifies_peers() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let dm = NodeId::middleware(0);
+            let ds0_node = NodeId::data_source(0);
+            let ds1_node = NodeId::data_source(1);
+            let net = NetworkBuilder::new(1)
+                .static_link(dm, ds0_node, Duration::from_millis(10))
+                .static_link(dm, ds1_node, Duration::from_millis(100))
+                .static_link(ds0_node, ds1_node, Duration::from_millis(100))
+                .build();
+            let mk = |node: NodeId| {
+                let mut cfg = DataSourceConfig::new(node);
+                cfg.engine = EngineConfig {
+                    lock_wait_timeout: Duration::from_millis(50),
+                    cost: CostModel::zero(),
+                };
+                cfg.agent_lan_rtt = Duration::ZERO;
+                DataSource::new(cfg, Rc::clone(&net))
+            };
+            let ds0 = mk(ds0_node);
+            let ds1 = mk(ds1_node);
+            ds0.register_peer(&ds1);
+            ds1.register_peer(&ds0);
+            let (tx, mut rx) = mpsc::unbounded();
+            ds0.register_middleware(dm, tx.clone());
+            ds1.register_middleware(dm, tx);
+            ds0.load(key(1), Row::int(0));
+            ds1.load(key(2), Row::int(0));
+
+            let gtrid = 5;
+            // Branch on ds1 executes fine and holds its lock.
+            let xid1 = Xid::new(gtrid, 1);
+            let ok = ds1
+                .execute(
+                    dm,
+                    StatementRequest {
+                        xid: xid1,
+                        begin: true,
+                        ops: vec![DsOperation::AddInt { key: key(2), col: 0, delta: 1 }],
+                        is_last: false,
+                        decentralized_prepare: true,
+                        early_abort: true,
+                        peers: vec![0],
+                    },
+                )
+                .await;
+            assert!(ok.outcome.is_ok());
+
+            // An unrelated branch takes the lock ds0's branch will need.
+            let blocker = Xid::new(99, 0);
+            ds0.engine().begin(blocker).unwrap();
+            ds0.engine().add_int(blocker, key(1), 0, 1).await.unwrap();
+
+            // Branch on ds0 times out on the lock and fails.
+            let xid0 = Xid::new(gtrid, 0);
+            let resp = ds0
+                .execute(
+                    dm,
+                    StatementRequest {
+                        xid: xid0,
+                        begin: true,
+                        ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 1 }],
+                        is_last: false,
+                        decentralized_prepare: true,
+                        early_abort: true,
+                        peers: vec![1],
+                    },
+                )
+                .await;
+            assert!(!resp.outcome.is_ok());
+
+            // Collect notifications: ds0's own rollback plus ds1's peer rollback.
+            let first = rx.recv().await.unwrap();
+            let second = rx.recv().await.unwrap();
+            let mut xids = vec![first.xid(), second.xid()];
+            xids.sort();
+            assert_eq!(xids, vec![xid0, xid1]);
+            assert_eq!(ds1.stats().peer_rollbacks, 1);
+            assert_eq!(ds0.stats().early_aborts_sent, 1);
+            // ds1's write was undone by the early abort.
+            assert_eq!(ds1.engine().peek(key(2)).unwrap().int_value(), Some(0));
+        });
+    }
+
+    #[test]
+    fn coordinator_disconnect_aborts_unprepared_branches() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(0, 10);
+            let xid_active = Xid::new(1, 0);
+            ds.execute(
+                dm,
+                StatementRequest {
+                    xid: xid_active,
+                    begin: true,
+                    ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 1 }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: false,
+                    peers: vec![],
+                },
+            )
+            .await;
+            let xid_prepared = Xid::new(2, 0);
+            ds.execute(
+                dm,
+                StatementRequest {
+                    xid: xid_prepared,
+                    begin: true,
+                    ops: vec![DsOperation::AddInt { key: key(2), col: 0, delta: 1 }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: false,
+                    peers: vec![1],
+                },
+            )
+            .await;
+            assert_eq!(ds.prepare(xid_prepared).await, PrepareVote::Prepared);
+
+            let aborted = ds.coordinator_disconnected().await;
+            assert_eq!(aborted, vec![xid_active]);
+            assert_eq!(ds.recover_prepared(), vec![xid_prepared]);
+            assert_eq!(ds.engine().peek(key(1)).unwrap().int_value(), Some(100));
+        });
+    }
+
+    #[test]
+    fn crash_and_restart_preserves_prepared_branch() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(0, 10);
+            let xid = Xid::new(3, 0);
+            ds.execute(
+                dm,
+                StatementRequest {
+                    xid,
+                    begin: true,
+                    ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 77 }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: false,
+                    peers: vec![1],
+                },
+            )
+            .await;
+            assert_eq!(ds.prepare(xid).await, PrepareVote::Prepared);
+            ds.crash();
+            assert!(ds.is_crashed());
+            let recovered = ds.restart().await;
+            assert_eq!(recovered, vec![xid]);
+            ds.commit(xid, false).await.unwrap();
+            assert_eq!(ds.engine().peek(key(1)).unwrap().int_value(), Some(177));
+        });
+    }
+}

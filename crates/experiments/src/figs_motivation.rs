@@ -1,0 +1,180 @@
+//! Fig. 1b (motivating example) and Fig. 6 (resource utilisation & latency
+//! breakdown).
+
+use std::time::Duration;
+
+use geotp::{ClientOp, ClusterBuilder, GlobalKey, Protocol, TransactionSpec};
+use geotp_simrt::Runtime;
+use geotp_storage::{CostModel, EngineConfig};
+use geotp_workloads::ycsb::USERTABLE;
+use geotp_workloads::{Contention, YcsbConfig};
+
+use crate::report::{ms, tput, Table};
+use crate::runner::{run_ycsb, LatencyConfig, SystemUnderTest, YcsbRunSpec};
+use crate::scale::Scale;
+
+/// Fig. 1b: average latency of *centralized* transactions (which only touch
+/// DS1, 10 ms away) as the latency to DS2 grows, under low and medium
+/// contention, on a classic XA middleware (SSP). Reproduces the observation
+/// that motivates the paper: remote latency leaks into local transactions
+/// through lock contention.
+pub fn fig01_motivation(scale: Scale) -> Vec<Table> {
+    let ds2_rtts: Vec<u64> = match scale {
+        Scale::Quick => vec![20, 60, 100],
+        Scale::Full => vec![20, 40, 60, 80, 100],
+    };
+    let mut table = Table::new(
+        "Fig. 1b — avg latency of centralized transactions vs DM–DS2 RTT (SSP)",
+        &["ds2_rtt_ms", "LC centralized avg (ms)", "MC centralized avg (ms)"],
+    );
+    for rtt in &ds2_rtts {
+        let mut cells = vec![rtt.to_string()];
+        for contention in [Contention::Low, Contention::Medium] {
+            let mut ycsb = YcsbConfig::new(2, scale.records_per_node())
+                .with_contention(contention)
+                .with_distributed_ratio(0.2);
+            // All centralized transactions hit DS1 (node 0), as in the paper's
+            // motivating setup.
+            ycsb.home_node = Some(0);
+            let mut spec = YcsbRunSpec::new(
+                SystemUnderTest::Middleware(Protocol::SspXa),
+                ycsb,
+                scale.terminals(),
+                scale.measure(),
+            );
+            spec.latency = LatencyConfig::Static(vec![10, *rtt]);
+            spec.warmup = scale.warmup();
+            let result = run_ycsb(&spec);
+            cells.push(ms(result.mean_centralized_latency));
+        }
+        table.push_row(cells);
+    }
+    vec![table]
+}
+
+/// Fig. 6: (a/b) resource utilisation proxies under the virtual clock —
+/// simulation polls, WAN messages and hotspot-footprint size — for SSP vs
+/// GeoTP on the default YCSB workload, and (c) the per-phase latency
+/// breakdown of one distributed GeoTP transaction.
+pub fn fig06_breakdown(scale: Scale) -> Vec<Table> {
+    // (a)/(b): resource proxies over the default workload.
+    let mut resources = Table::new(
+        "Fig. 6a/6b — resource proxies over YCSB (virtual-clock substitutes for CPU%/memory)",
+        &[
+            "system",
+            "throughput (txn/s)",
+            "sim polls",
+            "WAN messages",
+            "hotspot entries",
+        ],
+    );
+    for system in [
+        SystemUnderTest::Middleware(Protocol::SspXa),
+        SystemUnderTest::Middleware(Protocol::geotp()),
+    ] {
+        let ycsb = YcsbConfig::new(4, scale.records_per_node())
+            .with_contention(Contention::Medium)
+            .with_distributed_ratio(0.2);
+        let mut spec = YcsbRunSpec::new(system, ycsb, scale.terminals(), scale.measure());
+        spec.warmup = scale.warmup();
+        let result = run_ycsb(&spec);
+        resources.push_row(vec![
+            result.label.clone(),
+            tput(result.throughput),
+            result.sim_polls.to_string(),
+            result.net_messages.to_string(),
+            result.hotspot_entries.to_string(),
+        ]);
+    }
+
+    // (c): single-transaction latency breakdown, paper-default deployment.
+    let mut breakdown = Table::new(
+        "Fig. 6c — latency breakdown of one distributed GeoTP transaction (paper deployment)",
+        &["phase", "latency (ms)"],
+    );
+    let mut rt = Runtime::new();
+    rt.block_on(async {
+        let cluster = ClusterBuilder::new()
+            .paper_default_sources()
+            .records_per_node(1_000)
+            .protocol(Protocol::geotp())
+            .engine_config(EngineConfig {
+                lock_wait_timeout: Duration::from_secs(5),
+                cost: CostModel::default(),
+            })
+            .build();
+        cluster.load_uniform(1_000, 10_000);
+        // A transfer between the Beijing node (0) and the Singapore node (2).
+        let spec = TransactionSpec::single_round(vec![
+            ClientOp::add(GlobalKey::new(USERTABLE, 1), -100),
+            ClientOp::add(GlobalKey::new(USERTABLE, 2_001), 100),
+        ]);
+        let outcome = cluster.middleware().run_transaction(&spec).await;
+        assert!(outcome.committed, "breakdown transaction must commit");
+        let b = outcome.breakdown;
+        breakdown.push_row(vec!["analysis".into(), ms(b.analysis)]);
+        breakdown.push_row(vec!["execution (incl. network)".into(), ms(b.execution)]);
+        breakdown.push_row(vec!["prepare wait".into(), ms(b.prepare_wait)]);
+        breakdown.push_row(vec!["commit log flush".into(), ms(b.log_flush)]);
+        breakdown.push_row(vec!["commit dispatch".into(), ms(b.commit)]);
+        breakdown.push_row(vec!["total".into(), ms(outcome.latency)]);
+    });
+    vec![resources, breakdown]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp::Dialect;
+
+    #[test]
+    fn fig06_breakdown_produces_the_expected_phases() {
+        let table = fig06_breakdown_single_txn_only();
+        assert_eq!(table.headers, vec!["phase", "latency (ms)"]);
+        assert_eq!(table.len(), 6);
+        // The transfer involves the Beijing (0 ms) and Singapore (73 ms)
+        // nodes: the commit dispatch is roughly one 73 ms WAN round trip, and
+        // the prepare wait is small because the prepare is decentralized.
+        let commit: f64 = table.cell("commit dispatch", "latency (ms)").unwrap().parse().unwrap();
+        assert!((73.0..95.0).contains(&commit), "commit {commit}");
+        let prepare: f64 = table.cell("prepare wait", "latency (ms)").unwrap().parse().unwrap();
+        assert!(prepare < 10.0, "prepare wait {prepare}");
+    }
+
+    /// Cheap helper used by the unit test: only the single-transaction
+    /// breakdown part of Fig. 6.
+    fn fig06_breakdown_single_txn_only() -> Table {
+        let mut rt = Runtime::new();
+        let mut breakdown = Table::new("test", &["phase", "latency (ms)"]);
+        rt.block_on(async {
+            let cluster = ClusterBuilder::new()
+                .paper_default_sources()
+                .records_per_node(100)
+                .protocol(Protocol::geotp())
+                .build();
+            cluster.load_uniform(100, 0);
+            let spec = TransactionSpec::single_round(vec![
+                ClientOp::add(GlobalKey::new(USERTABLE, 1), -1),
+                ClientOp::add(GlobalKey::new(USERTABLE, 201), 1),
+            ]);
+            let outcome = cluster.middleware().run_transaction(&spec).await;
+            assert!(outcome.committed);
+            let b = outcome.breakdown;
+            breakdown.push_row(vec!["analysis".into(), ms(b.analysis)]);
+            breakdown.push_row(vec!["execution (incl. network)".into(), ms(b.execution)]);
+            breakdown.push_row(vec!["prepare wait".into(), ms(b.prepare_wait)]);
+            breakdown.push_row(vec!["commit log flush".into(), ms(b.log_flush)]);
+            breakdown.push_row(vec!["commit dispatch".into(), ms(b.commit)]);
+            breakdown.push_row(vec!["total".into(), ms(outcome.latency)]);
+        });
+        breakdown
+    }
+
+    #[test]
+    fn latency_config_dialect_defaults_hold() {
+        // Quick sanity on the helper types used by this module.
+        let cfg = LatencyConfig::Static(vec![10, 100]);
+        assert!(matches!(cfg, LatencyConfig::Static(_)));
+        assert_eq!(Dialect::MySql.name(), "MySQL");
+    }
+}

@@ -1,0 +1,58 @@
+//! # geotp-experiments — per-figure experiment harness
+//!
+//! One function per table/figure of the paper's evaluation (§VII). Every
+//! experiment builds a fresh simulated cluster, drives it with the workload
+//! and parameters the paper describes, and returns a [`report::Table`] whose
+//! rows mirror the series the paper plots. The bench targets in
+//! `crates/bench/benches/` simply call these functions and print the tables,
+//! so `cargo bench` regenerates the whole evaluation.
+//!
+//! Scale is controlled by [`scale::Scale`]: the default `Quick` preset keeps
+//! every experiment in the seconds range; set `GEOTP_FULL=1` to run the
+//! paper-scale sweeps.
+
+pub mod figs_ablation;
+pub mod figs_distributed;
+pub mod figs_motivation;
+pub mod figs_network;
+pub mod figs_overall;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use report::Table;
+pub use runner::{RunResult, SystemUnderTest, TpccRunSpec, YcsbRunSpec};
+pub use scale::Scale;
+
+/// Every experiment in paper order: `(identifier, runner)`.
+/// Useful for "run everything" binaries.
+pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Vec<Table>)> {
+    vec![
+        ("fig01_motivation", figs_motivation::fig01_motivation),
+        ("fig05_scalability", figs_overall::fig05_scalability),
+        ("fig06_breakdown", figs_motivation::fig06_breakdown),
+        ("fig07_dist_ratio_ycsb", figs_distributed::fig07_dist_ratio_ycsb),
+        ("fig08_latency_cdf", figs_distributed::fig08_latency_cdf),
+        ("fig09_dist_ratio_tpcc", figs_distributed::fig09_dist_ratio_tpcc),
+        ("fig10_latency_config", figs_network::fig10_latency_config),
+        ("fig11_random_dynamic", figs_network::fig11_random_dynamic),
+        ("fig12_ablation", figs_ablation::fig12_ablation),
+        ("fig13_yugabyte", figs_overall::fig13_yugabyte),
+        ("fig14_txn_length", figs_ablation::fig14_txn_length),
+        ("fig15_multi_dm", figs_overall::fig15_multi_dm),
+        ("tab01_heterogeneous", figs_overall::tab01_heterogeneous),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_registry_is_complete() {
+        let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names.len(), 13);
+        assert!(names.contains(&"fig12_ablation"));
+        assert!(names.contains(&"tab01_heterogeneous"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Plain-text table formatting for experiment output.
+
+use std::fmt;
+
+/// A result table: a title, column headers and rows of cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (e.g. "Fig. 7 — YCSB medium contention, throughput").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Append a row from anything displayable.
+    pub fn row<D: fmt::Display>(&mut self, cells: &[D]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Find a cell by row predicate and column header (test helper).
+    pub fn cell(&self, row_match: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(|c| c.as_str()) == Some(row_match))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Compute column widths.
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i >= widths.len() {
+                    widths.push(cell.len());
+                } else {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let mut header_line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            header_line.push_str(&format!("{h:<w$}  "));
+        }
+        writeln!(f, "{}", header_line.trim_end())?;
+        writeln!(f, "{}", "-".repeat(header_line.trim_end().len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a throughput value.
+pub fn tput(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a latency in milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Format a ratio as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn table_renders_with_alignment() {
+        let mut t = Table::new("Demo", &["system", "tput (txn/s)", "p99 (ms)"]);
+        t.row(&["GeoTP", "123.4", "88.0"]);
+        t.row(&["SSP", "17.9", "410.2"]);
+        let rendered = t.to_string();
+        assert!(rendered.contains("=== Demo ==="));
+        assert!(rendered.contains("GeoTP"));
+        assert!(rendered.lines().count() >= 5);
+        assert_eq!(t.cell("SSP", "p99 (ms)"), Some("410.2"));
+        assert_eq!(t.cell("SSP", "nope"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(tput(12.345), "12.3");
+        assert_eq!(ms(Duration::from_micros(1500)), "1.5");
+        assert_eq!(pct(0.321), "32.1%");
+    }
+}

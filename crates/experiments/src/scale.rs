@@ -1,0 +1,133 @@
+//! Experiment scale presets.
+
+use std::time::Duration;
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure scale used by default (`cargo bench`, CI, tests).
+    Quick,
+    /// Paper-scale sweeps (`GEOTP_FULL=1 cargo bench`).
+    Full,
+}
+
+impl Scale {
+    /// Resolve the scale from the `GEOTP_FULL` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("GEOTP_FULL") {
+            Ok(v) if v == "1" || v.eq_ignore_ascii_case("true") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Records per data node for YCSB (paper: 1 million).
+    pub fn records_per_node(&self) -> u64 {
+        match self {
+            Scale::Quick => 2_000,
+            Scale::Full => 100_000,
+        }
+    }
+
+    /// Number of closed-loop terminals (paper default: 64).
+    pub fn terminals(&self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 64,
+        }
+    }
+
+    /// Measurement window per data point.
+    pub fn measure(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_secs(4),
+            Scale::Full => Duration::from_secs(20),
+        }
+    }
+
+    /// Warm-up excluded from measurement.
+    pub fn warmup(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_millis(500),
+            Scale::Full => Duration::from_secs(2),
+        }
+    }
+
+    /// Warehouses per data node for TPC-C (paper default: 16).
+    pub fn warehouses_per_node(&self) -> u32 {
+        match self {
+            Scale::Quick => 2,
+            Scale::Full => 16,
+        }
+    }
+
+    /// Sweep points for the distributed-transaction-ratio experiments.
+    pub fn dist_ratios(&self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.2, 0.6, 1.0],
+            Scale::Full => vec![0.2, 0.4, 0.6, 0.8, 1.0],
+        }
+    }
+
+    /// Terminal counts for the scalability experiment (Fig. 5).
+    pub fn terminal_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![8, 32, 96],
+            Scale::Full => vec![8, 50, 150, 250, 350],
+        }
+    }
+
+    /// Skew factors for the ablation study (Fig. 12).
+    pub fn skew_sweep(&self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![0.3, 0.9, 1.5],
+            Scale::Full => vec![0.1, 0.3, 0.5, 0.7, 0.9, 1.1, 1.3, 1.5, 1.7],
+        }
+    }
+
+    /// Number of seeds for the random-latency experiment (Fig. 11a; paper: 20).
+    pub fn random_latency_seeds(&self) -> u64 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 20,
+        }
+    }
+
+    /// Duration of the dynamic-latency timeline (Fig. 11b; paper: 320 s with a
+    /// 40 s re-draw interval).
+    pub fn dynamic_latency_duration(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_secs(80),
+            Scale::Full => Duration::from_secs(320),
+        }
+    }
+
+    /// Interval at which the dynamic-latency experiment re-draws latencies.
+    pub fn dynamic_latency_window(&self) -> Duration {
+        match self {
+            Scale::Quick => Duration::from_secs(10),
+            Scale::Full => Duration::from_secs(40),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full_everywhere() {
+        let (q, f) = (Scale::Quick, Scale::Full);
+        assert!(q.records_per_node() < f.records_per_node());
+        assert!(q.terminals() < f.terminals());
+        assert!(q.measure() < f.measure());
+        assert!(q.dist_ratios().len() <= f.dist_ratios().len());
+        assert!(q.terminal_sweep().len() <= f.terminal_sweep().len());
+        assert!(q.skew_sweep().len() <= f.skew_sweep().len());
+    }
+
+    #[test]
+    fn from_env_defaults_to_quick() {
+        std::env::remove_var("GEOTP_FULL");
+        assert_eq!(Scale::from_env(), Scale::Quick);
+    }
+}

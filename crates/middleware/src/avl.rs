@@ -1,0 +1,380 @@
+//! A self-balancing AVL tree map.
+//!
+//! The paper (§IV-C) organises hot-record statistics in an AVL tree so that
+//! point and range lookups cost `O(log n)`; we implement the same structure
+//! rather than reusing `BTreeMap` so the substrate matches the paper's
+//! description (and so the microbenchmarks can compare the two).
+
+use std::cmp::Ordering;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    height: i32,
+    left: Option<Box<Node<K, V>>>,
+    right: Option<Box<Node<K, V>>>,
+}
+
+impl<K: Ord, V> Node<K, V> {
+    fn new(key: K, value: V) -> Box<Self> {
+        Box::new(Self {
+            key,
+            value,
+            height: 1,
+            left: None,
+            right: None,
+        })
+    }
+}
+
+fn height<K, V>(node: &Option<Box<Node<K, V>>>) -> i32 {
+    node.as_ref().map(|n| n.height).unwrap_or(0)
+}
+
+fn update_height<K, V>(node: &mut Box<Node<K, V>>) {
+    node.height = 1 + height(&node.left).max(height(&node.right));
+}
+
+fn balance_factor<K, V>(node: &Box<Node<K, V>>) -> i32 {
+    height(&node.left) - height(&node.right)
+}
+
+fn rotate_right<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = node.left.take().expect("rotate_right requires a left child");
+    node.left = new_root.right.take();
+    update_height(&mut node);
+    new_root.right = Some(node);
+    update_height(&mut new_root);
+    new_root
+}
+
+fn rotate_left<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    let mut new_root = node.right.take().expect("rotate_left requires a right child");
+    node.right = new_root.left.take();
+    update_height(&mut node);
+    new_root.left = Some(node);
+    update_height(&mut new_root);
+    new_root
+}
+
+fn rebalance<K, V>(mut node: Box<Node<K, V>>) -> Box<Node<K, V>> {
+    update_height(&mut node);
+    let bf = balance_factor(&node);
+    if bf > 1 {
+        if balance_factor(node.left.as_ref().unwrap()) < 0 {
+            node.left = Some(rotate_left(node.left.take().unwrap()));
+        }
+        return rotate_right(node);
+    }
+    if bf < -1 {
+        if balance_factor(node.right.as_ref().unwrap()) > 0 {
+            node.right = Some(rotate_right(node.right.take().unwrap()));
+        }
+        return rotate_left(node);
+    }
+    node
+}
+
+fn insert_node<K: Ord, V>(
+    node: Option<Box<Node<K, V>>>,
+    key: K,
+    value: V,
+) -> (Box<Node<K, V>>, Option<V>) {
+    match node {
+        None => (Node::new(key, value), None),
+        Some(mut n) => {
+            let replaced = match key.cmp(&n.key) {
+                Ordering::Less => {
+                    let (child, replaced) = insert_node(n.left.take(), key, value);
+                    n.left = Some(child);
+                    replaced
+                }
+                Ordering::Greater => {
+                    let (child, replaced) = insert_node(n.right.take(), key, value);
+                    n.right = Some(child);
+                    replaced
+                }
+                Ordering::Equal => Some(std::mem::replace(&mut n.value, value)),
+            };
+            (rebalance(n), replaced)
+        }
+    }
+}
+
+fn take_min<K: Ord, V>(mut node: Box<Node<K, V>>) -> (Option<Box<Node<K, V>>>, Box<Node<K, V>>) {
+    if node.left.is_none() {
+        let right = node.right.take();
+        return (right, node);
+    }
+    let (new_left, min) = take_min(node.left.take().unwrap());
+    node.left = new_left;
+    (Some(rebalance(node)), min)
+}
+
+fn remove_node<K: Ord, V>(
+    node: Option<Box<Node<K, V>>>,
+    key: &K,
+) -> (Option<Box<Node<K, V>>>, Option<V>) {
+    match node {
+        None => (None, None),
+        Some(mut n) => match key.cmp(&n.key) {
+            Ordering::Less => {
+                let (child, removed) = remove_node(n.left.take(), key);
+                n.left = child;
+                (Some(rebalance(n)), removed)
+            }
+            Ordering::Greater => {
+                let (child, removed) = remove_node(n.right.take(), key);
+                n.right = child;
+                (Some(rebalance(n)), removed)
+            }
+            Ordering::Equal => {
+                let value = n.value;
+                match (n.left.take(), n.right.take()) {
+                    (None, None) => (None, Some(value)),
+                    (Some(l), None) => (Some(l), Some(value)),
+                    (None, Some(r)) => (Some(r), Some(value)),
+                    (Some(l), Some(r)) => {
+                        let (new_right, mut successor) = take_min(r);
+                        successor.left = Some(l);
+                        successor.right = new_right;
+                        (Some(rebalance(successor)), Some(value))
+                    }
+                }
+            }
+        },
+    }
+}
+
+/// An ordered map backed by an AVL tree.
+pub struct AvlMap<K, V> {
+    root: Option<Box<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K: Ord, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord, V> AvlMap<K, V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        Self { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a key/value pair, returning the previous value for the key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (root, replaced) = insert_node(self.root.take(), key, value);
+        self.root = Some(root);
+        if replaced.is_none() {
+            self.len += 1;
+        }
+        replaced
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(node) = cur {
+            match key.cmp(&node.key) {
+                Ordering::Less => cur = node.left.as_deref(),
+                Ordering::Greater => cur = node.right.as_deref(),
+                Ordering::Equal => return Some(&node.value),
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut cur = self.root.as_deref_mut();
+        while let Some(node) = cur {
+            match key.cmp(&node.key) {
+                Ordering::Less => cur = node.left.as_deref_mut(),
+                Ordering::Greater => cur = node.right.as_deref_mut(),
+                Ordering::Equal => return Some(&mut node.value),
+            }
+        }
+        None
+    }
+
+    /// Whether the map contains `key`.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let (root, removed) = remove_node(self.root.take(), key);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// In-order iteration over `(key, value)` pairs.
+    pub fn iter(&self) -> AvlIter<'_, K, V> {
+        let mut stack = Vec::new();
+        push_left(&mut stack, self.root.as_deref());
+        AvlIter { stack }
+    }
+
+    /// In-order iteration over entries with keys in `[low, high]`.
+    pub fn range_inclusive<'a>(&'a self, low: &K, high: &K) -> Vec<(&'a K, &'a V)> {
+        let mut out = Vec::new();
+        range_collect(self.root.as_deref(), low, high, &mut out);
+        out
+    }
+
+    /// Height of the tree (for balance diagnostics and tests).
+    pub fn height(&self) -> i32 {
+        height(&self.root)
+    }
+}
+
+fn range_collect<'a, K: Ord, V>(
+    node: Option<&'a Node<K, V>>,
+    low: &K,
+    high: &K,
+    out: &mut Vec<(&'a K, &'a V)>,
+) {
+    let Some(node) = node else { return };
+    if node.key > *low {
+        range_collect(node.left.as_deref(), low, high, out);
+    }
+    if node.key >= *low && node.key <= *high {
+        out.push((&node.key, &node.value));
+    }
+    if node.key < *high {
+        range_collect(node.right.as_deref(), low, high, out);
+    }
+}
+
+fn push_left<'a, K, V>(stack: &mut Vec<&'a Node<K, V>>, mut node: Option<&'a Node<K, V>>) {
+    while let Some(n) = node {
+        stack.push(n);
+        node = n.left.as_deref();
+    }
+}
+
+/// In-order iterator over an [`AvlMap`].
+pub struct AvlIter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iterator for AvlIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        push_left(&mut self.stack, node.right.as_deref());
+        Some((&node.key, &node.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut map = AvlMap::new();
+        assert!(map.is_empty());
+        for i in 0..100 {
+            assert_eq!(map.insert(i, i * 10), None);
+        }
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.get(&42), Some(&420));
+        assert_eq!(map.insert(42, 0), Some(420));
+        assert_eq!(map.len(), 100);
+        assert_eq!(map.remove(&42), Some(0));
+        assert_eq!(map.remove(&42), None);
+        assert_eq!(map.len(), 99);
+        assert!(!map.contains_key(&42));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut map = AvlMap::new();
+        for i in [5, 1, 9, 3, 7, 2, 8, 0, 6, 4] {
+            map.insert(i, ());
+        }
+        let keys: Vec<i32> = map.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_stays_balanced_under_sequential_inserts() {
+        let mut map = AvlMap::new();
+        for i in 0..1024 {
+            map.insert(i, i);
+        }
+        // A balanced tree of 1024 nodes has height ~10..=14; a degenerate list
+        // would be 1024.
+        assert!(map.height() <= 14, "height {} too large", map.height());
+    }
+
+    #[test]
+    fn range_query_returns_inclusive_bounds() {
+        let mut map = AvlMap::new();
+        for i in 0..50 {
+            map.insert(i, i * 2);
+        }
+        let range: Vec<i32> = map.range_inclusive(&10, &15).iter().map(|(k, _)| **k).collect();
+        assert_eq!(range, vec![10, 11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut map = AvlMap::new();
+        map.insert("a", 1);
+        *map.get_mut(&"a").unwrap() += 10;
+        assert_eq!(map.get(&"a"), Some(&11));
+        assert_eq!(map.get_mut(&"zzz"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec((0u16..500, 0u8..3, any::<u32>()), 0..400)) {
+            let mut avl = AvlMap::new();
+            let mut reference = BTreeMap::new();
+            for (key, op, value) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(avl.insert(key, value), reference.insert(key, value));
+                    }
+                    1 => {
+                        prop_assert_eq!(avl.remove(&key), reference.remove(&key));
+                    }
+                    _ => {
+                        prop_assert_eq!(avl.get(&key), reference.get(&key));
+                    }
+                }
+                prop_assert_eq!(avl.len(), reference.len());
+            }
+            let avl_items: Vec<(u16, u32)> = avl.iter().map(|(k, v)| (*k, *v)).collect();
+            let ref_items: Vec<(u16, u32)> = reference.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(avl_items, ref_items);
+            // AVL invariant: height is O(log n).
+            if !avl.is_empty() {
+                let bound = (1.45 * ((avl.len() + 2) as f64).log2()).ceil() as i32 + 1;
+                prop_assert!(avl.height() <= bound);
+            }
+        }
+    }
+}

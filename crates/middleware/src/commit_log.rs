@@ -1,0 +1,117 @@
+//! The middleware's commit/abort decision log.
+//!
+//! Algorithm 1 flushes a commit/abort record before dispatching the decision
+//! so that a crashed middleware can finish in-doubt transactions after a
+//! restart (§V-A). The log is the only durable state of the otherwise
+//! stateless middleware; in the simulation it is an in-memory structure that
+//! survives a simulated middleware crash (it models a local disk or a
+//! replicated log service).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_simrt::sleep;
+
+/// The durable decision for a global transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// All participants voted yes; the transaction commits.
+    Commit,
+    /// The transaction aborts.
+    Abort,
+}
+
+/// The durable commit/abort log.
+pub struct CommitLog {
+    entries: RefCell<HashMap<u64, Decision>>,
+    flush_cost: Duration,
+    flushes: RefCell<u64>,
+}
+
+impl CommitLog {
+    /// Create a log whose flush costs `flush_cost` of virtual time.
+    pub fn new(flush_cost: Duration) -> Rc<Self> {
+        Rc::new(Self {
+            entries: RefCell::new(HashMap::new()),
+            flush_cost,
+            flushes: RefCell::new(0),
+        })
+    }
+
+    /// Record and flush the decision for `gtrid`. The await models the fsync
+    /// (or quorum write) the paper's `FlushLog` performs.
+    pub async fn flush_decision(&self, gtrid: u64, decision: Decision) {
+        self.entries.borrow_mut().insert(gtrid, decision);
+        *self.flushes.borrow_mut() += 1;
+        if !self.flush_cost.is_zero() {
+            sleep(self.flush_cost).await;
+        }
+    }
+
+    /// Look up the durable decision for a transaction, if any.
+    pub fn decision(&self, gtrid: u64) -> Option<Decision> {
+        self.entries.borrow().get(&gtrid).copied()
+    }
+
+    /// Number of decisions recorded.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of flush operations performed.
+    pub fn flush_count(&self) -> u64 {
+        *self.flushes.borrow()
+    }
+
+    /// Drop entries for completed transactions (checkpointing); retains the
+    /// given set of still-in-flight transactions.
+    pub fn truncate_except(&self, keep: &[u64]) {
+        self.entries.borrow_mut().retain(|g, _| keep.contains(g));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_simrt::Runtime;
+
+    #[test]
+    fn decisions_are_durable_and_flushes_counted() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let log = CommitLog::new(Duration::from_millis(1));
+            assert!(log.is_empty());
+            log.flush_decision(1, Decision::Commit).await;
+            log.flush_decision(2, Decision::Abort).await;
+            assert_eq!(log.decision(1), Some(Decision::Commit));
+            assert_eq!(log.decision(2), Some(Decision::Abort));
+            assert_eq!(log.decision(3), None);
+            assert_eq!(log.len(), 2);
+            assert_eq!(log.flush_count(), 2);
+        });
+        // Two 1ms flushes => 2ms of virtual time.
+        assert_eq!(rt.now_micros(), 2_000);
+    }
+
+    #[test]
+    fn truncate_keeps_only_in_flight_entries() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let log = CommitLog::new(Duration::ZERO);
+            for g in 0..10 {
+                log.flush_decision(g, Decision::Commit).await;
+            }
+            log.truncate_except(&[7, 9]);
+            assert_eq!(log.len(), 2);
+            assert_eq!(log.decision(7), Some(Decision::Commit));
+            assert_eq!(log.decision(0), None);
+        });
+    }
+}

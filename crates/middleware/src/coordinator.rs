@@ -1,0 +1,843 @@
+//! The transaction manager / coordinator of the middleware layer.
+//!
+//! One [`Middleware`] instance plays the role the paper assigns to the
+//! enhanced ShardingSphere proxy: it parses and routes client transactions,
+//! coordinates the XA protocol across the geo-distributed data sources, runs
+//! the geo-scheduler, and recovers in-doubt transactions after failures.
+//!
+//! The same coordinator implements every protocol the paper evaluates, chosen
+//! by [`Protocol`]:
+//!
+//! | Protocol        | prepare                    | scheduling                 |
+//! |-----------------|----------------------------|----------------------------|
+//! | `SspXa`         | explicit WAN prepare round | none                       |
+//! | `SspLocal`      | none (1PC, no atomicity)   | none                       |
+//! | `Quro`          | explicit WAN prepare round | writes reordered last      |
+//! | `Chiller`       | merged into execution      | remote-first sequencing    |
+//! | `GeoTp{..}`     | decentralized (geo-agent)  | O2 latency-aware, O3 heuristics |
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::{
+    DataSource, DsConnection, DsOperation, PrepareVote, StatementOutcome, StatementRequest,
+};
+use geotp_net::{LatencyMonitor, MonitorConfig, Network, NodeId};
+use geotp_simrt::{join_all, now, sleep, spawn};
+use geotp_storage::Xid;
+
+use crate::commit_log::{CommitLog, Decision};
+use crate::metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnOutcome};
+use crate::notify_hub::NotifyHub;
+use crate::ops::{ClientOp, TransactionSpec};
+use crate::parser::{Catalog, SqlParser, TxnControl};
+use crate::router::Partitioner;
+use crate::scheduler::{AdmissionDecision, BranchPlan, GeoScheduler, Schedule, SchedulerConfig};
+
+/// The commit protocol / optimization set the coordinator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Apache ShardingSphere baseline: classic XA with explicit prepare and
+    /// commit WAN round trips.
+    SspXa,
+    /// ShardingSphere "local" mode: one-phase commit on every branch, no
+    /// atomicity guarantee (the paper's peak-performance reference).
+    SspLocal,
+    /// QURO: write operations are reordered to the end of the execution phase
+    /// to delay exclusive lock acquisition; commit is classic XA.
+    Quro,
+    /// Chiller: the prepare phase is merged into execution and the lowest-RTT
+    /// ("inner region") subtransaction runs after the others complete.
+    Chiller,
+    /// GeoTP. O1 (decentralized prepare + early abort) is always on;
+    /// `latency_scheduling` enables O2 and `advanced` enables O3.
+    GeoTp {
+        /// O2: latency-aware postponing of subtransactions.
+        latency_scheduling: bool,
+        /// O3: hotspot forecasting and late transaction scheduling.
+        advanced: bool,
+    },
+}
+
+impl Protocol {
+    /// GeoTP with every optimization enabled (O1–O3).
+    pub fn geotp() -> Self {
+        Protocol::GeoTp {
+            latency_scheduling: true,
+            advanced: true,
+        }
+    }
+
+    /// GeoTP with only the decentralized prepare (O1).
+    pub fn geotp_o1() -> Self {
+        Protocol::GeoTp {
+            latency_scheduling: false,
+            advanced: false,
+        }
+    }
+
+    /// GeoTP with decentralized prepare and latency-aware scheduling (O1–O2).
+    pub fn geotp_o1_o2() -> Self {
+        Protocol::GeoTp {
+            latency_scheduling: true,
+            advanced: false,
+        }
+    }
+
+    /// Whether branches prepare themselves at the geo-agent (O1 / Chiller).
+    pub fn decentralized_prepare(&self) -> bool {
+        matches!(self, Protocol::GeoTp { .. } | Protocol::Chiller)
+    }
+
+    /// Whether geo-agents proactively abort sibling branches on failure.
+    pub fn early_abort(&self) -> bool {
+        matches!(self, Protocol::GeoTp { .. })
+    }
+
+    /// Whether the geo-scheduler postpones subtransactions (O2).
+    pub fn latency_scheduling(&self) -> bool {
+        matches!(
+            self,
+            Protocol::GeoTp {
+                latency_scheduling: true,
+                ..
+            }
+        )
+    }
+
+    /// Whether the high-contention heuristics are enabled (O3).
+    pub fn advanced(&self) -> bool {
+        matches!(self, Protocol::GeoTp { advanced: true, .. })
+    }
+
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::SspXa => "SSP",
+            Protocol::SspLocal => "SSP(local)",
+            Protocol::Quro => "QURO",
+            Protocol::Chiller => "Chiller",
+            Protocol::GeoTp {
+                latency_scheduling: false,
+                advanced: false,
+            } => "GeoTP(O1)",
+            Protocol::GeoTp {
+                latency_scheduling: true,
+                advanced: false,
+            } => "GeoTP(O1-O2)",
+            Protocol::GeoTp { .. } => "GeoTP",
+        }
+    }
+}
+
+/// Middleware configuration.
+#[derive(Debug, Clone)]
+pub struct MiddlewareConfig {
+    /// The middleware's node identity.
+    pub node: NodeId,
+    /// Commit protocol / optimization set.
+    pub protocol: Protocol,
+    /// Data partitioning scheme.
+    pub partitioner: Partitioner,
+    /// RTT monitor configuration.
+    pub monitor: MonitorConfig,
+    /// Whether to spawn the background ping tasks (disable in unit tests that
+    /// want a perfectly quiet network).
+    pub background_monitor: bool,
+    /// Base scheduler configuration (retries, backoff, hotspot, seed). The
+    /// O2/O3 switches are derived from [`MiddlewareConfig::protocol`].
+    pub scheduler: SchedulerConfig,
+    /// Virtual-time cost of parsing/routing/scheduling one transaction
+    /// (the "Analysis" slice of Fig. 6c).
+    pub analysis_cost: Duration,
+    /// Virtual-time cost of flushing the commit/abort log.
+    pub log_flush_cost: Duration,
+}
+
+impl MiddlewareConfig {
+    /// Reasonable defaults for the given node, protocol and partitioner.
+    pub fn new(node: NodeId, protocol: Protocol, partitioner: Partitioner) -> Self {
+        Self {
+            node,
+            protocol,
+            partitioner,
+            monitor: MonitorConfig::default(),
+            background_monitor: false,
+            scheduler: SchedulerConfig::default(),
+            analysis_cost: Duration::from_micros(1000),
+            log_flush_cost: Duration::from_micros(500),
+        }
+    }
+}
+
+/// The database middleware instance.
+pub struct Middleware {
+    config: MiddlewareConfig,
+    net: Rc<Network>,
+    connections: HashMap<u32, DsConnection>,
+    monitor: Rc<LatencyMonitor>,
+    scheduler: Rc<GeoScheduler>,
+    hub: Rc<NotifyHub>,
+    commit_log: Rc<CommitLog>,
+    next_txn: Cell<u64>,
+    stats: RefCell<MiddlewareStats>,
+    catalog: RefCell<Catalog>,
+}
+
+impl Middleware {
+    /// Connect a middleware to a set of data sources over the simulated
+    /// network. `commit_log` may be shared across restarts to exercise the
+    /// recovery path; pass `None` to create a fresh log.
+    pub fn connect(
+        config: MiddlewareConfig,
+        net: Rc<Network>,
+        data_sources: &[Rc<DataSource>],
+        commit_log: Option<Rc<CommitLog>>,
+    ) -> Rc<Self> {
+        let hub = NotifyHub::start();
+        let mut connections = HashMap::new();
+        let mut targets = Vec::new();
+        for ds in data_sources {
+            ds.register_middleware(config.node, hub.sender());
+            connections.insert(ds.index(), DsConnection::new(config.node, Rc::clone(ds), Rc::clone(&net)));
+            targets.push(ds.node());
+        }
+        let monitor = if config.background_monitor {
+            LatencyMonitor::start(Rc::clone(&net), config.node, &targets, config.monitor)
+        } else {
+            LatencyMonitor::new(&net, config.node, &targets, config.monitor)
+        };
+        let mut scheduler_config = config.scheduler;
+        scheduler_config.latency_aware = config.protocol.latency_scheduling();
+        scheduler_config.advanced = config.protocol.advanced();
+        let scheduler = Rc::new(GeoScheduler::new(scheduler_config, Rc::clone(&monitor)));
+        let commit_log =
+            commit_log.unwrap_or_else(|| CommitLog::new(config.log_flush_cost));
+        Rc::new(Self {
+            config,
+            net,
+            connections,
+            monitor,
+            scheduler,
+            hub,
+            commit_log,
+            next_txn: Cell::new(1),
+            stats: RefCell::new(MiddlewareStats::default()),
+            catalog: RefCell::new(Catalog::new()),
+        })
+    }
+
+    /// The middleware's node identity.
+    pub fn node(&self) -> NodeId {
+        self.config.node
+    }
+
+    /// The protocol this middleware runs.
+    pub fn protocol(&self) -> Protocol {
+        self.config.protocol
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MiddlewareStats {
+        *self.stats.borrow()
+    }
+
+    /// The RTT monitor.
+    pub fn monitor(&self) -> &Rc<LatencyMonitor> {
+        &self.monitor
+    }
+
+    /// The geo-scheduler.
+    pub fn scheduler(&self) -> &Rc<GeoScheduler> {
+        &self.scheduler
+    }
+
+    /// The durable commit/abort log (share it with a successor instance to
+    /// exercise middleware failure recovery).
+    pub fn commit_log(&self) -> &Rc<CommitLog> {
+        &self.commit_log
+    }
+
+    /// The simulated network this middleware is attached to.
+    pub fn network(&self) -> &Rc<Network> {
+        &self.net
+    }
+
+    fn alloc_gtrid(&self) -> u64 {
+        let seq = self.next_txn.get();
+        self.next_txn.set(seq + 1);
+        ((self.config.node.index() as u64) << 48) | seq
+    }
+
+    fn conn(&self, ds: u32) -> &DsConnection {
+        self.connections
+            .get(&ds)
+            .unwrap_or_else(|| panic!("no connection to data source {ds}"))
+    }
+
+    fn to_ds_op(op: &ClientOp) -> DsOperation {
+        match op {
+            ClientOp::Read(k) => DsOperation::Read { key: k.storage_key() },
+            ClientOp::ReadForUpdate(k) => DsOperation::ReadForUpdate { key: k.storage_key() },
+            ClientOp::AddInt { key, col, delta } => DsOperation::AddInt {
+                key: key.storage_key(),
+                col: *col,
+                delta: *delta,
+            },
+            ClientOp::Write { key, row } => DsOperation::Write {
+                key: key.storage_key(),
+                row: row.clone(),
+            },
+            ClientOp::Insert { key, row } => DsOperation::Insert {
+                key: key.storage_key(),
+                row: row.clone(),
+            },
+            ClientOp::Delete(k) => DsOperation::Delete { key: k.storage_key() },
+        }
+    }
+
+    /// Execute a SQL script (BEGIN ... COMMIT) as a single transaction.
+    /// Statements between BEGIN and COMMIT become one interactive round each;
+    /// the `/*+ last */` annotation is honoured.
+    pub async fn run_sql(self: &Rc<Self>, script: &str) -> Result<TxnOutcome, crate::parser::ParseError> {
+        let statements = {
+            let mut catalog = self.catalog.borrow_mut();
+            let mut parser = SqlParser::new();
+            std::mem::swap(parser.catalog_mut(), &mut catalog);
+            let parsed = parser.parse_script(script);
+            std::mem::swap(parser.catalog_mut(), &mut catalog);
+            parsed?
+        };
+        let mut rounds: Vec<Vec<ClientOp>> = Vec::new();
+        let mut annotate_last = false;
+        let mut rollback = false;
+        for stmt in statements {
+            if let Some(ctrl) = stmt.control {
+                match ctrl {
+                    TxnControl::Begin => {}
+                    TxnControl::Commit => break,
+                    TxnControl::Rollback => {
+                        rollback = true;
+                        break;
+                    }
+                }
+                continue;
+            }
+            if let Some(op) = stmt.op {
+                rounds.push(vec![op]);
+                if stmt.is_last {
+                    annotate_last = true;
+                }
+            }
+        }
+        if rollback || rounds.is_empty() {
+            return Ok(TxnOutcome::aborted(
+                AbortReason::ClientRollback,
+                Duration::ZERO,
+                false,
+            ));
+        }
+        let mut spec = TransactionSpec::multi_round(rounds);
+        spec.annotate_last = annotate_last || spec.rounds.len() == 1;
+        Ok(self.run_transaction(&spec).await)
+    }
+
+    /// Run one client transaction end to end and return its outcome.
+    pub async fn run_transaction(self: &Rc<Self>, spec: &TransactionSpec) -> TxnOutcome {
+        let started = now();
+        let mut breakdown = LatencyBreakdown::default();
+
+        // ------------------------------------------------------------------
+        // Analysis: parse, route, plan (Fig. 6c "Analysis").
+        // ------------------------------------------------------------------
+        sleep(self.config.analysis_cost).await;
+        breakdown.analysis = self.config.analysis_cost;
+
+        let keys = spec.keys();
+        let involved = self.config.partitioner.involved_nodes(&keys);
+        let distributed = involved.len() > 1;
+        let gtrid = self.alloc_gtrid();
+        self.hub.register(gtrid);
+        let advanced = self.config.protocol.advanced();
+        if advanced {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_access_start(&keys);
+        }
+
+        let finish = |outcome: TxnOutcome| {
+            self.hub.unregister(gtrid);
+            if advanced {
+                self.scheduler
+                    .footprint()
+                    .borrow_mut()
+                    .on_txn_finish(&keys, outcome.committed);
+            }
+            self.stats.borrow_mut().record(&outcome);
+            outcome
+        };
+
+        // ------------------------------------------------------------------
+        // Execution phase: dispatch each round to the involved data sources.
+        // ------------------------------------------------------------------
+        let exec_started = now();
+        let mut started_branches: Vec<u32> = Vec::new();
+        let mut rows = Vec::new();
+        let total_rounds = spec.rounds.len();
+
+        for (round_idx, round_ops) in spec.rounds.iter().enumerate() {
+            let mut groups: Vec<(u32, Vec<ClientOp>)> = self
+                .config
+                .partitioner
+                .split(round_ops)
+                .into_iter()
+                .map(|(ds, ops)| (ds, ops.into_iter().cloned().collect()))
+                .collect();
+
+            // QURO: delay exclusive-lock acquisition by moving writes last.
+            if matches!(self.config.protocol, Protocol::Quro) {
+                for (_, ops) in groups.iter_mut() {
+                    ops.sort_by_key(|op| op.is_write());
+                }
+            }
+
+            // Build the scheduling plan for this round.
+            let plans: Vec<BranchPlan> = groups
+                .iter()
+                .map(|(ds, ops)| BranchPlan {
+                    ds_index: *ds,
+                    keys: ops.iter().map(ClientOp::key).collect(),
+                })
+                .collect();
+
+            let schedule = if matches!(self.config.protocol, Protocol::GeoTp { .. }) {
+                if advanced && round_idx == 0 {
+                    match self.scheduler.schedule_with_admission(&plans) {
+                        AdmissionDecision::Admit(s) => s,
+                        AdmissionDecision::Reject { attempts } => {
+                            // Late transaction scheduling kept this transaction
+                            // back; charge the backoff and abort it.
+                            let backoff = self.config.scheduler.retry_backoff * attempts;
+                            sleep(backoff).await;
+                            let outcome = TxnOutcome::aborted(
+                                AbortReason::AdmissionRejected,
+                                now().duration_since(started),
+                                distributed,
+                            );
+                            return finish(outcome);
+                        }
+                    }
+                } else {
+                    self.scheduler.schedule(&plans)
+                }
+            } else {
+                Schedule {
+                    postpone: vec![Duration::ZERO; plans.len()],
+                    horizon: Duration::ZERO,
+                }
+            };
+            self.stats.borrow_mut().total_postpone_micros += schedule
+                .postpone
+                .iter()
+                .map(|d| d.as_micros() as u64)
+                .sum::<u64>();
+
+            // Assemble the per-branch requests.
+            let decentralized = self.config.protocol.decentralized_prepare() && spec.annotate_last;
+            let mut requests = Vec::new();
+            for (ds, ops) in &groups {
+                let later_rounds_touch_ds = spec.rounds[round_idx + 1..].iter().any(|round| {
+                    round
+                        .iter()
+                        .any(|op| self.config.partitioner.route(op.key()) == *ds)
+                });
+                let is_last = decentralized && !later_rounds_touch_ds;
+                requests.push(StatementRequest {
+                    xid: Xid::new(gtrid, *ds),
+                    begin: !started_branches.contains(ds),
+                    ops: ops.iter().map(Self::to_ds_op).collect(),
+                    is_last,
+                    decentralized_prepare: decentralized,
+                    early_abort: self.config.protocol.early_abort() && distributed,
+                    peers: if distributed {
+                        involved.iter().copied().filter(|p| p != ds).collect()
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
+            for (ds, _) in &groups {
+                if !started_branches.contains(ds) {
+                    started_branches.push(*ds);
+                }
+            }
+
+            // Dispatch.
+            let responses = match self.config.protocol {
+                Protocol::Chiller if groups.len() > 1 => {
+                    self.dispatch_chiller(&groups, requests).await
+                }
+                _ => self.dispatch_parallel(&groups, requests, &schedule).await,
+            };
+
+            // Feedback + failure handling.
+            let mut failed = false;
+            for ((ds, ops), response) in groups.iter().zip(&responses) {
+                if advanced {
+                    let branch_keys: Vec<_> = ops.iter().map(ClientOp::key).collect();
+                    self.scheduler
+                        .footprint()
+                        .borrow_mut()
+                        .on_subtxn_feedback(&branch_keys, response.local_execution_latency);
+                }
+                match &response.outcome {
+                    StatementOutcome::Ok { rows: r } => rows.extend(r.iter().cloned()),
+                    StatementOutcome::Failed { .. } => {
+                        failed = true;
+                        let _ = ds;
+                    }
+                }
+            }
+
+            if failed {
+                breakdown.execution = now().duration_since(exec_started);
+                self.abort_started_branches(gtrid, &started_branches, &groups, &responses)
+                    .await;
+                let outcome = TxnOutcome {
+                    committed: false,
+                    abort_reason: Some(AbortReason::ExecutionFailed),
+                    latency: now().duration_since(started),
+                    breakdown,
+                    distributed,
+                    rows: Vec::new(),
+                };
+                return finish(outcome);
+            }
+
+            let _ = (round_idx, total_rounds);
+        }
+        breakdown.execution = now().duration_since(exec_started);
+
+        // ------------------------------------------------------------------
+        // Commit phase.
+        // ------------------------------------------------------------------
+        let commit_outcome = self
+            .commit_phase(gtrid, &involved, distributed, spec.annotate_last, &mut breakdown)
+            .await;
+
+        let outcome = TxnOutcome {
+            committed: commit_outcome.is_ok(),
+            abort_reason: commit_outcome.err(),
+            latency: now().duration_since(started),
+            breakdown,
+            distributed,
+            rows,
+        };
+        finish(outcome)
+    }
+
+    /// Dispatch every branch of a round concurrently, honouring the
+    /// scheduler's postpone amounts.
+    async fn dispatch_parallel(
+        &self,
+        groups: &[(u32, Vec<ClientOp>)],
+        requests: Vec<StatementRequest>,
+        schedule: &Schedule,
+    ) -> Vec<geotp_datasource::StatementResponse> {
+        let mut futures = Vec::new();
+        for (idx, ((ds, _), request)) in groups.iter().zip(requests).enumerate() {
+            let conn = self.conn(*ds).clone();
+            let postpone = schedule.postpone.get(idx).copied().unwrap_or(Duration::ZERO);
+            futures.push(async move {
+                if !postpone.is_zero() {
+                    sleep(postpone).await;
+                }
+                conn.execute(request).await
+            });
+        }
+        join_all(futures).await
+    }
+
+    /// Chiller's sequencing: the cross-region (higher RTT) branches execute
+    /// first and concurrently; the intra-region (lowest RTT) branch executes
+    /// only after they finish, shrinking its lock span.
+    async fn dispatch_chiller(
+        &self,
+        groups: &[(u32, Vec<ClientOp>)],
+        requests: Vec<StatementRequest>,
+    ) -> Vec<geotp_datasource::StatementResponse> {
+        // Find the branch with the smallest RTT ("inner region").
+        let mut min_idx = 0;
+        let mut min_rtt = Duration::MAX;
+        for (idx, (ds, _)) in groups.iter().enumerate() {
+            let rtt = self.monitor.rtt(NodeId::data_source(*ds));
+            if rtt < min_rtt {
+                min_rtt = rtt;
+                min_idx = idx;
+            }
+        }
+        let mut outer = Vec::new();
+        let mut inner = None;
+        for (idx, ((ds, _), request)) in groups.iter().zip(requests).enumerate() {
+            let conn = self.conn(*ds).clone();
+            if idx == min_idx {
+                inner = Some((idx, conn, request));
+            } else {
+                outer.push((idx, conn, request));
+            }
+        }
+        let mut responses: Vec<Option<geotp_datasource::StatementResponse>> =
+            (0..groups.len()).map(|_| None).collect();
+        let outer_results = join_all(
+            outer
+                .into_iter()
+                .map(|(idx, conn, request)| async move { (idx, conn.execute(request).await) })
+                .collect(),
+        )
+        .await;
+        for (idx, resp) in outer_results {
+            responses[idx] = Some(resp);
+        }
+        let (idx, conn, request) = inner.expect("chiller dispatch requires at least one branch");
+        responses[idx] = Some(conn.execute(request).await);
+        responses.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// Abort path after an execution failure.
+    async fn abort_started_branches(
+        &self,
+        gtrid: u64,
+        started: &[u32],
+        groups: &[(u32, Vec<ClientOp>)],
+        responses: &[geotp_datasource::StatementResponse],
+    ) {
+        // Branches whose statement failed have already been rolled back by
+        // their geo-agent.
+        let failed_here: Vec<u32> = groups
+            .iter()
+            .zip(responses)
+            .filter(|(_, r)| !r.outcome.is_ok())
+            .map(|((ds, _), _)| *ds)
+            .collect();
+        if self.config.protocol.early_abort() {
+            // The failing geo-agent has notified its peers directly; the
+            // middleware only waits for the rollback confirmations.
+            let waiting: Vec<u32> = started.to_vec();
+            if !waiting.is_empty() {
+                self.hub.wait_for_rollbacks(gtrid, &waiting).await;
+            }
+            return;
+        }
+        // Classic path: the middleware dispatches rollbacks itself.
+        let mut futures = Vec::new();
+        for ds in started {
+            if failed_here.contains(ds) {
+                continue;
+            }
+            let conn = self.conn(*ds).clone();
+            let xid = Xid::new(gtrid, *ds);
+            futures.push(async move {
+                let _ = conn.rollback(xid).await;
+            });
+        }
+        join_all(futures).await;
+    }
+
+    /// Commit phase, per protocol. Returns `Ok(())` on commit or the abort
+    /// reason.
+    async fn commit_phase(
+        &self,
+        gtrid: u64,
+        involved: &[u32],
+        distributed: bool,
+        annotated: bool,
+        breakdown: &mut LatencyBreakdown,
+    ) -> Result<(), AbortReason> {
+        // Centralized transaction: a single one-phase commit round trip.
+        if !distributed {
+            let ds = involved[0];
+            let flush_started = now();
+            self.commit_log.flush_decision(gtrid, Decision::Commit).await;
+            breakdown.log_flush = now().duration_since(flush_started);
+            let commit_started = now();
+            let result = self.conn(ds).commit(Xid::new(gtrid, ds), true).await;
+            breakdown.commit = now().duration_since(commit_started);
+            return match result {
+                Ok(()) => Ok(()),
+                Err(_) => Err(AbortReason::PrepareFailed),
+            };
+        }
+
+        let protocol = self.config.protocol;
+        match protocol {
+            Protocol::GeoTp { .. } | Protocol::Chiller if annotated => {
+                self.stats.borrow_mut().decentralized_prepares += 1;
+                // Wait for the asynchronous prepare votes pushed by the
+                // geo-agents (no extra WAN round trip).
+                let wait_started = now();
+                let votes = self.hub.wait_for_votes(gtrid, involved).await;
+                breakdown.prepare_wait = now().duration_since(wait_started);
+                let all_yes = involved
+                    .iter()
+                    .all(|ds| votes.get(ds).map(|v| v.is_yes()).unwrap_or(false));
+                self.decide_and_dispatch(gtrid, involved, all_yes, &votes, breakdown)
+                    .await
+            }
+            Protocol::SspLocal => {
+                // One-phase commit everywhere, no vote collection.
+                let flush_started = now();
+                self.commit_log.flush_decision(gtrid, Decision::Commit).await;
+                breakdown.log_flush = now().duration_since(flush_started);
+                let commit_started = now();
+                let results = join_all(
+                    involved
+                        .iter()
+                        .map(|ds| {
+                            let conn = self.conn(*ds).clone();
+                            let xid = Xid::new(gtrid, *ds);
+                            async move { conn.commit(xid, true).await }
+                        })
+                        .collect(),
+                )
+                .await;
+                breakdown.commit = now().duration_since(commit_started);
+                // No atomicity guarantee: report commit if any branch made it.
+                if results.iter().any(Result::is_ok) {
+                    Ok(())
+                } else {
+                    Err(AbortReason::PrepareFailed)
+                }
+            }
+            _ => {
+                // Classic XA: explicit prepare round trip (SSP, QURO, and any
+                // GeoTP transaction the client did not annotate).
+                let wait_started = now();
+                let votes_vec = join_all(
+                    involved
+                        .iter()
+                        .map(|ds| {
+                            let conn = self.conn(*ds).clone();
+                            let xid = Xid::new(gtrid, *ds);
+                            async move { (xid.bqual, conn.prepare(xid).await) }
+                        })
+                        .collect(),
+                )
+                .await;
+                breakdown.prepare_wait = now().duration_since(wait_started);
+                let votes: HashMap<u32, PrepareVote> = votes_vec.into_iter().collect();
+                let all_yes = involved
+                    .iter()
+                    .all(|ds| votes.get(ds).map(|v| v.is_yes()).unwrap_or(false));
+                self.decide_and_dispatch(gtrid, involved, all_yes, &votes, breakdown)
+                    .await
+            }
+        }
+    }
+
+    /// Flush the decision and dispatch commit/rollback to every branch.
+    async fn decide_and_dispatch(
+        &self,
+        gtrid: u64,
+        involved: &[u32],
+        all_yes: bool,
+        votes: &HashMap<u32, PrepareVote>,
+        breakdown: &mut LatencyBreakdown,
+    ) -> Result<(), AbortReason> {
+        let flush_started = now();
+        let decision = if all_yes { Decision::Commit } else { Decision::Abort };
+        self.commit_log.flush_decision(gtrid, decision).await;
+        breakdown.log_flush = now().duration_since(flush_started);
+
+        let commit_started = now();
+        if all_yes {
+            let results = join_all(
+                involved
+                    .iter()
+                    .map(|ds| {
+                        let conn = self.conn(*ds).clone();
+                        let xid = Xid::new(gtrid, *ds);
+                        let one_phase = votes.get(ds) == Some(&PrepareVote::Idle);
+                        async move { conn.commit(xid, one_phase).await }
+                    })
+                    .collect(),
+            )
+            .await;
+            breakdown.commit = now().duration_since(commit_started);
+            if results.iter().all(Result::is_ok) {
+                Ok(())
+            } else {
+                Err(AbortReason::PrepareFailed)
+            }
+        } else {
+            // Abort: branches that already rolled back (no-vote / rollbacked)
+            // need nothing; the rest are told to roll back.
+            let to_rollback: Vec<u32> = involved
+                .iter()
+                .copied()
+                .filter(|ds| votes.get(ds).map(|v| v.is_yes()).unwrap_or(false))
+                .collect();
+            join_all(
+                to_rollback
+                    .iter()
+                    .map(|ds| {
+                        let conn = self.conn(*ds).clone();
+                        let xid = Xid::new(gtrid, *ds);
+                        async move {
+                            let _ = conn.rollback(xid).await;
+                        }
+                    })
+                    .collect(),
+            )
+            .await;
+            breakdown.commit = now().duration_since(commit_started);
+            Err(AbortReason::PrepareFailed)
+        }
+    }
+
+    /// Middleware failure recovery (§V-A): query every data source for
+    /// prepared-but-undecided branches and finish them according to the
+    /// durable commit log — commit if a commit decision was flushed, abort
+    /// otherwise. Returns `(committed, aborted)` branch counts.
+    pub async fn recover(&self) -> (usize, usize) {
+        let mut committed = 0;
+        let mut aborted = 0;
+        for conn in self.connections.values() {
+            let prepared = conn.recover_prepared().await;
+            for xid in prepared {
+                match self.commit_log.decision(xid.gtrid) {
+                    Some(Decision::Commit) => {
+                        if conn.commit(xid, false).await.is_ok() {
+                            committed += 1;
+                        }
+                    }
+                    Some(Decision::Abort) | None => {
+                        let _ = conn.rollback(xid).await;
+                        aborted += 1;
+                    }
+                }
+            }
+        }
+        (committed, aborted)
+    }
+
+    /// Spawn a background task running `count` transactions from an async
+    /// generator closure — a small helper for driver loops in examples.
+    pub fn spawn_client<F, Fut>(self: &Rc<Self>, count: usize, mut make: F) -> geotp_simrt::JoinHandle<Vec<TxnOutcome>>
+    where
+        F: FnMut(usize) -> Fut + 'static,
+        Fut: std::future::Future<Output = TransactionSpec> + 'static,
+    {
+        let mw = Rc::clone(self);
+        spawn(async move {
+            let mut outcomes = Vec::with_capacity(count);
+            for i in 0..count {
+                let spec = make(i).await;
+                outcomes.push(mw.run_transaction(&spec).await);
+            }
+            outcomes
+        })
+    }
+}

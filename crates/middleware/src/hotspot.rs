@@ -1,0 +1,350 @@
+//! Hotspot footprint: per-record statistics powering the high-contention
+//! optimizations (paper §IV-C).
+//!
+//! For each hot record `r` the footprint maintains the four fields the paper
+//! defines:
+//!
+//! * `w_lat(r)`  — weighted average latency of subtransactions completing
+//!   operations on `r` (updated with Eq. 4),
+//! * `t_cnt(r)`  — total number of transactions that have accessed `r`,
+//! * `c_cnt(r)`  — number of committed transactions that accessed `r`,
+//! * `a_cnt(r)`  — number of transactions currently accessing `r`.
+//!
+//! Records live in an [`AvlMap`] (point/range lookups in `O(log n)`) and an
+//! LRU list evicts cold records so memory stays bounded.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crate::avl::AvlMap;
+use crate::ops::GlobalKey;
+
+/// Statistics for one hot record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotRecordStats {
+    /// Weighted average completion latency attributed to this record (seconds).
+    pub w_lat: f64,
+    /// Total transactions that accessed the record.
+    pub t_cnt: u64,
+    /// Committed transactions that accessed the record.
+    pub c_cnt: u64,
+    /// Transactions currently accessing the record.
+    pub a_cnt: u64,
+    /// Monotonic touch counter used for LRU eviction.
+    last_touch: u64,
+}
+
+impl HotRecordStats {
+    fn new(touch: u64) -> Self {
+        Self {
+            w_lat: 0.0,
+            t_cnt: 0,
+            c_cnt: 0,
+            a_cnt: 0,
+            last_touch: touch,
+        }
+    }
+
+    /// The success ratio `c_cnt / t_cnt`, defaulting to 1 when unknown.
+    pub fn success_ratio(&self) -> f64 {
+        if self.t_cnt == 0 {
+            1.0
+        } else {
+            self.c_cnt as f64 / self.t_cnt as f64
+        }
+    }
+}
+
+/// Configuration of the hotspot footprint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotConfig {
+    /// Maximum number of records tracked before LRU eviction kicks in.
+    pub capacity: usize,
+    /// EWMA coefficient `α` of Eq. 4 (weight of the previous estimate).
+    pub alpha: f64,
+    /// Scale-down factor applied to forecasts before they feed the scheduler
+    /// (the paper suggests scaling predictions down when they prove
+    /// inaccurate, §IV-C).
+    pub forecast_scale: f64,
+}
+
+impl Default for HotspotConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 10_000,
+            alpha: 0.7,
+            forecast_scale: 1.0,
+        }
+    }
+}
+
+/// The hotspot footprint table.
+pub struct HotspotFootprint {
+    config: HotspotConfig,
+    records: AvlMap<GlobalKey, HotRecordStats>,
+    /// LRU queue of (key, touch) pairs; stale entries are skipped on eviction.
+    lru: VecDeque<(GlobalKey, u64)>,
+    touch_counter: u64,
+    evictions: u64,
+}
+
+impl HotspotFootprint {
+    /// Create a footprint with the given configuration.
+    pub fn new(config: HotspotConfig) -> Self {
+        Self {
+            config,
+            records: AvlMap::new(),
+            lru: VecDeque::new(),
+            touch_counter: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Create a footprint with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(HotspotConfig::default())
+    }
+
+    /// Number of records currently tracked.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no records are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of LRU evictions performed.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Snapshot of a record's statistics.
+    pub fn stats(&self, key: GlobalKey) -> Option<HotRecordStats> {
+        self.records.get(&key).copied()
+    }
+
+    fn touch(&mut self, key: GlobalKey) -> &mut HotRecordStats {
+        self.touch_counter += 1;
+        let touch = self.touch_counter;
+        if !self.records.contains_key(&key) {
+            self.records.insert(key, HotRecordStats::new(touch));
+            self.maybe_evict();
+        }
+        let entry = self.records.get_mut(&key).expect("just inserted");
+        entry.last_touch = touch;
+        self.lru.push_back((key, touch));
+        entry
+    }
+
+    fn maybe_evict(&mut self) {
+        while self.records.len() > self.config.capacity {
+            let Some((candidate, touch)) = self.lru.pop_front() else {
+                return;
+            };
+            let evict = match self.records.get(&candidate) {
+                // Only evict if this LRU entry is the record's latest touch and
+                // nothing is currently accessing it.
+                Some(stats) => stats.last_touch == touch && stats.a_cnt == 0,
+                None => false,
+            };
+            if evict {
+                self.records.remove(&candidate);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Register that a transaction is about to access `keys`
+    /// (increments `t_cnt` and `a_cnt`).
+    pub fn on_access_start(&mut self, keys: &[GlobalKey]) {
+        for key in keys {
+            let entry = self.touch(*key);
+            entry.t_cnt += 1;
+            entry.a_cnt += 1;
+        }
+    }
+
+    /// Feedback after one subtransaction completes: distribute its measured
+    /// local execution latency across the records it accessed using the
+    /// weighted-average update of Eq. 4.
+    pub fn on_subtxn_feedback(&mut self, keys: &[GlobalKey], local_execution_latency: Duration) {
+        if keys.is_empty() {
+            return;
+        }
+        let lel = local_execution_latency.as_secs_f64();
+        // Weight w_r = w_lat(r) / Σ w_lat(r_k); fall back to an even split when
+        // no history exists yet.
+        let sum: f64 = keys
+            .iter()
+            .map(|k| self.records.get(k).map(|s| s.w_lat).unwrap_or(0.0))
+            .sum();
+        let alpha = self.config.alpha;
+        for key in keys {
+            let weight = if sum > 0.0 {
+                self.records.get(key).map(|s| s.w_lat).unwrap_or(0.0) / sum
+            } else {
+                1.0 / keys.len() as f64
+            };
+            let entry = self.touch(*key);
+            let observed = lel * weight;
+            if entry.w_lat == 0.0 {
+                entry.w_lat = observed;
+            } else {
+                entry.w_lat = alpha * entry.w_lat + (1.0 - alpha) * observed;
+            }
+        }
+    }
+
+    /// A transaction finished (committed or aborted): decrement `a_cnt` and,
+    /// on commit, increment `c_cnt` for every record it accessed.
+    pub fn on_txn_finish(&mut self, keys: &[GlobalKey], committed: bool) {
+        for key in keys {
+            if let Some(entry) = self.records.get_mut(key) {
+                entry.a_cnt = entry.a_cnt.saturating_sub(1);
+                if committed {
+                    entry.c_cnt += 1;
+                }
+            }
+        }
+    }
+
+    /// Eq. 5: forecast the local execution latency of a subtransaction that
+    /// will access `keys` by summing the per-record weighted latencies.
+    pub fn forecast_local_latency(&self, keys: &[GlobalKey]) -> Duration {
+        let total: f64 = keys
+            .iter()
+            .map(|k| self.records.get(k).map(|s| s.w_lat).unwrap_or(0.0))
+            .sum();
+        Duration::from_secs_f64((total * self.config.forecast_scale).max(0.0))
+    }
+
+    /// Eq. 9: predicted probability that a transaction accessing `keys` will
+    /// successfully acquire all its locks (1 − abort rate).
+    pub fn success_probability(&self, keys: &[GlobalKey]) -> f64 {
+        let mut p = 1.0;
+        for key in keys {
+            if let Some(stats) = self.records.get(key) {
+                let queue = stats.a_cnt.saturating_sub(1);
+                if queue > 0 {
+                    p *= stats.success_ratio().powi(queue as i32);
+                }
+            }
+        }
+        p
+    }
+
+    /// Eq. 9 as stated in the paper: the predicted abort rate.
+    pub fn abort_probability(&self, keys: &[GlobalKey]) -> f64 {
+        1.0 - self.success_probability(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_storage::TableId;
+
+    fn gk(row: u64) -> GlobalKey {
+        GlobalKey::new(TableId(0), row)
+    }
+
+    #[test]
+    fn access_lifecycle_updates_counters() {
+        let mut fp = HotspotFootprint::with_defaults();
+        fp.on_access_start(&[gk(1), gk(2)]);
+        fp.on_access_start(&[gk(1)]);
+        let s1 = fp.stats(gk(1)).unwrap();
+        assert_eq!((s1.t_cnt, s1.a_cnt, s1.c_cnt), (2, 2, 0));
+        fp.on_txn_finish(&[gk(1)], true);
+        fp.on_txn_finish(&[gk(1), gk(2)], false);
+        let s1 = fp.stats(gk(1)).unwrap();
+        assert_eq!((s1.t_cnt, s1.a_cnt, s1.c_cnt), (2, 0, 1));
+        let s2 = fp.stats(gk(2)).unwrap();
+        assert_eq!((s2.t_cnt, s2.a_cnt, s2.c_cnt), (1, 0, 0));
+    }
+
+    #[test]
+    fn feedback_builds_latency_forecast() {
+        let mut fp = HotspotFootprint::with_defaults();
+        let keys = [gk(1), gk(2)];
+        // First observation splits evenly: 5ms each.
+        fp.on_subtxn_feedback(&keys, Duration::from_millis(10));
+        let forecast = fp.forecast_local_latency(&keys);
+        assert_eq!(forecast, Duration::from_millis(10));
+        // Repeated identical observations keep the forecast stable.
+        for _ in 0..10 {
+            fp.on_subtxn_feedback(&keys, Duration::from_millis(10));
+        }
+        let forecast = fp.forecast_local_latency(&keys);
+        assert!((forecast.as_secs_f64() - 0.010).abs() < 1e-6);
+        // A key with no history contributes nothing.
+        assert_eq!(fp.forecast_local_latency(&[gk(99)]), Duration::ZERO);
+    }
+
+    #[test]
+    fn forecast_scale_reduces_prediction() {
+        let mut fp = HotspotFootprint::new(HotspotConfig {
+            forecast_scale: 0.5,
+            ..HotspotConfig::default()
+        });
+        fp.on_subtxn_feedback(&[gk(1)], Duration::from_millis(20));
+        assert_eq!(fp.forecast_local_latency(&[gk(1)]), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn abort_probability_follows_eq9() {
+        let mut fp = HotspotFootprint::with_defaults();
+        // Build history: 10 accesses, 5 commits on record 1.
+        for _ in 0..10 {
+            fp.on_access_start(&[gk(1)]);
+        }
+        for i in 0..10 {
+            fp.on_txn_finish(&[gk(1)], i < 5);
+        }
+        // No one is currently accessing the record: abort probability is 0.
+        assert!(fp.abort_probability(&[gk(1)]).abs() < 1e-9);
+
+        // Three concurrent accessors: queue length for a newcomer is a_cnt-1=2.
+        fp.on_access_start(&[gk(1)]);
+        fp.on_access_start(&[gk(1)]);
+        fp.on_access_start(&[gk(1)]);
+        let stats = fp.stats(gk(1)).unwrap();
+        assert_eq!(stats.a_cnt, 3);
+        // success ratio is now 5/13 (t_cnt grew to 13).
+        let expected_success = (5.0f64 / 13.0).powi(2);
+        assert!((fp.success_probability(&[gk(1)]) - expected_success).abs() < 1e-9);
+        assert!((fp.abort_probability(&[gk(1)]) - (1.0 - expected_success)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_bounds_memory() {
+        let mut fp = HotspotFootprint::new(HotspotConfig {
+            capacity: 100,
+            ..HotspotConfig::default()
+        });
+        for i in 0..1000 {
+            fp.on_access_start(&[gk(i)]);
+            fp.on_txn_finish(&[gk(i)], true);
+        }
+        assert!(fp.len() <= 100, "len {} exceeds capacity", fp.len());
+        assert!(fp.evictions() >= 900);
+        // The most recently touched record is still present.
+        assert!(fp.stats(gk(999)).is_some());
+    }
+
+    #[test]
+    fn records_in_use_are_not_evicted() {
+        let mut fp = HotspotFootprint::new(HotspotConfig {
+            capacity: 10,
+            ..HotspotConfig::default()
+        });
+        fp.on_access_start(&[gk(0)]); // stays in use
+        for i in 1..500 {
+            fp.on_access_start(&[gk(i)]);
+            fp.on_txn_finish(&[gk(i)], true);
+        }
+        assert!(fp.stats(gk(0)).is_some(), "in-use record must survive eviction");
+    }
+}

@@ -1,0 +1,479 @@
+//! # geotp-middleware — the database middleware layer
+//!
+//! This crate implements the first layer of the GeoTP architecture (paper
+//! §III-A): the proxy that accepts client transactions, rewrites them into
+//! per-data-source subtransactions, coordinates the XA protocol and runs the
+//! three GeoTP optimizations:
+//!
+//! * **O1 — decentralized prepare & early abort** ([`coordinator`], together
+//!   with the geo-agents in `geotp-datasource`),
+//! * **O2 — latency-aware scheduling** ([`scheduler`], Eq. 3),
+//! * **O3 — high-contention heuristics** ([`hotspot`] + [`scheduler`],
+//!   Eq. 4/5/8/9 and Algorithm 2's late transaction scheduling).
+//!
+//! The same coordinator also implements the baselines the paper compares
+//! against (SSP, SSP(local), QURO, Chiller) as alternative [`Protocol`]s so
+//! the ablation study is a pure configuration sweep.
+
+pub mod avl;
+pub mod commit_log;
+pub mod coordinator;
+pub mod hotspot;
+pub mod metrics;
+pub mod notify_hub;
+pub mod ops;
+pub mod parser;
+pub mod router;
+pub mod scheduler;
+
+pub use commit_log::{CommitLog, Decision};
+pub use coordinator::{Middleware, MiddlewareConfig, Protocol};
+pub use hotspot::{HotRecordStats, HotspotConfig, HotspotFootprint};
+pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnOutcome};
+pub use ops::{ClientOp, GlobalKey, TransactionSpec};
+pub use parser::{Catalog, ParseError, ParsedStatement, Rewriter, SqlParser, TxnControl};
+pub use router::Partitioner;
+pub use scheduler::{AdmissionDecision, BranchPlan, GeoScheduler, Schedule, SchedulerConfig};
+
+#[cfg(test)]
+mod tests {
+    //! End-to-end middleware tests on a small simulated cluster, checking the
+    //! latency structure the paper's motivating example (Fig. 2 / Fig. 4)
+    //! predicts for each protocol.
+
+    use std::rc::Rc;
+    use std::time::Duration;
+
+    use geotp_datasource::{DataSource, DataSourceConfig, Dialect};
+    use geotp_net::{Network, NetworkBuilder, NodeId};
+    use geotp_simrt::Runtime;
+    use geotp_storage::{CostModel, EngineConfig, Row, TableId};
+
+    use super::*;
+
+    const ROWS_PER_NODE: u64 = 1000;
+
+    fn gk(row: u64) -> GlobalKey {
+        GlobalKey::new(TableId(0), row)
+    }
+
+    /// Build a 2-data-source cluster: RTT(DS0)=10ms, RTT(DS1)=100ms, zero
+    /// local execution cost so latency arithmetic is exact.
+    fn cluster(protocol: Protocol) -> (Rc<Network>, Vec<Rc<DataSource>>, Rc<Middleware>) {
+        let dm = NodeId::middleware(0);
+        let ds0 = NodeId::data_source(0);
+        let ds1 = NodeId::data_source(1);
+        let net = NetworkBuilder::new(7)
+            .default_lan_rtt(Duration::ZERO)
+            .static_link(dm, ds0, Duration::from_millis(10))
+            .static_link(dm, ds1, Duration::from_millis(100))
+            .static_link(ds0, ds1, Duration::from_millis(100))
+            .build();
+        let mut sources = Vec::new();
+        for node in [ds0, ds1] {
+            let mut cfg = DataSourceConfig::new(node);
+            cfg.agent_lan_rtt = Duration::ZERO;
+            cfg.engine = EngineConfig {
+                lock_wait_timeout: Duration::from_secs(5),
+                cost: CostModel::zero(),
+            };
+            cfg.dialect = if node == ds0 {
+                Dialect::Postgres
+            } else {
+                Dialect::MySql
+            };
+            let ds = DataSource::new(cfg, Rc::clone(&net));
+            for row in 0..ROWS_PER_NODE {
+                let global = node.index() as u64 * ROWS_PER_NODE + row;
+                ds.load(gk(global).storage_key(), Row::int(1000));
+            }
+            sources.push(ds);
+        }
+        for a in &sources {
+            for b in &sources {
+                if a.index() != b.index() {
+                    a.register_peer(b);
+                }
+            }
+        }
+        let mut cfg = MiddlewareConfig::new(
+            dm,
+            protocol,
+            Partitioner::Range {
+                rows_per_node: ROWS_PER_NODE,
+                nodes: 2,
+            },
+        );
+        cfg.analysis_cost = Duration::ZERO;
+        cfg.log_flush_cost = Duration::ZERO;
+        let mw = Middleware::connect(cfg, Rc::clone(&net), &sources, None);
+        (net, sources, mw)
+    }
+
+    fn transfer_spec() -> TransactionSpec {
+        // A cross-data-source transfer: key 1 lives on DS0, key 1001 on DS1.
+        TransactionSpec::single_round(vec![
+            ClientOp::add(gk(1), -100),
+            ClientOp::add(gk(1001), 100),
+        ])
+    }
+
+    #[test]
+    fn ssp_distributed_transaction_takes_three_wan_round_trips() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::SspXa);
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            // execution (100ms) + prepare (100ms) + commit (100ms)
+            assert_eq!(outcome.latency, Duration::from_millis(300));
+            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(900));
+            assert_eq!(
+                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                Some(1100)
+            );
+        });
+    }
+
+    #[test]
+    fn geotp_distributed_transaction_takes_two_wan_round_trips() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(outcome.committed);
+            // Decentralized prepare removes the explicit prepare round trip:
+            // execution (100ms, prepare vote arrives with it) + commit (100ms).
+            assert_eq!(outcome.latency, Duration::from_millis(200));
+            assert_eq!(outcome.breakdown.prepare_wait, Duration::ZERO);
+            assert_eq!(sources[0].stats().decentralized_prepares, 1);
+            assert_eq!(sources[1].stats().decentralized_prepares, 1);
+            // Data is atomically updated.
+            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(900));
+            assert_eq!(
+                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                Some(1100)
+            );
+        });
+    }
+
+    #[test]
+    fn geotp_latency_scheduling_shrinks_fast_branch_contention_span() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            // Compare the contention span on the *fast* data source (DS0).
+            async fn span_for(protocol: Protocol) -> Duration {
+                let (_net, sources, mw) = cluster(protocol);
+                let outcome = mw.run_transaction(&transfer_spec()).await;
+                assert!(outcome.committed);
+                let stats = sources[0].engine().stats();
+                assert_eq!(stats.contention_span_samples, 1);
+                Duration::from_micros(stats.total_contention_span_micros)
+            }
+            let ssp_span = span_for(Protocol::SspXa).await;
+            let o1_span = span_for(Protocol::geotp_o1()).await;
+            let geotp_span = span_for(Protocol::geotp_o1_o2()).await;
+
+            // SSP: the fast branch holds its lock across prepare+commit of the
+            // slow branch (~2.5 WAN RTTs of the slow node ≈ 245ms).
+            assert!(ssp_span >= Duration::from_millis(200), "SSP span {ssp_span:?}");
+            // O1 alone reduces the span to the longest RTT involved (100ms),
+            // exactly as Fig. 4a describes.
+            assert!(
+                o1_span >= Duration::from_millis(100) && o1_span < ssp_span,
+                "O1 span {o1_span:?}"
+            );
+            // O2 postpones the fast branch so its span collapses to ~its own
+            // RTT + commit half-trip (≈ 60ms, vs 100ms RTT of the slow node).
+            assert!(
+                geotp_span < Duration::from_millis(70),
+                "GeoTP span {geotp_span:?} should be well below the slow RTT"
+            );
+        });
+    }
+
+    #[test]
+    fn centralized_transactions_commit_in_one_round_trip() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            for protocol in [Protocol::SspXa, Protocol::geotp(), Protocol::Chiller] {
+                let (_net, _sources, mw) = cluster(protocol);
+                let spec = TransactionSpec::single_round(vec![
+                    ClientOp::Read(gk(5)),
+                    ClientOp::add(gk(6), 10),
+                ]);
+                let outcome = mw.run_transaction(&spec).await;
+                assert!(outcome.committed, "{}", protocol.name());
+                assert!(!outcome.distributed);
+                // execution (10ms) + one-phase commit (10ms)
+                assert_eq!(
+                    outcome.latency,
+                    Duration::from_millis(20),
+                    "{} centralized latency",
+                    protocol.name()
+                );
+                assert_eq!(outcome.rows.len(), 2);
+            }
+        });
+    }
+
+    #[test]
+    fn chiller_sequences_inner_region_after_outer() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::Chiller);
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(outcome.committed);
+            // Outer branch (100ms RTT) executes first, then the inner branch
+            // (10ms): execution ≈ 110ms, commit 100ms.
+            assert_eq!(outcome.latency, Duration::from_millis(210));
+            // The inner (fast) branch's lock span is tiny: it acquires locks
+            // only after the outer branch finished executing.
+            let span = sources[0].engine().stats().total_contention_span_micros;
+            assert!(span <= 60_000, "chiller inner span {span}us");
+        });
+    }
+
+    #[test]
+    fn quro_reorders_writes_after_reads() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, _sources, mw) = cluster(Protocol::Quro);
+            // Mixed read/write batch on one data source.
+            let spec = TransactionSpec::single_round(vec![
+                ClientOp::add(gk(1), 1),
+                ClientOp::Read(gk(2)),
+                ClientOp::add(gk(3), 1),
+                ClientOp::Read(gk(4)),
+            ]);
+            let outcome = mw.run_transaction(&spec).await;
+            assert!(outcome.committed);
+            // Reads come back first because QURO moved them ahead of writes.
+            assert_eq!(outcome.rows.len(), 4);
+            assert_eq!(outcome.rows[0].int_value(), Some(1000));
+            assert_eq!(outcome.rows[1].int_value(), Some(1000));
+            // The writes' AddInt results follow.
+            assert_eq!(outcome.rows[2].int_value(), Some(1001));
+            assert_eq!(outcome.rows[3].int_value(), Some(1001));
+        });
+    }
+
+    #[test]
+    fn ssp_local_commits_without_prepare() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, _sources, mw) = cluster(Protocol::SspLocal);
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(outcome.committed);
+            // execution (100ms) + one-phase commit (100ms): no prepare round.
+            assert_eq!(outcome.latency, Duration::from_millis(200));
+            assert_eq!(outcome.breakdown.prepare_wait, Duration::ZERO);
+        });
+    }
+
+    #[test]
+    fn lock_conflict_aborts_one_transaction_and_other_commits() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let dm = NodeId::middleware(0);
+            let ds0 = NodeId::data_source(0);
+            let ds1 = NodeId::data_source(1);
+            let net = NetworkBuilder::new(7)
+                .default_lan_rtt(Duration::ZERO)
+                .static_link(dm, ds0, Duration::from_millis(10))
+                .static_link(dm, ds1, Duration::from_millis(100))
+                .static_link(ds0, ds1, Duration::from_millis(100))
+                .build();
+            let mut sources = Vec::new();
+            for node in [ds0, ds1] {
+                let mut cfg = DataSourceConfig::new(node);
+                cfg.agent_lan_rtt = Duration::ZERO;
+                cfg.engine = EngineConfig {
+                    // Short lock timeout so the conflict resolves quickly.
+                    lock_wait_timeout: Duration::from_millis(150),
+                    cost: CostModel::zero(),
+                };
+                let ds = DataSource::new(cfg, Rc::clone(&net));
+                for row in 0..ROWS_PER_NODE {
+                    let global = node.index() as u64 * ROWS_PER_NODE + row;
+                    ds.load(gk(global).storage_key(), Row::int(0));
+                }
+                sources.push(ds);
+            }
+            for a in &sources {
+                for b in &sources {
+                    if a.index() != b.index() {
+                        a.register_peer(b);
+                    }
+                }
+            }
+            let mut cfg = MiddlewareConfig::new(
+                dm,
+                Protocol::geotp_o1(),
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            let mw = Middleware::connect(cfg, Rc::clone(&net), &sources, None);
+
+            // Two concurrent distributed transactions over the same keys, in
+            // opposite order, forcing a deadlock resolved by lock timeout.
+            let spec_a = TransactionSpec::multi_round(vec![
+                vec![ClientOp::add(gk(1), 1)],
+                vec![ClientOp::add(gk(1001), 1)],
+            ]);
+            let spec_b = TransactionSpec::multi_round(vec![
+                vec![ClientOp::add(gk(1001), 1)],
+                vec![ClientOp::add(gk(1), 1)],
+            ]);
+            let mw_a = Rc::clone(&mw);
+            let mw_b = Rc::clone(&mw);
+            let a = geotp_simrt::spawn(async move { mw_a.run_transaction(&spec_a).await });
+            let b = geotp_simrt::spawn(async move { mw_b.run_transaction(&spec_b).await });
+            let (ra, rb) = (a.await, b.await);
+            let committed = [&ra, &rb].iter().filter(|o| o.committed).count();
+            assert!(committed <= 1, "at most one of the deadlocked transactions commits");
+            assert!(ra.committed || rb.committed || (!ra.committed && !rb.committed));
+            let stats = mw.stats();
+            assert_eq!(stats.committed + stats.aborted, 2);
+            // Atomicity: the two keys must have identical values (both updates
+            // from a committed transaction applied, none from an aborted one).
+            let v0 = sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value().unwrap();
+            let v1 = sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value().unwrap();
+            assert_eq!(v0, v1, "atomicity violated: {v0} vs {v1}");
+        });
+    }
+
+    #[test]
+    fn run_sql_transfers_money_across_data_sources() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            // Table "usertable" gets TableId(0) because it is the first table
+            // registered in the middleware's catalog.
+            let outcome = mw
+                .run_sql(
+                    "BEGIN; \
+                     UPDATE usertable SET bal = bal - 50 WHERE id = 1; \
+                     UPDATE usertable SET bal = bal + 50 WHERE id = 1001 /*+ last */; \
+                     COMMIT;",
+                )
+                .await
+                .unwrap();
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(950));
+            assert_eq!(
+                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                Some(1050)
+            );
+        });
+    }
+
+    #[test]
+    fn middleware_recovery_completes_in_doubt_transactions() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (net, sources, mw) = cluster(Protocol::SspXa);
+            // Manually drive two branches to the prepared state, as if the
+            // middleware crashed right after flushing a COMMIT decision for
+            // gtrid 42 and before dispatching it.
+            let gtrid = 42;
+            for (i, ds) in sources.iter().enumerate() {
+                let xid = geotp_storage::Xid::new(gtrid, i as u32);
+                let conn = geotp_datasource::DsConnection::new(mw.node(), Rc::clone(ds), Rc::clone(&net));
+                conn.execute(geotp_datasource::StatementRequest {
+                    xid,
+                    begin: true,
+                    ops: vec![geotp_datasource::DsOperation::AddInt {
+                        key: gk(i as u64 * ROWS_PER_NODE).storage_key(),
+                        col: 0,
+                        delta: 500,
+                    }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: false,
+                    peers: vec![1 - i as u32],
+                })
+                .await;
+                assert_eq!(conn.prepare(xid).await, geotp_datasource::PrepareVote::Prepared);
+            }
+            mw.commit_log().flush_decision(gtrid, Decision::Commit).await;
+
+            // A second in-doubt transaction without a logged decision: it must
+            // be aborted by recovery.
+            let gtrid2 = 43;
+            let xid2 = geotp_storage::Xid::new(gtrid2, 0);
+            let conn0 = geotp_datasource::DsConnection::new(mw.node(), Rc::clone(&sources[0]), Rc::clone(&net));
+            conn0
+                .execute(geotp_datasource::StatementRequest {
+                    xid: xid2,
+                    begin: true,
+                    ops: vec![geotp_datasource::DsOperation::AddInt {
+                        key: gk(7).storage_key(),
+                        col: 0,
+                        delta: 9,
+                    }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: false,
+                    peers: vec![1],
+                })
+                .await;
+            conn0.prepare(xid2).await;
+
+            // "Restart": a new middleware instance sharing the same durable
+            // commit log recovers the in-doubt branches.
+            let mut cfg = MiddlewareConfig::new(
+                mw.node(),
+                Protocol::SspXa,
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            let recovered =
+                Middleware::connect(cfg, Rc::clone(&net), &sources, Some(Rc::clone(mw.commit_log())));
+            let (committed, aborted) = recovered.recover().await;
+            assert_eq!(committed, 2, "both branches of gtrid 42 commit");
+            assert_eq!(aborted, 1, "the undecided gtrid 43 branch aborts");
+            assert_eq!(
+                sources[0].engine().peek(gk(0).storage_key()).unwrap().int_value(),
+                Some(1500)
+            );
+            assert_eq!(
+                sources[1].engine().peek(gk(ROWS_PER_NODE).storage_key()).unwrap().int_value(),
+                Some(1500)
+            );
+            assert_eq!(sources[0].engine().peek(gk(7).storage_key()).unwrap().int_value(), Some(1000));
+        });
+    }
+
+    #[test]
+    fn stats_accumulate_across_transactions() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, _sources, mw) = cluster(Protocol::geotp());
+            for i in 0..5u64 {
+                let spec = TransactionSpec::single_round(vec![
+                    ClientOp::add(gk(i), 1),
+                    ClientOp::add(gk(1000 + i), 1),
+                ]);
+                assert!(mw.run_transaction(&spec).await.committed);
+            }
+            let stats = mw.stats();
+            assert_eq!(stats.committed, 5);
+            assert_eq!(stats.distributed_committed, 5);
+            assert_eq!(stats.aborted, 0);
+            assert_eq!(stats.decentralized_prepares, 5);
+            assert!(stats.total_postpone_micros >= 5 * 80_000);
+            assert!(stats.mean_commit_latency() >= Duration::from_millis(190));
+        });
+    }
+}

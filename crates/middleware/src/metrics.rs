@@ -1,0 +1,189 @@
+//! Per-transaction outcomes and middleware-level aggregate statistics.
+
+use std::time::Duration;
+
+/// Why a transaction did not commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The geo-scheduler's late transaction scheduling refused admission.
+    AdmissionRejected,
+    /// A statement failed (lock timeout, missing key, ...).
+    ExecutionFailed,
+    /// At least one participant voted no in the prepare phase.
+    PrepareFailed,
+    /// The client asked for a rollback.
+    ClientRollback,
+}
+
+/// Where a committed transaction's latency went. The fields mirror the
+/// breakdown reported in the paper's Fig. 6c.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Parsing, routing and scheduling work at the middleware.
+    pub analysis: Duration,
+    /// Admission-control delay (late transaction scheduling backoff).
+    pub admission_delay: Duration,
+    /// Execution phase: dispatching rounds and waiting for their results
+    /// (includes the scheduler's postpone time and WAN round trips).
+    pub execution: Duration,
+    /// Waiting for prepare votes after the client issued commit.
+    pub prepare_wait: Duration,
+    /// Flushing the commit/abort log.
+    pub log_flush: Duration,
+    /// Dispatching the final decision and collecting acknowledgements.
+    pub commit: Duration,
+}
+
+impl LatencyBreakdown {
+    /// Total latency across all phases.
+    pub fn total(&self) -> Duration {
+        self.analysis
+            + self.admission_delay
+            + self.execution
+            + self.prepare_wait
+            + self.log_flush
+            + self.commit
+    }
+}
+
+/// The outcome of one transaction as observed by the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnOutcome {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// Why it aborted, if it did.
+    pub abort_reason: Option<AbortReason>,
+    /// End-to-end latency seen by the client.
+    pub latency: Duration,
+    /// Phase breakdown.
+    pub breakdown: LatencyBreakdown,
+    /// Whether the transaction touched more than one data source.
+    pub distributed: bool,
+    /// Rows returned by read operations (in execution order).
+    pub rows: Vec<geotp_storage::Row>,
+}
+
+impl TxnOutcome {
+    /// An aborted outcome with the given reason and latency.
+    pub fn aborted(reason: AbortReason, latency: Duration, distributed: bool) -> Self {
+        Self {
+            committed: false,
+            abort_reason: Some(reason),
+            latency,
+            breakdown: LatencyBreakdown::default(),
+            distributed,
+            rows: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate statistics kept by one middleware instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MiddlewareStats {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Aborts caused by admission rejection (O3's late scheduling).
+    pub admission_rejections: u64,
+    /// Aborts caused by execution failures (lock timeouts etc.).
+    pub execution_failures: u64,
+    /// Aborts caused by failed prepare votes.
+    pub prepare_failures: u64,
+    /// Committed distributed transactions.
+    pub distributed_committed: u64,
+    /// Sum of committed-transaction latencies (microseconds).
+    pub total_commit_latency_micros: u64,
+    /// Sum of the scheduler postpone durations applied (microseconds).
+    pub total_postpone_micros: u64,
+    /// Transactions that used the decentralized prepare path.
+    pub decentralized_prepares: u64,
+}
+
+impl MiddlewareStats {
+    /// Record an outcome into the aggregate counters.
+    pub fn record(&mut self, outcome: &TxnOutcome) {
+        if outcome.committed {
+            self.committed += 1;
+            if outcome.distributed {
+                self.distributed_committed += 1;
+            }
+            self.total_commit_latency_micros += outcome.latency.as_micros() as u64;
+        } else {
+            self.aborted += 1;
+            match outcome.abort_reason {
+                Some(AbortReason::AdmissionRejected) => self.admission_rejections += 1,
+                Some(AbortReason::ExecutionFailed) => self.execution_failures += 1,
+                Some(AbortReason::PrepareFailed) => self.prepare_failures += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Fraction of transactions that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+
+    /// Mean latency of committed transactions.
+    pub fn mean_commit_latency(&self) -> Duration {
+        if self.committed == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.total_commit_latency_micros / self.committed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_sums_phases() {
+        let b = LatencyBreakdown {
+            analysis: Duration::from_millis(1),
+            admission_delay: Duration::from_millis(2),
+            execution: Duration::from_millis(70),
+            prepare_wait: Duration::from_millis(3),
+            log_flush: Duration::from_millis(1),
+            commit: Duration::from_millis(73),
+        };
+        assert_eq!(b.total(), Duration::from_millis(150));
+    }
+
+    #[test]
+    fn stats_record_and_derive() {
+        let mut stats = MiddlewareStats::default();
+        stats.record(&TxnOutcome {
+            committed: true,
+            abort_reason: None,
+            latency: Duration::from_millis(100),
+            breakdown: LatencyBreakdown::default(),
+            distributed: true,
+            rows: vec![],
+        });
+        stats.record(&TxnOutcome::aborted(
+            AbortReason::ExecutionFailed,
+            Duration::from_millis(20),
+            false,
+        ));
+        stats.record(&TxnOutcome::aborted(
+            AbortReason::AdmissionRejected,
+            Duration::from_millis(1),
+            true,
+        ));
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.aborted, 2);
+        assert_eq!(stats.execution_failures, 1);
+        assert_eq!(stats.admission_rejections, 1);
+        assert_eq!(stats.distributed_committed, 1);
+        assert!((stats.abort_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.mean_commit_latency(), Duration::from_millis(100));
+    }
+}

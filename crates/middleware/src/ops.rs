@@ -1,0 +1,189 @@
+//! Client-facing transaction model.
+//!
+//! Applications submit transactions to the middleware either as SQL text (see
+//! [`crate::parser`]) or directly as structured operations, which is what the
+//! workload generators do. A transaction is a sequence of *interactive
+//! rounds*; each round is a batch of operations the client sends together
+//! (the paper's YCSB transactions are a single round of 5 operations, TPC-C
+//! transactions use a handful of rounds).
+
+use geotp_storage::{Key, Row, TableId};
+
+/// A key in the global (pre-routing) keyspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalKey {
+    /// Logical table.
+    pub table: TableId,
+    /// Logical row id across all data sources.
+    pub row: u64,
+}
+
+impl GlobalKey {
+    /// Construct a global key.
+    pub const fn new(table: TableId, row: u64) -> Self {
+        Self { table, row }
+    }
+
+    /// The storage-level key used on whichever data source this row routes to.
+    /// Routing never re-keys records, so this is the identity mapping.
+    pub const fn storage_key(&self) -> Key {
+        Key::new(self.table, self.row)
+    }
+}
+
+/// One client-level operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Read a record (shared lock).
+    Read(GlobalKey),
+    /// Read a record with an exclusive lock (`SELECT ... FOR UPDATE`).
+    ReadForUpdate(GlobalKey),
+    /// Add `delta` to the integer in column `col` of the record.
+    AddInt {
+        /// Record to update.
+        key: GlobalKey,
+        /// Column index.
+        col: usize,
+        /// Amount to add.
+        delta: i64,
+    },
+    /// Overwrite a record.
+    Write {
+        /// Record to write.
+        key: GlobalKey,
+        /// New value.
+        row: Row,
+    },
+    /// Insert a new record.
+    Insert {
+        /// Record to insert.
+        key: GlobalKey,
+        /// Value.
+        row: Row,
+    },
+    /// Delete a record.
+    Delete(GlobalKey),
+}
+
+impl ClientOp {
+    /// Convenience constructor for the common balance-style update.
+    pub fn add(key: GlobalKey, delta: i64) -> Self {
+        ClientOp::AddInt { key, col: 0, delta }
+    }
+
+    /// The record this operation touches.
+    pub fn key(&self) -> GlobalKey {
+        match self {
+            ClientOp::Read(k) | ClientOp::ReadForUpdate(k) | ClientOp::Delete(k) => *k,
+            ClientOp::AddInt { key, .. }
+            | ClientOp::Write { key, .. }
+            | ClientOp::Insert { key, .. } => *key,
+        }
+    }
+
+    /// Whether the operation takes an exclusive lock.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, ClientOp::Read(_))
+    }
+}
+
+/// A complete transaction description submitted by a client.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransactionSpec {
+    /// Interactive rounds, each a batch of operations sent together.
+    pub rounds: Vec<Vec<ClientOp>>,
+    /// Whether the client annotates the last statement (the paper's
+    /// `/* last statement */` hint). When `true`, the middleware can trigger
+    /// the decentralized prepare at the end of the final round.
+    pub annotate_last: bool,
+}
+
+impl TransactionSpec {
+    /// A single-round transaction with the last-statement annotation set,
+    /// which is how the YCSB workloads are issued.
+    pub fn single_round(ops: Vec<ClientOp>) -> Self {
+        Self {
+            rounds: vec![ops],
+            annotate_last: true,
+        }
+    }
+
+    /// A multi-round (interactive) transaction.
+    pub fn multi_round(rounds: Vec<Vec<ClientOp>>) -> Self {
+        Self {
+            rounds,
+            annotate_last: true,
+        }
+    }
+
+    /// Disable the last-statement annotation (clients that cannot annotate
+    /// fall back to the classic prepare path even under GeoTP).
+    pub fn without_annotation(mut self) -> Self {
+        self.annotate_last = false;
+        self
+    }
+
+    /// All operations across rounds, in order.
+    pub fn all_ops(&self) -> impl Iterator<Item = &ClientOp> {
+        self.rounds.iter().flatten()
+    }
+
+    /// Every distinct key the transaction touches.
+    pub fn keys(&self) -> Vec<GlobalKey> {
+        let mut keys: Vec<GlobalKey> = self.all_ops().map(ClientOp::key).collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Total number of operations.
+    pub fn op_count(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the spec contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.op_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gk(row: u64) -> GlobalKey {
+        GlobalKey::new(TableId(0), row)
+    }
+
+    #[test]
+    fn op_key_and_write_classification() {
+        assert!(!ClientOp::Read(gk(1)).is_write());
+        assert!(ClientOp::ReadForUpdate(gk(1)).is_write());
+        assert!(ClientOp::add(gk(2), 5).is_write());
+        assert_eq!(ClientOp::Delete(gk(3)).key(), gk(3));
+    }
+
+    #[test]
+    fn spec_keys_are_deduplicated_and_sorted() {
+        let spec = TransactionSpec::single_round(vec![
+            ClientOp::add(gk(5), 1),
+            ClientOp::Read(gk(2)),
+            ClientOp::add(gk(5), 2),
+        ]);
+        assert_eq!(spec.keys(), vec![gk(2), gk(5)]);
+        assert_eq!(spec.op_count(), 3);
+        assert!(spec.annotate_last);
+    }
+
+    #[test]
+    fn multi_round_and_annotation_toggle() {
+        let spec = TransactionSpec::multi_round(vec![
+            vec![ClientOp::Read(gk(1))],
+            vec![ClientOp::add(gk(1), 3)],
+        ])
+        .without_annotation();
+        assert_eq!(spec.rounds.len(), 2);
+        assert!(!spec.annotate_last);
+        assert!(!spec.is_empty());
+    }
+}

@@ -1,0 +1,324 @@
+//! The latency matrix connecting simulated nodes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_simrt::{now, sleep};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::latency::{LatencyModel, StaticLatency};
+use crate::node::NodeId;
+
+/// Per-link traffic counters, useful for the resource-utilisation experiment
+/// (Fig. 6) and for debugging protocol message counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Number of one-way message transfers performed on this link.
+    pub messages: u64,
+    /// Sum of the sampled one-way latencies, in microseconds.
+    pub total_latency_micros: u64,
+}
+
+struct Link {
+    model: Box<dyn LatencyModel>,
+    stats: LinkStats,
+}
+
+/// Builder for a [`Network`].
+#[derive(Default)]
+pub struct NetworkBuilder {
+    seed: u64,
+    lan_rtt: Option<Duration>,
+    links: Vec<(NodeId, NodeId, Box<dyn LatencyModel>)>,
+}
+
+impl NetworkBuilder {
+    /// Start building a network; `seed` drives all latency sampling noise.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            lan_rtt: None,
+            links: Vec::new(),
+        }
+    }
+
+    /// Round-trip time used for node pairs without an explicit link
+    /// (e.g. a geo-agent talking to its co-located data source).
+    /// Defaults to 0.5 ms.
+    pub fn default_lan_rtt(mut self, rtt: Duration) -> Self {
+        self.lan_rtt = Some(rtt);
+        self
+    }
+
+    /// Declare a (symmetric) link between `a` and `b` with the given model.
+    pub fn link(mut self, a: NodeId, b: NodeId, model: impl LatencyModel + 'static) -> Self {
+        self.links.push((a, b, Box::new(model)));
+        self
+    }
+
+    /// Declare a static-latency link, the common case.
+    pub fn static_link(self, a: NodeId, b: NodeId, rtt: Duration) -> Self {
+        self.link(a, b, StaticLatency::new(rtt))
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Rc<Network> {
+        let net = Network {
+            lan_rtt: self.lan_rtt.unwrap_or(Duration::from_micros(500)),
+            links: RefCell::new(HashMap::new()),
+            rng: RefCell::new(StdRng::seed_from_u64(self.seed)),
+        };
+        for (a, b, model) in self.links {
+            net.links.borrow_mut().insert(
+                Network::key(a, b),
+                Link {
+                    model,
+                    stats: LinkStats::default(),
+                },
+            );
+        }
+        Rc::new(net)
+    }
+}
+
+/// The simulated network: a symmetric latency matrix between [`NodeId`]s.
+///
+/// All transfer operations sleep the sampled one-way latency in virtual time
+/// and record traffic statistics. Links can be reconfigured at runtime, which
+/// the dynamic-latency experiments use.
+pub struct Network {
+    lan_rtt: Duration,
+    links: RefCell<HashMap<(NodeId, NodeId), Link>>,
+    rng: RefCell<StdRng>,
+}
+
+impl Network {
+    /// Convenience: a network where every pair of nodes has the given static
+    /// RTT (plus the default LAN RTT for undeclared pairs).
+    pub fn uniform(seed: u64, nodes: &[NodeId], rtt: Duration) -> Rc<Network> {
+        let mut b = NetworkBuilder::new(seed);
+        for (i, a) in nodes.iter().enumerate() {
+            for bnode in nodes.iter().skip(i + 1) {
+                b = b.static_link(*a, *bnode, rtt);
+            }
+        }
+        b.build()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Replace (or insert) the latency model of the link between `a` and `b`.
+    pub fn set_link(&self, a: NodeId, b: NodeId, model: impl LatencyModel + 'static) {
+        let mut links = self.links.borrow_mut();
+        let entry = links.entry(Self::key(a, b)).or_insert_with(|| Link {
+            model: Box::new(StaticLatency::new(self.lan_rtt)),
+            stats: LinkStats::default(),
+        });
+        entry.model = Box::new(model);
+    }
+
+    /// Current nominal RTT between two nodes (no sampling noise). Pairs with
+    /// no declared link report the default LAN RTT.
+    pub fn nominal_rtt(&self, a: NodeId, b: NodeId) -> Duration {
+        if a == b {
+            return Duration::ZERO;
+        }
+        let links = self.links.borrow();
+        links
+            .get(&Self::key(a, b))
+            .map(|l| l.model.nominal_rtt(now()))
+            .unwrap_or(self.lan_rtt)
+    }
+
+    /// Sample a one-way latency for a message sent right now from `a` to `b`.
+    fn sample_one_way(&self, a: NodeId, b: NodeId) -> Duration {
+        if a == b {
+            return Duration::ZERO;
+        }
+        let mut links = self.links.borrow_mut();
+        let mut rng = self.rng.borrow_mut();
+        match links.get_mut(&Self::key(a, b)) {
+            Some(link) => {
+                let one_way = link.model.sample_rtt(now(), &mut rng) / 2;
+                link.stats.messages += 1;
+                link.stats.total_latency_micros += one_way.as_micros() as u64;
+                one_way
+            }
+            None => self.lan_rtt / 2,
+        }
+    }
+
+    /// Simulate the transfer of one message from `from` to `to`: sleeps the
+    /// sampled one-way latency.
+    pub async fn transfer(&self, from: NodeId, to: NodeId) {
+        let one_way = self.sample_one_way(from, to);
+        if !one_way.is_zero() {
+            sleep(one_way).await;
+        }
+    }
+
+    /// Simulate a full round trip (request + response) between two nodes and
+    /// return the measured RTT. This is what the latency monitor's `ping`
+    /// uses.
+    pub async fn ping(&self, from: NodeId, to: NodeId) -> Duration {
+        let start = now();
+        self.transfer(from, to).await;
+        self.transfer(to, from).await;
+        now().duration_since(start)
+    }
+
+    /// Traffic counters for the link between `a` and `b`.
+    pub fn link_stats(&self, a: NodeId, b: NodeId) -> LinkStats {
+        self.links
+            .borrow()
+            .get(&Self::key(a, b))
+            .map(|l| l.stats)
+            .unwrap_or_default()
+    }
+
+    /// Total number of one-way messages sent over declared links.
+    pub fn total_messages(&self) -> u64 {
+        self.links.borrow().values().map(|l| l.stats.messages).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::DynamicLatency;
+    use geotp_simrt::Runtime;
+
+    fn dm() -> NodeId {
+        NodeId::middleware(0)
+    }
+    fn ds(i: u32) -> NodeId {
+        NodeId::data_source(i)
+    }
+
+    #[test]
+    fn transfer_takes_half_rtt() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(100))
+                .build();
+            let start = now();
+            net.transfer(dm(), ds(0)).await;
+            assert_eq!(now().duration_since(start), Duration::from_millis(50));
+        });
+    }
+
+    #[test]
+    fn ping_measures_full_rtt() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(73))
+                .build();
+            assert_eq!(net.ping(dm(), ds(0)).await, Duration::from_millis(73));
+        });
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1).build();
+            let start = now();
+            net.transfer(dm(), dm()).await;
+            assert_eq!(now(), start);
+            assert_eq!(net.nominal_rtt(dm(), dm()), Duration::ZERO);
+        });
+    }
+
+    #[test]
+    fn undeclared_links_use_lan_rtt() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .default_lan_rtt(Duration::from_millis(2))
+                .build();
+            assert_eq!(net.nominal_rtt(dm(), ds(3)), Duration::from_millis(2));
+            assert_eq!(net.ping(dm(), ds(3)).await, Duration::from_millis(2));
+        });
+    }
+
+    #[test]
+    fn link_is_symmetric() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(1), Duration::from_millis(27))
+                .build();
+            assert_eq!(net.nominal_rtt(ds(1), dm()), Duration::from_millis(27));
+        });
+    }
+
+    #[test]
+    fn set_link_reconfigures_latency() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(10))
+                .build();
+            net.set_link(dm(), ds(0), StaticLatency::from_millis(200));
+            assert_eq!(net.nominal_rtt(dm(), ds(0)), Duration::from_millis(200));
+        });
+    }
+
+    #[test]
+    fn dynamic_link_changes_over_time() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .link(
+                    dm(),
+                    ds(0),
+                    DynamicLatency::evenly_spaced(
+                        Duration::from_secs(40),
+                        vec![Duration::from_millis(20), Duration::from_millis(80)],
+                    ),
+                )
+                .build();
+            assert_eq!(net.nominal_rtt(dm(), ds(0)), Duration::from_millis(20));
+            geotp_simrt::sleep(Duration::from_secs(41)).await;
+            assert_eq!(net.nominal_rtt(dm(), ds(0)), Duration::from_millis(80));
+        });
+    }
+
+    #[test]
+    fn stats_count_messages() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(10))
+                .build();
+            net.ping(dm(), ds(0)).await;
+            net.ping(dm(), ds(0)).await;
+            let stats = net.link_stats(dm(), ds(0));
+            assert_eq!(stats.messages, 4);
+            assert_eq!(stats.total_latency_micros, 4 * 5_000);
+            assert_eq!(net.total_messages(), 4);
+        });
+    }
+
+    #[test]
+    fn uniform_network_links_every_pair() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let nodes = [dm(), ds(0), ds(1)];
+            let net = Network::uniform(7, &nodes, Duration::from_millis(30));
+            assert_eq!(net.nominal_rtt(dm(), ds(1)), Duration::from_millis(30));
+            assert_eq!(net.nominal_rtt(ds(0), ds(1)), Duration::from_millis(30));
+        });
+    }
+}

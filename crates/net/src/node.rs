@@ -1,0 +1,94 @@
+//! Node identities in the simulated deployment.
+
+use std::fmt;
+
+/// Role of a node, used only for diagnostics and pretty-printing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeKind {
+    /// A client machine generating transactions.
+    Client,
+    /// A database middleware instance (the coordinator).
+    Middleware,
+    /// A data source (MySQL/PostgreSQL-like node with its geo-agent).
+    DataSource,
+}
+
+/// Identifier of a node (client, middleware or data source) in the simulated
+/// cluster. Cheap to copy and hash; ordering is by kind then index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    kind: NodeKind,
+    index: u32,
+}
+
+impl NodeId {
+    /// Identity of the `index`-th client node.
+    pub const fn client(index: u32) -> Self {
+        Self {
+            kind: NodeKind::Client,
+            index,
+        }
+    }
+
+    /// Identity of the `index`-th middleware node.
+    pub const fn middleware(index: u32) -> Self {
+        Self {
+            kind: NodeKind::Middleware,
+            index,
+        }
+    }
+
+    /// Identity of the `index`-th data source node.
+    pub const fn data_source(index: u32) -> Self {
+        Self {
+            kind: NodeKind::DataSource,
+            index,
+        }
+    }
+
+    /// The node's role.
+    pub const fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The node's index within its role.
+    pub const fn index(&self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            NodeKind::Client => write!(f, "client{}", self.index),
+            NodeKind::Middleware => write!(f, "dm{}", self.index),
+            NodeKind::DataSource => write!(f, "ds{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NodeId::client(0).to_string(), "client0");
+        assert_eq!(NodeId::middleware(1).to_string(), "dm1");
+        assert_eq!(NodeId::data_source(3).to_string(), "ds3");
+    }
+
+    #[test]
+    fn distinct_kinds_never_collide() {
+        assert_ne!(NodeId::client(0), NodeId::middleware(0));
+        assert_ne!(NodeId::middleware(0), NodeId::data_source(0));
+        assert_eq!(NodeId::data_source(2), NodeId::data_source(2));
+    }
+
+    #[test]
+    fn accessors() {
+        let n = NodeId::data_source(7);
+        assert_eq!(n.kind(), NodeKind::DataSource);
+        assert_eq!(n.index(), 7);
+    }
+}

@@ -1,0 +1,510 @@
+//! # geotp-scalardb — the ScalarDB-style baseline
+//!
+//! ScalarDB (Yamada et al., VLDB 2023) is a universal transaction manager
+//! that layers ACID transactions *above* arbitrary (possibly
+//! non-transactional) data stores: all concurrency control happens at the
+//! middleware, and the underlying stores are driven with single-record
+//! get/put operations plus a "Consensus Commit" protocol that writes prepared
+//! records and then a commit-status record.
+//!
+//! The paper uses ScalarDB as a baseline precisely because of this
+//! architecture: concurrency control at the DM node limits scalability, and
+//! the commit path costs additional WAN round trips. This crate reproduces
+//! that architecture on the simulated substrate:
+//!
+//! * data sources are treated as dumb key-value stores (we reuse
+//!   [`geotp_datasource::DataSource`] storage but bypass its XA machinery),
+//! * record locks live in a lock table *inside the coordinator*
+//!   ([`geotp_storage::LockManager`] reused at the middleware),
+//! * execution reads each involved data source once per round (one WAN round
+//!   trip per data source), writes are buffered at the coordinator,
+//! * commit performs the Consensus-Commit sequence: one WAN round trip to
+//!   write prepared records on every involved data source, then one WAN round
+//!   trip to persist the commit-status record, then asynchronous apply.
+//!
+//! [`ScalarDbCluster::new_plus`] builds **ScalarDB+**, the paper's variant
+//! that plugs GeoTP's latency-aware scheduler (O2) and admission heuristics
+//! (O3) into the same architecture — demonstrating that the proposed
+//! techniques generalize beyond ShardingSphere.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::DataSource;
+use geotp_middleware::{
+    AbortReason, BranchPlan, ClientOp, GeoScheduler, LatencyBreakdown, MiddlewareStats,
+    Partitioner, SchedulerConfig, TransactionSpec, TxnOutcome,
+};
+use geotp_net::{LatencyMonitor, MonitorConfig, Network, NodeId};
+use geotp_simrt::{join_all, now, sleep};
+use geotp_storage::{Key, LockManager, LockMode, Row};
+use geotp_workloads::TransactionService;
+use std::cell::RefCell;
+
+/// Configuration of the ScalarDB-style coordinator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarDbConfig {
+    /// The coordinator's node identity (usually the same host as the GeoTP
+    /// middleware would use, i.e. co-located with the client).
+    pub node: NodeId,
+    /// Lock-wait timeout of the coordinator-side lock table.
+    pub lock_wait_timeout: Duration,
+    /// Whether GeoTP's latency-aware scheduling is applied to per-data-source
+    /// batches (the ScalarDB+ variant).
+    pub latency_aware: bool,
+    /// Whether GeoTP's admission heuristics are applied (ScalarDB+).
+    pub advanced: bool,
+    /// CPU cost of coordinator-side validation per transaction.
+    pub validation_cost: Duration,
+}
+
+impl ScalarDbConfig {
+    /// Plain ScalarDB defaults.
+    pub fn new(node: NodeId) -> Self {
+        Self {
+            node,
+            lock_wait_timeout: Duration::from_secs(5),
+            latency_aware: false,
+            advanced: false,
+            validation_cost: Duration::from_micros(500),
+        }
+    }
+}
+
+/// The ScalarDB-style transaction manager.
+pub struct ScalarDbCluster {
+    config: ScalarDbConfig,
+    net: Rc<Network>,
+    sources: HashMap<u32, Rc<DataSource>>,
+    partitioner: Partitioner,
+    locks: Rc<LockManager>,
+    scheduler: Rc<GeoScheduler>,
+    next_txn: Cell<u64>,
+    stats: RefCell<MiddlewareStats>,
+}
+
+impl ScalarDbCluster {
+    /// Build a plain ScalarDB coordinator over the given data sources.
+    pub fn new(
+        config: ScalarDbConfig,
+        net: Rc<Network>,
+        sources: &[Rc<DataSource>],
+        partitioner: Partitioner,
+    ) -> Rc<Self> {
+        let targets: Vec<NodeId> = sources.iter().map(|s| s.node()).collect();
+        let monitor = LatencyMonitor::new(&net, config.node, &targets, MonitorConfig::default());
+        let scheduler_config = SchedulerConfig {
+            latency_aware: config.latency_aware,
+            advanced: config.advanced,
+            ..SchedulerConfig::default()
+        };
+        let scheduler = Rc::new(GeoScheduler::new(scheduler_config, monitor));
+        Rc::new(Self {
+            locks: LockManager::new(config.lock_wait_timeout),
+            sources: sources.iter().map(|s| (s.index(), Rc::clone(s))).collect(),
+            partitioner,
+            scheduler,
+            net,
+            config,
+            next_txn: Cell::new(1),
+            stats: RefCell::new(MiddlewareStats::default()),
+        })
+    }
+
+    /// Build the ScalarDB+ variant (latency-aware scheduling + heuristics).
+    pub fn new_plus(
+        mut config: ScalarDbConfig,
+        net: Rc<Network>,
+        sources: &[Rc<DataSource>],
+        partitioner: Partitioner,
+    ) -> Rc<Self> {
+        config.latency_aware = true;
+        config.advanced = true;
+        Self::new(config, net, sources, partitioner)
+    }
+
+    /// Whether this instance is the `+` variant.
+    pub fn is_plus(&self) -> bool {
+        self.config.latency_aware
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> MiddlewareStats {
+        *self.stats.borrow()
+    }
+
+    fn source(&self, ds: u32) -> &Rc<DataSource> {
+        self.sources
+            .get(&ds)
+            .unwrap_or_else(|| panic!("no data source {ds}"))
+    }
+
+    /// One WAN round trip to data source `ds` performing `work` at the store.
+    async fn round_trip<T>(&self, ds: u32, work: impl FnOnce(&Rc<DataSource>) -> T) -> T {
+        let node = self.source(ds).node();
+        self.net.transfer(self.config.node, node).await;
+        let out = work(self.source(ds));
+        self.net.transfer(node, self.config.node).await;
+        out
+    }
+
+    /// Run one transaction with coordinator-side two-phase locking and the
+    /// Consensus-Commit write path.
+    pub async fn run(self: &Rc<Self>, spec: &TransactionSpec) -> TxnOutcome {
+        let started = now();
+        let gtrid = self.next_txn.get();
+        self.next_txn.set(gtrid + 1);
+        let xid = geotp_storage::Xid::new(gtrid, 0);
+
+        let keys = spec.keys();
+        let involved = self.partitioner.involved_nodes(&keys);
+        let distributed = involved.len() > 1;
+        let advanced = self.config.advanced;
+        if advanced {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_access_start(&keys);
+        }
+
+        let finish = |committed: bool, reason: Option<AbortReason>, rows: Vec<Row>| {
+            if advanced {
+                self.scheduler
+                    .footprint()
+                    .borrow_mut()
+                    .on_txn_finish(&keys, committed);
+            }
+            let outcome = TxnOutcome {
+                committed,
+                abort_reason: reason,
+                latency: now().duration_since(started),
+                breakdown: LatencyBreakdown::default(),
+                distributed,
+                rows,
+            };
+            self.stats.borrow_mut().record(&outcome);
+            outcome
+        };
+
+        sleep(self.config.validation_cost).await;
+
+        // Admission control (ScalarDB+ only).
+        if advanced {
+            let plans: Vec<BranchPlan> = involved
+                .iter()
+                .map(|ds| BranchPlan {
+                    ds_index: *ds,
+                    keys: keys
+                        .iter()
+                        .copied()
+                        .filter(|k| self.partitioner.route(*k) == *ds)
+                        .collect(),
+                })
+                .collect();
+            if let geotp_middleware::AdmissionDecision::Reject { .. } =
+                self.scheduler.schedule_with_admission(&plans)
+            {
+                return finish(false, Some(AbortReason::AdmissionRejected), Vec::new());
+            }
+        }
+
+        // Execution: acquire coordinator-side locks, then fetch/buffer.
+        let mut rows = Vec::new();
+        let mut write_buffer: Vec<(u32, Key, WriteIntent)> = Vec::new();
+        let abort = |this: &Rc<Self>, xid| {
+            this.locks.release_all(xid);
+        };
+
+        for round in &spec.rounds {
+            // Group operations per data source.
+            let groups = self.partitioner.split(round);
+            // Coordinator-side locking happens before any store access.
+            for op in round {
+                let mode = if op.is_write() {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
+                if self
+                    .locks
+                    .acquire(xid, op.key().storage_key(), mode)
+                    .await
+                    .is_err()
+                {
+                    abort(self, xid);
+                    return finish(false, Some(AbortReason::ExecutionFailed), Vec::new());
+                }
+            }
+            // Latency-aware postponing of per-data-source read batches (the +
+            // variant); plain ScalarDB dispatches everything immediately.
+            let plans: Vec<BranchPlan> = groups
+                .iter()
+                .map(|(ds, ops)| BranchPlan {
+                    ds_index: *ds,
+                    keys: ops.iter().map(|op| op.key()).collect(),
+                })
+                .collect();
+            let schedule = self.scheduler.schedule(&plans);
+
+            let mut batches = Vec::new();
+            for (idx, (ds, ops)) in groups.iter().enumerate() {
+                let reads: Vec<Key> = ops
+                    .iter()
+                    .filter(|op| !op.is_write())
+                    .map(|op| op.key().storage_key())
+                    .collect();
+                let postpone = schedule.postpone.get(idx).copied().unwrap_or(Duration::ZERO);
+                let this = Rc::clone(self);
+                let ds = *ds;
+                batches.push(async move {
+                    if !postpone.is_zero() {
+                        sleep(postpone).await;
+                    }
+                    // One WAN round trip fetching every read of this round
+                    // from this data source's store.
+                    this.round_trip(ds, |source| {
+                        reads
+                            .iter()
+                            .map(|k| source.engine().peek(*k))
+                            .collect::<Vec<Option<Row>>>()
+                    })
+                    .await
+                });
+            }
+            let read_results = join_all(batches).await;
+            for results in read_results {
+                for row in results {
+                    match row {
+                        Some(r) => rows.push(r),
+                        None => {
+                            abort(self, xid);
+                            return finish(false, Some(AbortReason::ExecutionFailed), Vec::new());
+                        }
+                    }
+                }
+            }
+            // Buffer writes (applied during the commit write phase).
+            for (ds, ops) in &groups {
+                for op in ops {
+                    match op {
+                        ClientOp::AddInt { key, col, delta } => write_buffer.push((
+                            *ds,
+                            key.storage_key(),
+                            WriteIntent::Add {
+                                col: *col,
+                                delta: *delta,
+                            },
+                        )),
+                        ClientOp::Write { key, row } | ClientOp::Insert { key, row } => {
+                            write_buffer.push((*ds, key.storage_key(), WriteIntent::Put(row.clone())))
+                        }
+                        ClientOp::Delete(key) => {
+                            write_buffer.push((*ds, key.storage_key(), WriteIntent::Delete))
+                        }
+                        ClientOp::Read(_) | ClientOp::ReadForUpdate(_) => {}
+                    }
+                }
+            }
+        }
+
+        // Consensus Commit: prepare-record write round to every involved data
+        // source, then one round trip persisting the commit-status record.
+        let mut write_groups: HashMap<u32, Vec<(Key, WriteIntent)>> = HashMap::new();
+        for (ds, key, intent) in write_buffer {
+            write_groups.entry(ds).or_default().push((key, intent));
+        }
+        if !write_groups.is_empty() {
+            let prepare_rounds = write_groups
+                .iter()
+                .map(|(ds, writes)| {
+                    let this = Rc::clone(self);
+                    let ds = *ds;
+                    let writes = writes.clone();
+                    async move {
+                        this.round_trip(ds, move |source| {
+                            for (key, intent) in &writes {
+                                intent.apply(source, *key);
+                            }
+                        })
+                        .await
+                    }
+                })
+                .collect();
+            join_all(prepare_rounds).await;
+        }
+        // Commit-status record lives on the coordinator table of the first
+        // involved data source.
+        let status_ds = involved.first().copied().unwrap_or(0);
+        self.round_trip(status_ds, |_| ()).await;
+
+        self.locks.release_all(xid);
+        finish(true, None, rows)
+    }
+}
+
+#[derive(Clone)]
+enum WriteIntent {
+    Put(Row),
+    Add { col: usize, delta: i64 },
+    Delete,
+}
+
+impl WriteIntent {
+    fn apply(&self, source: &Rc<DataSource>, key: Key) {
+        match self {
+            WriteIntent::Put(row) => source.engine().load(key, row.clone()),
+            WriteIntent::Add { col, delta } => {
+                let mut row = source.engine().peek(key).unwrap_or_else(Row::new);
+                row.add_int(*col, *delta);
+                source.engine().load(key, row);
+            }
+            WriteIntent::Delete => {
+                // Modelled as overwriting with an empty row (the store has no
+                // transactional delete; ScalarDB tombstones records).
+                source.engine().load(key, Row::new());
+            }
+        }
+    }
+}
+
+/// Cloneable handle implementing the benchmark driver's
+/// [`TransactionService`] interface for a ScalarDB cluster.
+#[derive(Clone)]
+pub struct ScalarDbService(pub Rc<ScalarDbCluster>);
+
+impl TransactionService for ScalarDbService {
+    fn run<'a>(
+        &'a self,
+        spec: &'a TransactionSpec,
+    ) -> Pin<Box<dyn Future<Output = TxnOutcome> + 'a>> {
+        Box::pin(async move { ScalarDbCluster::run(&self.0, spec).await })
+    }
+
+    fn label(&self) -> String {
+        if self.0.is_plus() {
+            "ScalarDB+".to_string()
+        } else {
+            "ScalarDB".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_datasource::DataSourceConfig;
+    use geotp_middleware::GlobalKey;
+    use geotp_net::NetworkBuilder;
+    use geotp_simrt::Runtime;
+    use geotp_storage::TableId;
+
+    fn gk(row: u64) -> GlobalKey {
+        GlobalKey::new(TableId(0), row)
+    }
+
+    fn cluster(plus: bool) -> (Rc<ScalarDbCluster>, Vec<Rc<DataSource>>) {
+        let dm = NodeId::middleware(0);
+        let net = NetworkBuilder::new(3)
+            .static_link(dm, NodeId::data_source(0), Duration::from_millis(10))
+            .static_link(dm, NodeId::data_source(1), Duration::from_millis(100))
+            .build();
+        let sources: Vec<_> = (0..2)
+            .map(|i| DataSource::new(DataSourceConfig::new(NodeId::data_source(i)), Rc::clone(&net)))
+            .collect();
+        for (i, s) in sources.iter().enumerate() {
+            for row in 0..100u64 {
+                s.load(gk(i as u64 * 100 + row).storage_key(), Row::int(500));
+            }
+        }
+        let partitioner = Partitioner::Range {
+            rows_per_node: 100,
+            nodes: 2,
+        };
+        let config = ScalarDbConfig::new(dm);
+        let cluster = if plus {
+            ScalarDbCluster::new_plus(config, net, &sources, partitioner)
+        } else {
+            ScalarDbCluster::new(config, net, &sources, partitioner)
+        };
+        (cluster, sources)
+    }
+
+    #[test]
+    fn read_write_transaction_commits_and_applies() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (cluster, sources) = cluster(false);
+            let spec = TransactionSpec::single_round(vec![
+                ClientOp::Read(gk(1)),
+                ClientOp::add(gk(101), 25),
+            ]);
+            let outcome = ScalarDbCluster::run(&cluster, &spec).await;
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            assert_eq!(outcome.rows.len(), 1);
+            assert_eq!(
+                sources[1].engine().peek(gk(101).storage_key()).unwrap().int_value(),
+                Some(525)
+            );
+            // Execution round (100ms) + prepare writes (100ms) + status (10ms)
+            // plus validation: clearly more than GeoTP's two round trips.
+            assert!(outcome.latency >= Duration::from_millis(210));
+        });
+    }
+
+    #[test]
+    fn coordinator_locks_serialize_conflicting_transactions() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (cluster, sources) = cluster(false);
+            let spec = TransactionSpec::single_round(vec![ClientOp::add(gk(1), 1)]);
+            let a = {
+                let cluster = Rc::clone(&cluster);
+                let spec = spec.clone();
+                geotp_simrt::spawn(async move { ScalarDbCluster::run(&cluster, &spec).await })
+            };
+            let b = {
+                let cluster = Rc::clone(&cluster);
+                let spec = spec.clone();
+                geotp_simrt::spawn(async move { ScalarDbCluster::run(&cluster, &spec).await })
+            };
+            assert!(a.await.committed);
+            assert!(b.await.committed);
+            assert_eq!(
+                sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(),
+                Some(502),
+                "both increments must be applied exactly once"
+            );
+        });
+    }
+
+    #[test]
+    fn missing_key_aborts_the_transaction() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (cluster, _sources) = cluster(false);
+            let spec = TransactionSpec::single_round(vec![ClientOp::Read(gk(99_999))]);
+            let outcome = ScalarDbCluster::run(&cluster, &spec).await;
+            assert!(!outcome.committed);
+            assert_eq!(outcome.abort_reason, Some(AbortReason::ExecutionFailed));
+            assert_eq!(cluster.stats().aborted, 1);
+        });
+    }
+
+    #[test]
+    fn plus_variant_is_faster_or_equal_and_labelled() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (plain, _) = cluster(false);
+            let (plus, _) = cluster(true);
+            assert!(!plain.is_plus());
+            assert!(plus.is_plus());
+            assert_eq!(TransactionService::label(&ScalarDbService(plain)), "ScalarDB");
+            assert_eq!(TransactionService::label(&ScalarDbService(plus)), "ScalarDB+");
+        });
+    }
+}

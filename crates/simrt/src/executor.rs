@@ -1,0 +1,499 @@
+//! The discrete-event executor: ready queue, virtual clock and timer wheel.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::task::{JoinHandle, JoinState};
+use crate::time::SimInstant;
+
+/// Identifier of a spawned task within one runtime.
+pub(crate) type TaskId = u64;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// A timer registration: wake `waker` once the virtual clock reaches `deadline`.
+struct TimerEntry {
+    deadline: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// The waker handed to tasks: pushing the task id back onto the shared ready
+/// queue. The queue lives behind an `Arc<Mutex<..>>` purely to satisfy the
+/// `Send + Sync` bound on [`Wake`]; the runtime itself is single-threaded.
+struct QueueWaker {
+    task_id: TaskId,
+    queue: Arc<Mutex<VecDeque<TaskId>>>,
+}
+
+impl Wake for QueueWaker {
+    fn wake(self: Arc<Self>) {
+        self.queue.lock().push_back(self.task_id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.lock().push_back(self.task_id);
+    }
+}
+
+/// Counters describing what one `block_on` call did. Exposed so the experiment
+/// harness can report simulator "resource" usage (substitute for Fig. 6a).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Total number of task polls performed.
+    pub polls: u64,
+    /// Total number of tasks spawned (including the root task).
+    pub tasks_spawned: u64,
+    /// Total number of timer registrations.
+    pub timers_registered: u64,
+    /// Number of times the virtual clock jumped forward.
+    pub clock_advances: u64,
+}
+
+pub(crate) struct RuntimeInner {
+    now_micros: Cell<u64>,
+    next_task_id: Cell<TaskId>,
+    next_timer_seq: Cell<u64>,
+    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
+    /// Tasks spawned while another task is being polled are parked here first
+    /// because `tasks` is mutably borrowed during the poll.
+    pending_spawns: RefCell<Vec<(TaskId, LocalFuture)>>,
+    ready: Arc<Mutex<VecDeque<TaskId>>>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    metrics: RefCell<RunMetrics>,
+}
+
+impl RuntimeInner {
+    fn new() -> Self {
+        Self {
+            now_micros: Cell::new(0),
+            next_task_id: Cell::new(0),
+            next_timer_seq: Cell::new(0),
+            tasks: RefCell::new(HashMap::new()),
+            pending_spawns: RefCell::new(Vec::new()),
+            ready: Arc::new(Mutex::new(VecDeque::new())),
+            timers: RefCell::new(BinaryHeap::new()),
+            metrics: RefCell::new(RunMetrics::default()),
+        }
+    }
+
+    pub(crate) fn now_micros(&self) -> u64 {
+        self.now_micros.get()
+    }
+
+    /// Register a timer waking `waker` at `deadline_micros` (virtual time).
+    pub(crate) fn register_timer(&self, deadline_micros: u64, waker: Waker) {
+        let seq = self.next_timer_seq.get();
+        self.next_timer_seq.set(seq + 1);
+        self.metrics.borrow_mut().timers_registered += 1;
+        self.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline: deadline_micros,
+            seq,
+            waker,
+        }));
+    }
+
+    fn alloc_task_id(&self) -> TaskId {
+        let id = self.next_task_id.get();
+        self.next_task_id.set(id + 1);
+        id
+    }
+
+    fn waker_for(&self, task_id: TaskId) -> Waker {
+        Waker::from(Arc::new(QueueWaker {
+            task_id,
+            queue: Arc::clone(&self.ready),
+        }))
+    }
+
+    fn spawn_inner(&self, fut: LocalFuture) -> TaskId {
+        let id = self.alloc_task_id();
+        self.metrics.borrow_mut().tasks_spawned += 1;
+        // If `tasks` is currently borrowed we are inside a poll: defer.
+        match self.tasks.try_borrow_mut() {
+            Ok(mut tasks) => {
+                tasks.insert(id, fut);
+            }
+            Err(_) => {
+                self.pending_spawns.borrow_mut().push((id, fut));
+            }
+        }
+        self.ready.lock().push_back(id);
+        id
+    }
+
+    fn drain_pending_spawns(&self) {
+        let mut pending = self.pending_spawns.borrow_mut();
+        if pending.is_empty() {
+            return;
+        }
+        let mut tasks = self.tasks.borrow_mut();
+        for (id, fut) in pending.drain(..) {
+            tasks.insert(id, fut);
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<RuntimeInner>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn with_current<R>(f: impl FnOnce(&Rc<RuntimeInner>) -> R) -> R {
+    CURRENT.with(|cur| {
+        let borrow = cur.borrow();
+        let inner = borrow
+            .as_ref()
+            .expect("geotp-simrt: no runtime is active on this thread; wrap the call in Runtime::block_on");
+        f(inner)
+    })
+}
+
+struct CurrentGuard {
+    prev: Option<Rc<RuntimeInner>>,
+}
+
+impl CurrentGuard {
+    fn enter(inner: Rc<RuntimeInner>) -> Self {
+        CURRENT.with(|cur| {
+            let mut slot = cur.borrow_mut();
+            assert!(
+                slot.is_none(),
+                "geotp-simrt: nested Runtime::block_on is not supported"
+            );
+            let prev = slot.replace(inner);
+            CurrentGuard { prev }
+        })
+    }
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|cur| {
+            *cur.borrow_mut() = self.prev.take();
+        });
+    }
+}
+
+/// The simulated-time runtime. Create one per experiment / test and call
+/// [`Runtime::block_on`] with the root future.
+pub struct Runtime {
+    inner: Rc<RuntimeInner>,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runtime {
+    /// Create a fresh runtime with the virtual clock at zero.
+    pub fn new() -> Self {
+        Self {
+            inner: Rc::new(RuntimeInner::new()),
+        }
+    }
+
+    /// Current virtual time of this runtime in microseconds since start.
+    pub fn now_micros(&self) -> u64 {
+        self.inner.now_micros()
+    }
+
+    /// Counters accumulated so far (polls, spawns, timers, clock advances).
+    pub fn metrics(&self) -> RunMetrics {
+        *self.inner.metrics.borrow()
+    }
+
+    /// Drive `root` to completion, advancing virtual time as needed.
+    ///
+    /// Background tasks spawned with [`spawn`] keep running while the root is
+    /// pending; once the root completes they are abandoned (dropped when the
+    /// runtime is dropped), mirroring tokio's `block_on` semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root future is still pending while no task is runnable
+    /// and no timer is registered (a genuine deadlock in the simulated
+    /// system), or if `block_on` is re-entered on the same thread.
+    pub fn block_on<F: Future>(&mut self, root: F) -> F::Output {
+        /// Reserved task id for the root future (normal ids count up from 0).
+        const ROOT_ID: TaskId = TaskId::MAX;
+
+        let _guard = CurrentGuard::enter(Rc::clone(&self.inner));
+        let inner = &self.inner;
+
+        let mut root = Box::pin(root);
+        let root_waker = inner.waker_for(ROOT_ID);
+        inner.ready.lock().push_back(ROOT_ID);
+
+        loop {
+            let next = inner.ready.lock().pop_front();
+            match next {
+                Some(ROOT_ID) => {
+                    inner.metrics.borrow_mut().polls += 1;
+                    let mut cx = Context::from_waker(&root_waker);
+                    if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
+                        return out;
+                    }
+                    inner.drain_pending_spawns();
+                }
+                Some(task_id) => {
+                    let fut = inner.tasks.borrow_mut().remove(&task_id);
+                    let Some(mut fut) = fut else {
+                        // Stale wake for a task that already completed.
+                        continue;
+                    };
+                    inner.metrics.borrow_mut().polls += 1;
+                    let waker = inner.waker_for(task_id);
+                    let mut cx = Context::from_waker(&waker);
+                    match fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(()) => { /* task finished, drop it */ }
+                        Poll::Pending => {
+                            inner.tasks.borrow_mut().insert(task_id, fut);
+                        }
+                    }
+                    inner.drain_pending_spawns();
+                }
+                None => {
+                    // No runnable task: advance the clock to the next timer.
+                    let mut timers = inner.timers.borrow_mut();
+                    let Some(Reverse(head)) = timers.peek() else {
+                        panic!(
+                            "geotp-simrt: simulation deadlock at t={}us — the root task is \
+                             pending but no task is runnable and no timer is registered",
+                            inner.now_micros()
+                        );
+                    };
+                    let deadline = head.deadline;
+                    debug_assert!(deadline >= inner.now_micros());
+                    if deadline > inner.now_micros() {
+                        inner.now_micros.set(deadline);
+                        inner.metrics.borrow_mut().clock_advances += 1;
+                    }
+                    // Fire every timer whose deadline has been reached.
+                    while let Some(Reverse(entry)) = timers.peek() {
+                        if entry.deadline > inner.now_micros() {
+                            break;
+                        }
+                        let Reverse(entry) = timers.pop().unwrap();
+                        entry.waker.wake();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spawn a new asynchronous task onto the currently running runtime.
+///
+/// The returned [`JoinHandle`] can be awaited for the task's output. Unlike
+/// tokio, futures do not need to be `Send`: the runtime is single-threaded.
+///
+/// # Panics
+///
+/// Panics if called outside [`Runtime::block_on`].
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + 'static,
+    F::Output: 'static,
+{
+    let state = Rc::new(RefCell::new(JoinState::new()));
+    let state_clone = Rc::clone(&state);
+    with_current(|inner| {
+        inner.spawn_inner(Box::pin(async move {
+            let out = fut.await;
+            JoinState::complete(&state_clone, out);
+        }));
+    });
+    JoinHandle::new(state)
+}
+
+/// Current virtual time of the active runtime, as a [`SimInstant`].
+pub(crate) fn current_now() -> SimInstant {
+    with_current(|inner| SimInstant::from_micros(inner.now_micros()))
+}
+
+/// Register a wake-up at `deadline` (virtual) for `waker` on the active runtime.
+pub(crate) fn current_register_timer(deadline: SimInstant, waker: Waker) {
+    with_current(|inner| inner.register_timer(deadline.as_micros(), waker));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sleep, yield_now};
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_returns_value() {
+        let mut rt = Runtime::new();
+        let v = rt.block_on(async { 7 });
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn virtual_time_advances_with_sleep() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            sleep(Duration::from_millis(250)).await;
+        });
+        assert_eq!(rt.now_micros(), 250_000);
+    }
+
+    #[test]
+    fn spawned_tasks_run_concurrently_in_virtual_time() {
+        let mut rt = Runtime::new();
+        let elapsed = rt.block_on(async {
+            let start = crate::now();
+            let a = spawn(async {
+                sleep(Duration::from_millis(100)).await;
+            });
+            let b = spawn(async {
+                sleep(Duration::from_millis(100)).await;
+            });
+            a.await;
+            b.await;
+            crate::now().duration_since(start)
+        });
+        // Two concurrent 100ms sleeps overlap: total virtual time is 100ms.
+        assert_eq!(elapsed, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            sleep(Duration::from_millis(10)).await;
+            sleep(Duration::from_millis(20)).await;
+            sleep(Duration::from_millis(30)).await;
+        });
+        assert_eq!(rt.now_micros(), 60_000);
+    }
+
+    #[test]
+    fn join_handle_returns_output() {
+        let mut rt = Runtime::new();
+        let out = rt.block_on(async {
+            let h = spawn(async {
+                sleep(Duration::from_millis(5)).await;
+                "done"
+            });
+            h.await
+        });
+        assert_eq!(out, "done");
+    }
+
+    #[test]
+    fn yield_now_reschedules_fairly() {
+        let mut rt = Runtime::new();
+        let order = rt.block_on(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l1 = Rc::clone(&log);
+            let l2 = Rc::clone(&log);
+            let h1 = spawn(async move {
+                for i in 0..3 {
+                    l1.borrow_mut().push(format!("a{i}"));
+                    yield_now().await;
+                }
+            });
+            let h2 = spawn(async move {
+                for i in 0..3 {
+                    l2.borrow_mut().push(format!("b{i}"));
+                    yield_now().await;
+                }
+            });
+            h1.await;
+            h2.await;
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        // FIFO ready queue interleaves the two tasks deterministically.
+        assert_eq!(order, vec!["a0", "b0", "a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn metrics_are_recorded() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            spawn(async {
+                sleep(Duration::from_millis(1)).await;
+            })
+            .await;
+        });
+        let m = rt.metrics();
+        assert!(m.polls >= 2);
+        assert_eq!(m.tasks_spawned, 1);
+        assert!(m.timers_registered >= 1);
+        assert!(m.clock_advances >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlock")]
+    fn deadlock_is_detected() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            // A future that is never woken.
+            std::future::pending::<()>().await;
+        });
+    }
+
+    #[test]
+    fn background_task_abandoned_after_root_completes() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            spawn(async {
+                sleep(Duration::from_secs(3600)).await;
+            });
+            sleep(Duration::from_millis(1)).await;
+        });
+        // Root returned after 1ms; the hour-long background sleep never ran to completion.
+        assert_eq!(rt.now_micros(), 1_000);
+    }
+
+    #[test]
+    fn determinism_same_program_same_schedule() {
+        fn run_once() -> (u64, Vec<u32>) {
+            let mut rt = Runtime::new();
+            let log = rt.block_on(async {
+                let log = Rc::new(RefCell::new(Vec::new()));
+                let mut handles = Vec::new();
+                for i in 0..10u32 {
+                    let log = Rc::clone(&log);
+                    handles.push(spawn(async move {
+                        sleep(Duration::from_millis((10 - i) as u64)).await;
+                        log.borrow_mut().push(i);
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+                Rc::try_unwrap(log).unwrap().into_inner()
+            });
+            (rt.now_micros(), log)
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

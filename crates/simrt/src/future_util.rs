@@ -1,0 +1,199 @@
+//! Small future combinators: `timeout`, `race`, `join_all`, `yield_now`.
+
+use std::fmt;
+use std::future::{poll_fn, Future};
+use std::pin::Pin;
+use std::task::Poll;
+use std::time::Duration;
+
+use crate::time::sleep;
+
+/// Error returned by [`timeout`] when the deadline elapsed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "operation timed out (virtual deadline elapsed)")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Run `fut` with a virtual-time deadline of `dur`.
+///
+/// Returns `Ok(output)` if the future completes first, `Err(Elapsed)` if the
+/// timer fires first. The inner future is dropped on timeout, cancelling it.
+pub async fn timeout<F: Future>(dur: Duration, fut: F) -> Result<F::Output, Elapsed> {
+    let mut fut = Box::pin(fut);
+    let mut deadline = Box::pin(sleep(dur));
+    poll_fn(move |cx| {
+        if let Poll::Ready(out) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        if deadline.as_mut().poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Result of [`race`]: which future finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The left future finished first.
+    Left(A),
+    /// The right future finished first.
+    Right(B),
+}
+
+/// Poll two futures concurrently and return the output of whichever finishes
+/// first (left wins ties). The loser is dropped/cancelled.
+pub async fn race<A: Future, B: Future>(a: A, b: B) -> Either<A::Output, B::Output> {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    poll_fn(move |cx| {
+        if let Poll::Ready(out) = a.as_mut().poll(cx) {
+            return Poll::Ready(Either::Left(out));
+        }
+        if let Poll::Ready(out) = b.as_mut().poll(cx) {
+            return Poll::Ready(Either::Right(out));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// Await a set of futures concurrently, returning their outputs in input order.
+pub async fn join_all<F: Future>(futures: Vec<F>) -> Vec<F::Output> {
+    let mut slots: Vec<Option<F::Output>> = Vec::with_capacity(futures.len());
+    let mut pinned: Vec<Pin<Box<F>>> = Vec::with_capacity(futures.len());
+    for f in futures {
+        slots.push(None);
+        pinned.push(Box::pin(f));
+    }
+    poll_fn(move |cx| {
+        let mut all_done = true;
+        for (i, fut) in pinned.iter_mut().enumerate() {
+            if slots[i].is_none() {
+                match fut.as_mut().poll(cx) {
+                    Poll::Ready(out) => slots[i] = Some(out),
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(slots.iter_mut().map(|s| s.take().unwrap()).collect())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// Yield control back to the scheduler once, allowing other ready tasks to run.
+pub async fn yield_now() {
+    let mut yielded = false;
+    poll_fn(move |cx| {
+        if yielded {
+            Poll::Ready(())
+        } else {
+            yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{now, sleep, spawn, Runtime};
+
+    #[test]
+    fn timeout_ok_when_future_finishes_first() {
+        let mut rt = Runtime::new();
+        let out = rt.block_on(async {
+            timeout(Duration::from_millis(100), async {
+                sleep(Duration::from_millis(10)).await;
+                5
+            })
+            .await
+        });
+        assert_eq!(out, Ok(5));
+        assert_eq!(rt.now_micros(), 10_000);
+    }
+
+    #[test]
+    fn timeout_elapsed_when_deadline_first() {
+        let mut rt = Runtime::new();
+        let out = rt.block_on(async {
+            timeout(Duration::from_millis(10), async {
+                sleep(Duration::from_millis(100)).await;
+                5
+            })
+            .await
+        });
+        assert_eq!(out, Err(Elapsed));
+        assert_eq!(rt.now_micros(), 10_000);
+    }
+
+    #[test]
+    fn race_returns_first_winner() {
+        let mut rt = Runtime::new();
+        let out = rt.block_on(async {
+            race(
+                async {
+                    sleep(Duration::from_millis(30)).await;
+                    "slow"
+                },
+                async {
+                    sleep(Duration::from_millis(5)).await;
+                    "fast"
+                },
+            )
+            .await
+        });
+        assert_eq!(out, Either::Right("fast"));
+    }
+
+    #[test]
+    fn join_all_preserves_order_and_overlaps() {
+        let mut rt = Runtime::new();
+        let (outs, elapsed) = rt.block_on(async {
+            let start = now();
+            let futs: Vec<_> = (0..5u64)
+                .map(|i| async move {
+                    sleep(Duration::from_millis(10 * (5 - i))).await;
+                    i
+                })
+                .collect();
+            let outs = join_all(futs).await;
+            (outs, now().duration_since(start))
+        });
+        assert_eq!(outs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(elapsed, Duration::from_millis(50));
+    }
+
+    #[test]
+    fn join_all_empty() {
+        let mut rt = Runtime::new();
+        let outs: Vec<u8> = rt.block_on(async { join_all(Vec::<std::future::Ready<u8>>::new()).await });
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn timeout_on_spawned_work() {
+        let mut rt = Runtime::new();
+        let ok = rt.block_on(async {
+            let handle = spawn(async {
+                sleep(Duration::from_millis(2)).await;
+                42
+            });
+            timeout(Duration::from_millis(5), handle).await
+        });
+        assert_eq!(ok, Ok(42));
+    }
+}

@@ -1,0 +1,161 @@
+//! One-shot channel: send exactly one value from one task to another.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Shared<T> {
+    value: Option<T>,
+    waker: Option<Waker>,
+    sender_dropped: bool,
+    receiver_dropped: bool,
+}
+
+/// Sending half; consumed by [`Sender::send`].
+pub struct Sender<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+    sent: bool,
+}
+
+/// Receiving half; awaiting it yields `Result<T, RecvError>`.
+pub struct Receiver<T> {
+    shared: Rc<RefCell<Shared<T>>>,
+}
+
+/// Error returned when the sender was dropped without sending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "oneshot sender dropped without sending a value")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Create a new one-shot channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Rc::new(RefCell::new(Shared {
+        value: None,
+        waker: None,
+        sender_dropped: false,
+        receiver_dropped: false,
+    }));
+    (
+        Sender {
+            shared: Rc::clone(&shared),
+            sent: false,
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send `value` to the receiver. Returns `Err(value)` if the receiver was
+    /// already dropped.
+    pub fn send(mut self, value: T) -> Result<(), T> {
+        let waker = {
+            let mut shared = self.shared.borrow_mut();
+            if shared.receiver_dropped {
+                return Err(value);
+            }
+            shared.value = Some(value);
+            shared.waker.take()
+        };
+        self.sent = true;
+        if let Some(w) = waker {
+            w.wake();
+        }
+        Ok(())
+    }
+
+    /// Whether the receiving half has been dropped.
+    pub fn is_closed(&self) -> bool {
+        self.shared.borrow().receiver_dropped
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.sent {
+            return;
+        }
+        let waker = {
+            let mut shared = self.shared.borrow_mut();
+            shared.sender_dropped = true;
+            shared.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.borrow_mut().receiver_dropped = true;
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut shared = self.shared.borrow_mut();
+        if let Some(v) = shared.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if shared.sender_dropped {
+            return Poll::Ready(Err(RecvError));
+        }
+        shared.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{sleep, spawn, Runtime};
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_receive() {
+        let mut rt = Runtime::new();
+        let v = rt.block_on(async {
+            let (tx, rx) = channel();
+            spawn(async move {
+                sleep(Duration::from_millis(3)).await;
+                tx.send(99).unwrap();
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(v, 99);
+    }
+
+    #[test]
+    fn dropped_sender_yields_error() {
+        let mut rt = Runtime::new();
+        let res = rt.block_on(async {
+            let (tx, rx) = channel::<u8>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(res, Err(RecvError));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_fails() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (tx, rx) = channel::<u8>();
+            drop(rx);
+            assert!(tx.is_closed());
+            assert_eq!(tx.send(1), Err(1));
+        });
+    }
+}

@@ -1,0 +1,850 @@
+//! The in-memory storage engine: record store + 2PL + WAL + XA participant.
+//!
+//! One [`StorageEngine`] models one data source (a MySQL or PostgreSQL
+//! instance). All statement execution goes through the XA branch state
+//! machine; locks are acquired before access and released only when the
+//! branch commits or rolls back (strict 2PL, serializable isolation).
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_simrt::{now, sleep, SimInstant};
+
+use crate::lock::{LockManager, LockMode, LockStats};
+use crate::row::Row;
+use crate::types::{Key, StorageError, Xid};
+use crate::wal::{LogRecord, WriteAheadLog};
+
+/// Virtual-time cost of local work inside the data source. These replace the
+/// real CPU/IO costs of MySQL/PostgreSQL; the defaults are in the range the
+/// paper's breakdown (Fig. 6c) reports (≈2 ms local prepare, sub-millisecond
+/// statement execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// CPU cost of executing one statement (after its locks are granted).
+    pub statement_execute: Duration,
+    /// Cost of the local prepare: state persist + WAL flush.
+    pub prepare: Duration,
+    /// Cost of applying the final commit/abort decision.
+    pub decision_apply: Duration,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            statement_execute: Duration::from_micros(200),
+            prepare: Duration::from_millis(2),
+            decision_apply: Duration::from_micros(500),
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model, useful for tests that reason purely about latency
+    /// structure (matching the paper's "we ignore the local execution time"
+    /// simplification in the motivating example).
+    pub fn zero() -> Self {
+        Self {
+            statement_execute: Duration::ZERO,
+            prepare: Duration::ZERO,
+            decision_apply: Duration::ZERO,
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Lock-wait timeout (the paper configures 5 s).
+    pub lock_wait_timeout: Duration,
+    /// Local work costs.
+    pub cost: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// XA branch states (the participant side of the protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XaState {
+    /// Statements may execute (`XA START` done).
+    Active,
+    /// Execution finished (`XA END` done), not yet prepared.
+    Ended,
+    /// Prepared: vote=yes is durable, locks still held.
+    Prepared,
+    /// Final state: committed.
+    Committed,
+    /// Final state: rolled back.
+    Aborted,
+}
+
+/// Aggregate counters for one engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Records read.
+    pub reads: u64,
+    /// Records written.
+    pub writes: u64,
+    /// Branches prepared.
+    pub prepares: u64,
+    /// Branches committed.
+    pub commits: u64,
+    /// Branches rolled back.
+    pub aborts: u64,
+    /// Sum of lock contention spans of finished branches, in microseconds
+    /// (Eq. 1: first lock acquisition to last lock release).
+    pub total_contention_span_micros: u64,
+    /// Number of finished branches that held at least one lock.
+    pub contention_span_samples: u64,
+}
+
+struct TxnEntry {
+    state: XaState,
+    /// Before-images for rollback, in reverse application order.
+    undo: Vec<(Key, Option<Row>)>,
+    /// Keys this branch has locked (for release bookkeeping).
+    locked_keys: Vec<Key>,
+    /// When the branch acquired its first lock.
+    first_lock_at: Option<SimInstant>,
+}
+
+impl TxnEntry {
+    fn new() -> Self {
+        Self {
+            state: XaState::Active,
+            undo: Vec::new(),
+            locked_keys: Vec::new(),
+            first_lock_at: None,
+        }
+    }
+}
+
+/// One simulated data source's storage engine.
+pub struct StorageEngine {
+    records: RefCell<HashMap<Key, Row>>,
+    locks: Rc<LockManager>,
+    wal: WriteAheadLog,
+    txns: RefCell<HashMap<Xid, TxnEntry>>,
+    config: EngineConfig,
+    stats: RefCell<EngineStats>,
+    crashed: Cell<bool>,
+}
+
+impl StorageEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Rc<Self> {
+        Rc::new(Self {
+            records: RefCell::new(HashMap::new()),
+            locks: LockManager::new(config.lock_wait_timeout),
+            wal: WriteAheadLog::new(),
+            txns: RefCell::new(HashMap::new()),
+            config,
+            stats: RefCell::new(EngineStats::default()),
+            crashed: Cell::new(false),
+        })
+    }
+
+    /// Create an engine with default configuration.
+    pub fn with_defaults() -> Rc<Self> {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> EngineStats {
+        *self.stats.borrow()
+    }
+
+    /// Lock-manager statistics (waits, timeouts, cancellations).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Direct access to the lock manager (used by the geo-agent for hotspot
+    /// statistics such as the number of waiters on a record).
+    pub fn lock_manager(&self) -> &Rc<LockManager> {
+        &self.locks
+    }
+
+    /// Bulk-load a record without locking or logging (initial population).
+    pub fn load(&self, key: Key, row: Row) {
+        self.records.borrow_mut().insert(key, row);
+    }
+
+    /// Read a record without any transaction (snapshot for verification only).
+    pub fn peek(&self, key: Key) -> Option<Row> {
+        self.records.borrow().get(&key).cloned()
+    }
+
+    /// Number of records stored.
+    pub fn record_count(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Whether the engine is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    fn check_available(&self) -> Result<(), StorageError> {
+        if self.crashed.get() {
+            Err(StorageError::Unavailable)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Current state of a branch, if it exists on this engine.
+    pub fn state_of(&self, xid: Xid) -> Option<XaState> {
+        self.txns.borrow().get(&xid).map(|t| t.state)
+    }
+
+    /// Start a transaction branch (`XA START` / `BEGIN`).
+    pub fn begin(&self, xid: Xid) -> Result<(), StorageError> {
+        self.check_available()?;
+        let mut txns = self.txns.borrow_mut();
+        if txns.contains_key(&xid) {
+            return Err(StorageError::InvalidState {
+                xid,
+                reason: "branch already exists",
+            });
+        }
+        txns.insert(xid, TxnEntry::new());
+        self.wal.append(LogRecord::Begin(xid));
+        Ok(())
+    }
+
+    fn ensure_active(&self, xid: Xid) -> Result<(), StorageError> {
+        match self.state_of(xid) {
+            None => Err(StorageError::UnknownTransaction(xid)),
+            Some(XaState::Active) => Ok(()),
+            Some(_) => Err(StorageError::InvalidState {
+                xid,
+                reason: "statement execution requires an ACTIVE branch",
+            }),
+        }
+    }
+
+    async fn lock(&self, xid: Xid, key: Key, mode: LockMode) -> Result<(), StorageError> {
+        let newly = self.locks.holds(xid, key).is_none();
+        match self.locks.acquire(xid, key, mode).await {
+            Ok(()) => {
+                let mut txns = self.txns.borrow_mut();
+                if let Some(entry) = txns.get_mut(&xid) {
+                    if newly {
+                        entry.locked_keys.push(key);
+                    }
+                    if entry.first_lock_at.is_none() {
+                        entry.first_lock_at = Some(now());
+                    }
+                }
+                Ok(())
+            }
+            Err(reason) => Err(StorageError::LockFailed { key, reason }),
+        }
+    }
+
+    /// Read a record under a shared lock.
+    pub async fn read(&self, xid: Xid, key: Key) -> Result<Row, StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Shared).await?;
+        sleep(self.config.cost.statement_execute).await;
+        // Re-check after the awaits: the branch may have been aborted (early
+        // abort from a peer geo-agent) while this statement was in flight.
+        self.ensure_active(xid)?;
+        self.stats.borrow_mut().reads += 1;
+        self.records
+            .borrow()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::KeyNotFound(key))
+    }
+
+    /// Read a record under an exclusive lock (`SELECT ... FOR UPDATE`).
+    pub async fn read_for_update(&self, xid: Xid, key: Key) -> Result<Row, StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Exclusive).await?;
+        sleep(self.config.cost.statement_execute).await;
+        // Re-check after the awaits: the branch may have been aborted (early
+        // abort from a peer geo-agent) while this statement was in flight.
+        self.ensure_active(xid)?;
+        self.stats.borrow_mut().reads += 1;
+        self.records
+            .borrow()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::KeyNotFound(key))
+    }
+
+    fn record_undo(&self, xid: Xid, key: Key, before: Option<Row>, after: Option<Row>) {
+        self.wal.append(LogRecord::Update {
+            xid,
+            key,
+            before: before.clone(),
+            after,
+        });
+        if let Some(entry) = self.txns.borrow_mut().get_mut(&xid) {
+            entry.undo.push((key, before));
+        }
+    }
+
+    /// Insert or overwrite a record under an exclusive lock.
+    pub async fn write(&self, xid: Xid, key: Key, row: Row) -> Result<(), StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Exclusive).await?;
+        sleep(self.config.cost.statement_execute).await;
+        self.ensure_active(xid)?;
+        let before = self.records.borrow_mut().insert(key, row.clone());
+        self.record_undo(xid, key, before, Some(row));
+        self.stats.borrow_mut().writes += 1;
+        Ok(())
+    }
+
+    /// Insert a record that must not already exist.
+    pub async fn insert(&self, xid: Xid, key: Key, row: Row) -> Result<(), StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Exclusive).await?;
+        sleep(self.config.cost.statement_execute).await;
+        self.ensure_active(xid)?;
+        {
+            let records = self.records.borrow();
+            if records.contains_key(&key) {
+                return Err(StorageError::DuplicateKey(key));
+            }
+        }
+        self.records.borrow_mut().insert(key, row.clone());
+        self.record_undo(xid, key, None, Some(row));
+        self.stats.borrow_mut().writes += 1;
+        Ok(())
+    }
+
+    /// Delete a record under an exclusive lock.
+    pub async fn delete(&self, xid: Xid, key: Key) -> Result<(), StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Exclusive).await?;
+        sleep(self.config.cost.statement_execute).await;
+        self.ensure_active(xid)?;
+        let before = self.records.borrow_mut().remove(&key);
+        if before.is_none() {
+            return Err(StorageError::KeyNotFound(key));
+        }
+        self.record_undo(xid, key, before, None);
+        self.stats.borrow_mut().writes += 1;
+        Ok(())
+    }
+
+    /// Add `delta` to integer column `col` of the record (read-modify-write
+    /// under an exclusive lock). Returns the new value.
+    pub async fn add_int(
+        &self,
+        xid: Xid,
+        key: Key,
+        col: usize,
+        delta: i64,
+    ) -> Result<i64, StorageError> {
+        self.check_available()?;
+        self.ensure_active(xid)?;
+        self.lock(xid, key, LockMode::Exclusive).await?;
+        sleep(self.config.cost.statement_execute).await;
+        self.ensure_active(xid)?;
+        let before = self
+            .records
+            .borrow()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::KeyNotFound(key))?;
+        let mut after = before.clone();
+        after.add_int(col, delta);
+        let new_value = after.get(col).and_then(crate::row::Value::as_int).unwrap_or(0);
+        self.records.borrow_mut().insert(key, after.clone());
+        self.record_undo(xid, key, Some(before), Some(after));
+        self.stats.borrow_mut().writes += 1;
+        Ok(new_value)
+    }
+
+    /// End the execution phase of a branch (`XA END`).
+    pub fn end(&self, xid: Xid) -> Result<(), StorageError> {
+        self.check_available()?;
+        let mut txns = self.txns.borrow_mut();
+        let entry = txns
+            .get_mut(&xid)
+            .ok_or(StorageError::UnknownTransaction(xid))?;
+        match entry.state {
+            XaState::Active => {
+                entry.state = XaState::Ended;
+                Ok(())
+            }
+            _ => Err(StorageError::InvalidState {
+                xid,
+                reason: "XA END requires an ACTIVE branch",
+            }),
+        }
+    }
+
+    /// Prepare a branch (`XA PREPARE` / `PREPARE TRANSACTION`): persist the
+    /// yes-vote. Allowed from `Ended` (the normal XA path) or directly from
+    /// `Active` (PostgreSQL's `PREPARE TRANSACTION` has no separate END).
+    pub async fn prepare(&self, xid: Xid) -> Result<(), StorageError> {
+        self.check_available()?;
+        {
+            let mut txns = self.txns.borrow_mut();
+            let entry = txns
+                .get_mut(&xid)
+                .ok_or(StorageError::UnknownTransaction(xid))?;
+            match entry.state {
+                XaState::Active | XaState::Ended => entry.state = XaState::Prepared,
+                _ => {
+                    return Err(StorageError::InvalidState {
+                        xid,
+                        reason: "prepare requires an ACTIVE or ENDED branch",
+                    })
+                }
+            }
+        }
+        self.wal.append(LogRecord::Prepare(xid));
+        sleep(self.config.cost.prepare).await;
+        self.wal.flush();
+        self.stats.borrow_mut().prepares += 1;
+        Ok(())
+    }
+
+    fn finish(&self, xid: Xid, committed: bool) {
+        let entry = self.txns.borrow_mut().remove(&xid);
+        let Some(entry) = entry else { return };
+        let released = self.locks.release_all(xid);
+        let mut stats = self.stats.borrow_mut();
+        if let Some(first) = entry.first_lock_at {
+            let span = now().duration_since(first);
+            stats.total_contention_span_micros += span.as_micros() as u64;
+            stats.contention_span_samples += 1;
+        }
+        let _ = released;
+        if committed {
+            stats.commits += 1;
+        } else {
+            stats.aborts += 1;
+        }
+    }
+
+    /// Commit a branch. One-phase commit (`one_phase = true`) is allowed from
+    /// `Active`/`Ended` and is what centralized transactions and the
+    /// SSP(local) baseline use; two-phase commit requires `Prepared`.
+    pub async fn commit(&self, xid: Xid, one_phase: bool) -> Result<(), StorageError> {
+        self.check_available()?;
+        {
+            let txns = self.txns.borrow();
+            let entry = txns.get(&xid).ok_or(StorageError::UnknownTransaction(xid))?;
+            let ok = match entry.state {
+                XaState::Prepared => true,
+                XaState::Active | XaState::Ended => one_phase,
+                _ => false,
+            };
+            if !ok {
+                return Err(StorageError::InvalidState {
+                    xid,
+                    reason: "commit requires PREPARED (or ACTIVE/ENDED with one-phase)",
+                });
+            }
+        }
+        self.wal.append(LogRecord::Commit(xid));
+        sleep(self.config.cost.decision_apply).await;
+        self.wal.flush();
+        self.finish(xid, true);
+        Ok(())
+    }
+
+    /// Roll back a branch from any non-final state, undoing its writes.
+    pub async fn rollback(&self, xid: Xid) -> Result<(), StorageError> {
+        self.check_available()?;
+        {
+            let txns = self.txns.borrow();
+            let entry = txns.get(&xid).ok_or(StorageError::UnknownTransaction(xid))?;
+            if matches!(entry.state, XaState::Committed | XaState::Aborted) {
+                return Err(StorageError::InvalidState {
+                    xid,
+                    reason: "branch already finished",
+                });
+            }
+        }
+        self.undo_writes(xid);
+        self.wal.append(LogRecord::Abort(xid));
+        sleep(self.config.cost.decision_apply).await;
+        self.wal.flush();
+        self.finish(xid, false);
+        Ok(())
+    }
+
+    fn undo_writes(&self, xid: Xid) {
+        let undo: Vec<(Key, Option<Row>)> = self
+            .txns
+            .borrow_mut()
+            .get_mut(&xid)
+            .map(|e| e.undo.drain(..).collect())
+            .unwrap_or_default();
+        let mut records = self.records.borrow_mut();
+        for (key, before) in undo.into_iter().rev() {
+            match before {
+                Some(row) => {
+                    records.insert(key, row);
+                }
+                None => {
+                    records.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Branches currently in the `Prepared` state (`XA RECOVER`).
+    pub fn prepared_xids(&self) -> Vec<Xid> {
+        let mut xids: Vec<Xid> = self
+            .txns
+            .borrow()
+            .iter()
+            .filter(|(_, e)| e.state == XaState::Prepared)
+            .map(|(x, _)| *x)
+            .collect();
+        xids.sort();
+        xids
+    }
+
+    /// Abort every branch that has not completed the prepare phase. This is
+    /// what the paper's setting ❶ relies on: data sources abort unprepared
+    /// subtransactions when the middleware disconnects.
+    pub async fn abort_unprepared(&self) -> Vec<Xid> {
+        let victims: Vec<Xid> = self
+            .txns
+            .borrow()
+            .iter()
+            .filter(|(_, e)| matches!(e.state, XaState::Active | XaState::Ended))
+            .map(|(x, _)| *x)
+            .collect();
+        for xid in &victims {
+            let _ = self.rollback(*xid).await;
+        }
+        victims
+    }
+
+    /// Simulate a crash: volatile WAL tail is lost and the engine stops
+    /// serving requests until [`StorageEngine::restart`].
+    pub fn crash(&self) {
+        self.crashed.set(true);
+        self.wal.truncate_to_durable();
+    }
+
+    /// Restart after a crash: branches whose prepare record is durable come
+    /// back in the `Prepared` state (locks re-acquired implicitly by keeping
+    /// their entries); every other branch is rolled back (setting ❷).
+    pub async fn restart(&self) -> Vec<Xid> {
+        self.crashed.set(false);
+        let durable_prepared = self.wal.prepared_but_undecided();
+        // Roll back branches that never reached a durable prepare.
+        let victims: Vec<Xid> = self
+            .txns
+            .borrow()
+            .iter()
+            .filter(|(x, e)| {
+                !durable_prepared.contains(x)
+                    && !matches!(e.state, XaState::Committed | XaState::Aborted)
+            })
+            .map(|(x, _)| *x)
+            .collect();
+        for xid in &victims {
+            let _ = self.rollback(*xid).await;
+        }
+        // Branches with a durable prepare survive in Prepared state.
+        let mut txns = self.txns.borrow_mut();
+        for xid in &durable_prepared {
+            if let Some(entry) = txns.get_mut(xid) {
+                entry.state = XaState::Prepared;
+            }
+        }
+        durable_prepared
+    }
+
+    /// Reference to the write-ahead log (tests and recovery audits).
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TableId;
+    use geotp_simrt::{spawn, Runtime};
+
+    fn key(row: u64) -> Key {
+        Key::new(TableId(0), row)
+    }
+    fn xid(n: u64) -> Xid {
+        Xid::new(n, 0)
+    }
+
+    fn engine() -> Rc<StorageEngine> {
+        let eng = StorageEngine::new(EngineConfig {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::zero(),
+        });
+        eng.load(key(1), Row::int(100));
+        eng.load(key(2), Row::int(200));
+        eng
+    }
+
+    #[test]
+    fn read_write_commit_cycle() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            assert_eq!(eng.read(xid(1), key(1)).await.unwrap().int_value(), Some(100));
+            eng.add_int(xid(1), key(1), 0, -30).await.unwrap();
+            eng.end(xid(1)).unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+            eng.commit(xid(1), false).await.unwrap();
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(70));
+            let s = eng.stats();
+            assert_eq!((s.reads, s.writes, s.prepares, s.commits), (1, 1, 1, 1));
+        });
+    }
+
+    #[test]
+    fn rollback_undoes_all_writes_in_reverse_order() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 11).await.unwrap();
+            eng.add_int(xid(1), key(1), 0, 22).await.unwrap();
+            eng.write(xid(1), key(2), Row::int(999)).await.unwrap();
+            eng.insert(xid(1), key(3), Row::int(5)).await.unwrap();
+            eng.rollback(xid(1)).await.unwrap();
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(100));
+            assert_eq!(eng.peek(key(2)).unwrap().int_value(), Some(200));
+            assert!(eng.peek(key(3)).is_none());
+            assert_eq!(eng.stats().aborts, 1);
+        });
+    }
+
+    #[test]
+    fn locks_block_concurrent_writer_until_commit() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+
+            let eng2 = Rc::clone(&eng);
+            let other = spawn(async move {
+                eng2.begin(xid(2)).unwrap();
+                let started = now();
+                eng2.add_int(xid(2), key(1), 0, 5).await.unwrap();
+                eng2.commit(xid(2), true).await.unwrap();
+                now().duration_since(started)
+            });
+
+            geotp_simrt::sleep(Duration::from_millis(80)).await;
+            eng.end(xid(1)).unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+            eng.commit(xid(1), false).await.unwrap();
+
+            let blocked_for = other.await;
+            assert!(blocked_for >= Duration::from_millis(80));
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(106));
+        });
+    }
+
+    #[test]
+    fn statement_after_prepare_is_rejected() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+            let err = eng.read(xid(1), key(1)).await.unwrap_err();
+            assert!(matches!(err, StorageError::InvalidState { .. }));
+        });
+    }
+
+    #[test]
+    fn two_phase_commit_requires_prepare() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.end(xid(1)).unwrap();
+            let err = eng.commit(xid(1), false).await.unwrap_err();
+            assert!(matches!(err, StorageError::InvalidState { .. }));
+            // One-phase commit from ENDED is fine (centralized transactions).
+            eng.commit(xid(1), true).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn duplicate_begin_and_unknown_xid_errors() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            assert!(matches!(
+                eng.begin(xid(1)).unwrap_err(),
+                StorageError::InvalidState { .. }
+            ));
+            assert!(matches!(
+                eng.read(xid(9), key(1)).await.unwrap_err(),
+                StorageError::UnknownTransaction(_)
+            ));
+            assert!(matches!(
+                eng.commit(xid(9), true).await.unwrap_err(),
+                StorageError::UnknownTransaction(_)
+            ));
+        });
+    }
+
+    #[test]
+    fn insert_duplicate_and_delete_missing() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            assert!(matches!(
+                eng.insert(xid(1), key(1), Row::int(1)).await.unwrap_err(),
+                StorageError::DuplicateKey(_)
+            ));
+            assert!(matches!(
+                eng.delete(xid(1), key(77)).await.unwrap_err(),
+                StorageError::KeyNotFound(_)
+            ));
+            eng.delete(xid(1), key(2)).await.unwrap();
+            eng.rollback(xid(1)).await.unwrap();
+            assert!(eng.peek(key(2)).is_some(), "delete must be undone by rollback");
+        });
+    }
+
+    #[test]
+    fn lock_timeout_surfaces_as_lock_failed() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = StorageEngine::new(EngineConfig {
+                lock_wait_timeout: Duration::from_millis(50),
+                cost: CostModel::zero(),
+            });
+            eng.load(key(1), Row::int(0));
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            eng.begin(xid(2)).unwrap();
+            let err = eng.add_int(xid(2), key(1), 0, 1).await.unwrap_err();
+            assert!(matches!(
+                err,
+                StorageError::LockFailed {
+                    reason: crate::lock::LockError::Timeout,
+                    ..
+                }
+            ));
+        });
+    }
+
+    #[test]
+    fn prepared_xids_and_abort_unprepared() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+
+            eng.begin(xid(2)).unwrap();
+            eng.add_int(xid(2), key(2), 0, 1).await.unwrap();
+
+            assert_eq!(eng.prepared_xids(), vec![xid(1)]);
+            let aborted = eng.abort_unprepared().await;
+            assert_eq!(aborted, vec![xid(2)]);
+            assert_eq!(eng.peek(key(2)).unwrap().int_value(), Some(200));
+            // The prepared branch is untouched.
+            assert_eq!(eng.prepared_xids(), vec![xid(1)]);
+        });
+    }
+
+    #[test]
+    fn crash_loses_unprepared_work_and_keeps_prepared() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            // Branch 1: prepared (durable vote).
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 50).await.unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+            // Branch 2: still active.
+            eng.begin(xid(2)).unwrap();
+            eng.add_int(xid(2), key(2), 0, 50).await.unwrap();
+
+            eng.crash();
+            assert!(eng.is_crashed());
+            assert!(matches!(eng.begin(xid(3)).unwrap_err(), StorageError::Unavailable));
+
+            let recovered = eng.restart().await;
+            assert_eq!(recovered, vec![xid(1)]);
+            assert_eq!(eng.state_of(xid(1)), Some(XaState::Prepared));
+            // Branch 2 was rolled back, its write undone.
+            assert_eq!(eng.peek(key(2)).unwrap().int_value(), Some(200));
+            // The prepared branch can still be committed after recovery.
+            eng.commit(xid(1), false).await.unwrap();
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(150));
+        });
+    }
+
+    #[test]
+    fn contention_span_matches_hold_duration() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = engine();
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            geotp_simrt::sleep(Duration::from_millis(120)).await;
+            eng.commit(xid(1), true).await.unwrap();
+            let s = eng.stats();
+            assert_eq!(s.contention_span_samples, 1);
+            assert_eq!(s.total_contention_span_micros, 120_000);
+        });
+    }
+
+    #[test]
+    fn costs_are_charged_in_virtual_time() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = StorageEngine::new(EngineConfig {
+                lock_wait_timeout: Duration::from_secs(5),
+                cost: CostModel {
+                    statement_execute: Duration::from_millis(1),
+                    prepare: Duration::from_millis(2),
+                    decision_apply: Duration::from_millis(3),
+                },
+            });
+            eng.load(key(1), Row::int(0));
+            let start = now();
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            eng.end(xid(1)).unwrap();
+            eng.prepare(xid(1)).await.unwrap();
+            eng.commit(xid(1), false).await.unwrap();
+            assert_eq!(now().duration_since(start), Duration::from_millis(6));
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! # geotp-storage — data-source storage substrate
+//!
+//! The paper's data sources are MySQL and PostgreSQL instances operating at
+//! the serializable isolation level with two-phase locking and XA support.
+//! This crate implements the equivalent substrate from scratch:
+//!
+//! * an in-memory, multi-table record store ([`engine::StorageEngine`]),
+//! * a strict two-phase-locking [`lock::LockManager`] with shared/exclusive
+//!   record locks, FIFO wait queues, lock upgrades and a lock-wait timeout
+//!   (the paper configures MySQL/PostgreSQL with a 5 s timeout),
+//! * a write-ahead log ([`wal::WriteAheadLog`]) whose flush latency is part of
+//!   the simulated prepare cost,
+//! * an XA participant state machine (`ACTIVE → ENDED → PREPARED →
+//!   COMMITTED/ABORTED`) with crash/recovery semantics matching the two
+//!   assumptions the paper relies on (§V-A ❶❷): unprepared subtransactions are
+//!   aborted when the coordinator disconnects or when the data source
+//!   restarts; prepared subtransactions survive restarts with their locks.
+//!
+//! Locks are held from first access until the commit/abort is applied, so the
+//! *lock contention span* of Eq. (1) in the paper is directly observable.
+
+pub mod engine;
+pub mod lock;
+pub mod row;
+pub mod types;
+pub mod wal;
+
+pub use engine::{CostModel, EngineConfig, EngineStats, StorageEngine, XaState};
+pub use lock::{LockError, LockManager, LockMode, LockStats};
+pub use row::{Row, Value};
+pub use types::{Key, StorageError, TableId, Xid};
+pub use wal::{LogRecord, WriteAheadLog};

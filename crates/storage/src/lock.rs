@@ -1,0 +1,592 @@
+//! Strict two-phase-locking record lock manager.
+//!
+//! Matches the behaviour the paper assumes from MySQL/PostgreSQL under
+//! serializable isolation:
+//!
+//! * shared locks for reads (`SELECT ... FOR SHARE` after the middleware's
+//!   rewrite), exclusive locks for writes;
+//! * FIFO wait queues per record, with lock upgrades (S→X) allowed only for a
+//!   sole holder;
+//! * a lock-wait timeout (default 5 s, the paper's configuration) after which
+//!   the waiter fails and its transaction must abort — this is also the only
+//!   deadlock-resolution mechanism, exactly like InnoDB's default;
+//! * all locks are released only when the transaction commits or aborts
+//!   (strict 2PL), so the lock contention span of Eq. (1) emerges naturally.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_simrt::sync::oneshot;
+use geotp_simrt::{now, timeout, SimInstant};
+
+use crate::types::{Key, Xid};
+
+/// Lock mode requested on a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock: compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) lock: incompatible with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+/// Why a lock acquisition failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockError {
+    /// The lock-wait timeout elapsed (the data source would return
+    /// `ER_LOCK_WAIT_TIMEOUT`); the transaction must abort.
+    Timeout,
+    /// The waiting transaction was aborted while queued (early abort).
+    Cancelled,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout => write!(f, "lock wait timeout exceeded"),
+            LockError::Cancelled => write!(f, "lock wait cancelled (transaction aborted)"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+struct Waiter {
+    xid: Xid,
+    mode: LockMode,
+    waiter_id: u64,
+    grant: oneshot::Sender<Result<(), LockError>>,
+}
+
+#[derive(Default)]
+struct LockEntry {
+    /// Current holders. Either any number of `Shared` holders or exactly one
+    /// `Exclusive` holder.
+    holders: Vec<(Xid, LockMode)>,
+    waiters: VecDeque<Waiter>,
+    /// Virtual instant at which the *current holder group* first acquired the
+    /// record, used to measure lock contention spans.
+    acquired_at: Option<SimInstant>,
+}
+
+impl LockEntry {
+    fn holds(&self, xid: Xid) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|(h, _)| *h == xid)
+            .map(|(_, m)| *m)
+    }
+
+    fn can_grant(&self, xid: Xid, mode: LockMode) -> bool {
+        if self.holders.is_empty() {
+            return true;
+        }
+        match mode {
+            LockMode::Shared => {
+                // Grantable if every holder is shared-compatible; waiting
+                // writers do not block new readers here only when the queue is
+                // empty (FIFO fairness — avoid writer starvation).
+                self.holders.iter().all(|(h, m)| *h == xid || m.compatible(LockMode::Shared))
+                    && self.waiters.is_empty()
+            }
+            LockMode::Exclusive => {
+                // Grantable only if we are the sole holder (upgrade) or there
+                // are no holders at all.
+                self.holders.iter().all(|(h, _)| *h == xid)
+            }
+        }
+    }
+
+    fn grant(&mut self, xid: Xid, mode: LockMode, at: SimInstant) {
+        if let Some(existing) = self.holders.iter_mut().find(|(h, _)| *h == xid) {
+            // Upgrade in place (S→X) or keep the stronger mode.
+            if mode == LockMode::Exclusive {
+                existing.1 = LockMode::Exclusive;
+            }
+        } else {
+            self.holders.push((xid, mode));
+        }
+        if self.acquired_at.is_none() {
+            self.acquired_at = Some(at);
+        }
+    }
+}
+
+/// Aggregate lock-manager statistics (inputs to abort-rate and contention
+/// reporting in the experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Lock requests granted immediately.
+    pub immediate_grants: u64,
+    /// Lock requests that had to wait before being granted.
+    pub waited_grants: u64,
+    /// Lock requests that failed with a timeout.
+    pub timeouts: u64,
+    /// Lock requests cancelled while waiting (early aborts).
+    pub cancelled: u64,
+    /// Total virtual time spent waiting for locks, in microseconds.
+    pub total_wait_micros: u64,
+}
+
+/// The per-data-source lock manager.
+pub struct LockManager {
+    entries: RefCell<HashMap<Key, LockEntry>>,
+    wait_timeout: Duration,
+    next_waiter_id: RefCell<u64>,
+    stats: RefCell<LockStats>,
+}
+
+impl LockManager {
+    /// Create a lock manager with the given lock-wait timeout.
+    pub fn new(wait_timeout: Duration) -> Rc<Self> {
+        Rc::new(Self {
+            entries: RefCell::new(HashMap::new()),
+            wait_timeout,
+            next_waiter_id: RefCell::new(0),
+            stats: RefCell::new(LockStats::default()),
+        })
+    }
+
+    /// The configured lock-wait timeout.
+    pub fn wait_timeout(&self) -> Duration {
+        self.wait_timeout
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> LockStats {
+        *self.stats.borrow()
+    }
+
+    /// Number of transactions currently waiting for `key` (the `a_cnt − 1`
+    /// input to the late-transaction-scheduling heuristic).
+    pub fn waiters_on(&self, key: Key) -> usize {
+        self.entries
+            .borrow()
+            .get(&key)
+            .map(|e| e.waiters.len())
+            .unwrap_or(0)
+    }
+
+    /// Number of transactions currently holding a lock on `key`.
+    pub fn holders_on(&self, key: Key) -> usize {
+        self.entries
+            .borrow()
+            .get(&key)
+            .map(|e| e.holders.len())
+            .unwrap_or(0)
+    }
+
+    /// Whether `xid` currently holds a lock on `key` (of any mode).
+    pub fn holds(&self, xid: Xid, key: Key) -> Option<LockMode> {
+        self.entries.borrow().get(&key).and_then(|e| e.holds(xid))
+    }
+
+    /// Acquire a lock on `key` for `xid`, waiting up to the configured
+    /// lock-wait timeout.
+    pub async fn acquire(self: &Rc<Self>, xid: Xid, key: Key, mode: LockMode) -> Result<(), LockError> {
+        let request_at = now();
+        // Fast path: grant immediately when compatible.
+        {
+            let mut entries = self.entries.borrow_mut();
+            let entry = entries.entry(key).or_default();
+            if let Some(held) = entry.holds(xid) {
+                if held == LockMode::Exclusive || mode == LockMode::Shared {
+                    // Re-entrant acquisition of an equal-or-weaker mode.
+                    self.stats.borrow_mut().immediate_grants += 1;
+                    return Ok(());
+                }
+            }
+            if entry.can_grant(xid, mode) {
+                entry.grant(xid, mode, request_at);
+                self.stats.borrow_mut().immediate_grants += 1;
+                return Ok(());
+            }
+        }
+
+        // Slow path: enqueue and wait for a grant, a cancellation or a timeout.
+        let (tx, rx) = oneshot::channel();
+        let waiter_id = {
+            let mut next = self.next_waiter_id.borrow_mut();
+            *next += 1;
+            *next
+        };
+        self.entries
+            .borrow_mut()
+            .entry(key)
+            .or_default()
+            .waiters
+            .push_back(Waiter {
+                xid,
+                mode,
+                waiter_id,
+                grant: tx,
+            });
+
+        let outcome = timeout(self.wait_timeout, rx).await;
+        let waited = now().duration_since(request_at);
+        let mut stats = self.stats.borrow_mut();
+        stats.total_wait_micros += waited.as_micros() as u64;
+        match outcome {
+            Ok(Ok(Ok(()))) => {
+                stats.waited_grants += 1;
+                Ok(())
+            }
+            Ok(Ok(Err(err))) => {
+                if err == LockError::Cancelled {
+                    stats.cancelled += 1;
+                } else {
+                    stats.timeouts += 1;
+                }
+                Err(err)
+            }
+            Ok(Err(_dropped)) => {
+                stats.cancelled += 1;
+                Err(LockError::Cancelled)
+            }
+            Err(_elapsed) => {
+                drop(stats);
+                // Remove ourselves from the queue; the grant may not have
+                // happened (if it had, the oneshot would have resolved first).
+                self.remove_waiter(key, waiter_id);
+                self.stats.borrow_mut().timeouts += 1;
+                Err(LockError::Timeout)
+            }
+        }
+    }
+
+    fn remove_waiter(&self, key: Key, waiter_id: u64) {
+        let mut entries = self.entries.borrow_mut();
+        if let Some(entry) = entries.get_mut(&key) {
+            entry.waiters.retain(|w| w.waiter_id != waiter_id);
+        }
+        drop(entries);
+        // Removing a waiter can unblock the head of the queue (e.g. a timed-out
+        // writer was blocking compatible readers behind it).
+        self.promote_waiters(key);
+    }
+
+    /// Cancel every queued wait belonging to `xid` (used by the early-abort
+    /// path so a doomed transaction stops queueing for locks).
+    pub fn cancel_waiters(&self, xid: Xid) {
+        let keys: Vec<Key> = self.entries.borrow().keys().copied().collect();
+        for key in keys {
+            let cancelled: Vec<Waiter> = {
+                let mut entries = self.entries.borrow_mut();
+                let Some(entry) = entries.get_mut(&key) else {
+                    continue;
+                };
+                let mut kept = VecDeque::new();
+                let mut cancelled = Vec::new();
+                while let Some(w) = entry.waiters.pop_front() {
+                    if w.xid == xid {
+                        cancelled.push(w);
+                    } else {
+                        kept.push_back(w);
+                    }
+                }
+                entry.waiters = kept;
+                cancelled
+            };
+            for w in cancelled {
+                let _ = w.grant.send(Err(LockError::Cancelled));
+            }
+            self.promote_waiters(key);
+        }
+    }
+
+    /// Release every lock held by `xid` and grant newly-compatible waiters.
+    /// Returns the keys that were released (with the duration they were held),
+    /// which the engine uses to update contention statistics.
+    pub fn release_all(&self, xid: Xid) -> Vec<(Key, Duration)> {
+        let mut released = Vec::new();
+        let keys: Vec<Key> = self.entries.borrow().keys().copied().collect();
+        for key in keys {
+            let did_release = {
+                let mut entries = self.entries.borrow_mut();
+                let Some(entry) = entries.get_mut(&key) else {
+                    continue;
+                };
+                let before = entry.holders.len();
+                entry.holders.retain(|(h, _)| *h != xid);
+                let did = entry.holders.len() != before;
+                if did {
+                    if let Some(at) = entry.acquired_at {
+                        released.push((key, now().duration_since(at)));
+                    } else {
+                        released.push((key, Duration::ZERO));
+                    }
+                    if entry.holders.is_empty() {
+                        entry.acquired_at = None;
+                    }
+                }
+                did
+            };
+            if did_release {
+                self.promote_waiters(key);
+            }
+        }
+        released
+    }
+
+    /// Grant as many queued waiters on `key` as compatibility allows (FIFO).
+    fn promote_waiters(&self, key: Key) {
+        loop {
+            let granted = {
+                let mut entries = self.entries.borrow_mut();
+                let Some(entry) = entries.get_mut(&key) else {
+                    return;
+                };
+                let Some(head) = entry.waiters.front() else {
+                    // Clean up empty entries to bound memory.
+                    if entry.holders.is_empty() {
+                        entries.remove(&key);
+                    }
+                    return;
+                };
+                let can = match head.mode {
+                    LockMode::Shared => entry
+                        .holders
+                        .iter()
+                        .all(|(h, m)| *h == head.xid || m.compatible(LockMode::Shared)),
+                    LockMode::Exclusive => {
+                        entry.holders.is_empty()
+                            || entry.holders.iter().all(|(h, _)| *h == head.xid)
+                    }
+                };
+                if !can {
+                    return;
+                }
+                let head = entry.waiters.pop_front().unwrap();
+                entry.grant(head.xid, head.mode, now());
+                Some(head)
+            };
+            match granted {
+                Some(waiter) => {
+                    let _ = waiter.grant.send(Ok(()));
+                }
+                None => return,
+            }
+        }
+    }
+
+    /// Number of records that currently have at least one holder or waiter.
+    pub fn active_entries(&self) -> usize {
+        self.entries.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TableId;
+    use geotp_simrt::{sleep, spawn, Runtime};
+    use std::cell::Cell;
+
+    fn key(row: u64) -> Key {
+        Key::new(TableId(0), row)
+    }
+    fn xid(n: u64) -> Xid {
+        Xid::new(n, 0)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            lm.acquire(xid(2), key(1), LockMode::Shared).await.unwrap();
+            assert_eq!(lm.holders_on(key(1)), 2);
+            assert_eq!(lm.stats().immediate_grants, 2);
+        });
+    }
+
+    #[test]
+    fn exclusive_blocks_until_release() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            let lm2 = Rc::clone(&lm);
+            let waiter = spawn(async move {
+                let start = now();
+                lm2.acquire(xid(2), key(1), LockMode::Exclusive).await.unwrap();
+                now().duration_since(start)
+            });
+            sleep(Duration::from_millis(50)).await;
+            lm.release_all(xid(1));
+            let waited = waiter.await;
+            assert_eq!(waited, Duration::from_millis(50));
+            assert_eq!(lm.holds(xid(2), key(1)), Some(LockMode::Exclusive));
+            assert_eq!(lm.stats().waited_grants, 1);
+        });
+    }
+
+    #[test]
+    fn lock_wait_timeout_fails_the_request() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_millis(100));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            let err = lm.acquire(xid(2), key(1), LockMode::Shared).await.unwrap_err();
+            assert_eq!(err, LockError::Timeout);
+            assert_eq!(lm.stats().timeouts, 1);
+            // The timed-out waiter is no longer queued.
+            assert_eq!(lm.waiters_on(key(1)), 0);
+        });
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            // Re-entrant shared.
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            // Upgrade to exclusive as the sole holder succeeds immediately.
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
+            // Re-entrant shared while holding exclusive is a no-op.
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
+        });
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            lm.acquire(xid(2), key(1), LockMode::Shared).await.unwrap();
+            let lm2 = Rc::clone(&lm);
+            let upgrade = spawn(async move { lm2.acquire(xid(1), key(1), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(10)).await;
+            assert_eq!(lm.waiters_on(key(1)), 1);
+            lm.release_all(xid(2));
+            assert!(upgrade.await.is_ok());
+            assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
+        });
+    }
+
+    #[test]
+    fn fifo_order_prevents_writer_starvation() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            // Writer queues first.
+            let lm_w = Rc::clone(&lm);
+            let writer = spawn(async move { lm_w.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(1)).await;
+            // A late reader must not jump ahead of the queued writer.
+            let lm_r = Rc::clone(&lm);
+            let order = Rc::new(Cell::new(0u8));
+            let order_w = Rc::clone(&order);
+            let reader = spawn(async move {
+                lm_r.acquire(xid(3), key(1), LockMode::Shared).await.unwrap();
+                order_w.set(2);
+            });
+            sleep(Duration::from_millis(1)).await;
+            lm.release_all(xid(1));
+            writer.await.unwrap();
+            assert_eq!(order.get(), 0, "reader must still be waiting behind the writer");
+            lm.release_all(xid(2));
+            reader.await;
+            assert_eq!(order.get(), 2);
+        });
+    }
+
+    #[test]
+    fn cancel_waiters_unblocks_with_cancelled_error() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            let lm2 = Rc::clone(&lm);
+            let waiter = spawn(async move { lm2.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(5)).await;
+            lm.cancel_waiters(xid(2));
+            assert_eq!(waiter.await.unwrap_err(), LockError::Cancelled);
+            assert_eq!(lm.stats().cancelled, 1);
+        });
+    }
+
+    #[test]
+    fn release_reports_held_duration() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            sleep(Duration::from_millis(200)).await;
+            let released = lm.release_all(xid(1));
+            assert_eq!(released.len(), 1);
+            assert_eq!(released[0].0, key(1));
+            assert_eq!(released[0].1, Duration::from_millis(200));
+        });
+    }
+
+    #[test]
+    fn release_grants_batch_of_readers() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            let mut handles = Vec::new();
+            for i in 2..6 {
+                let lm2 = Rc::clone(&lm);
+                handles.push(spawn(async move {
+                    lm2.acquire(xid(i), key(1), LockMode::Shared).await
+                }));
+            }
+            sleep(Duration::from_millis(1)).await;
+            lm.release_all(xid(1));
+            for h in handles {
+                assert!(h.await.is_ok());
+            }
+            assert_eq!(lm.holders_on(key(1)), 4);
+        });
+    }
+
+    #[test]
+    fn deadlock_resolved_by_timeout() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_millis(50));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(2), key(2), LockMode::Exclusive).await.unwrap();
+            let lm_a = Rc::clone(&lm);
+            let a = spawn(async move { lm_a.acquire(xid(1), key(2), LockMode::Exclusive).await });
+            let lm_b = Rc::clone(&lm);
+            let b = spawn(async move { lm_b.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            let (ra, rb) = (a.await, b.await);
+            // Both waits time out (neither transaction voluntarily releases).
+            assert_eq!(ra.unwrap_err(), LockError::Timeout);
+            assert_eq!(rb.unwrap_err(), LockError::Timeout);
+        });
+    }
+
+    #[test]
+    fn entries_are_cleaned_up() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            for i in 0..100 {
+                lm.acquire(xid(1), key(i), LockMode::Exclusive).await.unwrap();
+            }
+            assert_eq!(lm.active_entries(), 100);
+            lm.release_all(xid(1));
+            assert_eq!(lm.active_entries(), 0, "released entries must be garbage collected");
+        });
+    }
+}

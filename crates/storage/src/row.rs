@@ -1,0 +1,187 @@
+//! Row and value representation.
+
+use std::fmt;
+
+/// A single column value. The workloads only need integers, floats and
+/// strings (YCSB payload fields, TPC-C balances and names).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Double-precision float (TPC-C amounts).
+    Float(f64),
+    /// UTF-8 string (names, payload padding).
+    Str(String),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Interpret as an integer if possible.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a float (integers are widened).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Interpret as a string slice if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// A record: an ordered list of column values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row {
+    columns: Vec<Value>,
+}
+
+impl Row {
+    /// An empty row.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a row from column values.
+    pub fn from_values(columns: Vec<Value>) -> Self {
+        Self { columns }
+    }
+
+    /// A single-integer-column row, the common YCSB shape.
+    pub fn int(v: i64) -> Self {
+        Self::from_values(vec![Value::Int(v)])
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column accessor.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.columns.get(idx)
+    }
+
+    /// Mutable column accessor.
+    pub fn get_mut(&mut self, idx: usize) -> Option<&mut Value> {
+        self.columns.get_mut(idx)
+    }
+
+    /// Overwrite (or extend to include) column `idx`.
+    pub fn set(&mut self, idx: usize, value: Value) {
+        if idx >= self.columns.len() {
+            self.columns.resize(idx + 1, Value::Null);
+        }
+        self.columns[idx] = value;
+    }
+
+    /// First column as integer (YCSB convenience).
+    pub fn int_value(&self) -> Option<i64> {
+        self.get(0).and_then(Value::as_int)
+    }
+
+    /// Add `delta` to the integer in column `idx` (e.g. balance updates).
+    pub fn add_int(&mut self, idx: usize, delta: i64) {
+        let current = self.get(idx).and_then(Value::as_int).unwrap_or(0);
+        self.set(idx, Value::Int(current + delta));
+    }
+
+    /// Iterate over the columns.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.columns.iter()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(columns: Vec<Value>) -> Self {
+        Self::from_values(columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_conversions() {
+        assert_eq!(Value::from(5i64).as_int(), Some(5));
+        assert_eq!(Value::from(2.5f64).as_float(), Some(2.5));
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Null.as_int(), None);
+    }
+
+    #[test]
+    fn row_set_extends_with_nulls() {
+        let mut r = Row::new();
+        r.set(2, Value::Int(9));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(0), Some(&Value::Null));
+        assert_eq!(r.get(2).unwrap().as_int(), Some(9));
+    }
+
+    #[test]
+    fn add_int_accumulates() {
+        let mut r = Row::int(100);
+        r.add_int(0, -30);
+        r.add_int(0, 5);
+        assert_eq!(r.int_value(), Some(75));
+    }
+
+    #[test]
+    fn display_values() {
+        assert_eq!(Value::Int(1).to_string(), "1");
+        assert_eq!(Value::Str("a".into()).to_string(), "'a'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

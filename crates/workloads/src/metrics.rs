@@ -1,0 +1,428 @@
+//! Measurement plumbing: latency histograms, percentiles, throughput and
+//! abort-rate accounting, CDFs and throughput timelines.
+
+use std::time::Duration;
+
+use geotp_middleware::{AbortReason, TxnOutcome};
+use geotp_simrt::SimInstant;
+
+/// A logarithmically-bucketed latency histogram (1 µs – ~1 hour range) with
+/// exact tracking of count, sum, min and max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Bucket `i` counts samples in `[bucket_floor(i), bucket_floor(i+1))`,
+    /// with sub-bucket resolution of 1/32 of each power of two.
+    buckets: Vec<u64>,
+    count: u64,
+    sum_micros: u128,
+    min_micros: u64,
+    max_micros: u64,
+}
+
+const SUB_BUCKETS: usize = 32;
+const MAX_POWER: usize = 32; // 2^32 µs ≈ 1.2 hours
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; MAX_POWER * SUB_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            min_micros: u64::MAX,
+            max_micros: 0,
+        }
+    }
+
+    fn bucket_index(micros: u64) -> usize {
+        if micros < SUB_BUCKETS as u64 {
+            return micros as usize;
+        }
+        let power = 63 - micros.leading_zeros() as usize;
+        let base = (power.saturating_sub(4)).min(MAX_POWER - 1) * SUB_BUCKETS;
+        let sub = ((micros >> power.saturating_sub(5)) as usize) & (SUB_BUCKETS - 1);
+        (base + sub).min(MAX_POWER * SUB_BUCKETS - 1)
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let power = index / SUB_BUCKETS + 4;
+        let sub = (index % SUB_BUCKETS) as u64;
+        (1u64 << power) + (sub << (power - 5))
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[Self::bucket_index(micros)] += 1;
+        self.count += 1;
+        self.sum_micros += micros as u128;
+        self.min_micros = self.min_micros.min(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros((self.sum_micros / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.min_micros)
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_micros)
+    }
+
+    /// Latency at the given percentile (0.0–100.0), approximated by the
+    /// bucket's representative value.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target {
+                return Duration::from_micros(Self::bucket_value(idx).max(self.min_micros));
+            }
+        }
+        self.max()
+    }
+
+    /// Extract `(latency, cumulative_fraction)` points for a CDF plot.
+    pub fn cdf(&self, points: usize) -> Vec<(Duration, f64)> {
+        if self.count == 0 || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                (self.percentile(frac * 100.0), frac)
+            })
+            .collect()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        self.min_micros = self.min_micros.min(other.min_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+/// Throughput over time: committed transactions per window, used for the
+/// dynamic-latency timeline of Fig. 11b.
+#[derive(Debug, Clone)]
+pub struct ThroughputTimeline {
+    window: Duration,
+    start: SimInstant,
+    commits_per_window: Vec<u64>,
+}
+
+impl ThroughputTimeline {
+    /// Create a timeline with the given window length starting at `start`.
+    pub fn new(start: SimInstant, window: Duration) -> Self {
+        Self {
+            window,
+            start,
+            commits_per_window: Vec::new(),
+        }
+    }
+
+    /// Record one committed transaction finishing at `at`.
+    pub fn record_commit(&mut self, at: SimInstant) {
+        let elapsed = at.duration_since(self.start);
+        let idx = (elapsed.as_micros() / self.window.as_micros().max(1)) as usize;
+        if self.commits_per_window.len() <= idx {
+            self.commits_per_window.resize(idx + 1, 0);
+        }
+        self.commits_per_window[idx] += 1;
+    }
+
+    /// Throughput series in transactions/second per window.
+    pub fn series_tps(&self) -> Vec<f64> {
+        let secs = self.window.as_secs_f64();
+        self.commits_per_window
+            .iter()
+            .map(|c| *c as f64 / secs)
+            .collect()
+    }
+}
+
+/// Collects transaction outcomes for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    started_at: SimInstant,
+    window: Duration,
+    committed: u64,
+    aborted: u64,
+    admission_rejections: u64,
+    execution_failures: u64,
+    prepare_failures: u64,
+    commit_latency: Histogram,
+    distributed_commit_latency: Histogram,
+    centralized_commit_latency: Histogram,
+    timeline: ThroughputTimeline,
+}
+
+impl MetricsCollector {
+    /// Start collecting at `started_at` with a 1-second throughput window.
+    pub fn new(started_at: SimInstant) -> Self {
+        Self::with_window(started_at, Duration::from_secs(1))
+    }
+
+    /// Start collecting with a custom throughput window.
+    pub fn with_window(started_at: SimInstant, window: Duration) -> Self {
+        Self {
+            started_at,
+            window,
+            committed: 0,
+            aborted: 0,
+            admission_rejections: 0,
+            execution_failures: 0,
+            prepare_failures: 0,
+            commit_latency: Histogram::new(),
+            distributed_commit_latency: Histogram::new(),
+            centralized_commit_latency: Histogram::new(),
+            timeline: ThroughputTimeline::new(started_at, window),
+        }
+    }
+
+    /// Record one transaction outcome observed at virtual time `at`.
+    pub fn record(&mut self, outcome: &TxnOutcome, at: SimInstant) {
+        if outcome.committed {
+            self.committed += 1;
+            self.commit_latency.record(outcome.latency);
+            if outcome.distributed {
+                self.distributed_commit_latency.record(outcome.latency);
+            } else {
+                self.centralized_commit_latency.record(outcome.latency);
+            }
+            self.timeline.record_commit(at);
+        } else {
+            self.aborted += 1;
+            match outcome.abort_reason {
+                Some(AbortReason::AdmissionRejected) => self.admission_rejections += 1,
+                Some(AbortReason::ExecutionFailed) => self.execution_failures += 1,
+                Some(AbortReason::PrepareFailed) => self.prepare_failures += 1,
+                _ => {}
+            }
+        }
+    }
+
+    /// Committed transactions.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Aborted transactions.
+    pub fn aborted(&self) -> u64 {
+        self.aborted
+    }
+
+    /// Total attempts.
+    pub fn attempts(&self) -> u64 {
+        self.committed + self.aborted
+    }
+
+    /// Abort rate over all attempts.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempts() == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / self.attempts() as f64
+        }
+    }
+
+    /// Throughput in committed transactions per second over `elapsed`.
+    pub fn throughput(&self, elapsed: Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.committed as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Latency histogram over committed transactions.
+    pub fn latency(&self) -> &Histogram {
+        &self.commit_latency
+    }
+
+    /// Latency histogram over committed *distributed* transactions.
+    pub fn distributed_latency(&self) -> &Histogram {
+        &self.distributed_commit_latency
+    }
+
+    /// Latency histogram over committed *centralized* transactions.
+    pub fn centralized_latency(&self) -> &Histogram {
+        &self.centralized_commit_latency
+    }
+
+    /// Throughput timeline.
+    pub fn timeline(&self) -> &ThroughputTimeline {
+        &self.timeline
+    }
+
+    /// When collection started.
+    pub fn started_at(&self) -> SimInstant {
+        self.started_at
+    }
+
+    /// The configured throughput window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Breakdown of abort causes `(admission, execution, prepare)`.
+    pub fn abort_breakdown(&self) -> (u64, u64, u64) {
+        (
+            self.admission_rejections,
+            self.execution_failures,
+            self.prepare_failures,
+        )
+    }
+
+    /// Merge another collector (e.g. from another terminal) into this one.
+    pub fn merge(&mut self, other: &MetricsCollector) {
+        self.committed += other.committed;
+        self.aborted += other.aborted;
+        self.admission_rejections += other.admission_rejections;
+        self.execution_failures += other.execution_failures;
+        self.prepare_failures += other.prepare_failures;
+        self.commit_latency.merge(&other.commit_latency);
+        self.distributed_commit_latency
+            .merge(&other.distributed_commit_latency);
+        self.centralized_commit_latency
+            .merge(&other.centralized_commit_latency);
+        for (idx, count) in other.timeline.commits_per_window.iter().enumerate() {
+            if self.timeline.commits_per_window.len() <= idx {
+                self.timeline.commits_per_window.resize(idx + 1, 0);
+            }
+            self.timeline.commits_per_window[idx] += count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_middleware::LatencyBreakdown;
+
+    fn outcome(committed: bool, ms: u64, distributed: bool) -> TxnOutcome {
+        TxnOutcome {
+            committed,
+            abort_reason: if committed {
+                None
+            } else {
+                Some(AbortReason::ExecutionFailed)
+            },
+            latency: Duration::from_millis(ms),
+            breakdown: LatencyBreakdown::default(),
+            distributed,
+            rows: vec![],
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_are_monotonic_and_close() {
+        let mut h = Histogram::new();
+        for ms in 1..=1000u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        let p999 = h.percentile(99.9);
+        assert!(p50 <= p99 && p99 <= p999);
+        // Log buckets keep ~6% relative error.
+        assert!((p50.as_millis() as i64 - 500).unsigned_abs() < 40, "p50={p50:?}");
+        assert!((p99.as_millis() as i64 - 990).unsigned_abs() < 70, "p99={p99:?}");
+        assert!(h.max() == Duration::from_millis(1000));
+        assert!(h.min() == Duration::from_millis(1));
+        assert_eq!(h.mean(), Duration::from_micros(500_500));
+    }
+
+    #[test]
+    fn histogram_cdf_is_nondecreasing() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 5, 10, 10, 20, 100, 200, 1000] {
+            h.record(Duration::from_millis(ms));
+        }
+        let cdf = h.cdf(20);
+        assert_eq!(cdf.len(), 20);
+        for pair in cdf.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collector_tracks_throughput_and_abort_rate() {
+        let start = SimInstant::ZERO;
+        let mut c = MetricsCollector::new(start);
+        for i in 0..80 {
+            c.record(
+                &outcome(true, 50, i % 5 == 0),
+                start + Duration::from_millis(100 * i),
+            );
+        }
+        for _ in 0..20 {
+            c.record(&outcome(false, 10, true), start + Duration::from_secs(1));
+        }
+        assert_eq!(c.committed(), 80);
+        assert_eq!(c.aborted(), 20);
+        assert!((c.abort_rate() - 0.2).abs() < 1e-9);
+        assert!((c.throughput(Duration::from_secs(8)) - 10.0).abs() < 1e-9);
+        assert_eq!(c.abort_breakdown(), (0, 20, 0));
+        assert_eq!(c.distributed_latency().count(), 16);
+        assert_eq!(c.centralized_latency().count(), 64);
+        let series = c.timeline().series_tps();
+        assert!(!series.is_empty());
+        assert!((series[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_collectors() {
+        let start = SimInstant::ZERO;
+        let mut a = MetricsCollector::new(start);
+        let mut b = MetricsCollector::new(start);
+        a.record(&outcome(true, 10, false), start);
+        b.record(&outcome(true, 30, true), start + Duration::from_secs(2));
+        b.record(&outcome(false, 5, true), start);
+        a.merge(&b);
+        assert_eq!(a.committed(), 2);
+        assert_eq!(a.aborted(), 1);
+        assert_eq!(a.latency().count(), 2);
+        assert_eq!(a.timeline().series_tps().len(), 3);
+    }
+}

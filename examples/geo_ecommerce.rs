@@ -1,0 +1,94 @@
+//! The paper's motivating application (§I): a global e-commerce platform that
+//! stores US user accounts in a US data source and stock data in a Singapore
+//! data source. A purchase must update both atomically.
+//!
+//! The example runs the same purchase workload against a classic XA
+//! middleware (SSP) and against GeoTP, and prints the latency and lock
+//! contention span difference — the crux of Figures 2 and 4 in the paper.
+//!
+//! ```text
+//! cargo run --example geo_ecommerce
+//! ```
+
+use std::time::Duration;
+
+use geotp::prelude::*;
+use geotp::USERTABLE;
+use geotp_simrt::join_all;
+
+const RECORDS: u64 = 10_000;
+
+/// One purchase: charge the user's US account, decrement Singapore stock.
+fn purchase(user: u64, item: u64) -> TransactionSpec {
+    TransactionSpec::single_round(vec![
+        ClientOp::add(GlobalKey::new(USERTABLE, user), -50),
+        ClientOp::add(GlobalKey::new(USERTABLE, RECORDS + item), -1),
+    ])
+}
+
+/// A local "check my account" transaction touching only the US data source.
+fn account_check(user: u64) -> TransactionSpec {
+    TransactionSpec::single_round(vec![
+        ClientOp::Read(GlobalKey::new(USERTABLE, user)),
+        ClientOp::add(GlobalKey::new(USERTABLE, user), 0),
+    ])
+}
+
+async fn run_scenario(protocol: Protocol) -> (f64, f64, f64) {
+    let cluster = ClusterBuilder::new()
+        .data_source(10, Dialect::Postgres) // US accounts, close to the middleware
+        .data_source(100, Dialect::MySql) // Singapore stock, far away
+        .records_per_node(RECORDS)
+        .protocol(protocol)
+        .build();
+    cluster.load_uniform(RECORDS, 1_000);
+
+    // A purchase and a local account check race on the same user record.
+    let mw = cluster.middleware().clone();
+    let mw2 = cluster.middleware().clone();
+    let buyer = geotp_simrt::spawn(async move { mw.run_transaction(&purchase(7, 99)).await });
+    // The account check arrives 5 ms later, like T2 in the paper's Fig. 2.
+    let checker = geotp_simrt::spawn(async move {
+        geotp_simrt::sleep(Duration::from_millis(5)).await;
+        mw2.run_transaction(&account_check(7)).await
+    });
+    let results = join_all(vec![buyer, checker]).await;
+    let purchase_latency = results[0].latency.as_secs_f64() * 1e3;
+    let check_latency = results[1].latency.as_secs_f64() * 1e3;
+    assert!(results[0].committed && results[1].committed);
+
+    // Lock contention span observed on the US (fast) data source.
+    let span_us = cluster.data_sources()[0].engine().stats();
+    let avg_span_ms = if span_us.contention_span_samples == 0 {
+        0.0
+    } else {
+        span_us.total_contention_span_micros as f64 / span_us.contention_span_samples as f64 / 1e3
+    };
+    (purchase_latency, check_latency, avg_span_ms)
+}
+
+fn main() {
+    let mut rt = geotp::runtime();
+    rt.block_on(async {
+        println!("== Geo-distributed e-commerce: purchase + concurrent account check ==\n");
+        println!(
+            "{:<12} {:>18} {:>22} {:>26}",
+            "middleware", "purchase (ms)", "account check (ms)", "avg lock span on US DS (ms)"
+        );
+        for protocol in [Protocol::SspXa, Protocol::geotp_o1(), Protocol::geotp()] {
+            let (purchase_ms, check_ms, span_ms) = run_scenario(protocol).await;
+            println!(
+                "{:<12} {:>18.1} {:>22.1} {:>26.1}",
+                protocol.name(),
+                purchase_ms,
+                check_ms,
+                span_ms
+            );
+        }
+        println!(
+            "\nGeoTP commits the cross-region purchase in ~2 WAN round trips instead of 3,\n\
+             and the latency-aware scheduler keeps the US record's lock span near its own\n\
+             10 ms RTT, so the local account check no longer queues behind the purchase."
+        );
+    });
+}

@@ -1,0 +1,186 @@
+//! Cross-crate integration tests for the paper's correctness claims (§V-B,
+//! §V-C): atomicity of distributed commits and preservation of the data
+//! sources' isolation under every protocol, including property-based tests
+//! over randomly generated conflicting workloads.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp::prelude::*;
+use geotp::storage::{CostModel, EngineConfig};
+use geotp::USERTABLE;
+use geotp_simrt::join_all;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RECORDS: u64 = 200;
+
+fn build(protocol: Protocol, lock_timeout_ms: u64, seed: u64) -> geotp::Cluster {
+    let cluster = ClusterBuilder::new()
+        .seed(seed)
+        .data_source(10, Dialect::Postgres)
+        .data_source(60, Dialect::MySql)
+        .data_source(120, Dialect::MySql)
+        .records_per_node(RECORDS)
+        .protocol(protocol)
+        .engine_config(EngineConfig {
+            lock_wait_timeout: Duration::from_millis(lock_timeout_ms),
+            cost: CostModel::default(),
+        })
+        .build();
+    cluster.load_uniform(RECORDS, 1_000);
+    cluster
+}
+
+fn gk(row: u64) -> GlobalKey {
+    GlobalKey::new(USERTABLE, row)
+}
+
+/// Generate a random transfer between two distinct accounts (possibly on
+/// different data sources), conserving the total balance.
+fn random_transfer(rng: &mut StdRng, hot_keys: u64) -> TransactionSpec {
+    let from = rng.gen_range(0..hot_keys) + RECORDS * rng.gen_range(0..3);
+    let mut to = rng.gen_range(0..hot_keys) + RECORDS * rng.gen_range(0..3);
+    if to == from {
+        to = (to + 1) % (3 * RECORDS);
+    }
+    let amount = rng.gen_range(1..50);
+    TransactionSpec::single_round(vec![
+        ClientOp::add(gk(from), -amount),
+        ClientOp::add(gk(to), amount),
+    ])
+}
+
+fn total_balance(cluster: &geotp::Cluster) -> i64 {
+    cluster.sum_records((0..3 * RECORDS).map(gk))
+}
+
+fn run_conflicting_transfers(protocol: Protocol, seed: u64, txns: usize, hot_keys: u64) -> (u64, u64, i64) {
+    let mut rt = geotp::runtime();
+    rt.block_on(async {
+        let cluster = build(protocol, 300, seed);
+        let before = total_balance(&cluster);
+        let mut handles = Vec::new();
+        for t in 0..txns {
+            let mw = Rc::clone(cluster.middleware());
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + t as u64);
+            handles.push(geotp_simrt::spawn(async move {
+                mw.run_transaction(&random_transfer(&mut rng, hot_keys)).await
+            }));
+        }
+        let outcomes = join_all(handles.into_iter().collect()).await;
+        let committed = outcomes.iter().filter(|o| o.committed).count() as u64;
+        let aborted = outcomes.len() as u64 - committed;
+        let after = total_balance(&cluster);
+        assert_eq!(
+            before, after,
+            "{}: total balance changed ({} -> {}) — atomicity violated",
+            protocol.name(),
+            before,
+            after
+        );
+        (committed, aborted, after)
+    })
+}
+
+#[test]
+fn geotp_conserves_money_under_heavy_conflicts() {
+    let (committed, aborted, _) = run_conflicting_transfers(Protocol::geotp(), 1, 60, 5);
+    assert!(committed > 0, "some transactions must commit");
+    // With only 5 hot keys and 60 concurrent transfers, conflicts are certain.
+    assert!(committed + aborted == 60);
+}
+
+#[test]
+fn ssp_and_quro_and_chiller_conserve_money_too() {
+    for protocol in [Protocol::SspXa, Protocol::Quro, Protocol::Chiller] {
+        let (committed, _, _) = run_conflicting_transfers(protocol, 2, 40, 5);
+        assert!(committed > 0, "{} committed nothing", protocol.name());
+    }
+}
+
+#[test]
+fn geotp_o1_only_and_o1_o2_conserve_money() {
+    for protocol in [Protocol::geotp_o1(), Protocol::geotp_o1_o2()] {
+        run_conflicting_transfers(protocol, 3, 40, 4);
+    }
+}
+
+#[test]
+fn early_abort_does_not_leak_partial_writes() {
+    // Force failures: a lock timeout so short that many distributed
+    // transactions abort mid-flight; none of their writes may survive.
+    let mut rt = geotp::runtime();
+    rt.block_on(async {
+        let cluster = build(Protocol::geotp(), 40, 9);
+        let before = total_balance(&cluster);
+        let mut handles = Vec::new();
+        for t in 0..40u64 {
+            let mw = Rc::clone(cluster.middleware());
+            handles.push(geotp_simrt::spawn(async move {
+                // Everyone fights over keys 0 and RECORDS (two data sources).
+                let spec = TransactionSpec::single_round(vec![
+                    ClientOp::add(gk(0), -1),
+                    ClientOp::add(gk(RECORDS), 1),
+                ]);
+                let _ = t;
+                mw.run_transaction(&spec).await
+            }));
+        }
+        let outcomes = join_all(handles.into_iter().collect()).await;
+        let committed = outcomes.iter().filter(|o| o.committed).count() as i64;
+        assert_eq!(total_balance(&cluster), before);
+        // The two hot records must reflect exactly the committed count.
+        assert_eq!(cluster.sum_records([gk(0)]), 1_000 - committed);
+        assert_eq!(cluster.sum_records([gk(RECORDS)]), 1_000 + committed);
+    });
+}
+
+#[test]
+fn serializability_committed_increments_equal_final_state() {
+    // Every transaction increments a disjoint pair plus one shared counter;
+    // under strict 2PL the shared counter must equal the number of commits.
+    let mut rt = geotp::runtime();
+    rt.block_on(async {
+        let cluster = build(Protocol::geotp(), 500, 11);
+        let mut handles = Vec::new();
+        for t in 0..30u64 {
+            let mw = Rc::clone(cluster.middleware());
+            handles.push(geotp_simrt::spawn(async move {
+                let spec = TransactionSpec::single_round(vec![
+                    ClientOp::add(gk(7), 1),                  // shared hot counter (DS0)
+                    ClientOp::add(gk(RECORDS + 1 + t), 1),    // private record (DS1)
+                ]);
+                mw.run_transaction(&spec).await
+            }));
+        }
+        let outcomes = join_all(handles.into_iter().collect()).await;
+        let committed = outcomes.iter().filter(|o| o.committed).count() as i64;
+        assert_eq!(cluster.sum_records([gk(7)]), 1_000 + committed);
+        for (t, outcome) in outcomes.iter().enumerate() {
+            let expected = if outcome.committed { 1_001 } else { 1_000 };
+            assert_eq!(cluster.sum_records([gk(RECORDS + 1 + t as u64)]), expected);
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: for any random conflicting transfer workload and any
+    /// protocol with atomicity guarantees, the total balance is conserved
+    /// (checked inside `run_conflicting_transfers`) and outcomes are
+    /// reported consistently.
+    #[test]
+    fn balance_is_conserved_for_random_workloads(
+        seed in 0u64..1_000,
+        txns in 5usize..25,
+        hot in 2u64..20,
+        protocol_idx in 0usize..3,
+    ) {
+        let protocol = [Protocol::geotp(), Protocol::SspXa, Protocol::Chiller][protocol_idx];
+        let (committed, aborted, _) = run_conflicting_transfers(protocol, seed, txns, hot);
+        prop_assert_eq!(committed + aborted, txns as u64);
+    }
+}
