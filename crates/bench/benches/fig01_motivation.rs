@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig01_motivation` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig01_motivation", geotp_experiments::figs_motivation::fig01_motivation);
+    geotp_bench::run_and_print(
+        "fig01_motivation",
+        geotp_experiments::figs_motivation::fig01_motivation,
+    );
 }

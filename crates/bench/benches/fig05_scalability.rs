@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig05_scalability` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig05_scalability", geotp_experiments::figs_overall::fig05_scalability);
+    geotp_bench::run_and_print(
+        "fig05_scalability",
+        geotp_experiments::figs_overall::fig05_scalability,
+    );
 }

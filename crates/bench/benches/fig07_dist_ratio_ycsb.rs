@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig07_dist_ratio_ycsb` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig07_dist_ratio_ycsb", geotp_experiments::figs_distributed::fig07_dist_ratio_ycsb);
+    geotp_bench::run_and_print(
+        "fig07_dist_ratio_ycsb",
+        geotp_experiments::figs_distributed::fig07_dist_ratio_ycsb,
+    );
 }

@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig08_latency_cdf` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig08_latency_cdf", geotp_experiments::figs_distributed::fig08_latency_cdf);
+    geotp_bench::run_and_print(
+        "fig08_latency_cdf",
+        geotp_experiments::figs_distributed::fig08_latency_cdf,
+    );
 }

@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig09_dist_ratio_tpcc` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig09_dist_ratio_tpcc", geotp_experiments::figs_distributed::fig09_dist_ratio_tpcc);
+    geotp_bench::run_and_print(
+        "fig09_dist_ratio_tpcc",
+        geotp_experiments::figs_distributed::fig09_dist_ratio_tpcc,
+    );
 }

@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig10_latency_config` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig10_latency_config", geotp_experiments::figs_network::fig10_latency_config);
+    geotp_bench::run_and_print(
+        "fig10_latency_config",
+        geotp_experiments::figs_network::fig10_latency_config,
+    );
 }

@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig11_random_dynamic` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig11_random_dynamic", geotp_experiments::figs_network::fig11_random_dynamic);
+    geotp_bench::run_and_print(
+        "fig11_random_dynamic",
+        geotp_experiments::figs_network::fig11_random_dynamic,
+    );
 }

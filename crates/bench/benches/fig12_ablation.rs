@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig12_ablation` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig12_ablation", geotp_experiments::figs_ablation::fig12_ablation);
+    geotp_bench::run_and_print(
+        "fig12_ablation",
+        geotp_experiments::figs_ablation::fig12_ablation,
+    );
 }

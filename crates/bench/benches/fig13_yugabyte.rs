@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig13_yugabyte` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig13_yugabyte", geotp_experiments::figs_overall::fig13_yugabyte);
+    geotp_bench::run_and_print(
+        "fig13_yugabyte",
+        geotp_experiments::figs_overall::fig13_yugabyte,
+    );
 }

@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig14_txn_length` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig14_txn_length", geotp_experiments::figs_ablation::fig14_txn_length);
+    geotp_bench::run_and_print(
+        "fig14_txn_length",
+        geotp_experiments::figs_ablation::fig14_txn_length,
+    );
 }

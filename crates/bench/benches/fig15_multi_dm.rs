@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench fig15_multi_dm` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("fig15_multi_dm", geotp_experiments::figs_overall::fig15_multi_dm);
+    geotp_bench::run_and_print(
+        "fig15_multi_dm",
+        geotp_experiments::figs_overall::fig15_multi_dm,
+    );
 }

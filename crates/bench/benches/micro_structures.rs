@@ -37,6 +37,108 @@ fn bench_lock_manager(c: &mut Criterion) {
     });
 }
 
+/// The contended path: N writers queued on one hot key. Measures the
+/// release→promote cascade (every grant walks the FIFO queue) and the
+/// acquire→timeout path, at two very different lock-table sizes. With the
+/// per-transaction key index, `release_all` touches only the releasing
+/// transaction's keys, so the two table sizes must bench flat; the pre-index
+/// implementation scanned the whole table per release and degraded linearly.
+fn bench_contended_lock_manager(c: &mut Criterion) {
+    const WRITERS: u64 = 64;
+    // Pre-fill the lock table with unrelated held keys in the *untimed* setup
+    // so the measurement isolates the contended acquire/release/promote work.
+    fn prefilled(table_size: u64, wait_timeout: Duration) -> (Runtime, Rc<LockManager>) {
+        let mut rt = Runtime::new();
+        let lm = rt.block_on(async move {
+            let lm = LockManager::new(wait_timeout);
+            // Unrelated transactions holding `table_size` other keys: pure
+            // lock-table bulk.
+            for i in 0..table_size {
+                lm.acquire(
+                    Xid::new(100_000 + i, 0),
+                    Key::new(TableId(1), i),
+                    LockMode::Exclusive,
+                )
+                .await
+                .unwrap();
+            }
+            lm
+        });
+        (rt, lm)
+    }
+    for table_size in [0u64, 10_000] {
+        c.bench_function(
+            &format!("lock_manager/contended_promote_chain_64_writers_table_{table_size}"),
+            |b| {
+                b.iter_batched(
+                    || prefilled(table_size, Duration::from_secs(30)),
+                    |(mut rt, lm)| {
+                        rt.block_on(async {
+                            let hot = Key::new(TableId(0), 0);
+                            let holder = Xid::new(1, 0);
+                            lm.acquire(holder, hot, LockMode::Exclusive).await.unwrap();
+                            let mut handles = Vec::new();
+                            for w in 0..WRITERS {
+                                let lm2 = Rc::clone(&lm);
+                                handles.push(geotp_simrt::spawn(async move {
+                                    let xid = Xid::new(2 + w, 0);
+                                    lm2.acquire(xid, hot, LockMode::Exclusive).await.unwrap();
+                                    // Each grant immediately releases, promoting
+                                    // the next queued writer (FIFO chain).
+                                    lm2.release_all(xid);
+                                }));
+                            }
+                            geotp_simrt::sleep(Duration::from_millis(1)).await;
+                            lm.release_all(holder);
+                            for h in handles {
+                                h.await;
+                            }
+                        });
+                        // Returned so the prefilled table's teardown is not timed.
+                        (rt, lm)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+        c.bench_function(
+            &format!("lock_manager/contended_acquire_timeout_64_writers_table_{table_size}"),
+            |b| {
+                b.iter_batched(
+                    || prefilled(table_size, Duration::from_millis(5)),
+                    |(mut rt, lm)| {
+                        rt.block_on(async {
+                            let hot = Key::new(TableId(0), 0);
+                            lm.acquire(Xid::new(1, 0), hot, LockMode::Exclusive)
+                                .await
+                                .unwrap();
+                            let mut handles = Vec::new();
+                            for w in 0..WRITERS {
+                                let lm2 = Rc::clone(&lm);
+                                handles.push(geotp_simrt::spawn(async move {
+                                    // The holder never releases: every waiter
+                                    // exercises acquire→timeout→dequeue.
+                                    let err = lm2
+                                        .acquire(Xid::new(2 + w, 0), hot, LockMode::Exclusive)
+                                        .await
+                                        .unwrap_err();
+                                    assert_eq!(err, geotp_storage::LockError::Timeout);
+                                }));
+                            }
+                            for h in handles {
+                                h.await;
+                            }
+                        });
+                        // Returned so the prefilled table's teardown is not timed.
+                        (rt, lm)
+                    },
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+}
+
 fn bench_hotspot(c: &mut Criterion) {
     c.bench_function("hotspot/feedback_and_forecast", |b| {
         let keys: Vec<GlobalKey> = (0..5).map(|i| GlobalKey::new(TableId(0), i)).collect();
@@ -66,7 +168,9 @@ fn bench_scheduler(c: &mut Criterion) {
                     let monitor = geotp_net::LatencyMonitor::new(
                         &net,
                         geotp_net::NodeId::middleware(0),
-                        &(0..4).map(geotp_net::NodeId::data_source).collect::<Vec<_>>(),
+                        &(0..4)
+                            .map(geotp_net::NodeId::data_source)
+                            .collect::<Vec<_>>(),
                         geotp_net::MonitorConfig::default(),
                     );
                     let scheduler = GeoScheduler::new(SchedulerConfig::default(), monitor);
@@ -115,6 +219,6 @@ fn bench_zipfian(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_lock_manager, bench_hotspot, bench_scheduler, bench_zipfian
+    targets = bench_lock_manager, bench_contended_lock_manager, bench_hotspot, bench_scheduler, bench_zipfian
 }
 criterion_main!(benches);

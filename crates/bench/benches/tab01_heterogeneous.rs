@@ -2,5 +2,8 @@
 //! Run with `cargo bench --bench tab01_heterogeneous` (set `GEOTP_FULL=1` for paper scale).
 
 fn main() {
-    geotp_bench::run_and_print("tab01_heterogeneous", geotp_experiments::figs_overall::tab01_heterogeneous);
+    geotp_bench::run_and_print(
+        "tab01_heterogeneous",
+        geotp_experiments::figs_overall::tab01_heterogeneous,
+    );
 }

@@ -1,0 +1,121 @@
+//! End-to-end wall-clock throughput harness for the simulation hot path.
+//!
+//! Drives the paper-default deployment (4 data sources at 0/27/73/251 ms RTT,
+//! range-partitioned usertable) with the transactional YCSB workload through
+//! the full stack — SQL-free spec path, GeoTP coordinator, geo-agents, 2PL
+//! storage engines — and reports **committed transactions per wall-clock
+//! second**, i.e. how fast the simulator itself runs, not the simulated tps.
+//! This is the number the hot-path optimizations (lock-release index, slab
+//! executor, cached wakers) are measured against; the before/after record
+//! lives in `BENCH_hotpath.json`.
+//!
+//! Run with `cargo bench --bench throughput`. Environment knobs:
+//!
+//! * `GEOTP_TPUT_ROWS`      records per node          (default 1_000_000)
+//! * `GEOTP_TPUT_TERMINALS` closed-loop terminals     (default 256)
+//! * `GEOTP_TPUT_SECS`      virtual measure window, s (default 120)
+//! * `GEOTP_TPUT_DIST`      distributed-txn ratio     (default 0.2)
+//! * `GEOTP_TPUT_SEED`      driver seed               (default 42)
+//! * `GEOTP_TPUT_THETA`     contention preset: low|medium|high (default medium)
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use geotp::prelude::*;
+use geotp_simrt::Runtime;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let rows_per_node = env_u64("GEOTP_TPUT_ROWS", 1_000_000);
+    let terminals = env_u64("GEOTP_TPUT_TERMINALS", 256) as usize;
+    let measure = Duration::from_secs(env_u64("GEOTP_TPUT_SECS", 120));
+    let dist_ratio = env_f64("GEOTP_TPUT_DIST", 0.2);
+    let seed = env_u64("GEOTP_TPUT_SEED", 42);
+    let contention = match std::env::var("GEOTP_TPUT_THETA").as_deref() {
+        Ok("low") => Contention::Low,
+        Ok("high") => Contention::High,
+        _ => Contention::Medium,
+    };
+    let nodes = 4u32;
+
+    eprintln!(
+        ">>> throughput: {nodes} data sources (paper RTTs), {rows_per_node} rows/node, \
+         {terminals} terminals, {}s virtual window, dist ratio {dist_ratio}",
+        measure.as_secs()
+    );
+
+    let mut rt = Runtime::new();
+    let setup_started = Instant::now();
+    let (report, run_wall) = rt.block_on(async move {
+        let cluster = ClusterBuilder::new()
+            .paper_default_sources()
+            .records_per_node(rows_per_node)
+            .protocol(Protocol::geotp())
+            .build();
+
+        let ycsb = YcsbConfig::new(nodes, rows_per_node)
+            .with_contention(contention)
+            .with_distributed_ratio(dist_ratio);
+        let generator = Rc::new(YcsbGenerator::new(ycsb));
+        generator.load(cluster.data_sources());
+        let setup_wall = setup_started.elapsed();
+        eprintln!(
+            "    setup (load {} rows): {:.2}s wall",
+            nodes as u64 * rows_per_node,
+            setup_wall.as_secs_f64()
+        );
+
+        let run_started = Instant::now();
+        let report = run_benchmark(
+            Rc::clone(cluster.middleware()),
+            WorkloadMix::Ycsb(generator),
+            DriverConfig {
+                terminals,
+                warmup: Duration::from_secs(2),
+                measure,
+                seed,
+            },
+        )
+        .await;
+        let run_wall = run_started.elapsed();
+        (report, run_wall)
+    });
+    let metrics = rt.metrics();
+
+    let committed = report.metrics.committed();
+    let aborted = report.metrics.aborted();
+    let wall = run_wall.as_secs_f64();
+    let committed_per_wall_sec = committed as f64 / wall;
+
+    println!(
+        "throughput: committed={committed} aborted={aborted} \
+         virtual_tps={:.1} wall_secs={wall:.2} committed_per_wall_sec={committed_per_wall_sec:.1} \
+         polls={} timers={} clock_advances={}",
+        report.throughput(),
+        metrics.polls,
+        metrics.timers_registered,
+        metrics.clock_advances,
+    );
+    println!(
+        "json: {{\"rows_per_node\": {rows_per_node}, \"terminals\": {terminals}, \
+         \"virtual_secs\": {}, \"dist_ratio\": {dist_ratio}, \"committed\": {committed}, \
+         \"aborted\": {aborted}, \"virtual_tps\": {:.1}, \"wall_secs\": {wall:.2}, \
+         \"committed_per_wall_sec\": {committed_per_wall_sec:.1}, \"polls\": {}}}",
+        measure.as_secs(),
+        report.throughput(),
+        metrics.polls,
+    );
+}

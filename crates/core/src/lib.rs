@@ -70,8 +70,7 @@ pub mod prelude {
     pub use geotp_storage::Row;
     pub use geotp_workloads::driver::run_benchmark;
     pub use geotp_workloads::{
-        Contention, DriverConfig, TpccConfig, TpccGenerator, WorkloadMix, YcsbConfig,
-        YcsbGenerator,
+        Contention, DriverConfig, TpccConfig, TpccGenerator, WorkloadMix, YcsbConfig, YcsbGenerator,
     };
 }
 
@@ -216,7 +215,8 @@ impl ClusterBuilder {
         // Wire the latency matrix: DM↔DS links as configured, DS↔DS links as
         // the maximum of the two endpoints' DM RTTs (geo-agents of distant
         // regions are roughly as far from each other as from the middleware).
-        let mut net_builder = NetworkBuilder::new(self.seed).default_lan_rtt(Duration::from_micros(500));
+        let mut net_builder =
+            NetworkBuilder::new(self.seed).default_lan_rtt(Duration::from_micros(500));
         for (i, spec) in self.sources.iter().enumerate() {
             net_builder = net_builder.static_link(
                 dm0,
@@ -237,8 +237,11 @@ impl ClusterBuilder {
         for (m, rtts) in self.extra_middlewares.iter().enumerate() {
             let dm = NodeId::middleware(m as u32 + 1);
             for (i, rtt) in rtts.iter().enumerate() {
-                net_builder =
-                    net_builder.static_link(dm, NodeId::data_source(i as u32), Duration::from_millis(*rtt));
+                net_builder = net_builder.static_link(
+                    dm,
+                    NodeId::data_source(i as u32),
+                    Duration::from_millis(*rtt),
+                );
             }
         }
         let net = net_builder.build();
@@ -282,7 +285,6 @@ impl ClusterBuilder {
             sources,
             middlewares,
             partitioner,
-            records_per_node: self.records_per_node,
             analysis_cost: self.analysis_cost,
         }
     }
@@ -294,7 +296,6 @@ pub struct Cluster {
     sources: Vec<Rc<DataSource>>,
     middlewares: Vec<Rc<Middleware>>,
     partitioner: Partitioner,
-    records_per_node: u64,
     analysis_cost: Duration,
 }
 
@@ -329,17 +330,23 @@ impl Cluster {
         self.analysis_cost
     }
 
-    /// Populate every data source with `records_per_node` rows of the YCSB
+    /// Populate the cluster with `records_per_node × nodes` rows of the YCSB
     /// usertable, each holding the integer `initial_value`.
+    ///
+    /// Every key is placed on the data source `self.partitioner` routes it
+    /// to, so lookups through the same partitioner (the middleware's router,
+    /// [`Cluster::sum_records`]) always find the loaded rows. The previous
+    /// implementation computed a per-node base offset of
+    /// `records_per_node.max(configured)`, which diverged from the range
+    /// partitioner's routing whenever the argument exceeded the configured
+    /// `records_per_node` — rows were loaded onto nodes that would never be
+    /// asked for them.
     pub fn load_uniform(&self, records_per_node: u64, initial_value: i64) {
-        for (i, source) in self.sources.iter().enumerate() {
-            let base = i as u64 * self.records_per_node.max(records_per_node);
-            for row in 0..records_per_node {
-                source.load(
-                    GlobalKey::new(USERTABLE, base + row).storage_key(),
-                    Row::int(initial_value),
-                );
-            }
+        let total = records_per_node * self.sources.len() as u64;
+        for row in 0..total {
+            let key = GlobalKey::new(USERTABLE, row);
+            let ds = self.partitioner.route(key) as usize;
+            self.sources[ds].load(key.storage_key(), Row::int(initial_value));
         }
     }
 
@@ -374,11 +381,15 @@ mod tests {
                 .build();
             assert_eq!(cluster.data_sources().len(), 4);
             assert_eq!(
-                cluster.network().nominal_rtt(NodeId::middleware(0), NodeId::data_source(3)),
+                cluster
+                    .network()
+                    .nominal_rtt(NodeId::middleware(0), NodeId::data_source(3)),
                 Duration::from_millis(251)
             );
             assert_eq!(
-                cluster.network().nominal_rtt(NodeId::data_source(1), NodeId::data_source(3)),
+                cluster
+                    .network()
+                    .nominal_rtt(NodeId::data_source(1), NodeId::data_source(3)),
                 Duration::from_millis(251),
                 "inter-data-source latency follows the farther endpoint"
             );
@@ -408,6 +419,63 @@ mod tests {
     }
 
     #[test]
+    fn load_uniform_routes_through_the_partitioner() {
+        let mut rt = runtime();
+        rt.block_on(async {
+            // Regression test: loading *more* rows per node than the
+            // configured `records_per_node` used to compute key bases from
+            // `max(configured, requested)`, placing rows on nodes the range
+            // partitioner would never route a lookup to.
+            let cluster = ClusterBuilder::new()
+                .data_source(10, Dialect::MySql)
+                .data_source(100, Dialect::MySql)
+                .records_per_node(100)
+                .build();
+            cluster.load_uniform(250, 7);
+            let partitioner = cluster.partitioner();
+            for row in 0..500u64 {
+                let key = GlobalKey::new(USERTABLE, row);
+                let ds = partitioner.route(key) as usize;
+                assert_eq!(
+                    cluster.data_sources()[ds]
+                        .engine()
+                        .peek(key.storage_key())
+                        .and_then(|r| r.int_value()),
+                    Some(7),
+                    "row {row} must live on the node the partitioner routes it to"
+                );
+            }
+            // And the sum helper (which reads through the partitioner) sees
+            // every loaded row.
+            assert_eq!(
+                cluster.sum_records((0..500).map(|r| GlobalKey::new(USERTABLE, r))),
+                500 * 7
+            );
+        });
+    }
+
+    #[test]
+    fn load_uniform_respects_custom_partitioners() {
+        let mut rt = runtime();
+        rt.block_on(async {
+            let cluster = ClusterBuilder::new()
+                .data_source(10, Dialect::MySql)
+                .data_source(100, Dialect::MySql)
+                .records_per_node(100)
+                .partitioner(Partitioner::Hash { nodes: 2 })
+                .build();
+            cluster.load_uniform(100, 1);
+            assert_eq!(
+                cluster.sum_records((0..200).map(|r| GlobalKey::new(USERTABLE, r))),
+                200
+            );
+            // Hash partitioning interleaves: each node holds every other row.
+            assert_eq!(cluster.data_sources()[0].engine().record_count(), 100);
+            assert_eq!(cluster.data_sources()[1].engine().record_count(), 100);
+        });
+    }
+
+    #[test]
     fn multi_middleware_deployment_has_independent_coordinators() {
         let mut rt = runtime();
         rt.block_on(async {
@@ -419,11 +487,14 @@ mod tests {
             cluster.load_uniform(100, 0);
             assert_eq!(cluster.middlewares().len(), 2);
             assert_eq!(
-                cluster.network().nominal_rtt(NodeId::middleware(1), NodeId::data_source(0)),
+                cluster
+                    .network()
+                    .nominal_rtt(NodeId::middleware(1), NodeId::data_source(0)),
                 Duration::from_millis(251)
             );
             // Both middlewares can commit transactions against the same data.
-            let spec = TransactionSpec::single_round(vec![ClientOp::add(GlobalKey::new(USERTABLE, 1), 1)]);
+            let spec =
+                TransactionSpec::single_round(vec![ClientOp::add(GlobalKey::new(USERTABLE, 1), 1)]);
             for mw in cluster.middlewares() {
                 assert!(mw.run_transaction(&spec).await.committed);
             }

@@ -56,7 +56,7 @@ impl DsConnection {
 
     /// Execute a statement batch (one WAN round trip).
     pub async fn execute(&self, req: StatementRequest) -> StatementResponse {
-        self.round_trip(self.ds.execute(self.dm, req)).await
+        self.round_trip(self.ds.execute(self.dm, &req)).await
     }
 
     /// Explicit prepare (one WAN round trip) — the classic XA path.
@@ -120,7 +120,9 @@ mod tests {
                 .execute(StatementRequest {
                     xid,
                     begin: true,
-                    ops: vec![DsOperation::Read { key: Key::new(TableId(0), 1) }],
+                    ops: vec![DsOperation::Read {
+                        key: Key::new(TableId(0), 1),
+                    }],
                     is_last: false,
                     decentralized_prepare: false,
                     early_abort: false,
@@ -160,7 +162,11 @@ mod tests {
             conn.execute(StatementRequest {
                 xid,
                 begin: true,
-                ops: vec![DsOperation::AddInt { key: Key::new(TableId(0), 1), col: 0, delta: 1 }],
+                ops: vec![DsOperation::AddInt {
+                    key: Key::new(TableId(0), 1),
+                    col: 0,
+                    delta: 1,
+                }],
                 is_last: false,
                 decentralized_prepare: false,
                 early_abort: false,

@@ -227,9 +227,8 @@ impl AgentNotification {
     /// The branch the notification refers to.
     pub fn xid(&self) -> Xid {
         match self {
-            AgentNotification::PrepareResult { xid, .. } | AgentNotification::Rollbacked { xid } => {
-                *xid
-            }
+            AgentNotification::PrepareResult { xid, .. }
+            | AgentNotification::Rollbacked { xid } => *xid,
         }
     }
 }
@@ -247,7 +246,10 @@ mod tests {
         let pg = Dialect::Postgres.prepare_commands(xid);
         assert_eq!(pg, vec!["PREPARE TRANSACTION '7_2'"]);
         assert_eq!(Dialect::MySql.commit_command(xid), "XA COMMIT '7,2'");
-        assert_eq!(Dialect::Postgres.commit_command(xid), "COMMIT PREPARED '7_2'");
+        assert_eq!(
+            Dialect::Postgres.commit_command(xid),
+            "COMMIT PREPARED '7_2'"
+        );
         assert_eq!(Dialect::MySql.name(), "MySQL");
     }
 
@@ -255,7 +257,12 @@ mod tests {
     fn operation_key_and_write_flags() {
         let key = Key::new(TableId(1), 9);
         assert!(!DsOperation::Read { key }.is_write());
-        assert!(DsOperation::AddInt { key, col: 0, delta: 1 }.is_write());
+        assert!(DsOperation::AddInt {
+            key,
+            col: 0,
+            delta: 1
+        }
+        .is_write());
         assert_eq!(DsOperation::Delete { key }.key(), key);
     }
 

@@ -1,11 +1,11 @@
 //! The data-source server: storage engine + geo-agent.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::{Rc, Weak};
 use std::time::Duration;
 
 use geotp_net::{Network, NodeId};
+use geotp_simrt::hash::{FxHashMap, FxHashSet};
 use geotp_simrt::sync::mpsc;
 use geotp_simrt::{now, sleep, spawn};
 use geotp_storage::{EngineConfig, Row, StorageEngine, StorageError, Xid};
@@ -75,16 +75,16 @@ pub struct DataSource {
     net: Rc<Network>,
     /// Notification channels towards each registered middleware, keyed by the
     /// middleware's node id.
-    dm_channels: RefCell<HashMap<NodeId, mpsc::Sender<AgentNotification>>>,
+    dm_channels: RefCell<FxHashMap<NodeId, mpsc::Sender<AgentNotification>>>,
     /// Connection pool towards peer geo-agents, keyed by data-source index.
-    peers: RefCell<HashMap<u32, Weak<DataSource>>>,
+    peers: RefCell<FxHashMap<u32, Weak<DataSource>>>,
     /// Local transaction manager: which middleware coordinates each branch and
     /// which peer data sources participate in the same global transaction.
-    branches: RefCell<HashMap<Xid, BranchInfo>>,
+    branches: RefCell<FxHashMap<Xid, BranchInfo>>,
     /// Early-abort tombstones: branches a peer geo-agent asked to abort
     /// *before* their first statement arrived (possible when the scheduler
     /// postpones the local branch). The branch is refused on arrival.
-    abort_marks: RefCell<std::collections::HashSet<Xid>>,
+    abort_marks: RefCell<FxHashSet<Xid>>,
     stats: RefCell<DataSourceStats>,
 }
 
@@ -102,10 +102,10 @@ impl DataSource {
             config,
             engine,
             net,
-            dm_channels: RefCell::new(HashMap::new()),
-            peers: RefCell::new(HashMap::new()),
-            branches: RefCell::new(HashMap::new()),
-            abort_marks: RefCell::new(std::collections::HashSet::new()),
+            dm_channels: RefCell::new(FxHashMap::default()),
+            peers: RefCell::new(FxHashMap::default()),
+            branches: RefCell::new(FxHashMap::default()),
+            abort_marks: RefCell::new(FxHashSet::default()),
             stats: RefCell::new(DataSourceStats::default()),
         })
     }
@@ -166,13 +166,28 @@ impl DataSource {
         });
     }
 
+    /// Like [`DataSource::notify_dm`] but awaited in place — for callers that
+    /// are already a background task with nothing left to do, saving a task
+    /// spawn per notification on the decentralized-prepare hot path.
+    async fn notify_dm_inline(&self, dm: NodeId, notification: AgentNotification) {
+        let Some(channel) = self.dm_channels.borrow().get(&dm).cloned() else {
+            return;
+        };
+        self.net.transfer(self.config.node, dm).await;
+        let _ = channel.send(notification);
+    }
+
     /// Execute a statement batch on behalf of the middleware `from`.
     ///
     /// This is the geo-agent's main entry point: it runs the operations on the
     /// engine, reports the local execution latency back (hotspot feedback) and
     /// — when the batch is the branch's last statement and decentralized
     /// prepare is enabled — kicks off the implicit prepare phase.
-    pub async fn execute(self: &Rc<Self>, from: NodeId, req: StatementRequest) -> StatementResponse {
+    pub async fn execute(
+        self: &Rc<Self>,
+        from: NodeId,
+        req: &StatementRequest,
+    ) -> StatementResponse {
         let started = now();
         self.stats.borrow_mut().statements += 1;
 
@@ -214,7 +229,7 @@ impl DataSource {
             }
         }
 
-        let mut rows = Vec::new();
+        let mut rows = Vec::with_capacity(req.ops.len());
         for op in &req.ops {
             let result = self.apply(req.xid, op).await;
             match result {
@@ -222,7 +237,7 @@ impl DataSource {
                 Ok(None) => {}
                 Err(error) => {
                     self.stats.borrow_mut().failed_statements += 1;
-                    self.fail_branch(from, &req, error.clone()).await;
+                    self.fail_branch(from, req, error.clone()).await;
                     return StatementResponse {
                         outcome: StatementOutcome::Failed { error },
                         local_execution_latency: now().duration_since(started),
@@ -232,7 +247,7 @@ impl DataSource {
         }
 
         if req.is_last && req.decentralized_prepare {
-            self.spawn_decentralized_prepare(from, &req);
+            self.spawn_decentralized_prepare(from, req);
         }
 
         StatementResponse {
@@ -247,12 +262,16 @@ impl DataSource {
             DsOperation::ReadForUpdate { key } => {
                 self.engine.read_for_update(xid, *key).await.map(Some)
             }
-            DsOperation::Write { key, row } => {
-                self.engine.write(xid, *key, row.clone()).await.map(|_| None)
-            }
-            DsOperation::Insert { key, row } => {
-                self.engine.insert(xid, *key, row.clone()).await.map(|_| None)
-            }
+            DsOperation::Write { key, row } => self
+                .engine
+                .write(xid, *key, row.clone())
+                .await
+                .map(|_| None),
+            DsOperation::Insert { key, row } => self
+                .engine
+                .insert(xid, *key, row.clone())
+                .await
+                .map(|_| None),
             DsOperation::Delete { key } => self.engine.delete(xid, *key).await.map(|_| None),
             DsOperation::AddInt { key, col, delta } => self
                 .engine
@@ -264,7 +283,12 @@ impl DataSource {
 
     /// Handle a statement failure: roll back the local branch and, when early
     /// abort is enabled, proactively tell peer geo-agents to roll back theirs.
-    async fn fail_branch(self: &Rc<Self>, from: NodeId, req: &StatementRequest, _error: StorageError) {
+    async fn fail_branch(
+        self: &Rc<Self>,
+        from: NodeId,
+        req: &StatementRequest,
+        _error: StorageError,
+    ) {
         // Stop queueing for any lock we are still waiting on and roll back.
         self.engine.lock_manager().cancel_waiters(req.xid);
         let _ = self.engine.rollback(req.xid).await;
@@ -339,7 +363,8 @@ impl DataSource {
             // One LAN round trip from the geo-agent to its database.
             sleep(this.config.agent_lan_rtt).await;
             let vote = this.async_prepare(xid, peers_empty).await;
-            this.notify_dm(dm, AgentNotification::PrepareResult { xid, vote });
+            this.notify_dm_inline(dm, AgentNotification::PrepareResult { xid, vote })
+                .await;
         });
     }
 
@@ -373,11 +398,13 @@ impl DataSource {
         if self.engine.state_of(xid).is_none() {
             return PrepareVote::RollbackOnly;
         }
-        if matches!(self.engine.state_of(xid), Some(geotp_storage::XaState::Active)) {
-            if self.engine.end(xid).is_err() {
-                let _ = self.engine.rollback(xid).await;
-                return PrepareVote::RollbackOnly;
-            }
+        if matches!(
+            self.engine.state_of(xid),
+            Some(geotp_storage::XaState::Active)
+        ) && self.engine.end(xid).is_err()
+        {
+            let _ = self.engine.rollback(xid).await;
+            return PrepareVote::RollbackOnly;
         }
         match self.engine.prepare(xid).await {
             Ok(()) => PrepareVote::Prepared,
@@ -480,14 +507,18 @@ mod tests {
                 begin: true,
                 ops: vec![
                     DsOperation::Read { key: key(1) },
-                    DsOperation::AddInt { key: key(2), col: 0, delta: 5 },
+                    DsOperation::AddInt {
+                        key: key(2),
+                        col: 0,
+                        delta: 5,
+                    },
                 ],
                 is_last: false,
                 decentralized_prepare: false,
                 early_abort: false,
                 peers: vec![],
             };
-            let resp = ds.execute(dm, req).await;
+            let resp = ds.execute(dm, &req).await;
             match resp.outcome {
                 StatementOutcome::Ok { rows } => {
                     assert_eq!(rows.len(), 2);
@@ -512,21 +543,28 @@ mod tests {
             let req = StatementRequest {
                 xid,
                 begin: true,
-                ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: -10 }],
+                ops: vec![DsOperation::AddInt {
+                    key: key(1),
+                    col: 0,
+                    delta: -10,
+                }],
                 is_last: true,
                 decentralized_prepare: true,
                 early_abort: false,
                 peers: vec![1],
             };
             let started = now();
-            let resp = ds.execute(dm, req).await;
+            let resp = ds.execute(dm, &req).await;
             assert!(resp.outcome.is_ok());
 
             // The vote arrives asynchronously: 1ms LAN + half of the 100ms WAN.
             let notification = rx.recv().await.unwrap();
             assert_eq!(
                 notification,
-                AgentNotification::PrepareResult { xid, vote: PrepareVote::Prepared }
+                AgentNotification::PrepareResult {
+                    xid,
+                    vote: PrepareVote::Prepared
+                }
             );
             let elapsed = now().duration_since(started);
             assert_eq!(elapsed, Duration::from_millis(51));
@@ -552,11 +590,14 @@ mod tests {
                 early_abort: false,
                 peers: vec![],
             };
-            ds.execute(dm, req).await;
+            ds.execute(dm, &req).await;
             let notification = rx.recv().await.unwrap();
             assert_eq!(
                 notification,
-                AgentNotification::PrepareResult { xid, vote: PrepareVote::Idle }
+                AgentNotification::PrepareResult {
+                    xid,
+                    vote: PrepareVote::Idle
+                }
             );
             // One-phase commit still works from the ENDED state.
             ds.commit(xid, true).await.unwrap();
@@ -600,10 +641,14 @@ mod tests {
             let ok = ds1
                 .execute(
                     dm,
-                    StatementRequest {
+                    &StatementRequest {
                         xid: xid1,
                         begin: true,
-                        ops: vec![DsOperation::AddInt { key: key(2), col: 0, delta: 1 }],
+                        ops: vec![DsOperation::AddInt {
+                            key: key(2),
+                            col: 0,
+                            delta: 1,
+                        }],
                         is_last: false,
                         decentralized_prepare: true,
                         early_abort: true,
@@ -623,10 +668,14 @@ mod tests {
             let resp = ds0
                 .execute(
                     dm,
-                    StatementRequest {
+                    &StatementRequest {
                         xid: xid0,
                         begin: true,
-                        ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 1 }],
+                        ops: vec![DsOperation::AddInt {
+                            key: key(1),
+                            col: 0,
+                            delta: 1,
+                        }],
                         is_last: false,
                         decentralized_prepare: true,
                         early_abort: true,
@@ -657,10 +706,14 @@ mod tests {
             let xid_active = Xid::new(1, 0);
             ds.execute(
                 dm,
-                StatementRequest {
+                &StatementRequest {
                     xid: xid_active,
                     begin: true,
-                    ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 1 }],
+                    ops: vec![DsOperation::AddInt {
+                        key: key(1),
+                        col: 0,
+                        delta: 1,
+                    }],
                     is_last: false,
                     decentralized_prepare: false,
                     early_abort: false,
@@ -671,10 +724,14 @@ mod tests {
             let xid_prepared = Xid::new(2, 0);
             ds.execute(
                 dm,
-                StatementRequest {
+                &StatementRequest {
                     xid: xid_prepared,
                     begin: true,
-                    ops: vec![DsOperation::AddInt { key: key(2), col: 0, delta: 1 }],
+                    ops: vec![DsOperation::AddInt {
+                        key: key(2),
+                        col: 0,
+                        delta: 1,
+                    }],
                     is_last: false,
                     decentralized_prepare: false,
                     early_abort: false,
@@ -699,10 +756,14 @@ mod tests {
             let xid = Xid::new(3, 0);
             ds.execute(
                 dm,
-                StatementRequest {
+                &StatementRequest {
                     xid,
                     begin: true,
-                    ops: vec![DsOperation::AddInt { key: key(1), col: 0, delta: 77 }],
+                    ops: vec![DsOperation::AddInt {
+                        key: key(1),
+                        col: 0,
+                        delta: 77,
+                    }],
                     is_last: false,
                     decentralized_prepare: false,
                     early_abort: false,

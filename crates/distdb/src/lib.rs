@@ -214,7 +214,9 @@ impl DistDb {
         let coordinator_idx = involved[0];
         let coordinator_node = self.shards[&coordinator_idx].node;
         // Router → coordinator shard.
-        self.net.transfer(self.config.router, coordinator_node).await;
+        self.net
+            .transfer(self.config.router, coordinator_node)
+            .await;
 
         // The coordinator executes every shard's part: its own locally, the
         // others via shard-to-shard hops (in parallel).
@@ -284,7 +286,9 @@ impl DistDb {
         join_all(decisions).await;
 
         // Coordinator → router response.
-        self.net.transfer(coordinator_node, self.config.router).await;
+        self.net
+            .transfer(coordinator_node, self.config.router)
+            .await;
         if failed {
             finish(false, Some(AbortReason::ExecutionFailed), Vec::new())
         } else {
@@ -315,10 +319,10 @@ impl TransactionService for DistDbService {
 mod tests {
     use super::*;
     use geotp_middleware::GlobalKey;
-    use std::time::Duration;
     use geotp_net::NetworkBuilder;
     use geotp_simrt::Runtime;
     use geotp_storage::{CostModel, TableId};
+    use std::time::Duration;
 
     fn gk(row: u64) -> GlobalKey {
         GlobalKey::new(TableId(0), row)
@@ -359,10 +363,8 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let db = build();
-            let spec = TransactionSpec::single_round(vec![
-                ClientOp::Read(gk(1)),
-                ClientOp::add(gk(2), 5),
-            ]);
+            let spec =
+                TransactionSpec::single_round(vec![ClientOp::Read(gk(1)), ClientOp::add(gk(2), 5)]);
             let started = now();
             let outcome = DistDb::run(&db, &spec).await;
             assert!(outcome.committed);

@@ -92,7 +92,11 @@ pub fn fig14_txn_length(scale: Scale) -> Vec<Table> {
         let mut round_table = Table::new(
             format!(
                 "Fig. 14{} — throughput vs interaction rounds ({} contention)",
-                if contention == Contention::Low { "b" } else { "c" },
+                if contention == Contention::Low {
+                    "b"
+                } else {
+                    "c"
+                },
                 contention.name()
             ),
             &["rounds", "SSP (txn/s)", "GeoTP (txn/s)"],

@@ -56,9 +56,18 @@ pub fn fig08_latency_cdf(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
     for contention in [Contention::Low, Contention::Medium, Contention::High] {
         let mut table = Table::new(
-            format!("Fig. 8 — latency CDF summary, {} contention, 60% distributed", contention.name()),
+            format!(
+                "Fig. 8 — latency CDF summary, {} contention, 60% distributed",
+                contention.name()
+            ),
             &[
-                "system", "p50 (ms)", "p90 (ms)", "p95 (ms)", "p99 (ms)", "p99.9 (ms)", "abort rate",
+                "system",
+                "p50 (ms)",
+                "p90 (ms)",
+                "p95 (ms)",
+                "p99 (ms)",
+                "p99.9 (ms)",
+                "abort rate",
             ],
         );
         for system in systems {

@@ -25,7 +25,11 @@ pub fn fig01_motivation(scale: Scale) -> Vec<Table> {
     };
     let mut table = Table::new(
         "Fig. 1b — avg latency of centralized transactions vs DM–DS2 RTT (SSP)",
-        &["ds2_rtt_ms", "LC centralized avg (ms)", "MC centralized avg (ms)"],
+        &[
+            "ds2_rtt_ms",
+            "LC centralized avg (ms)",
+            "MC centralized avg (ms)",
+        ],
     );
     for rtt in &ds2_rtts {
         let mut cells = vec![rtt.to_string()];
@@ -135,9 +139,17 @@ mod tests {
         // The transfer involves the Beijing (0 ms) and Singapore (73 ms)
         // nodes: the commit dispatch is roughly one 73 ms WAN round trip, and
         // the prepare wait is small because the prepare is decentralized.
-        let commit: f64 = table.cell("commit dispatch", "latency (ms)").unwrap().parse().unwrap();
+        let commit: f64 = table
+            .cell("commit dispatch", "latency (ms)")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!((73.0..95.0).contains(&commit), "commit {commit}");
-        let prepare: f64 = table.cell("prepare wait", "latency (ms)").unwrap().parse().unwrap();
+        let prepare: f64 = table
+            .cell("prepare wait", "latency (ms)")
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(prepare < 10.0, "prepare wait {prepare}");
     }
 

@@ -24,7 +24,12 @@ pub fn fig10_latency_config(scale: Scale) -> Vec<Table> {
     };
     let mut fixed_std = Table::new(
         "Fig. 10a — fixed spread (±10 ms), sweeping the mean RTT",
-        &["mean_rtt_ms", "SSP (txn/s)", "GeoTP (txn/s)", "improvement (x)"],
+        &[
+            "mean_rtt_ms",
+            "SSP (txn/s)",
+            "GeoTP (txn/s)",
+            "improvement (x)",
+        ],
     );
     for mean in &means {
         let rtts = vec![0, mean.saturating_sub(10), *mean, mean + 10];
@@ -38,7 +43,12 @@ pub fn fig10_latency_config(scale: Scale) -> Vec<Table> {
     };
     let mut fixed_mean = Table::new(
         "Fig. 10b — fixed mean (60 ms), sweeping the spread",
-        &["spread_ms", "SSP (txn/s)", "GeoTP (txn/s)", "improvement (x)"],
+        &[
+            "spread_ms",
+            "SSP (txn/s)",
+            "GeoTP (txn/s)",
+            "improvement (x)",
+        ],
     );
     for spread in &spreads {
         let rtts = vec![0, 60 - spread.min(&60), 60, 60 + spread];
@@ -153,7 +163,12 @@ pub fn fig11_random_dynamic(scale: Scale) -> Vec<Table> {
     let per_window = window.as_secs() as usize;
     for w in 0..windows {
         let avg = |s: &Vec<f64>| {
-            let slice: Vec<f64> = s.iter().skip(w * per_window).take(per_window).copied().collect();
+            let slice: Vec<f64> = s
+                .iter()
+                .skip(w * per_window)
+                .take(per_window)
+                .copied()
+                .collect();
             if slice.is_empty() {
                 0.0
             } else {

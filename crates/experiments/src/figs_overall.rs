@@ -9,7 +9,9 @@ use geotp_net::PAPER_DM2_RTTS_MS;
 use geotp_simrt::Runtime;
 use geotp_storage::{CostModel, EngineConfig};
 use geotp_workloads::driver::run_benchmark;
-use geotp_workloads::{Contention, DriverConfig, TpccConfig, WorkloadMix, YcsbConfig, YcsbGenerator};
+use geotp_workloads::{
+    Contention, DriverConfig, TpccConfig, WorkloadMix, YcsbConfig, YcsbGenerator,
+};
 
 use crate::report::{ms, tput, Table};
 use crate::runner::{run_tpcc, run_ycsb, SystemUnderTest, TpccRunSpec, YcsbRunSpec};
@@ -145,7 +147,11 @@ pub fn fig15_multi_dm(scale: Scale) -> Vec<Table> {
             }
         });
         table.push_row(vec![
-            if multi { "Multi-middleware".into() } else { "Single-middleware".into() },
+            if multi {
+                "Multi-middleware".into()
+            } else {
+                "Single-middleware".into()
+            },
             tput(throughput),
         ]);
     }
@@ -159,7 +165,12 @@ pub fn tab01_heterogeneous(scale: Scale) -> Vec<Table> {
         ("S1 (MySQL x4)", vec![Dialect::MySql; 4]),
         (
             "S2 (PG/MySQL mixed)",
-            vec![Dialect::Postgres, Dialect::MySql, Dialect::Postgres, Dialect::MySql],
+            vec![
+                Dialect::Postgres,
+                Dialect::MySql,
+                Dialect::Postgres,
+                Dialect::MySql,
+            ],
         ),
         ("S3 (PostgreSQL x4)", vec![Dialect::Postgres; 4]),
     ];

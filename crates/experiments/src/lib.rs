@@ -24,16 +24,25 @@ pub use report::Table;
 pub use runner::{RunResult, SystemUnderTest, TpccRunSpec, YcsbRunSpec};
 pub use scale::Scale;
 
+/// An experiment entry: `(identifier, runner)`.
+pub type ExperimentEntry = (&'static str, fn(Scale) -> Vec<Table>);
+
 /// Every experiment in paper order: `(identifier, runner)`.
 /// Useful for "run everything" binaries.
-pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> Vec<Table>)> {
+pub fn all_experiments() -> Vec<ExperimentEntry> {
     vec![
         ("fig01_motivation", figs_motivation::fig01_motivation),
         ("fig05_scalability", figs_overall::fig05_scalability),
         ("fig06_breakdown", figs_motivation::fig06_breakdown),
-        ("fig07_dist_ratio_ycsb", figs_distributed::fig07_dist_ratio_ycsb),
+        (
+            "fig07_dist_ratio_ycsb",
+            figs_distributed::fig07_dist_ratio_ycsb,
+        ),
         ("fig08_latency_cdf", figs_distributed::fig08_latency_cdf),
-        ("fig09_dist_ratio_tpcc", figs_distributed::fig09_dist_ratio_tpcc),
+        (
+            "fig09_dist_ratio_tpcc",
+            figs_distributed::fig09_dist_ratio_tpcc,
+        ),
         ("fig10_latency_config", figs_network::fig10_latency_config),
         ("fig11_random_dynamic", figs_network::fig11_random_dynamic),
         ("fig12_ablation", figs_ablation::fig12_ablation),

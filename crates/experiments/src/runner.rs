@@ -109,9 +109,10 @@ impl LatencyConfig {
             LatencyConfig::Static(v) => v.clone(),
             LatencyConfig::Jittered(v) => v.iter().map(|(m, _)| *m).collect(),
             LatencyConfig::Random { base_ms, .. } => base_ms.clone(),
-            LatencyConfig::Dynamic { per_node, .. } => {
-                per_node.iter().map(|s| s.first().copied().unwrap_or(0)).collect()
-            }
+            LatencyConfig::Dynamic { per_node, .. } => per_node
+                .iter()
+                .map(|s| s.first().copied().unwrap_or(0))
+                .collect(),
         }
     }
 
@@ -131,7 +132,10 @@ impl LatencyConfig {
                     );
                 }
             }
-            LatencyConfig::Random { base_ms, max_factor } => {
+            LatencyConfig::Random {
+                base_ms,
+                max_factor,
+            } => {
                 for (i, base) in base_ms.iter().enumerate() {
                     cluster.network().set_link(
                         dm,
@@ -147,7 +151,10 @@ impl LatencyConfig {
                         NodeId::data_source(i as u32),
                         DynamicLatency::evenly_spaced(
                             *window,
-                            schedule.iter().map(|ms| Duration::from_millis(*ms)).collect(),
+                            schedule
+                                .iter()
+                                .map(|ms| Duration::from_millis(*ms))
+                                .collect(),
                         ),
                     );
                 }
@@ -184,7 +191,12 @@ pub struct YcsbRunSpec {
 impl YcsbRunSpec {
     /// A run over the paper's default deployment with the given system,
     /// workload and driver parameters.
-    pub fn new(system: SystemUnderTest, ycsb: YcsbConfig, terminals: usize, measure: Duration) -> Self {
+    pub fn new(
+        system: SystemUnderTest,
+        ycsb: YcsbConfig,
+        terminals: usize,
+        measure: Duration,
+    ) -> Self {
         Self {
             system,
             latency: LatencyConfig::paper_default(),
@@ -221,7 +233,12 @@ pub struct TpccRunSpec {
 
 impl TpccRunSpec {
     /// A run over the paper's default deployment.
-    pub fn new(system: SystemUnderTest, tpcc: TpccConfig, terminals: usize, measure: Duration) -> Self {
+    pub fn new(
+        system: SystemUnderTest,
+        tpcc: TpccConfig,
+        terminals: usize,
+        measure: Duration,
+    ) -> Self {
         Self {
             system,
             latency: LatencyConfig::paper_default(),
@@ -338,102 +355,100 @@ pub fn run_ycsb(spec: &YcsbRunSpec) -> RunResult {
     };
     let generator = Rc::new(YcsbGenerator::new(spec.ycsb));
     let mut result = match spec.system {
-        SystemUnderTest::Middleware(protocol) => {
-            rt.block_on(async {
-                let cluster = build_cluster(
-                    &spec.latency,
-                    &spec.dialects,
-                    spec.ycsb.records_per_node,
-                    protocol,
-                    spec.lock_wait_timeout,
-                    spec.seed,
-                    spec.background_monitor,
-                );
-                generator.load(cluster.data_sources());
-                let report = run_benchmark(
-                    Rc::clone(cluster.middleware()),
-                    WorkloadMix::Ycsb(Rc::clone(&generator)),
-                    driver,
+        SystemUnderTest::Middleware(protocol) => rt.block_on(async {
+            let cluster = build_cluster(
+                &spec.latency,
+                &spec.dialects,
+                spec.ycsb.records_per_node,
+                protocol,
+                spec.lock_wait_timeout,
+                spec.seed,
+                spec.background_monitor,
+            );
+            generator.load(cluster.data_sources());
+            let report = run_benchmark(
+                Rc::clone(cluster.middleware()),
+                WorkloadMix::Ycsb(Rc::clone(&generator)),
+                driver,
+            )
+            .await;
+            let mut result = report_to_result(&report, spec.measure);
+            result.net_messages = cluster.network().total_messages();
+            result.hotspot_entries = cluster.middleware().scheduler().footprint().borrow().len();
+            result
+        }),
+        SystemUnderTest::ScalarDb | SystemUnderTest::ScalarDbPlus => rt.block_on(async {
+            let cluster = build_cluster(
+                &spec.latency,
+                &spec.dialects,
+                spec.ycsb.records_per_node,
+                Protocol::SspXa,
+                spec.lock_wait_timeout,
+                spec.seed,
+                spec.background_monitor,
+            );
+            let config = ScalarDbConfig::new(NodeId::middleware(0));
+            let scalardb = if matches!(spec.system, SystemUnderTest::ScalarDbPlus) {
+                ScalarDbCluster::new_plus(
+                    config,
+                    Rc::clone(cluster.network()),
+                    cluster.data_sources(),
+                    spec.ycsb.partitioner(),
                 )
-                .await;
-                let mut result = report_to_result(&report, spec.measure);
-                result.net_messages = cluster.network().total_messages();
-                result.hotspot_entries = cluster.middleware().scheduler().footprint().borrow().len();
-                result
-            })
-        }
-        SystemUnderTest::ScalarDb | SystemUnderTest::ScalarDbPlus => {
-            rt.block_on(async {
-                let cluster = build_cluster(
-                    &spec.latency,
-                    &spec.dialects,
-                    spec.ycsb.records_per_node,
-                    Protocol::SspXa,
-                    spec.lock_wait_timeout,
-                    spec.seed,
-                    spec.background_monitor,
-                );
-                let config = ScalarDbConfig::new(NodeId::middleware(0));
-                let scalardb = if matches!(spec.system, SystemUnderTest::ScalarDbPlus) {
-                    ScalarDbCluster::new_plus(
-                        config,
-                        Rc::clone(cluster.network()),
-                        cluster.data_sources(),
-                        spec.ycsb.partitioner(),
-                    )
-                } else {
-                    ScalarDbCluster::new(
-                        config,
-                        Rc::clone(cluster.network()),
-                        cluster.data_sources(),
-                        spec.ycsb.partitioner(),
-                    )
-                };
-                generator.load(cluster.data_sources());
-                let report = run_benchmark(
-                    ScalarDbService(scalardb),
-                    WorkloadMix::Ycsb(Rc::clone(&generator)),
-                    driver,
+            } else {
+                ScalarDbCluster::new(
+                    config,
+                    Rc::clone(cluster.network()),
+                    cluster.data_sources(),
+                    spec.ycsb.partitioner(),
                 )
-                .await;
-                let mut result = report_to_result(&report, spec.measure);
-                result.net_messages = cluster.network().total_messages();
-                result
-            })
-        }
-        SystemUnderTest::DistDb => {
-            rt.block_on(async {
-                let cluster = build_cluster(
-                    &spec.latency,
-                    &spec.dialects,
-                    spec.ycsb.records_per_node,
-                    Protocol::SspXa,
-                    spec.lock_wait_timeout,
-                    spec.seed,
-                    spec.background_monitor,
-                );
-                let mut config = DistDbConfig::new(NodeId::middleware(0), spec.ycsb.nodes);
-                config.engine = engine_config(spec.lock_wait_timeout);
-                let db = DistDb::new(config, Rc::clone(cluster.network()), spec.ycsb.partitioner());
-                for node in 0..spec.ycsb.nodes as u64 {
-                    for row in 0..spec.ycsb.records_per_node {
-                        db.load(
-                            GlobalKey::new(USERTABLE, node * spec.ycsb.records_per_node + row),
-                            Row::int(10_000),
-                        );
-                    }
+            };
+            generator.load(cluster.data_sources());
+            let report = run_benchmark(
+                ScalarDbService(scalardb),
+                WorkloadMix::Ycsb(Rc::clone(&generator)),
+                driver,
+            )
+            .await;
+            let mut result = report_to_result(&report, spec.measure);
+            result.net_messages = cluster.network().total_messages();
+            result
+        }),
+        SystemUnderTest::DistDb => rt.block_on(async {
+            let cluster = build_cluster(
+                &spec.latency,
+                &spec.dialects,
+                spec.ycsb.records_per_node,
+                Protocol::SspXa,
+                spec.lock_wait_timeout,
+                spec.seed,
+                spec.background_monitor,
+            );
+            let mut config = DistDbConfig::new(NodeId::middleware(0), spec.ycsb.nodes);
+            config.engine = engine_config(spec.lock_wait_timeout);
+            let db = DistDb::new(
+                config,
+                Rc::clone(cluster.network()),
+                spec.ycsb.partitioner(),
+            );
+            for node in 0..spec.ycsb.nodes as u64 {
+                for row in 0..spec.ycsb.records_per_node {
+                    db.load(
+                        GlobalKey::new(USERTABLE, node * spec.ycsb.records_per_node + row),
+                        Row::int(10_000),
+                    );
                 }
-                let report = run_benchmark(
-                    DistDbService(db),
-                    WorkloadMix::Ycsb(Rc::clone(&generator)),
-                    driver,
-                )
-                .await;
-                let mut result = report_to_result(&report, spec.measure);
-                result.net_messages = cluster.network().total_messages();
-                result
-            })
-        }
+            }
+            let report = run_benchmark(
+                DistDbService(db),
+                WorkloadMix::Ycsb(Rc::clone(&generator)),
+                driver,
+            )
+            .await;
+            let mut result = report_to_result(&report, spec.measure);
+            result.net_messages = cluster.network().total_messages();
+            result
+        }),
     };
     result.sim_polls = rt.metrics().polls;
     result
@@ -538,11 +553,7 @@ mod tests {
             SystemUnderTest::DistDb,
         ] {
             let result = quick_ycsb(system);
-            assert!(
-                result.committed > 0,
-                "{} committed nothing",
-                system.name()
-            );
+            assert!(result.committed > 0, "{} committed nothing", system.name());
             assert!(result.throughput > 0.0);
             assert!(result.mean_latency > Duration::ZERO);
             assert!(result.p99 >= result.mean_latency / 2);

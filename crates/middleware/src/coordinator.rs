@@ -16,6 +16,7 @@
 //! | `Chiller`       | merged into execution      | remote-first sequencing    |
 //! | `GeoTp{..}`     | decentralized (geo-agent)  | O2 latency-aware, O3 heuristics |
 
+use geotp_simrt::hash::FxHashMap;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -31,7 +32,7 @@ use geotp_storage::Xid;
 use crate::commit_log::{CommitLog, Decision};
 use crate::metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnOutcome};
 use crate::notify_hub::NotifyHub;
-use crate::ops::{ClientOp, TransactionSpec};
+use crate::ops::{ClientOp, GlobalKey, TransactionSpec};
 use crate::parser::{Catalog, SqlParser, TxnControl};
 use crate::router::Partitioner;
 use crate::scheduler::{AdmissionDecision, BranchPlan, GeoScheduler, Schedule, SchedulerConfig};
@@ -172,11 +173,38 @@ impl MiddlewareConfig {
     }
 }
 
+/// Upper bound on distinct scripts kept in the parsed-statement cache. On
+/// overflow the cache is simply cleared: workload scripts are generated from
+/// small template sets, so refilling is cheap and eviction bookkeeping would
+/// cost more than it saves.
+const SQL_CACHE_MAX: usize = 4_096;
+
+/// A cached, fully parsed SQL script: what `run_sql` needs to skip the parser
+/// on repeat executions of the same text.
+enum SqlPlan {
+    /// The script runs this transaction.
+    Run(TransactionSpec),
+    /// The script ends in ROLLBACK (or contains no operations).
+    Rollback,
+}
+
+/// Reusable per-transaction working memory. Each in-flight transaction pops
+/// one from the middleware's pool and returns it on completion, so the
+/// steady-state hot path performs no `Vec` allocations for key/routing
+/// bookkeeping regardless of how many transactions have run.
+#[derive(Default)]
+struct TxnScratch {
+    keys: Vec<GlobalKey>,
+    involved: Vec<u32>,
+    started_branches: Vec<u32>,
+    branch_keys: Vec<GlobalKey>,
+}
+
 /// The database middleware instance.
 pub struct Middleware {
     config: MiddlewareConfig,
     net: Rc<Network>,
-    connections: HashMap<u32, DsConnection>,
+    connections: FxHashMap<u32, DsConnection>,
     monitor: Rc<LatencyMonitor>,
     scheduler: Rc<GeoScheduler>,
     hub: Rc<NotifyHub>,
@@ -184,6 +212,10 @@ pub struct Middleware {
     next_txn: Cell<u64>,
     stats: RefCell<MiddlewareStats>,
     catalog: RefCell<Catalog>,
+    /// Parsed-statement cache for [`Middleware::run_sql`], keyed by script text.
+    sql_cache: RefCell<FxHashMap<String, Rc<SqlPlan>>>,
+    /// Pool of reusable per-transaction buffers.
+    scratch_pool: RefCell<Vec<TxnScratch>>,
 }
 
 impl Middleware {
@@ -197,11 +229,14 @@ impl Middleware {
         commit_log: Option<Rc<CommitLog>>,
     ) -> Rc<Self> {
         let hub = NotifyHub::start();
-        let mut connections = HashMap::new();
+        let mut connections = FxHashMap::default();
         let mut targets = Vec::new();
         for ds in data_sources {
             ds.register_middleware(config.node, hub.sender());
-            connections.insert(ds.index(), DsConnection::new(config.node, Rc::clone(ds), Rc::clone(&net)));
+            connections.insert(
+                ds.index(),
+                DsConnection::new(config.node, Rc::clone(ds), Rc::clone(&net)),
+            );
             targets.push(ds.node());
         }
         let monitor = if config.background_monitor {
@@ -213,8 +248,7 @@ impl Middleware {
         scheduler_config.latency_aware = config.protocol.latency_scheduling();
         scheduler_config.advanced = config.protocol.advanced();
         let scheduler = Rc::new(GeoScheduler::new(scheduler_config, Rc::clone(&monitor)));
-        let commit_log =
-            commit_log.unwrap_or_else(|| CommitLog::new(config.log_flush_cost));
+        let commit_log = commit_log.unwrap_or_else(|| CommitLog::new(config.log_flush_cost));
         Rc::new(Self {
             config,
             net,
@@ -226,7 +260,17 @@ impl Middleware {
             next_txn: Cell::new(1),
             stats: RefCell::new(MiddlewareStats::default()),
             catalog: RefCell::new(Catalog::new()),
+            sql_cache: RefCell::new(FxHashMap::default()),
+            scratch_pool: RefCell::new(Vec::new()),
         })
+    }
+
+    fn take_scratch(&self) -> TxnScratch {
+        self.scratch_pool.borrow_mut().pop().unwrap_or_default()
+    }
+
+    fn return_scratch(&self, scratch: TxnScratch) {
+        self.scratch_pool.borrow_mut().push(scratch);
     }
 
     /// The middleware's node identity.
@@ -279,8 +323,12 @@ impl Middleware {
 
     fn to_ds_op(op: &ClientOp) -> DsOperation {
         match op {
-            ClientOp::Read(k) => DsOperation::Read { key: k.storage_key() },
-            ClientOp::ReadForUpdate(k) => DsOperation::ReadForUpdate { key: k.storage_key() },
+            ClientOp::Read(k) => DsOperation::Read {
+                key: k.storage_key(),
+            },
+            ClientOp::ReadForUpdate(k) => DsOperation::ReadForUpdate {
+                key: k.storage_key(),
+            },
             ClientOp::AddInt { key, col, delta } => DsOperation::AddInt {
                 key: key.storage_key(),
                 col: *col,
@@ -294,14 +342,49 @@ impl Middleware {
                 key: key.storage_key(),
                 row: row.clone(),
             },
-            ClientOp::Delete(k) => DsOperation::Delete { key: k.storage_key() },
+            ClientOp::Delete(k) => DsOperation::Delete {
+                key: k.storage_key(),
+            },
         }
     }
 
     /// Execute a SQL script (BEGIN ... COMMIT) as a single transaction.
     /// Statements between BEGIN and COMMIT become one interactive round each;
     /// the `/*+ last */` annotation is honoured.
-    pub async fn run_sql(self: &Rc<Self>, script: &str) -> Result<TxnOutcome, crate::parser::ParseError> {
+    ///
+    /// Parses are cached by script text: workload drivers issue the same
+    /// handful of script templates millions of times, so repeat executions
+    /// skip the parser entirely and reuse the prepared [`TransactionSpec`].
+    pub async fn run_sql(
+        self: &Rc<Self>,
+        script: &str,
+    ) -> Result<TxnOutcome, crate::parser::ParseError> {
+        let cached = self.sql_cache.borrow().get(script).cloned();
+        let plan = match cached {
+            Some(plan) => plan,
+            None => {
+                let plan = Rc::new(self.parse_sql_plan(script)?);
+                let mut cache = self.sql_cache.borrow_mut();
+                if cache.len() >= SQL_CACHE_MAX {
+                    cache.clear();
+                }
+                cache.insert(script.to_string(), Rc::clone(&plan));
+                plan
+            }
+        };
+        match &*plan {
+            SqlPlan::Rollback => Ok(TxnOutcome::aborted(
+                AbortReason::ClientRollback,
+                Duration::ZERO,
+                false,
+            )),
+            SqlPlan::Run(spec) => Ok(self.run_transaction(spec).await),
+        }
+    }
+
+    /// Parse a SQL script into its executable plan (the slow path behind the
+    /// statement cache).
+    fn parse_sql_plan(&self, script: &str) -> Result<SqlPlan, crate::parser::ParseError> {
         let statements = {
             let mut catalog = self.catalog.borrow_mut();
             let mut parser = SqlParser::new();
@@ -333,15 +416,30 @@ impl Middleware {
             }
         }
         if rollback || rounds.is_empty() {
-            return Ok(TxnOutcome::aborted(
-                AbortReason::ClientRollback,
-                Duration::ZERO,
-                false,
-            ));
+            return Ok(SqlPlan::Rollback);
         }
         let mut spec = TransactionSpec::multi_round(rounds);
         spec.annotate_last = annotate_last || spec.rounds.len() == 1;
-        Ok(self.run_transaction(&spec).await)
+        Ok(SqlPlan::Run(spec))
+    }
+
+    /// Bookkeeping common to every transaction exit path.
+    fn finish_txn(
+        &self,
+        gtrid: u64,
+        advanced: bool,
+        keys: &[GlobalKey],
+        outcome: TxnOutcome,
+    ) -> TxnOutcome {
+        self.hub.unregister(gtrid);
+        if advanced {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_txn_finish(keys, outcome.committed);
+        }
+        self.stats.borrow_mut().record(&outcome);
+        outcome
     }
 
     /// Run one client transaction end to end and return its outcome.
@@ -355,9 +453,15 @@ impl Middleware {
         sleep(self.config.analysis_cost).await;
         breakdown.analysis = self.config.analysis_cost;
 
-        let keys = spec.keys();
-        let involved = self.config.partitioner.involved_nodes(&keys);
-        let distributed = involved.len() > 1;
+        // Key/routing bookkeeping lives in pooled buffers: the steady-state
+        // transaction path reuses the vectors of earlier transactions.
+        let mut scratch = self.take_scratch();
+        spec.collect_keys_into(&mut scratch.keys);
+        self.config
+            .partitioner
+            .involved_nodes_into(&scratch.keys, &mut scratch.involved);
+        scratch.started_branches.clear();
+        let distributed = scratch.involved.len() > 1;
         let gtrid = self.alloc_gtrid();
         self.hub.register(gtrid);
         let advanced = self.config.protocol.advanced();
@@ -365,37 +469,19 @@ impl Middleware {
             self.scheduler
                 .footprint()
                 .borrow_mut()
-                .on_access_start(&keys);
+                .on_access_start(&scratch.keys);
         }
-
-        let finish = |outcome: TxnOutcome| {
-            self.hub.unregister(gtrid);
-            if advanced {
-                self.scheduler
-                    .footprint()
-                    .borrow_mut()
-                    .on_txn_finish(&keys, outcome.committed);
-            }
-            self.stats.borrow_mut().record(&outcome);
-            outcome
-        };
 
         // ------------------------------------------------------------------
         // Execution phase: dispatch each round to the involved data sources.
         // ------------------------------------------------------------------
         let exec_started = now();
-        let mut started_branches: Vec<u32> = Vec::new();
         let mut rows = Vec::new();
-        let total_rounds = spec.rounds.len();
 
         for (round_idx, round_ops) in spec.rounds.iter().enumerate() {
-            let mut groups: Vec<(u32, Vec<ClientOp>)> = self
-                .config
-                .partitioner
-                .split(round_ops)
-                .into_iter()
-                .map(|(ds, ops)| (ds, ops.into_iter().cloned().collect()))
-                .collect();
+            // Per-branch operation groups borrow from the spec — nothing is
+            // cloned for routing.
+            let mut groups = self.config.partitioner.split(round_ops);
 
             // QURO: delay exclusive-lock acquisition by moving writes last.
             if matches!(self.config.protocol, Protocol::Quro) {
@@ -409,7 +495,7 @@ impl Middleware {
                 .iter()
                 .map(|(ds, ops)| BranchPlan {
                     ds_index: *ds,
-                    keys: ops.iter().map(ClientOp::key).collect(),
+                    keys: ops.iter().map(|op| op.key()).collect(),
                 })
                 .collect();
 
@@ -427,7 +513,9 @@ impl Middleware {
                                 now().duration_since(started),
                                 distributed,
                             );
-                            return finish(outcome);
+                            let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                            self.return_scratch(scratch);
+                            return outcome;
                         }
                     }
                 } else {
@@ -447,7 +535,7 @@ impl Middleware {
 
             // Assemble the per-branch requests.
             let decentralized = self.config.protocol.decentralized_prepare() && spec.annotate_last;
-            let mut requests = Vec::new();
+            let mut requests = Vec::with_capacity(groups.len());
             for (ds, ops) in &groups {
                 let later_rounds_touch_ds = spec.rounds[round_idx + 1..].iter().any(|round| {
                     round
@@ -457,26 +545,31 @@ impl Middleware {
                 let is_last = decentralized && !later_rounds_touch_ds;
                 requests.push(StatementRequest {
                     xid: Xid::new(gtrid, *ds),
-                    begin: !started_branches.contains(ds),
-                    ops: ops.iter().map(Self::to_ds_op).collect(),
+                    begin: !scratch.started_branches.contains(ds),
+                    ops: ops.iter().map(|op| Self::to_ds_op(op)).collect(),
                     is_last,
                     decentralized_prepare: decentralized,
                     early_abort: self.config.protocol.early_abort() && distributed,
                     peers: if distributed {
-                        involved.iter().copied().filter(|p| p != ds).collect()
+                        scratch
+                            .involved
+                            .iter()
+                            .copied()
+                            .filter(|p| p != ds)
+                            .collect()
                     } else {
                         Vec::new()
                     },
                 });
             }
             for (ds, _) in &groups {
-                if !started_branches.contains(ds) {
-                    started_branches.push(*ds);
+                if !scratch.started_branches.contains(ds) {
+                    scratch.started_branches.push(*ds);
                 }
             }
 
             // Dispatch.
-            let responses = match self.config.protocol {
+            let mut responses = match self.config.protocol {
                 Protocol::Chiller if groups.len() > 1 => {
                     self.dispatch_chiller(&groups, requests).await
                 }
@@ -485,26 +578,31 @@ impl Middleware {
 
             // Feedback + failure handling.
             let mut failed = false;
-            for ((ds, ops), response) in groups.iter().zip(&responses) {
+            for ((_ds, ops), response) in groups.iter().zip(&responses) {
                 if advanced {
-                    let branch_keys: Vec<_> = ops.iter().map(ClientOp::key).collect();
+                    scratch.branch_keys.clear();
+                    scratch.branch_keys.extend(ops.iter().map(|op| op.key()));
                     self.scheduler
                         .footprint()
                         .borrow_mut()
-                        .on_subtxn_feedback(&branch_keys, response.local_execution_latency);
+                        .on_subtxn_feedback(&scratch.branch_keys, response.local_execution_latency);
                 }
-                match &response.outcome {
-                    StatementOutcome::Ok { rows: r } => rows.extend(r.iter().cloned()),
-                    StatementOutcome::Failed { .. } => {
-                        failed = true;
-                        let _ = ds;
+                if !response.outcome.is_ok() {
+                    failed = true;
+                }
+            }
+            if !failed {
+                // Move the result rows out of the responses (no clones).
+                for response in &mut responses {
+                    if let StatementOutcome::Ok { rows: r } = &mut response.outcome {
+                        rows.append(r);
                     }
                 }
             }
 
             if failed {
                 breakdown.execution = now().duration_since(exec_started);
-                self.abort_started_branches(gtrid, &started_branches, &groups, &responses)
+                self.abort_started_branches(gtrid, &scratch.started_branches, &groups, &responses)
                     .await;
                 let outcome = TxnOutcome {
                     committed: false,
@@ -514,10 +612,10 @@ impl Middleware {
                     distributed,
                     rows: Vec::new(),
                 };
-                return finish(outcome);
+                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                self.return_scratch(scratch);
+                return outcome;
             }
-
-            let _ = (round_idx, total_rounds);
         }
         breakdown.execution = now().duration_since(exec_started);
 
@@ -525,7 +623,13 @@ impl Middleware {
         // Commit phase.
         // ------------------------------------------------------------------
         let commit_outcome = self
-            .commit_phase(gtrid, &involved, distributed, spec.annotate_last, &mut breakdown)
+            .commit_phase(
+                gtrid,
+                &scratch.involved,
+                distributed,
+                spec.annotate_last,
+                &mut breakdown,
+            )
             .await;
 
         let outcome = TxnOutcome {
@@ -536,21 +640,38 @@ impl Middleware {
             distributed,
             rows,
         };
-        finish(outcome)
+        let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+        self.return_scratch(scratch);
+        outcome
     }
 
     /// Dispatch every branch of a round concurrently, honouring the
     /// scheduler's postpone amounts.
     async fn dispatch_parallel(
         &self,
-        groups: &[(u32, Vec<ClientOp>)],
+        groups: &[(u32, Vec<&ClientOp>)],
         requests: Vec<StatementRequest>,
         schedule: &Schedule,
     ) -> Vec<geotp_datasource::StatementResponse> {
+        // Fast path: centralized transactions (the overwhelming majority at
+        // the paper's 20% distributed ratio) have exactly one branch — await
+        // it directly instead of paying `join_all`'s boxing and re-polling.
+        if let [(ds, _)] = groups {
+            let request = requests.into_iter().next().expect("one request per group");
+            let postpone = schedule.postpone.first().copied().unwrap_or(Duration::ZERO);
+            if !postpone.is_zero() {
+                sleep(postpone).await;
+            }
+            return vec![self.conn(*ds).execute(request).await];
+        }
         let mut futures = Vec::new();
         for (idx, ((ds, _), request)) in groups.iter().zip(requests).enumerate() {
             let conn = self.conn(*ds).clone();
-            let postpone = schedule.postpone.get(idx).copied().unwrap_or(Duration::ZERO);
+            let postpone = schedule
+                .postpone
+                .get(idx)
+                .copied()
+                .unwrap_or(Duration::ZERO);
             futures.push(async move {
                 if !postpone.is_zero() {
                     sleep(postpone).await;
@@ -566,7 +687,7 @@ impl Middleware {
     /// only after they finish, shrinking its lock span.
     async fn dispatch_chiller(
         &self,
-        groups: &[(u32, Vec<ClientOp>)],
+        groups: &[(u32, Vec<&ClientOp>)],
         requests: Vec<StatementRequest>,
     ) -> Vec<geotp_datasource::StatementResponse> {
         // Find the branch with the smallest RTT ("inner region").
@@ -611,7 +732,7 @@ impl Middleware {
         &self,
         gtrid: u64,
         started: &[u32],
-        groups: &[(u32, Vec<ClientOp>)],
+        groups: &[(u32, Vec<&ClientOp>)],
         responses: &[geotp_datasource::StatementResponse],
     ) {
         // Branches whose statement failed have already been rolled back by
@@ -660,7 +781,9 @@ impl Middleware {
         if !distributed {
             let ds = involved[0];
             let flush_started = now();
-            self.commit_log.flush_decision(gtrid, Decision::Commit).await;
+            self.commit_log
+                .flush_decision(gtrid, Decision::Commit)
+                .await;
             breakdown.log_flush = now().duration_since(flush_started);
             let commit_started = now();
             let result = self.conn(ds).commit(Xid::new(gtrid, ds), true).await;
@@ -689,7 +812,9 @@ impl Middleware {
             Protocol::SspLocal => {
                 // One-phase commit everywhere, no vote collection.
                 let flush_started = now();
-                self.commit_log.flush_decision(gtrid, Decision::Commit).await;
+                self.commit_log
+                    .flush_decision(gtrid, Decision::Commit)
+                    .await;
                 breakdown.log_flush = now().duration_since(flush_started);
                 let commit_started = now();
                 let results = join_all(
@@ -747,7 +872,11 @@ impl Middleware {
         breakdown: &mut LatencyBreakdown,
     ) -> Result<(), AbortReason> {
         let flush_started = now();
-        let decision = if all_yes { Decision::Commit } else { Decision::Abort };
+        let decision = if all_yes {
+            Decision::Commit
+        } else {
+            Decision::Abort
+        };
         self.commit_log.flush_decision(gtrid, decision).await;
         breakdown.log_flush = now().duration_since(flush_started);
 
@@ -825,7 +954,11 @@ impl Middleware {
 
     /// Spawn a background task running `count` transactions from an async
     /// generator closure — a small helper for driver loops in examples.
-    pub fn spawn_client<F, Fut>(self: &Rc<Self>, count: usize, mut make: F) -> geotp_simrt::JoinHandle<Vec<TxnOutcome>>
+    pub fn spawn_client<F, Fut>(
+        self: &Rc<Self>,
+        count: usize,
+        mut make: F,
+    ) -> geotp_simrt::JoinHandle<Vec<TxnOutcome>>
     where
         F: FnMut(usize) -> Fut + 'static,
         Fut: std::future::Future<Output = TransactionSpec> + 'static,

@@ -20,7 +20,7 @@ use crate::avl::AvlMap;
 use crate::ops::GlobalKey;
 
 /// Statistics for one hot record.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HotRecordStats {
     /// Weighted average completion latency attributed to this record (seconds).
     pub w_lat: f64,
@@ -86,6 +86,8 @@ pub struct HotspotFootprint {
     lru: VecDeque<(GlobalKey, u64)>,
     touch_counter: u64,
     evictions: u64,
+    /// Reusable buffer for [`HotspotFootprint::on_subtxn_feedback`].
+    feedback_scratch: Vec<f64>,
 }
 
 impl HotspotFootprint {
@@ -97,6 +99,7 @@ impl HotspotFootprint {
             lru: VecDeque::new(),
             touch_counter: 0,
             evictions: 0,
+            feedback_scratch: Vec::new(),
         }
     }
 
@@ -125,17 +128,22 @@ impl HotspotFootprint {
         self.records.get(&key).copied()
     }
 
-    fn touch(&mut self, key: GlobalKey) -> &mut HotRecordStats {
+    /// Bump the touch clock for `key` and apply `f` to its stats entry
+    /// (creating it first if needed) — one tree traversal per call.
+    fn touch_with(&mut self, key: GlobalKey, f: impl FnOnce(&mut HotRecordStats)) {
         self.touch_counter += 1;
         let touch = self.touch_counter;
-        if !self.records.contains_key(&key) {
-            self.records.insert(key, HotRecordStats::new(touch));
+        let before = self.records.len();
+        let entry = self
+            .records
+            .get_or_insert_with(key, || HotRecordStats::new(touch));
+        entry.last_touch = touch;
+        f(entry);
+        let inserted = self.records.len() != before;
+        self.lru.push_back((key, touch));
+        if inserted {
             self.maybe_evict();
         }
-        let entry = self.records.get_mut(&key).expect("just inserted");
-        entry.last_touch = touch;
-        self.lru.push_back((key, touch));
-        entry
     }
 
     fn maybe_evict(&mut self) {
@@ -160,9 +168,10 @@ impl HotspotFootprint {
     /// (increments `t_cnt` and `a_cnt`).
     pub fn on_access_start(&mut self, keys: &[GlobalKey]) {
         for key in keys {
-            let entry = self.touch(*key);
-            entry.t_cnt += 1;
-            entry.a_cnt += 1;
+            self.touch_with(*key, |entry| {
+                entry.t_cnt += 1;
+                entry.a_cnt += 1;
+            });
         }
     }
 
@@ -175,26 +184,33 @@ impl HotspotFootprint {
         }
         let lel = local_execution_latency.as_secs_f64();
         // Weight w_r = w_lat(r) / Σ w_lat(r_k); fall back to an even split when
-        // no history exists yet.
-        let sum: f64 = keys
-            .iter()
-            .map(|k| self.records.get(k).map(|s| s.w_lat).unwrap_or(0.0))
-            .sum();
+        // no history exists yet. The per-key latencies are gathered once into
+        // a reusable scratch buffer so each key costs one lookup for the sum
+        // and one upsert for the update, not four tree walks.
+        let mut lats = std::mem::take(&mut self.feedback_scratch);
+        lats.clear();
+        lats.extend(
+            keys.iter()
+                .map(|k| self.records.get(k).map(|s| s.w_lat).unwrap_or(0.0)),
+        );
+        let sum: f64 = lats.iter().sum();
         let alpha = self.config.alpha;
-        for key in keys {
+        for (key, w_lat) in keys.iter().zip(&lats) {
             let weight = if sum > 0.0 {
-                self.records.get(key).map(|s| s.w_lat).unwrap_or(0.0) / sum
+                w_lat / sum
             } else {
                 1.0 / keys.len() as f64
             };
-            let entry = self.touch(*key);
             let observed = lel * weight;
-            if entry.w_lat == 0.0 {
-                entry.w_lat = observed;
-            } else {
-                entry.w_lat = alpha * entry.w_lat + (1.0 - alpha) * observed;
-            }
+            self.touch_with(*key, |entry| {
+                if entry.w_lat == 0.0 {
+                    entry.w_lat = observed;
+                } else {
+                    entry.w_lat = alpha * entry.w_lat + (1.0 - alpha) * observed;
+                }
+            });
         }
+        self.feedback_scratch = lats;
     }
 
     /// A transaction finished (committed or aborted): decrement `a_cnt` and,
@@ -290,7 +306,10 @@ mod tests {
             ..HotspotConfig::default()
         });
         fp.on_subtxn_feedback(&[gk(1)], Duration::from_millis(20));
-        assert_eq!(fp.forecast_local_latency(&[gk(1)]), Duration::from_millis(10));
+        assert_eq!(
+            fp.forecast_local_latency(&[gk(1)]),
+            Duration::from_millis(10)
+        );
     }
 
     #[test]
@@ -345,6 +364,9 @@ mod tests {
             fp.on_access_start(&[gk(i)]);
             fp.on_txn_finish(&[gk(i)], true);
         }
-        assert!(fp.stats(gk(0)).is_some(), "in-use record must survive eviction");
+        assert!(
+            fp.stats(gk(0)).is_some(),
+            "in-use record must survive eviction"
+        );
     }
 }

@@ -128,9 +128,20 @@ mod tests {
             assert!(outcome.distributed);
             // execution (100ms) + prepare (100ms) + commit (100ms)
             assert_eq!(outcome.latency, Duration::from_millis(300));
-            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(900));
             assert_eq!(
-                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(900)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(1100)
             );
         });
@@ -150,9 +161,20 @@ mod tests {
             assert_eq!(sources[0].stats().decentralized_prepares, 1);
             assert_eq!(sources[1].stats().decentralized_prepares, 1);
             // Data is atomically updated.
-            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(900));
             assert_eq!(
-                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(900)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(1100)
             );
         });
@@ -177,7 +199,10 @@ mod tests {
 
             // SSP: the fast branch holds its lock across prepare+commit of the
             // slow branch (~2.5 WAN RTTs of the slow node ≈ 245ms).
-            assert!(ssp_span >= Duration::from_millis(200), "SSP span {ssp_span:?}");
+            assert!(
+                ssp_span >= Duration::from_millis(200),
+                "SSP span {ssp_span:?}"
+            );
             // O1 alone reduces the span to the longest RTT involved (100ms),
             // exactly as Fig. 4a describes.
             assert!(
@@ -336,14 +361,26 @@ mod tests {
             let b = geotp_simrt::spawn(async move { mw_b.run_transaction(&spec_b).await });
             let (ra, rb) = (a.await, b.await);
             let committed = [&ra, &rb].iter().filter(|o| o.committed).count();
-            assert!(committed <= 1, "at most one of the deadlocked transactions commits");
-            assert!(ra.committed || rb.committed || (!ra.committed && !rb.committed));
+            assert!(
+                committed <= 1,
+                "at most one of the deadlocked transactions commits"
+            );
             let stats = mw.stats();
             assert_eq!(stats.committed + stats.aborted, 2);
             // Atomicity: the two keys must have identical values (both updates
             // from a committed transaction applied, none from an aborted one).
-            let v0 = sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value().unwrap();
-            let v1 = sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value().unwrap();
+            let v0 = sources[0]
+                .engine()
+                .peek(gk(1).storage_key())
+                .unwrap()
+                .int_value()
+                .unwrap();
+            let v1 = sources[1]
+                .engine()
+                .peek(gk(1001).storage_key())
+                .unwrap()
+                .int_value()
+                .unwrap();
             assert_eq!(v0, v1, "atomicity violated: {v0} vs {v1}");
         });
     }
@@ -366,9 +403,20 @@ mod tests {
                 .unwrap();
             assert!(outcome.committed);
             assert!(outcome.distributed);
-            assert_eq!(sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(), Some(950));
             assert_eq!(
-                sources[1].engine().peek(gk(1001).storage_key()).unwrap().int_value(),
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(950)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(1050)
             );
         });
@@ -385,7 +433,8 @@ mod tests {
             let gtrid = 42;
             for (i, ds) in sources.iter().enumerate() {
                 let xid = geotp_storage::Xid::new(gtrid, i as u32);
-                let conn = geotp_datasource::DsConnection::new(mw.node(), Rc::clone(ds), Rc::clone(&net));
+                let conn =
+                    geotp_datasource::DsConnection::new(mw.node(), Rc::clone(ds), Rc::clone(&net));
                 conn.execute(geotp_datasource::StatementRequest {
                     xid,
                     begin: true,
@@ -400,15 +449,24 @@ mod tests {
                     peers: vec![1 - i as u32],
                 })
                 .await;
-                assert_eq!(conn.prepare(xid).await, geotp_datasource::PrepareVote::Prepared);
+                assert_eq!(
+                    conn.prepare(xid).await,
+                    geotp_datasource::PrepareVote::Prepared
+                );
             }
-            mw.commit_log().flush_decision(gtrid, Decision::Commit).await;
+            mw.commit_log()
+                .flush_decision(gtrid, Decision::Commit)
+                .await;
 
             // A second in-doubt transaction without a logged decision: it must
             // be aborted by recovery.
             let gtrid2 = 43;
             let xid2 = geotp_storage::Xid::new(gtrid2, 0);
-            let conn0 = geotp_datasource::DsConnection::new(mw.node(), Rc::clone(&sources[0]), Rc::clone(&net));
+            let conn0 = geotp_datasource::DsConnection::new(
+                mw.node(),
+                Rc::clone(&sources[0]),
+                Rc::clone(&net),
+            );
             conn0
                 .execute(geotp_datasource::StatementRequest {
                     xid: xid2,
@@ -438,20 +496,39 @@ mod tests {
             );
             cfg.analysis_cost = Duration::ZERO;
             cfg.log_flush_cost = Duration::ZERO;
-            let recovered =
-                Middleware::connect(cfg, Rc::clone(&net), &sources, Some(Rc::clone(mw.commit_log())));
+            let recovered = Middleware::connect(
+                cfg,
+                Rc::clone(&net),
+                &sources,
+                Some(Rc::clone(mw.commit_log())),
+            );
             let (committed, aborted) = recovered.recover().await;
             assert_eq!(committed, 2, "both branches of gtrid 42 commit");
             assert_eq!(aborted, 1, "the undecided gtrid 43 branch aborts");
             assert_eq!(
-                sources[0].engine().peek(gk(0).storage_key()).unwrap().int_value(),
+                sources[0]
+                    .engine()
+                    .peek(gk(0).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(1500)
             );
             assert_eq!(
-                sources[1].engine().peek(gk(ROWS_PER_NODE).storage_key()).unwrap().int_value(),
+                sources[1]
+                    .engine()
+                    .peek(gk(ROWS_PER_NODE).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(1500)
             );
-            assert_eq!(sources[0].engine().peek(gk(7).storage_key()).unwrap().int_value(), Some(1000));
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(7).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1000)
+            );
         });
     }
 

@@ -132,10 +132,9 @@ impl MiddlewareStats {
 
     /// Mean latency of committed transactions.
     pub fn mean_commit_latency(&self) -> Duration {
-        if self.committed == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(self.total_commit_latency_micros / self.committed)
+        match self.total_commit_latency_micros.checked_div(self.committed) {
+            Some(mean) => Duration::from_micros(mean),
+            None => Duration::ZERO,
         }
     }
 }

@@ -4,13 +4,14 @@
 //! confirmations) to the middleware over a single mailbox; the hub dispatches
 //! them to the per-transaction state the coordinator is awaiting on.
 
+use geotp_simrt::hash::FxHashMap;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 use geotp_datasource::{AgentNotification, PrepareVote};
-use geotp_simrt::sync::{mpsc, Notify};
 use geotp_simrt::spawn;
+use geotp_simrt::sync::{mpsc, Notify};
 
 /// Per-transaction notification state.
 #[derive(Default)]
@@ -22,7 +23,7 @@ struct TxnState {
 
 /// The notification hub. One per middleware instance.
 pub struct NotifyHub {
-    txns: Rc<RefCell<HashMap<u64, TxnState>>>,
+    txns: Rc<RefCell<FxHashMap<u64, TxnState>>>,
     sender: mpsc::Sender<AgentNotification>,
 }
 
@@ -31,7 +32,8 @@ impl NotifyHub {
     /// what gets registered with every geo-agent.
     pub fn start() -> Rc<Self> {
         let (tx, mut rx) = mpsc::unbounded::<AgentNotification>();
-        let txns: Rc<RefCell<HashMap<u64, TxnState>>> = Rc::new(RefCell::new(HashMap::new()));
+        let txns: Rc<RefCell<FxHashMap<u64, TxnState>>> =
+            Rc::new(RefCell::new(FxHashMap::default()));
         let txns_bg = Rc::clone(&txns);
         spawn(async move {
             while let Some(notification) = rx.recv().await {
@@ -116,9 +118,9 @@ impl NotifyHub {
                 let Some(state) = map.get(&gtrid) else {
                     return HashMap::new();
                 };
-                let done = branches.iter().all(|b| {
-                    state.votes.contains_key(b) || state.rollbacked.contains(b)
-                });
+                let done = branches
+                    .iter()
+                    .all(|b| state.votes.contains_key(b) || state.rollbacked.contains(b));
                 (done, Rc::clone(&state.notify))
             };
             if done {
@@ -202,7 +204,9 @@ mod tests {
             spawn(async move {
                 sleep(Duration::from_millis(1)).await;
                 sender
-                    .send(AgentNotification::Rollbacked { xid: Xid::new(9, 2) })
+                    .send(AgentNotification::Rollbacked {
+                        xid: Xid::new(9, 2),
+                    })
                     .unwrap();
             });
             let votes = hub.wait_for_votes(9, &[2]).await;

@@ -130,10 +130,19 @@ impl TransactionSpec {
 
     /// Every distinct key the transaction touches.
     pub fn keys(&self) -> Vec<GlobalKey> {
-        let mut keys: Vec<GlobalKey> = self.all_ops().map(ClientOp::key).collect();
-        keys.sort();
-        keys.dedup();
+        let mut keys = Vec::new();
+        self.collect_keys_into(&mut keys);
         keys
+    }
+
+    /// Collect the distinct keys into a reusable buffer (cleared first) —
+    /// the allocation-free variant of [`TransactionSpec::keys`] the
+    /// coordinator's hot path uses.
+    pub fn collect_keys_into(&self, buf: &mut Vec<GlobalKey>) {
+        buf.clear();
+        buf.extend(self.all_ops().map(ClientOp::key));
+        buf.sort();
+        buf.dedup();
     }
 
     /// Total number of operations.

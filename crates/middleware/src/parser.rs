@@ -208,9 +208,14 @@ impl SqlParser {
             // Two supported forms: `SET col = col + N` and `SET col = N`.
             let set_clause = Self::capture_between(&upper, "SET", "WHERE")
                 .ok_or_else(|| err("missing SET clause"))?;
-            let delta = Self::parse_delta(&set_clause).ok_or_else(|| err("unsupported SET clause"))?;
+            let delta =
+                Self::parse_delta(&set_clause).ok_or_else(|| err("unsupported SET clause"))?;
             let op = match delta {
-                SetExpr::Delta(d) => ClientOp::AddInt { key, col: 0, delta: d },
+                SetExpr::Delta(d) => ClientOp::AddInt {
+                    key,
+                    col: 0,
+                    delta: d,
+                },
                 SetExpr::Assign(v) => ClientOp::Write {
                     key,
                     row: geotp_storage::Row::int(v),
@@ -231,7 +236,11 @@ impl SqlParser {
             }
             let key = GlobalKey::new(self.catalog.table(&table), values[0] as u64);
             let row = geotp_storage::Row::from_values(
-                values.iter().skip(1).map(|v| geotp_storage::Value::Int(*v)).collect(),
+                values
+                    .iter()
+                    .skip(1)
+                    .map(|v| geotp_storage::Value::Int(*v))
+                    .collect(),
             );
             return Ok(ParsedStatement {
                 op: Some(ClientOp::Insert { key, row }),
@@ -256,7 +265,12 @@ impl SqlParser {
 
     fn strip_last_annotation(text: &mut String) -> bool {
         let lowered = text.to_ascii_lowercase();
-        let markers = ["/*+ last */", "/* last */", "/*last*/", "/* last statement */"];
+        let markers = [
+            "/*+ last */",
+            "/* last */",
+            "/*last*/",
+            "/* last statement */",
+        ];
         for marker in markers {
             if let Some(pos) = lowered.find(marker) {
                 text.replace_range(pos..pos + marker.len(), "");
@@ -272,7 +286,10 @@ impl SqlParser {
         text[pos..]
             .split_whitespace()
             .next()
-            .map(|s| s.trim_matches(|c: char| !c.is_alphanumeric() && c != '_').to_string())
+            .map(|s| {
+                s.trim_matches(|c: char| !c.is_alphanumeric() && c != '_')
+                    .to_string()
+            })
             .filter(|s| !s.is_empty())
     }
 
@@ -292,7 +309,6 @@ impl SqlParser {
         let clause = &text[pos + 5..];
         let eq = clause.find('=')?;
         clause[eq + 1..]
-            .trim()
             .split_whitespace()
             .next()?
             .trim_matches(|c: char| !c.is_ascii_digit())
@@ -484,7 +500,9 @@ mod tests {
     fn rejects_unsupported_statements() {
         let mut parser = SqlParser::new();
         assert!(parser.parse_statement("CREATE TABLE foo (id INT)").is_err());
-        assert!(parser.parse_statement("UPDATE t SET a = b WHERE id = 1").is_err());
+        assert!(parser
+            .parse_statement("UPDATE t SET a = b WHERE id = 1")
+            .is_err());
         assert!(parser.parse_statement("SELECT * FROM t").is_err());
         let err = parser.parse_statement("GRANT ALL").unwrap_err();
         assert!(err.to_string().contains("unsupported"));
@@ -493,8 +511,12 @@ mod tests {
     #[test]
     fn catalog_reuses_table_ids_case_insensitively() {
         let mut parser = SqlParser::new();
-        parser.parse_statement("SELECT * FROM Savings WHERE id = 1").unwrap();
-        parser.parse_statement("SELECT * FROM SAVINGS WHERE id = 2").unwrap();
+        parser
+            .parse_statement("SELECT * FROM Savings WHERE id = 1")
+            .unwrap();
+        parser
+            .parse_statement("SELECT * FROM SAVINGS WHERE id = 2")
+            .unwrap();
         assert_eq!(parser.catalog().len(), 1);
         assert!(parser.catalog().lookup("savings").is_some());
     }
@@ -502,7 +524,9 @@ mod tests {
     #[test]
     fn rewriter_renders_dialect_specific_scripts() {
         let mut parser = SqlParser::new();
-        parser.parse_statement("SELECT * FROM savings WHERE id = 1").unwrap();
+        parser
+            .parse_statement("SELECT * FROM savings WHERE id = 1")
+            .unwrap();
         let catalog = parser.catalog().clone();
         let key = GlobalKey::new(catalog.lookup("savings").unwrap(), 1);
         let ops = vec![ClientOp::Read(key), ClientOp::add(key, 100)];
@@ -517,7 +541,11 @@ mod tests {
 
         let pg = rewriter.render_branch(Dialect::Postgres, xid, &ops, &catalog, true);
         assert_eq!(pg[0], "BEGIN");
-        assert!(pg[1].ends_with("FOR SHARE"), "PostgreSQL reads get FOR SHARE: {}", pg[1]);
+        assert!(
+            pg[1].ends_with("FOR SHARE"),
+            "PostgreSQL reads get FOR SHARE: {}",
+            pg[1]
+        );
         assert_eq!(pg.last().unwrap(), "PREPARE TRANSACTION '1_2'");
     }
 }

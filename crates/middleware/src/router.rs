@@ -46,9 +46,10 @@ impl Partitioner {
     /// The data-source index owning `key`.
     pub fn route(&self, key: GlobalKey) -> u32 {
         match self {
-            Partitioner::Range { rows_per_node, nodes } => {
-                ((key.row / rows_per_node) as u32).min(nodes.saturating_sub(1))
-            }
+            Partitioner::Range {
+                rows_per_node,
+                nodes,
+            } => ((key.row / rows_per_node) as u32).min(nodes.saturating_sub(1)),
             Partitioner::Hash { nodes } => (key.row % *nodes as u64) as u32,
             Partitioner::ByWarehouse {
                 warehouses_per_node,
@@ -80,10 +81,18 @@ impl Partitioner {
 
     /// The distinct data sources a set of keys touches.
     pub fn involved_nodes(&self, keys: &[GlobalKey]) -> Vec<u32> {
-        let mut nodes: Vec<u32> = keys.iter().map(|k| self.route(*k)).collect();
-        nodes.sort_unstable();
-        nodes.dedup();
+        let mut nodes = Vec::new();
+        self.involved_nodes_into(keys, &mut nodes);
         nodes
+    }
+
+    /// Collect the distinct data sources touched by `keys` into a reusable
+    /// buffer (cleared first).
+    pub fn involved_nodes_into(&self, keys: &[GlobalKey], buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(keys.iter().map(|k| self.route(*k)));
+        buf.sort_unstable();
+        buf.dedup();
     }
 }
 

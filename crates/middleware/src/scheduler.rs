@@ -81,7 +81,7 @@ impl Default for SchedulerConfig {
             max_retries: 10,
             retry_backoff: Duration::from_millis(2),
             hotspot: HotspotConfig::default(),
-            seed: 0x6765_6f74_70, // "geotp"
+            seed: 0x0067_656f_7470, // "geotp"
         }
     }
 }
@@ -94,6 +94,8 @@ pub struct GeoScheduler {
     rng: RefCell<StdRng>,
     admissions: RefCell<u64>,
     rejections: RefCell<u64>,
+    /// Reusable buffer for the admission check's flattened key list.
+    keys_scratch: RefCell<Vec<GlobalKey>>,
 }
 
 impl GeoScheduler {
@@ -106,6 +108,7 @@ impl GeoScheduler {
             monitor,
             admissions: RefCell::new(0),
             rejections: RefCell::new(0),
+            keys_scratch: RefCell::new(Vec::new()),
         }
     }
 
@@ -133,10 +136,7 @@ impl GeoScheduler {
     fn branch_latency(&self, branch: &BranchPlan) -> Duration {
         let mut latency = self.rtt_of(branch.ds_index);
         if self.config.advanced {
-            latency += self
-                .footprint
-                .borrow()
-                .forecast_local_latency(&branch.keys);
+            latency += self.footprint.borrow().forecast_local_latency(&branch.keys);
         }
         latency
     }
@@ -146,7 +146,10 @@ impl GeoScheduler {
         let latencies: Vec<Duration> = branches.iter().map(|b| self.branch_latency(b)).collect();
         let horizon = latencies.iter().copied().max().unwrap_or(Duration::ZERO);
         let postpone = if self.config.latency_aware && branches.len() > 1 {
-            latencies.iter().map(|lat| horizon.saturating_sub(*lat)).collect()
+            latencies
+                .iter()
+                .map(|lat| horizon.saturating_sub(*lat))
+                .collect()
         } else {
             vec![Duration::ZERO; branches.len()]
         };
@@ -164,7 +167,9 @@ impl GeoScheduler {
             *self.admissions.borrow_mut() += 1;
             return AdmissionDecision::Admit(self.schedule(branches));
         }
-        let all_keys: Vec<GlobalKey> = branches.iter().flat_map(|b| b.keys.clone()).collect();
+        let mut all_keys = self.keys_scratch.borrow_mut();
+        all_keys.clear();
+        all_keys.extend(branches.iter().flat_map(|b| b.keys.iter().copied()));
         let mut attempts = 0;
         loop {
             attempts += 1;

@@ -112,7 +112,10 @@ impl DynamicLatency {
     /// are sorted internally; the latency before the first segment is the
     /// first segment's value.
     pub fn new(mut schedule: Vec<(SimInstant, Duration)>) -> Self {
-        assert!(!schedule.is_empty(), "DynamicLatency needs at least one segment");
+        assert!(
+            !schedule.is_empty(),
+            "DynamicLatency needs at least one segment"
+        );
         schedule.sort_by_key(|(t, _)| *t);
         Self { schedule }
     }
@@ -248,7 +251,10 @@ mod tests {
             sum += s.as_secs_f64();
         }
         let mean = sum / n as f64;
-        assert!((mean - 0.1).abs() < 0.005, "empirical mean {mean} too far from 100ms");
+        assert!(
+            (mean - 0.1).abs() < 0.005,
+            "empirical mean {mean} too far from 100ms"
+        );
     }
 
     #[test]
@@ -287,7 +293,10 @@ mod tests {
             .filter(|_| m.sample_rtt(SimInstant::ZERO, &mut r) > Duration::from_millis(50))
             .count();
         let rate = spikes as f64 / 5000.0;
-        assert!((rate - 0.2).abs() < 0.03, "spike rate {rate} too far from 0.2");
+        assert!(
+            (rate - 0.2).abs() < 0.03,
+            "spike rate {rate} too far from 0.2"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The latency matrix connecting simulated nodes.
 
+use geotp_simrt::hash::FxHashMap;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
@@ -68,7 +68,7 @@ impl NetworkBuilder {
     pub fn build(self) -> Rc<Network> {
         let net = Network {
             lan_rtt: self.lan_rtt.unwrap_or(Duration::from_micros(500)),
-            links: RefCell::new(HashMap::new()),
+            links: RefCell::new(FxHashMap::default()),
             rng: RefCell::new(StdRng::seed_from_u64(self.seed)),
         };
         for (a, b, model) in self.links {
@@ -91,7 +91,7 @@ impl NetworkBuilder {
 /// the dynamic-latency experiments use.
 pub struct Network {
     lan_rtt: Duration,
-    links: RefCell<HashMap<(NodeId, NodeId), Link>>,
+    links: RefCell<FxHashMap<(NodeId, NodeId), Link>>,
     rng: RefCell<StdRng>,
 }
 

@@ -257,7 +257,11 @@ impl ScalarDbCluster {
                     .filter(|op| !op.is_write())
                     .map(|op| op.key().storage_key())
                     .collect();
-                let postpone = schedule.postpone.get(idx).copied().unwrap_or(Duration::ZERO);
+                let postpone = schedule
+                    .postpone
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(Duration::ZERO);
                 let this = Rc::clone(self);
                 let ds = *ds;
                 batches.push(async move {
@@ -300,7 +304,11 @@ impl ScalarDbCluster {
                             },
                         )),
                         ClientOp::Write { key, row } | ClientOp::Insert { key, row } => {
-                            write_buffer.push((*ds, key.storage_key(), WriteIntent::Put(row.clone())))
+                            write_buffer.push((
+                                *ds,
+                                key.storage_key(),
+                                WriteIntent::Put(row.clone()),
+                            ))
                         }
                         ClientOp::Delete(key) => {
                             write_buffer.push((*ds, key.storage_key(), WriteIntent::Delete))
@@ -358,7 +366,7 @@ impl WriteIntent {
         match self {
             WriteIntent::Put(row) => source.engine().load(key, row.clone()),
             WriteIntent::Add { col, delta } => {
-                let mut row = source.engine().peek(key).unwrap_or_else(Row::new);
+                let mut row = source.engine().peek(key).unwrap_or_default();
                 row.add_int(*col, *delta);
                 source.engine().load(key, row);
             }
@@ -413,7 +421,12 @@ mod tests {
             .static_link(dm, NodeId::data_source(1), Duration::from_millis(100))
             .build();
         let sources: Vec<_> = (0..2)
-            .map(|i| DataSource::new(DataSourceConfig::new(NodeId::data_source(i)), Rc::clone(&net)))
+            .map(|i| {
+                DataSource::new(
+                    DataSourceConfig::new(NodeId::data_source(i)),
+                    Rc::clone(&net),
+                )
+            })
             .collect();
         for (i, s) in sources.iter().enumerate() {
             for row in 0..100u64 {
@@ -447,7 +460,11 @@ mod tests {
             assert!(outcome.distributed);
             assert_eq!(outcome.rows.len(), 1);
             assert_eq!(
-                sources[1].engine().peek(gk(101).storage_key()).unwrap().int_value(),
+                sources[1]
+                    .engine()
+                    .peek(gk(101).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(525)
             );
             // Execution round (100ms) + prepare writes (100ms) + status (10ms)
@@ -475,7 +492,11 @@ mod tests {
             assert!(a.await.committed);
             assert!(b.await.committed);
             assert_eq!(
-                sources[0].engine().peek(gk(1).storage_key()).unwrap().int_value(),
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
                 Some(502),
                 "both increments must be applied exactly once"
             );
@@ -503,8 +524,14 @@ mod tests {
             let (plus, _) = cluster(true);
             assert!(!plain.is_plus());
             assert!(plus.is_plus());
-            assert_eq!(TransactionService::label(&ScalarDbService(plain)), "ScalarDB");
-            assert_eq!(TransactionService::label(&ScalarDbService(plus)), "ScalarDB+");
+            assert_eq!(
+                TransactionService::label(&ScalarDbService(plain)),
+                "ScalarDB"
+            );
+            assert_eq!(
+                TransactionService::label(&ScalarDbService(plus)),
+                "ScalarDB+"
+            );
         });
     }
 }

@@ -1,21 +1,49 @@
 //! The discrete-event executor: ready queue, virtual clock and timer wheel.
+//!
+//! ## Hot-path design
+//!
+//! The executor is the inner loop of every experiment, so its per-poll cost is
+//! kept allocation-free:
+//!
+//! * **Task slab** — tasks live in a `Vec<TaskSlot>` indexed by slot, with a
+//!   free list and per-slot generation counters (so a stale wake for a
+//!   finished task can never poll an unrelated task that reused the slot).
+//!   Polling takes the future out of its slot and puts it back — two pointer
+//!   moves — instead of the remove/insert pair a `HashMap` would cost.
+//! * **Cached wakers** — each task's `Waker` is created once at spawn and
+//!   cached in its slot; a poll clones it (one atomic refcount bump) instead
+//!   of allocating a fresh `Arc` per poll.
+//! * **`Cell` metrics** — the run counters are plain `Cell`s, not a `RefCell`
+//!   of the whole struct, so bumping a counter is a load+store.
+//! * **Batch timer firing** — expired timers are popped and fired under a
+//!   single `RefCell` borrow of the timer heap.
 
 use std::cell::{Cell, RefCell};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
-
-use parking_lot::Mutex;
 
 use crate::task::{JoinHandle, JoinState};
 use crate::time::SimInstant;
 
-/// Identifier of a spawned task within one runtime.
+/// Identifier of a spawned task within one runtime: slab slot in the upper
+/// bits, slot generation in the lower 32 (so ids of finished tasks are never
+/// confused with the slot's next occupant).
 pub(crate) type TaskId = u64;
+
+const ROOT_ID: TaskId = TaskId::MAX;
+
+fn task_id(slot: u32, generation: u32) -> TaskId {
+    ((slot as u64) << 32) | generation as u64
+}
+
+fn split_id(id: TaskId) -> (u32, u32) {
+    ((id >> 32) as u32, id as u32)
+}
 
 type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
@@ -45,7 +73,8 @@ impl Ord for TimerEntry {
 
 /// The waker handed to tasks: pushing the task id back onto the shared ready
 /// queue. The queue lives behind an `Arc<Mutex<..>>` purely to satisfy the
-/// `Send + Sync` bound on [`Wake`]; the runtime itself is single-threaded.
+/// `Send + Sync` bound on [`Wake`]; the runtime itself is single-threaded and
+/// the mutex is never contended.
 struct QueueWaker {
     task_id: TaskId,
     queue: Arc<Mutex<VecDeque<TaskId>>>,
@@ -53,10 +82,10 @@ struct QueueWaker {
 
 impl Wake for QueueWaker {
     fn wake(self: Arc<Self>) {
-        self.queue.lock().push_back(self.task_id);
+        self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
-        self.queue.lock().push_back(self.task_id);
+        self.queue.lock().unwrap().push_back(self.task_id);
     }
 }
 
@@ -74,30 +103,45 @@ pub struct RunMetrics {
     pub clock_advances: u64,
 }
 
+/// One slab slot. `fut` is `None` both while the task is being polled (the
+/// future is taken out so polling holds no borrow of the slab) and after the
+/// task finished (until the slot is reused).
+struct TaskSlot {
+    fut: Option<LocalFuture>,
+    /// The task's cached waker, created once at spawn.
+    waker: Waker,
+    generation: u32,
+    /// Whether the slot currently belongs to a live task. Distinguishes
+    /// "being polled right now" from "free" when `fut` is `None`.
+    occupied: bool,
+}
+
 pub(crate) struct RuntimeInner {
     now_micros: Cell<u64>,
-    next_task_id: Cell<TaskId>,
     next_timer_seq: Cell<u64>,
-    tasks: RefCell<HashMap<TaskId, LocalFuture>>,
-    /// Tasks spawned while another task is being polled are parked here first
-    /// because `tasks` is mutably borrowed during the poll.
-    pending_spawns: RefCell<Vec<(TaskId, LocalFuture)>>,
+    tasks: RefCell<Vec<TaskSlot>>,
+    free_slots: RefCell<Vec<u32>>,
     ready: Arc<Mutex<VecDeque<TaskId>>>,
     timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
-    metrics: RefCell<RunMetrics>,
+    polls: Cell<u64>,
+    tasks_spawned: Cell<u64>,
+    timers_registered: Cell<u64>,
+    clock_advances: Cell<u64>,
 }
 
 impl RuntimeInner {
     fn new() -> Self {
         Self {
             now_micros: Cell::new(0),
-            next_task_id: Cell::new(0),
             next_timer_seq: Cell::new(0),
-            tasks: RefCell::new(HashMap::new()),
-            pending_spawns: RefCell::new(Vec::new()),
+            tasks: RefCell::new(Vec::new()),
+            free_slots: RefCell::new(Vec::new()),
             ready: Arc::new(Mutex::new(VecDeque::new())),
             timers: RefCell::new(BinaryHeap::new()),
-            metrics: RefCell::new(RunMetrics::default()),
+            polls: Cell::new(0),
+            tasks_spawned: Cell::new(0),
+            timers_registered: Cell::new(0),
+            clock_advances: Cell::new(0),
         }
     }
 
@@ -105,22 +149,25 @@ impl RuntimeInner {
         self.now_micros.get()
     }
 
+    fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            polls: self.polls.get(),
+            tasks_spawned: self.tasks_spawned.get(),
+            timers_registered: self.timers_registered.get(),
+            clock_advances: self.clock_advances.get(),
+        }
+    }
+
     /// Register a timer waking `waker` at `deadline_micros` (virtual time).
     pub(crate) fn register_timer(&self, deadline_micros: u64, waker: Waker) {
         let seq = self.next_timer_seq.get();
         self.next_timer_seq.set(seq + 1);
-        self.metrics.borrow_mut().timers_registered += 1;
+        self.timers_registered.set(self.timers_registered.get() + 1);
         self.timers.borrow_mut().push(Reverse(TimerEntry {
             deadline: deadline_micros,
             seq,
             waker,
         }));
-    }
-
-    fn alloc_task_id(&self) -> TaskId {
-        let id = self.next_task_id.get();
-        self.next_task_id.set(id + 1);
-        id
     }
 
     fn waker_for(&self, task_id: TaskId) -> Waker {
@@ -130,31 +177,39 @@ impl RuntimeInner {
         }))
     }
 
+    /// Insert a task into the slab and schedule it. Safe to call from inside
+    /// a poll: polling never holds the slab borrow (the future is taken out
+    /// of its slot first), so there is no deferred-spawn side channel.
     fn spawn_inner(&self, fut: LocalFuture) -> TaskId {
-        let id = self.alloc_task_id();
-        self.metrics.borrow_mut().tasks_spawned += 1;
-        // If `tasks` is currently borrowed we are inside a poll: defer.
-        match self.tasks.try_borrow_mut() {
-            Ok(mut tasks) => {
-                tasks.insert(id, fut);
-            }
-            Err(_) => {
-                self.pending_spawns.borrow_mut().push((id, fut));
-            }
-        }
-        self.ready.lock().push_back(id);
-        id
-    }
-
-    fn drain_pending_spawns(&self) {
-        let mut pending = self.pending_spawns.borrow_mut();
-        if pending.is_empty() {
-            return;
-        }
+        self.tasks_spawned.set(self.tasks_spawned.get() + 1);
         let mut tasks = self.tasks.borrow_mut();
-        for (id, fut) in pending.drain(..) {
-            tasks.insert(id, fut);
-        }
+        let id = match self.free_slots.borrow_mut().pop() {
+            Some(slot) => {
+                let entry = &mut tasks[slot as usize];
+                debug_assert!(!entry.occupied && entry.fut.is_none());
+                // The generation was bumped when the slot was freed, so the
+                // cached waker must be rebuilt for the new id.
+                let id = task_id(slot, entry.generation);
+                entry.fut = Some(fut);
+                entry.waker = self.waker_for(id);
+                entry.occupied = true;
+                id
+            }
+            None => {
+                let slot = tasks.len() as u32;
+                let id = task_id(slot, 0);
+                tasks.push(TaskSlot {
+                    fut: Some(fut),
+                    waker: self.waker_for(id),
+                    generation: 0,
+                    occupied: true,
+                });
+                id
+            }
+        };
+        drop(tasks);
+        self.ready.lock().unwrap().push_back(id);
+        id
     }
 }
 
@@ -165,9 +220,9 @@ thread_local! {
 pub(crate) fn with_current<R>(f: impl FnOnce(&Rc<RuntimeInner>) -> R) -> R {
     CURRENT.with(|cur| {
         let borrow = cur.borrow();
-        let inner = borrow
-            .as_ref()
-            .expect("geotp-simrt: no runtime is active on this thread; wrap the call in Runtime::block_on");
+        let inner = borrow.as_ref().expect(
+            "geotp-simrt: no runtime is active on this thread; wrap the call in Runtime::block_on",
+        );
         f(inner)
     })
 }
@@ -225,7 +280,7 @@ impl Runtime {
 
     /// Counters accumulated so far (polls, spawns, timers, clock advances).
     pub fn metrics(&self) -> RunMetrics {
-        *self.inner.metrics.borrow()
+        self.inner.metrics()
     }
 
     /// Drive `root` to completion, advancing virtual time as needed.
@@ -240,46 +295,63 @@ impl Runtime {
     /// and no timer is registered (a genuine deadlock in the simulated
     /// system), or if `block_on` is re-entered on the same thread.
     pub fn block_on<F: Future>(&mut self, root: F) -> F::Output {
-        /// Reserved task id for the root future (normal ids count up from 0).
-        const ROOT_ID: TaskId = TaskId::MAX;
-
         let _guard = CurrentGuard::enter(Rc::clone(&self.inner));
         let inner = &self.inner;
 
         let mut root = Box::pin(root);
         let root_waker = inner.waker_for(ROOT_ID);
-        inner.ready.lock().push_back(ROOT_ID);
+        inner.ready.lock().unwrap().push_back(ROOT_ID);
 
         loop {
-            let next = inner.ready.lock().pop_front();
+            let next = inner.ready.lock().unwrap().pop_front();
             match next {
                 Some(ROOT_ID) => {
-                    inner.metrics.borrow_mut().polls += 1;
+                    inner.polls.set(inner.polls.get() + 1);
                     let mut cx = Context::from_waker(&root_waker);
                     if let Poll::Ready(out) = root.as_mut().poll(&mut cx) {
                         return out;
                     }
-                    inner.drain_pending_spawns();
                 }
-                Some(task_id) => {
-                    let fut = inner.tasks.borrow_mut().remove(&task_id);
-                    let Some(mut fut) = fut else {
-                        // Stale wake for a task that already completed.
+                Some(id) => {
+                    let (slot, generation) = split_id(id);
+                    // Take the future out of its slot; a stale wake (finished
+                    // task, reused slot, or a wake that raced an earlier poll
+                    // in this batch) finds either a mismatched generation or
+                    // an empty slot and is ignored.
+                    let taken = {
+                        let mut tasks = inner.tasks.borrow_mut();
+                        match tasks.get_mut(slot as usize) {
+                            Some(entry) if entry.generation == generation => {
+                                entry.fut.take().map(|fut| (fut, entry.waker.clone()))
+                            }
+                            _ => None,
+                        }
+                    };
+                    let Some((mut fut, waker)) = taken else {
                         continue;
                     };
-                    inner.metrics.borrow_mut().polls += 1;
-                    let waker = inner.waker_for(task_id);
+                    inner.polls.set(inner.polls.get() + 1);
                     let mut cx = Context::from_waker(&waker);
                     match fut.as_mut().poll(&mut cx) {
-                        Poll::Ready(()) => { /* task finished, drop it */ }
+                        Poll::Ready(()) => {
+                            // Free the slot: bump the generation so any waker
+                            // still floating around for this task goes stale,
+                            // then recycle the slot.
+                            let mut tasks = inner.tasks.borrow_mut();
+                            let entry = &mut tasks[slot as usize];
+                            entry.generation = entry.generation.wrapping_add(1);
+                            entry.occupied = false;
+                            drop(tasks);
+                            inner.free_slots.borrow_mut().push(slot);
+                        }
                         Poll::Pending => {
-                            inner.tasks.borrow_mut().insert(task_id, fut);
+                            inner.tasks.borrow_mut()[slot as usize].fut = Some(fut);
                         }
                     }
-                    inner.drain_pending_spawns();
                 }
                 None => {
-                    // No runnable task: advance the clock to the next timer.
+                    // No runnable task: advance the clock to the next timer
+                    // and fire every expired timer under one borrow.
                     let mut timers = inner.timers.borrow_mut();
                     let Some(Reverse(head)) = timers.peek() else {
                         panic!(
@@ -292,9 +364,8 @@ impl Runtime {
                     debug_assert!(deadline >= inner.now_micros());
                     if deadline > inner.now_micros() {
                         inner.now_micros.set(deadline);
-                        inner.metrics.borrow_mut().clock_advances += 1;
+                        inner.clock_advances.set(inner.clock_advances.get() + 1);
                     }
-                    // Fire every timer whose deadline has been reached.
                     while let Some(Reverse(entry)) = timers.peek() {
                         if entry.deadline > inner.now_micros() {
                             break;
@@ -495,5 +566,65 @@ mod tests {
             (rt.now_micros(), log)
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn slots_are_reused_without_cross_talk() {
+        // Spawn waves of short-lived tasks so slots recycle, interleaved with
+        // a long-lived task; generation checks must keep wakes routed to the
+        // right occupant.
+        let mut rt = Runtime::new();
+        let total = rt.block_on(async {
+            let counter = Rc::new(Cell::new(0u32));
+            let c_long = Rc::clone(&counter);
+            let long = spawn(async move {
+                sleep(Duration::from_millis(50)).await;
+                c_long.set(c_long.get() + 1_000);
+            });
+            for _wave in 0..10 {
+                let mut handles = Vec::new();
+                for _ in 0..8 {
+                    let c = Rc::clone(&counter);
+                    handles.push(spawn(async move {
+                        sleep(Duration::from_millis(1)).await;
+                        c.set(c.get() + 1);
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+            }
+            long.await;
+            counter.get()
+        });
+        assert_eq!(total, 1_080);
+        // The slab stayed small: 8 concurrent short tasks + 1 long task fit
+        // in at most a handful of slots despite 81 spawns.
+        let m = rt.metrics();
+        assert_eq!(m.tasks_spawned, 81);
+    }
+
+    #[test]
+    fn spawning_from_inside_a_poll_runs_in_fifo_order() {
+        let mut rt = Runtime::new();
+        let order = rt.block_on(async {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let l = Rc::clone(&log);
+            let outer = spawn(async move {
+                let l_inner = Rc::clone(&l);
+                l.borrow_mut().push("outer-start");
+                // Spawned while `outer` is being polled: the slab must accept
+                // the insert mid-poll (no deferred side channel).
+                let inner = spawn(async move {
+                    l_inner.borrow_mut().push("inner");
+                });
+                yield_now().await;
+                inner.await;
+                l.borrow_mut().push("outer-end");
+            });
+            outer.await;
+            Rc::try_unwrap(log).unwrap().into_inner()
+        });
+        assert_eq!(order, vec!["outer-start", "inner", "outer-end"]);
     }
 }

@@ -180,7 +180,8 @@ mod tests {
     #[test]
     fn join_all_empty() {
         let mut rt = Runtime::new();
-        let outs: Vec<u8> = rt.block_on(async { join_all(Vec::<std::future::Ready<u8>>::new()).await });
+        let outs: Vec<u8> =
+            rt.block_on(async { join_all(Vec::<std::future::Ready<u8>>::new()).await });
         assert!(outs.is_empty());
     }
 

@@ -1,0 +1,118 @@
+//! Deterministic fast hashing for the simulation's hot maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash with a per-map random key) costs
+//! tens of nanoseconds per lookup and randomizes iteration order between
+//! runs. The simulator's maps are keyed by small fixed-size ids (record keys,
+//! transaction ids, node ids) under no adversarial-input threat, so we use an
+//! Fx-style multiply-xor hasher instead: a few cycles per key, and — because
+//! there is no random seed — fully deterministic across processes, which
+//! keeps every run of a seeded experiment bit-identical.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Firefox/rustc multiply-xor hasher.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the deterministic fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the deterministic fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_work_and_hash_is_stable() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1_000u64 {
+            m.insert(i, (i * 3) as u32);
+        }
+        assert_eq!(m.len(), 1_000);
+        assert_eq!(m.get(&500), Some(&1_500));
+        // Determinism: the same key always hashes identically (no RandomState).
+        let h1 = {
+            let mut h = FxHasher::default();
+            h.write_u64(42);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = FxHasher::default();
+            h.write_u64(42);
+            h.finish()
+        };
+        assert_eq!(h1, h2);
+        assert_ne!(h1, 0);
+    }
+
+    #[test]
+    fn byte_slices_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world, this is longer than eight bytes");
+        let mut b = FxHasher::default();
+        b.write(b"hello world, this is longer than eight bytes");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"hello world, this is longer than eight byteX");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

@@ -41,6 +41,7 @@
 
 mod executor;
 mod future_util;
+pub mod hash;
 pub mod sync;
 mod task;
 mod time;

@@ -6,10 +6,10 @@
 //! branch commits or rolls back (strict 2PL, serializable isolation).
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::rc::Rc;
 use std::time::Duration;
 
+use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::{now, sleep, SimInstant};
 
 use crate::lock::{LockManager, LockMode, LockStats};
@@ -111,9 +111,8 @@ struct TxnEntry {
     state: XaState,
     /// Before-images for rollback, in reverse application order.
     undo: Vec<(Key, Option<Row>)>,
-    /// Keys this branch has locked (for release bookkeeping).
-    locked_keys: Vec<Key>,
-    /// When the branch acquired its first lock.
+    /// When the branch acquired its first lock. (Per-key release bookkeeping
+    /// lives in the lock manager's own per-transaction index.)
     first_lock_at: Option<SimInstant>,
 }
 
@@ -122,7 +121,6 @@ impl TxnEntry {
         Self {
             state: XaState::Active,
             undo: Vec::new(),
-            locked_keys: Vec::new(),
             first_lock_at: None,
         }
     }
@@ -130,10 +128,10 @@ impl TxnEntry {
 
 /// One simulated data source's storage engine.
 pub struct StorageEngine {
-    records: RefCell<HashMap<Key, Row>>,
+    records: RefCell<FxHashMap<Key, Row>>,
     locks: Rc<LockManager>,
     wal: WriteAheadLog,
-    txns: RefCell<HashMap<Xid, TxnEntry>>,
+    txns: RefCell<FxHashMap<Xid, TxnEntry>>,
     config: EngineConfig,
     stats: RefCell<EngineStats>,
     crashed: Cell<bool>,
@@ -143,10 +141,10 @@ impl StorageEngine {
     /// Create an engine with the given configuration.
     pub fn new(config: EngineConfig) -> Rc<Self> {
         Rc::new(Self {
-            records: RefCell::new(HashMap::new()),
+            records: RefCell::new(FxHashMap::default()),
             locks: LockManager::new(config.lock_wait_timeout),
             wal: WriteAheadLog::new(),
-            txns: RefCell::new(HashMap::new()),
+            txns: RefCell::new(FxHashMap::default()),
             config,
             stats: RefCell::new(EngineStats::default()),
             crashed: Cell::new(false),
@@ -239,14 +237,10 @@ impl StorageEngine {
     }
 
     async fn lock(&self, xid: Xid, key: Key, mode: LockMode) -> Result<(), StorageError> {
-        let newly = self.locks.holds(xid, key).is_none();
         match self.locks.acquire(xid, key, mode).await {
             Ok(()) => {
                 let mut txns = self.txns.borrow_mut();
                 if let Some(entry) = txns.get_mut(&xid) {
-                    if newly {
-                        entry.locked_keys.push(key);
-                    }
                     if entry.first_lock_at.is_none() {
                         entry.first_lock_at = Some(now());
                     }
@@ -365,16 +359,22 @@ impl StorageEngine {
         self.lock(xid, key, LockMode::Exclusive).await?;
         sleep(self.config.cost.statement_execute).await;
         self.ensure_active(xid)?;
-        let before = self
-            .records
-            .borrow()
-            .get(&key)
-            .cloned()
-            .ok_or(StorageError::KeyNotFound(key))?;
-        let mut after = before.clone();
-        after.add_int(col, delta);
-        let new_value = after.get(col).and_then(crate::row::Value::as_int).unwrap_or(0);
-        self.records.borrow_mut().insert(key, after.clone());
+        // Mutate the stored row in place: one hash lookup and two row clones
+        // (undo image + WAL after-image) instead of the clone-per-step a
+        // read-modify-insert cycle would cost.
+        let (before, after, new_value) = {
+            let mut records = self.records.borrow_mut();
+            let row = records
+                .get_mut(&key)
+                .ok_or(StorageError::KeyNotFound(key))?;
+            let before = row.clone();
+            row.add_int(col, delta);
+            let new_value = row
+                .get(col)
+                .and_then(crate::row::Value::as_int)
+                .unwrap_or(0);
+            (before, row.clone(), new_value)
+        };
         self.record_undo(xid, key, Some(before), Some(after));
         self.stats.borrow_mut().writes += 1;
         Ok(new_value)
@@ -451,7 +451,9 @@ impl StorageEngine {
         self.check_available()?;
         {
             let txns = self.txns.borrow();
-            let entry = txns.get(&xid).ok_or(StorageError::UnknownTransaction(xid))?;
+            let entry = txns
+                .get(&xid)
+                .ok_or(StorageError::UnknownTransaction(xid))?;
             let ok = match entry.state {
                 XaState::Prepared => true,
                 XaState::Active | XaState::Ended => one_phase,
@@ -476,7 +478,9 @@ impl StorageEngine {
         self.check_available()?;
         {
             let txns = self.txns.borrow();
-            let entry = txns.get(&xid).ok_or(StorageError::UnknownTransaction(xid))?;
+            let entry = txns
+                .get(&xid)
+                .ok_or(StorageError::UnknownTransaction(xid))?;
             if matches!(entry.state, XaState::Committed | XaState::Aborted) {
                 return Err(StorageError::InvalidState {
                     xid,
@@ -614,7 +618,10 @@ mod tests {
         rt.block_on(async {
             let eng = engine();
             eng.begin(xid(1)).unwrap();
-            assert_eq!(eng.read(xid(1), key(1)).await.unwrap().int_value(), Some(100));
+            assert_eq!(
+                eng.read(xid(1), key(1)).await.unwrap().int_value(),
+                Some(100)
+            );
             eng.add_int(xid(1), key(1), 0, -30).await.unwrap();
             eng.end(xid(1)).unwrap();
             eng.prepare(xid(1)).await.unwrap();
@@ -734,7 +741,10 @@ mod tests {
             ));
             eng.delete(xid(1), key(2)).await.unwrap();
             eng.rollback(xid(1)).await.unwrap();
-            assert!(eng.peek(key(2)).is_some(), "delete must be undone by rollback");
+            assert!(
+                eng.peek(key(2)).is_some(),
+                "delete must be undone by rollback"
+            );
         });
     }
 
@@ -797,7 +807,10 @@ mod tests {
 
             eng.crash();
             assert!(eng.is_crashed());
-            assert!(matches!(eng.begin(xid(3)).unwrap_err(), StorageError::Unavailable));
+            assert!(matches!(
+                eng.begin(xid(3)).unwrap_err(),
+                StorageError::Unavailable
+            ));
 
             let recovered = eng.restart().await;
             assert_eq!(recovered, vec![xid(1)]);

@@ -22,11 +22,13 @@
 pub mod engine;
 pub mod lock;
 pub mod row;
+pub mod small_vec;
 pub mod types;
 pub mod wal;
 
 pub use engine::{CostModel, EngineConfig, EngineStats, StorageEngine, XaState};
 pub use lock::{LockError, LockManager, LockMode, LockStats};
 pub use row::{Row, Value};
+pub use small_vec::SmallVec;
 pub use types::{Key, StorageError, TableId, Xid};
 pub use wal::{LogRecord, WriteAheadLog};

@@ -13,15 +13,17 @@
 //! * all locks are released only when the transaction commits or aborts
 //!   (strict 2PL), so the lock contention span of Eq. (1) emerges naturally.
 
-use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 use std::time::Duration;
 
+use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::sync::oneshot;
 use geotp_simrt::{now, timeout, SimInstant};
 
+use crate::small_vec::SmallVec;
 use crate::types::{Key, Xid};
 
 /// Lock mode requested on a record.
@@ -70,8 +72,9 @@ struct Waiter {
 #[derive(Default)]
 struct LockEntry {
     /// Current holders. Either any number of `Shared` holders or exactly one
-    /// `Exclusive` holder.
-    holders: Vec<(Xid, LockMode)>,
+    /// `Exclusive` holder. The single-holder common case stays inline, so an
+    /// uncontended acquire allocates nothing.
+    holders: SmallVec<(Xid, LockMode), 2>,
     waiters: VecDeque<Waiter>,
     /// Virtual instant at which the *current holder group* first acquired the
     /// record, used to measure lock contention spans.
@@ -80,10 +83,7 @@ struct LockEntry {
 
 impl LockEntry {
     fn holds(&self, xid: Xid) -> Option<LockMode> {
-        self.holders
-            .iter()
-            .find(|(h, _)| *h == xid)
-            .map(|(_, m)| *m)
+        self.holders.iter().find(|(h, _)| *h == xid).map(|(_, m)| m)
     }
 
     fn can_grant(&self, xid: Xid, mode: LockMode) -> bool {
@@ -95,29 +95,75 @@ impl LockEntry {
                 // Grantable if every holder is shared-compatible; waiting
                 // writers do not block new readers here only when the queue is
                 // empty (FIFO fairness — avoid writer starvation).
-                self.holders.iter().all(|(h, m)| *h == xid || m.compatible(LockMode::Shared))
+                self.holders
+                    .iter()
+                    .all(|(h, m)| h == xid || m.compatible(LockMode::Shared))
                     && self.waiters.is_empty()
             }
             LockMode::Exclusive => {
                 // Grantable only if we are the sole holder (upgrade) or there
                 // are no holders at all.
-                self.holders.iter().all(|(h, _)| *h == xid)
+                self.holders.iter().all(|(h, _)| h == xid)
             }
         }
     }
 
-    fn grant(&mut self, xid: Xid, mode: LockMode, at: SimInstant) {
-        if let Some(existing) = self.holders.iter_mut().find(|(h, _)| *h == xid) {
-            // Upgrade in place (S→X) or keep the stronger mode.
-            if mode == LockMode::Exclusive {
-                existing.1 = LockMode::Exclusive;
+    /// Record `xid` as a holder. Returns `true` when `xid` is a *new* holder
+    /// on this record (as opposed to an in-place S→X upgrade), so callers can
+    /// keep the per-transaction held-key index exact.
+    fn grant(&mut self, xid: Xid, mode: LockMode, at: SimInstant) -> bool {
+        let pos = self.holders.iter().position(|(h, _)| h == xid);
+        let newly = match pos {
+            Some(idx) => {
+                // Upgrade in place (S→X) or keep the stronger mode.
+                if mode == LockMode::Exclusive {
+                    self.holders.set(idx, (xid, LockMode::Exclusive));
+                }
+                false
             }
-        } else {
-            self.holders.push((xid, mode));
-        }
+            None => {
+                self.holders.push((xid, mode));
+                true
+            }
+        };
         if self.acquired_at.is_none() {
             self.acquired_at = Some(at);
         }
+        newly
+    }
+
+    fn release_holder(&mut self, xid: Xid) -> bool {
+        let pos = self.holders.iter().position(|(h, _)| h == xid);
+        match pos {
+            Some(idx) => {
+                self.holders.remove(idx);
+                if self.holders.is_empty() {
+                    self.acquired_at = None;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Per-transaction index into the lock table: which keys a transaction holds
+/// and which keys it has a queued waiter on. This is what makes
+/// [`LockManager::release_all`] and [`LockManager::cancel_waiters`] O(keys
+/// the transaction touches) instead of O(keys in the whole table).
+#[derive(Default)]
+struct TxnLockIndex {
+    /// Keys currently held, in acquisition order (release order follows it,
+    /// which also makes the release sequence deterministic).
+    held: SmallVec<Key, 8>,
+    /// Keys with a queued waiter belonging to this transaction. Almost always
+    /// zero or one entry (statements execute sequentially per branch).
+    waiting: SmallVec<Key, 2>,
+}
+
+impl TxnLockIndex {
+    fn is_empty(&self) -> bool {
+        self.held.is_empty() && self.waiting.is_empty()
     }
 }
 
@@ -137,22 +183,36 @@ pub struct LockStats {
     pub total_wait_micros: u64,
 }
 
+/// Aggregate counters kept in `Cell`s so the hot path never pays a `RefCell`
+/// borrow check per lock request.
+#[derive(Default)]
+struct StatsCells {
+    immediate_grants: Cell<u64>,
+    waited_grants: Cell<u64>,
+    timeouts: Cell<u64>,
+    cancelled: Cell<u64>,
+    total_wait_micros: Cell<u64>,
+}
+
 /// The per-data-source lock manager.
 pub struct LockManager {
-    entries: RefCell<HashMap<Key, LockEntry>>,
+    entries: RefCell<FxHashMap<Key, LockEntry>>,
+    /// Per-transaction held/waiting key index; see [`TxnLockIndex`].
+    txn_index: RefCell<FxHashMap<Xid, TxnLockIndex>>,
     wait_timeout: Duration,
-    next_waiter_id: RefCell<u64>,
-    stats: RefCell<LockStats>,
+    next_waiter_id: Cell<u64>,
+    stats: StatsCells,
 }
 
 impl LockManager {
     /// Create a lock manager with the given lock-wait timeout.
     pub fn new(wait_timeout: Duration) -> Rc<Self> {
         Rc::new(Self {
-            entries: RefCell::new(HashMap::new()),
+            entries: RefCell::new(FxHashMap::default()),
+            txn_index: RefCell::new(FxHashMap::default()),
             wait_timeout,
-            next_waiter_id: RefCell::new(0),
-            stats: RefCell::new(LockStats::default()),
+            next_waiter_id: Cell::new(0),
+            stats: StatsCells::default(),
         })
     }
 
@@ -163,7 +223,45 @@ impl LockManager {
 
     /// Snapshot of the aggregate statistics.
     pub fn stats(&self) -> LockStats {
-        *self.stats.borrow()
+        LockStats {
+            immediate_grants: self.stats.immediate_grants.get(),
+            waited_grants: self.stats.waited_grants.get(),
+            timeouts: self.stats.timeouts.get(),
+            cancelled: self.stats.cancelled.get(),
+            total_wait_micros: self.stats.total_wait_micros.get(),
+        }
+    }
+
+    /// Record `key` as held by `xid` in the per-transaction index.
+    fn index_held(&self, xid: Xid, key: Key) {
+        self.txn_index
+            .borrow_mut()
+            .entry(xid)
+            .or_default()
+            .held
+            .push(key);
+    }
+
+    /// Record that `xid` has a queued waiter on `key`.
+    fn index_waiting(&self, xid: Xid, key: Key) {
+        self.txn_index
+            .borrow_mut()
+            .entry(xid)
+            .or_default()
+            .waiting
+            .push(key);
+    }
+
+    /// Drop one waiting-entry for `(xid, key)`; removes the whole index entry
+    /// when it becomes empty.
+    fn unindex_waiting(&self, xid: Xid, key: Key) {
+        let mut index = self.txn_index.borrow_mut();
+        if let Some(entry) = index.get_mut(&xid) {
+            entry.waiting.remove_first(key);
+            if entry.is_empty() {
+                index.remove(&xid);
+            }
+        }
     }
 
     /// Number of transactions currently waiting for `key` (the `a_cnt − 1`
@@ -192,33 +290,44 @@ impl LockManager {
 
     /// Acquire a lock on `key` for `xid`, waiting up to the configured
     /// lock-wait timeout.
-    pub async fn acquire(self: &Rc<Self>, xid: Xid, key: Key, mode: LockMode) -> Result<(), LockError> {
+    pub async fn acquire(
+        self: &Rc<Self>,
+        xid: Xid,
+        key: Key,
+        mode: LockMode,
+    ) -> Result<(), LockError> {
         let request_at = now();
-        // Fast path: grant immediately when compatible.
+        // Fast path: grant immediately when compatible. Allocation-free for
+        // the uncontended case (inline holder storage, `Cell` counters).
         {
             let mut entries = self.entries.borrow_mut();
             let entry = entries.entry(key).or_default();
             if let Some(held) = entry.holds(xid) {
                 if held == LockMode::Exclusive || mode == LockMode::Shared {
                     // Re-entrant acquisition of an equal-or-weaker mode.
-                    self.stats.borrow_mut().immediate_grants += 1;
+                    self.stats
+                        .immediate_grants
+                        .set(self.stats.immediate_grants.get() + 1);
                     return Ok(());
                 }
             }
             if entry.can_grant(xid, mode) {
-                entry.grant(xid, mode, request_at);
-                self.stats.borrow_mut().immediate_grants += 1;
+                let newly = entry.grant(xid, mode, request_at);
+                drop(entries);
+                if newly {
+                    self.index_held(xid, key);
+                }
+                self.stats
+                    .immediate_grants
+                    .set(self.stats.immediate_grants.get() + 1);
                 return Ok(());
             }
         }
 
         // Slow path: enqueue and wait for a grant, a cancellation or a timeout.
         let (tx, rx) = oneshot::channel();
-        let waiter_id = {
-            let mut next = self.next_waiter_id.borrow_mut();
-            *next += 1;
-            *next
-        };
+        let waiter_id = self.next_waiter_id.get() + 1;
+        self.next_waiter_id.set(waiter_id);
         self.entries
             .borrow_mut()
             .entry(key)
@@ -230,45 +339,55 @@ impl LockManager {
                 waiter_id,
                 grant: tx,
             });
+        self.index_waiting(xid, key);
 
         let outcome = timeout(self.wait_timeout, rx).await;
         let waited = now().duration_since(request_at);
-        let mut stats = self.stats.borrow_mut();
-        stats.total_wait_micros += waited.as_micros() as u64;
+        self.stats
+            .total_wait_micros
+            .set(self.stats.total_wait_micros.get() + waited.as_micros() as u64);
         match outcome {
             Ok(Ok(Ok(()))) => {
-                stats.waited_grants += 1;
+                // The granting side (promote_waiters) has already moved this
+                // key from the waiting index to the held index.
+                self.stats
+                    .waited_grants
+                    .set(self.stats.waited_grants.get() + 1);
                 Ok(())
             }
             Ok(Ok(Err(err))) => {
+                // cancel_waiters has already dropped the waiting-index entry.
                 if err == LockError::Cancelled {
-                    stats.cancelled += 1;
+                    self.stats.cancelled.set(self.stats.cancelled.get() + 1);
                 } else {
-                    stats.timeouts += 1;
+                    self.stats.timeouts.set(self.stats.timeouts.get() + 1);
                 }
                 Err(err)
             }
             Ok(Err(_dropped)) => {
-                stats.cancelled += 1;
+                // Sender dropped without a verdict (the waiter was discarded
+                // wholesale); make sure the waiting index does not leak.
+                self.unindex_waiting(xid, key);
+                self.stats.cancelled.set(self.stats.cancelled.get() + 1);
                 Err(LockError::Cancelled)
             }
             Err(_elapsed) => {
-                drop(stats);
                 // Remove ourselves from the queue; the grant may not have
                 // happened (if it had, the oneshot would have resolved first).
-                self.remove_waiter(key, waiter_id);
-                self.stats.borrow_mut().timeouts += 1;
+                self.remove_waiter(xid, key, waiter_id);
+                self.stats.timeouts.set(self.stats.timeouts.get() + 1);
                 Err(LockError::Timeout)
             }
         }
     }
 
-    fn remove_waiter(&self, key: Key, waiter_id: u64) {
+    fn remove_waiter(&self, xid: Xid, key: Key, waiter_id: u64) {
         let mut entries = self.entries.borrow_mut();
         if let Some(entry) = entries.get_mut(&key) {
             entry.waiters.retain(|w| w.waiter_id != waiter_id);
         }
         drop(entries);
+        self.unindex_waiting(xid, key);
         // Removing a waiter can unblock the head of the queue (e.g. a timed-out
         // writer was blocking compatible readers behind it).
         self.promote_waiters(key);
@@ -276,15 +395,30 @@ impl LockManager {
 
     /// Cancel every queued wait belonging to `xid` (used by the early-abort
     /// path so a doomed transaction stops queueing for locks).
+    ///
+    /// O(keys the transaction is waiting on): the per-transaction index names
+    /// the exact records with a queued waiter, so unrelated entries are never
+    /// visited (and unrelated waiters on the same records are left intact).
     pub fn cancel_waiters(&self, xid: Xid) {
-        let keys: Vec<Key> = self.entries.borrow().keys().copied().collect();
-        for key in keys {
+        let waiting: Vec<Key> = {
+            let mut index = self.txn_index.borrow_mut();
+            let Some(entry) = index.get_mut(&xid) else {
+                return;
+            };
+            let keys = entry.waiting.iter().collect();
+            entry.waiting.clear();
+            if entry.is_empty() {
+                index.remove(&xid);
+            }
+            keys
+        };
+        for key in waiting {
             let cancelled: Vec<Waiter> = {
                 let mut entries = self.entries.borrow_mut();
                 let Some(entry) = entries.get_mut(&key) else {
                     continue;
                 };
-                let mut kept = VecDeque::new();
+                let mut kept = VecDeque::with_capacity(entry.waiters.len());
                 let mut cancelled = Vec::new();
                 while let Some(w) = entry.waiters.pop_front() {
                     if w.xid == xid {
@@ -306,26 +440,37 @@ impl LockManager {
     /// Release every lock held by `xid` and grant newly-compatible waiters.
     /// Returns the keys that were released (with the duration they were held),
     /// which the engine uses to update contention statistics.
+    ///
+    /// O(keys held): releases walk the per-transaction held-key index (in
+    /// acquisition order) instead of scanning the whole lock table.
     pub fn release_all(&self, xid: Xid) -> Vec<(Key, Duration)> {
-        let mut released = Vec::new();
-        let keys: Vec<Key> = self.entries.borrow().keys().copied().collect();
-        for key in keys {
+        let held = {
+            let mut index = self.txn_index.borrow_mut();
+            let Some(entry) = index.get_mut(&xid) else {
+                return Vec::new();
+            };
+            let held = std::mem::take(&mut entry.held);
+            // A queued waiter may still reference this transaction (e.g. an
+            // upgrade attempt raced with the abort path); keep the waiting
+            // side of the index alive in that case.
+            if entry.is_empty() {
+                index.remove(&xid);
+            }
+            held
+        };
+        let mut released = Vec::with_capacity(held.len());
+        for key in held.iter() {
             let did_release = {
                 let mut entries = self.entries.borrow_mut();
                 let Some(entry) = entries.get_mut(&key) else {
                     continue;
                 };
-                let before = entry.holders.len();
-                entry.holders.retain(|(h, _)| *h != xid);
-                let did = entry.holders.len() != before;
+                let held_since = entry.acquired_at;
+                let did = entry.release_holder(xid);
                 if did {
-                    if let Some(at) = entry.acquired_at {
-                        released.push((key, now().duration_since(at)));
-                    } else {
-                        released.push((key, Duration::ZERO));
-                    }
-                    if entry.holders.is_empty() {
-                        entry.acquired_at = None;
+                    match held_since {
+                        Some(at) => released.push((key, now().duration_since(at))),
+                        None => released.push((key, Duration::ZERO)),
                     }
                 }
                 did
@@ -356,21 +501,27 @@ impl LockManager {
                     LockMode::Shared => entry
                         .holders
                         .iter()
-                        .all(|(h, m)| *h == head.xid || m.compatible(LockMode::Shared)),
+                        .all(|(h, m)| h == head.xid || m.compatible(LockMode::Shared)),
                     LockMode::Exclusive => {
-                        entry.holders.is_empty()
-                            || entry.holders.iter().all(|(h, _)| *h == head.xid)
+                        entry.holders.is_empty() || entry.holders.iter().all(|(h, _)| h == head.xid)
                     }
                 };
                 if !can {
                     return;
                 }
                 let head = entry.waiters.pop_front().unwrap();
-                entry.grant(head.xid, head.mode, now());
-                Some(head)
+                let newly = entry.grant(head.xid, head.mode, now());
+                Some((head, newly))
             };
             match granted {
-                Some(waiter) => {
+                Some((waiter, newly)) => {
+                    // Keep the per-transaction index exact: the waiter is no
+                    // longer waiting, and (unless this was an upgrade) now
+                    // holds the record.
+                    self.unindex_waiting(waiter.xid, key);
+                    if newly {
+                        self.index_held(waiter.xid, key);
+                    }
                     let _ = waiter.grant.send(Ok(()));
                 }
                 None => return,
@@ -381,6 +532,12 @@ impl LockManager {
     /// Number of records that currently have at least one holder or waiter.
     pub fn active_entries(&self) -> usize {
         self.entries.borrow().len()
+    }
+
+    /// Number of transactions tracked by the per-transaction lock index
+    /// (diagnostics: must drop back to zero once all transactions finish).
+    pub fn indexed_txns(&self) -> usize {
+        self.txn_index.borrow().len()
     }
 }
 
@@ -415,11 +572,15 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_secs(5));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
             let lm2 = Rc::clone(&lm);
             let waiter = spawn(async move {
                 let start = now();
-                lm2.acquire(xid(2), key(1), LockMode::Exclusive).await.unwrap();
+                lm2.acquire(xid(2), key(1), LockMode::Exclusive)
+                    .await
+                    .unwrap();
                 now().duration_since(start)
             });
             sleep(Duration::from_millis(50)).await;
@@ -436,8 +597,13 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_millis(100));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
-            let err = lm.acquire(xid(2), key(1), LockMode::Shared).await.unwrap_err();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
+            let err = lm
+                .acquire(xid(2), key(1), LockMode::Shared)
+                .await
+                .unwrap_err();
             assert_eq!(err, LockError::Timeout);
             assert_eq!(lm.stats().timeouts, 1);
             // The timed-out waiter is no longer queued.
@@ -454,7 +620,9 @@ mod tests {
             // Re-entrant shared.
             lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
             // Upgrade to exclusive as the sole holder succeeds immediately.
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
             assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
             // Re-entrant shared while holding exclusive is a no-op.
             lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
@@ -470,7 +638,8 @@ mod tests {
             lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
             lm.acquire(xid(2), key(1), LockMode::Shared).await.unwrap();
             let lm2 = Rc::clone(&lm);
-            let upgrade = spawn(async move { lm2.acquire(xid(1), key(1), LockMode::Exclusive).await });
+            let upgrade =
+                spawn(async move { lm2.acquire(xid(1), key(1), LockMode::Exclusive).await });
             sleep(Duration::from_millis(10)).await;
             assert_eq!(lm.waiters_on(key(1)), 1);
             lm.release_all(xid(2));
@@ -487,20 +656,27 @@ mod tests {
             lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
             // Writer queues first.
             let lm_w = Rc::clone(&lm);
-            let writer = spawn(async move { lm_w.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            let writer =
+                spawn(async move { lm_w.acquire(xid(2), key(1), LockMode::Exclusive).await });
             sleep(Duration::from_millis(1)).await;
             // A late reader must not jump ahead of the queued writer.
             let lm_r = Rc::clone(&lm);
             let order = Rc::new(Cell::new(0u8));
             let order_w = Rc::clone(&order);
             let reader = spawn(async move {
-                lm_r.acquire(xid(3), key(1), LockMode::Shared).await.unwrap();
+                lm_r.acquire(xid(3), key(1), LockMode::Shared)
+                    .await
+                    .unwrap();
                 order_w.set(2);
             });
             sleep(Duration::from_millis(1)).await;
             lm.release_all(xid(1));
             writer.await.unwrap();
-            assert_eq!(order.get(), 0, "reader must still be waiting behind the writer");
+            assert_eq!(
+                order.get(),
+                0,
+                "reader must still be waiting behind the writer"
+            );
             lm.release_all(xid(2));
             reader.await;
             assert_eq!(order.get(), 2);
@@ -512,9 +688,12 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_secs(5));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
             let lm2 = Rc::clone(&lm);
-            let waiter = spawn(async move { lm2.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            let waiter =
+                spawn(async move { lm2.acquire(xid(2), key(1), LockMode::Exclusive).await });
             sleep(Duration::from_millis(5)).await;
             lm.cancel_waiters(xid(2));
             assert_eq!(waiter.await.unwrap_err(), LockError::Cancelled);
@@ -527,7 +706,9 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_secs(5));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
             sleep(Duration::from_millis(200)).await;
             let released = lm.release_all(xid(1));
             assert_eq!(released.len(), 1);
@@ -541,7 +722,9 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_secs(5));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
             let mut handles = Vec::new();
             for i in 2..6 {
                 let lm2 = Rc::clone(&lm);
@@ -563,8 +746,12 @@ mod tests {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_millis(50));
-            lm.acquire(xid(1), key(1), LockMode::Exclusive).await.unwrap();
-            lm.acquire(xid(2), key(2), LockMode::Exclusive).await.unwrap();
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
+            lm.acquire(xid(2), key(2), LockMode::Exclusive)
+                .await
+                .unwrap();
             let lm_a = Rc::clone(&lm);
             let a = spawn(async move { lm_a.acquire(xid(1), key(2), LockMode::Exclusive).await });
             let lm_b = Rc::clone(&lm);
@@ -577,16 +764,153 @@ mod tests {
     }
 
     #[test]
+    fn queued_writer_blocks_later_readers_fifo() {
+        // Invariant the per-transaction index must preserve: a queued writer
+        // keeps its FIFO slot, so readers that arrive later cannot overtake
+        // it even though they are compatible with the current shared holders.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            let lm_w = Rc::clone(&lm);
+            let writer =
+                spawn(async move { lm_w.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(1)).await;
+            // Three late readers must all queue behind the writer.
+            let mut readers = Vec::new();
+            for i in 3..6 {
+                let lm_r = Rc::clone(&lm);
+                readers.push(spawn(async move {
+                    lm_r.acquire(xid(i), key(1), LockMode::Shared)
+                        .await
+                        .unwrap();
+                    now()
+                }));
+            }
+            sleep(Duration::from_millis(1)).await;
+            assert_eq!(lm.waiters_on(key(1)), 4, "writer + 3 readers queued");
+            lm.release_all(xid(1));
+            writer.await.unwrap();
+            let granted_at = now();
+            assert_eq!(lm.holds(xid(2), key(1)), Some(LockMode::Exclusive));
+            sleep(Duration::from_millis(7)).await;
+            lm.release_all(xid(2));
+            // All readers are granted together, and only after the writer
+            // finished.
+            for r in readers {
+                let at = r.await;
+                assert!(
+                    at > granted_at,
+                    "reader granted only after the writer released"
+                );
+            }
+            assert_eq!(lm.holders_on(key(1)), 3);
+        });
+    }
+
+    #[test]
+    fn upgrade_as_sole_holder_keeps_index_exact() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Shared).await.unwrap();
+            // S→X upgrade as the sole holder is immediate and must not
+            // double-register the key in the held index.
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
+            assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
+            let released = lm.release_all(xid(1));
+            assert_eq!(released.len(), 1, "upgraded key released exactly once");
+            assert_eq!(lm.active_entries(), 0);
+            assert_eq!(lm.indexed_txns(), 0, "per-transaction index fully cleaned");
+        });
+    }
+
+    #[test]
+    fn cancel_waiters_leaves_unrelated_waiters_intact() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(5));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
+            lm.acquire(xid(1), key(2), LockMode::Exclusive)
+                .await
+                .unwrap();
+            // Two unrelated waiters on key 1, one doomed waiter on each key.
+            let lm_a = Rc::clone(&lm);
+            let doomed_a =
+                spawn(async move { lm_a.acquire(xid(2), key(1), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(1)).await;
+            let lm_b = Rc::clone(&lm);
+            let survivor =
+                spawn(async move { lm_b.acquire(xid(3), key(1), LockMode::Exclusive).await });
+            let lm_c = Rc::clone(&lm);
+            let doomed_b =
+                spawn(async move { lm_c.acquire(xid(2), key(2), LockMode::Exclusive).await });
+            sleep(Duration::from_millis(1)).await;
+            assert_eq!(lm.waiters_on(key(1)), 2);
+            assert_eq!(lm.waiters_on(key(2)), 1);
+
+            lm.cancel_waiters(xid(2));
+            assert_eq!(doomed_a.await.unwrap_err(), LockError::Cancelled);
+            assert_eq!(doomed_b.await.unwrap_err(), LockError::Cancelled);
+            // The unrelated waiter is untouched, still first in line.
+            assert_eq!(lm.waiters_on(key(1)), 1);
+            lm.release_all(xid(1));
+            assert!(survivor.await.is_ok());
+            assert_eq!(lm.holds(xid(3), key(1)), Some(LockMode::Exclusive));
+            lm.release_all(xid(3));
+            assert_eq!(lm.indexed_txns(), 0);
+        });
+    }
+
+    #[test]
+    fn txn_index_tracks_held_and_waiting_lifecycles() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_millis(50));
+            for i in 0..10 {
+                lm.acquire(xid(1), key(i), LockMode::Exclusive)
+                    .await
+                    .unwrap();
+            }
+            assert_eq!(lm.indexed_txns(), 1);
+            // A waiter that times out must not leak an index entry.
+            let err = lm
+                .acquire(xid(2), key(0), LockMode::Shared)
+                .await
+                .unwrap_err();
+            assert_eq!(err, LockError::Timeout);
+            assert_eq!(lm.indexed_txns(), 1, "timed-out waiter unindexed");
+            let released = lm.release_all(xid(1));
+            assert_eq!(released.len(), 10);
+            // Release order follows acquisition order (deterministic).
+            let keys: Vec<Key> = released.iter().map(|(k, _)| *k).collect();
+            assert_eq!(keys, (0..10).map(key).collect::<Vec<_>>());
+            assert_eq!(lm.indexed_txns(), 0);
+            assert_eq!(lm.active_entries(), 0);
+        });
+    }
+
+    #[test]
     fn entries_are_cleaned_up() {
         let mut rt = Runtime::new();
         rt.block_on(async {
             let lm = LockManager::new(Duration::from_secs(5));
             for i in 0..100 {
-                lm.acquire(xid(1), key(i), LockMode::Exclusive).await.unwrap();
+                lm.acquire(xid(1), key(i), LockMode::Exclusive)
+                    .await
+                    .unwrap();
             }
             assert_eq!(lm.active_entries(), 100);
             lm.release_all(xid(1));
-            assert_eq!(lm.active_entries(), 0, "released entries must be garbage collected");
+            assert_eq!(
+                lm.active_entries(),
+                0,
+                "released entries must be garbage collected"
+            );
         });
     }
 }

@@ -76,9 +76,18 @@ impl From<String> for Value {
 }
 
 /// A record: an ordered list of column values.
+///
+/// The first column is stored inline: single-column rows (the YCSB usertable
+/// shape that dominates every benchmark) are created, cloned and dropped
+/// without touching the allocator. Multi-column rows (TPC-C) spill the
+/// remaining columns into a `Vec`.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Row {
-    columns: Vec<Value>,
+    /// Column 0, inline. `None` only for the empty row; `rest` is non-empty
+    /// only if this is `Some`.
+    first: Option<Value>,
+    /// Columns 1.., heap-allocated only when they exist.
+    rest: Vec<Value>,
 }
 
 impl Row {
@@ -89,40 +98,63 @@ impl Row {
 
     /// Build a row from column values.
     pub fn from_values(columns: Vec<Value>) -> Self {
-        Self { columns }
+        let mut it = columns.into_iter();
+        let first = it.next();
+        Self {
+            first,
+            rest: it.collect(),
+        }
     }
 
-    /// A single-integer-column row, the common YCSB shape.
+    /// A single-integer-column row, the common YCSB shape (allocation-free).
     pub fn int(v: i64) -> Self {
-        Self::from_values(vec![Value::Int(v)])
+        Self {
+            first: Some(Value::Int(v)),
+            rest: Vec::new(),
+        }
     }
 
     /// Number of columns.
     pub fn len(&self) -> usize {
-        self.columns.len()
+        self.first.is_some() as usize + self.rest.len()
     }
 
     /// Whether the row has no columns.
     pub fn is_empty(&self) -> bool {
-        self.columns.is_empty()
+        self.first.is_none()
     }
 
     /// Column accessor.
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.columns.get(idx)
+        if idx == 0 {
+            self.first.as_ref()
+        } else {
+            self.rest.get(idx - 1)
+        }
     }
 
     /// Mutable column accessor.
     pub fn get_mut(&mut self, idx: usize) -> Option<&mut Value> {
-        self.columns.get_mut(idx)
+        if idx == 0 {
+            self.first.as_mut()
+        } else {
+            self.rest.get_mut(idx - 1)
+        }
     }
 
     /// Overwrite (or extend to include) column `idx`.
     pub fn set(&mut self, idx: usize, value: Value) {
-        if idx >= self.columns.len() {
-            self.columns.resize(idx + 1, Value::Null);
+        if idx == 0 {
+            self.first = Some(value);
+            return;
         }
-        self.columns[idx] = value;
+        if self.first.is_none() {
+            self.first = Some(Value::Null);
+        }
+        if idx > self.rest.len() {
+            self.rest.resize(idx, Value::Null);
+        }
+        self.rest[idx - 1] = value;
     }
 
     /// First column as integer (YCSB convenience).
@@ -138,7 +170,7 @@ impl Row {
 
     /// Iterate over the columns.
     pub fn iter(&self) -> impl Iterator<Item = &Value> {
-        self.columns.iter()
+        self.first.iter().chain(self.rest.iter())
     }
 }
 

@@ -47,10 +47,20 @@ impl LogRecord {
     }
 }
 
+/// Compact the log once it reaches this many records (checkpointing below).
+const COMPACT_THRESHOLD: usize = 8 * 1024;
+
 /// An append-only write-ahead log with an explicit flush watermark.
 ///
 /// Appends go to a volatile tail; [`WriteAheadLog::flush`] moves the durable
 /// watermark to the end. A simulated crash discards the volatile tail.
+///
+/// Like a real WAL, the log is checkpointed: once every record is durable and
+/// a transaction has a durable `Commit`/`Abort` decision, its records can
+/// never influence recovery again and are dropped (amortized, triggered when
+/// the log grows past an internal threshold). This keeps the log — and the
+/// cost of appending to it — proportional to the set of *undecided*
+/// transactions instead of the whole history of the run.
 #[derive(Debug, Default)]
 pub struct WriteAheadLog {
     records: RefCell<Vec<LogRecord>>,
@@ -71,7 +81,23 @@ impl WriteAheadLog {
 
     /// Make every appended record durable.
     pub fn flush(&self) {
-        *self.durable_len.borrow_mut() = self.records.borrow().len();
+        let mut records = self.records.borrow_mut();
+        if records.len() >= COMPACT_THRESHOLD {
+            // Checkpoint: everything is durable after this flush, so records
+            // of durably-decided transactions (including the decision record
+            // itself) are dead for recovery purposes.
+            let decided: geotp_simrt::hash::FxHashSet<Xid> = records
+                .iter()
+                .filter_map(|r| match r {
+                    LogRecord::Commit(x) | LogRecord::Abort(x) => Some(*x),
+                    _ => None,
+                })
+                .collect();
+            if !decided.is_empty() {
+                records.retain(|r| !decided.contains(&r.xid()));
+            }
+        }
+        *self.durable_len.borrow_mut() = records.len();
         *self.flush_count.borrow_mut() += 1;
     }
 
@@ -115,10 +141,8 @@ impl WriteAheadLog {
         let mut prepared = Vec::new();
         for rec in &durable {
             match rec {
-                LogRecord::Prepare(x) => {
-                    if !prepared.contains(x) {
-                        prepared.push(*x);
-                    }
+                LogRecord::Prepare(x) if !prepared.contains(x) => {
+                    prepared.push(*x);
                 }
                 LogRecord::Commit(x) | LogRecord::Abort(x) => {
                     prepared.retain(|p| p != x);
@@ -173,6 +197,33 @@ mod tests {
         wal.append(LogRecord::Commit(xid(1)));
         wal.flush();
         assert_eq!(wal.prepared_but_undecided(), vec![xid(2)]);
+    }
+
+    #[test]
+    fn checkpoint_compaction_keeps_undecided_transactions_only() {
+        let wal = WriteAheadLog::new();
+        // An undecided prepared branch that must survive compaction.
+        wal.append(LogRecord::Begin(xid(1)));
+        wal.append(LogRecord::Prepare(xid(1)));
+        // Enough decided traffic to cross the compaction threshold.
+        for n in 2..(2 + super::COMPACT_THRESHOLD as u64) {
+            wal.append(LogRecord::Begin(xid(n)));
+            wal.append(LogRecord::Commit(xid(n)));
+        }
+        wal.flush();
+        assert_eq!(
+            wal.prepared_but_undecided(),
+            vec![xid(1)],
+            "undecided branch survives the checkpoint"
+        );
+        assert!(
+            wal.len() < super::COMPACT_THRESHOLD / 2,
+            "decided history was compacted away (len {})",
+            wal.len()
+        );
+        // A crash after the checkpoint still recovers the undecided branch.
+        wal.truncate_to_durable();
+        assert_eq!(wal.prepared_but_undecided(), vec![xid(1)]);
     }
 
     #[test]

@@ -168,7 +168,10 @@ where
         let service = service.clone();
         let workload = workload.clone();
         let mut rng = StdRng::seed_from_u64(
-            config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(terminal as u64),
+            config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(terminal as u64),
         );
         handles.push(spawn(async move {
             let mut collector = MetricsCollector::new(measure_start);
@@ -215,7 +218,11 @@ mod tests {
         let rtts = [10u64, 50];
         let mut builder = NetworkBuilder::new(5).default_lan_rtt(Duration::from_micros(200));
         for (i, rtt) in rtts.iter().enumerate() {
-            builder = builder.static_link(dm, NodeId::data_source(i as u32), Duration::from_millis(*rtt));
+            builder = builder.static_link(
+                dm,
+                NodeId::data_source(i as u32),
+                Duration::from_millis(*rtt),
+            );
         }
         let net = builder.build();
         let ycsb = YcsbConfig::new(2, 200)
@@ -267,8 +274,16 @@ mod tests {
             .await
         });
         assert_eq!(report.label, "GeoTP");
-        assert!(report.metrics.attempts() > 50, "attempts {}", report.metrics.attempts());
-        assert!(report.throughput() > 10.0, "throughput {}", report.throughput());
+        assert!(
+            report.metrics.attempts() > 50,
+            "attempts {}",
+            report.metrics.attempts()
+        );
+        assert!(
+            report.throughput() > 10.0,
+            "throughput {}",
+            report.throughput()
+        );
         assert!(report.mean_latency() > Duration::from_millis(20));
         assert!(report.p99_latency() >= report.mean_latency());
     }
@@ -325,7 +340,8 @@ mod tests {
                 let key = GlobalKey::new(TableId(0), rng.gen_range(0..100));
                 TransactionSpec::single_round(vec![ClientOp::Read(key)])
             }));
-            let report = run_benchmark(mw, custom, DriverConfig::quick(2, Duration::from_secs(1))).await;
+            let report =
+                run_benchmark(mw, custom, DriverConfig::quick(2, Duration::from_secs(1))).await;
             assert!(report.metrics.committed() > 0);
             assert!(report.abort_rate() < 0.01);
         });

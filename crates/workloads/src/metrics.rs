@@ -364,8 +364,14 @@ mod tests {
         let p999 = h.percentile(99.9);
         assert!(p50 <= p99 && p99 <= p999);
         // Log buckets keep ~6% relative error.
-        assert!((p50.as_millis() as i64 - 500).unsigned_abs() < 40, "p50={p50:?}");
-        assert!((p99.as_millis() as i64 - 990).unsigned_abs() < 70, "p99={p99:?}");
+        assert!(
+            (p50.as_millis() as i64 - 500).unsigned_abs() < 40,
+            "p50={p50:?}"
+        );
+        assert!(
+            (p99.as_millis() as i64 - 990).unsigned_abs() < 70,
+            "p99={p99:?}"
+        );
         assert!(h.max() == Duration::from_millis(1000));
         assert!(h.min() == Duration::from_millis(1));
         assert_eq!(h.mean(), Duration::from_micros(500_500));

@@ -173,15 +173,21 @@ impl TpccGenerator {
         for w in 1..=self.config.total_warehouses() {
             let node = partitioner.route(wh_key(WAREHOUSE, w, 0)) as usize;
             let source = &sources[node.min(sources.len() - 1)];
-            source.load(wh_key(WAREHOUSE, w, 0).storage_key(), Row::from_values(vec![
-                Value::Int(0),                 // w_ytd
-                Value::Str(format!("wh{w}")),  // w_name
-            ]));
+            source.load(
+                wh_key(WAREHOUSE, w, 0).storage_key(),
+                Row::from_values(vec![
+                    Value::Int(0),                // w_ytd
+                    Value::Str(format!("wh{w}")), // w_name
+                ]),
+            );
             for d in 1..=DISTRICTS_PER_WAREHOUSE {
-                source.load(wh_key(DISTRICT, w, d).storage_key(), Row::from_values(vec![
-                    Value::Int(0),    // d_ytd
-                    Value::Int(1),    // d_next_o_id
-                ]));
+                source.load(
+                    wh_key(DISTRICT, w, d).storage_key(),
+                    Row::from_values(vec![
+                        Value::Int(0), // d_ytd
+                        Value::Int(1), // d_next_o_id
+                    ]),
+                );
                 for c in 1..=self.config.customers_per_district {
                     source.load(
                         wh_key(CUSTOMER, w, d * 100_000 + c).storage_key(),
@@ -235,7 +241,11 @@ impl TpccGenerator {
             }
             draw -= weight;
         }
-        self.config.mix.last().map(|(t, _)| *t).unwrap_or(TpccTransaction::NewOrder)
+        self.config
+            .mix
+            .last()
+            .map(|(t, _)| *t)
+            .unwrap_or(TpccTransaction::NewOrder)
     }
 
     /// Generate one transaction of the given profile.
@@ -311,7 +321,10 @@ impl TpccGenerator {
         let amount = rng.gen_range(1..=5000i64);
         let remote = rng.gen::<f64>() < self.config.distributed_ratio && self.config.nodes > 1;
         let (c_w, c_d) = if remote {
-            (self.remote_warehouse(w, rng), rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE))
+            (
+                self.remote_warehouse(w, rng),
+                rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE),
+            )
         } else {
             (w, d)
         };
@@ -319,9 +332,21 @@ impl TpccGenerator {
         let order_id = self.next_order_id.get();
         self.next_order_id.set(order_id + 1);
         TransactionSpec::single_round(vec![
-            ClientOp::AddInt { key: wh_key(WAREHOUSE, w, 0), col: 0, delta: amount },
-            ClientOp::AddInt { key: wh_key(DISTRICT, w, d), col: 0, delta: amount },
-            ClientOp::AddInt { key: customer, col: 0, delta: -amount },
+            ClientOp::AddInt {
+                key: wh_key(WAREHOUSE, w, 0),
+                col: 0,
+                delta: amount,
+            },
+            ClientOp::AddInt {
+                key: wh_key(DISTRICT, w, d),
+                col: 0,
+                delta: amount,
+            },
+            ClientOp::AddInt {
+                key: customer,
+                col: 0,
+                delta: -amount,
+            },
             ClientOp::Insert {
                 key: wh_key(HISTORY, w, order_id),
                 row: Row::int(amount),
@@ -349,7 +374,11 @@ impl TpccGenerator {
         let mut ops = Vec::new();
         for d in 1..=DISTRICTS_PER_WAREHOUSE {
             let customer = self.customer_key(w, d, rng);
-            ops.push(ClientOp::AddInt { key: customer, col: 0, delta: 50 });
+            ops.push(ClientOp::AddInt {
+                key: customer,
+                col: 0,
+                delta: 50,
+            });
         }
         TransactionSpec::single_round(ops)
     }
@@ -399,7 +428,9 @@ mod tests {
 
     #[test]
     fn payment_distributed_ratio_controls_cross_node_access() {
-        let cfg = small_config().with_only(TpccTransaction::Payment).with_distributed_ratio(0.5);
+        let cfg = small_config()
+            .with_only(TpccTransaction::Payment)
+            .with_distributed_ratio(0.5);
         let partitioner = cfg.partitioner();
         let generator = TpccGenerator::new(cfg);
         let mut rng = rng();
@@ -464,9 +495,18 @@ mod tests {
             assert!(sources[0].engine().record_count() > 0);
             assert!(sources[1].engine().record_count() > 0);
             // Warehouse 1 lives on node 0, warehouse 3 on node 1.
-            assert!(sources[0].engine().peek(wh_key(WAREHOUSE, 1, 0).storage_key()).is_some());
-            assert!(sources[1].engine().peek(wh_key(WAREHOUSE, 3, 0).storage_key()).is_some());
-            assert!(sources[0].engine().peek(wh_key(WAREHOUSE, 3, 0).storage_key()).is_none());
+            assert!(sources[0]
+                .engine()
+                .peek(wh_key(WAREHOUSE, 1, 0).storage_key())
+                .is_some());
+            assert!(sources[1]
+                .engine()
+                .peek(wh_key(WAREHOUSE, 3, 0).storage_key())
+                .is_some());
+            assert!(sources[0]
+                .engine()
+                .peek(wh_key(WAREHOUSE, 3, 0).storage_key())
+                .is_none());
         });
     }
 

@@ -150,7 +150,10 @@ impl YcsbGenerator {
 
     fn key_on_node(&self, node: u32, rng: &mut StdRng) -> GlobalKey {
         let local = self.zipf.next(rng);
-        GlobalKey::new(USERTABLE, node as u64 * self.config.records_per_node + local)
+        GlobalKey::new(
+            USERTABLE,
+            node as u64 * self.config.records_per_node + local,
+        )
     }
 
     fn pick_nodes(&self, rng: &mut StdRng, distributed: bool) -> Vec<u32> {
@@ -247,7 +250,10 @@ mod tests {
             assert_eq!(spec.op_count(), 5);
         }
         let ratio = distributed as f64 / n as f64;
-        assert!((ratio - 0.4).abs() < 0.05, "observed distributed ratio {ratio}");
+        assert!(
+            (ratio - 0.4).abs() < 0.05,
+            "observed distributed ratio {ratio}"
+        );
     }
 
     #[test]

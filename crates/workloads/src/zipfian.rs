@@ -124,8 +124,14 @@ mod tests {
             hot as f64 / 50_000.0
         };
         let (l, m, h) = (hot_share(&low), hot_share(&med), hot_share(&high));
-        assert!(l < m && m < h, "hot shares {l} {m} {h} must increase with theta");
-        assert!(h > 0.8, "theta=1.5 should send most accesses to the hottest keys ({h})");
+        assert!(
+            l < m && m < h,
+            "hot shares {l} {m} {h} must increase with theta"
+        );
+        assert!(
+            h > 0.8,
+            "theta=1.5 should send most accesses to the hottest keys ({h})"
+        );
         assert!(l < 0.1, "theta=0.3 should be mild ({l})");
     }
 

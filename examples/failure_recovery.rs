@@ -34,7 +34,8 @@ fn main() {
         let gtrid = 777;
         for (i, ds) in cluster.data_sources().iter().enumerate() {
             let xid = Xid::new(gtrid, i as u32);
-            let conn = geotp::DsConnection::new(mw.node(), Rc::clone(ds), Rc::clone(cluster.network()));
+            let conn =
+                geotp::DsConnection::new(mw.node(), Rc::clone(ds), Rc::clone(cluster.network()));
             let resp = conn
                 .execute(StatementRequest {
                     xid,
@@ -54,7 +55,9 @@ fn main() {
             assert_eq!(conn.prepare(xid).await, PrepareVote::Prepared);
             println!("  branch {xid} prepared on {}", ds.node());
         }
-        mw.commit_log().flush_decision(gtrid, Decision::Commit).await;
+        mw.commit_log()
+            .flush_decision(gtrid, Decision::Commit)
+            .await;
         println!("  commit decision for gtrid {gtrid} flushed to the durable log");
         println!("  ... middleware crashes before dispatching the commit ...\n");
 
@@ -79,7 +82,10 @@ fn main() {
 
         let a = cluster.sum_records([GlobalKey::new(USERTABLE, 3)]);
         let b = cluster.sum_records([GlobalKey::new(USERTABLE, 1_003)]);
-        println!("  balances after recovery: {a} and {b} (sum preserved: {})", a + b);
+        println!(
+            "  balances after recovery: {a} and {b} (sum preserved: {})",
+            a + b
+        );
         assert_eq!(committed, 2);
         assert_eq!(a, 300);
         assert_eq!(b, 700);

@@ -41,11 +41,17 @@ fn main() {
 
         println!("committed      : {}", outcome.committed);
         println!("distributed    : {}", outcome.distributed);
-        println!("total latency  : {:.1} ms", outcome.latency.as_secs_f64() * 1e3);
+        println!(
+            "total latency  : {:.1} ms",
+            outcome.latency.as_secs_f64() * 1e3
+        );
         let b = outcome.breakdown;
         println!("  analysis     : {:.2} ms", b.analysis.as_secs_f64() * 1e3);
         println!("  execution    : {:.2} ms", b.execution.as_secs_f64() * 1e3);
-        println!("  prepare wait : {:.2} ms  (decentralized prepare, no extra WAN trip)", b.prepare_wait.as_secs_f64() * 1e3);
+        println!(
+            "  prepare wait : {:.2} ms  (decentralized prepare, no extra WAN trip)",
+            b.prepare_wait.as_secs_f64() * 1e3
+        );
         println!("  log flush    : {:.2} ms", b.log_flush.as_secs_f64() * 1e3);
         println!("  commit       : {:.2} ms", b.commit.as_secs_f64() * 1e3);
 

@@ -35,7 +35,10 @@ fn gk(row: u64) -> GlobalKey {
 }
 
 fn transfer() -> TransactionSpec {
-    TransactionSpec::single_round(vec![ClientOp::add(gk(1), -10), ClientOp::add(gk(RECORDS + 1), 10)])
+    TransactionSpec::single_round(vec![
+        ClientOp::add(gk(1), -10),
+        ClientOp::add(gk(RECORDS + 1), 10),
+    ])
 }
 
 async fn distributed_latency(protocol: Protocol) -> Duration {
@@ -51,17 +54,35 @@ fn wan_round_trip_counts_match_the_paper() {
     rt.block_on(async {
         // Classic XA (SSP): execution + prepare + commit = 3 round trips of
         // the slowest data source (100 ms each).
-        assert_eq!(distributed_latency(Protocol::SspXa).await, Duration::from_millis(300));
+        assert_eq!(
+            distributed_latency(Protocol::SspXa).await,
+            Duration::from_millis(300)
+        );
         // QURO reorders writes but keeps classic 2PC: still 3 round trips.
-        assert_eq!(distributed_latency(Protocol::Quro).await, Duration::from_millis(300));
+        assert_eq!(
+            distributed_latency(Protocol::Quro).await,
+            Duration::from_millis(300)
+        );
         // GeoTP's decentralized prepare removes one: 2 round trips.
-        assert_eq!(distributed_latency(Protocol::geotp()).await, Duration::from_millis(200));
-        assert_eq!(distributed_latency(Protocol::geotp_o1()).await, Duration::from_millis(200));
+        assert_eq!(
+            distributed_latency(Protocol::geotp()).await,
+            Duration::from_millis(200)
+        );
+        assert_eq!(
+            distributed_latency(Protocol::geotp_o1()).await,
+            Duration::from_millis(200)
+        );
         // SSP(local): no prepare phase either (but no atomicity guarantee).
-        assert_eq!(distributed_latency(Protocol::SspLocal).await, Duration::from_millis(200));
+        assert_eq!(
+            distributed_latency(Protocol::SspLocal).await,
+            Duration::from_millis(200)
+        );
         // Chiller: remote execution+prepare, then local execution, then commit
         // = 100 + 10 + 100 = 210 ms.
-        assert_eq!(distributed_latency(Protocol::Chiller).await, Duration::from_millis(210));
+        assert_eq!(
+            distributed_latency(Protocol::Chiller).await,
+            Duration::from_millis(210)
+        );
     });
 }
 
@@ -106,7 +127,10 @@ fn latency_aware_scheduling_reduces_fast_node_lock_span() {
         let full = fast_node_span(Protocol::geotp()).await;
         assert!(ssp >= Duration::from_millis(200));
         assert!(o1 >= Duration::from_millis(95) && o1 < ssp);
-        assert!(full <= Duration::from_millis(20), "postponed branch span {full:?}");
+        assert!(
+            full <= Duration::from_millis(20),
+            "postponed branch span {full:?}"
+        );
     });
 }
 
@@ -126,7 +150,10 @@ fn multi_round_transactions_schedule_each_round() {
         assert_eq!(outcome.latency, Duration::from_millis(300));
         // The fast node's span stays bounded by roughly one round + commit
         // half-trip rather than the full transaction lifetime.
-        let span = cluster.data_sources()[0].engine().stats().total_contention_span_micros;
+        let span = cluster.data_sources()[0]
+            .engine()
+            .stats()
+            .total_contention_span_micros;
         assert!(span <= 220_000, "fast node span {span}us");
     });
 }
@@ -158,9 +185,9 @@ fn throughput_ordering_matches_fig5_under_contention() {
                 Rc::clone(cluster.middleware()),
                 WorkloadMix::Ycsb(generator),
                 DriverConfig {
-                    terminals: 12,
-                    warmup: Duration::from_millis(500),
-                    measure: Duration::from_secs(4),
+                    terminals: 16,
+                    warmup: Duration::from_secs(1),
+                    measure: Duration::from_secs(12),
                     seed: 5,
                 },
             )
@@ -173,6 +200,12 @@ fn throughput_ordering_matches_fig5_under_contention() {
     let ssp_local = throughput(Protocol::SspLocal);
     let ssp = throughput(Protocol::SspXa);
     assert!(geotp > ssp, "GeoTP {geotp:.1} must beat SSP {ssp:.1}");
-    assert!(ssp_local >= ssp, "SSP(local) {ssp_local:.1} must be at least SSP {ssp:.1}");
-    assert!(geotp > ssp_local * 0.9, "GeoTP should be competitive with the no-atomicity mode");
+    assert!(
+        ssp_local >= ssp,
+        "SSP(local) {ssp_local:.1} must be at least SSP {ssp:.1}"
+    );
+    assert!(
+        geotp > ssp_local * 0.9,
+        "GeoTP should be competitive with the no-atomicity mode"
+    );
 }

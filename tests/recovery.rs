@@ -136,7 +136,11 @@ fn coordinator_disconnect_aborts_unprepared_work_only() {
         conn.execute(StatementRequest {
             xid: active,
             begin: true,
-            ops: vec![DsOperation::AddInt { key: gk(9).storage_key(), col: 0, delta: 999 }],
+            ops: vec![DsOperation::AddInt {
+                key: gk(9).storage_key(),
+                col: 0,
+                delta: 999,
+            }],
             is_last: false,
             decentralized_prepare: false,
             early_abort: false,
@@ -147,8 +151,16 @@ fn coordinator_disconnect_aborts_unprepared_work_only() {
         // The data source notices the middleware disconnect (setting ❶).
         let aborted = ds0.coordinator_disconnected().await;
         assert_eq!(aborted, vec![active]);
-        assert_eq!(cluster.sum_records([gk(9)]), 1_000, "active branch rolled back");
-        assert_eq!(ds0.recover_prepared(), vec![Xid::new(700, 0)], "prepared branch kept");
+        assert_eq!(
+            cluster.sum_records([gk(9)]),
+            1_000,
+            "active branch rolled back"
+        );
+        assert_eq!(
+            ds0.recover_prepared(),
+            vec![Xid::new(700, 0)],
+            "prepared branch kept"
+        );
     });
 }
 
