@@ -1,0 +1,14 @@
+//! Failure-drill smoke target: run every chaos preset through the
+//! invariant-checked harness and print the drill table.
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench failure_drills
+//! GEOTP_FULL=1 cargo bench -p geotp-bench --bench failure_drills   # 32-seed sweep
+//! ```
+
+fn main() {
+    geotp_bench::run_and_print(
+        "failure_drills",
+        geotp_experiments::failure_drills::failure_drills,
+    );
+}

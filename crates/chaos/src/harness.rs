@@ -1,0 +1,528 @@
+//! The chaos harness: build a cluster, drive a workload under a fault
+//! schedule, check invariants, emit a replayable trace.
+//!
+//! [`run_scenario`] owns the whole lifecycle:
+//!
+//! 1. assemble a simulated deployment (network, data sources + geo-agents,
+//!    coordinator) exactly like the facade's `ClusterBuilder` does;
+//! 2. compile the [`FaultSchedule`] into the network fault plane and spawn a
+//!    *controller task* that applies node-level events (crashes, restarts,
+//!    coordinator failover with commit-log replay, clock-skew ramps) at
+//!    their scheduled instants;
+//! 3. run a balance-transfer workload — transfers conserve the total balance
+//!    by construction, which is what makes atomicity violations observable —
+//!    where clients retry transactions refused by a crashed coordinator;
+//! 4. once the clients drain (bounded by the liveness horizon): heal
+//!    everything, restart any still-crashed data source, run one final
+//!    commit-log replay over the in-doubt branches, and hand the cluster to
+//!    the [`crate::invariants`] checkers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::{DataSource, DataSourceConfig, Dialect};
+use geotp_middleware::{
+    AbortReason, ClientOp, CommitLog, GlobalKey, Middleware, MiddlewareConfig, Partitioner,
+    Protocol, TransactionSpec, TxnOutcome,
+};
+use geotp_net::{NetworkBuilder, NodeId};
+use geotp_simrt::hash::FxHashMap;
+use geotp_simrt::{now, sleep, sleep_until, spawn, SimInstant};
+use geotp_storage::{CostModel, EngineConfig, Row, TableId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::injector::ScheduleInjector;
+use crate::invariants::{self, InvariantReport};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::trace::EventTrace;
+
+/// Table used by the chaos workload (the single YCSB-style usertable).
+pub const CHAOS_TABLE: TableId = TableId(0);
+
+/// Parameters of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for everything randomized: workload key choice, injector fates,
+    /// network jitter, scheduler lotteries. Same seed + same schedule ⇒
+    /// bit-identical trace.
+    pub seed: u64,
+    /// Middleware↔data-source RTTs in milliseconds (one entry per data
+    /// source; inter-source RTT is the max of the endpoints', as in the
+    /// facade's builder).
+    pub ds_rtts_ms: Vec<u64>,
+    /// Rows per data source.
+    pub records_per_node: u64,
+    /// Initial integer balance of every row.
+    pub initial_balance: i64,
+    /// Concurrent client loops.
+    pub clients: usize,
+    /// Transfers each client performs.
+    pub txns_per_client: usize,
+    /// Fraction of transfers that cross data sources.
+    pub distributed_ratio: f64,
+    /// Storage lock-wait timeout (short, so induced deadlocks resolve fast).
+    pub lock_wait_timeout: Duration,
+    /// Coordinator decision-wait timeout (bounds vote/rollback waits when a
+    /// participant dies).
+    pub decision_wait_timeout: Duration,
+    /// Liveness horizon: the workload must drain within this much virtual
+    /// time or the liveness invariant is declared violated.
+    pub horizon: Duration,
+    /// Commit protocol under test.
+    pub protocol: Protocol,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            ds_rtts_ms: vec![10, 60, 120],
+            records_per_node: 200,
+            initial_balance: 1_000,
+            clients: 4,
+            txns_per_client: 25,
+            distributed_ratio: 0.5,
+            lock_wait_timeout: Duration::from_secs(2),
+            decision_wait_timeout: Duration::from_secs(2),
+            horizon: Duration::from_secs(300),
+            protocol: Protocol::geotp(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Number of data sources.
+    pub fn nodes(&self) -> u32 {
+        self.ds_rtts_ms.len() as u32
+    }
+
+    /// The partitioner the workload and checkers route through.
+    pub fn partitioner(&self) -> Partitioner {
+        Partitioner::Range {
+            rows_per_node: self.records_per_node,
+            nodes: self.nodes(),
+        }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Client-observed committed transactions.
+    pub committed: u64,
+    /// Client-observed aborted transactions (a definite no).
+    pub aborted: u64,
+    /// Outcomes lost to a coordinator crash (no answer reached the client;
+    /// the durable commit log decides the truth).
+    pub indeterminate: u64,
+    /// The invariant checkers' verdict.
+    pub invariants: InvariantReport,
+    /// The full replayable event trace.
+    pub trace: Vec<String>,
+    /// FNV-1a fingerprint of the trace (bit-identical-replay check).
+    pub fingerprint: u64,
+}
+
+/// Per-node clock skew bookkeeping (chaos-local: the commit protocol never
+/// reads node clocks — which is exactly what the clock-skew scenario
+/// demonstrates by staying green).
+#[derive(Default)]
+struct NodeClocks {
+    skews: FxHashMap<NodeId, Skew>,
+}
+
+struct Skew {
+    since_micros: u64,
+    offset_micros: i64,
+    drift_ppm: i64,
+}
+
+impl NodeClocks {
+    fn ramp(&mut self, node: NodeId, drift_ppm: i64) {
+        let t = now().as_micros();
+        let offset = self.offset_at(node, t);
+        self.skews.insert(
+            node,
+            Skew {
+                since_micros: t,
+                offset_micros: offset,
+                drift_ppm,
+            },
+        );
+    }
+
+    fn offset_at(&self, node: NodeId, t: u64) -> i64 {
+        match self.skews.get(&node) {
+            Some(s) => {
+                s.offset_micros
+                    + (t.saturating_sub(s.since_micros) as i64 * s.drift_ppm) / 1_000_000
+            }
+            None => 0,
+        }
+    }
+
+    /// The node's local clock reading, in microseconds.
+    fn node_now_micros(&self, node: NodeId) -> i64 {
+        let t = now().as_micros();
+        t as i64 + self.offset_at(node, t)
+    }
+}
+
+/// Everything the controller task and the final heal pass share.
+struct Deployment {
+    config: ChaosConfig,
+    net: Rc<geotp_net::Network>,
+    sources: Vec<Rc<DataSource>>,
+    /// The currently-serving coordinator (replaced on failover).
+    active_mw: RefCell<Rc<Middleware>>,
+    /// The durable commit log, shared across coordinator generations.
+    commit_log: Rc<CommitLog>,
+    trace: Rc<EventTrace>,
+    clocks: RefCell<NodeClocks>,
+}
+
+impl Deployment {
+    fn middleware_config(config: &ChaosConfig, first_txn_seq: u64) -> MiddlewareConfig {
+        let mut cfg =
+            MiddlewareConfig::new(NodeId::middleware(0), config.protocol, config.partitioner());
+        cfg.analysis_cost = Duration::from_micros(200);
+        cfg.log_flush_cost = Duration::from_micros(200);
+        cfg.decision_wait_timeout = config.decision_wait_timeout;
+        cfg.scheduler.seed = config.seed;
+        cfg.first_txn_seq = first_txn_seq;
+        cfg
+    }
+
+    fn build(config: ChaosConfig, trace: Rc<EventTrace>, schedule: &FaultSchedule) -> Rc<Self> {
+        let dm = NodeId::middleware(0);
+        let mut net_builder =
+            NetworkBuilder::new(config.seed).default_lan_rtt(Duration::from_micros(500));
+        for (i, rtt) in config.ds_rtts_ms.iter().enumerate() {
+            net_builder = net_builder.static_link(
+                dm,
+                NodeId::data_source(i as u32),
+                Duration::from_millis(*rtt),
+            );
+        }
+        for i in 0..config.ds_rtts_ms.len() {
+            for j in (i + 1)..config.ds_rtts_ms.len() {
+                let rtt = config.ds_rtts_ms[i].max(config.ds_rtts_ms[j]);
+                net_builder = net_builder.static_link(
+                    NodeId::data_source(i as u32),
+                    NodeId::data_source(j as u32),
+                    Duration::from_millis(rtt),
+                );
+            }
+        }
+        let net = net_builder.build();
+        net.set_fault_injector(ScheduleInjector::compile(
+            schedule,
+            config.seed,
+            Rc::clone(&trace),
+        ));
+
+        let mut sources = Vec::new();
+        for i in 0..config.nodes() {
+            let mut ds_cfg = DataSourceConfig::new(NodeId::data_source(i));
+            ds_cfg.dialect = Dialect::MySql;
+            ds_cfg.engine = EngineConfig {
+                lock_wait_timeout: config.lock_wait_timeout,
+                cost: CostModel::default(),
+            };
+            ds_cfg.agent_lan_rtt = Duration::from_micros(500);
+            sources.push(DataSource::new(ds_cfg, Rc::clone(&net)));
+        }
+        for a in &sources {
+            for b in &sources {
+                if a.index() != b.index() {
+                    a.register_peer(b);
+                }
+            }
+        }
+
+        let mw = Middleware::connect(
+            Self::middleware_config(&config, 1),
+            Rc::clone(&net),
+            &sources,
+            None,
+        );
+        let commit_log = Rc::clone(mw.commit_log());
+
+        // Load: every row routed through the partitioner, like
+        // `Cluster::load_uniform`.
+        let partitioner = config.partitioner();
+        let total_rows = config.records_per_node * config.nodes() as u64;
+        for row in 0..total_rows {
+            let key = GlobalKey::new(CHAOS_TABLE, row);
+            let ds = partitioner.route(key) as usize;
+            sources[ds].load(key.storage_key(), Row::int(config.initial_balance));
+        }
+
+        Rc::new(Self {
+            config,
+            net,
+            sources,
+            active_mw: RefCell::new(mw),
+            commit_log,
+            trace,
+            clocks: RefCell::new(NodeClocks::default()),
+        })
+    }
+
+    /// Replace the crashed coordinator: data sources run their disconnect
+    /// handling, a successor shares the durable commit log, replays it over
+    /// the in-doubt branches and becomes the active instance.
+    async fn failover(&self) {
+        let old = self.active_mw.borrow().clone();
+        if !old.is_crashed() {
+            old.crash();
+            self.trace
+                .record("controller: crash middleware dm0 (implicit before failover)");
+        }
+        for ds in &self.sources {
+            if ds.is_crashed() {
+                continue;
+            }
+            let aborted = ds.coordinator_disconnected().await;
+            if !aborted.is_empty() {
+                self.trace.record(&format!(
+                    "ds{} disconnect handling aborted {} unprepared branch(es)",
+                    ds.index(),
+                    aborted.len()
+                ));
+            }
+        }
+        let successor = Middleware::connect(
+            Self::middleware_config(&self.config, old.next_txn_seq()),
+            Rc::clone(&self.net),
+            &self.sources,
+            Some(Rc::clone(&self.commit_log)),
+        );
+        let (committed, aborted) = successor.recover().await;
+        self.trace.record(&format!(
+            "failover: successor dm0 recovered {committed} committed / {aborted} aborted branch(es)"
+        ));
+        *self.active_mw.borrow_mut() = successor;
+    }
+
+    /// Apply one node-level event.
+    async fn apply(&self, event: &FaultEvent) {
+        match event {
+            FaultEvent::CrashDataSource { ds, .. } => {
+                let node = NodeId::data_source(*ds);
+                let clock = self.clocks.borrow().node_now_micros(node);
+                self.sources[*ds as usize].crash();
+                self.trace
+                    .record(&format!("crash ds{ds} (node clock {clock}us)"));
+            }
+            FaultEvent::RestartDataSource { ds, .. } => {
+                let recovered = self.sources[*ds as usize].restart().await;
+                self.trace.record(&format!(
+                    "restart ds{ds}: {} prepared branch(es) recovered from the WAL",
+                    recovered.len()
+                ));
+            }
+            FaultEvent::CrashMiddleware { .. } => {
+                self.active_mw.borrow().crash();
+                self.trace.record("crash middleware dm0");
+            }
+            FaultEvent::CrashMiddlewareAfterFlush { .. } => {
+                self.active_mw.borrow().crash_after_next_flush();
+                self.trace
+                    .record("arm fail point: crash middleware dm0 after next commit-log flush");
+            }
+            FaultEvent::FailoverMiddleware { .. } => {
+                self.failover().await;
+            }
+            FaultEvent::ClockSkewRamp {
+                node, drift_ppm, ..
+            } => {
+                self.clocks.borrow_mut().ramp(*node, *drift_ppm);
+                self.trace.record(&format!(
+                    "clock skew ramp on {node}: {drift_ppm:+} ppm (node clock {}us)",
+                    self.clocks.borrow().node_now_micros(*node)
+                ));
+            }
+            // Link-level events live in the injector.
+            _ => {}
+        }
+    }
+}
+
+/// Run `schedule` against a fresh cluster described by `config` and return
+/// the invariant-checked, replayable report.
+pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport {
+    let mut rt = geotp_simrt::Runtime::new();
+    rt.block_on(async move {
+        let trace = EventTrace::new();
+        trace.record(&format!(
+            "scenario start: seed={} nodes={} clients={}x{} protocol={}",
+            config.seed,
+            config.nodes(),
+            config.clients,
+            config.txns_per_client,
+            config.protocol.name()
+        ));
+        let deployment = Deployment::build(config.clone(), Rc::clone(&trace), &schedule);
+
+        // ---------------- controller task ----------------
+        let controller = {
+            let deployment = Rc::clone(&deployment);
+            let events = schedule.node_events();
+            spawn(async move {
+                for event in events {
+                    sleep_until(SimInstant::ZERO + event.at()).await;
+                    deployment.apply(&event).await;
+                }
+            })
+        };
+
+        // ---------------- workload ----------------
+        let ledger: Rc<RefCell<Vec<TxnOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+        let refused_connections = Rc::new(std::cell::Cell::new(0u64));
+        let mut clients = Vec::new();
+        for client in 0..config.clients {
+            let deployment = Rc::clone(&deployment);
+            let ledger = Rc::clone(&ledger);
+            let refused_connections = Rc::clone(&refused_connections);
+            let config = config.clone();
+            clients.push(spawn(async move {
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (0x5151_7c7c + client as u64 * 0x9e37));
+                let nodes = config.nodes() as u64;
+                for _ in 0..config.txns_per_client {
+                    let spec = transfer_spec(&mut rng, &config, nodes);
+                    // A crashed coordinator refuses the connection; real
+                    // clients reconnect and retry. Refusals never started a
+                    // transaction (gtrid 0), so they are counted separately
+                    // and kept out of the per-transaction ledger. Bounded so
+                    // a schedule without failover still drains.
+                    let mut attempts = 0;
+                    loop {
+                        let mw = deployment.active_mw.borrow().clone();
+                        let outcome = mw.run_transaction(&spec).await;
+                        let refused = outcome.gtrid == 0
+                            && outcome.abort_reason == Some(AbortReason::CoordinatorCrashed);
+                        attempts += 1;
+                        if refused {
+                            refused_connections.set(refused_connections.get() + 1);
+                            if attempts >= 40 {
+                                break;
+                            }
+                            sleep(Duration::from_millis(250)).await;
+                            continue;
+                        }
+                        ledger.borrow_mut().push(outcome);
+                        break;
+                    }
+                }
+            }));
+        }
+
+        // ---------------- drain, bounded by the liveness horizon ----------------
+        let drained = geotp_simrt::timeout(config.horizon, async {
+            for client in clients {
+                client.await;
+            }
+            controller.await;
+            // Let in-flight notifications / deferred decisions settle.
+            sleep(config.decision_wait_timeout * 2 + Duration::from_secs(1)).await;
+        })
+        .await;
+        let workload_drained = drained.is_ok();
+        trace.record(&format!(
+            "workload drained within horizon: {workload_drained}"
+        ));
+
+        // ---------------- heal everything, resolve in-doubt state ----------------
+        deployment.net.clear_fault_injector();
+        for ds in &deployment.sources {
+            if ds.is_crashed() {
+                let recovered = ds.restart().await;
+                trace.record(&format!(
+                    "final heal: restart ds{} ({} prepared branch(es) recovered)",
+                    ds.index(),
+                    recovered.len()
+                ));
+            }
+        }
+        if deployment.active_mw.borrow().is_crashed() {
+            deployment.failover().await;
+        }
+        let final_mw = deployment.active_mw.borrow().clone();
+        let (rec_committed, rec_aborted) = final_mw.recover().await;
+        trace.record(&format!(
+            "final recovery pass: {rec_committed} committed / {rec_aborted} aborted branch(es)"
+        ));
+
+        // ---------------- tally + invariants ----------------
+        let ledger = ledger.borrow();
+        let committed = ledger.iter().filter(|o| o.committed).count() as u64;
+        // Indeterminate = transactions that actually started (gtrid
+        // assigned) and then lost their coordinator mid-flight; connection
+        // refusals were never transactions and are reported separately.
+        let indeterminate = ledger
+            .iter()
+            .filter(|o| o.gtrid != 0 && o.abort_reason == Some(AbortReason::CoordinatorCrashed))
+            .count() as u64;
+        let aborted = ledger.len() as u64 - committed - indeterminate;
+        if refused_connections.get() > 0 {
+            trace.record(&format!(
+                "coordinator refused {} connection attempt(s) while crashed",
+                refused_connections.get()
+            ));
+        }
+
+        let invariants = invariants::check(
+            &deployment.sources,
+            config.partitioner(),
+            config.records_per_node * config.nodes() as u64,
+            config.initial_balance,
+            &ledger,
+            &deployment.commit_log,
+            workload_drained,
+        );
+        trace.record(&format!(
+            "summary: committed={committed} aborted={aborted} indeterminate={indeterminate}"
+        ));
+        trace.record(&format!(
+            "invariants: atomicity={} durability={} liveness={}",
+            invariants.atomicity_ok, invariants.durability_ok, invariants.liveness_ok
+        ));
+
+        ChaosReport {
+            committed,
+            aborted,
+            indeterminate,
+            invariants,
+            fingerprint: trace.fingerprint(),
+            trace: trace.lines(),
+        }
+    })
+}
+
+/// Build one balance transfer: −1 from one row, +1 to another. Transfers
+/// conserve the total balance by construction, so any partial commit shows
+/// up in the conservation check.
+fn transfer_spec(rng: &mut StdRng, config: &ChaosConfig, nodes: u64) -> TransactionSpec {
+    let records = config.records_per_node;
+    let src_ds = rng.gen_range(0..nodes);
+    let distributed = nodes > 1 && rng.gen::<f64>() < config.distributed_ratio;
+    let dst_ds = if distributed {
+        let mut d = rng.gen_range(0..nodes - 1);
+        if d >= src_ds {
+            d += 1;
+        }
+        d
+    } else {
+        src_ds
+    };
+    let src_row = src_ds * records + rng.gen_range(0..records);
+    let dst_row = dst_ds * records + rng.gen_range(0..records);
+    TransactionSpec::single_round(vec![
+        ClientOp::add(GlobalKey::new(CHAOS_TABLE, src_row), -1),
+        ClientOp::add(GlobalKey::new(CHAOS_TABLE, dst_row), 1),
+    ])
+}

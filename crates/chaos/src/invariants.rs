@@ -1,0 +1,230 @@
+//! Transaction-invariant checkers run over the post-chaos cluster.
+//!
+//! Three invariants, matching what the paper's protocol promises:
+//!
+//! * **Atomicity** — no global transaction ends with one branch committed
+//!   and another aborted. Checked two ways: structurally, by scanning every
+//!   engine's WAL for cross-branch `Commit`/`Abort` disagreement, and
+//!   observationally, by conservation of the total balance (the workload is
+//!   all transfers, so any partial commit changes the sum).
+//! * **Durability** — every transaction whose commit is decided (the client
+//!   saw `committed`, or the durable commit log says `Commit` for an
+//!   outcome the coordinator crash made indeterminate) has a `Commit`
+//!   record in the WAL of *every* branch that participated, after all
+//!   crashes, restarts and recoveries. And the client is never told
+//!   `committed` unless the decision really is durable.
+//! * **Liveness** — the workload drained within the virtual-clock horizon,
+//!   and after the final heal + recovery pass no branch is left prepared
+//!   -but-undecided anywhere.
+//!
+//! The checkers read only durable artifacts (WALs, the commit log, the
+//! record stores) — not coordinator in-memory state — so they hold across
+//! arbitrary failover histories.
+
+use std::rc::Rc;
+
+use geotp_datasource::DataSource;
+use geotp_middleware::{CommitLog, Decision, GlobalKey, Partitioner, TxnOutcome};
+use geotp_simrt::hash::FxHashMap;
+use geotp_storage::wal::LogRecord;
+
+use crate::harness::CHAOS_TABLE;
+
+/// Verdict of the three checkers, with human-readable violations.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantReport {
+    /// No transaction with both a committed and an aborted branch; total
+    /// balance conserved.
+    pub atomicity_ok: bool,
+    /// Decided-committed state survived every crash and is durable on every
+    /// participating branch.
+    pub durability_ok: bool,
+    /// Nothing stuck: workload drained inside the horizon and no in-doubt
+    /// branch remains after the final recovery.
+    pub liveness_ok: bool,
+    /// One line per violation (empty when everything holds).
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Whether every invariant held.
+    pub fn all_hold(&self) -> bool {
+        self.atomicity_ok && self.durability_ok && self.liveness_ok
+    }
+}
+
+/// Per-gtrid branch decisions harvested from the WALs.
+#[derive(Default)]
+struct BranchDecisions {
+    commits: Vec<u32>,
+    aborts: Vec<u32>,
+    /// Branches with a durable `Prepare` record (distinguishes real 2PC
+    /// in-doubt state from one-phase commits, which never prepare).
+    prepares: Vec<u32>,
+}
+
+/// Run every checker. `workload_drained` is the harness's horizon verdict;
+/// when it is `false` the cluster may still have transactions in flight, so
+/// the state-based checks are skipped (they could only report noise) and
+/// liveness is the reported failure.
+#[allow(clippy::too_many_arguments)]
+pub fn check(
+    sources: &[Rc<DataSource>],
+    partitioner: Partitioner,
+    total_rows: u64,
+    initial_balance: i64,
+    ledger: &[TxnOutcome],
+    commit_log: &Rc<CommitLog>,
+    workload_drained: bool,
+) -> InvariantReport {
+    let mut report = InvariantReport {
+        atomicity_ok: true,
+        durability_ok: true,
+        liveness_ok: true,
+        violations: Vec::new(),
+    };
+
+    if !workload_drained {
+        report.liveness_ok = false;
+        report
+            .violations
+            .push("liveness: workload did not drain within the horizon".into());
+        return report;
+    }
+
+    // ---------------- liveness: no in-doubt branch anywhere ----------------
+    for ds in sources {
+        let prepared = ds.engine().prepared_xids();
+        if !prepared.is_empty() {
+            report.liveness_ok = false;
+            report.violations.push(format!(
+                "liveness: ds{} still has prepared-but-undecided branches after recovery: {prepared:?}",
+                ds.index()
+            ));
+        }
+    }
+
+    // ---------------- harvest per-branch decisions from the WALs ----------------
+    let mut decisions: FxHashMap<u64, BranchDecisions> = FxHashMap::default();
+    for ds in sources {
+        for record in ds.engine().wal().all_records() {
+            match record {
+                LogRecord::Commit(xid) => decisions
+                    .entry(xid.gtrid)
+                    .or_default()
+                    .commits
+                    .push(ds.index()),
+                LogRecord::Abort(xid) => decisions
+                    .entry(xid.gtrid)
+                    .or_default()
+                    .aborts
+                    .push(ds.index()),
+                LogRecord::Prepare(xid) => decisions
+                    .entry(xid.gtrid)
+                    .or_default()
+                    .prepares
+                    .push(ds.index()),
+                _ => {}
+            }
+        }
+    }
+
+    // ---------------- atomicity: no mixed Commit/Abort branches ----------------
+    for (gtrid, d) in &decisions {
+        if !d.commits.is_empty() && !d.aborts.is_empty() {
+            report.atomicity_ok = false;
+            report.violations.push(format!(
+                "atomicity: gtrid {gtrid} committed on ds{:?} but aborted on ds{:?}",
+                d.commits, d.aborts
+            ));
+        }
+    }
+
+    // ---------------- atomicity: conservation of the total balance ----------------
+    let expected_total = total_rows as i64 * initial_balance;
+    let mut actual_total = 0i64;
+    let mut missing_rows = 0u64;
+    for row in 0..total_rows {
+        let key = GlobalKey::new(CHAOS_TABLE, row);
+        let ds = partitioner.route(key) as usize;
+        match sources[ds].engine().peek(key.storage_key()) {
+            Some(r) => actual_total += r.int_value().unwrap_or(0),
+            None => missing_rows += 1,
+        }
+    }
+    if missing_rows > 0 {
+        report.atomicity_ok = false;
+        report.violations.push(format!(
+            "atomicity: {missing_rows} row(s) vanished from the record stores"
+        ));
+    }
+    if actual_total != expected_total {
+        report.atomicity_ok = false;
+        report.violations.push(format!(
+            "atomicity: total balance {actual_total} != initial {expected_total} (transfers conserve it)"
+        ));
+    }
+
+    // ---------------- durability ----------------
+    // Everything that *must* be durably committed: outcomes the client saw
+    // commit, plus indeterminate outcomes whose durable decision is Commit.
+    for outcome in ledger {
+        if outcome.gtrid == 0 {
+            continue;
+        }
+        let logged = commit_log.decision(outcome.gtrid);
+        if outcome.committed && logged != Some(Decision::Commit) {
+            report.durability_ok = false;
+            report.violations.push(format!(
+                "durability: client saw gtrid {} commit but the durable decision is {logged:?}",
+                outcome.gtrid
+            ));
+            continue;
+        }
+        // A logged `Commit` only *binds* when the client saw the commit, or
+        // when at least one branch durably prepared (2PC in-doubt state that
+        // recovery promises to finish). A one-phase commit whose coordinator
+        // crashed between flushing the optimistic decision and dispatching it
+        // legitimately rolls back: nothing was prepared, nothing was
+        // promised, the client got no answer.
+        let bound_by_log = logged == Some(Decision::Commit)
+            && decisions
+                .get(&outcome.gtrid)
+                .is_some_and(|d| !d.prepares.is_empty());
+        let must_commit = outcome.committed || bound_by_log;
+        if !must_commit {
+            continue;
+        }
+        match decisions.get(&outcome.gtrid) {
+            None => {
+                report.durability_ok = false;
+                report.violations.push(format!(
+                    "durability: gtrid {} is decided-commit but no branch has any decision record",
+                    outcome.gtrid
+                ));
+            }
+            Some(d) => {
+                if d.commits.is_empty() {
+                    report.durability_ok = false;
+                    report.violations.push(format!(
+                        "durability: gtrid {} is decided-commit but no branch logged a Commit",
+                        outcome.gtrid
+                    ));
+                }
+                // Mixed branches are already an atomicity violation; for
+                // durability it is enough that every branch that produced
+                // records reached Commit (aborts on a decided-commit
+                // transaction are caught above).
+                if !d.aborts.is_empty() {
+                    report.durability_ok = false;
+                    report.violations.push(format!(
+                        "durability: gtrid {} is decided-commit but ds{:?} aborted the branch",
+                        outcome.gtrid, d.aborts
+                    ));
+                }
+            }
+        }
+    }
+
+    report
+}

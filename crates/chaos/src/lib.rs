@@ -1,0 +1,59 @@
+//! # geotp-chaos — deterministic fault injection for the GeoTP reproduction
+//!
+//! GeoTP's claims only matter under hostile WANs: the decentralized prepare,
+//! early abort and recovery paths (paper §V) are exercised by crashes
+//! mid-prepare, partitions mid-commit and coordinators dying with a flushed
+//! decision. This crate turns every such failure mode into a *scripted,
+//! replayable, invariant-checked* scenario:
+//!
+//! * a [`FaultSchedule`] describes a timeline of faults — data-source
+//!   crash/restart, coordinator crash/failover, (possibly asymmetric) network
+//!   partitions, latency storms, notification drop/duplicate probabilities
+//!   and clock-skew ramps — either written explicitly or generated from a
+//!   seed ([`FaultSchedule::random`]);
+//! * the schedule compiles into a [`ScheduleInjector`] plugged into
+//!   `geotp-net`'s fault plane, while node-level events are driven by the
+//!   harness's controller task against the hooks the component crates expose
+//!   (`StorageEngine::crash`/`restart`, `Middleware::crash`,
+//!   `crash_after_next_flush`, shared commit logs, `recover`);
+//! * [`run_scenario`] drives a balance-transfer workload under the schedule
+//!   on the simulated runtime and hands the final state to the
+//!   [`invariants`] checkers: **atomicity** (no transaction with both a
+//!   committed and an aborted branch, conservation of total balance),
+//!   **durability** (every outcome the client saw as committed is backed by
+//!   a durable commit decision and per-branch WAL commit records after all
+//!   crashes and recoveries) and **liveness** (no transaction stuck once all
+//!   faults heal, bounded by a virtual-clock horizon);
+//! * every run produces an [`EventTrace`]: same seed + same schedule ⇒
+//!   bit-identical trace, across runs *and across processes* — chaos
+//!   findings are perfectly reproducible.
+//!
+//! The [`scenarios`] module ships named presets (prepare-phase crash,
+//! commit-phase partition, asymmetric partition, rolling restarts, WAN
+//! brownout, coordinator failover, lossy notifications, clock-skew drift,
+//! …) that double as the failure-drill table in `geotp-experiments` and as
+//! regression sweeps in this crate's tests.
+//!
+//! ```
+//! use geotp_chaos::scenarios::Scenario;
+//!
+//! let report = Scenario::PreparePhaseCrash.run(7);
+//! assert!(report.invariants.all_hold(), "{:?}", report.invariants.violations);
+//! // Replayable: the same seed produces a bit-identical event trace.
+//! assert_eq!(report.fingerprint, Scenario::PreparePhaseCrash.run(7).fingerprint);
+//! ```
+
+pub mod harness;
+pub mod injector;
+pub mod invariants;
+pub mod scenarios;
+pub mod schedule;
+pub mod trace;
+
+pub use geotp_middleware::Protocol;
+pub use harness::{run_scenario, ChaosConfig, ChaosReport};
+pub use injector::ScheduleInjector;
+pub use invariants::InvariantReport;
+pub use scenarios::Scenario;
+pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
+pub use trace::EventTrace;

@@ -1,0 +1,251 @@
+//! Named failure-drill presets.
+//!
+//! Each preset is a `(ChaosConfig, FaultSchedule)` pair aimed at one failure
+//! mode the paper's protocol must survive. They run from the chaos sweeps in
+//! this crate's tests, from the failure-drill table in `geotp-experiments`,
+//! and from the `failure_drills` bench smoke target — always through the
+//! same [`run_scenario`] harness, so a preset that regresses fails everywhere
+//! at once.
+
+use std::time::Duration;
+
+use geotp_net::NodeId;
+
+use crate::harness::{run_scenario, ChaosConfig, ChaosReport};
+use crate::schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
+
+/// The named failure drills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// A data source crashes while branches are mid-prepare, restarts later;
+    /// durable-prepared branches must survive via the WAL.
+    PreparePhaseCrash,
+    /// The middleware↔slowest-data-source link partitions across the commit
+    /// window and heals; stalled decisions must complete, not corrupt.
+    CommitPhasePartition,
+    /// Asymmetric partition: a data source can hear the middleware but not
+    /// answer (response direction blocked), then heals.
+    AsymmetricPartition,
+    /// Every data source crashes and restarts in sequence.
+    RollingRestarts,
+    /// A WAN brownout: heavy extra latency plus per-message jitter on every
+    /// middleware link for a sustained window.
+    WanBrownout,
+    /// The coordinator crashes deterministically right after flushing a
+    /// commit decision (§V-A); a successor replays the shared commit log.
+    CoordinatorFailover,
+    /// Prepare votes and rollback confirmations are randomly dropped and
+    /// duplicated; the decision-wait timeout and the notify hub's idempotent
+    /// vote handling must cope.
+    LossyNotifications,
+    /// One node's clock drifts hundreds of ppm (plus a partition blip); the
+    /// commit protocol never reads node clocks, so invariants stay green.
+    ClockSkewDrift,
+    /// A data-source crash in the middle of a WAN brownout — compound
+    /// failure, the recovery paths under degraded links.
+    CrashDuringBrownout,
+    /// A seeded-random schedule ([`FaultSchedule::random`]) — different for
+    /// every seed, always healing before the horizon.
+    RandomizedFaults,
+}
+
+impl Scenario {
+    /// Every preset, in a stable order.
+    pub fn all() -> [Scenario; 10] {
+        [
+            Scenario::PreparePhaseCrash,
+            Scenario::CommitPhasePartition,
+            Scenario::AsymmetricPartition,
+            Scenario::RollingRestarts,
+            Scenario::WanBrownout,
+            Scenario::CoordinatorFailover,
+            Scenario::LossyNotifications,
+            Scenario::ClockSkewDrift,
+            Scenario::CrashDuringBrownout,
+            Scenario::RandomizedFaults,
+        ]
+    }
+
+    /// Stable identifier used in tables, trace files and CI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::PreparePhaseCrash => "prepare_phase_crash",
+            Scenario::CommitPhasePartition => "commit_phase_partition",
+            Scenario::AsymmetricPartition => "asymmetric_partition",
+            Scenario::RollingRestarts => "rolling_restarts",
+            Scenario::WanBrownout => "wan_brownout",
+            Scenario::CoordinatorFailover => "coordinator_failover",
+            Scenario::LossyNotifications => "lossy_notifications",
+            Scenario::ClockSkewDrift => "clock_skew_drift",
+            Scenario::CrashDuringBrownout => "crash_during_brownout",
+            Scenario::RandomizedFaults => "randomized_faults",
+        }
+    }
+
+    /// The preset's configuration and schedule for a given seed.
+    pub fn build(&self, seed: u64) -> (ChaosConfig, FaultSchedule) {
+        let mut config = ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        };
+        if matches!(self, Scenario::CoordinatorFailover) {
+            // Every transfer distributed: the flush that trips the fail
+            // point belongs to a 2PC transaction, so the §V-A window
+            // (prepared branches + durable decision, nothing dispatched)
+            // is actually exercised.
+            config.distributed_ratio = 1.0;
+        }
+        let dm = NodeId::middleware(0);
+        let ds = NodeId::data_source;
+        let s = Duration::from_secs;
+        let ms = Duration::from_millis;
+        let schedule = match self {
+            Scenario::PreparePhaseCrash => FaultSchedule::new()
+                .with(FaultEvent::CrashDataSource { at: s(3), ds: 1 })
+                .with(FaultEvent::RestartDataSource { at: s(8), ds: 1 }),
+            Scenario::CommitPhasePartition => FaultSchedule::new().with(FaultEvent::Partition {
+                at: s(2),
+                until: s(6),
+                a: dm,
+                b: ds(2),
+            }),
+            Scenario::AsymmetricPartition => {
+                FaultSchedule::new().with(FaultEvent::PartitionOneWay {
+                    at: s(2),
+                    until: s(5),
+                    from: ds(1),
+                    to: dm,
+                })
+            }
+            Scenario::RollingRestarts => FaultSchedule::new()
+                .with(FaultEvent::CrashDataSource { at: s(2), ds: 0 })
+                .with(FaultEvent::RestartDataSource { at: s(4), ds: 0 })
+                .with(FaultEvent::CrashDataSource {
+                    at: ms(4_500),
+                    ds: 1,
+                })
+                .with(FaultEvent::RestartDataSource {
+                    at: ms(6_500),
+                    ds: 1,
+                })
+                .with(FaultEvent::CrashDataSource { at: s(7), ds: 2 })
+                .with(FaultEvent::RestartDataSource { at: s(9), ds: 2 }),
+            Scenario::WanBrownout => {
+                let mut schedule = FaultSchedule::new();
+                for i in 0..3 {
+                    schedule = schedule.with(FaultEvent::LatencyStorm {
+                        at: s(2),
+                        until: s(8),
+                        a: dm,
+                        b: ds(i),
+                        extra: ms(150),
+                        jitter: ms(50),
+                    });
+                }
+                schedule
+            }
+            Scenario::CoordinatorFailover => FaultSchedule::new()
+                .with(FaultEvent::CrashMiddlewareAfterFlush { at: ms(2_500) })
+                .with(FaultEvent::FailoverMiddleware { at: s(5) }),
+            Scenario::LossyNotifications => {
+                let mut schedule = FaultSchedule::new();
+                for i in 0..3 {
+                    schedule = schedule
+                        .with(FaultEvent::DropNotifications {
+                            at: s(1),
+                            until: s(8),
+                            from: ds(i),
+                            to: dm,
+                            probability: 0.3,
+                        })
+                        .with(FaultEvent::DuplicateNotifications {
+                            at: s(1),
+                            until: s(8),
+                            from: ds(i),
+                            to: dm,
+                            probability: 0.3,
+                        });
+                }
+                schedule
+            }
+            Scenario::ClockSkewDrift => FaultSchedule::new()
+                .with(FaultEvent::ClockSkewRamp {
+                    at: s(1),
+                    node: ds(2),
+                    drift_ppm: 500,
+                })
+                .with(FaultEvent::ClockSkewRamp {
+                    at: s(6),
+                    node: ds(0),
+                    drift_ppm: -250,
+                })
+                .with(FaultEvent::Partition {
+                    at: s(3),
+                    until: s(4),
+                    a: dm,
+                    b: ds(2),
+                }),
+            Scenario::CrashDuringBrownout => {
+                let mut schedule = FaultSchedule::new()
+                    .with(FaultEvent::CrashDataSource { at: s(3), ds: 0 })
+                    .with(FaultEvent::RestartDataSource { at: s(7), ds: 0 });
+                for i in 0..3 {
+                    schedule = schedule.with(FaultEvent::LatencyStorm {
+                        at: s(1),
+                        until: s(9),
+                        a: dm,
+                        b: ds(i),
+                        extra: ms(100),
+                        jitter: ms(30),
+                    });
+                }
+                schedule
+            }
+            Scenario::RandomizedFaults => FaultSchedule::random(
+                seed,
+                &RandomFaultConfig {
+                    data_sources: 3,
+                    faults: 4,
+                    horizon: s(60),
+                },
+            ),
+        };
+        (config, schedule)
+    }
+
+    /// Build and run this preset under `seed`.
+    pub fn run(&self, seed: u64) -> ChaosReport {
+        let (config, schedule) = self.build(seed);
+        run_scenario(config, schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_names_are_unique_and_stable() {
+        let names: Vec<&str> = Scenario::all().iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert!(names.len() >= 8, "the issue asks for ~8 presets");
+    }
+
+    #[test]
+    fn schedules_heal_before_the_horizon() {
+        for preset in Scenario::all() {
+            for seed in [1, 7] {
+                let (config, schedule) = preset.build(seed);
+                assert!(
+                    schedule.last_fault_instant() + config.decision_wait_timeout * 2
+                        < config.horizon,
+                    "{}: faults must heal comfortably before the horizon",
+                    preset.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! The fault-schedule DSL.
+//!
+//! A [`FaultSchedule`] is a declarative timeline of faults, written either
+//! explicitly (every preset in [`crate::scenarios`] is one) or generated from
+//! a seed with [`FaultSchedule::random`]. Link-level events (partitions,
+//! latency storms, notification loss) compile into the
+//! [`crate::ScheduleInjector`] consulted by the network on every message;
+//! node-level events (crashes, restarts, failover, clock skew) are applied by
+//! the harness's controller task at their scheduled instants.
+//!
+//! All instants are virtual-time offsets from the start of the run, and every
+//! windowed fault carries its own heal time — the whole failure history is
+//! known up front, which is what makes runs replayable and lets the injector
+//! answer "when does this partition heal?" without hidden state.
+
+use std::time::Duration;
+
+use geotp_net::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Data source `ds` crashes at `at`: volatile state is lost, blocked
+    /// lock waiters are kicked out, requests fail until restart.
+    CrashDataSource {
+        /// When the crash happens.
+        at: Duration,
+        /// Index of the data source.
+        ds: u32,
+    },
+    /// Data source `ds` restarts at `at`: durable-prepared branches survive
+    /// (recovered from the WAL via the XA state machine), everything else is
+    /// rolled back.
+    RestartDataSource {
+        /// When the restart happens.
+        at: Duration,
+        /// Index of the data source.
+        ds: u32,
+    },
+    /// The coordinator process dies at `at`. In-flight transactions get no
+    /// outcome; branches stay in doubt until failover.
+    CrashMiddleware {
+        /// When the crash happens.
+        at: Duration,
+    },
+    /// Arm the one-shot fail point at `at`: the coordinator crashes right
+    /// after its *next* commit-log flush — decision durable, never
+    /// dispatched (the paper's §V-A recovery window).
+    CrashMiddlewareAfterFlush {
+        /// When the fail point is armed.
+        at: Duration,
+    },
+    /// A successor coordinator takes over at `at`: data sources abort their
+    /// unprepared branches (disconnect handling), the successor shares the
+    /// durable commit log, replays it over the in-doubt branches and starts
+    /// serving new transactions.
+    FailoverMiddleware {
+        /// When the failover completes.
+        at: Duration,
+    },
+    /// Both directions between `a` and `b` are blocked during `[at, until)`.
+    Partition {
+        /// Partition start.
+        at: Duration,
+        /// Heal instant (exclusive end of the window).
+        until: Duration,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Only the `from → to` direction is blocked during `[at, until)` —
+    /// an asymmetric partition (replies still flow).
+    PartitionOneWay {
+        /// Partition start.
+        at: Duration,
+        /// Heal instant.
+        until: Duration,
+        /// Blocked sender.
+        from: NodeId,
+        /// Unreachable receiver.
+        to: NodeId,
+    },
+    /// Every message between `a` and `b` pays `extra` (plus up to `jitter`,
+    /// drawn per message — which reorders messages relative to each other)
+    /// during `[at, until)`.
+    LatencyStorm {
+        /// Storm start.
+        at: Duration,
+        /// Storm end.
+        until: Duration,
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+        /// Deterministic extra one-way delay.
+        extra: Duration,
+        /// Upper bound of the per-message uniform jitter.
+        jitter: Duration,
+    },
+    /// Each fire-and-forget notification on `from → to` is dropped with
+    /// `probability` during `[at, until)`.
+    DropNotifications {
+        /// Window start.
+        at: Duration,
+        /// Window end.
+        until: Duration,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Per-message drop probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Each fire-and-forget notification on `from → to` is delivered twice
+    /// with `probability` during `[at, until)`.
+    DuplicateNotifications {
+        /// Window start.
+        at: Duration,
+        /// Window end.
+        until: Duration,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Per-message duplication probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// From `at` on, `node`'s local clock drifts by `drift_ppm` parts per
+    /// million relative to true (virtual) time. Purely observational: the
+    /// commit protocol never reads node-local clocks, and the scenario's
+    /// green invariants demonstrate exactly that; the trace records
+    /// node-local timestamps so the skew is visible.
+    ClockSkewRamp {
+        /// When the drift starts.
+        at: Duration,
+        /// The drifting node.
+        node: NodeId,
+        /// Drift rate in parts per million (positive = fast clock).
+        drift_ppm: i64,
+    },
+}
+
+impl FaultEvent {
+    /// The instant this event first takes effect.
+    pub fn at(&self) -> Duration {
+        match self {
+            FaultEvent::CrashDataSource { at, .. }
+            | FaultEvent::RestartDataSource { at, .. }
+            | FaultEvent::CrashMiddleware { at }
+            | FaultEvent::CrashMiddlewareAfterFlush { at }
+            | FaultEvent::FailoverMiddleware { at }
+            | FaultEvent::Partition { at, .. }
+            | FaultEvent::PartitionOneWay { at, .. }
+            | FaultEvent::LatencyStorm { at, .. }
+            | FaultEvent::DropNotifications { at, .. }
+            | FaultEvent::DuplicateNotifications { at, .. }
+            | FaultEvent::ClockSkewRamp { at, .. } => *at,
+        }
+    }
+
+    /// Whether the harness controller (rather than the network injector)
+    /// applies this event.
+    pub fn is_node_event(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::CrashDataSource { .. }
+                | FaultEvent::RestartDataSource { .. }
+                | FaultEvent::CrashMiddleware { .. }
+                | FaultEvent::CrashMiddlewareAfterFlush { .. }
+                | FaultEvent::FailoverMiddleware { .. }
+                | FaultEvent::ClockSkewRamp { .. }
+        )
+    }
+}
+
+/// A declarative fault timeline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultSchedule {
+    /// The scheduled events, in no particular order (consumers sort by
+    /// [`FaultEvent::at`]).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (a plain, fault-free run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style push.
+    pub fn with(mut self, event: FaultEvent) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The node-level events, sorted by activation time (ties keep push
+    /// order, so schedules are unambiguous).
+    pub fn node_events(&self) -> Vec<FaultEvent> {
+        let mut events: Vec<FaultEvent> = self
+            .events
+            .iter()
+            .filter(|e| e.is_node_event())
+            .cloned()
+            .collect();
+        events.sort_by_key(|e| e.at());
+        events
+    }
+
+    /// The latest instant at which any fault is still active — the "all
+    /// faults healed" horizon the liveness checker builds on.
+    pub fn last_fault_instant(&self) -> Duration {
+        self.events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::Partition { until, .. }
+                | FaultEvent::PartitionOneWay { until, .. }
+                | FaultEvent::LatencyStorm { until, .. }
+                | FaultEvent::DropNotifications { until, .. }
+                | FaultEvent::DuplicateNotifications { until, .. } => *until,
+                other => other.at(),
+            })
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Generate a random — but fully deterministic for a given `seed` —
+    /// schedule: every windowed fault heals and every crashed node restarts
+    /// before `cfg.horizon`, so liveness is checkable.
+    ///
+    /// Horizons below 4 s are treated as 4 s: fault windows need room for a
+    /// ≥0.5 s start offset and a ≥0.5 s duration, so there is a floor under
+    /// which no meaningful schedule exists.
+    pub fn random(seed: u64, cfg: &RandomFaultConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut events = Vec::new();
+        let dm = NodeId::middleware(0);
+        let horizon_ms = (cfg.horizon.as_millis() as u64).max(4_000);
+        // Keep a tail of the run fault-free so in-flight work can drain.
+        let active_ms = horizon_ms.saturating_mul(6) / 10;
+        let rand_window = |rng: &mut StdRng| {
+            let start = rng.gen_range(500..active_ms / 2);
+            let len = rng.gen_range(500..=active_ms / 4);
+            (
+                Duration::from_millis(start),
+                Duration::from_millis((start + len).min(active_ms)),
+            )
+        };
+        for _ in 0..cfg.faults {
+            let ds = rng.gen_range(0..cfg.data_sources);
+            let node = NodeId::data_source(ds);
+            match rng.gen_range(0..5u32) {
+                0 => {
+                    let (at, until) = rand_window(&mut rng);
+                    events.push(FaultEvent::CrashDataSource { at, ds });
+                    events.push(FaultEvent::RestartDataSource { at: until, ds });
+                }
+                1 => {
+                    let (at, until) = rand_window(&mut rng);
+                    events.push(FaultEvent::Partition {
+                        at,
+                        until,
+                        a: dm,
+                        b: node,
+                    });
+                }
+                2 => {
+                    let (at, until) = rand_window(&mut rng);
+                    events.push(FaultEvent::LatencyStorm {
+                        at,
+                        until,
+                        a: dm,
+                        b: node,
+                        extra: Duration::from_millis(rng.gen_range(20..200)),
+                        jitter: Duration::from_millis(rng.gen_range(0..50)),
+                    });
+                }
+                3 => {
+                    let (at, until) = rand_window(&mut rng);
+                    events.push(FaultEvent::DropNotifications {
+                        at,
+                        until,
+                        from: node,
+                        to: dm,
+                        probability: rng.gen_range(0.05..0.4),
+                    });
+                }
+                _ => {
+                    let (at, until) = rand_window(&mut rng);
+                    events.push(FaultEvent::PartitionOneWay {
+                        at,
+                        until,
+                        from: node,
+                        to: dm,
+                    });
+                }
+            }
+        }
+        Self { events }
+    }
+}
+
+/// Parameters for [`FaultSchedule::random`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomFaultConfig {
+    /// Number of data sources faults may target.
+    pub data_sources: u32,
+    /// How many faults to draw.
+    pub faults: u32,
+    /// Run horizon: every fault heals comfortably before it. Values below
+    /// 4 s are clamped up to 4 s (see [`FaultSchedule::random`]).
+    pub horizon: Duration,
+}
+
+impl Default for RandomFaultConfig {
+    fn default() -> Self {
+        Self {
+            data_sources: 3,
+            faults: 4,
+            horizon: Duration::from_secs(60),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_events_sort_by_time() {
+        let s = FaultSchedule::new()
+            .with(FaultEvent::RestartDataSource {
+                at: Duration::from_secs(8),
+                ds: 1,
+            })
+            .with(FaultEvent::CrashDataSource {
+                at: Duration::from_secs(3),
+                ds: 1,
+            })
+            .with(FaultEvent::Partition {
+                at: Duration::from_secs(1),
+                until: Duration::from_secs(2),
+                a: NodeId::middleware(0),
+                b: NodeId::data_source(0),
+            });
+        let node = s.node_events();
+        assert_eq!(node.len(), 2);
+        assert_eq!(node[0].at(), Duration::from_secs(3));
+        assert_eq!(node[1].at(), Duration::from_secs(8));
+        assert_eq!(s.last_fault_instant(), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn random_schedule_tolerates_tiny_horizons() {
+        // Regression: horizons below ~3.4s used to make the window sampler
+        // panic on an empty range; they are clamped to 4s instead.
+        for horizon_secs in [0, 1, 2, 3] {
+            let schedule = FaultSchedule::random(
+                5,
+                &RandomFaultConfig {
+                    data_sources: 3,
+                    faults: 2,
+                    horizon: Duration::from_secs(horizon_secs),
+                },
+            );
+            assert!(!schedule.events.is_empty());
+            assert!(schedule.last_fault_instant() <= Duration::from_secs(4));
+        }
+    }
+
+    #[test]
+    fn random_schedules_are_deterministic_and_heal() {
+        let cfg = RandomFaultConfig::default();
+        let a = FaultSchedule::random(11, &cfg);
+        let b = FaultSchedule::random(11, &cfg);
+        let c = FaultSchedule::random(12, &cfg);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(!a.events.is_empty());
+        assert!(a.last_fault_instant() < cfg.horizon);
+        // Every crash has a matching restart.
+        let crashes = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::CrashDataSource { .. }))
+            .count();
+        let restarts = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::RestartDataSource { .. }))
+            .count();
+        assert_eq!(crashes, restarts);
+    }
+}

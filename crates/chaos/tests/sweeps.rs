@@ -1,0 +1,180 @@
+//! Seeded chaos sweeps and the replayability acceptance checks.
+//!
+//! Every scenario preset runs across a spread of seeds; the atomicity,
+//! durability and liveness checkers must stay green for all of them. The
+//! sweep width is 4 seeds per preset by default (fast enough for every CI
+//! push) and ≥32 seeds with `GEOTP_CHAOS_SWEEP=32` or `GEOTP_FULL=1`, which
+//! the chaos-drills CI job and the nightly sweep both set.
+//!
+//! Replayability is checked twice: in-process (two runs of the same seed and
+//! preset must produce bit-identical traces) and *across processes* — the
+//! parent test re-executes this test binary as a child with
+//! `GEOTP_CHAOS_EMIT_FP` set and compares fingerprints, proving the trace
+//! does not depend on address-space layout, environment or any other
+//! process-local accident.
+
+use geotp_chaos::Scenario;
+
+/// Seeds per preset: 4 by default, honouring `GEOTP_CHAOS_SWEEP` /
+/// `GEOTP_FULL=1` (which bumps to 32) for the paper-scale runs.
+fn sweep_seeds() -> u64 {
+    if let Ok(v) = std::env::var("GEOTP_CHAOS_SWEEP") {
+        if let Ok(n) = v.parse::<u64>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("GEOTP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        32
+    } else {
+        4
+    }
+}
+
+fn assert_scenario_green(scenario: Scenario, seed: u64) {
+    let report = scenario.run(seed);
+    assert!(
+        report.invariants.all_hold(),
+        "{} seed {} violated invariants:\n  {}\ntrace tail:\n  {}",
+        scenario.name(),
+        seed,
+        report.invariants.violations.join("\n  "),
+        report
+            .trace
+            .iter()
+            .rev()
+            .take(25)
+            .rev()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n  "),
+    );
+    assert!(
+        report.committed > 0,
+        "{} seed {}: a drill where nothing commits proves nothing",
+        scenario.name(),
+        seed
+    );
+}
+
+macro_rules! sweep_test {
+    ($test_name:ident, $scenario:expr) => {
+        #[test]
+        fn $test_name() {
+            for seed in 1..=sweep_seeds() {
+                assert_scenario_green($scenario, seed);
+            }
+        }
+    };
+}
+
+sweep_test!(sweep_prepare_phase_crash, Scenario::PreparePhaseCrash);
+sweep_test!(sweep_commit_phase_partition, Scenario::CommitPhasePartition);
+sweep_test!(sweep_asymmetric_partition, Scenario::AsymmetricPartition);
+sweep_test!(sweep_rolling_restarts, Scenario::RollingRestarts);
+sweep_test!(sweep_wan_brownout, Scenario::WanBrownout);
+sweep_test!(sweep_coordinator_failover, Scenario::CoordinatorFailover);
+sweep_test!(sweep_lossy_notifications, Scenario::LossyNotifications);
+sweep_test!(sweep_clock_skew_drift, Scenario::ClockSkewDrift);
+sweep_test!(sweep_crash_during_brownout, Scenario::CrashDuringBrownout);
+sweep_test!(sweep_randomized_faults, Scenario::RandomizedFaults);
+
+/// The checkers are not vacuous: a protocol that genuinely lacks atomicity
+/// (SSP "local" mode one-phase-commits every branch independently) must turn
+/// at least one drill red across a handful of seeds.
+#[test]
+fn checkers_catch_ssp_local_atomicity_violations() {
+    use geotp_chaos::{run_scenario, Scenario};
+    let mut caught = false;
+    for seed in 1..=6 {
+        let (mut config, schedule) = Scenario::PreparePhaseCrash.build(seed);
+        config.protocol = geotp_chaos::Protocol::SspLocal;
+        config.distributed_ratio = 1.0;
+        let report = run_scenario(config, schedule);
+        if !report.invariants.all_hold() {
+            caught = true;
+            break;
+        }
+    }
+    assert!(
+        caught,
+        "SSP(local) under a crash drill should violate atomicity/durability at least once"
+    );
+}
+
+/// Same seed + same schedule ⇒ bit-identical trace, within one process.
+#[test]
+fn replay_is_bit_identical_in_process() {
+    let a = Scenario::CoordinatorFailover.run(7);
+    let b = Scenario::CoordinatorFailover.run(7);
+    assert_eq!(a.trace, b.trace, "traces must match line for line");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    let c = Scenario::CoordinatorFailover.run(8);
+    assert_ne!(
+        a.fingerprint, c.fingerprint,
+        "different seeds must diverge (the fingerprint is not a constant)"
+    );
+}
+
+/// Child half of the cross-process check: when `GEOTP_CHAOS_EMIT_FP` names a
+/// `scenario:seed`, print the fingerprint and do nothing else.
+#[test]
+fn replay_fingerprint_child() {
+    let Ok(spec) = std::env::var("GEOTP_CHAOS_EMIT_FP") else {
+        return; // Only active when invoked by the parent test below.
+    };
+    let (name, seed) = spec.split_once(':').expect("format: <scenario>:<seed>");
+    let seed: u64 = seed.parse().expect("numeric seed");
+    let scenario = Scenario::all()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("unknown scenario {name}"));
+    let report = scenario.run(seed);
+    println!("CHAOS_FINGERPRINT={:016x}", report.fingerprint);
+}
+
+/// Same seed + same schedule ⇒ bit-identical trace **across two processes**.
+#[test]
+fn replay_is_bit_identical_across_processes() {
+    if std::env::var("GEOTP_CHAOS_EMIT_FP").is_ok() {
+        return; // We *are* the child; the parent drives the comparison.
+    }
+    let scenario = Scenario::PreparePhaseCrash;
+    let seed = 13;
+    let local = scenario.run(seed).fingerprint;
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = std::process::Command::new(exe)
+        .args(["--exact", "replay_fingerprint_child", "--nocapture"])
+        .env(
+            "GEOTP_CHAOS_EMIT_FP",
+            format!("{}:{}", scenario.name(), seed),
+        )
+        .output()
+        .expect("spawn child test process");
+    assert!(
+        output.status.success(),
+        "child process failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // libtest may glue the marker onto its own "test ... " line, so search
+    // within lines rather than at line starts.
+    let remote = stdout
+        .lines()
+        .find_map(|l| l.split("CHAOS_FINGERPRINT=").nth(1))
+        .map(|tail| {
+            tail.trim()
+                .chars()
+                .take_while(char::is_ascii_hexdigit)
+                .collect::<String>()
+        })
+        .unwrap_or_else(|| panic!("child printed no fingerprint:\n{stdout}"));
+    assert_eq!(
+        u64::from_str_radix(&remote, 16).expect("hex fingerprint"),
+        local,
+        "cross-process trace fingerprints diverged"
+    );
+}

@@ -40,6 +40,7 @@
 use std::rc::Rc;
 use std::time::Duration;
 
+pub use geotp_chaos as chaos;
 pub use geotp_datasource as datasource;
 pub use geotp_distdb as distdb;
 pub use geotp_middleware as middleware;
@@ -49,6 +50,9 @@ pub use geotp_simrt as simrt;
 pub use geotp_storage as storage;
 pub use geotp_workloads as workloads;
 
+pub use geotp_chaos::{
+    ChaosConfig, ChaosReport, FaultEvent, FaultSchedule, InvariantReport, Scenario,
+};
 pub use geotp_datasource::{DataSource, DataSourceConfig, Dialect, DsConnection};
 pub use geotp_middleware::{
     ClientOp, GlobalKey, Middleware, MiddlewareConfig, Partitioner, Protocol, TransactionSpec,

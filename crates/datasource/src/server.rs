@@ -154,15 +154,26 @@ impl DataSource {
         self.engine.load(key, row);
     }
 
+    /// Push a notification towards middleware `dm` in the background.
+    ///
+    /// Notifications ride the *unreliable* network path: under a chaos fault
+    /// plane they can be dropped or duplicated (the geo-agent pushes them
+    /// fire-and-forget and never learns). A crashed data source sends
+    /// nothing — its geo-agent died with it.
     fn notify_dm(self: &Rc<Self>, dm: NodeId, notification: AgentNotification) {
+        if self.is_crashed() {
+            return;
+        }
         let Some(channel) = self.dm_channels.borrow().get(&dm).cloned() else {
             return;
         };
         let net = Rc::clone(&self.net);
         let from = self.config.node;
         spawn(async move {
-            net.transfer(from, dm).await;
-            let _ = channel.send(notification);
+            let copies = net.transfer_unreliable(from, dm).await;
+            for _ in 0..copies {
+                let _ = channel.send(notification.clone());
+            }
         });
     }
 
@@ -170,11 +181,16 @@ impl DataSource {
     /// are already a background task with nothing left to do, saving a task
     /// spawn per notification on the decentralized-prepare hot path.
     async fn notify_dm_inline(&self, dm: NodeId, notification: AgentNotification) {
+        if self.is_crashed() {
+            return;
+        }
         let Some(channel) = self.dm_channels.borrow().get(&dm).cloned() else {
             return;
         };
-        self.net.transfer(self.config.node, dm).await;
-        let _ = channel.send(notification);
+        let copies = self.net.transfer_unreliable(self.config.node, dm).await;
+        for _ in 0..copies {
+            let _ = channel.send(notification.clone());
+        }
     }
 
     /// Execute a statement batch on behalf of the middleware `from`.

@@ -157,6 +157,7 @@ impl DistDb {
 
         let finish = |committed: bool, reason: Option<AbortReason>, rows: Vec<Row>| {
             let outcome = TxnOutcome {
+                gtrid,
                 committed,
                 abort_reason: reason,
                 latency: now().duration_since(started),

@@ -11,6 +11,7 @@
 //! every experiment in the seconds range; set `GEOTP_FULL=1` to run the
 //! paper-scale sweeps.
 
+pub mod failure_drills;
 pub mod figs_ablation;
 pub mod figs_distributed;
 pub mod figs_motivation;
@@ -50,6 +51,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("fig14_txn_length", figs_ablation::fig14_txn_length),
         ("fig15_multi_dm", figs_overall::fig15_multi_dm),
         ("tab01_heterogeneous", figs_overall::tab01_heterogeneous),
+        ("failure_drills", failure_drills::failure_drills),
     ]
 }
 
@@ -60,8 +62,9 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
         assert!(names.contains(&"fig12_ablation"));
         assert!(names.contains(&"tab01_heterogeneous"));
+        assert!(names.contains(&"failure_drills"));
     }
 }

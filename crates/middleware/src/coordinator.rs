@@ -155,6 +155,18 @@ pub struct MiddlewareConfig {
     pub analysis_cost: Duration,
     /// Virtual-time cost of flushing the commit/abort log.
     pub log_flush_cost: Duration,
+    /// How long the coordinator waits for prepare votes / rollback
+    /// confirmations before giving up on the missing participants (they
+    /// crashed, or their notification was lost). Missing votes count as
+    /// no-votes; missing rollback confirmations are left to recovery. In a
+    /// healthy cluster votes arrive within ~1 WAN RTT, so the generous
+    /// default never fires outside failure drills.
+    pub decision_wait_timeout: Duration,
+    /// First value of the per-coordinator transaction sequence number. A
+    /// successor instance taking over after a crash must start *past* its
+    /// predecessor's sequence (see [`Middleware::next_txn_seq`]) so gtrids
+    /// never collide across the failover.
+    pub first_txn_seq: u64,
 }
 
 impl MiddlewareConfig {
@@ -169,6 +181,8 @@ impl MiddlewareConfig {
             scheduler: SchedulerConfig::default(),
             analysis_cost: Duration::from_micros(1000),
             log_flush_cost: Duration::from_micros(500),
+            decision_wait_timeout: Duration::from_secs(30),
+            first_txn_seq: 1,
         }
     }
 }
@@ -210,6 +224,14 @@ pub struct Middleware {
     hub: Rc<NotifyHub>,
     commit_log: Rc<CommitLog>,
     next_txn: Cell<u64>,
+    /// Set by [`Middleware::crash`]: the instance stops coordinating. Every
+    /// in-flight transaction bails out at its next step with
+    /// [`AbortReason::CoordinatorCrashed`], leaving its branches in-doubt for
+    /// recovery — exactly what a real process kill does.
+    crashed: Cell<bool>,
+    /// One-shot fail point: crash immediately after the *next* commit-log
+    /// flush (the paper's §V-A window — decision durable, not dispatched).
+    crash_after_flush: Cell<bool>,
     stats: RefCell<MiddlewareStats>,
     catalog: RefCell<Catalog>,
     /// Parsed-statement cache for [`Middleware::run_sql`], keyed by script text.
@@ -249,6 +271,7 @@ impl Middleware {
         scheduler_config.advanced = config.protocol.advanced();
         let scheduler = Rc::new(GeoScheduler::new(scheduler_config, Rc::clone(&monitor)));
         let commit_log = commit_log.unwrap_or_else(|| CommitLog::new(config.log_flush_cost));
+        let first_txn_seq = config.first_txn_seq;
         Rc::new(Self {
             config,
             net,
@@ -257,7 +280,9 @@ impl Middleware {
             scheduler,
             hub,
             commit_log,
-            next_txn: Cell::new(1),
+            next_txn: Cell::new(first_txn_seq),
+            crashed: Cell::new(false),
+            crash_after_flush: Cell::new(false),
             stats: RefCell::new(MiddlewareStats::default()),
             catalog: RefCell::new(Catalog::new()),
             sql_cache: RefCell::new(FxHashMap::default()),
@@ -302,6 +327,45 @@ impl Middleware {
     /// exercise middleware failure recovery).
     pub fn commit_log(&self) -> &Rc<CommitLog> {
         &self.commit_log
+    }
+
+    /// Simulate a crash of this coordinator: it stops making progress on
+    /// every in-flight transaction (each bails out at its next step with
+    /// [`AbortReason::CoordinatorCrashed`]) and refuses new ones. The commit
+    /// log survives — hand it to a successor instance and call
+    /// [`Middleware::recover`] to finish the in-doubt branches.
+    pub fn crash(&self) {
+        self.crashed.set(true);
+    }
+
+    /// Whether this instance has crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.get()
+    }
+
+    /// One-shot fail point: crash immediately after the next commit-log
+    /// flush, i.e. with a decision durable but not yet dispatched — the
+    /// paper's §V-A recovery window, hit deterministically.
+    pub fn crash_after_next_flush(&self) {
+        self.crash_after_flush.set(true);
+    }
+
+    /// The next transaction sequence number this coordinator would assign.
+    /// A successor instance must be configured with
+    /// [`MiddlewareConfig::first_txn_seq`] at least this value so gtrids
+    /// never collide across a failover.
+    pub fn next_txn_seq(&self) -> u64 {
+        self.next_txn.get()
+    }
+
+    /// Flush a decision, honouring the [`Middleware::crash_after_next_flush`]
+    /// fail point: the crash lands exactly between the durable flush and the
+    /// decision dispatch.
+    async fn flush_decision(&self, gtrid: u64, decision: Decision) {
+        self.commit_log.flush_decision(gtrid, decision).await;
+        if self.crash_after_flush.replace(false) {
+            self.crashed.set(true);
+        }
     }
 
     /// The simulated network this middleware is attached to.
@@ -446,6 +510,11 @@ impl Middleware {
     pub async fn run_transaction(self: &Rc<Self>, spec: &TransactionSpec) -> TxnOutcome {
         let started = now();
         let mut breakdown = LatencyBreakdown::default();
+        if self.crashed.get() {
+            // A crashed coordinator accepts nothing; the client's connection
+            // is refused before any state is created.
+            return TxnOutcome::aborted(AbortReason::CoordinatorCrashed, Duration::ZERO, false);
+        }
 
         // ------------------------------------------------------------------
         // Analysis: parse, route, plan (Fig. 6c "Analysis").
@@ -508,11 +577,12 @@ impl Middleware {
                             // back; charge the backoff and abort it.
                             let backoff = self.config.scheduler.retry_backoff * attempts;
                             sleep(backoff).await;
-                            let outcome = TxnOutcome::aborted(
+                            let mut outcome = TxnOutcome::aborted(
                                 AbortReason::AdmissionRejected,
                                 now().duration_since(started),
                                 distributed,
                             );
+                            outcome.gtrid = gtrid;
                             let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
                             self.return_scratch(scratch);
                             return outcome;
@@ -576,6 +646,22 @@ impl Middleware {
                 _ => self.dispatch_parallel(&groups, requests, &schedule).await,
             };
 
+            // The coordinator may have been crashed while this round was in
+            // flight: stop dead. No rollbacks are dispatched — a crashed
+            // process sends nothing; the branches are cleaned up by the data
+            // sources' disconnect handling and by failure recovery.
+            if self.crashed.get() {
+                let mut outcome = TxnOutcome::aborted(
+                    AbortReason::CoordinatorCrashed,
+                    now().duration_since(started),
+                    distributed,
+                );
+                outcome.gtrid = gtrid;
+                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                self.return_scratch(scratch);
+                return outcome;
+            }
+
             // Feedback + failure handling.
             let mut failed = false;
             for ((_ds, ops), response) in groups.iter().zip(&responses) {
@@ -605,6 +691,7 @@ impl Middleware {
                 self.abort_started_branches(gtrid, &scratch.started_branches, &groups, &responses)
                     .await;
                 let outcome = TxnOutcome {
+                    gtrid,
                     committed: false,
                     abort_reason: Some(AbortReason::ExecutionFailed),
                     latency: now().duration_since(started),
@@ -633,6 +720,7 @@ impl Middleware {
             .await;
 
         let outcome = TxnOutcome {
+            gtrid,
             committed: commit_outcome.is_ok(),
             abort_reason: commit_outcome.err(),
             latency: now().duration_since(started),
@@ -745,10 +833,20 @@ impl Middleware {
             .collect();
         if self.config.protocol.early_abort() {
             // The failing geo-agent has notified its peers directly; the
-            // middleware only waits for the rollback confirmations.
+            // middleware only waits for the rollback confirmations. Bounded
+            // wait: a crashed peer (or a lost confirmation) must not park
+            // this transaction forever — its branch is already doomed and
+            // will be cleaned up by restart/recovery.
             let waiting: Vec<u32> = started.to_vec();
-            if !waiting.is_empty() {
-                self.hub.wait_for_rollbacks(gtrid, &waiting).await;
+            if !waiting.is_empty()
+                && geotp_simrt::timeout(
+                    self.config.decision_wait_timeout,
+                    self.hub.wait_for_rollbacks(gtrid, &waiting),
+                )
+                .await
+                .is_err()
+            {
+                self.stats.borrow_mut().decision_wait_timeouts += 1;
             }
             return;
         }
@@ -781,10 +879,14 @@ impl Middleware {
         if !distributed {
             let ds = involved[0];
             let flush_started = now();
-            self.commit_log
-                .flush_decision(gtrid, Decision::Commit)
-                .await;
+            self.flush_decision(gtrid, Decision::Commit).await;
             breakdown.log_flush = now().duration_since(flush_started);
+            if self.crashed.get() {
+                // Crashed before dispatching the one-phase commit: the branch
+                // never prepared, so the data source's disconnect handling
+                // rolls it back. The client sees no outcome.
+                return Err(AbortReason::CoordinatorCrashed);
+            }
             let commit_started = now();
             let result = self.conn(ds).commit(Xid::new(gtrid, ds), true).await;
             breakdown.commit = now().duration_since(commit_started);
@@ -799,9 +901,29 @@ impl Middleware {
             Protocol::GeoTp { .. } | Protocol::Chiller if annotated => {
                 self.stats.borrow_mut().decentralized_prepares += 1;
                 // Wait for the asynchronous prepare votes pushed by the
-                // geo-agents (no extra WAN round trip).
+                // geo-agents (no extra WAN round trip). The wait is bounded:
+                // a crashed participant (or a lost vote notification) must
+                // not park the coordinator forever — after the decision-wait
+                // timeout the missing votes count as no-votes and the
+                // transaction aborts, exactly like a real XA coordinator
+                // giving up on a dead participant.
                 let wait_started = now();
-                let votes = self.hub.wait_for_votes(gtrid, involved).await;
+                let votes = match geotp_simrt::timeout(
+                    self.config.decision_wait_timeout,
+                    self.hub.wait_for_votes(gtrid, involved),
+                )
+                .await
+                {
+                    Ok(votes) => votes,
+                    Err(_elapsed) => {
+                        self.stats.borrow_mut().decision_wait_timeouts += 1;
+                        let mut votes = self.hub.votes(gtrid);
+                        for b in self.hub.rollbacked(gtrid) {
+                            votes.entry(b).or_insert(PrepareVote::RollbackOnly);
+                        }
+                        votes
+                    }
+                };
                 breakdown.prepare_wait = now().duration_since(wait_started);
                 let all_yes = involved
                     .iter()
@@ -812,10 +934,11 @@ impl Middleware {
             Protocol::SspLocal => {
                 // One-phase commit everywhere, no vote collection.
                 let flush_started = now();
-                self.commit_log
-                    .flush_decision(gtrid, Decision::Commit)
-                    .await;
+                self.flush_decision(gtrid, Decision::Commit).await;
                 breakdown.log_flush = now().duration_since(flush_started);
+                if self.crashed.get() {
+                    return Err(AbortReason::CoordinatorCrashed);
+                }
                 let commit_started = now();
                 let results = join_all(
                     involved
@@ -877,8 +1000,14 @@ impl Middleware {
         } else {
             Decision::Abort
         };
-        self.commit_log.flush_decision(gtrid, decision).await;
+        self.flush_decision(gtrid, decision).await;
         breakdown.log_flush = now().duration_since(flush_started);
+        if self.crashed.get() {
+            // The §V-A window: decision durable, dispatch never happens. The
+            // prepared branches stay in doubt until a successor replays the
+            // commit log through `recover()`.
+            return Err(AbortReason::CoordinatorCrashed);
+        }
 
         let commit_started = now();
         if all_yes {
@@ -895,11 +1024,16 @@ impl Middleware {
             )
             .await;
             breakdown.commit = now().duration_since(commit_started);
-            if results.iter().all(Result::is_ok) {
-                Ok(())
-            } else {
-                Err(AbortReason::PrepareFailed)
+            // The commit decision is durable, so the transaction *is*
+            // committed no matter what the per-branch dispatch returned. A
+            // branch whose commit failed (its data source crashed between
+            // prepare and commit) is finished later by failure recovery —
+            // report it, but do not lie to the client about the outcome.
+            let deferred = results.iter().filter(|r| r.is_err()).count() as u64;
+            if deferred > 0 {
+                self.stats.borrow_mut().commits_deferred_to_recovery += deferred;
             }
+            Ok(())
         } else {
             // Abort: branches that already rolled back (no-vote / rollbacked)
             // need nothing; the rest are told to roll back.

@@ -533,6 +533,151 @@ mod tests {
     }
 
     #[test]
+    fn coordinator_crash_after_flush_is_finished_by_successor() {
+        // The §V-A drill, end to end through the public hooks: the
+        // coordinator crashes deterministically right after flushing its
+        // COMMIT decision; a successor sharing the commit log replays it.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (net, sources, mw) = cluster(Protocol::geotp());
+            mw.crash_after_next_flush();
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(!outcome.committed, "client saw no outcome");
+            assert_eq!(outcome.abort_reason, Some(AbortReason::CoordinatorCrashed));
+            assert!(mw.is_crashed());
+            // New transactions are refused outright.
+            let refused = mw.run_transaction(&transfer_spec()).await;
+            assert_eq!(refused.abort_reason, Some(AbortReason::CoordinatorCrashed));
+
+            // Data sources notice the disconnect: unprepared branches abort,
+            // prepared ones stay in doubt.
+            for ds in &sources {
+                ds.coordinator_disconnected().await;
+                assert_eq!(ds.recover_prepared().len(), 1);
+            }
+
+            // Successor: same node, same durable log, gtrid space advanced
+            // past the predecessor's.
+            let mut cfg = MiddlewareConfig::new(
+                mw.node(),
+                Protocol::geotp(),
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            cfg.first_txn_seq = mw.next_txn_seq();
+            let successor = Middleware::connect(
+                cfg,
+                Rc::clone(&net),
+                &sources,
+                Some(Rc::clone(mw.commit_log())),
+            );
+            let (committed, aborted) = successor.recover().await;
+            assert_eq!((committed, aborted), (2, 0));
+            // The transfer's effect landed atomically despite the crash.
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(900)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1100)
+            );
+            // And the successor's own transactions use fresh gtrids.
+            assert!(successor.run_transaction(&transfer_spec()).await.committed);
+        });
+    }
+
+    #[test]
+    fn lost_vote_notification_times_out_and_aborts() {
+        // A participant's prepare vote is dropped by the (chaos) network.
+        // The coordinator must not wait forever: after the decision-wait
+        // timeout the missing vote counts as a no-vote, the transaction
+        // aborts, and recovery cleans up the participant's dangling
+        // prepared branch.
+        struct DropNotifications {
+            from: geotp_net::NodeId,
+            to: geotp_net::NodeId,
+        }
+        impl geotp_net::FaultInjector for DropNotifications {
+            fn blocked_until(
+                &self,
+                _from: geotp_net::NodeId,
+                _to: geotp_net::NodeId,
+                _now: geotp_simrt::SimInstant,
+            ) -> Option<geotp_simrt::SimInstant> {
+                None
+            }
+            fn unreliable_copies(
+                &self,
+                from: geotp_net::NodeId,
+                to: geotp_net::NodeId,
+                _now: geotp_simrt::SimInstant,
+            ) -> u32 {
+                if (from, to) == (self.from, self.to) {
+                    0
+                } else {
+                    1
+                }
+            }
+        }
+
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (net, sources, _) = cluster(Protocol::geotp());
+            // Rebuild the middleware with a short decision-wait timeout.
+            let mut cfg = MiddlewareConfig::new(
+                NodeId::middleware(0),
+                Protocol::geotp(),
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            cfg.decision_wait_timeout = Duration::from_millis(500);
+            let mw = Middleware::connect(cfg, Rc::clone(&net), &sources, None);
+            net.set_fault_injector(Rc::new(DropNotifications {
+                from: NodeId::data_source(1),
+                to: NodeId::middleware(0),
+            }));
+
+            let outcome = mw.run_transaction(&transfer_spec()).await;
+            assert!(!outcome.committed);
+            assert_eq!(outcome.abort_reason, Some(AbortReason::PrepareFailed));
+            assert_eq!(mw.stats().decision_wait_timeouts, 1);
+            // ds1's branch prepared fine — only its vote was lost — so it
+            // dangles until recovery aborts it via the logged Abort decision.
+            assert_eq!(sources[1].recover_prepared().len(), 1);
+            let (committed, aborted) = mw.recover().await;
+            assert_eq!((committed, aborted), (0, 1));
+            // Atomicity held: neither key changed.
+            for (ds, key) in [(0usize, 1u64), (1, 1001)] {
+                assert_eq!(
+                    sources[ds]
+                        .engine()
+                        .peek(gk(key).storage_key())
+                        .unwrap()
+                        .int_value(),
+                    Some(1000)
+                );
+            }
+        });
+    }
+
+    #[test]
     fn stats_accumulate_across_transactions() {
         let mut rt = Runtime::new();
         rt.block_on(async {

@@ -13,6 +13,10 @@ pub enum AbortReason {
     PrepareFailed,
     /// The client asked for a rollback.
     ClientRollback,
+    /// The coordinating middleware crashed while the transaction was in
+    /// flight; the client's connection dropped with no outcome. In-doubt
+    /// branches are resolved by failure recovery.
+    CoordinatorCrashed,
 }
 
 /// Where a committed transaction's latency went. The fields mirror the
@@ -49,6 +53,12 @@ impl LatencyBreakdown {
 /// The outcome of one transaction as observed by the client.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TxnOutcome {
+    /// The global transaction id the coordinator assigned (0 when the
+    /// transaction never got far enough to be assigned one, e.g. a script
+    /// that ends in ROLLBACK). Failure-drill harnesses use this to tie a
+    /// client-observed outcome to the durable commit-log decision and the
+    /// per-branch WAL records.
+    pub gtrid: u64,
     /// Whether the transaction committed.
     pub committed: bool,
     /// Why it aborted, if it did.
@@ -67,6 +77,7 @@ impl TxnOutcome {
     /// An aborted outcome with the given reason and latency.
     pub fn aborted(reason: AbortReason, latency: Duration, distributed: bool) -> Self {
         Self {
+            gtrid: 0,
             committed: false,
             abort_reason: Some(reason),
             latency,
@@ -98,6 +109,14 @@ pub struct MiddlewareStats {
     pub total_postpone_micros: u64,
     /// Transactions that used the decentralized prepare path.
     pub decentralized_prepares: u64,
+    /// Branches whose commit dispatch failed *after* the commit decision was
+    /// durably flushed (participant crashed or unreachable). The transaction
+    /// is still reported committed — the decision is durable — and the branch
+    /// is finished later by failure recovery.
+    pub commits_deferred_to_recovery: u64,
+    /// Transactions whose prepare-vote or rollback-confirmation wait hit the
+    /// decision-wait timeout (a participant crashed or was partitioned away).
+    pub decision_wait_timeouts: u64,
 }
 
 impl MiddlewareStats {
@@ -160,6 +179,7 @@ mod tests {
     fn stats_record_and_derive() {
         let mut stats = MiddlewareStats::default();
         stats.record(&TxnOutcome {
+            gtrid: 1,
             committed: true,
             abort_reason: None,
             latency: Duration::from_millis(100),

@@ -1,0 +1,101 @@
+//! Link-level fault injection.
+//!
+//! A [`FaultInjector`] is an optional plane layered over the [`Network`]: for
+//! every message the network asks it whether the link is currently blocked
+//! (partition), how much extra delay to add (latency storm, reorder jitter)
+//! and — for fire-and-forget messages — how many copies to deliver (drop /
+//! duplicate). The injector is a trait so the chaos subsystem (`geotp-chaos`)
+//! can compile a whole fault schedule into one object without this crate
+//! depending on it.
+//!
+//! Semantics mirror what the paper's testbed would see with `iptables`/`tc`:
+//!
+//! * **Blocked links model partitions under TCP.** A request/response
+//!   transfer does not fail — it stalls until the partition heals (the kernel
+//!   keeps retransmitting), which is exactly the hang a coordinator
+//!   experiences mid-commit. Healing times are known to the injector because
+//!   fault schedules are compiled ahead of time.
+//! * **Drops and duplicates only apply to fire-and-forget messages**
+//!   ([`Network::transfer_unreliable`]): the asynchronous notifications the
+//!   geo-agents push (prepare votes, rollback confirmations). RPC-style round
+//!   trips cannot silently lose a message under TCP, but a one-way push can —
+//!   the sender never learns.
+//!
+//! [`Network`]: crate::Network
+//! [`Network::transfer_unreliable`]: crate::Network::transfer_unreliable
+
+use std::time::Duration;
+
+use geotp_simrt::SimInstant;
+
+use crate::node::NodeId;
+
+/// Per-link fault state consulted by the [`Network`](crate::Network) on every
+/// message. All methods are directional (`from → to`), so asymmetric
+/// partitions fall out naturally.
+pub trait FaultInjector {
+    /// If messages from `from` to `to` are blocked at `now` (network
+    /// partition), the instant the link reopens. Must be strictly greater
+    /// than `now`; return `None` when the link is open.
+    fn blocked_until(&self, from: NodeId, to: NodeId, now: SimInstant) -> Option<SimInstant>;
+
+    /// Extra one-way delay added to a message sent at `now` (latency storms;
+    /// per-message jitter reorders messages relative to each other).
+    fn extra_delay(&self, _from: NodeId, _to: NodeId, _now: SimInstant) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Number of copies of a fire-and-forget message delivered: `0` drops it,
+    /// `1` is a normal delivery, `2+` duplicates it.
+    fn unreliable_copies(&self, _from: NodeId, _to: NodeId, _now: SimInstant) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::cell::Cell;
+
+    /// A toy injector for network-level tests: one symmetric blocked window
+    /// on a single pair, a constant extra delay, and a scripted copy count.
+    pub(crate) struct ScriptedFault {
+        pub pair: (NodeId, NodeId),
+        pub blocked: Option<(SimInstant, SimInstant)>,
+        pub extra: Duration,
+        pub copies: Cell<u32>,
+    }
+
+    impl ScriptedFault {
+        fn applies(&self, from: NodeId, to: NodeId) -> bool {
+            (from, to) == self.pair || (to, from) == self.pair
+        }
+    }
+
+    impl FaultInjector for ScriptedFault {
+        fn blocked_until(&self, from: NodeId, to: NodeId, now: SimInstant) -> Option<SimInstant> {
+            let (start, end) = self.blocked?;
+            if self.applies(from, to) && start <= now && now < end {
+                Some(end)
+            } else {
+                None
+            }
+        }
+
+        fn extra_delay(&self, from: NodeId, to: NodeId, _now: SimInstant) -> Duration {
+            if self.applies(from, to) {
+                self.extra
+            } else {
+                Duration::ZERO
+            }
+        }
+
+        fn unreliable_copies(&self, from: NodeId, to: NodeId, _now: SimInstant) -> u32 {
+            if self.applies(from, to) {
+                self.copies.get()
+            } else {
+                1
+            }
+        }
+    }
+}

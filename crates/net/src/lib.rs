@@ -11,11 +11,13 @@
 //! All delays are virtual-time sleeps on [`geotp_simrt`], so experiments are
 //! deterministic for a given seed.
 
+mod fault;
 mod latency;
 mod monitor;
 mod network;
 mod node;
 
+pub use fault::FaultInjector;
 pub use latency::{
     DynamicLatency, JitteredLatency, LatencyModel, RandomLatency, SpikingLatency, StaticLatency,
 };

@@ -5,10 +5,11 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use geotp_simrt::{now, sleep};
+use geotp_simrt::{now, sleep, sleep_until};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::fault::FaultInjector;
 use crate::latency::{LatencyModel, StaticLatency};
 use crate::node::NodeId;
 
@@ -70,6 +71,7 @@ impl NetworkBuilder {
             lan_rtt: self.lan_rtt.unwrap_or(Duration::from_micros(500)),
             links: RefCell::new(FxHashMap::default()),
             rng: RefCell::new(StdRng::seed_from_u64(self.seed)),
+            fault: RefCell::new(None),
         };
         for (a, b, model) in self.links {
             net.links.borrow_mut().insert(
@@ -93,6 +95,9 @@ pub struct Network {
     lan_rtt: Duration,
     links: RefCell<FxHashMap<(NodeId, NodeId), Link>>,
     rng: RefCell<StdRng>,
+    /// Optional fault-injection plane (chaos runs). `None` in normal runs —
+    /// the hot path pays one borrow + `is_none` check per message.
+    fault: RefCell<Option<Rc<dyn FaultInjector>>>,
 }
 
 impl Network {
@@ -157,13 +162,76 @@ impl Network {
         }
     }
 
+    /// Attach a fault-injection plane. Every subsequent message consults it
+    /// for partitions, latency storms and (unreliable-path) drop/duplicate
+    /// fates. Used by the chaos subsystem; pass-through when never set.
+    pub fn set_fault_injector(&self, injector: Rc<dyn FaultInjector>) {
+        *self.fault.borrow_mut() = Some(injector);
+    }
+
+    /// Detach the fault-injection plane.
+    pub fn clear_fault_injector(&self) {
+        *self.fault.borrow_mut() = None;
+    }
+
+    /// Park until the directional link `from → to` is open. A blocked link
+    /// models a partition under TCP: the transfer stalls (retransmits) and
+    /// proceeds when the partition heals.
+    async fn wait_link_open(&self, from: NodeId, to: NodeId) {
+        loop {
+            let reopen = {
+                let fault = self.fault.borrow();
+                fault
+                    .as_ref()
+                    .and_then(|f| f.blocked_until(from, to, now()))
+            };
+            match reopen {
+                // Guard against a buggy injector reporting "reopens now":
+                // always move time forward so this loop cannot spin.
+                Some(t) => sleep_until(t.max(now() + Duration::from_micros(1))).await,
+                None => return,
+            }
+        }
+    }
+
+    /// Extra one-way delay the fault plane charges right now (zero without an
+    /// injector).
+    fn fault_extra_delay(&self, from: NodeId, to: NodeId) -> Duration {
+        let fault = self.fault.borrow();
+        fault
+            .as_ref()
+            .map(|f| f.extra_delay(from, to, now()))
+            .unwrap_or(Duration::ZERO)
+    }
+
     /// Simulate the transfer of one message from `from` to `to`: sleeps the
-    /// sampled one-way latency.
+    /// sampled one-way latency (plus any fault-plane stall and extra delay).
     pub async fn transfer(&self, from: NodeId, to: NodeId) {
-        let one_way = self.sample_one_way(from, to);
+        self.wait_link_open(from, to).await;
+        let one_way = self.sample_one_way(from, to) + self.fault_extra_delay(from, to);
         if !one_way.is_zero() {
             sleep(one_way).await;
         }
+    }
+
+    /// Transfer a *fire-and-forget* message, which — unlike the RPC-style
+    /// [`Network::transfer`] — can be silently lost or duplicated by the
+    /// fault plane. Returns the number of copies the receiver gets: `0`
+    /// (dropped; returns immediately, the sender never learns), `1`, or more.
+    /// Callers deliver the payload once per copy.
+    pub async fn transfer_unreliable(&self, from: NodeId, to: NodeId) -> u32 {
+        let copies = {
+            let fault = self.fault.borrow();
+            fault
+                .as_ref()
+                .map(|f| f.unreliable_copies(from, to, now()))
+                .unwrap_or(1)
+        };
+        if copies == 0 {
+            return 0;
+        }
+        self.transfer(from, to).await;
+        copies
     }
 
     /// Simulate a full round trip (request + response) between two nodes and
@@ -308,6 +376,67 @@ mod tests {
             assert_eq!(stats.messages, 4);
             assert_eq!(stats.total_latency_micros, 4 * 5_000);
             assert_eq!(net.total_messages(), 4);
+        });
+    }
+
+    #[test]
+    fn blocked_link_stalls_transfer_until_heal() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(10))
+                .build();
+            net.set_fault_injector(Rc::new(crate::fault::test_support::ScriptedFault {
+                pair: (dm(), ds(0)),
+                blocked: Some((
+                    geotp_simrt::SimInstant::ZERO,
+                    geotp_simrt::SimInstant::from_micros(100_000),
+                )),
+                extra: Duration::ZERO,
+                copies: std::cell::Cell::new(1),
+            }));
+            let start = now();
+            net.transfer(dm(), ds(0)).await;
+            // Stalled until the 100ms heal, then paid the normal 5ms one-way.
+            assert_eq!(now().duration_since(start), Duration::from_millis(105));
+            // After the window the link behaves normally again.
+            net.transfer(dm(), ds(0)).await;
+            assert_eq!(now().duration_since(start), Duration::from_millis(110));
+        });
+    }
+
+    #[test]
+    fn fault_plane_extra_delay_and_drop_duplicate() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let net = NetworkBuilder::new(1)
+                .static_link(dm(), ds(0), Duration::from_millis(10))
+                .build();
+            let fault = Rc::new(crate::fault::test_support::ScriptedFault {
+                pair: (dm(), ds(0)),
+                blocked: None,
+                extra: Duration::from_millis(7),
+                copies: std::cell::Cell::new(2),
+            });
+            net.set_fault_injector(Rc::clone(&fault) as Rc<dyn crate::fault::FaultInjector>);
+            let start = now();
+            net.transfer(dm(), ds(0)).await;
+            assert_eq!(now().duration_since(start), Duration::from_millis(12));
+
+            // Unreliable path: duplicate fate.
+            assert_eq!(net.transfer_unreliable(dm(), ds(0)).await, 2);
+            // Drop fate: returns immediately without sleeping.
+            fault.copies.set(0);
+            let before = now();
+            assert_eq!(net.transfer_unreliable(dm(), ds(0)).await, 0);
+            assert_eq!(now(), before);
+
+            // Detaching restores normal behaviour.
+            net.clear_fault_injector();
+            assert_eq!(net.transfer_unreliable(dm(), ds(0)).await, 1);
+            let t0 = now();
+            net.transfer(dm(), ds(0)).await;
+            assert_eq!(now().duration_since(t0), Duration::from_millis(5));
         });
     }
 

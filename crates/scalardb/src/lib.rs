@@ -179,6 +179,7 @@ impl ScalarDbCluster {
                     .on_txn_finish(&keys, committed);
             }
             let outcome = TxnOutcome {
+                gtrid,
                 committed,
                 abort_reason: reason,
                 latency: now().duration_since(started),

@@ -39,6 +39,42 @@ pub async fn timeout<F: Future>(dur: Duration, fut: F) -> Result<F::Output, Elap
     .await
 }
 
+/// Allocation-free [`timeout`] for `Unpin` futures.
+///
+/// `timeout` boxes both the inner future and its deadline sleep (two heap
+/// allocations per call) because it must pin an arbitrary future. Callers on
+/// hot paths whose future is already `Unpin` — like the lock manager awaiting
+/// a grant `Receiver` — can use this combinator instead: the state lives
+/// inline in the returned future.
+pub fn timeout_unpin<F: Future + Unpin>(dur: Duration, fut: F) -> Timeout<F> {
+    Timeout {
+        fut,
+        deadline: sleep(dur),
+    }
+}
+
+/// Future returned by [`timeout_unpin`].
+#[derive(Debug)]
+pub struct Timeout<F> {
+    fut: F,
+    deadline: crate::time::Sleep,
+}
+
+impl<F: Future + Unpin> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut std::task::Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(out) = Pin::new(&mut this.fut).poll(cx) {
+            return Poll::Ready(Ok(out));
+        }
+        if Pin::new(&mut this.deadline).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    }
+}
+
 /// Result of [`race`]: which future finished first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Either<A, B> {
@@ -138,6 +174,31 @@ mod tests {
         });
         assert_eq!(out, Err(Elapsed));
         assert_eq!(rt.now_micros(), 10_000);
+    }
+
+    #[test]
+    fn timeout_unpin_matches_timeout_semantics() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            // Completes first.
+            let (tx, rx) = crate::sync::oneshot::channel();
+            spawn(async move {
+                sleep(Duration::from_millis(3)).await;
+                tx.send(11u8).unwrap();
+            });
+            assert_eq!(
+                timeout_unpin(Duration::from_millis(10), rx).await,
+                Ok(Ok(11))
+            );
+            // Deadline first: inner future dropped (sender observes closure).
+            let (tx2, rx2) = crate::sync::oneshot::channel::<u8>();
+            assert_eq!(
+                timeout_unpin(Duration::from_millis(5), rx2).await,
+                Err(Elapsed)
+            );
+            assert!(tx2.is_closed(), "timed-out receiver was cancelled");
+        });
+        assert_eq!(rt.now_micros(), 8_000);
     }
 
     #[test]

@@ -47,7 +47,9 @@ mod task;
 mod time;
 
 pub use executor::{spawn, RunMetrics, Runtime};
-pub use future_util::{join_all, race, timeout, yield_now, Either, Elapsed};
+pub use future_util::{
+    join_all, race, timeout, timeout_unpin, yield_now, Either, Elapsed, Timeout,
+};
 pub use task::JoinHandle;
 pub use time::{now, sleep, sleep_until, SimInstant, Sleep};
 

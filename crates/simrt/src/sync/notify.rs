@@ -172,6 +172,65 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_waiter_leaves_no_dangling_entry() {
+        // A task awaiting `notified()` is cancelled (here: by a timeout racing
+        // it, the same shape an injected crash produces). Its queue entry must
+        // be removed on drop, and a later `notify_one` must wake the *other*
+        // waiter instead of being swallowed by the dead one.
+        let mut rt = Runtime::new();
+        let woken = rt.block_on(async {
+            let n = Rc::new(Notify::new());
+            let n1 = Rc::clone(&n);
+            // First waiter: cancelled after 5ms by the timeout.
+            let cancelled = spawn(async move {
+                crate::timeout(Duration::from_millis(5), n1.notified())
+                    .await
+                    .is_ok()
+            });
+            let n2 = Rc::clone(&n);
+            let count = Rc::new(Cell::new(0u32));
+            let c2 = Rc::clone(&count);
+            spawn(async move {
+                n2.notified().await;
+                c2.set(c2.get() + 1);
+            });
+            sleep(Duration::from_millis(10)).await;
+            assert!(!cancelled.await, "first waiter must have timed out");
+            assert_eq!(n.state.borrow().waiters.len(), 1, "dead entry removed");
+            n.notify_one();
+            sleep(Duration::from_millis(1)).await;
+            assert!(n.state.borrow().waiters.is_empty());
+            assert!(n.state.borrow().woken.is_empty(), "no stale woken ids");
+            count.get()
+        });
+        assert_eq!(woken, 1);
+    }
+
+    #[test]
+    fn wake_passed_on_when_woken_waiter_is_dropped_before_poll() {
+        // A waiter is woken by `notify_one` but its future is dropped before
+        // it gets polled again (the owning task was cancelled in the same
+        // virtual instant). The notification must not be lost: it moves to the
+        // next waiter, or becomes a stored permit when none is queued.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let n = Rc::new(Notify::new());
+            let mut first = Box::pin(n.notified());
+            // Register the waiter.
+            assert!(
+                crate::race(&mut first, std::future::ready(())).await == crate::Either::Right(())
+            );
+            n.notify_one();
+            // Dropped while "woken but not yet re-polled".
+            drop(first);
+            assert!(n.state.borrow().woken.is_empty());
+            // The wake survived as the stored permit.
+            n.notified().await;
+        });
+        assert_eq!(rt.now_micros(), 0);
+    }
+
+    #[test]
     fn notify_waiters_wakes_all_current_waiters() {
         let mut rt = Runtime::new();
         let woken = rt.block_on(async {

@@ -1,4 +1,10 @@
 //! One-shot channel: send exactly one value from one task to another.
+//!
+//! Besides the plain [`channel`] constructor there is a [`Pool`] that recycles
+//! the channel's shared node across uses. High-rate callers that create one
+//! channel per event (the lock manager creates one per *contended* lock
+//! acquisition) otherwise pay an `Rc` allocation and deallocation per channel;
+//! with a pool the steady state allocates nothing.
 
 use std::cell::RefCell;
 use std::fmt;
@@ -14,15 +20,101 @@ struct Shared<T> {
     receiver_dropped: bool,
 }
 
+impl<T> Shared<T> {
+    fn fresh() -> Self {
+        Self {
+            value: None,
+            waker: None,
+            sender_dropped: false,
+            receiver_dropped: false,
+        }
+    }
+}
+
+type Node<T> = Rc<RefCell<Shared<T>>>;
+type FreeList<T> = Rc<RefCell<Vec<Node<T>>>>;
+
+/// Upper bound on nodes a [`Pool`] keeps around. Beyond this, surplus nodes
+/// are simply dropped; the bound only exists so a one-off burst of contention
+/// cannot pin memory forever.
+const POOL_MAX: usize = 256;
+
+/// A recycling allocator for one-shot channel nodes.
+///
+/// [`Pool::channel`] behaves exactly like [`channel`], except that the shared
+/// node is taken from (and, when both halves are gone, returned to) a free
+/// list owned by the pool. Nodes are recycled only once the *last* half drops,
+/// so a pooled channel can never observe another use's state.
+pub struct Pool<T> {
+    free: FreeList<T>,
+}
+
+impl<T> Default for Pool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Pool<T> {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self {
+            free: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Number of nodes currently cached.
+    pub fn cached(&self) -> usize {
+        self.free.borrow().len()
+    }
+
+    /// Create a channel whose node is recycled through this pool.
+    pub fn channel(&self) -> (Sender<T>, Receiver<T>) {
+        let shared = match self.free.borrow_mut().pop() {
+            Some(node) => {
+                *node.borrow_mut() = Shared::fresh();
+                node
+            }
+            None => Rc::new(RefCell::new(Shared::fresh())),
+        };
+        (
+            Sender {
+                shared: Rc::clone(&shared),
+                sent: false,
+                pool: Some(Rc::clone(&self.free)),
+            },
+            Receiver {
+                shared,
+                pool: Some(Rc::clone(&self.free)),
+            },
+        )
+    }
+}
+
+/// Return `shared` to `pool` if the caller is the last half alive. Called from
+/// both halves' `Drop` impls; whichever drops second sees a strong count of 1
+/// (its own reference) and recycles the node.
+fn recycle<T>(pool: &Option<FreeList<T>>, shared: &Node<T>) {
+    let Some(free) = pool else { return };
+    if Rc::strong_count(shared) == 1 {
+        let mut free = free.borrow_mut();
+        if free.len() < POOL_MAX {
+            free.push(Rc::clone(shared));
+        }
+    }
+}
+
 /// Sending half; consumed by [`Sender::send`].
 pub struct Sender<T> {
     shared: Rc<RefCell<Shared<T>>>,
     sent: bool,
+    pool: Option<FreeList<T>>,
 }
 
 /// Receiving half; awaiting it yields `Result<T, RecvError>`.
 pub struct Receiver<T> {
     shared: Rc<RefCell<Shared<T>>>,
+    pool: Option<FreeList<T>>,
 }
 
 /// Error returned when the sender was dropped without sending.
@@ -49,8 +141,9 @@ pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         Sender {
             shared: Rc::clone(&shared),
             sent: false,
+            pool: None,
         },
-        Receiver { shared },
+        Receiver { shared, pool: None },
     )
 }
 
@@ -81,23 +174,24 @@ impl<T> Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        if self.sent {
-            return;
+        if !self.sent {
+            let waker = {
+                let mut shared = self.shared.borrow_mut();
+                shared.sender_dropped = true;
+                shared.waker.take()
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
         }
-        let waker = {
-            let mut shared = self.shared.borrow_mut();
-            shared.sender_dropped = true;
-            shared.waker.take()
-        };
-        if let Some(w) = waker {
-            w.wake();
-        }
+        recycle(&self.pool, &self.shared);
     }
 }
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         self.shared.borrow_mut().receiver_dropped = true;
+        recycle(&self.pool, &self.shared);
     }
 }
 
@@ -156,6 +250,54 @@ mod tests {
             drop(rx);
             assert!(tx.is_closed());
             assert_eq!(tx.send(1), Err(1));
+        });
+    }
+
+    #[test]
+    fn pooled_channels_recycle_their_node() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let pool = Pool::new();
+            let (tx, rx) = pool.channel();
+            tx.send(5).unwrap();
+            assert_eq!(rx.await, Ok(5));
+            assert_eq!(pool.cached(), 1, "node returned after both halves died");
+            // The recycled node starts from a clean slate.
+            let (tx2, rx2) = pool.channel();
+            assert_eq!(pool.cached(), 0);
+            tx2.send(6).unwrap();
+            assert_eq!(rx2.await, Ok(6));
+            assert_eq!(pool.cached(), 1);
+        });
+    }
+
+    #[test]
+    fn pooled_channel_recycles_on_abandoned_receiver() {
+        // Timeout path: the receiver is dropped first, the sender later.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let pool = Pool::new();
+            let (tx, rx) = pool.channel();
+            drop(rx);
+            assert_eq!(pool.cached(), 0, "sender still alive");
+            assert_eq!(tx.send(9), Err(9));
+            assert_eq!(pool.cached(), 1);
+            // And the reverse order: sender dropped without sending.
+            let (tx2, rx2) = pool.channel();
+            drop(tx2);
+            assert_eq!(rx2.await, Err(RecvError));
+            assert_eq!(pool.cached(), 1);
+        });
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let pool = Pool::<u8>::new();
+            let channels: Vec<_> = (0..(POOL_MAX + 50)).map(|_| pool.channel()).collect();
+            drop(channels);
+            assert_eq!(pool.cached(), POOL_MAX);
         });
     }
 }

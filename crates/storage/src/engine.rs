@@ -547,10 +547,14 @@ impl StorageEngine {
     }
 
     /// Simulate a crash: volatile WAL tail is lost and the engine stops
-    /// serving requests until [`StorageEngine::restart`].
+    /// serving requests until [`StorageEngine::restart`]. Sessions blocked in
+    /// a lock wait are kicked out immediately (their connections died with
+    /// the server), so no task is left parked on a queue nobody will ever
+    /// promote again.
     pub fn crash(&self) {
         self.crashed.set(true);
         self.wal.truncate_to_durable();
+        self.locks.cancel_all_waiters();
     }
 
     /// Restart after a crash: branches whose prepare record is durable come
@@ -820,6 +824,39 @@ mod tests {
             // The prepared branch can still be committed after recovery.
             eng.commit(xid(1), false).await.unwrap();
             assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(150));
+        });
+    }
+
+    #[test]
+    fn crash_kicks_out_blocked_lock_waiters() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = StorageEngine::new(EngineConfig {
+                lock_wait_timeout: Duration::from_secs(60),
+                cost: CostModel::zero(),
+            });
+            eng.load(key(1), Row::int(0));
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+
+            let eng2 = Rc::clone(&eng);
+            let blocked = spawn(async move {
+                eng2.begin(xid(2)).unwrap();
+                eng2.add_int(xid(2), key(1), 0, 1).await
+            });
+            geotp_simrt::sleep(Duration::from_millis(5)).await;
+            eng.crash();
+            // The waiter fails immediately with a cancellation — it must not
+            // sit parked until the 60s lock timeout (its connection is dead).
+            let err = blocked.await.unwrap_err();
+            assert!(matches!(
+                err,
+                StorageError::LockFailed {
+                    reason: crate::lock::LockError::Cancelled,
+                    ..
+                }
+            ));
+            assert_eq!(now().as_micros(), 5_000, "failure was immediate");
         });
     }
 

@@ -21,7 +21,7 @@ use std::time::Duration;
 
 use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::sync::oneshot;
-use geotp_simrt::{now, timeout, SimInstant};
+use geotp_simrt::{now, timeout_unpin, SimInstant};
 
 use crate::small_vec::SmallVec;
 use crate::types::{Key, Xid};
@@ -201,6 +201,9 @@ pub struct LockManager {
     txn_index: RefCell<FxHashMap<Xid, TxnLockIndex>>,
     wait_timeout: Duration,
     next_waiter_id: Cell<u64>,
+    /// Recycled grant-channel nodes: a contended acquire pops a node instead
+    /// of allocating a fresh `Rc` per wait.
+    grant_pool: oneshot::Pool<Result<(), LockError>>,
     stats: StatsCells,
 }
 
@@ -212,6 +215,7 @@ impl LockManager {
             txn_index: RefCell::new(FxHashMap::default()),
             wait_timeout,
             next_waiter_id: Cell::new(0),
+            grant_pool: oneshot::Pool::new(),
             stats: StatsCells::default(),
         })
     }
@@ -325,7 +329,7 @@ impl LockManager {
         }
 
         // Slow path: enqueue and wait for a grant, a cancellation or a timeout.
-        let (tx, rx) = oneshot::channel();
+        let (tx, rx) = self.grant_pool.channel();
         let waiter_id = self.next_waiter_id.get() + 1;
         self.next_waiter_id.set(waiter_id);
         self.entries
@@ -341,7 +345,10 @@ impl LockManager {
             });
         self.index_waiting(xid, key);
 
-        let outcome = timeout(self.wait_timeout, rx).await;
+        // `timeout_unpin` keeps the deadline state inline: together with the
+        // pooled grant channel, a contended acquire performs no allocations in
+        // the steady state (`timeout` would box both future and sleep).
+        let outcome = timeout_unpin(self.wait_timeout, rx).await;
         let waited = now().duration_since(request_at);
         self.stats
             .total_wait_micros
@@ -434,6 +441,39 @@ impl LockManager {
                 let _ = w.grant.send(Err(LockError::Cancelled));
             }
             self.promote_waiters(key);
+        }
+    }
+
+    /// Cancel *every* queued waiter on every record — what a data-source
+    /// crash does to sessions blocked in a lock wait (their connections die
+    /// with the server). Holders are left untouched: held locks belong to
+    /// branch state, which crash recovery rolls back (or preserves, for
+    /// prepared branches) explicitly.
+    ///
+    /// Unlike [`LockManager::cancel_waiters`] this does not promote anyone:
+    /// the whole queue is gone, so there is nothing newly grantable, and the
+    /// engine is about to stop serving requests anyway.
+    pub fn cancel_all_waiters(&self) {
+        let cancelled: Vec<Waiter> = {
+            let mut entries = self.entries.borrow_mut();
+            let mut cancelled = Vec::new();
+            for entry in entries.values_mut() {
+                cancelled.extend(entry.waiters.drain(..));
+            }
+            // Entries that only existed for their queue are dead now.
+            entries.retain(|_, e| !e.holders.is_empty());
+            cancelled
+        };
+        {
+            let mut index = self.txn_index.borrow_mut();
+            index.retain(|_, e| {
+                e.waiting.clear();
+                !e.held.is_empty()
+            });
+        }
+        for w in cancelled {
+            // The waiting side of `acquire` records the cancellation stat.
+            let _ = w.grant.send(Err(LockError::Cancelled));
         }
     }
 
@@ -590,6 +630,43 @@ mod tests {
             assert_eq!(lm.holds(xid(2), key(1)), Some(LockMode::Exclusive));
             assert_eq!(lm.stats().waited_grants, 1);
         });
+    }
+
+    #[test]
+    fn cancel_all_waiters_kicks_every_queue() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let lm = LockManager::new(Duration::from_secs(60));
+            lm.acquire(xid(1), key(1), LockMode::Exclusive)
+                .await
+                .unwrap();
+            lm.acquire(xid(1), key(2), LockMode::Exclusive)
+                .await
+                .unwrap();
+            let mut waiters = Vec::new();
+            for (w, k) in [(2u64, 1u64), (3, 1), (4, 2)] {
+                let lm2 = Rc::clone(&lm);
+                waiters.push(spawn(async move {
+                    lm2.acquire(xid(w), key(k), LockMode::Exclusive).await
+                }));
+            }
+            sleep(Duration::from_millis(1)).await;
+            assert_eq!(lm.waiters_on(key(1)), 2);
+            lm.cancel_all_waiters();
+            for w in waiters {
+                assert_eq!(w.await, Err(LockError::Cancelled));
+            }
+            // The holder is untouched; the queues and waiting index are gone.
+            assert_eq!(lm.holds(xid(1), key(1)), Some(LockMode::Exclusive));
+            assert_eq!(lm.waiters_on(key(1)), 0);
+            assert_eq!(lm.waiters_on(key(2)), 0);
+            assert_eq!(lm.stats().cancelled, 3);
+            // Releasing afterwards must not wake ghosts or panic.
+            lm.release_all(xid(1));
+        });
+        // Nothing waits on a dead queue: virtual time never reached the 60s
+        // lock timeout (a dangling waiter would have parked until then).
+        assert!(rt.now_micros() < 2_000);
     }
 
     #[test]

@@ -339,6 +339,7 @@ mod tests {
 
     fn outcome(committed: bool, ms: u64, distributed: bool) -> TxnOutcome {
         TxnOutcome {
+            gtrid: 0,
             committed,
             abort_reason: if committed {
                 None
