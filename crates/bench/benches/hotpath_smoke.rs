@@ -1,0 +1,199 @@
+//! Quick-mode regression gate for the contended-lock microbenches.
+//!
+//! `BENCH_hotpath.json` records the post-overhaul timings of the contended
+//! 64-writer promote chain (the hot path PR 1 made O(keys-held)). This smoke
+//! target re-measures that exact operation and **fails the build** (non-zero
+//! exit) if it regressed more than the tolerance versus the stored baseline
+//! — the chaos-drills CI job runs it on every push so a hot-path regression
+//! cannot ride in silently behind a green functional suite.
+//!
+//! Methodology: best-of-N wall time (the minimum is the least noisy location
+//! estimate for a microbench on a shared CI box), compared against the
+//! baseline's `smoke_baseline` figures with a 25% tolerance by default
+//! (`GEOTP_SMOKE_TOLERANCE` overrides, in percent). The limits are rescaled
+//! by a pure-CPU calibration ratio (local machine vs the recorder of the
+//! baseline), so a slower runner is not misread as a code regression;
+//! re-record with `GEOTP_SMOKE_RECORD=1` after an intentional hot-path
+//! change. A second, hardware-independent *flatness* check guards the
+//! structural claim: the 10 000-entry lock table must not cost more than
+//! 2.5× the empty table (the pre-index implementation was ~500× — it
+//! scanned the table per release).
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench hotpath_smoke
+//! ```
+
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use geotp_simrt::Runtime;
+use geotp_storage::{Key, LockManager, LockMode, TableId, Xid};
+
+const WRITERS: u64 = 64;
+const PROBES: usize = 40;
+
+/// One timed run of the contended promote chain over a lock table prefilled
+/// with `table_size` unrelated held keys (prefill untimed).
+fn promote_chain_once(table_size: u64) -> Duration {
+    let mut rt = Runtime::new();
+    let lm = rt.block_on(async move {
+        let lm = LockManager::new(Duration::from_secs(30));
+        for i in 0..table_size {
+            lm.acquire(
+                Xid::new(100_000 + i, 0),
+                Key::new(TableId(1), i),
+                LockMode::Exclusive,
+            )
+            .await
+            .unwrap();
+        }
+        lm
+    });
+    let started = Instant::now();
+    rt.block_on(async {
+        let hot = Key::new(TableId(0), 0);
+        let holder = Xid::new(1, 0);
+        lm.acquire(holder, hot, LockMode::Exclusive).await.unwrap();
+        let mut handles = Vec::new();
+        for w in 0..WRITERS {
+            let lm2 = Rc::clone(&lm);
+            handles.push(geotp_simrt::spawn(async move {
+                let xid = Xid::new(2 + w, 0);
+                lm2.acquire(xid, hot, LockMode::Exclusive).await.unwrap();
+                lm2.release_all(xid);
+            }));
+        }
+        geotp_simrt::sleep(Duration::from_millis(1)).await;
+        lm.release_all(holder);
+        for h in handles {
+            h.await;
+        }
+    });
+    started.elapsed()
+}
+
+fn best_of(table_size: u64) -> Duration {
+    (0..PROBES)
+        .map(|_| promote_chain_once(table_size))
+        .min()
+        .expect("at least one probe")
+}
+
+/// Deterministic pure-CPU calibration: FNV-1a over 1 MiB × 8 passes, best
+/// of 5. The baseline file records this figure from the machine that
+/// recorded the baseline timings; the ratio of local to recorded
+/// calibration rescales the regression limit, so a slower CI runner is not
+/// misread as a code regression (and a faster one does not mask a real
+/// one).
+fn calibration_us() -> f64 {
+    let buf: Vec<u8> = (0..1_048_576u32)
+        .map(|i| (i.wrapping_mul(31)) as u8)
+        .collect();
+    (0..5)
+        .map(|_| {
+            let started = Instant::now();
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for _ in 0..8 {
+                for byte in &buf {
+                    hash = (hash ^ u64::from(*byte)).wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            std::hint::black_box(hash);
+            started.elapsed().as_secs_f64() * 1e6
+        })
+        .fold(f64::MAX, f64::min)
+}
+
+/// Pull a numeric field out of the baseline JSON's `smoke_baseline` block
+/// without a JSON dependency (the build is offline; the file is
+/// repo-controlled and the shape is stable).
+fn baseline_number(json: &str, key: &str) -> Option<f64> {
+    let block = &json[json.find("\"smoke_baseline\"")?..];
+    let field = format!("\"{key}\"");
+    let rest = &block[block.find(&field)? + field.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let tolerance_pct: f64 = std::env::var("GEOTP_SMOKE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json");
+    let json = std::fs::read_to_string(baseline_path).expect("read BENCH_hotpath.json");
+
+    // Re-record the baseline (after an intentional hot-path change): prints
+    // the `smoke_baseline` JSON block to paste into BENCH_hotpath.json.
+    if std::env::var("GEOTP_SMOKE_RECORD").is_ok() {
+        let calibration = calibration_us();
+        let t0 = best_of(0).as_secs_f64() * 1e6;
+        let t10k = best_of(10_000).as_secs_f64() * 1e6;
+        println!(
+            " \"smoke_baseline\": {{\n  \"note\": \"hotpath_smoke gate: best-of-{PROBES} \
+             contended promote chain; limits scale by local/recorded calibration\",\n  \
+             \"calibration_us\": {calibration:.1},\n  \"table_0_us\": {t0:.1},\n  \
+             \"table_10000_us\": {t10k:.1}\n }}"
+        );
+        return;
+    }
+
+    // Machine-speed normalization (clamped: a wildly different calibration
+    // means the comparison is meaningless either way, so cap the stretch).
+    let local_calibration = calibration_us();
+    let recorded_calibration = baseline_number(&json, "calibration_us")
+        .expect("BENCH_hotpath.json has smoke_baseline.calibration_us");
+    let speed_scale = (local_calibration / recorded_calibration).clamp(0.25, 8.0);
+    println!(
+        "calibration: local {local_calibration:.0} us vs recorded {recorded_calibration:.0} us \
+         -> limits scaled x{speed_scale:.2}"
+    );
+
+    let mut failed = false;
+    let mut timings = Vec::new();
+    for size in [0u64, 10_000] {
+        let measured = best_of(size);
+        let measured_us = measured.as_secs_f64() * 1e6;
+        timings.push(measured_us);
+        let Some(baseline_us) = baseline_number(&json, &format!("table_{size}_us")) else {
+            eprintln!("hotpath_smoke: no smoke_baseline.table_{size}_us in BENCH_hotpath.json");
+            std::process::exit(2);
+        };
+        let limit = baseline_us * (1.0 + tolerance_pct / 100.0) * speed_scale;
+        let verdict = if measured_us > limit {
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "contended_promote_chain_64_writers/table_{size}: {measured_us:.1} us \
+             (baseline {baseline_us:.1} us, limit {limit:.1} us) {verdict}"
+        );
+        if measured_us > limit {
+            failed = true;
+        }
+    }
+
+    // Structural flatness: independent of how fast this machine is.
+    let (empty, full) = (timings[0], timings[1]);
+    let flat = full <= empty * 2.5;
+    println!(
+        "flatness: table_10000 / table_0 = {:.2}x (must be <= 2.5x) {}",
+        full / empty,
+        if flat { "ok" } else { "REGRESSED" }
+    );
+    if !flat {
+        failed = true;
+    }
+
+    if failed {
+        eprintln!(
+            "hotpath_smoke: contended-lock microbench regressed beyond {tolerance_pct}% \
+             of BENCH_hotpath.json (set GEOTP_SMOKE_TOLERANCE to adjust)"
+        );
+        std::process::exit(1);
+    }
+}

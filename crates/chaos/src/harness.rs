@@ -1,21 +1,26 @@
 //! The chaos harness: build a cluster, drive a workload under a fault
 //! schedule, check invariants, emit a replayable trace.
 //!
-//! [`run_scenario`] owns the whole lifecycle:
+//! [`run_scenario_with`] owns the whole lifecycle:
 //!
 //! 1. assemble a simulated deployment (network, data sources + geo-agents,
-//!    coordinator) exactly like the facade's `ClusterBuilder` does;
+//!    coordinator) exactly like the facade's `ClusterBuilder` does, with
+//!    engine-side history recording switched on for the serializability
+//!    checker;
 //! 2. compile the [`FaultSchedule`] into the network fault plane and spawn a
 //!    *controller task* that applies node-level events (crashes, restarts,
 //!    coordinator failover with commit-log replay, clock-skew ramps) at
 //!    their scheduled instants;
-//! 3. run a balance-transfer workload — transfers conserve the total balance
-//!    by construction, which is what makes atomicity violations observable —
+//! 3. drive any [`ChaosWorkload`] — balance transfers or the TPC-C mix —
 //!    where clients retry transactions refused by a crashed coordinator;
 //! 4. once the clients drain (bounded by the liveness horizon): heal
 //!    everything, restart any still-crashed data source, run one final
 //!    commit-log replay over the in-doubt branches, and hand the cluster to
-//!    the [`crate::invariants`] checkers.
+//!    the [`crate::invariants`] checkers (atomicity, durability, liveness,
+//!    serializability).
+//!
+//! [`run_scenario`] is the transfer-workload shorthand the original presets
+//! use.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -23,23 +28,22 @@ use std::time::Duration;
 
 use geotp_datasource::{DataSource, DataSourceConfig, Dialect};
 use geotp_middleware::{
-    AbortReason, ClientOp, CommitLog, GlobalKey, Middleware, MiddlewareConfig, Partitioner,
-    Protocol, TransactionSpec, TxnOutcome,
+    AbortReason, CommitLog, Middleware, MiddlewareConfig, Partitioner, Protocol, TxnOutcome,
 };
 use geotp_net::{NetworkBuilder, NodeId};
 use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::{now, sleep, sleep_until, spawn, SimInstant};
-use geotp_storage::{CostModel, EngineConfig, Row, TableId};
+use geotp_storage::{CostModel, EngineConfig};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::injector::ScheduleInjector;
 use crate::invariants::{self, InvariantReport};
 use crate::schedule::{FaultEvent, FaultSchedule};
 use crate::trace::EventTrace;
+use crate::workload::{ChaosWorkload, TransferWorkload};
 
-/// Table used by the chaos workload (the single YCSB-style usertable).
-pub const CHAOS_TABLE: TableId = TableId(0);
+pub use crate::workload::CHAOS_TABLE;
 
 /// Parameters of a chaos run.
 #[derive(Debug, Clone)]
@@ -52,15 +56,15 @@ pub struct ChaosConfig {
     /// source; inter-source RTT is the max of the endpoints', as in the
     /// facade's builder).
     pub ds_rtts_ms: Vec<u64>,
-    /// Rows per data source.
+    /// Rows per data source (transfer workload).
     pub records_per_node: u64,
-    /// Initial integer balance of every row.
+    /// Initial integer balance of every row (transfer workload).
     pub initial_balance: i64,
     /// Concurrent client loops.
     pub clients: usize,
-    /// Transfers each client performs.
+    /// Transactions each client performs.
     pub txns_per_client: usize,
-    /// Fraction of transfers that cross data sources.
+    /// Fraction of transfers that cross data sources (transfer workload).
     pub distributed_ratio: f64,
     /// Storage lock-wait timeout (short, so induced deadlocks resolve fast).
     pub lock_wait_timeout: Duration,
@@ -72,6 +76,12 @@ pub struct ChaosConfig {
     pub horizon: Duration,
     /// Commit protocol under test.
     pub protocol: Protocol,
+    /// Checker-validation fail point: every n-th read on every engine skips
+    /// its shared lock, deliberately permitting dirty reads. `None` (the
+    /// default) leaves isolation intact; tests set `Some(n)` to prove the
+    /// serializability checker catches a real isolation bug and to give the
+    /// schedule shrinker a genuine failure to minimize.
+    pub isolation_bug_read_stride: Option<u64>,
 }
 
 impl Default for ChaosConfig {
@@ -88,6 +98,7 @@ impl Default for ChaosConfig {
             decision_wait_timeout: Duration::from_secs(2),
             horizon: Duration::from_secs(300),
             protocol: Protocol::geotp(),
+            isolation_bug_read_stride: None,
         }
     }
 }
@@ -96,14 +107,6 @@ impl ChaosConfig {
     /// Number of data sources.
     pub fn nodes(&self) -> u32 {
         self.ds_rtts_ms.len() as u32
-    }
-
-    /// The partitioner the workload and checkers route through.
-    pub fn partitioner(&self) -> Partitioner {
-        Partitioner::Range {
-            rows_per_node: self.records_per_node,
-            nodes: self.nodes(),
-        }
     }
 }
 
@@ -173,6 +176,7 @@ impl NodeClocks {
 /// Everything the controller task and the final heal pass share.
 struct Deployment {
     config: ChaosConfig,
+    partitioner: Partitioner,
     net: Rc<geotp_net::Network>,
     sources: Vec<Rc<DataSource>>,
     /// The currently-serving coordinator (replaced on failover).
@@ -184,18 +188,27 @@ struct Deployment {
 }
 
 impl Deployment {
-    fn middleware_config(config: &ChaosConfig, first_txn_seq: u64) -> MiddlewareConfig {
-        let mut cfg =
-            MiddlewareConfig::new(NodeId::middleware(0), config.protocol, config.partitioner());
+    fn middleware_config(
+        config: &ChaosConfig,
+        partitioner: Partitioner,
+        first_txn_seq: u64,
+    ) -> MiddlewareConfig {
+        let mut cfg = MiddlewareConfig::new(NodeId::middleware(0), config.protocol, partitioner);
         cfg.analysis_cost = Duration::from_micros(200);
         cfg.log_flush_cost = Duration::from_micros(200);
         cfg.decision_wait_timeout = config.decision_wait_timeout;
+        cfg.record_history = true;
         cfg.scheduler.seed = config.seed;
         cfg.first_txn_seq = first_txn_seq;
         cfg
     }
 
-    fn build(config: ChaosConfig, trace: Rc<EventTrace>, schedule: &FaultSchedule) -> Rc<Self> {
+    fn build(
+        config: ChaosConfig,
+        trace: Rc<EventTrace>,
+        schedule: &FaultSchedule,
+        workload: &dyn ChaosWorkload,
+    ) -> Rc<Self> {
         let dm = NodeId::middleware(0);
         let mut net_builder =
             NetworkBuilder::new(config.seed).default_lan_rtt(Duration::from_micros(500));
@@ -230,6 +243,8 @@ impl Deployment {
             ds_cfg.engine = EngineConfig {
                 lock_wait_timeout: config.lock_wait_timeout,
                 cost: CostModel::default(),
+                // The serializability checker needs the versioned histories.
+                record_history: true,
             };
             ds_cfg.agent_lan_rtt = Duration::from_micros(500);
             sources.push(DataSource::new(ds_cfg, Rc::clone(&net)));
@@ -241,27 +256,29 @@ impl Deployment {
                 }
             }
         }
+        if let Some(stride) = config.isolation_bug_read_stride {
+            for ds in &sources {
+                ds.engine().fail_point_bypass_read_locks(stride);
+            }
+            trace.record(&format!(
+                "fail point armed: every {stride}-th read skips its shared lock"
+            ));
+        }
 
+        let partitioner = workload.partitioner();
         let mw = Middleware::connect(
-            Self::middleware_config(&config, 1),
+            Self::middleware_config(&config, partitioner, 1),
             Rc::clone(&net),
             &sources,
             None,
         );
         let commit_log = Rc::clone(mw.commit_log());
 
-        // Load: every row routed through the partitioner, like
-        // `Cluster::load_uniform`.
-        let partitioner = config.partitioner();
-        let total_rows = config.records_per_node * config.nodes() as u64;
-        for row in 0..total_rows {
-            let key = GlobalKey::new(CHAOS_TABLE, row);
-            let ds = partitioner.route(key) as usize;
-            sources[ds].load(key.storage_key(), Row::int(config.initial_balance));
-        }
+        workload.load(&sources);
 
         Rc::new(Self {
             config,
+            partitioner,
             net,
             sources,
             active_mw: RefCell::new(mw),
@@ -295,7 +312,7 @@ impl Deployment {
             }
         }
         let successor = Middleware::connect(
-            Self::middleware_config(&self.config, old.next_txn_seq()),
+            Self::middleware_config(&self.config, self.partitioner, old.next_txn_seq()),
             Rc::clone(&self.net),
             &self.sources,
             Some(Rc::clone(&self.commit_log)),
@@ -351,21 +368,34 @@ impl Deployment {
     }
 }
 
-/// Run `schedule` against a fresh cluster described by `config` and return
-/// the invariant-checked, replayable report.
+/// Run `schedule` against a fresh cluster driving the balance-transfer
+/// workload described by `config` (the original drill shape).
 pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport {
+    let workload = Rc::new(TransferWorkload::from_config(&config));
+    run_scenario_with(config, schedule, workload)
+}
+
+/// Run `schedule` against a fresh cluster described by `config`, driving
+/// `workload`, and return the invariant-checked, replayable report.
+pub fn run_scenario_with(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+) -> ChaosReport {
     let mut rt = geotp_simrt::Runtime::new();
     rt.block_on(async move {
         let trace = EventTrace::new();
         trace.record(&format!(
-            "scenario start: seed={} nodes={} clients={}x{} protocol={}",
+            "scenario start: workload={} seed={} nodes={} clients={}x{} protocol={}",
+            workload.name(),
             config.seed,
             config.nodes(),
             config.clients,
             config.txns_per_client,
             config.protocol.name()
         ));
-        let deployment = Deployment::build(config.clone(), Rc::clone(&trace), &schedule);
+        let deployment =
+            Deployment::build(config.clone(), Rc::clone(&trace), &schedule, &*workload);
 
         // ---------------- controller task ----------------
         let controller = {
@@ -387,13 +417,13 @@ pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport
             let deployment = Rc::clone(&deployment);
             let ledger = Rc::clone(&ledger);
             let refused_connections = Rc::clone(&refused_connections);
+            let workload = Rc::clone(&workload);
             let config = config.clone();
             clients.push(spawn(async move {
                 let mut rng =
                     StdRng::seed_from_u64(config.seed ^ (0x5151_7c7c + client as u64 * 0x9e37));
-                let nodes = config.nodes() as u64;
                 for _ in 0..config.txns_per_client {
-                    let spec = transfer_spec(&mut rng, &config, nodes);
+                    let spec = workload.next_spec(&mut rng);
                     // A crashed coordinator refuses the connection; real
                     // clients reconnect and retry. Refusals never started a
                     // transaction (gtrid 0), so they are counted separately
@@ -477,9 +507,7 @@ pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport
 
         let invariants = invariants::check(
             &deployment.sources,
-            config.partitioner(),
-            config.records_per_node * config.nodes() as u64,
-            config.initial_balance,
+            || workload.consistency_violations(&deployment.sources),
             &ledger,
             &deployment.commit_log,
             workload_drained,
@@ -488,8 +516,11 @@ pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport
             "summary: committed={committed} aborted={aborted} indeterminate={indeterminate}"
         ));
         trace.record(&format!(
-            "invariants: atomicity={} durability={} liveness={}",
-            invariants.atomicity_ok, invariants.durability_ok, invariants.liveness_ok
+            "invariants: atomicity={} durability={} liveness={} serializability={}",
+            invariants.atomicity_ok,
+            invariants.durability_ok,
+            invariants.liveness_ok,
+            invariants.serializability_ok
         ));
 
         ChaosReport {
@@ -501,28 +532,4 @@ pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport
             trace: trace.lines(),
         }
     })
-}
-
-/// Build one balance transfer: −1 from one row, +1 to another. Transfers
-/// conserve the total balance by construction, so any partial commit shows
-/// up in the conservation check.
-fn transfer_spec(rng: &mut StdRng, config: &ChaosConfig, nodes: u64) -> TransactionSpec {
-    let records = config.records_per_node;
-    let src_ds = rng.gen_range(0..nodes);
-    let distributed = nodes > 1 && rng.gen::<f64>() < config.distributed_ratio;
-    let dst_ds = if distributed {
-        let mut d = rng.gen_range(0..nodes - 1);
-        if d >= src_ds {
-            d += 1;
-        }
-        d
-    } else {
-        src_ds
-    };
-    let src_row = src_ds * records + rng.gen_range(0..records);
-    let dst_row = dst_ds * records + rng.gen_range(0..records);
-    TransactionSpec::single_round(vec![
-        ClientOp::add(GlobalKey::new(CHAOS_TABLE, src_row), -1),
-        ClientOp::add(GlobalKey::new(CHAOS_TABLE, dst_row), 1),
-    ])
 }

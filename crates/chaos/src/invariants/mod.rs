@@ -1,12 +1,14 @@
 //! Transaction-invariant checkers run over the post-chaos cluster.
 //!
-//! Three invariants, matching what the paper's protocol promises:
+//! Four invariants, matching what the paper's protocol promises:
 //!
 //! * **Atomicity** — no global transaction ends with one branch committed
 //!   and another aborted. Checked two ways: structurally, by scanning every
 //!   engine's WAL for cross-branch `Commit`/`Abort` disagreement, and
-//!   observationally, by conservation of the total balance (the workload is
-//!   all transfers, so any partial commit changes the sum).
+//!   observationally, through the workload's own consistency conditions
+//!   (balance conservation for transfers; warehouse/district/order/stock
+//!   agreement for TPC-C — every committed transaction preserves them, so
+//!   drift convicts a partial commit).
 //! * **Durability** — every transaction whose commit is decided (the client
 //!   saw `committed`, or the durable commit log says `Commit` for an
 //!   outcome the coordinator crash made indeterminate) has a `Commit`
@@ -16,25 +18,33 @@
 //! * **Liveness** — the workload drained within the virtual-clock horizon,
 //!   and after the final heal + recovery pass no branch is left prepared
 //!   -but-undecided anywhere.
+//! * **Serializability** — the committed transactions admit a serial order:
+//!   the engines' versioned read/write histories produce an acyclic
+//!   dependency graph and every read observed a real committed version
+//!   (Elle-lite; see [`serializability`]).
 //!
 //! The checkers read only durable artifacts (WALs, the commit log, the
-//! record stores) — not coordinator in-memory state — so they hold across
-//! arbitrary failover histories.
+//! record stores) plus the engines' observer-side histories — not
+//! coordinator in-memory state — so they hold across arbitrary failover
+//! histories.
+
+pub mod serializability;
 
 use std::rc::Rc;
 
 use geotp_datasource::DataSource;
-use geotp_middleware::{CommitLog, Decision, GlobalKey, Partitioner, TxnOutcome};
+use geotp_middleware::{CommitLog, Decision, TxnOutcome};
 use geotp_simrt::hash::FxHashMap;
 use geotp_storage::wal::LogRecord;
+use geotp_storage::{BranchHistory, Key};
 
-use crate::harness::CHAOS_TABLE;
+pub use serializability::SerializabilityReport;
 
-/// Verdict of the three checkers, with human-readable violations.
+/// Verdict of the four checkers, with human-readable violations.
 #[derive(Debug, Clone, Default)]
 pub struct InvariantReport {
-    /// No transaction with both a committed and an aborted branch; total
-    /// balance conserved.
+    /// No transaction with both a committed and an aborted branch; the
+    /// workload's consistency conditions hold over final state.
     pub atomicity_ok: bool,
     /// Decided-committed state survived every crash and is durable on every
     /// participating branch.
@@ -42,6 +52,9 @@ pub struct InvariantReport {
     /// Nothing stuck: workload drained inside the horizon and no in-doubt
     /// branch remains after the final recovery.
     pub liveness_ok: bool,
+    /// The committed transactions admit a serial order and every read
+    /// observed a committed version.
+    pub serializability_ok: bool,
     /// One line per violation (empty when everything holds).
     pub violations: Vec<String>,
 }
@@ -49,7 +62,7 @@ pub struct InvariantReport {
 impl InvariantReport {
     /// Whether every invariant held.
     pub fn all_hold(&self) -> bool {
-        self.atomicity_ok && self.durability_ok && self.liveness_ok
+        self.atomicity_ok && self.durability_ok && self.liveness_ok && self.serializability_ok
     }
 }
 
@@ -63,16 +76,20 @@ struct BranchDecisions {
     prepares: Vec<u32>,
 }
 
-/// Run every checker. `workload_drained` is the harness's horizon verdict;
-/// when it is `false` the cluster may still have transactions in flight, so
-/// the state-based checks are skipped (they could only report noise) and
-/// liveness is the reported failure.
-#[allow(clippy::too_many_arguments)]
+/// Run every checker.
+///
+/// * `workload_violations` — lazily computes the workload's own state-level
+///   consistency verdict (see `ChaosWorkload::consistency_violations`);
+///   folded into atomicity. Lazy because on an undrained run the final
+///   state is noise and the (potentially table-scanning) check is skipped
+///   wholesale.
+/// * `workload_drained` — the harness's horizon verdict; when `false` the
+///   cluster may still have transactions in flight, so the state-based
+///   checks are skipped (they could only report noise) and liveness is the
+///   reported failure.
 pub fn check(
     sources: &[Rc<DataSource>],
-    partitioner: Partitioner,
-    total_rows: u64,
-    initial_balance: i64,
+    workload_violations: impl FnOnce() -> Vec<String>,
     ledger: &[TxnOutcome],
     commit_log: &Rc<CommitLog>,
     workload_drained: bool,
@@ -81,6 +98,7 @@ pub fn check(
         atomicity_ok: true,
         durability_ok: true,
         liveness_ok: true,
+        serializability_ok: true,
         violations: Vec::new(),
     };
 
@@ -92,13 +110,24 @@ pub fn check(
         return report;
     }
 
-    // ---------------- liveness: no in-doubt branch anywhere ----------------
+    // ---------------- liveness: no in-doubt or abandoned branch anywhere ----------------
     for ds in sources {
         let prepared = ds.engine().prepared_xids();
         if !prepared.is_empty() {
             report.liveness_ok = false;
             report.violations.push(format!(
                 "liveness: ds{} still has prepared-but-undecided branches after recovery: {prepared:?}",
+                ds.index()
+            ));
+        }
+        // ACTIVE/ENDED leftovers are worse than prepared ones: they are
+        // invisible to `XA RECOVER`, so nothing will ever finish them — an
+        // abandoned branch holds its locks and uncommitted writes forever.
+        let unfinished = ds.engine().unfinished_xids();
+        if !unfinished.is_empty() {
+            report.liveness_ok = false;
+            report.violations.push(format!(
+                "liveness: ds{} has abandoned (never-prepared, never-finished) branches: {unfinished:?}",
                 ds.index()
             ));
         }
@@ -140,29 +169,10 @@ pub fn check(
         }
     }
 
-    // ---------------- atomicity: conservation of the total balance ----------------
-    let expected_total = total_rows as i64 * initial_balance;
-    let mut actual_total = 0i64;
-    let mut missing_rows = 0u64;
-    for row in 0..total_rows {
-        let key = GlobalKey::new(CHAOS_TABLE, row);
-        let ds = partitioner.route(key) as usize;
-        match sources[ds].engine().peek(key.storage_key()) {
-            Some(r) => actual_total += r.int_value().unwrap_or(0),
-            None => missing_rows += 1,
-        }
-    }
-    if missing_rows > 0 {
+    // ---------------- atomicity: the workload's consistency conditions ----------------
+    for violation in workload_violations() {
         report.atomicity_ok = false;
-        report.violations.push(format!(
-            "atomicity: {missing_rows} row(s) vanished from the record stores"
-        ));
-    }
-    if actual_total != expected_total {
-        report.atomicity_ok = false;
-        report.violations.push(format!(
-            "atomicity: total balance {actual_total} != initial {expected_total} (transfers conserve it)"
-        ));
+        report.violations.push(format!("atomicity: {violation}"));
     }
 
     // ---------------- durability ----------------
@@ -223,6 +233,54 @@ pub fn check(
                     ));
                 }
             }
+        }
+    }
+
+    // ---------------- serializability (Elle-lite over engine histories) ----------------
+    let mut histories: Vec<BranchHistory> = Vec::new();
+    let mut base_fingerprints: FxHashMap<Key, u64> = FxHashMap::default();
+    for ds in sources {
+        histories.extend(ds.engine().committed_history());
+        // Keys are partitioned, so the per-engine maps never conflict.
+        base_fingerprints.extend(ds.engine().base_fingerprints());
+    }
+    let serializability = serializability::check(&histories, &base_fingerprints);
+    if !serializability.ok {
+        report.serializability_ok = false;
+        report.violations.extend(serializability.violations);
+    }
+
+    // ---------------- declared vs observed write sets ----------------
+    // The client-side outcome declares the transaction's write keys
+    // (`TxnOutcome::history`, populated because the harness sets
+    // `MiddlewareConfig::record_history`); the engines recorded what was
+    // actually installed. For a committed transaction the two must match
+    // exactly: a declared write the engines never saw is a lost write, an
+    // observed write the client never declared is a phantom.
+    let mut observed_writes: FxHashMap<u64, Vec<Key>> = FxHashMap::default();
+    for branch in &histories {
+        observed_writes
+            .entry(branch.xid.gtrid)
+            .or_default()
+            .extend(branch.writes.iter().map(|w| w.key));
+    }
+    for outcome in ledger.iter().filter(|o| o.committed) {
+        let mut declared: Vec<Key> = outcome
+            .history
+            .writes
+            .iter()
+            .map(|k| k.storage_key())
+            .collect();
+        declared.sort();
+        let mut observed = observed_writes.remove(&outcome.gtrid).unwrap_or_default();
+        observed.sort();
+        if declared != observed {
+            report.serializability_ok = false;
+            report.violations.push(format!(
+                "write-set: gtrid {} declared writes {declared:?} but the engines \
+                 recorded {observed:?}",
+                outcome.gtrid
+            ));
         }
     }
 

@@ -1,0 +1,366 @@
+//! Elle-lite serializability checking over engine-recorded histories.
+//!
+//! The storage engines (with `record_history` on) hand us, for every
+//! *committed* branch, the versioned reads it performed and the versions its
+//! writes installed (see `geotp_storage::history`). Because each key's
+//! committed versions form a known total order (0 = bulk load, then +1 per
+//! committing writer), the full Adya dependency graph is derivable without
+//! any inference step — the hard part of Elle's general construction — and
+//! serializability reduces to two checks:
+//!
+//! 1. **Observation integrity** — every read's recorded value fingerprint
+//!    must equal the committed fingerprint of the version it claims to have
+//!    observed. A mismatch means the reader saw data that was never a
+//!    committed version of the key: a dirty or corrupted read, convicting
+//!    isolation directly with no graph search needed.
+//! 2. **Acyclicity** — the union of `WW` (installer of version *v* →
+//!    installer of *v+1*), `WR` (installer of *v* → every reader of *v*) and
+//!    `RW` anti-dependency edges (reader of *v* → installer of *v+1*) must
+//!    be acyclic. Any cycle is a serializability violation (G0/G1c/G2);
+//!    a topological order of the graph *is* a valid serial order.
+//!
+//! Transactions are graph nodes by gtrid: branches of the same global
+//! transaction on different data sources merge into one node, so cross-node
+//! anomalies (one branch serialized before, the other after a sibling) close
+//! cycles exactly like single-node ones.
+
+use geotp_simrt::hash::{FxHashMap, FxHashSet};
+use geotp_storage::{BranchHistory, Key};
+
+/// The serializability checker's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct SerializabilityReport {
+    /// Whether the history is serializable (and every read observed a real
+    /// committed version).
+    pub ok: bool,
+    /// One line per violation, sorted for deterministic traces.
+    pub violations: Vec<String>,
+    /// Committed global transactions in the history.
+    pub txns: usize,
+    /// Distinct dependency edges in the graph.
+    pub edges: usize,
+}
+
+#[derive(Default)]
+struct KeyAccesses {
+    /// `(installed version, gtrid, installed fingerprint)`.
+    writers: Vec<(u64, u64, u64)>,
+    /// `(observed version, gtrid, observed fingerprint)`.
+    readers: Vec<(u64, u64, u64)>,
+}
+
+/// Check the merged history of every engine. `base_fingerprints` maps keys to
+/// the fingerprint of their bulk-loaded version-0 value (union over engines;
+/// keys are partitioned, so the maps never conflict).
+pub fn check(
+    histories: &[BranchHistory],
+    base_fingerprints: &FxHashMap<Key, u64>,
+) -> SerializabilityReport {
+    let mut violations = Vec::new();
+
+    // ---------------- per-key access tables ----------------
+    let mut keys: FxHashMap<Key, KeyAccesses> = FxHashMap::default();
+    let mut txns: FxHashSet<u64> = FxHashSet::default();
+    for branch in histories {
+        let gtrid = branch.xid.gtrid;
+        txns.insert(gtrid);
+        for read in &branch.reads {
+            keys.entry(read.key).or_default().readers.push((
+                read.observed.version,
+                gtrid,
+                read.observed.fingerprint,
+            ));
+        }
+        for write in &branch.writes {
+            keys.entry(write.key).or_default().writers.push((
+                write.installed.version,
+                gtrid,
+                write.installed.fingerprint,
+            ));
+        }
+    }
+
+    // ---------------- edges + observation integrity ----------------
+    let mut adjacency: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let mut edge_set: FxHashSet<(u64, u64)> = FxHashSet::default();
+    let mut add_edge = |from: u64, to: u64, adjacency: &mut FxHashMap<u64, Vec<u64>>| {
+        if from != to && edge_set.insert((from, to)) {
+            adjacency.entry(from).or_default().push(to);
+        }
+    };
+
+    let mut sorted_keys: Vec<Key> = keys.keys().copied().collect();
+    sorted_keys.sort();
+    for key in sorted_keys {
+        let accesses = &keys[&key];
+        let mut writers = accesses.writers.clone();
+        writers.sort();
+
+        // Version integrity: distinct committed writers install distinct,
+        // gapless versions starting at 1. (Guaranteed by the engine; a
+        // violation here means the history itself is corrupt.)
+        for pair in writers.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                violations.push(format!(
+                    "serializability: key {key} version {} installed by two \
+                     committed writers (gtrid {} and {})",
+                    pair[0].0, pair[0].1, pair[1].1
+                ));
+            }
+        }
+        for (i, (version, gtrid, _)) in writers.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if *version != expected && !writers.iter().take(i).any(|w| w.0 == *version) {
+                violations.push(format!(
+                    "serializability: key {key} has a version gap — gtrid {gtrid} \
+                     installed v{version}, expected v{expected}"
+                ));
+            }
+        }
+
+        // WW: installer of v precedes installer of v+1.
+        for pair in writers.windows(2) {
+            add_edge(pair[0].1, pair[1].1, &mut adjacency);
+        }
+
+        let writer_of = |version: u64| writers.iter().find(|w| w.0 == version);
+        for (version, reader, fingerprint) in &accesses.readers {
+            // Observation integrity: the read's fingerprint must match the
+            // committed value of the version it claims.
+            let expected = if *version == 0 {
+                base_fingerprints.get(&key).copied()
+            } else {
+                writer_of(*version).map(|w| w.2)
+            };
+            match expected {
+                None => violations.push(format!(
+                    "serializability: gtrid {reader} read {key}@v{version} but no \
+                     committed writer (or load) installed that version"
+                )),
+                Some(expected) if expected != *fingerprint => violations.push(format!(
+                    "serializability: dirty read — gtrid {reader} read {key}@v{version} \
+                     with fingerprint {fingerprint:016x}, but the committed value of \
+                     v{version} fingerprints {expected:016x}"
+                )),
+                Some(_) => {}
+            }
+            // WR: the version's installer precedes its readers.
+            if let Some((_, writer, _)) = writer_of(*version) {
+                add_edge(*writer, *reader, &mut adjacency);
+            }
+            // RW anti-dependency: a reader of v precedes the installer of v+1.
+            if let Some((_, next_writer, _)) = writer_of(version + 1) {
+                add_edge(*reader, *next_writer, &mut adjacency);
+            }
+        }
+    }
+
+    // ---------------- cycle detection (iterative 3-color DFS) ----------------
+    for neighbours in adjacency.values_mut() {
+        neighbours.sort_unstable();
+    }
+    let mut nodes: Vec<u64> = txns.iter().copied().collect();
+    nodes.sort_unstable();
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color: FxHashMap<u64, u8> = FxHashMap::default();
+    let empty: Vec<u64> = Vec::new();
+    'roots: for root in &nodes {
+        if color.get(root).copied().unwrap_or(WHITE) != WHITE {
+            continue;
+        }
+        // Stack of (node, next-neighbour index); grey nodes on the stack form
+        // the current path, so a grey target reconstructs the cycle directly.
+        let mut stack: Vec<(u64, usize)> = vec![(*root, 0)];
+        color.insert(*root, GREY);
+        while let Some((node, idx)) = stack.last().copied() {
+            let neighbours = adjacency.get(&node).unwrap_or(&empty);
+            if idx >= neighbours.len() {
+                color.insert(node, BLACK);
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("non-empty").1 += 1;
+            let target = neighbours[idx];
+            match color.get(&target).copied().unwrap_or(WHITE) {
+                WHITE => {
+                    color.insert(target, GREY);
+                    stack.push((target, 0));
+                }
+                GREY => {
+                    let from = stack
+                        .iter()
+                        .position(|(n, _)| *n == target)
+                        .expect("grey node is on the stack");
+                    let cycle: Vec<String> = stack[from..]
+                        .iter()
+                        .map(|(n, _)| n.to_string())
+                        .chain(std::iter::once(target.to_string()))
+                        .collect();
+                    violations.push(format!(
+                        "serializability: dependency cycle {} (no serial order exists)",
+                        cycle.join(" -> ")
+                    ));
+                    break 'roots;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    violations.sort();
+    violations.dedup();
+    SerializabilityReport {
+        ok: violations.is_empty(),
+        violations,
+        txns: txns.len(),
+        edges: edge_set.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_storage::{ReadAccess, TableId, VersionedValue, WriteAccess, Xid};
+
+    fn key(row: u64) -> Key {
+        Key::new(TableId(0), row)
+    }
+
+    fn read(key: Key, version: u64, fingerprint: u64) -> ReadAccess {
+        ReadAccess {
+            key,
+            observed: {
+                VersionedValue {
+                    version,
+                    fingerprint,
+                }
+            },
+        }
+    }
+
+    fn write(key: Key, version: u64, fingerprint: u64) -> WriteAccess {
+        WriteAccess {
+            key,
+            installed: VersionedValue {
+                version,
+                fingerprint,
+            },
+        }
+    }
+
+    fn branch(gtrid: u64, reads: Vec<ReadAccess>, writes: Vec<WriteAccess>) -> BranchHistory {
+        BranchHistory {
+            xid: Xid::new(gtrid, 0),
+            reads,
+            writes,
+        }
+    }
+
+    fn base(entries: &[(Key, u64)]) -> FxHashMap<Key, u64> {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn clean_serial_history_is_ok() {
+        let x = key(1);
+        let histories = vec![
+            branch(1, vec![read(x, 0, 10)], vec![write(x, 1, 11)]),
+            branch(2, vec![read(x, 1, 11)], vec![write(x, 2, 12)]),
+        ];
+        let report = check(&histories, &base(&[(x, 10)]));
+        assert!(report.ok, "{:?}", report.violations);
+        assert_eq!(report.txns, 2);
+        // WR(1->2 via x@1) and WW(1->2) collapse into distinct edges.
+        assert_eq!(report.edges, 1);
+    }
+
+    #[test]
+    fn write_skew_cycle_is_caught() {
+        // Classic G2: T1 reads y then writes x; T2 reads x then writes y —
+        // each anti-depends on the other, no serial order exists. (Strict 2PL
+        // cannot produce this, which is exactly why the checker must be able
+        // to see it if locking is broken.)
+        let (x, y) = (key(1), key(2));
+        let histories = vec![
+            branch(1, vec![read(y, 0, 20)], vec![write(x, 1, 11)]),
+            branch(2, vec![read(x, 0, 10)], vec![write(y, 1, 21)]),
+        ];
+        let report = check(&histories, &base(&[(x, 10), (y, 20)]));
+        assert!(!report.ok);
+        assert!(
+            report.violations.iter().any(|v| v.contains("cycle")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn dirty_read_fingerprint_mismatch_is_caught() {
+        let x = key(1);
+        // T2 claims to have read x@v0, but its fingerprint matches neither
+        // the base value nor any committed version: it saw uncommitted data.
+        let histories = vec![
+            branch(1, vec![], vec![write(x, 1, 11)]),
+            branch(2, vec![read(x, 0, 99)], vec![]),
+        ];
+        let report = check(&histories, &base(&[(x, 10)]));
+        assert!(!report.ok);
+        assert!(
+            report.violations.iter().any(|v| v.contains("dirty read")),
+            "{:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn read_of_unknown_version_is_caught() {
+        let x = key(1);
+        let histories = vec![branch(1, vec![read(x, 3, 13)], vec![])];
+        let report = check(&histories, &base(&[(x, 10)]));
+        assert!(!report.ok);
+        assert!(report.violations.iter().any(|v| v.contains("no committed")));
+    }
+
+    #[test]
+    fn cross_branch_merge_closes_cycles() {
+        // T1 and T2 each have two branches (different data sources). On key x
+        // T1 precedes T2; on key y (another source) T2 precedes T1. Each
+        // branch alone is fine; merged by gtrid it is a WW cycle.
+        let (x, y) = (key(1), key(2));
+        let histories = vec![
+            BranchHistory {
+                xid: Xid::new(1, 0),
+                reads: vec![],
+                writes: vec![write(x, 1, 11)],
+            },
+            BranchHistory {
+                xid: Xid::new(2, 0),
+                reads: vec![],
+                writes: vec![write(x, 2, 12)],
+            },
+            BranchHistory {
+                xid: Xid::new(2, 1),
+                reads: vec![],
+                writes: vec![write(y, 1, 21)],
+            },
+            BranchHistory {
+                xid: Xid::new(1, 1),
+                reads: vec![],
+                writes: vec![write(y, 2, 22)],
+            },
+        ];
+        let report = check(&histories, &FxHashMap::default());
+        assert!(!report.ok);
+        assert!(report.violations.iter().any(|v| v.contains("cycle")));
+    }
+
+    #[test]
+    fn empty_history_is_trivially_serializable() {
+        let report = check(&[], &FxHashMap::default());
+        assert!(report.ok);
+        assert_eq!(report.txns, 0);
+        assert_eq!(report.edges, 0);
+    }
+}

@@ -9,21 +9,33 @@
 //! * a [`FaultSchedule`] describes a timeline of faults — data-source
 //!   crash/restart, coordinator crash/failover, (possibly asymmetric) network
 //!   partitions, latency storms, notification drop/duplicate probabilities
-//!   and clock-skew ramps — either written explicitly or generated from a
-//!   seed ([`FaultSchedule::random`]);
+//!   and clock-skew ramps — written explicitly, generated from a seed
+//!   ([`FaultSchedule::random`]), or parsed from a replayable timeline file
+//!   ([`FaultSchedule::parse_timeline`]);
 //! * the schedule compiles into a [`ScheduleInjector`] plugged into
 //!   `geotp-net`'s fault plane, while node-level events are driven by the
 //!   harness's controller task against the hooks the component crates expose
 //!   (`StorageEngine::crash`/`restart`, `Middleware::crash`,
 //!   `crash_after_next_flush`, shared commit logs, `recover`);
-//! * [`run_scenario`] drives a balance-transfer workload under the schedule
-//!   on the simulated runtime and hands the final state to the
-//!   [`invariants`] checkers: **atomicity** (no transaction with both a
-//!   committed and an aborted branch, conservation of total balance),
-//!   **durability** (every outcome the client saw as committed is backed by
-//!   a durable commit decision and per-branch WAL commit records after all
-//!   crashes and recoveries) and **liveness** (no transaction stuck once all
-//!   faults heal, bounded by a virtual-clock horizon);
+//! * [`run_scenario_with`] drives any [`ChaosWorkload`] — balance transfers
+//!   ([`TransferWorkload`]) or the real TPC-C mix ([`TpccChaosWorkload`]) —
+//!   under the schedule on the simulated runtime and hands the final state
+//!   to the [`invariants`] checkers: **atomicity** (no transaction with both
+//!   a committed and an aborted branch, plus the workload's own consistency
+//!   conditions), **durability** (every outcome the client saw as committed
+//!   is backed by a durable commit decision and per-branch WAL commits after
+//!   all crashes and recoveries), **liveness** (no transaction stuck once
+//!   all faults heal, bounded by a virtual-clock horizon) and
+//!   **serializability** (Elle-lite: the engines record versioned read/write
+//!   histories, and the committed transactions must form an acyclic
+//!   dependency graph in which every read observed a real committed
+//!   version — see [`invariants::serializability`]);
+//! * a failing seeded schedule is rarely a good bug report, so
+//!   [`shrink_schedule`] delta-debugs it QuickCheck-style — drop event
+//!   chunks, re-run, keep the smallest still-failing schedule — and emits
+//!   the minimal repro as an explicit timeline
+//!   ([`FaultSchedule::to_timeline`]) that replays without the original
+//!   seed;
 //! * every run produces an [`EventTrace`]: same seed + same schedule ⇒
 //!   bit-identical trace, across runs *and across processes* — chaos
 //!   findings are perfectly reproducible.
@@ -31,16 +43,20 @@
 //! The [`scenarios`] module ships named presets (prepare-phase crash,
 //! commit-phase partition, asymmetric partition, rolling restarts, WAN
 //! brownout, coordinator failover, lossy notifications, clock-skew drift,
-//! …) that double as the failure-drill table in `geotp-experiments` and as
+//! …), each runnable under either workload ([`Scenario::run_with`]); they
+//! double as the failure-drill tables in `geotp-experiments` and as
 //! regression sweeps in this crate's tests.
 //!
 //! ```
-//! use geotp_chaos::scenarios::Scenario;
+//! use geotp_chaos::scenarios::{DrillWorkload, Scenario};
 //!
 //! let report = Scenario::PreparePhaseCrash.run(7);
 //! assert!(report.invariants.all_hold(), "{:?}", report.invariants.violations);
 //! // Replayable: the same seed produces a bit-identical event trace.
 //! assert_eq!(report.fingerprint, Scenario::PreparePhaseCrash.run(7).fingerprint);
+//! // The same preset drives the TPC-C mix, serializability-checked.
+//! let tpcc = Scenario::PreparePhaseCrash.run_with(7, DrillWorkload::Tpcc);
+//! assert!(tpcc.invariants.serializability_ok);
 //! ```
 
 pub mod harness;
@@ -48,12 +64,16 @@ pub mod injector;
 pub mod invariants;
 pub mod scenarios;
 pub mod schedule;
+pub mod shrink;
 pub mod trace;
+pub mod workload;
 
 pub use geotp_middleware::Protocol;
-pub use harness::{run_scenario, ChaosConfig, ChaosReport};
+pub use harness::{run_scenario, run_scenario_with, ChaosConfig, ChaosReport};
 pub use injector::ScheduleInjector;
-pub use invariants::InvariantReport;
-pub use scenarios::Scenario;
+pub use invariants::{InvariantReport, SerializabilityReport};
+pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
+pub use shrink::{shrink_schedule, ShrinkReport};
 pub use trace::EventTrace;
+pub use workload::{ChaosWorkload, TpccChaosWorkload, TransferWorkload, CHAOS_TABLE};

@@ -7,12 +7,42 @@
 //! same [`run_scenario`] harness, so a preset that regresses fails everywhere
 //! at once.
 
+use std::rc::Rc;
 use std::time::Duration;
 
 use geotp_net::NodeId;
 
-use crate::harness::{run_scenario, ChaosConfig, ChaosReport};
+use crate::harness::{run_scenario, run_scenario_with, ChaosConfig, ChaosReport};
 use crate::schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
+use crate::workload::TpccChaosWorkload;
+
+/// Which workload a failure drill drives. Every preset runs under both —
+/// scenario diversity multiplies (presets × workloads × checkers) instead of
+/// adding one-off scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrillWorkload {
+    /// Balance transfers (conservation makes atomicity observable).
+    Transfer,
+    /// The TPC-C five-profile mix at drill scale (interactive multi-round
+    /// transactions, inserts, read-only profiles, §3.3.2 consistency
+    /// conditions).
+    Tpcc,
+}
+
+impl DrillWorkload {
+    /// Both drill workloads, in table order.
+    pub fn all() -> [DrillWorkload; 2] {
+        [DrillWorkload::Transfer, DrillWorkload::Tpcc]
+    }
+
+    /// Stable identifier used in tables and CI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DrillWorkload::Transfer => "transfer",
+            DrillWorkload::Tpcc => "tpcc",
+        }
+    }
+}
 
 /// The named failure drills.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,10 +243,21 @@ impl Scenario {
         (config, schedule)
     }
 
-    /// Build and run this preset under `seed`.
+    /// Build and run this preset under `seed` with the transfer workload.
     pub fn run(&self, seed: u64) -> ChaosReport {
+        self.run_with(seed, DrillWorkload::Transfer)
+    }
+
+    /// Build and run this preset under `seed`, driving the chosen workload.
+    pub fn run_with(&self, seed: u64, workload: DrillWorkload) -> ChaosReport {
         let (config, schedule) = self.build(seed);
-        run_scenario(config, schedule)
+        match workload {
+            DrillWorkload::Transfer => run_scenario(config, schedule),
+            DrillWorkload::Tpcc => {
+                let tpcc = Rc::new(TpccChaosWorkload::drill_scale(config.nodes()));
+                run_scenario_with(config, schedule, tpcc)
+            }
+        }
     }
 }
 

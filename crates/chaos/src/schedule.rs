@@ -226,6 +226,108 @@ impl FaultSchedule {
             .unwrap_or(Duration::ZERO)
     }
 
+    /// Render the schedule as an explicit, replayable timeline: one line per
+    /// event, microsecond-precision, round-tripping losslessly through
+    /// [`FaultSchedule::parse_timeline`]. This is the artifact the schedule
+    /// shrinker emits — a minimized repro anyone can re-run without the
+    /// original seed.
+    pub fn to_timeline(&self) -> String {
+        let mut out = String::from("# geotp-chaos fault timeline v1\n");
+        let us = |d: &Duration| d.as_micros();
+        for event in &self.events {
+            let line = match event {
+                FaultEvent::CrashDataSource { at, ds } => {
+                    format!("crash_ds at_us={} ds={ds}", us(at))
+                }
+                FaultEvent::RestartDataSource { at, ds } => {
+                    format!("restart_ds at_us={} ds={ds}", us(at))
+                }
+                FaultEvent::CrashMiddleware { at } => {
+                    format!("crash_middleware at_us={}", us(at))
+                }
+                FaultEvent::CrashMiddlewareAfterFlush { at } => {
+                    format!("crash_middleware_after_flush at_us={}", us(at))
+                }
+                FaultEvent::FailoverMiddleware { at } => {
+                    format!("failover_middleware at_us={}", us(at))
+                }
+                FaultEvent::Partition { at, until, a, b } => {
+                    format!("partition at_us={} until_us={} a={a} b={b}", us(at), us(until))
+                }
+                FaultEvent::PartitionOneWay {
+                    at,
+                    until,
+                    from,
+                    to,
+                } => format!(
+                    "partition_oneway at_us={} until_us={} from={from} to={to}",
+                    us(at),
+                    us(until)
+                ),
+                FaultEvent::LatencyStorm {
+                    at,
+                    until,
+                    a,
+                    b,
+                    extra,
+                    jitter,
+                } => format!(
+                    "latency_storm at_us={} until_us={} a={a} b={b} extra_us={} jitter_us={}",
+                    us(at),
+                    us(until),
+                    us(extra),
+                    us(jitter)
+                ),
+                FaultEvent::DropNotifications {
+                    at,
+                    until,
+                    from,
+                    to,
+                    probability,
+                } => format!(
+                    "drop_notifications at_us={} until_us={} from={from} to={to} p={probability}",
+                    us(at),
+                    us(until)
+                ),
+                FaultEvent::DuplicateNotifications {
+                    at,
+                    until,
+                    from,
+                    to,
+                    probability,
+                } => format!(
+                    "duplicate_notifications at_us={} until_us={} from={from} to={to} p={probability}",
+                    us(at),
+                    us(until)
+                ),
+                FaultEvent::ClockSkewRamp { at, node, drift_ppm } => format!(
+                    "clock_skew at_us={} node={node} drift_ppm={drift_ppm}",
+                    us(at)
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a timeline produced by [`FaultSchedule::to_timeline`] (blank
+    /// lines and `#` comments ignored). Errors name the offending line.
+    pub fn parse_timeline(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        for (number, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            events.push(
+                parse_timeline_event(line)
+                    .map_err(|e| format!("timeline line {}: {e} ({line:?})", number + 1))?,
+            );
+        }
+        Ok(Self { events })
+    }
+
     /// Generate a random — but fully deterministic for a given `seed` —
     /// schedule: every windowed fault heals and every crashed node restarts
     /// before `cfg.horizon`, so liveness is checkable.
@@ -302,6 +404,113 @@ impl FaultSchedule {
     }
 }
 
+/// One `key=value` field extractor for [`FaultSchedule::parse_timeline`].
+fn timeline_field<'a>(fields: &'a [&str], key: &str) -> Result<&'a str, String> {
+    fields
+        .iter()
+        .find_map(|f| f.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+        .ok_or_else(|| format!("missing field {key}"))
+}
+
+fn parse_us(fields: &[&str], key: &str) -> Result<Duration, String> {
+    let value = timeline_field(fields, key)?;
+    value
+        .parse::<u64>()
+        .map(Duration::from_micros)
+        .map_err(|_| format!("field {key} is not a microsecond count"))
+}
+
+fn parse_num<T: std::str::FromStr>(fields: &[&str], key: &str) -> Result<T, String> {
+    timeline_field(fields, key)?
+        .parse::<T>()
+        .map_err(|_| format!("field {key} has an invalid value"))
+}
+
+fn parse_node(fields: &[&str], key: &str) -> Result<NodeId, String> {
+    let value = timeline_field(fields, key)?;
+    let (ctor, index): (fn(u32) -> NodeId, &str) = if let Some(i) = value.strip_prefix("dm") {
+        (NodeId::middleware, i)
+    } else if let Some(i) = value.strip_prefix("ds") {
+        (NodeId::data_source, i)
+    } else if let Some(i) = value.strip_prefix("client") {
+        (NodeId::client, i)
+    } else {
+        return Err(format!(
+            "field {key} is not a node id (dm<N>/ds<N>/client<N>)"
+        ));
+    };
+    index
+        .parse::<u32>()
+        .map(ctor)
+        .map_err(|_| format!("field {key} has a non-numeric node index"))
+}
+
+fn parse_timeline_event(line: &str) -> Result<FaultEvent, String> {
+    let mut parts = line.split_whitespace();
+    let kind = parts.next().ok_or("empty event")?;
+    let fields: Vec<&str> = parts.collect();
+    let event = match kind {
+        "crash_ds" => FaultEvent::CrashDataSource {
+            at: parse_us(&fields, "at_us")?,
+            ds: parse_num(&fields, "ds")?,
+        },
+        "restart_ds" => FaultEvent::RestartDataSource {
+            at: parse_us(&fields, "at_us")?,
+            ds: parse_num(&fields, "ds")?,
+        },
+        "crash_middleware" => FaultEvent::CrashMiddleware {
+            at: parse_us(&fields, "at_us")?,
+        },
+        "crash_middleware_after_flush" => FaultEvent::CrashMiddlewareAfterFlush {
+            at: parse_us(&fields, "at_us")?,
+        },
+        "failover_middleware" => FaultEvent::FailoverMiddleware {
+            at: parse_us(&fields, "at_us")?,
+        },
+        "partition" => FaultEvent::Partition {
+            at: parse_us(&fields, "at_us")?,
+            until: parse_us(&fields, "until_us")?,
+            a: parse_node(&fields, "a")?,
+            b: parse_node(&fields, "b")?,
+        },
+        "partition_oneway" => FaultEvent::PartitionOneWay {
+            at: parse_us(&fields, "at_us")?,
+            until: parse_us(&fields, "until_us")?,
+            from: parse_node(&fields, "from")?,
+            to: parse_node(&fields, "to")?,
+        },
+        "latency_storm" => FaultEvent::LatencyStorm {
+            at: parse_us(&fields, "at_us")?,
+            until: parse_us(&fields, "until_us")?,
+            a: parse_node(&fields, "a")?,
+            b: parse_node(&fields, "b")?,
+            extra: parse_us(&fields, "extra_us")?,
+            jitter: parse_us(&fields, "jitter_us")?,
+        },
+        "drop_notifications" => FaultEvent::DropNotifications {
+            at: parse_us(&fields, "at_us")?,
+            until: parse_us(&fields, "until_us")?,
+            from: parse_node(&fields, "from")?,
+            to: parse_node(&fields, "to")?,
+            probability: parse_num(&fields, "p")?,
+        },
+        "duplicate_notifications" => FaultEvent::DuplicateNotifications {
+            at: parse_us(&fields, "at_us")?,
+            until: parse_us(&fields, "until_us")?,
+            from: parse_node(&fields, "from")?,
+            to: parse_node(&fields, "to")?,
+            probability: parse_num(&fields, "p")?,
+        },
+        "clock_skew" => FaultEvent::ClockSkewRamp {
+            at: parse_us(&fields, "at_us")?,
+            node: parse_node(&fields, "node")?,
+            drift_ppm: parse_num(&fields, "drift_ppm")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(event)
+}
+
 /// Parameters for [`FaultSchedule::random`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RandomFaultConfig {
@@ -368,6 +577,86 @@ mod tests {
             assert!(!schedule.events.is_empty());
             assert!(schedule.last_fault_instant() <= Duration::from_secs(4));
         }
+    }
+
+    #[test]
+    fn timeline_round_trips_every_event_kind() {
+        let dm = NodeId::middleware(0);
+        let ds = NodeId::data_source;
+        let ms = Duration::from_millis;
+        let schedule = FaultSchedule::new()
+            .with(FaultEvent::CrashDataSource {
+                at: ms(3000),
+                ds: 1,
+            })
+            .with(FaultEvent::RestartDataSource {
+                at: ms(8000),
+                ds: 1,
+            })
+            .with(FaultEvent::CrashMiddleware { at: ms(100) })
+            .with(FaultEvent::CrashMiddlewareAfterFlush { at: ms(2500) })
+            .with(FaultEvent::FailoverMiddleware { at: ms(5000) })
+            .with(FaultEvent::Partition {
+                at: ms(2000),
+                until: ms(6000),
+                a: dm,
+                b: ds(2),
+            })
+            .with(FaultEvent::PartitionOneWay {
+                at: ms(2000),
+                until: ms(5000),
+                from: ds(1),
+                to: dm,
+            })
+            .with(FaultEvent::LatencyStorm {
+                at: ms(1000),
+                until: ms(9000),
+                a: dm,
+                b: ds(0),
+                extra: ms(150),
+                jitter: ms(50),
+            })
+            .with(FaultEvent::DropNotifications {
+                at: ms(1000),
+                until: ms(8000),
+                from: ds(0),
+                to: dm,
+                probability: 0.325,
+            })
+            .with(FaultEvent::DuplicateNotifications {
+                at: ms(1000),
+                until: ms(8000),
+                from: ds(2),
+                to: dm,
+                probability: 0.5,
+            })
+            .with(FaultEvent::ClockSkewRamp {
+                at: ms(1000),
+                node: ds(2),
+                drift_ppm: -250,
+            });
+        let timeline = schedule.to_timeline();
+        let parsed = FaultSchedule::parse_timeline(&timeline).expect("round trip");
+        assert_eq!(parsed, schedule);
+        // A random seeded schedule round-trips too (the shrinker's input).
+        let random = FaultSchedule::random(9, &RandomFaultConfig::default());
+        let parsed = FaultSchedule::parse_timeline(&random.to_timeline()).unwrap();
+        assert_eq!(parsed, random);
+    }
+
+    #[test]
+    fn timeline_parse_reports_bad_lines() {
+        assert!(FaultSchedule::parse_timeline("warp_core_breach at_us=1").is_err());
+        assert!(
+            FaultSchedule::parse_timeline("crash_ds ds=1").is_err(),
+            "missing at_us"
+        );
+        assert!(
+            FaultSchedule::parse_timeline("partition at_us=1 until_us=2 a=dm0 b=mars3").is_err()
+        );
+        // Comments and blank lines are fine.
+        let ok = FaultSchedule::parse_timeline("# comment\n\ncrash_ds at_us=5 ds=0\n").unwrap();
+        assert_eq!(ok.events.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! QuickCheck-style minimization of failing fault schedules.
+//!
+//! A seeded-random schedule that turns a checker red is a terrible bug
+//! report: dozens of events, most irrelevant. [`shrink_schedule`] applies
+//! delta debugging (Zeller's ddmin, the algorithm behind QuickCheck
+//! shrinking) to the event list: repeatedly drop chunks of events — halves,
+//! then quarters, down to single events — re-run the scenario, and keep every
+//! reduction that still fails. A second pass then simplifies the survivors'
+//! *timing*: fault windows are halved and activation instants pulled earlier,
+//! as long as the failure reproduces.
+//!
+//! Every probe is a full deterministic chaos run, so the result is exact,
+//! not probabilistic: the minimized schedule is guaranteed still-failing,
+//! and 1-minimal with respect to single-event removal (dropping any one
+//! remaining event makes the failure disappear — unless the probe budget ran
+//! out first, which the report says). The minimized schedule is emitted as a
+//! replayable explicit timeline ([`crate::FaultSchedule::to_timeline`]) that
+//! reproduces without the original seed's random generator.
+
+use std::time::Duration;
+
+use crate::schedule::{FaultEvent, FaultSchedule};
+
+/// Result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The smallest still-failing schedule found.
+    pub minimized: FaultSchedule,
+    /// Events in the schedule the shrink started from.
+    pub initial_events: usize,
+    /// Events left after shrinking.
+    pub minimized_events: usize,
+    /// Scenario runs spent (including the initial confirmation run).
+    pub runs: u32,
+    /// `true` if the probe budget ran out before the schedule was 1-minimal;
+    /// the minimized schedule still fails either way.
+    pub budget_exhausted: bool,
+}
+
+impl ShrinkReport {
+    /// The minimized schedule as a replayable explicit timeline.
+    pub fn timeline(&self) -> String {
+        self.minimized.to_timeline()
+    }
+}
+
+/// Bookkeeping for the probe budget shared by both shrink passes.
+struct Probe<F> {
+    fails: F,
+    runs: u32,
+    max_runs: u32,
+}
+
+impl<F: FnMut(&FaultSchedule) -> bool> Probe<F> {
+    /// Run the scenario against `events`; `None` when the budget is gone.
+    fn fails(&mut self, events: &[FaultEvent]) -> Option<bool> {
+        if self.runs >= self.max_runs {
+            return None;
+        }
+        self.runs += 1;
+        Some((self.fails)(&FaultSchedule {
+            events: events.to_vec(),
+        }))
+    }
+}
+
+/// Shrink `initial` to a minimal schedule for which `fails` still returns
+/// `true`. `fails` runs one full scenario per call (deterministic: same
+/// schedule ⇒ same verdict); `max_runs` bounds the total number of probe
+/// runs. Returns `None` if the initial schedule does not fail at all.
+pub fn shrink_schedule<F>(initial: &FaultSchedule, max_runs: u32, fails: F) -> Option<ShrinkReport>
+where
+    F: FnMut(&FaultSchedule) -> bool,
+{
+    let mut probe = Probe {
+        fails,
+        runs: 0,
+        max_runs: max_runs.max(1),
+    };
+    if !probe.fails(&initial.events)? {
+        return None;
+    }
+
+    let mut current = initial.events.clone();
+    let mut budget_exhausted = false;
+
+    // ---------------- pass 1: ddmin event removal ----------------
+    // Granularity starts at halves; failed rounds double it until single
+    // events are tried; any successful removal resets to coarse chunks.
+    let mut granularity = 2usize;
+    'ddmin: while !current.is_empty() {
+        granularity = granularity.min(current.len());
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<FaultEvent> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            match probe.fails(&candidate) {
+                None => {
+                    budget_exhausted = true;
+                    break 'ddmin;
+                }
+                Some(true) => {
+                    current = candidate;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                Some(false) => start = end,
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no single event can be dropped.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+
+    // ---------------- pass 2: timing simplification ----------------
+    // For each surviving event, try a variant with a halved window and an
+    // earlier activation; keep whatever still fails.
+    if !budget_exhausted {
+        for index in 0..current.len() {
+            // Re-derive variants from the adopted event each round, so a
+            // later variant cannot silently undo an earlier simplification.
+            let mut improved = true;
+            let mut rounds = 0;
+            while improved && rounds < 8 && !budget_exhausted {
+                improved = false;
+                rounds += 1;
+                for variant in simplify_event(&current[index]) {
+                    let mut candidate = current.clone();
+                    candidate[index] = variant.clone();
+                    match probe.fails(&candidate) {
+                        None => {
+                            budget_exhausted = true;
+                            break;
+                        }
+                        Some(true) => {
+                            current[index] = variant;
+                            improved = true;
+                            break;
+                        }
+                        Some(false) => {}
+                    }
+                }
+            }
+            if budget_exhausted {
+                break;
+            }
+        }
+    }
+
+    Some(ShrinkReport {
+        initial_events: initial.events.len(),
+        minimized_events: current.len(),
+        minimized: FaultSchedule { events: current },
+        runs: probe.runs,
+        budget_exhausted,
+    })
+}
+
+/// Candidate simplifications of one event, simplest first: pull the
+/// activation instant halfway toward zero, and halve a windowed fault's
+/// duration. Instant events only get the time pull.
+fn simplify_event(event: &FaultEvent) -> Vec<FaultEvent> {
+    // Quantized to whole microseconds: the virtual clock ticks in µs and the
+    // replayable timeline stores µs, so finer durations would not round-trip.
+    let halve_at = |at: &Duration| Duration::from_micros(at.as_micros() as u64 / 2);
+    let halve_window = |at: &Duration, until: &Duration| {
+        let length = until.saturating_sub(*at).as_micros() as u64;
+        *at + Duration::from_micros(length / 2)
+    };
+    let mut variants = Vec::new();
+    match event {
+        FaultEvent::CrashDataSource { at, ds } => variants.push(FaultEvent::CrashDataSource {
+            at: halve_at(at),
+            ds: *ds,
+        }),
+        FaultEvent::RestartDataSource { at, ds } => variants.push(FaultEvent::RestartDataSource {
+            at: halve_at(at),
+            ds: *ds,
+        }),
+        FaultEvent::CrashMiddleware { at } => {
+            variants.push(FaultEvent::CrashMiddleware { at: halve_at(at) })
+        }
+        FaultEvent::CrashMiddlewareAfterFlush { at } => {
+            variants.push(FaultEvent::CrashMiddlewareAfterFlush { at: halve_at(at) })
+        }
+        FaultEvent::FailoverMiddleware { at } => {
+            variants.push(FaultEvent::FailoverMiddleware { at: halve_at(at) })
+        }
+        FaultEvent::Partition { at, until, a, b } => {
+            variants.push(FaultEvent::Partition {
+                at: *at,
+                until: halve_window(at, until),
+                a: *a,
+                b: *b,
+            });
+            variants.push(FaultEvent::Partition {
+                at: halve_at(at),
+                until: *until,
+                a: *a,
+                b: *b,
+            });
+        }
+        FaultEvent::PartitionOneWay {
+            at,
+            until,
+            from,
+            to,
+        } => {
+            variants.push(FaultEvent::PartitionOneWay {
+                at: *at,
+                until: halve_window(at, until),
+                from: *from,
+                to: *to,
+            });
+        }
+        FaultEvent::LatencyStorm {
+            at,
+            until,
+            a,
+            b,
+            extra,
+            jitter,
+        } => {
+            variants.push(FaultEvent::LatencyStorm {
+                at: *at,
+                until: halve_window(at, until),
+                a: *a,
+                b: *b,
+                extra: *extra,
+                jitter: *jitter,
+            });
+        }
+        FaultEvent::DropNotifications {
+            at,
+            until,
+            from,
+            to,
+            probability,
+        } => {
+            variants.push(FaultEvent::DropNotifications {
+                at: *at,
+                until: halve_window(at, until),
+                from: *from,
+                to: *to,
+                probability: *probability,
+            });
+        }
+        FaultEvent::DuplicateNotifications {
+            at,
+            until,
+            from,
+            to,
+            probability,
+        } => {
+            variants.push(FaultEvent::DuplicateNotifications {
+                at: *at,
+                until: halve_window(at, until),
+                from: *from,
+                to: *to,
+                probability: *probability,
+            });
+        }
+        FaultEvent::ClockSkewRamp {
+            at,
+            node,
+            drift_ppm,
+        } => variants.push(FaultEvent::ClockSkewRamp {
+            at: halve_at(at),
+            node: *node,
+            drift_ppm: *drift_ppm,
+        }),
+    }
+    // A zero-time variant equals the original for `at == 0`; drop no-ops.
+    variants.retain(|v| v != event);
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_net::NodeId;
+
+    fn crash(at_secs: u64, ds: u32) -> FaultEvent {
+        FaultEvent::CrashDataSource {
+            at: Duration::from_secs(at_secs),
+            ds,
+        }
+    }
+
+    fn partition(at_secs: u64, until_secs: u64) -> FaultEvent {
+        FaultEvent::Partition {
+            at: Duration::from_secs(at_secs),
+            until: Duration::from_secs(until_secs),
+            a: NodeId::middleware(0),
+            b: NodeId::data_source(0),
+        }
+    }
+
+    /// A synthetic failure oracle: the "bug" triggers iff ds1 crashes while
+    /// some partition is scheduled. The shrinker must isolate exactly that
+    /// pair out of a pile of noise events.
+    fn synthetic_fails(schedule: &FaultSchedule) -> bool {
+        let crash_ds1 = schedule
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::CrashDataSource { ds: 1, .. }));
+        let any_partition = schedule
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Partition { .. }));
+        crash_ds1 && any_partition
+    }
+
+    #[test]
+    fn ddmin_isolates_the_failing_pair() {
+        let schedule = FaultSchedule {
+            events: vec![
+                crash(1, 0),
+                partition(2, 4),
+                crash(3, 2),
+                crash(4, 1), // culprit 1
+                partition(5, 6),
+                crash(6, 0),
+                FaultEvent::ClockSkewRamp {
+                    at: Duration::from_secs(1),
+                    node: NodeId::data_source(2),
+                    drift_ppm: 400,
+                },
+                crash(8, 2),
+            ],
+        };
+        let report = shrink_schedule(&schedule, 200, synthetic_fails).expect("initial fails");
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.minimized_events, 2, "{:?}", report.minimized);
+        assert!(synthetic_fails(&report.minimized));
+        assert!(report
+            .minimized
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::CrashDataSource { ds: 1, .. })));
+        assert!(report
+            .minimized
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Partition { .. })));
+        // The timeline artifact replays to the same schedule.
+        let replayed = FaultSchedule::parse_timeline(&report.timeline()).unwrap();
+        assert_eq!(replayed, report.minimized);
+    }
+
+    #[test]
+    fn non_failing_schedule_returns_none() {
+        let schedule = FaultSchedule {
+            events: vec![crash(1, 0)],
+        };
+        assert!(shrink_schedule(&schedule, 50, synthetic_fails).is_none());
+    }
+
+    #[test]
+    fn unconditional_failure_shrinks_to_empty() {
+        // A bug that fires regardless of faults (e.g. a broken checker or an
+        // injected engine bug) shrinks all the way to the empty schedule.
+        let schedule = FaultSchedule {
+            events: vec![crash(1, 0), partition(2, 3), crash(4, 2)],
+        };
+        let report = shrink_schedule(&schedule, 100, |_| true).unwrap();
+        assert_eq!(report.minimized_events, 0);
+        assert!(!report.budget_exhausted);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_and_result_still_fails() {
+        let schedule = FaultSchedule {
+            events: (0..12).map(|i| crash(i, (i % 3) as u32)).collect(),
+        };
+        let report = shrink_schedule(&schedule, 3, |s| {
+            s.events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::CrashDataSource { ds: 1, .. }))
+        })
+        .unwrap();
+        assert!(report.budget_exhausted);
+        assert!(report.runs <= 3);
+        assert!(report
+            .minimized
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::CrashDataSource { ds: 1, .. })));
+    }
+
+    #[test]
+    fn timing_pass_halves_windows() {
+        // Single event, failure independent of timing: the window shrinks.
+        let schedule = FaultSchedule {
+            events: vec![partition(4, 12)],
+        };
+        let report = shrink_schedule(&schedule, 100, |s| {
+            s.events
+                .iter()
+                .any(|e| matches!(e, FaultEvent::Partition { .. }))
+        })
+        .unwrap();
+        assert_eq!(report.minimized_events, 1);
+        match &report.minimized.events[0] {
+            FaultEvent::Partition { at, until, .. } => {
+                assert!(*until < Duration::from_secs(12), "window not simplified");
+                assert!(*at <= Duration::from_secs(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

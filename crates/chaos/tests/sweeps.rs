@@ -13,7 +13,7 @@
 //! does not depend on address-space layout, environment or any other
 //! process-local accident.
 
-use geotp_chaos::Scenario;
+use geotp_chaos::{DrillWorkload, Scenario};
 
 /// Seeds per preset: 4 by default, honouring `GEOTP_CHAOS_SWEEP` /
 /// `GEOTP_FULL=1` (which bumps to 32) for the paper-scale runs.
@@ -33,12 +33,13 @@ fn sweep_seeds() -> u64 {
     }
 }
 
-fn assert_scenario_green(scenario: Scenario, seed: u64) {
-    let report = scenario.run(seed);
+fn assert_scenario_green(scenario: Scenario, workload: DrillWorkload, seed: u64) {
+    let report = scenario.run_with(seed, workload);
     assert!(
         report.invariants.all_hold(),
-        "{} seed {} violated invariants:\n  {}\ntrace tail:\n  {}",
+        "{} ({}) seed {} violated invariants:\n  {}\ntrace tail:\n  {}",
         scenario.name(),
+        workload.name(),
         seed,
         report.invariants.violations.join("\n  "),
         report
@@ -53,33 +54,81 @@ fn assert_scenario_green(scenario: Scenario, seed: u64) {
     );
     assert!(
         report.committed > 0,
-        "{} seed {}: a drill where nothing commits proves nothing",
+        "{} ({}) seed {}: a drill where nothing commits proves nothing",
         scenario.name(),
+        workload.name(),
         seed
     );
 }
 
 macro_rules! sweep_test {
-    ($test_name:ident, $scenario:expr) => {
+    ($transfer_name:ident, $tpcc_name:ident, $scenario:expr) => {
         #[test]
-        fn $test_name() {
+        fn $transfer_name() {
             for seed in 1..=sweep_seeds() {
-                assert_scenario_green($scenario, seed);
+                assert_scenario_green($scenario, DrillWorkload::Transfer, seed);
+            }
+        }
+
+        #[test]
+        fn $tpcc_name() {
+            for seed in 1..=sweep_seeds() {
+                assert_scenario_green($scenario, DrillWorkload::Tpcc, seed);
             }
         }
     };
 }
 
-sweep_test!(sweep_prepare_phase_crash, Scenario::PreparePhaseCrash);
-sweep_test!(sweep_commit_phase_partition, Scenario::CommitPhasePartition);
-sweep_test!(sweep_asymmetric_partition, Scenario::AsymmetricPartition);
-sweep_test!(sweep_rolling_restarts, Scenario::RollingRestarts);
-sweep_test!(sweep_wan_brownout, Scenario::WanBrownout);
-sweep_test!(sweep_coordinator_failover, Scenario::CoordinatorFailover);
-sweep_test!(sweep_lossy_notifications, Scenario::LossyNotifications);
-sweep_test!(sweep_clock_skew_drift, Scenario::ClockSkewDrift);
-sweep_test!(sweep_crash_during_brownout, Scenario::CrashDuringBrownout);
-sweep_test!(sweep_randomized_faults, Scenario::RandomizedFaults);
+sweep_test!(
+    sweep_prepare_phase_crash,
+    sweep_tpcc_prepare_phase_crash,
+    Scenario::PreparePhaseCrash
+);
+sweep_test!(
+    sweep_commit_phase_partition,
+    sweep_tpcc_commit_phase_partition,
+    Scenario::CommitPhasePartition
+);
+sweep_test!(
+    sweep_asymmetric_partition,
+    sweep_tpcc_asymmetric_partition,
+    Scenario::AsymmetricPartition
+);
+sweep_test!(
+    sweep_rolling_restarts,
+    sweep_tpcc_rolling_restarts,
+    Scenario::RollingRestarts
+);
+sweep_test!(
+    sweep_wan_brownout,
+    sweep_tpcc_wan_brownout,
+    Scenario::WanBrownout
+);
+sweep_test!(
+    sweep_coordinator_failover,
+    sweep_tpcc_coordinator_failover,
+    Scenario::CoordinatorFailover
+);
+sweep_test!(
+    sweep_lossy_notifications,
+    sweep_tpcc_lossy_notifications,
+    Scenario::LossyNotifications
+);
+sweep_test!(
+    sweep_clock_skew_drift,
+    sweep_tpcc_clock_skew_drift,
+    Scenario::ClockSkewDrift
+);
+sweep_test!(
+    sweep_crash_during_brownout,
+    sweep_tpcc_crash_during_brownout,
+    Scenario::CrashDuringBrownout
+);
+sweep_test!(
+    sweep_randomized_faults,
+    sweep_tpcc_randomized_faults,
+    Scenario::RandomizedFaults
+);
 
 /// The checkers are not vacuous: a protocol that genuinely lacks atomicity
 /// (SSP "local" mode one-phase-commits every branch independently) must turn

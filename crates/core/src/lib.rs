@@ -51,7 +51,8 @@ pub use geotp_storage as storage;
 pub use geotp_workloads as workloads;
 
 pub use geotp_chaos::{
-    ChaosConfig, ChaosReport, FaultEvent, FaultSchedule, InvariantReport, Scenario,
+    shrink_schedule, ChaosConfig, ChaosReport, ChaosWorkload, DrillWorkload, FaultEvent,
+    FaultSchedule, InvariantReport, Scenario, ShrinkReport, TpccChaosWorkload, TransferWorkload,
 };
 pub use geotp_datasource::{DataSource, DataSourceConfig, Dialect, DsConnection};
 pub use geotp_middleware::{

@@ -107,6 +107,7 @@ mod tests {
             cfg.engine = EngineConfig {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
+                record_history: false,
             };
             let ds = DataSource::new(cfg, Rc::clone(&net));
             ds.load(Key::new(TableId(0), 1), Row::int(10));
@@ -154,6 +155,7 @@ mod tests {
             cfg.engine = EngineConfig {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
+                record_history: false,
             };
             let ds = DataSource::new(cfg, Rc::clone(&net));
             ds.load(Key::new(TableId(0), 1), Row::int(10));

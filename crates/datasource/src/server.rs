@@ -85,6 +85,13 @@ pub struct DataSource {
     /// *before* their first statement arrived (possible when the scheduler
     /// postpones the local branch). The branch is refused on arrival.
     abort_marks: RefCell<FxHashSet<Xid>>,
+    /// Branches that already concluded here (committed, rolled back or
+    /// refused). Lets [`DataSource::peer_rollback`] tell a *late or
+    /// duplicated* abort request (a no-op) apart from one racing ahead of
+    /// the branch's first statement (a tombstone) — without it, a second
+    /// request for a finished branch planted a bogus tombstone and
+    /// double-counted `peer_rollbacks`.
+    finished_branches: RefCell<FxHashSet<Xid>>,
     stats: RefCell<DataSourceStats>,
 }
 
@@ -106,6 +113,7 @@ impl DataSource {
             peers: RefCell::new(FxHashMap::default()),
             branches: RefCell::new(FxHashMap::default()),
             abort_marks: RefCell::new(FxHashSet::default()),
+            finished_branches: RefCell::new(FxHashSet::default()),
             stats: RefCell::new(DataSourceStats::default()),
         })
     }
@@ -152,6 +160,16 @@ impl DataSource {
     /// Bulk-load a record (initial population, no locking or logging).
     pub fn load(&self, key: geotp_storage::Key, row: Row) {
         self.engine.load(key, row);
+    }
+
+    /// Record that a branch concluded on this node (bounded like the
+    /// tombstone set: these are failure-path artifacts, not hot state).
+    fn mark_finished(&self, xid: Xid) {
+        let mut finished = self.finished_branches.borrow_mut();
+        if finished.len() > 100_000 {
+            finished.clear();
+        }
+        finished.insert(xid);
     }
 
     /// Push a notification towards middleware `dm` in the background.
@@ -210,6 +228,7 @@ impl DataSource {
         // A peer already asked to abort this branch (early abort raced ahead
         // of the branch's first statement): refuse it and confirm the rollback.
         if self.abort_marks.borrow_mut().remove(&req.xid) {
+            self.mark_finished(req.xid);
             self.stats.borrow_mut().failed_statements += 1;
             self.notify_dm(from, AgentNotification::Rollbacked { xid: req.xid });
             return StatementResponse {
@@ -310,7 +329,15 @@ impl DataSource {
         let _ = self.engine.rollback(req.xid).await;
         self.notify_dm(from, AgentNotification::Rollbacked { xid: req.xid });
 
-        if req.early_abort {
+        // A crashed data source sends nothing — not to the coordinator (the
+        // `notify_dm` above already refuses) and not to peers either. Without
+        // this guard a dead geo-agent still pushed early aborts, and under
+        // the duplicate-delivery preset each such zombie message was
+        // delivered twice, inflating peer-rollback counts in the failure
+        // drills. The coordinator's decision-wait timeout now rolls the
+        // surviving branches back explicitly, so nothing depends on a dead
+        // process speaking.
+        if req.early_abort && !self.is_crashed() {
             let peers = if req.peers.is_empty() {
                 self.branches
                     .borrow()
@@ -341,28 +368,42 @@ impl DataSource {
             }
         }
         self.branches.borrow_mut().remove(&req.xid);
+        self.mark_finished(req.xid);
     }
 
     /// Roll back a branch at the request of a *peer* geo-agent (early abort),
     /// then notify the coordinating middleware that the branch is gone.
+    ///
+    /// Idempotent: when two failing siblings of a ≥3-branch transaction both
+    /// early-abort this branch (or the duplicate-delivery fault doubles the
+    /// request), the second call finds the branch gone, counts nothing and
+    /// sends nothing — previously it double-counted `peer_rollbacks` and
+    /// re-sent the `Rollbacked` notification.
     pub async fn peer_rollback(self: &Rc<Self>, xid: Xid) {
-        self.stats.borrow_mut().peer_rollbacks += 1;
+        if self.finished_branches.borrow().contains(&xid) {
+            return; // late or duplicated request for a concluded branch
+        }
         let coordinator = self.branches.borrow().get(&xid).map(|b| b.coordinator);
         if coordinator.is_none() && self.engine.state_of(xid).is_none() {
             // The branch has not arrived yet (its dispatch was postponed by
-            // the scheduler). Leave a tombstone so it is refused on arrival.
+            // the scheduler). Leave a tombstone so it is refused on arrival;
+            // a repeated request for the same branch changes nothing.
             let mut marks = self.abort_marks.borrow_mut();
             if marks.len() > 100_000 {
                 marks.clear();
             }
-            marks.insert(xid);
+            if marks.insert(xid) {
+                self.stats.borrow_mut().peer_rollbacks += 1;
+            }
             return;
         }
+        self.stats.borrow_mut().peer_rollbacks += 1;
         self.engine.lock_manager().cancel_waiters(xid);
         if self.engine.state_of(xid).is_some() {
             let _ = self.engine.rollback(xid).await;
         }
         self.branches.borrow_mut().remove(&xid);
+        self.mark_finished(xid);
         if let Some(dm) = coordinator {
             self.notify_dm(dm, AgentNotification::Rollbacked { xid });
         }
@@ -435,6 +476,9 @@ impl DataSource {
     pub async fn commit(self: &Rc<Self>, xid: Xid, one_phase: bool) -> Result<(), StorageError> {
         let result = self.engine.commit(xid, one_phase).await;
         self.branches.borrow_mut().remove(&xid);
+        if result.is_ok() {
+            self.mark_finished(xid);
+        }
         result
     }
 
@@ -447,6 +491,7 @@ impl DataSource {
             Ok(())
         };
         self.branches.borrow_mut().remove(&xid);
+        self.mark_finished(xid);
         result
     }
 
@@ -462,6 +507,7 @@ impl DataSource {
         let victims = self.engine.abort_unprepared().await;
         for xid in &victims {
             self.branches.borrow_mut().remove(xid);
+            self.mark_finished(*xid);
         }
         victims
     }
@@ -505,6 +551,7 @@ mod tests {
         cfg.engine = EngineConfig {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
+            record_history: false,
         };
         let ds = DataSource::new(cfg, Rc::clone(&net));
         ds.load(key(1), Row::int(100));
@@ -637,6 +684,7 @@ mod tests {
                 cfg.engine = EngineConfig {
                     lock_wait_timeout: Duration::from_millis(50),
                     cost: CostModel::zero(),
+                    record_history: false,
                 };
                 cfg.agent_lan_rtt = Duration::ZERO;
                 DataSource::new(cfg, Rc::clone(&net))
@@ -711,6 +759,117 @@ mod tests {
             assert_eq!(ds0.stats().early_aborts_sent, 1);
             // ds1's write was undone by the early abort.
             assert_eq!(ds1.engine().peek(key(2)).unwrap().int_value(), Some(0));
+        });
+    }
+
+    #[test]
+    fn peer_rollback_is_idempotent_for_a_gone_branch() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, ds, dm) = setup(0, 10);
+            let (tx, mut rx) = mpsc::unbounded();
+            ds.register_middleware(dm, tx);
+            let xid = Xid::new(21, 0);
+            ds.execute(
+                dm,
+                &StatementRequest {
+                    xid,
+                    begin: true,
+                    ops: vec![DsOperation::AddInt {
+                        key: key(1),
+                        col: 0,
+                        delta: 1,
+                    }],
+                    is_last: false,
+                    decentralized_prepare: false,
+                    early_abort: true,
+                    peers: vec![1],
+                },
+            )
+            .await;
+            // Two failing siblings (or a duplicated delivery) both ask this
+            // branch to roll back: one rollback, one notification, one count.
+            ds.peer_rollback(xid).await;
+            ds.peer_rollback(xid).await;
+            assert_eq!(ds.stats().peer_rollbacks, 1, "second request is a no-op");
+            assert_eq!(
+                rx.recv().await.unwrap(),
+                AgentNotification::Rollbacked { xid }
+            );
+            assert!(
+                rx.try_recv().is_none(),
+                "the duplicate request must not re-send Rollbacked"
+            );
+            assert_eq!(ds.engine().peek(key(1)).unwrap().int_value(), Some(100));
+        });
+    }
+
+    #[test]
+    fn crashed_source_sends_no_early_aborts() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let dm = NodeId::middleware(0);
+            let ds0_node = NodeId::data_source(0);
+            let ds1_node = NodeId::data_source(1);
+            let net = NetworkBuilder::new(1)
+                .static_link(dm, ds0_node, Duration::from_millis(10))
+                .static_link(dm, ds1_node, Duration::from_millis(10))
+                .static_link(ds0_node, ds1_node, Duration::from_millis(10))
+                .build();
+            let mk = |node: NodeId| {
+                let mut cfg = DataSourceConfig::new(node);
+                cfg.engine = EngineConfig {
+                    lock_wait_timeout: Duration::from_secs(60),
+                    cost: CostModel::zero(),
+                    record_history: false,
+                };
+                cfg.agent_lan_rtt = Duration::ZERO;
+                DataSource::new(cfg, Rc::clone(&net))
+            };
+            let ds0 = mk(ds0_node);
+            let ds1 = mk(ds1_node);
+            ds0.register_peer(&ds1);
+            ds1.register_peer(&ds0);
+            ds0.load(key(1), Row::int(0));
+
+            // An unrelated holder parks the branch's statement in a lock wait.
+            let blocker = Xid::new(99, 0);
+            ds0.engine().begin(blocker).unwrap();
+            ds0.engine().add_int(blocker, key(1), 0, 1).await.unwrap();
+
+            let xid = Xid::new(5, 0);
+            let ds0_exec = Rc::clone(&ds0);
+            let blocked = geotp_simrt::spawn(async move {
+                ds0_exec
+                    .execute(
+                        dm,
+                        &StatementRequest {
+                            xid,
+                            begin: true,
+                            ops: vec![DsOperation::AddInt {
+                                key: key(1),
+                                col: 0,
+                                delta: 1,
+                            }],
+                            is_last: false,
+                            decentralized_prepare: true,
+                            early_abort: true,
+                            peers: vec![1],
+                        },
+                    )
+                    .await
+            });
+            geotp_simrt::sleep(Duration::from_millis(5)).await;
+            // The node dies mid-statement; the kicked-out lock wait fails the
+            // statement on a now-crashed source. Its geo-agent died with it:
+            // no early aborts may reach the peer (previously a zombie task
+            // still pushed them — doubled under duplicate delivery).
+            ds0.crash();
+            let resp = blocked.await;
+            assert!(!resp.outcome.is_ok());
+            geotp_simrt::sleep(Duration::from_millis(50)).await;
+            assert_eq!(ds0.stats().early_aborts_sent, 0, "dead agents say nothing");
+            assert_eq!(ds1.stats().peer_rollbacks, 0);
         });
     }
 

@@ -164,6 +164,7 @@ impl DistDb {
                 breakdown: LatencyBreakdown::default(),
                 distributed,
                 rows,
+                ..TxnOutcome::default()
             };
             self.stats.borrow_mut().record(&outcome);
             outcome
@@ -344,6 +345,7 @@ mod tests {
         config.engine = EngineConfig {
             lock_wait_timeout: Duration::from_secs(2),
             cost: CostModel::zero(),
+            record_history: false,
         };
         let db = DistDb::new(
             config,

@@ -1,15 +1,20 @@
-//! The failure-drill table: every chaos scenario preset, seeded-swept, with
-//! its invariant verdict.
+//! The failure-drill tables: every chaos scenario preset, seeded-swept under
+//! both drill workloads, with the four invariant-checker verdicts.
 //!
 //! This is the evaluation-side face of `geotp-chaos` (paper §V: correct
 //! behaviour under middleware setting ❶ and data-source setting ❷ failures,
 //! generalized to partitions, brownouts, message loss and clock skew). Each
 //! preset runs across a seed sweep — 3 seeds at `Quick` scale, 32 at `Full`
-//! — and the table reports client-visible outcomes plus the atomicity /
-//! durability / liveness checker verdicts. Any `VIOLATED` cell is a protocol
-//! regression.
+//! — once driving balance transfers and once driving the TPC-C five-profile
+//! mix, and the tables report client-visible outcomes plus the atomicity /
+//! durability / liveness / serializability verdicts. Any `VIOLATED` cell is
+//! a protocol regression.
+//!
+//! Every cell is deterministic (bit-reproducible runs), so the rendered
+//! tables are committed as golden references under `tests/golden/` and
+//! diffed in CI ([`crate::golden`]): silent result drift fails the job.
 
-use geotp::chaos::Scenario;
+use geotp::chaos::{DrillWorkload, Scenario};
 
 use crate::report::Table;
 use crate::scale::Scale;
@@ -22,12 +27,12 @@ fn seeds(scale: Scale) -> u64 {
     }
 }
 
-/// Run every chaos preset across the seed sweep.
-pub fn failure_drills(scale: Scale) -> Vec<Table> {
+fn drill_table(scale: Scale, workload: DrillWorkload) -> Table {
     let mut table = Table::new(
         format!(
-            "Failure drills — chaos presets x {} seed(s), GeoTP (O1-O3)",
-            seeds(scale)
+            "Failure drills — chaos presets x {} seed(s), {} workload, GeoTP (O1-O3)",
+            seeds(scale),
+            workload.name()
         ),
         &[
             "scenario",
@@ -37,6 +42,7 @@ pub fn failure_drills(scale: Scale) -> Vec<Table> {
             "atomicity",
             "durability",
             "liveness",
+            "serializability",
             "trace fingerprint (seed 1)",
         ],
     );
@@ -47,15 +53,17 @@ pub fn failure_drills(scale: Scale) -> Vec<Table> {
         let mut atomicity = true;
         let mut durability = true;
         let mut liveness = true;
+        let mut serializability = true;
         let mut fingerprint = String::new();
         for seed in 1..=seeds(scale) {
-            let report = scenario.run(seed);
+            let report = scenario.run_with(seed, workload);
             committed += report.committed;
             aborted += report.aborted;
             indeterminate += report.indeterminate;
             atomicity &= report.invariants.atomicity_ok;
             durability &= report.invariants.durability_ok;
             liveness &= report.invariants.liveness_ok;
+            serializability &= report.invariants.serializability_ok;
             if seed == 1 {
                 fingerprint = format!("{:016x}", report.fingerprint);
             }
@@ -69,29 +77,38 @@ pub fn failure_drills(scale: Scale) -> Vec<Table> {
             verdict(atomicity).to_string(),
             verdict(durability).to_string(),
             verdict(liveness).to_string(),
+            verdict(serializability).to_string(),
             fingerprint,
         ]);
     }
-    vec![table]
+    table
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// Run every chaos preset across the seed sweep, once per drill workload.
+pub fn failure_drills(scale: Scale) -> Vec<Table> {
+    DrillWorkload::all()
+        .into_iter()
+        .map(|workload| drill_table(scale, workload))
+        .collect()
+}
 
-    #[test]
-    fn drill_table_covers_every_preset_and_stays_green() {
-        let tables = failure_drills(Scale::Quick);
-        assert_eq!(tables.len(), 1);
-        let table = &tables[0];
+/// Coverage + green assertions shared with the golden gate (the quick-scale
+/// sweep is expensive, so [`crate::golden`]'s test runs it once and applies
+/// both this structural check and the golden diff to the same tables).
+#[cfg(test)]
+pub(crate) fn assert_tables_cover_every_preset_and_stay_green(tables: &[Table]) {
+    assert_eq!(tables.len(), DrillWorkload::all().len());
+    for (table, workload) in tables.iter().zip(DrillWorkload::all()) {
+        assert!(table.title.contains(workload.name()));
         assert_eq!(table.len(), Scenario::all().len());
         for scenario in Scenario::all() {
-            for column in ["atomicity", "durability", "liveness"] {
+            for column in ["atomicity", "durability", "liveness", "serializability"] {
                 assert_eq!(
                     table.cell(scenario.name(), column),
                     Some("ok"),
-                    "{} {column}",
-                    scenario.name()
+                    "{} {} {column}",
+                    scenario.name(),
+                    workload.name()
                 );
             }
         }

@@ -105,6 +105,7 @@ pub fn fig06_breakdown(scale: Scale) -> Vec<Table> {
             .engine_config(EngineConfig {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::default(),
+                record_history: false,
             })
             .build();
         cluster.load_uniform(1_000, 10_000);

@@ -1,0 +1,176 @@
+//! Stored reference tables ("golden files") for deterministic experiments.
+//!
+//! Every experiment in this workspace runs on the deterministic simulated
+//! runtime — same build, same config ⇒ byte-identical result tables. That
+//! makes *result drift* (not just perf drift) mechanically checkable: the
+//! rendered tables are committed under `tests/golden/` and
+//! [`verify`] diffs a fresh run against them. CI fails on any mismatch
+//! instead of waiting for a human to eyeball the nightly artifacts (the
+//! ROADMAP's "stored reference tables" item).
+//!
+//! Workflow when a change *intentionally* shifts results (new scheduler
+//! decision, protocol fix, workload change):
+//!
+//! ```text
+//! GEOTP_BLESS=1 cargo test --release -p geotp-experiments golden   # quick scale
+//! GEOTP_BLESS=1 GEOTP_FULL=1 cargo test --release -p geotp-experiments golden
+//! git add tests/golden/ && git commit                              # review the diff!
+//! ```
+//!
+//! The diff in review *is* the drift report: a reviewer sees exactly which
+//! scenario/seed cells moved.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::report::Table;
+
+/// Where the golden files live: `<repo root>/tests/golden/`.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden"))
+}
+
+/// Render a table set exactly as committed to the golden file.
+pub fn render(tables: &[Table]) -> String {
+    let mut out = String::new();
+    for table in tables {
+        let _ = write!(out, "{table}");
+    }
+    out
+}
+
+/// Compare `tables` against the committed golden file `<name>.txt`.
+///
+/// With `GEOTP_BLESS=1` the file is (re)written instead and the check
+/// passes — that is the only sanctioned way to move a golden table, so the
+/// change lands as a reviewable diff. Errors carry the first differing line
+/// and the bless instructions.
+pub fn verify(name: &str, tables: &[Table]) -> Result<(), String> {
+    let actual = render(tables);
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var("GEOTP_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        std::fs::create_dir_all(golden_dir())
+            .map_err(|e| format!("golden: create {}: {e}", golden_dir().display()))?;
+        std::fs::write(&path, &actual)
+            .map_err(|e| format!("golden: write {}: {e}", path.display()))?;
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "golden: missing reference {path:?} ({e}); record it with \
+             GEOTP_BLESS=1 and commit the file",
+        )
+    })?;
+    diff(name, &expected, &actual)
+}
+
+/// Line-level comparison with a drift report naming the first divergence.
+fn diff(name: &str, expected: &str, actual: &str) -> Result<(), String> {
+    if expected == actual {
+        return Ok(());
+    }
+    let mut report = format!("golden: `{name}` drifted from tests/golden/{name}.txt\n");
+    let expected_lines: Vec<&str> = expected.lines().collect();
+    let actual_lines: Vec<&str> = actual.lines().collect();
+    let mut shown = 0;
+    for i in 0..expected_lines.len().max(actual_lines.len()) {
+        let e = expected_lines.get(i).copied().unwrap_or("<missing>");
+        let a = actual_lines.get(i).copied().unwrap_or("<missing>");
+        if e != a {
+            let _ = write!(
+                report,
+                "  line {}:\n    golden: {e}\n    actual: {a}\n",
+                i + 1
+            );
+            shown += 1;
+            if shown >= 5 {
+                let _ = writeln!(report, "  ... (further differences elided)");
+                break;
+            }
+        }
+    }
+    let _ = write!(
+        report,
+        "If this drift is intentional, re-record with GEOTP_BLESS=1 and commit the diff."
+    );
+    Err(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failure_drills::failure_drills;
+    use crate::scale::Scale;
+
+    /// The CI drift gate: the failure-drill tables must match the committed
+    /// golden file for the active scale. `GEOTP_FULL=1` checks the 32-seed
+    /// sweep against its own reference (the nightly job does exactly that);
+    /// the default checks the quick tables on every push.
+    #[test]
+    fn golden_failure_drills() {
+        let scale = Scale::from_env();
+        let name = match scale {
+            Scale::Quick => "failure_drills_quick",
+            Scale::Full => "failure_drills_full",
+        };
+        let tables = failure_drills(scale);
+        // One sweep, two verdicts: structural coverage + all checkers green
+        // (the drill module's assertions), then the byte-level drift gate.
+        crate::failure_drills::assert_tables_cover_every_preset_and_stay_green(&tables);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+    }
+
+    /// A tiny committed fixture (`tests/golden/selftest.txt`) matching this
+    /// table exactly — lets the perturbation test exercise the full verify
+    /// path (file read + diff) without re-running the drill sweep.
+    fn selftest_table() -> Table {
+        let mut table = Table::new("Golden self-test", &["scenario", "committed"]);
+        table.push_row(vec!["example".into(), "42".into()]);
+        table
+    }
+
+    /// The gate is not vacuous: a deliberate single-cell perturbation — the
+    /// kind of silent drift the nightly used to need a human to spot — must
+    /// fail the diff and name the damaged line. Runs against a small
+    /// committed fixture so it does not repeat the (already golden-checked)
+    /// drill sweep.
+    #[test]
+    fn deliberate_perturbation_is_flagged() {
+        let pristine = vec![selftest_table()];
+        // Under GEOTP_BLESS=1 this call (re)records the fixture and the
+        // perturbation half is meaningless (bless mode never diffs).
+        verify("selftest", &pristine).expect("fixture matches its golden file");
+        if std::env::var("GEOTP_BLESS")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
+            return;
+        }
+
+        let mut perturbed = vec![selftest_table()];
+        perturbed[0].rows[0][1] = "43".into();
+        let err = verify("selftest", &perturbed)
+            .expect_err("perturbed tables must not match the golden file");
+        assert!(err.contains("drifted"), "{err}");
+        assert!(err.contains("line "), "{err}");
+        assert!(err.contains("GEOTP_BLESS"), "{err}");
+    }
+
+    /// Render + diff mechanics, independent of the drill tables.
+    #[test]
+    fn diff_reports_first_divergence() {
+        assert!(diff("x", "a\nb\n", "a\nb\n").is_ok());
+        let err = diff("x", "a\nb\n", "a\nc\n").unwrap_err();
+        assert!(err.contains("line 2"));
+        assert!(err.contains("golden: b"));
+        assert!(err.contains("actual: c"));
+        // Length mismatches surface as <missing>.
+        let err = diff("x", "a\n", "a\nb\n").unwrap_err();
+        assert!(err.contains("<missing>"));
+    }
+}

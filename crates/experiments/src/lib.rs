@@ -17,6 +17,7 @@ pub mod figs_distributed;
 pub mod figs_motivation;
 pub mod figs_network;
 pub mod figs_overall;
+pub mod golden;
 pub mod report;
 pub mod runner;
 pub mod scale;

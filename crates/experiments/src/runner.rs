@@ -307,6 +307,7 @@ fn engine_config(lock_wait_timeout: Duration) -> EngineConfig {
     EngineConfig {
         lock_wait_timeout,
         cost: CostModel::default(),
+        record_history: false,
     }
 }
 

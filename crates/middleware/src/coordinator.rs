@@ -162,6 +162,12 @@ pub struct MiddlewareConfig {
     /// healthy cluster votes arrive within ~1 WAN RTT, so the generous
     /// default never fires outside failure drills.
     pub decision_wait_timeout: Duration,
+    /// Populate [`TxnOutcome::history`] (requires the `history` cargo
+    /// feature). Off by default: even with the feature compiled in — which
+    /// workspace feature unification forces on every build that links the
+    /// chaos crate — workload drivers must not pay the per-transaction
+    /// read/write-set allocations. The chaos harness turns this on.
+    pub record_history: bool,
     /// First value of the per-coordinator transaction sequence number. A
     /// successor instance taking over after a crash must start *past* its
     /// predecessor's sequence (see [`Middleware::next_txn_seq`]) so gtrids
@@ -182,6 +188,7 @@ impl MiddlewareConfig {
             analysis_cost: Duration::from_micros(1000),
             log_flush_cost: Duration::from_micros(500),
             decision_wait_timeout: Duration::from_secs(30),
+            record_history: false,
             first_txn_seq: 1,
         }
     }
@@ -488,12 +495,14 @@ impl Middleware {
     }
 
     /// Bookkeeping common to every transaction exit path.
+    #[cfg_attr(not(feature = "history"), allow(unused_mut, unused_variables))]
     fn finish_txn(
         &self,
         gtrid: u64,
         advanced: bool,
         keys: &[GlobalKey],
-        outcome: TxnOutcome,
+        spec: &TransactionSpec,
+        mut outcome: TxnOutcome,
     ) -> TxnOutcome {
         self.hub.unregister(gtrid);
         if advanced {
@@ -501,6 +510,10 @@ impl Middleware {
                 .footprint()
                 .borrow_mut()
                 .on_txn_finish(keys, outcome.committed);
+        }
+        #[cfg(feature = "history")]
+        if self.config.record_history && outcome.gtrid != 0 {
+            outcome.history = crate::metrics::TxnHistory::from_spec(spec);
         }
         self.stats.borrow_mut().record(&outcome);
         outcome
@@ -583,7 +596,8 @@ impl Middleware {
                                 distributed,
                             );
                             outcome.gtrid = gtrid;
-                            let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                            let outcome =
+                                self.finish_txn(gtrid, advanced, &scratch.keys, spec, outcome);
                             self.return_scratch(scratch);
                             return outcome;
                         }
@@ -657,7 +671,7 @@ impl Middleware {
                     distributed,
                 );
                 outcome.gtrid = gtrid;
-                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, spec, outcome);
                 self.return_scratch(scratch);
                 return outcome;
             }
@@ -697,9 +711,9 @@ impl Middleware {
                     latency: now().duration_since(started),
                     breakdown,
                     distributed,
-                    rows: Vec::new(),
+                    ..TxnOutcome::default()
                 };
-                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+                let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, spec, outcome);
                 self.return_scratch(scratch);
                 return outcome;
             }
@@ -727,8 +741,9 @@ impl Middleware {
             breakdown,
             distributed,
             rows,
+            ..TxnOutcome::default()
         };
-        let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, outcome);
+        let outcome = self.finish_txn(gtrid, advanced, &scratch.keys, spec, outcome);
         self.return_scratch(scratch);
         outcome
     }
@@ -835,8 +850,7 @@ impl Middleware {
             // The failing geo-agent has notified its peers directly; the
             // middleware only waits for the rollback confirmations. Bounded
             // wait: a crashed peer (or a lost confirmation) must not park
-            // this transaction forever — its branch is already doomed and
-            // will be cleaned up by restart/recovery.
+            // this transaction forever.
             let waiting: Vec<u32> = started.to_vec();
             if !waiting.is_empty()
                 && geotp_simrt::timeout(
@@ -847,6 +861,35 @@ impl Middleware {
                 .is_err()
             {
                 self.stats.borrow_mut().decision_wait_timeouts += 1;
+                // Give up on the notifications and roll the stragglers back
+                // explicitly, like a real XA coordinator. Without this, a
+                // branch whose sibling died *at XA START* (a crashed
+                // participant sends no early aborts) is abandoned ACTIVE on a
+                // healthy data source: locks held forever, uncommitted writes
+                // visible to `peek`, invisible to `XA RECOVER` — the TPC-C
+                // chaos drills caught exactly that via the district order-id
+                // consistency condition. Rolling back an already-rolled-back
+                // branch is a no-op on the data source, so this is safe to
+                // over-apply.
+                let confirmed = self.hub.rollbacked(gtrid);
+                let stragglers: Vec<u32> = waiting
+                    .iter()
+                    .copied()
+                    .filter(|ds| !confirmed.contains(ds) && !failed_here.contains(ds))
+                    .collect();
+                join_all(
+                    stragglers
+                        .iter()
+                        .map(|ds| {
+                            let conn = self.conn(*ds).clone();
+                            let xid = Xid::new(gtrid, *ds);
+                            async move {
+                                let _ = conn.rollback(xid).await;
+                            }
+                        })
+                        .collect(),
+                )
+                .await;
             }
             return;
         }

@@ -29,7 +29,7 @@ pub mod scheduler;
 pub use commit_log::{CommitLog, Decision};
 pub use coordinator::{Middleware, MiddlewareConfig, Protocol};
 pub use hotspot::{HotRecordStats, HotspotConfig, HotspotFootprint};
-pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnOutcome};
+pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnHistory, TxnOutcome};
 pub use ops::{ClientOp, GlobalKey, TransactionSpec};
 pub use parser::{Catalog, ParseError, ParsedStatement, Rewriter, SqlParser, TxnControl};
 pub use router::Partitioner;
@@ -76,6 +76,7 @@ mod tests {
             cfg.engine = EngineConfig {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
+                record_history: false,
             };
             cfg.dialect = if node == ds0 {
                 Dialect::Postgres
@@ -318,6 +319,7 @@ mod tests {
                     // Short lock timeout so the conflict resolves quickly.
                     lock_wait_timeout: Duration::from_millis(150),
                     cost: CostModel::zero(),
+                    record_history: false,
                 };
                 let ds = DataSource::new(cfg, Rc::clone(&net));
                 for row in 0..ROWS_PER_NODE {

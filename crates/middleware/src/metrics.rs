@@ -50,8 +50,40 @@ impl LatencyBreakdown {
     }
 }
 
+/// The read/write key sets of one transaction, as declared by the submitted
+/// spec. Only populated (and only useful) under the `history` cargo feature:
+/// failure-drill harnesses cross-check these client-level sets against the
+/// versioned histories the storage engines record.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxnHistory {
+    /// Distinct keys read (plain and `FOR UPDATE` reads), sorted.
+    pub reads: Vec<crate::ops::GlobalKey>,
+    /// Distinct keys written (updates, inserts, deletes), sorted.
+    pub writes: Vec<crate::ops::GlobalKey>,
+}
+
+impl TxnHistory {
+    /// Derive the read/write sets from a transaction spec.
+    pub fn from_spec(spec: &crate::ops::TransactionSpec) -> Self {
+        use crate::ops::ClientOp;
+        let mut history = TxnHistory::default();
+        for op in spec.all_ops() {
+            let set = match op {
+                ClientOp::Read(_) | ClientOp::ReadForUpdate(_) => &mut history.reads,
+                _ => &mut history.writes,
+            };
+            set.push(op.key());
+        }
+        history.reads.sort();
+        history.reads.dedup();
+        history.writes.sort();
+        history.writes.dedup();
+        history
+    }
+}
+
 /// The outcome of one transaction as observed by the client.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TxnOutcome {
     /// The global transaction id the coordinator assigned (0 when the
     /// transaction never got far enough to be assigned one, e.g. a script
@@ -71,19 +103,21 @@ pub struct TxnOutcome {
     pub distributed: bool,
     /// Rows returned by read operations (in execution order).
     pub rows: Vec<geotp_storage::Row>,
+    /// The transaction's declared read/write key sets (only with the
+    /// `history` cargo feature; see [`TxnHistory`]).
+    #[cfg(feature = "history")]
+    pub history: TxnHistory,
 }
 
 impl TxnOutcome {
     /// An aborted outcome with the given reason and latency.
     pub fn aborted(reason: AbortReason, latency: Duration, distributed: bool) -> Self {
         Self {
-            gtrid: 0,
             committed: false,
             abort_reason: Some(reason),
             latency,
-            breakdown: LatencyBreakdown::default(),
             distributed,
-            rows: Vec::new(),
+            ..Self::default()
         }
     }
 }
@@ -176,6 +210,28 @@ mod tests {
     }
 
     #[test]
+    fn txn_history_from_spec_splits_and_dedups_key_sets() {
+        use crate::ops::{ClientOp, GlobalKey, TransactionSpec};
+        use geotp_storage::TableId;
+        let k = |row| GlobalKey::new(TableId(0), row);
+        let spec = TransactionSpec::multi_round(vec![
+            vec![
+                ClientOp::Read(k(5)),
+                ClientOp::ReadForUpdate(k(3)),
+                ClientOp::add(k(1), 1),
+            ],
+            vec![
+                ClientOp::Read(k(5)),   // repeat read, dedup
+                ClientOp::add(k(1), 2), // repeat write, dedup
+                ClientOp::Delete(k(2)),
+            ],
+        ]);
+        let history = TxnHistory::from_spec(&spec);
+        assert_eq!(history.reads, vec![k(3), k(5)], "sorted, deduplicated");
+        assert_eq!(history.writes, vec![k(1), k(2)]);
+    }
+
+    #[test]
     fn stats_record_and_derive() {
         let mut stats = MiddlewareStats::default();
         stats.record(&TxnOutcome {
@@ -186,6 +242,7 @@ mod tests {
             breakdown: LatencyBreakdown::default(),
             distributed: true,
             rows: vec![],
+            ..TxnOutcome::default()
         });
         stats.record(&TxnOutcome::aborted(
             AbortReason::ExecutionFailed,

@@ -186,6 +186,7 @@ impl ScalarDbCluster {
                 breakdown: LatencyBreakdown::default(),
                 distributed,
                 rows,
+                ..TxnOutcome::default()
             };
             self.stats.borrow_mut().record(&outcome);
             outcome

@@ -12,9 +12,12 @@ use std::time::Duration;
 use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::{now, sleep, SimInstant};
 
+use crate::history::{
+    row_fingerprint, BranchHistory, ReadAccess, VersionedValue, WriteAccess, TOMBSTONE_FINGERPRINT,
+};
 use crate::lock::{LockManager, LockMode, LockStats};
 use crate::row::Row;
-use crate::types::{Key, StorageError, Xid};
+use crate::types::{Key, StorageError, TableId, Xid};
 use crate::wal::{LogRecord, WriteAheadLog};
 
 /// Virtual-time cost of local work inside the data source. These replace the
@@ -61,6 +64,11 @@ pub struct EngineConfig {
     pub lock_wait_timeout: Duration,
     /// Local work costs.
     pub cost: CostModel,
+    /// Record per-branch versioned read/write histories
+    /// ([`StorageEngine::committed_history`]) for serializability checking.
+    /// Off by default: the recording costs a few hash lookups per statement,
+    /// which performance workloads should not pay.
+    pub record_history: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +76,7 @@ impl Default for EngineConfig {
         Self {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::default(),
+            record_history: false,
         }
     }
 }
@@ -114,6 +123,9 @@ struct TxnEntry {
     /// When the branch acquired its first lock. (Per-key release bookkeeping
     /// lives in the lock manager's own per-transaction index.)
     first_lock_at: Option<SimInstant>,
+    /// Versioned reads recorded for serializability checking (only populated
+    /// when [`EngineConfig::record_history`] is on).
+    reads: Vec<ReadAccess>,
 }
 
 impl TxnEntry {
@@ -122,6 +134,7 @@ impl TxnEntry {
             state: XaState::Active,
             undo: Vec::new(),
             first_lock_at: None,
+            reads: Vec::new(),
         }
     }
 }
@@ -135,6 +148,22 @@ pub struct StorageEngine {
     config: EngineConfig,
     stats: RefCell<EngineStats>,
     crashed: Cell<bool>,
+    /// Committed version + value fingerprint per key (history recording).
+    /// Mirrors the record store, so it is treated as durable across the
+    /// simulated crash/restart like the records themselves.
+    versions: RefCell<FxHashMap<Key, VersionedValue>>,
+    /// Access histories of committed branches, in commit order. An observer
+    /// artifact for the serializability checker (like a chaos trace), not
+    /// engine state: crashes do not clear it.
+    history: RefCell<Vec<BranchHistory>>,
+    /// Fingerprints of the bulk-loaded (version 0) values, retained after
+    /// later writes overwrite the live entry in `versions`: the checker needs
+    /// them to validate reads that observed version 0.
+    base_fingerprints: RefCell<FxHashMap<Key, u64>>,
+    /// Checker-validation fail point: every `stride`-th read skips its shared
+    /// lock (0 = disabled). See [`StorageEngine::fail_point_bypass_read_locks`].
+    read_bypass_stride: Cell<u64>,
+    read_counter: Cell<u64>,
 }
 
 impl StorageEngine {
@@ -148,6 +177,11 @@ impl StorageEngine {
             config,
             stats: RefCell::new(EngineStats::default()),
             crashed: Cell::new(false),
+            versions: RefCell::new(FxHashMap::default()),
+            history: RefCell::new(Vec::new()),
+            base_fingerprints: RefCell::new(FxHashMap::default()),
+            read_bypass_stride: Cell::new(0),
+            read_counter: Cell::new(0),
         })
     }
 
@@ -179,6 +213,17 @@ impl StorageEngine {
 
     /// Bulk-load a record without locking or logging (initial population).
     pub fn load(&self, key: Key, row: Row) {
+        if self.config.record_history {
+            let fingerprint = row_fingerprint(&row);
+            self.versions.borrow_mut().insert(
+                key,
+                VersionedValue {
+                    version: 0,
+                    fingerprint,
+                },
+            );
+            self.base_fingerprints.borrow_mut().insert(key, fingerprint);
+        }
         self.records.borrow_mut().insert(key, row);
     }
 
@@ -255,17 +300,22 @@ impl StorageEngine {
     pub async fn read(&self, xid: Xid, key: Key) -> Result<Row, StorageError> {
         self.check_available()?;
         self.ensure_active(xid)?;
-        self.lock(xid, key, LockMode::Shared).await?;
+        if !self.bypass_read_lock() {
+            self.lock(xid, key, LockMode::Shared).await?;
+        }
         sleep(self.config.cost.statement_execute).await;
         // Re-check after the awaits: the branch may have been aborted (early
         // abort from a peer geo-agent) while this statement was in flight.
         self.ensure_active(xid)?;
         self.stats.borrow_mut().reads += 1;
-        self.records
+        let row = self
+            .records
             .borrow()
             .get(&key)
             .cloned()
-            .ok_or(StorageError::KeyNotFound(key))
+            .ok_or(StorageError::KeyNotFound(key))?;
+        self.record_read(xid, key, &row);
+        Ok(row)
     }
 
     /// Read a record under an exclusive lock (`SELECT ... FOR UPDATE`).
@@ -278,11 +328,72 @@ impl StorageEngine {
         // abort from a peer geo-agent) while this statement was in flight.
         self.ensure_active(xid)?;
         self.stats.borrow_mut().reads += 1;
-        self.records
+        let row = self
+            .records
             .borrow()
             .get(&key)
             .cloned()
-            .ok_or(StorageError::KeyNotFound(key))
+            .ok_or(StorageError::KeyNotFound(key))?;
+        self.record_read(xid, key, &row);
+        Ok(row)
+    }
+
+    /// Checker-validation fail point: make every `stride`-th read on this
+    /// engine skip its shared lock (0 disables). This *deliberately breaks
+    /// isolation* — a reader can observe a concurrent writer's uncommitted
+    /// data — and exists solely so the chaos harness can prove its
+    /// serializability checker actually catches bugs (and so its schedule
+    /// shrinker has a real failure to minimize). Never set outside tests and
+    /// failure drills.
+    #[doc(hidden)]
+    pub fn fail_point_bypass_read_locks(&self, stride: u64) {
+        self.read_bypass_stride.set(stride);
+    }
+
+    fn bypass_read_lock(&self) -> bool {
+        let stride = self.read_bypass_stride.get();
+        if stride == 0 {
+            return false;
+        }
+        let n = self.read_counter.get() + 1;
+        self.read_counter.set(n);
+        n.is_multiple_of(stride)
+    }
+
+    /// Record one versioned read into the branch's access history. Reads of
+    /// the branch's own uncommitted writes create no inter-transaction
+    /// dependency and are skipped; exact duplicates are deduplicated (two
+    /// observations that *differ* at the same version are both kept — that
+    /// divergence is itself evidence for the checker).
+    fn record_read(&self, xid: Xid, key: Key, row: &Row) {
+        if !self.config.record_history {
+            return;
+        }
+        let version = self
+            .versions
+            .borrow()
+            .get(&key)
+            .map(|v| v.version)
+            .unwrap_or(0);
+        let observed = VersionedValue {
+            version,
+            fingerprint: row_fingerprint(row),
+        };
+        let mut txns = self.txns.borrow_mut();
+        let Some(entry) = txns.get_mut(&xid) else {
+            return;
+        };
+        if entry.undo.iter().any(|(k, _)| *k == key) {
+            return;
+        }
+        if entry
+            .reads
+            .iter()
+            .any(|r| r.key == key && r.observed == observed)
+        {
+            return;
+        }
+        entry.reads.push(ReadAccess { key, observed });
     }
 
     fn record_undo(&self, xid: Xid, key: Key, before: Option<Row>, after: Option<Row>) {
@@ -428,7 +539,10 @@ impl StorageEngine {
 
     fn finish(&self, xid: Xid, committed: bool) {
         let entry = self.txns.borrow_mut().remove(&xid);
-        let Some(entry) = entry else { return };
+        let Some(mut entry) = entry else { return };
+        if committed && self.config.record_history {
+            self.record_commit_history(xid, &mut entry);
+        }
         let released = self.locks.release_all(xid);
         let mut stats = self.stats.borrow_mut();
         if let Some(first) = entry.first_lock_at {
@@ -442,6 +556,81 @@ impl StorageEngine {
         } else {
             stats.aborts += 1;
         }
+    }
+
+    /// History recording at commit: every key the branch wrote installs the
+    /// key's next committed version, fingerprinted from the (now committed)
+    /// record store, and the branch's access history becomes part of
+    /// [`StorageEngine::committed_history`]. Runs atomically with the lock
+    /// release in [`StorageEngine::finish`] — under strict 2PL no other
+    /// branch can touch these keys until the locks drop, so version order
+    /// per key equals commit order.
+    fn record_commit_history(&self, xid: Xid, entry: &mut TxnEntry) {
+        let mut write_keys: Vec<Key> = Vec::with_capacity(entry.undo.len());
+        for (key, _) in &entry.undo {
+            if !write_keys.contains(key) {
+                write_keys.push(*key);
+            }
+        }
+        let records = self.records.borrow();
+        let mut versions = self.versions.borrow_mut();
+        let writes: Vec<WriteAccess> = write_keys
+            .into_iter()
+            .map(|key| {
+                let fingerprint = records
+                    .get(&key)
+                    .map(row_fingerprint)
+                    .unwrap_or(TOMBSTONE_FINGERPRINT);
+                let slot = versions.entry(key).or_insert(VersionedValue {
+                    version: 0,
+                    fingerprint: 0,
+                });
+                slot.version += 1;
+                slot.fingerprint = fingerprint;
+                let installed = *slot;
+                WriteAccess { key, installed }
+            })
+            .collect();
+        self.history.borrow_mut().push(BranchHistory {
+            xid,
+            reads: std::mem::take(&mut entry.reads),
+            writes,
+        });
+    }
+
+    /// The versioned access histories of every branch committed on this
+    /// engine, in commit order. Empty unless
+    /// [`EngineConfig::record_history`] is set.
+    pub fn committed_history(&self) -> Vec<BranchHistory> {
+        self.history.borrow().clone()
+    }
+
+    /// The committed version currently installed for `key` (None if the key
+    /// was never loaded or written with history recording on).
+    pub fn committed_version(&self, key: Key) -> Option<VersionedValue> {
+        self.versions.borrow().get(&key).copied()
+    }
+
+    /// Fingerprints of the bulk-loaded (version 0) values, for validating
+    /// reads that observed version 0. Empty unless
+    /// [`EngineConfig::record_history`] is set.
+    pub fn base_fingerprints(&self) -> FxHashMap<Key, u64> {
+        self.base_fingerprints.borrow().clone()
+    }
+
+    /// Snapshot every record of `table`, sorted by key — for workload-level
+    /// consistency checkers (e.g. TPC-C's warehouse/district conditions)
+    /// that need to aggregate over final state.
+    pub fn snapshot_table(&self, table: TableId) -> Vec<(Key, Row)> {
+        let mut rows: Vec<(Key, Row)> = self
+            .records
+            .borrow()
+            .iter()
+            .filter(|(k, _)| k.table == table)
+            .map(|(k, r)| (*k, r.clone()))
+            .collect();
+        rows.sort_by_key(|(k, _)| *k);
+        rows
     }
 
     /// Commit a branch. One-phase commit (`one_phase = true`) is allowed from
@@ -514,6 +703,22 @@ impl StorageEngine {
                 }
             }
         }
+    }
+
+    /// Branches still in a pre-prepare state (`ACTIVE`/`ENDED`): work that
+    /// is neither decided nor recoverable via `XA RECOVER`. After a harness
+    /// heals and drains, any such branch is abandoned — it holds locks and
+    /// uncommitted writes forever — so liveness checkers flag them.
+    pub fn unfinished_xids(&self) -> Vec<Xid> {
+        let mut xids: Vec<Xid> = self
+            .txns
+            .borrow()
+            .iter()
+            .filter(|(_, e)| matches!(e.state, XaState::Active | XaState::Ended))
+            .map(|(x, _)| *x)
+            .collect();
+        xids.sort();
+        xids
     }
 
     /// Branches currently in the `Prepared` state (`XA RECOVER`).
@@ -610,6 +815,7 @@ mod tests {
         let eng = StorageEngine::new(EngineConfig {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
+            record_history: false,
         });
         eng.load(key(1), Row::int(100));
         eng.load(key(2), Row::int(200));
@@ -759,6 +965,7 @@ mod tests {
             let eng = StorageEngine::new(EngineConfig {
                 lock_wait_timeout: Duration::from_millis(50),
                 cost: CostModel::zero(),
+                record_history: false,
             });
             eng.load(key(1), Row::int(0));
             eng.begin(xid(1)).unwrap();
@@ -834,6 +1041,7 @@ mod tests {
             let eng = StorageEngine::new(EngineConfig {
                 lock_wait_timeout: Duration::from_secs(60),
                 cost: CostModel::zero(),
+                record_history: false,
             });
             eng.load(key(1), Row::int(0));
             eng.begin(xid(1)).unwrap();
@@ -875,6 +1083,136 @@ mod tests {
         });
     }
 
+    fn history_engine() -> Rc<StorageEngine> {
+        let eng = StorageEngine::new(EngineConfig {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::zero(),
+            record_history: true,
+        });
+        eng.load(key(1), Row::int(100));
+        eng.load(key(2), Row::int(200));
+        eng
+    }
+
+    #[test]
+    fn history_records_versions_in_commit_order() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = history_engine();
+            // T1 reads key1@v0 and writes key2 (installs v1).
+            eng.begin(xid(1)).unwrap();
+            eng.read(xid(1), key(1)).await.unwrap();
+            eng.add_int(xid(1), key(2), 0, 5).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            // T2 reads key2@v1 and writes it again (installs v2).
+            eng.begin(xid(2)).unwrap();
+            eng.read(xid(2), key(2)).await.unwrap();
+            eng.add_int(xid(2), key(2), 0, 1).await.unwrap();
+            eng.commit(xid(2), true).await.unwrap();
+
+            let history = eng.committed_history();
+            assert_eq!(history.len(), 2);
+            let t1 = &history[0];
+            assert_eq!(t1.xid, xid(1));
+            assert_eq!(t1.reads.len(), 1);
+            assert_eq!(t1.reads[0].key, key(1));
+            assert_eq!(t1.reads[0].observed.version, 0);
+            assert_eq!(t1.writes.len(), 1);
+            assert_eq!(t1.writes[0].installed.version, 1);
+            let t2 = &history[1];
+            // T2's read observed T1's installed version, fingerprint and all.
+            assert_eq!(t2.reads[0].observed, t1.writes[0].installed);
+            assert_eq!(t2.writes[0].installed.version, 2);
+            assert_eq!(
+                eng.committed_version(key(2)).unwrap(),
+                t2.writes[0].installed
+            );
+        });
+    }
+
+    #[test]
+    fn history_skips_own_writes_and_aborted_branches() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = history_engine();
+            // Write-then-read of the same key: the read observes the branch's
+            // own uncommitted data and must not be recorded.
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 9).await.unwrap();
+            eng.read(xid(1), key(1)).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            // An aborted branch leaves no history at all.
+            eng.begin(xid(2)).unwrap();
+            eng.read(xid(2), key(2)).await.unwrap();
+            eng.add_int(xid(2), key(2), 0, 1).await.unwrap();
+            eng.rollback(xid(2)).await.unwrap();
+
+            let history = eng.committed_history();
+            assert_eq!(history.len(), 1);
+            assert!(history[0].reads.is_empty(), "own-write read was recorded");
+            assert_eq!(history[0].writes.len(), 1);
+            // The rollback did not bump key2's version.
+            assert_eq!(eng.committed_version(key(2)).unwrap().version, 0);
+        });
+    }
+
+    #[test]
+    fn history_delete_installs_tombstone_fingerprint() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = history_engine();
+            eng.begin(xid(1)).unwrap();
+            eng.delete(xid(1), key(1)).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            let v = eng.committed_version(key(1)).unwrap();
+            assert_eq!(v.version, 1);
+            assert_eq!(v.fingerprint, crate::history::TOMBSTONE_FINGERPRINT);
+        });
+    }
+
+    #[test]
+    fn read_lock_bypass_fail_point_permits_dirty_reads() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = history_engine();
+            eng.fail_point_bypass_read_locks(1); // every read skips its lock
+                                                 // Writer holds the exclusive lock with uncommitted data...
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 77).await.unwrap();
+            // ...and a lock-bypassing reader sees it anyway (dirty read).
+            eng.begin(xid(2)).unwrap();
+            let dirty = eng.read(xid(2), key(1)).await.unwrap();
+            assert_eq!(dirty.int_value(), Some(177));
+            eng.commit(xid(2), true).await.unwrap();
+            eng.rollback(xid(1)).await.unwrap();
+            // The reader's recorded fingerprint does not match any committed
+            // version of the key — exactly what the checker detects.
+            let history = eng.committed_history();
+            let observed = history[0].reads[0].observed;
+            assert_eq!(observed.version, 0, "claimed the committed version");
+            assert_ne!(
+                observed.fingerprint,
+                eng.committed_version(key(1)).unwrap().fingerprint,
+                "but saw uncommitted data"
+            );
+        });
+    }
+
+    #[test]
+    fn snapshot_table_is_sorted_and_filtered() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = history_engine();
+            eng.load(Key::new(TableId(7), 3), Row::int(1));
+            eng.load(Key::new(TableId(7), 1), Row::int(2));
+            let snap = eng.snapshot_table(TableId(7));
+            assert_eq!(snap.len(), 2);
+            assert_eq!(snap[0].0.row, 1);
+            assert_eq!(snap[1].0.row, 3);
+            assert_eq!(eng.snapshot_table(TableId(0)).len(), 2);
+        });
+    }
+
     #[test]
     fn costs_are_charged_in_virtual_time() {
         let mut rt = Runtime::new();
@@ -886,6 +1224,7 @@ mod tests {
                     prepare: Duration::from_millis(2),
                     decision_apply: Duration::from_millis(3),
                 },
+                record_history: false,
             });
             eng.load(key(1), Row::int(0));
             let start = now();

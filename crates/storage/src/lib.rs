@@ -20,6 +20,7 @@
 //! *lock contention span* of Eq. (1) in the paper is directly observable.
 
 pub mod engine;
+pub mod history;
 pub mod lock;
 pub mod row;
 pub mod small_vec;
@@ -27,6 +28,7 @@ pub mod types;
 pub mod wal;
 
 pub use engine::{CostModel, EngineConfig, EngineStats, StorageEngine, XaState};
+pub use history::{row_fingerprint, BranchHistory, ReadAccess, VersionedValue, WriteAccess};
 pub use lock::{LockError, LockManager, LockMode, LockStats};
 pub use row::{Row, Value};
 pub use small_vec::SmallVec;

@@ -235,6 +235,7 @@ mod tests {
                 cfg.engine = EngineConfig {
                     lock_wait_timeout: Duration::from_secs(2),
                     cost: CostModel::default(),
+                    record_history: false,
                 };
                 DataSource::new(cfg, Rc::clone(&net))
             })

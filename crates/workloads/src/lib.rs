@@ -23,6 +23,6 @@ pub mod zipfian;
 
 pub use driver::{BenchmarkReport, DriverConfig, TransactionService, WorkloadMix};
 pub use metrics::{Histogram, MetricsCollector, ThroughputTimeline};
-pub use tpcc::{TpccConfig, TpccGenerator, TpccTransaction};
+pub use tpcc::{consistency_violations, TpccConfig, TpccGenerator, TpccTransaction};
 pub use ycsb::{Contention, YcsbConfig, YcsbGenerator};
 pub use zipfian::ZipfianGenerator;

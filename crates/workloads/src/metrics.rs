@@ -350,6 +350,7 @@ mod tests {
             breakdown: LatencyBreakdown::default(),
             distributed,
             rows: vec![],
+            ..TxnOutcome::default()
         }
     }
 

@@ -43,6 +43,30 @@ pub const HISTORY: TableId = TableId(18);
 /// Number of districts per warehouse (fixed by the TPC-C specification).
 pub const DISTRICTS_PER_WAREHOUSE: u64 = 10;
 
+/// Stride separating districts in the ORDERS / NEW_ORDER local key space:
+/// `local = district * stride + order_id`. Must keep `district * stride +
+/// order_id` within the 32 bits [`wh_key`] reserves for the local part
+/// (10 × 10⁷ ≈ 2²⁶·⁶), so the encoding is losslessly decodable by
+/// [`order_key_parts`] — the consistency checker counts orders per district
+/// from final state alone.
+pub const ORDER_DISTRICT_STRIDE: u64 = 10_000_000;
+
+/// Initial per-item stock quantity loaded by [`TpccGenerator::load`]. Every
+/// committed order line decrements stock by one, which is what the stock
+/// consistency condition aggregates over.
+pub const INITIAL_STOCK: i64 = 10_000;
+
+/// Decode an ORDERS / NEW_ORDER key into `(warehouse, district, order_id)`.
+pub fn order_key_parts(key: GlobalKey) -> (u32, u64, u64) {
+    let warehouse = (key.row >> 32) as u32;
+    let local = key.row & 0xffff_ffff;
+    (
+        warehouse,
+        local / ORDER_DISTRICT_STRIDE,
+        local % ORDER_DISTRICT_STRIDE,
+    )
+}
+
 /// The five TPC-C transaction profiles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TpccTransaction {
@@ -202,7 +226,7 @@ impl TpccGenerator {
                 source.load(wh_key(ITEM, w, item).storage_key(), Row::int(100));
                 source.load(
                     wh_key(STOCK, w, item).storage_key(),
-                    Row::from_values(vec![Value::Int(10_000), Value::Int(0)]),
+                    Row::from_values(vec![Value::Int(INITIAL_STOCK), Value::Int(0)]),
                 );
             }
         }
@@ -280,7 +304,11 @@ impl TpccGenerator {
         let mut round1 = vec![
             ClientOp::Read(wh_key(WAREHOUSE, w, 0)),
             ClientOp::Read(customer),
-            ClientOp::add(wh_key(DISTRICT, w, d), 1), // d_next_o_id += 1
+            ClientOp::AddInt {
+                key: wh_key(DISTRICT, w, d),
+                col: 1, // d_next_o_id += 1 (column 0 is d_ytd, owned by Payment)
+                delta: 1,
+            },
         ];
         let mut round2 = Vec::new();
         for line in 0..ol_cnt {
@@ -303,11 +331,11 @@ impl TpccGenerator {
             });
         }
         round2.push(ClientOp::Insert {
-            key: wh_key(ORDERS, w, d * 1_000_000_000 + order_id),
+            key: wh_key(ORDERS, w, d * ORDER_DISTRICT_STRIDE + order_id),
             row: Row::from_values(vec![Value::Int(ol_cnt as i64)]),
         });
         round2.push(ClientOp::Insert {
-            key: wh_key(NEW_ORDER, w, d * 1_000_000_000 + order_id),
+            key: wh_key(NEW_ORDER, w, d * ORDER_DISTRICT_STRIDE + order_id),
             row: Row::int(1),
         });
         TransactionSpec::multi_round(vec![round1, round2])
@@ -394,6 +422,123 @@ impl TpccGenerator {
         }
         TransactionSpec::single_round(ops)
     }
+}
+
+/// TPC-C consistency conditions (the spec's §3.3.2 conditions, adapted to
+/// the simulated schema), checked over the *final durable state* of the data
+/// sources. Every condition is an invariant of the workload itself — each
+/// committed transaction preserves it — so any violation convicts the
+/// transaction machinery (partial commit, lost write, double apply), not the
+/// checker. Returns one line per violated condition; empty means consistent.
+///
+/// Conditions:
+/// 1. `w_ytd = Σ d_ytd` per warehouse (Payment updates both atomically);
+/// 2. `d_next_o_id − 1 = |ORDERS(w,d)| = |NEW_ORDER(w,d)|` per district
+///    (NewOrder bumps the counter and inserts both rows atomically);
+/// 3. `Σ ol_cnt over ORDERS(w,·) = |ORDER_LINE(w,·)|` per warehouse;
+/// 4. `Σ (INITIAL_STOCK − s_quantity)` over all stock = total order lines
+///    (each committed order line decrements exactly one stock row).
+pub fn consistency_violations(config: &TpccConfig, sources: &[Rc<DataSource>]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let snapshot = |table: TableId| -> Vec<(geotp_storage::Key, Row)> {
+        let mut rows = Vec::new();
+        for source in sources {
+            rows.extend(source.engine().snapshot_table(table));
+        }
+        rows.sort_by_key(|(k, _)| *k);
+        rows
+    };
+    let col_int = |row: &Row, col: usize| row.get(col).and_then(Value::as_int).unwrap_or(0);
+
+    let warehouses = config.total_warehouses() as u64;
+    let districts = snapshot(DISTRICT);
+    let orders = snapshot(ORDERS);
+    let new_orders = snapshot(NEW_ORDER);
+    let order_lines = snapshot(ORDER_LINE);
+
+    // 1. Warehouse YTD equals the sum of its districts' YTDs.
+    let warehouse_rows = snapshot(WAREHOUSE);
+    if warehouse_rows.len() as u64 != warehouses {
+        violations.push(format!(
+            "tpcc: expected {warehouses} warehouse rows, found {}",
+            warehouse_rows.len()
+        ));
+    }
+    for (key, row) in &warehouse_rows {
+        let w = (key.row >> 32) as u32;
+        let w_ytd = col_int(row, 0);
+        let district_sum: i64 = districts
+            .iter()
+            .filter(|(k, _)| (k.row >> 32) as u32 == w)
+            .map(|(_, r)| col_int(r, 0))
+            .sum();
+        if w_ytd != district_sum {
+            violations.push(format!(
+                "tpcc: warehouse {w} w_ytd {w_ytd} != sum of district YTDs {district_sum}"
+            ));
+        }
+    }
+
+    // 2. Per district: order-id counter vs ORDERS vs NEW_ORDER counts.
+    for (key, row) in &districts {
+        let w = (key.row >> 32) as u32;
+        let d = key.row & 0xffff_ffff;
+        let issued = col_int(row, 1) - 1; // d_next_o_id starts at 1
+        let order_count = orders
+            .iter()
+            .filter(|(k, _)| {
+                let (ow, od, _) = order_key_parts(GlobalKey::new(ORDERS, k.row));
+                ow == w && od == d
+            })
+            .count() as i64;
+        let new_order_count = new_orders
+            .iter()
+            .filter(|(k, _)| {
+                let (ow, od, _) = order_key_parts(GlobalKey::new(NEW_ORDER, k.row));
+                ow == w && od == d
+            })
+            .count() as i64;
+        if issued != order_count || issued != new_order_count {
+            violations.push(format!(
+                "tpcc: district ({w},{d}) issued {issued} order ids but has \
+                 {order_count} ORDERS / {new_order_count} NEW_ORDER rows"
+            ));
+        }
+    }
+
+    // 3. Per warehouse: declared order-line counts vs actual ORDER_LINE rows.
+    for w in 1..=config.total_warehouses() {
+        let declared: i64 = orders
+            .iter()
+            .filter(|(k, _)| (k.row >> 32) as u32 == w)
+            .map(|(_, r)| col_int(r, 0))
+            .sum();
+        let actual = order_lines
+            .iter()
+            .filter(|(k, _)| (k.row >> 32) as u32 == w)
+            .count() as i64;
+        if declared != actual {
+            violations.push(format!(
+                "tpcc: warehouse {w} ORDERS declare {declared} line(s) but \
+                 ORDER_LINE holds {actual}"
+            ));
+        }
+    }
+
+    // 4. Global: every committed order line decremented exactly one stock row.
+    let stock_consumed: i64 = snapshot(STOCK)
+        .iter()
+        .map(|(_, r)| INITIAL_STOCK - col_int(r, 0))
+        .sum();
+    let total_lines = order_lines.len() as i64;
+    if stock_consumed != total_lines {
+        violations.push(format!(
+            "tpcc: {stock_consumed} unit(s) of stock consumed but {total_lines} \
+             order line(s) exist"
+        ));
+    }
+
+    violations
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ fn build(protocol: Protocol, lock_timeout_ms: u64, seed: u64) -> geotp::Cluster 
         .engine_config(EngineConfig {
             lock_wait_timeout: Duration::from_millis(lock_timeout_ms),
             cost: CostModel::default(),
+            record_history: false,
         })
         .build();
     cluster.load_uniform(RECORDS, 1_000);

@@ -21,6 +21,7 @@ fn build(protocol: Protocol) -> geotp::Cluster {
         .engine_config(EngineConfig {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
+            record_history: false,
         })
         .analysis_cost(Duration::ZERO)
         .log_flush_cost(Duration::ZERO)
