@@ -1,0 +1,14 @@
+//! Cluster failure-drill smoke target: run every multi-coordinator chaos
+//! preset through the invariant-checked tier harness and print the table.
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench cluster_drills
+//! GEOTP_FULL=1 cargo bench -p geotp-bench --bench cluster_drills   # 32-seed sweep
+//! ```
+
+fn main() {
+    geotp_bench::run_and_print(
+        "cluster_drills",
+        geotp_experiments::cluster_drills::cluster_drills,
+    );
+}

@@ -158,6 +158,60 @@ fn bench_hotspot(c: &mut Criterion) {
     });
 }
 
+/// LRU eviction churn under a zipfian-shaped touch pattern: a small hot set
+/// is touched over and over (leaving the LRU queue full of *stale* entries —
+/// every touch pushes one) while a stream of new cold keys keeps the
+/// footprint at capacity, so each insert's eviction scan has to wade through
+/// the stale entries. Skipping a stale entry used to pay one AVL lookup
+/// (~11% inclusive at the paper-default YCSB config per the ROADMAP
+/// profile); with the arena handle stored in the LRU node it is an O(1)
+/// slot probe.
+fn bench_hotspot_eviction(c: &mut Criterion) {
+    const HOT_KEYS: u64 = 64;
+    const TOUCHES_PER_COLD_INSERT: u64 = 8;
+    for capacity in [1_000usize, 10_000] {
+        c.bench_function(&format!("hotspot/lru_eviction_churn_cap_{capacity}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut fp = HotspotFootprint::new(HotspotConfig {
+                        capacity,
+                        ..HotspotConfig::default()
+                    });
+                    // Fill to capacity (untimed) so the measured loop is pure
+                    // touch+insert+evict churn.
+                    for i in 0..capacity as u64 {
+                        fp.on_access_start(&[GlobalKey::new(TableId(0), i)]);
+                        fp.on_txn_finish(&[GlobalKey::new(TableId(0), i)], true);
+                    }
+                    fp
+                },
+                |mut fp| {
+                    let cold_base = 1 << 40;
+                    for i in 0..10_000u64 {
+                        // Hot traffic: repeated touches of a small set, each
+                        // leaving a stale LRU entry behind.
+                        for t in 0..TOUCHES_PER_COLD_INSERT {
+                            let hot = GlobalKey::new(
+                                TableId(0),
+                                (i * TOUCHES_PER_COLD_INSERT + t) % HOT_KEYS,
+                            );
+                            fp.on_access_start(&[hot]);
+                            fp.on_txn_finish(&[hot], true);
+                        }
+                        // One cold insert forces an eviction scan through them.
+                        let cold = GlobalKey::new(TableId(0), cold_base + i);
+                        fp.on_access_start(&[cold]);
+                        fp.on_txn_finish(&[cold], true);
+                    }
+                    criterion::black_box(fp.evictions());
+                    fp
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     c.bench_function("scheduler/schedule_4_branches", |b| {
         b.iter_batched(
@@ -219,6 +273,6 @@ fn bench_zipfian(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500));
-    targets = bench_lock_manager, bench_contended_lock_manager, bench_hotspot, bench_scheduler, bench_zipfian
+    targets = bench_lock_manager, bench_contended_lock_manager, bench_hotspot, bench_hotspot_eviction, bench_scheduler, bench_zipfian
 }
 criterion_main!(benches);

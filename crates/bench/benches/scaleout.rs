@@ -1,0 +1,11 @@
+//! Scale-out target: open-loop throughput and tail latency for a 1/2/4
+//! -coordinator middleware tier over the same data sources.
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench scaleout
+//! GEOTP_FULL=1 cargo bench -p geotp-bench --bench scaleout   # longer window
+//! ```
+
+fn main() {
+    geotp_bench::run_and_print("scaleout", geotp_experiments::scaleout::scaleout);
+}

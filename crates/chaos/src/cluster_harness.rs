@@ -1,0 +1,416 @@
+//! The multi-coordinator chaos harness: drive a workload against a
+//! [`CoordinatorCluster`] under a fault schedule and check the same four
+//! invariants as the single-coordinator harness.
+//!
+//! Differences from [`crate::harness`]:
+//!
+//! * the deployment is a *tier* — N coordinators over the shared data
+//!   sources, each with its own commit log and gtrid space, fronted by the
+//!   consistent-hash session router;
+//! * nobody scripts a failover: the cluster's own lease heartbeats (over the
+//!   simulated network, so partitions starve them), supervisor, fencing and
+//!   peer takeover react to the schedule's crashes and partitions;
+//! * clients are *sessions*: each client keeps its session id for the whole
+//!   run, so failover is visible as the router re-homing the session;
+//! * the durability checker resolves each gtrid against its owning
+//!   coordinator's commit log, and the serializability checker consumes the
+//!   engine histories exactly as before — engine-side history is coordinator
+//!   -agnostic, so cross-coordinator anomalies close cycles the same way.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_cluster::{build_tier, ClusterConfig, CoordinatorCluster, MembershipConfig, TierLayout};
+use geotp_middleware::{AbortReason, Protocol, TxnOutcome};
+use geotp_simrt::{sleep, sleep_until, spawn, SimInstant};
+use geotp_storage::{CostModel, EngineConfig};
+
+use crate::harness::{ChaosConfig, ChaosReport};
+use crate::injector::ScheduleInjector;
+use crate::invariants;
+use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::trace::EventTrace;
+use crate::workload::{ChaosWorkload, TransferWorkload};
+
+/// Parameters of a multi-coordinator chaos run. Wraps the single-coordinator
+/// [`ChaosConfig`] (workload shape, RTTs, timeouts, horizon) and adds the
+/// tier dimensions.
+#[derive(Debug, Clone)]
+pub struct ClusterChaosConfig {
+    /// The workload/deployment knobs shared with the single-coordinator runs.
+    pub base: ChaosConfig,
+    /// Number of coordinator slots.
+    pub coordinators: usize,
+    /// Lease/heartbeat parameters (the failure-detection clock of the tier).
+    pub membership: MembershipConfig,
+    /// Supervisor scan cadence.
+    pub supervisor_interval: Duration,
+    /// Coordinator↔control-node RTT in milliseconds.
+    pub control_rtt_ms: u64,
+}
+
+impl Default for ClusterChaosConfig {
+    fn default() -> Self {
+        Self {
+            base: ChaosConfig::default(),
+            coordinators: 2,
+            membership: MembershipConfig {
+                lease: Duration::from_millis(1_500),
+                heartbeat_interval: Duration::from_millis(500),
+            },
+            supervisor_interval: Duration::from_millis(500),
+            control_rtt_ms: 2,
+        }
+    }
+}
+
+/// Run `schedule` against a fresh coordinator tier driving the balance
+/// transfer workload, and return the invariant-checked, replayable report.
+pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule) -> ChaosReport {
+    let workload = Rc::new(TransferWorkload::from_config(&config.base));
+    let mut rt = geotp_simrt::Runtime::new();
+    rt.block_on(async move {
+        let trace = EventTrace::new();
+        trace.record(&format!(
+            "cluster scenario start: workload={} seed={} coordinators={} nodes={} clients={}x{} protocol={}",
+            workload.name(),
+            config.base.seed,
+            config.coordinators,
+            config.base.nodes(),
+            config.base.clients,
+            config.base.txns_per_client,
+            config.base.protocol.name()
+        ));
+
+        // ---------------- deployment ----------------
+        let (net, sources) = build_tier(&TierLayout {
+            seed: config.base.seed,
+            coordinators: config.coordinators,
+            ds_rtts_ms: config.base.ds_rtts_ms.clone(),
+            control_rtt_ms: config.control_rtt_ms,
+            engine: EngineConfig {
+                lock_wait_timeout: config.base.lock_wait_timeout,
+                cost: CostModel::default(),
+                // The serializability checker needs the versioned histories.
+                record_history: true,
+            },
+            agent_lan_rtt: Duration::from_micros(500),
+        });
+        net.set_fault_injector(ScheduleInjector::compile(
+            &schedule,
+            config.base.seed,
+            Rc::clone(&trace),
+        ));
+        workload.load(&sources);
+
+        let mut tier_cfg = ClusterConfig::new(
+            config.coordinators,
+            config.base.protocol,
+            workload.partitioner(),
+        );
+        tier_cfg.membership = config.membership;
+        tier_cfg.supervisor_interval = config.supervisor_interval;
+        tier_cfg.decision_wait_timeout = config.base.decision_wait_timeout;
+        tier_cfg.record_history = true;
+        tier_cfg.seed = config.base.seed;
+        let cluster = CoordinatorCluster::build(tier_cfg, Rc::clone(&net), &sources);
+        cluster.start();
+
+        // ---------------- controller task ----------------
+        let controller = {
+            let cluster = Rc::clone(&cluster);
+            let sources = sources.clone();
+            let trace = Rc::clone(&trace);
+            let events = schedule.node_events();
+            spawn(async move {
+                for event in events {
+                    sleep_until(SimInstant::ZERO + event.at()).await;
+                    match &event {
+                        FaultEvent::CrashDataSource { ds, .. } => {
+                            sources[*ds as usize].crash();
+                            trace.record(&format!("crash ds{ds}"));
+                        }
+                        FaultEvent::RestartDataSource { ds, .. } => {
+                            let recovered = sources[*ds as usize].restart().await;
+                            trace.record(&format!(
+                                "restart ds{ds}: {} prepared branch(es) recovered from the WAL",
+                                recovered.len()
+                            ));
+                        }
+                        FaultEvent::CrashCoordinator { dm, .. } => {
+                            cluster.crash(*dm);
+                            trace.record(&format!("crash coordinator dm{dm}"));
+                        }
+                        FaultEvent::CrashCoordinatorAfterFlush { dm, .. } => {
+                            cluster.crash_after_next_flush(*dm);
+                            trace.record(&format!(
+                                "arm fail point: crash coordinator dm{dm} after next commit-log flush"
+                            ));
+                        }
+                        other => {
+                            trace.record(&format!(
+                                "cluster harness: ignoring single-coordinator event {other:?}"
+                            ));
+                        }
+                    }
+                }
+            })
+        };
+
+        // ---------------- workload (one session per client) ----------------
+        let ledger: Rc<RefCell<Vec<TxnOutcome>>> = Rc::new(RefCell::new(Vec::new()));
+        let refused_connections = Rc::new(std::cell::Cell::new(0u64));
+        let mut clients = Vec::new();
+        for client in 0..config.base.clients {
+            let cluster = Rc::clone(&cluster);
+            let ledger = Rc::clone(&ledger);
+            let refused_connections = Rc::clone(&refused_connections);
+            let workload: Rc<dyn ChaosWorkload> = Rc::clone(&workload) as _;
+            let base = config.base.clone();
+            clients.push(spawn(async move {
+                let mut rng = crate::harness::client_rng(base.seed, client);
+                let session = client as u64;
+                for _ in 0..base.txns_per_client {
+                    let spec = workload.next_spec(&mut rng);
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        let refused = match cluster.run_transaction(session, &spec).await {
+                            None => true, // no live coordinator at all
+                            Some(routed) => {
+                                let refused = routed.outcome.gtrid == 0
+                                    && routed.outcome.abort_reason
+                                        == Some(AbortReason::CoordinatorCrashed);
+                                if !refused {
+                                    ledger.borrow_mut().push(routed.outcome);
+                                }
+                                refused
+                            }
+                        };
+                        if !refused {
+                            break;
+                        }
+                        refused_connections.set(refused_connections.get() + 1);
+                        if attempts >= 40 {
+                            break;
+                        }
+                        sleep(Duration::from_millis(250)).await;
+                    }
+                }
+            }));
+        }
+
+        // ---------------- drain, bounded by the liveness horizon ----------------
+        let drained = geotp_simrt::timeout(config.base.horizon, async {
+            for client in clients {
+                client.await;
+            }
+            controller.await;
+            // Let lease expiry, takeover and deferred decisions settle: the
+            // tier needs a lease + a supervisor scan to notice a death, plus
+            // the decision-wait tail of in-flight transactions.
+            sleep(
+                config.membership.lease
+                    + config.supervisor_interval * 2
+                    + config.base.decision_wait_timeout * 2
+                    + Duration::from_secs(1),
+            )
+            .await;
+        })
+        .await;
+        let workload_drained = drained.is_ok();
+        trace.record(&format!("workload drained within horizon: {workload_drained}"));
+
+        // ---------------- heal everything, resolve in-doubt state ----------------
+        cluster.stop();
+        net.clear_fault_injector();
+        for ds in &sources {
+            if ds.is_crashed() {
+                let recovered = ds.restart().await;
+                trace.record(&format!(
+                    "final heal: restart ds{} ({} prepared branch(es) recovered)",
+                    ds.index(),
+                    recovered.len()
+                ));
+            }
+        }
+        let (rec_committed, rec_aborted) = cluster.recover_all().await;
+        trace.record(&format!(
+            "final recovery pass: {rec_committed} committed / {rec_aborted} aborted branch(es); \
+             takeovers so far: {}",
+            cluster.takeover_count()
+        ));
+
+        // ---------------- tally + invariants ----------------
+        let ledger = ledger.borrow();
+        let committed = ledger.iter().filter(|o| o.committed).count() as u64;
+        let indeterminate = ledger
+            .iter()
+            .filter(|o| o.gtrid != 0 && o.abort_reason == Some(AbortReason::CoordinatorCrashed))
+            .count() as u64;
+        let aborted = ledger.len() as u64 - committed - indeterminate;
+        if refused_connections.get() > 0 {
+            trace.record(&format!(
+                "router/coordinators refused {} connection attempt(s)",
+                refused_connections.get()
+            ));
+        }
+
+        let invariants = invariants::check(
+            &sources,
+            || workload.consistency_violations(&sources),
+            &ledger,
+            |gtrid| cluster.decision(gtrid),
+            workload_drained,
+        );
+        trace.record(&format!(
+            "summary: committed={committed} aborted={aborted} indeterminate={indeterminate} \
+             takeovers={}",
+            cluster.takeover_count()
+        ));
+        trace.record(&format!(
+            "invariants: atomicity={} durability={} liveness={} serializability={}",
+            invariants.atomicity_ok,
+            invariants.durability_ok,
+            invariants.liveness_ok,
+            invariants.serializability_ok
+        ));
+
+        ChaosReport {
+            committed,
+            aborted,
+            indeterminate,
+            invariants,
+            fingerprint: trace.fingerprint(),
+            trace: trace.lines(),
+        }
+    })
+}
+
+/// Named multi-coordinator failure presets — the drills the single
+/// -coordinator catalog could not express.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterScenario {
+    /// A coordinator crashes mid-traffic (half of it inside the §V-A window:
+    /// decision durable, never dispatched). The supervisor must detect the
+    /// death, fence the epoch and have a peer adopt every in-doubt branch
+    /// while the dead coordinator's sessions fail over.
+    CoordinatorCrashTakeover,
+    /// Split brain: a coordinator is partitioned from the membership service
+    /// (but not from the data sources!), its lease lapses, the cluster
+    /// declares it dead and fences it — while the process keeps serving its
+    /// sessions. Every decision it issues from the stale epoch must be
+    /// rejected by the sealed commit log and by every data source.
+    CoordinatorPartition,
+    /// A coordinator loses a subset of the data sources across the commit
+    /// window (its lease stays healthy): transactions stall, decision-wait
+    /// timeouts fire, and everything must drain once the partition heals —
+    /// with the other coordinator's traffic unaffected throughout.
+    CoordinatorSourcePartition,
+}
+
+impl ClusterScenario {
+    /// Every cluster preset, in a stable order.
+    pub fn all() -> [ClusterScenario; 3] {
+        [
+            ClusterScenario::CoordinatorCrashTakeover,
+            ClusterScenario::CoordinatorPartition,
+            ClusterScenario::CoordinatorSourcePartition,
+        ]
+    }
+
+    /// Stable identifier used in tables, trace files and CI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterScenario::CoordinatorCrashTakeover => "coordinator_crash_takeover",
+            ClusterScenario::CoordinatorPartition => "coordinator_partition",
+            ClusterScenario::CoordinatorSourcePartition => "coordinator_source_partition",
+        }
+    }
+
+    /// The preset's configuration and schedule for a given seed: a
+    /// 2-coordinator tier over the default 3 data sources.
+    pub fn build(&self, seed: u64) -> (ClusterChaosConfig, FaultSchedule) {
+        let config = ClusterChaosConfig {
+            base: ChaosConfig {
+                seed,
+                // Distributed transfers everywhere: cross-coordinator fencing
+                // and adoption only bite on 2PC transactions.
+                distributed_ratio: 1.0,
+                // Enough sessions that the consistent-hash ring puts real
+                // traffic on every coordinator (sessions = clients, and the
+                // ring is seed-independent).
+                clients: 8,
+                txns_per_client: 15,
+                protocol: Protocol::geotp(),
+                ..ChaosConfig::default()
+            },
+            ..ClusterChaosConfig::default()
+        };
+        let s = Duration::from_secs;
+        let ms = Duration::from_millis;
+        let schedule = match self {
+            ClusterScenario::CoordinatorCrashTakeover => {
+                FaultSchedule::new().with(FaultEvent::CrashCoordinatorAfterFlush {
+                    at: ms(2_500),
+                    dm: 1,
+                })
+            }
+            ClusterScenario::CoordinatorPartition => FaultSchedule::new().with(
+                // dm1 can still reach every data source — only the control
+                // plane is gone. The lease (1.5 s) lapses inside the window.
+                FaultEvent::Partition {
+                    at: s(2),
+                    until: s(8),
+                    a: geotp_net::NodeId::middleware(1),
+                    b: geotp_net::NodeId::control(0),
+                },
+            ),
+            ClusterScenario::CoordinatorSourcePartition => {
+                FaultSchedule::new().with(FaultEvent::Partition {
+                    at: s(2),
+                    until: s(6),
+                    a: geotp_net::NodeId::middleware(1),
+                    b: geotp_net::NodeId::data_source(2),
+                })
+            }
+        };
+        (config, schedule)
+    }
+
+    /// Build and run this preset under `seed`.
+    pub fn run(&self, seed: u64) -> ChaosReport {
+        let (config, schedule) = self.build(seed);
+        run_cluster_scenario(config, schedule)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_preset_names_are_unique_and_stable() {
+        let names: Vec<&str> = ClusterScenario::all().iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn cluster_schedules_heal_before_the_horizon() {
+        for preset in ClusterScenario::all() {
+            let (config, schedule) = preset.build(1);
+            assert!(
+                schedule.last_fault_instant()
+                    + config.membership.lease
+                    + config.base.decision_wait_timeout * 2
+                    < config.base.horizon,
+                "{}: faults must heal comfortably before the horizon",
+                preset.name()
+            );
+        }
+    }
+}

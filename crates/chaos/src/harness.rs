@@ -362,6 +362,15 @@ impl Deployment {
                     self.clocks.borrow().node_now_micros(*node)
                 ));
             }
+            // Cluster-tier events have no meaning in the single-coordinator
+            // harness: record the skip so a replayed cluster timeline is
+            // visibly (not silently) incomplete here.
+            FaultEvent::CrashCoordinator { .. } | FaultEvent::CrashCoordinatorAfterFlush { .. } => {
+                self.trace.record(&format!(
+                    "single-coordinator harness: ignoring cluster event {event:?} \
+                     (replay it through run_cluster_scenario)"
+                ));
+            }
             // Link-level events live in the injector.
             _ => {}
         }
@@ -375,12 +384,62 @@ pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport
     run_scenario_with(config, schedule, workload)
 }
 
+/// The per-client workload RNG stream. One derivation, used by the seeded
+/// client loops of *both* harnesses and by [`client_scripts`]: the workload
+/// shrinker's "exact scripts a seeded run would generate" contract depends
+/// on these never diverging.
+pub fn client_rng(seed: u64, client: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (0x5151_7c7c + client as u64 * 0x9e37))
+}
+
+/// Materialize the exact per-client transaction scripts a seeded run of
+/// `workload` under `config` would generate: one list per client, drawn from
+/// the same per-client RNG streams the harness uses. The workload shrinker
+/// starts from these and drops clients/transactions while the failure
+/// reproduces (see [`crate::shrink_workload`]).
+pub fn client_scripts(
+    config: &ChaosConfig,
+    workload: &dyn ChaosWorkload,
+) -> Vec<Vec<geotp_middleware::TransactionSpec>> {
+    (0..config.clients)
+        .map(|client| {
+            let mut rng = client_rng(config.seed, client);
+            (0..config.txns_per_client)
+                .map(|_| workload.next_spec(&mut rng))
+                .collect()
+        })
+        .collect()
+}
+
+/// Run `schedule` with an *explicit* per-client workload instead of seeded
+/// generation: client `i` executes exactly `scripts[i]`, in order (retries
+/// after a refused connection re-submit the same spec, as always). `workload`
+/// still supplies the partitioner, the initial load and the consistency
+/// conditions. This is the replay vehicle for minimized workloads.
+pub fn run_scenario_scripted(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+    scripts: Vec<Vec<geotp_middleware::TransactionSpec>>,
+) -> ChaosReport {
+    run_scenario_impl(config, schedule, workload, Some(scripts))
+}
+
 /// Run `schedule` against a fresh cluster described by `config`, driving
 /// `workload`, and return the invariant-checked, replayable report.
 pub fn run_scenario_with(
     config: ChaosConfig,
     schedule: FaultSchedule,
     workload: Rc<dyn ChaosWorkload>,
+) -> ChaosReport {
+    run_scenario_impl(config, schedule, workload, None)
+}
+
+fn run_scenario_impl(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+    scripts: Option<Vec<Vec<geotp_middleware::TransactionSpec>>>,
 ) -> ChaosReport {
     let mut rt = geotp_simrt::Runtime::new();
     rt.block_on(async move {
@@ -412,18 +471,27 @@ pub fn run_scenario_with(
         // ---------------- workload ----------------
         let ledger: Rc<RefCell<Vec<TxnOutcome>>> = Rc::new(RefCell::new(Vec::new()));
         let refused_connections = Rc::new(std::cell::Cell::new(0u64));
+        let scripts = scripts.map(Rc::new);
+        let client_count = scripts.as_ref().map(|s| s.len()).unwrap_or(config.clients);
         let mut clients = Vec::new();
-        for client in 0..config.clients {
+        for client in 0..client_count {
             let deployment = Rc::clone(&deployment);
             let ledger = Rc::clone(&ledger);
             let refused_connections = Rc::clone(&refused_connections);
             let workload = Rc::clone(&workload);
+            let scripts = scripts.clone();
             let config = config.clone();
             clients.push(spawn(async move {
-                let mut rng =
-                    StdRng::seed_from_u64(config.seed ^ (0x5151_7c7c + client as u64 * 0x9e37));
-                for _ in 0..config.txns_per_client {
-                    let spec = workload.next_spec(&mut rng);
+                let mut rng = client_rng(config.seed, client);
+                let txns = scripts
+                    .as_ref()
+                    .map(|s| s[client].len())
+                    .unwrap_or(config.txns_per_client);
+                for txn in 0..txns {
+                    let spec = match &scripts {
+                        Some(scripts) => scripts[client][txn].clone(),
+                        None => workload.next_spec(&mut rng),
+                    };
                     // A crashed coordinator refuses the connection; real
                     // clients reconnect and retry. Refusals never started a
                     // transaction (gtrid 0), so they are counted separately
@@ -509,7 +577,7 @@ pub fn run_scenario_with(
             &deployment.sources,
             || workload.consistency_violations(&deployment.sources),
             &ledger,
-            &deployment.commit_log,
+            |gtrid| deployment.commit_log.decision(gtrid),
             workload_drained,
         );
         trace.record(&format!(

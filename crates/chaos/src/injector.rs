@@ -136,6 +136,8 @@ impl ScheduleInjector {
                 | FaultEvent::CrashMiddleware { .. }
                 | FaultEvent::CrashMiddlewareAfterFlush { .. }
                 | FaultEvent::FailoverMiddleware { .. }
+                | FaultEvent::CrashCoordinator { .. }
+                | FaultEvent::CrashCoordinatorAfterFlush { .. }
                 | FaultEvent::ClockSkewRamp { .. } => {}
             }
         }

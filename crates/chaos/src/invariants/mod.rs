@@ -33,7 +33,7 @@ pub mod serializability;
 use std::rc::Rc;
 
 use geotp_datasource::DataSource;
-use geotp_middleware::{CommitLog, Decision, TxnOutcome};
+use geotp_middleware::{Decision, TxnOutcome};
 use geotp_simrt::hash::FxHashMap;
 use geotp_storage::wal::LogRecord;
 use geotp_storage::{BranchHistory, Key};
@@ -83,6 +83,10 @@ struct BranchDecisions {
 ///   folded into atomicity. Lazy because on an undrained run the final
 ///   state is noise and the (potentially table-scanning) check is skipped
 ///   wholesale.
+/// * `decision_of` — the durable decision for a gtrid. A single-coordinator
+///   harness passes its one commit log's lookup; a cluster harness resolves
+///   the gtrid's *owner* first and reads that coordinator's log, so the
+///   durability check holds across the whole tier.
 /// * `workload_drained` — the harness's horizon verdict; when `false` the
 ///   cluster may still have transactions in flight, so the state-based
 ///   checks are skipped (they could only report noise) and liveness is the
@@ -91,7 +95,7 @@ pub fn check(
     sources: &[Rc<DataSource>],
     workload_violations: impl FnOnce() -> Vec<String>,
     ledger: &[TxnOutcome],
-    commit_log: &Rc<CommitLog>,
+    decision_of: impl Fn(u64) -> Option<Decision>,
     workload_drained: bool,
 ) -> InvariantReport {
     let mut report = InvariantReport {
@@ -182,7 +186,7 @@ pub fn check(
         if outcome.gtrid == 0 {
             continue;
         }
-        let logged = commit_log.decision(outcome.gtrid);
+        let logged = decision_of(outcome.gtrid);
         if outcome.committed && logged != Some(Decision::Commit) {
             report.durability_ok = false;
             report.violations.push(format!(

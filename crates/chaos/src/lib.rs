@@ -59,6 +59,7 @@
 //! assert!(tpcc.invariants.serializability_ok);
 //! ```
 
+pub mod cluster_harness;
 pub mod harness;
 pub mod injector;
 pub mod invariants;
@@ -68,12 +69,16 @@ pub mod shrink;
 pub mod trace;
 pub mod workload;
 
+pub use cluster_harness::{run_cluster_scenario, ClusterChaosConfig, ClusterScenario};
 pub use geotp_middleware::Protocol;
-pub use harness::{run_scenario, run_scenario_with, ChaosConfig, ChaosReport};
+pub use harness::{
+    client_rng, client_scripts, run_scenario, run_scenario_scripted, run_scenario_with,
+    ChaosConfig, ChaosReport,
+};
 pub use injector::ScheduleInjector;
 pub use invariants::{InvariantReport, SerializabilityReport};
 pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
-pub use shrink::{shrink_schedule, ShrinkReport};
+pub use shrink::{shrink_schedule, shrink_workload, ShrinkReport, WorkloadShrinkReport};
 pub use trace::EventTrace;
 pub use workload::{ChaosWorkload, TpccChaosWorkload, TransferWorkload, CHAOS_TABLE};

@@ -60,6 +60,25 @@ pub enum FaultEvent {
         /// When the failover completes.
         at: Duration,
     },
+    /// Multi-coordinator tier: coordinator `dm` crashes at `at`. Its lease
+    /// lapses (or the crash is observed directly), the cluster supervisor
+    /// fences its epoch and a surviving peer adopts its in-doubt branches —
+    /// no scripted failover event needed.
+    CrashCoordinator {
+        /// When the crash happens.
+        at: Duration,
+        /// Index of the coordinator slot.
+        dm: u32,
+    },
+    /// Multi-coordinator tier: arm the §V-A fail point on coordinator `dm`
+    /// at `at` — it crashes right after its *next* commit-log flush, leaving
+    /// a durable decision for the adopting peer to discover.
+    CrashCoordinatorAfterFlush {
+        /// When the fail point is armed.
+        at: Duration,
+        /// Index of the coordinator slot.
+        dm: u32,
+    },
     /// Both directions between `a` and `b` are blocked during `[at, until)`.
     Partition {
         /// Partition start.
@@ -152,6 +171,8 @@ impl FaultEvent {
             | FaultEvent::CrashMiddleware { at }
             | FaultEvent::CrashMiddlewareAfterFlush { at }
             | FaultEvent::FailoverMiddleware { at }
+            | FaultEvent::CrashCoordinator { at, .. }
+            | FaultEvent::CrashCoordinatorAfterFlush { at, .. }
             | FaultEvent::Partition { at, .. }
             | FaultEvent::PartitionOneWay { at, .. }
             | FaultEvent::LatencyStorm { at, .. }
@@ -171,6 +192,8 @@ impl FaultEvent {
                 | FaultEvent::CrashMiddleware { .. }
                 | FaultEvent::CrashMiddlewareAfterFlush { .. }
                 | FaultEvent::FailoverMiddleware { .. }
+                | FaultEvent::CrashCoordinator { .. }
+                | FaultEvent::CrashCoordinatorAfterFlush { .. }
                 | FaultEvent::ClockSkewRamp { .. }
         )
     }
@@ -250,6 +273,12 @@ impl FaultSchedule {
                 }
                 FaultEvent::FailoverMiddleware { at } => {
                     format!("failover_middleware at_us={}", us(at))
+                }
+                FaultEvent::CrashCoordinator { at, dm } => {
+                    format!("crash_coordinator at_us={} dm={dm}", us(at))
+                }
+                FaultEvent::CrashCoordinatorAfterFlush { at, dm } => {
+                    format!("crash_coordinator_after_flush at_us={} dm={dm}", us(at))
                 }
                 FaultEvent::Partition { at, until, a, b } => {
                     format!("partition at_us={} until_us={} a={a} b={b}", us(at), us(until))
@@ -432,11 +461,13 @@ fn parse_node(fields: &[&str], key: &str) -> Result<NodeId, String> {
         (NodeId::middleware, i)
     } else if let Some(i) = value.strip_prefix("ds") {
         (NodeId::data_source, i)
+    } else if let Some(i) = value.strip_prefix("ctl") {
+        (NodeId::control, i)
     } else if let Some(i) = value.strip_prefix("client") {
         (NodeId::client, i)
     } else {
         return Err(format!(
-            "field {key} is not a node id (dm<N>/ds<N>/client<N>)"
+            "field {key} is not a node id (dm<N>/ds<N>/ctl<N>/client<N>)"
         ));
     };
     index
@@ -466,6 +497,14 @@ fn parse_timeline_event(line: &str) -> Result<FaultEvent, String> {
         },
         "failover_middleware" => FaultEvent::FailoverMiddleware {
             at: parse_us(&fields, "at_us")?,
+        },
+        "crash_coordinator" => FaultEvent::CrashCoordinator {
+            at: parse_us(&fields, "at_us")?,
+            dm: parse_num(&fields, "dm")?,
+        },
+        "crash_coordinator_after_flush" => FaultEvent::CrashCoordinatorAfterFlush {
+            at: parse_us(&fields, "at_us")?,
+            dm: parse_num(&fields, "dm")?,
         },
         "partition" => FaultEvent::Partition {
             at: parse_us(&fields, "at_us")?,
@@ -596,6 +635,20 @@ mod tests {
             .with(FaultEvent::CrashMiddleware { at: ms(100) })
             .with(FaultEvent::CrashMiddlewareAfterFlush { at: ms(2500) })
             .with(FaultEvent::FailoverMiddleware { at: ms(5000) })
+            .with(FaultEvent::CrashCoordinator {
+                at: ms(2000),
+                dm: 1,
+            })
+            .with(FaultEvent::CrashCoordinatorAfterFlush {
+                at: ms(2250),
+                dm: 0,
+            })
+            .with(FaultEvent::Partition {
+                at: ms(1000),
+                until: ms(7000),
+                a: NodeId::middleware(1),
+                b: NodeId::control(0),
+            })
             .with(FaultEvent::Partition {
                 at: ms(2000),
                 until: ms(6000),

@@ -19,6 +19,8 @@
 
 use std::time::Duration;
 
+use geotp_middleware::TransactionSpec;
+
 use crate::schedule::{FaultEvent, FaultSchedule};
 
 /// Result of a shrink run.
@@ -64,6 +66,49 @@ impl<F: FnMut(&FaultSchedule) -> bool> Probe<F> {
     }
 }
 
+/// The generic ddmin removal pass over any item list: repeatedly drop chunks
+/// (halves → quarters → … → single items), keep every reduction that still
+/// fails. `probe` returns `None` when the run budget is exhausted. Returns
+/// the minimized items and whether the budget ran out mid-pass.
+fn ddmin_items<T: Clone>(
+    initial: &[T],
+    probe: &mut impl FnMut(&[T]) -> Option<bool>,
+) -> (Vec<T>, bool) {
+    let mut current = initial.to_vec();
+    let mut granularity = 2usize;
+    while !current.is_empty() {
+        granularity = granularity.min(current.len());
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let candidate: Vec<T> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .cloned()
+                .collect();
+            match probe(&candidate) {
+                None => return (current, true),
+                Some(true) => {
+                    current = candidate;
+                    granularity = granularity.saturating_sub(1).max(2);
+                    reduced = true;
+                    break;
+                }
+                Some(false) => start = end,
+            }
+        }
+        if !reduced {
+            if granularity >= current.len() {
+                break; // 1-minimal: no single item can be dropped.
+            }
+            granularity = (granularity * 2).min(current.len());
+        }
+    }
+    (current, false)
+}
+
 /// Shrink `initial` to a minimal schedule for which `fails` still returns
 /// `true`. `fails` runs one full scenario per call (deterministic: same
 /// schedule ⇒ same verdict); `max_runs` bounds the total number of probe
@@ -81,46 +126,9 @@ where
         return None;
     }
 
-    let mut current = initial.events.clone();
-    let mut budget_exhausted = false;
-
     // ---------------- pass 1: ddmin event removal ----------------
-    // Granularity starts at halves; failed rounds double it until single
-    // events are tried; any successful removal resets to coarse chunks.
-    let mut granularity = 2usize;
-    'ddmin: while !current.is_empty() {
-        granularity = granularity.min(current.len());
-        let chunk = current.len().div_ceil(granularity);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < current.len() {
-            let end = (start + chunk).min(current.len());
-            let candidate: Vec<FaultEvent> = current[..start]
-                .iter()
-                .chain(&current[end..])
-                .cloned()
-                .collect();
-            match probe.fails(&candidate) {
-                None => {
-                    budget_exhausted = true;
-                    break 'ddmin;
-                }
-                Some(true) => {
-                    current = candidate;
-                    granularity = granularity.saturating_sub(1).max(2);
-                    reduced = true;
-                    break;
-                }
-                Some(false) => start = end,
-            }
-        }
-        if !reduced {
-            if granularity >= current.len() {
-                break; // 1-minimal: no single event can be dropped.
-            }
-            granularity = (granularity * 2).min(current.len());
-        }
-    }
+    let (mut current, mut budget_exhausted) =
+        ddmin_items(&initial.events, &mut |events| probe.fails(events));
 
     // ---------------- pass 2: timing simplification ----------------
     // For each surviving event, try a variant with a halved window and an
@@ -166,6 +174,87 @@ where
     })
 }
 
+/// Result of a workload shrink run.
+#[derive(Debug, Clone)]
+pub struct WorkloadShrinkReport {
+    /// The smallest still-failing workload: one transaction list per
+    /// surviving client (clients whose every transaction was dropped are
+    /// gone entirely).
+    pub minimized: Vec<Vec<TransactionSpec>>,
+    /// Clients in the workload the shrink started from.
+    pub initial_clients: usize,
+    /// Clients left after shrinking.
+    pub minimized_clients: usize,
+    /// Total transactions in the starting workload.
+    pub initial_txns: usize,
+    /// Total transactions left after shrinking.
+    pub minimized_txns: usize,
+    /// Scenario runs spent (including the initial confirmation run).
+    pub runs: u32,
+    /// `true` if the probe budget ran out before the workload was 1-minimal.
+    pub budget_exhausted: bool,
+}
+
+/// Value-aware workload shrinking: after [`shrink_schedule`] minimizes the
+/// *fault* timeline, ddmin the *workload* too — drop whole clients and
+/// individual transactions while the failure keeps reproducing. `initial` is
+/// one transaction script per client (see
+/// [`crate::harness::client_scripts`], which materializes exactly what the
+/// seeded harness would have generated); `fails` replays a full scenario
+/// against a candidate script set, typically through
+/// [`crate::harness::run_scenario_scripted`]. Returns `None` if the initial
+/// workload does not fail at all.
+pub fn shrink_workload<F>(
+    initial: &[Vec<TransactionSpec>],
+    max_runs: u32,
+    mut fails: F,
+) -> Option<WorkloadShrinkReport>
+where
+    F: FnMut(&[Vec<TransactionSpec>]) -> bool,
+{
+    // Flatten to (client, spec) pairs so ddmin can drop any subset while the
+    // rebuild keeps each surviving transaction on its original client (the
+    // concurrency structure is part of the repro).
+    let flat: Vec<(usize, TransactionSpec)> = initial
+        .iter()
+        .enumerate()
+        .flat_map(|(client, specs)| specs.iter().map(move |s| (client, s.clone())))
+        .collect();
+    let clients = initial.len();
+    let rebuild = |items: &[(usize, TransactionSpec)]| -> Vec<Vec<TransactionSpec>> {
+        let mut per_client: Vec<Vec<TransactionSpec>> = vec![Vec::new(); clients];
+        for (client, spec) in items {
+            per_client[*client].push(spec.clone());
+        }
+        per_client.retain(|specs| !specs.is_empty());
+        per_client
+    };
+
+    let mut runs = 0u32;
+    let max_runs = max_runs.max(1);
+    let mut probe = |items: &[(usize, TransactionSpec)]| -> Option<bool> {
+        if runs >= max_runs {
+            return None;
+        }
+        runs += 1;
+        Some(fails(&rebuild(items)))
+    };
+    if !probe(&flat)? {
+        return None;
+    }
+    let (minimized_flat, budget_exhausted) = ddmin_items(&flat, &mut probe);
+    let minimized = rebuild(&minimized_flat);
+    Some(WorkloadShrinkReport {
+        initial_clients: clients,
+        minimized_clients: minimized.len(),
+        initial_txns: flat.len(),
+        minimized_txns: minimized_flat.len(),
+        minimized,
+        runs,
+        budget_exhausted,
+    })
+}
+
 /// Candidate simplifications of one event, simplest first: pull the
 /// activation instant halfway toward zero, and halve a windowed fault's
 /// duration. Instant events only get the time pull.
@@ -195,6 +284,16 @@ fn simplify_event(event: &FaultEvent) -> Vec<FaultEvent> {
         }
         FaultEvent::FailoverMiddleware { at } => {
             variants.push(FaultEvent::FailoverMiddleware { at: halve_at(at) })
+        }
+        FaultEvent::CrashCoordinator { at, dm } => variants.push(FaultEvent::CrashCoordinator {
+            at: halve_at(at),
+            dm: *dm,
+        }),
+        FaultEvent::CrashCoordinatorAfterFlush { at, dm } => {
+            variants.push(FaultEvent::CrashCoordinatorAfterFlush {
+                at: halve_at(at),
+                dm: *dm,
+            })
         }
         FaultEvent::Partition { at, until, a, b } => {
             variants.push(FaultEvent::Partition {
@@ -396,6 +495,52 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, FaultEvent::CrashDataSource { ds: 1, .. })));
+    }
+
+    #[test]
+    fn workload_shrink_isolates_the_failing_pair_across_clients() {
+        use geotp_middleware::{ClientOp, GlobalKey};
+        use geotp_storage::TableId;
+
+        let spec = |row: u64| {
+            TransactionSpec::single_round(vec![ClientOp::add(GlobalKey::new(TableId(0), row), 1)])
+        };
+        // 3 clients × 4 txns; the synthetic bug needs client 0 touching row 7
+        // *and* client 2 touching row 9 (a cross-client race).
+        let initial: Vec<Vec<TransactionSpec>> = vec![
+            vec![spec(1), spec(7), spec(2), spec(3)],
+            vec![spec(4), spec(5), spec(6), spec(4)],
+            vec![spec(8), spec(8), spec(9), spec(8)],
+        ];
+        let touches = |scripts: &[Vec<TransactionSpec>], row: u64| {
+            scripts
+                .iter()
+                .flatten()
+                .any(|s| s.keys().contains(&GlobalKey::new(TableId(0), row)))
+        };
+        let report = shrink_workload(&initial, 200, |scripts| {
+            touches(scripts, 7) && touches(scripts, 9)
+        })
+        .expect("initial workload fails");
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.initial_clients, 3);
+        assert_eq!(report.initial_txns, 12);
+        assert_eq!(
+            report.minimized_txns, 2,
+            "exactly the two culprit transactions survive: {:?}",
+            report.minimized
+        );
+        assert_eq!(
+            report.minimized_clients, 2,
+            "the middle (irrelevant) client is dropped entirely"
+        );
+        assert!(touches(&report.minimized, 7) && touches(&report.minimized, 9));
+    }
+
+    #[test]
+    fn workload_shrink_returns_none_when_green() {
+        let initial = vec![vec![TransactionSpec::default()]];
+        assert!(shrink_workload(&initial, 50, |_| false).is_none());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! Seeded sweeps of the multi-coordinator presets.
+//!
+//! Same contract as `sweeps.rs`, one tier up: every cluster preset runs a
+//! 2-coordinator tier across the seed spread, all four invariant checkers
+//! must stay green, every adopted in-doubt branch must be resolved, and no
+//! decision from a fenced epoch may be accepted. Width is 4 seeds per preset
+//! by default and ≥32 with `GEOTP_CHAOS_SWEEP=32` / `GEOTP_FULL=1` (the
+//! chaos-drills CI job and the nightly sweep both set it).
+
+use geotp_chaos::ClusterScenario;
+
+fn sweep_seeds() -> u64 {
+    if let Ok(v) = std::env::var("GEOTP_CHAOS_SWEEP") {
+        if let Ok(n) = v.parse::<u64>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("GEOTP_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        32
+    } else {
+        4
+    }
+}
+
+fn assert_cluster_scenario_green(scenario: ClusterScenario, seed: u64) {
+    let report = scenario.run(seed);
+    assert!(
+        report.invariants.all_hold(),
+        "{} seed {} violated invariants:\n  {}\ntrace tail:\n  {}",
+        scenario.name(),
+        seed,
+        report.invariants.violations.join("\n  "),
+        report
+            .trace
+            .iter()
+            .rev()
+            .take(30)
+            .rev()
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n  "),
+    );
+    assert!(
+        report.committed > 0,
+        "{} seed {}: a drill where nothing commits proves nothing",
+        scenario.name(),
+        seed
+    );
+}
+
+#[test]
+fn sweep_coordinator_crash_takeover() {
+    for seed in 1..=sweep_seeds() {
+        assert_cluster_scenario_green(ClusterScenario::CoordinatorCrashTakeover, seed);
+    }
+}
+
+#[test]
+fn sweep_coordinator_partition() {
+    for seed in 1..=sweep_seeds() {
+        assert_cluster_scenario_green(ClusterScenario::CoordinatorPartition, seed);
+    }
+}
+
+#[test]
+fn sweep_coordinator_source_partition() {
+    for seed in 1..=sweep_seeds() {
+        assert_cluster_scenario_green(ClusterScenario::CoordinatorSourcePartition, seed);
+    }
+}
+
+/// The crash-takeover preset actually exercises the takeover machinery: the
+/// trace must show the supervisor adopting the dead coordinator (not just the
+/// clients failing over), and the run must still commit traffic afterwards.
+#[test]
+fn crash_takeover_preset_actually_takes_over() {
+    let report = ClusterScenario::CoordinatorCrashTakeover.run(1);
+    assert!(
+        report.invariants.all_hold(),
+        "{:?}",
+        report.invariants.violations
+    );
+    let takeovers_line = report
+        .trace
+        .iter()
+        .find(|l| l.contains("takeovers so far:"))
+        .expect("trace records the takeover count");
+    assert!(
+        !takeovers_line.contains("takeovers so far: 0"),
+        "the supervisor should have performed a takeover: {takeovers_line}"
+    );
+}
+
+/// Replayability holds one tier up: same seed + same schedule ⇒ bit-identical
+/// trace.
+#[test]
+fn cluster_replay_is_bit_identical_in_process() {
+    let a = ClusterScenario::CoordinatorCrashTakeover.run(7);
+    let b = ClusterScenario::CoordinatorCrashTakeover.run(7);
+    assert_eq!(a.trace, b.trace, "traces must match line for line");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    let c = ClusterScenario::CoordinatorCrashTakeover.run(8);
+    assert_ne!(a.fingerprint, c.fingerprint);
+}

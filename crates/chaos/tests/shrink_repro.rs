@@ -16,8 +16,8 @@
 use std::rc::Rc;
 
 use geotp_chaos::{
-    run_scenario_with, shrink_schedule, ChaosConfig, FaultSchedule, RandomFaultConfig, Scenario,
-    TpccChaosWorkload,
+    client_scripts, run_scenario_scripted, run_scenario_with, shrink_schedule, shrink_workload,
+    ChaosConfig, FaultSchedule, RandomFaultConfig, Scenario, TpccChaosWorkload,
 };
 
 /// The failing configuration: TPC-C at drill scale with every 2nd read
@@ -87,6 +87,39 @@ fn injected_isolation_bug_is_caught_and_shrunk_to_a_minimal_timeline() {
     let replayed = FaultSchedule::parse_timeline(&shrink.timeline()).expect("timeline parses");
     assert_eq!(replayed, shrink.minimized);
     assert!(tpcc_fails(&config, &replayed));
+
+    // 4. Value-aware workload shrinking: with the fault schedule minimized,
+    //    ddmin the *workload* too. Start from the exact per-client scripts
+    //    the seeded run generated; drop clients and transactions while the
+    //    serializability checker keeps turning red.
+    let workload = TpccChaosWorkload::drill_scale(config.nodes());
+    let scripts = client_scripts(&config, &workload);
+    let initial_txns: usize = scripts.iter().map(Vec::len).sum();
+    let scripted_fails = |candidate: &[Vec<geotp_middleware::TransactionSpec>]| {
+        let workload = Rc::new(TpccChaosWorkload::drill_scale(config.nodes()));
+        let report = run_scenario_scripted(
+            config.clone(),
+            shrink.minimized.clone(),
+            workload,
+            candidate.to_vec(),
+        );
+        !report.invariants.serializability_ok
+    };
+    let wshrink = shrink_workload(&scripts, 60, scripted_fails)
+        .expect("the full scripted workload reproduces the failure");
+    assert!(
+        wshrink.minimized_txns < initial_txns / 2,
+        "the workload should shrink substantially: {} -> {} txns (runs: {})",
+        initial_txns,
+        wshrink.minimized_txns,
+        wshrink.runs
+    );
+    assert!(
+        wshrink.minimized_clients <= wshrink.initial_clients,
+        "clients can only be dropped"
+    );
+    // The minimized workload still fails when replayed.
+    assert!(scripted_fails(&wshrink.minimized));
 }
 
 #[test]

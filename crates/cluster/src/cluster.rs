@@ -1,0 +1,469 @@
+//! The coordinator cluster: N middlewares over shared data sources.
+//!
+//! [`CoordinatorCluster::build`] connects one [`Middleware`] per slot to the
+//! same data sources (each with its own durable commit log and a disjoint
+//! gtrid space — gtrids embed the coordinator index), registers every slot in
+//! the [`MembershipTable`] and wires the [`SessionRouter`] in front. Once
+//! [`CoordinatorCluster::start`] is called, each coordinator renews its lease
+//! over the simulated network against the control node, and a supervisor task
+//! scans for lapsed leases and detected crashes:
+//!
+//! 1. **declare dead** — lease lapsed (partition, crash) or process crash
+//!    observed;
+//! 2. **fence** — the membership epoch is bumped, the dead peer's commit log
+//!    is sealed, and every data source is told to reject the dead epoch;
+//! 3. **scoped disconnect** — each data source aborts the dead coordinator's
+//!    *unprepared* branches (other coordinators' in-flight work untouched);
+//! 4. **adopt** — a surviving coordinator runs `XA RECOVER` scoped to the
+//!    dead gtrid space and finishes each in-doubt branch per the sealed log:
+//!    durable `Commit` ⇒ commit, anything else ⇒ abort.
+//!
+//! Clients keep calling [`CoordinatorCluster::run_transaction`]; the router
+//! re-homes the dead coordinator's sessions onto survivors on their next
+//! request.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::DataSource;
+use geotp_middleware::{
+    CommitLog, Middleware, MiddlewareConfig, Partitioner, Protocol, TransactionSpec, TxnOutcome,
+};
+use geotp_net::{Network, NodeId};
+use geotp_simrt::sync::Semaphore;
+use geotp_simrt::{join_all, sleep, spawn};
+
+use crate::membership::{MembershipConfig, MembershipTable};
+use crate::ring::SessionRouter;
+
+/// Configuration of a coordinator cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of coordinator slots.
+    pub coordinators: usize,
+    /// Commit protocol every coordinator runs.
+    pub protocol: Protocol,
+    /// The shared data partitioning scheme.
+    pub partitioner: Partitioner,
+    /// Lease/heartbeat parameters.
+    pub membership: MembershipConfig,
+    /// How often the supervisor scans for lapsed leases and crashes.
+    pub supervisor_interval: Duration,
+    /// Per-coordinator concurrent-transaction capacity (the worker/connection
+    /// pool of one proxy instance); `0` means unbounded. This is what makes
+    /// the tier *scale out*: total capacity grows with the coordinator count.
+    pub max_inflight: usize,
+    /// Passed through to each [`MiddlewareConfig`].
+    pub decision_wait_timeout: Duration,
+    /// Virtual-time cost of parsing/routing/scheduling one transaction.
+    pub analysis_cost: Duration,
+    /// Commit-log flush cost.
+    pub log_flush_cost: Duration,
+    /// Populate per-transaction histories (chaos checkers).
+    pub record_history: bool,
+    /// Seed for the coordinators' schedulers (slot index is mixed in).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// Reasonable defaults for `coordinators` slots over `partitioner`.
+    pub fn new(coordinators: usize, protocol: Protocol, partitioner: Partitioner) -> Self {
+        Self {
+            coordinators,
+            protocol,
+            partitioner,
+            membership: MembershipConfig::default(),
+            supervisor_interval: Duration::from_millis(500),
+            max_inflight: 0,
+            decision_wait_timeout: Duration::from_secs(2),
+            analysis_cost: Duration::from_micros(200),
+            log_flush_cost: Duration::from_micros(200),
+            record_history: false,
+            seed: 42,
+        }
+    }
+}
+
+/// One coordinator slot.
+struct Slot {
+    middleware: Rc<Middleware>,
+    commit_log: Rc<CommitLog>,
+    /// The membership epoch this instance was granted.
+    epoch: u64,
+    /// Concurrency gate (`None` when unbounded).
+    permits: Option<Rc<Semaphore>>,
+}
+
+/// What one peer takeover did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakeoverReport {
+    /// The adopted (dead) coordinator.
+    pub dead: u32,
+    /// The surviving adopter.
+    pub by: u32,
+    /// The fencing epoch installed at the commit log and every data source.
+    pub fencing_epoch: u64,
+    /// Adopted in-doubt branches driven to commit.
+    pub adopted_committed: usize,
+    /// Adopted in-doubt branches driven to abort.
+    pub adopted_aborted: usize,
+    /// Unprepared branches of the dead coordinator aborted by the data
+    /// sources' scoped disconnect handling.
+    pub unprepared_aborted: usize,
+}
+
+/// A transaction outcome plus the coordinator that served it.
+#[derive(Debug, Clone)]
+pub struct RoutedOutcome {
+    /// The coordinator slot the session was routed to.
+    pub coordinator: u32,
+    /// The transaction outcome.
+    pub outcome: TxnOutcome,
+}
+
+/// The scale-out middleware tier.
+pub struct CoordinatorCluster {
+    config: ClusterConfig,
+    net: Rc<Network>,
+    sources: Vec<Rc<DataSource>>,
+    slots: Vec<Slot>,
+    membership: Rc<MembershipTable>,
+    router: SessionRouter,
+    /// Stops the heartbeat/supervisor tasks (harness quiescing).
+    stopped: Cell<bool>,
+    /// Takeovers performed so far (telemetry for harnesses and tests).
+    takeovers: Cell<u64>,
+}
+
+impl CoordinatorCluster {
+    /// Wire `config.coordinators` middlewares onto `sources` over `net`.
+    /// Every slot registers in a fresh membership table and is granted its
+    /// initial epoch before serving anything.
+    pub fn build(config: ClusterConfig, net: Rc<Network>, sources: &[Rc<DataSource>]) -> Rc<Self> {
+        let membership = Rc::new(MembershipTable::new(config.coordinators, config.membership));
+        let mut slots = Vec::with_capacity(config.coordinators);
+        for coord in 0..config.coordinators as u32 {
+            let epoch = membership.register(coord);
+            let mut mw_cfg = MiddlewareConfig::new(
+                NodeId::middleware(coord),
+                config.protocol,
+                config.partitioner,
+            );
+            mw_cfg.analysis_cost = config.analysis_cost;
+            mw_cfg.log_flush_cost = config.log_flush_cost;
+            mw_cfg.decision_wait_timeout = config.decision_wait_timeout;
+            mw_cfg.record_history = config.record_history;
+            mw_cfg.scheduler.seed = config.seed.wrapping_add(coord as u64);
+            mw_cfg.epoch = epoch;
+            let middleware = Middleware::connect(mw_cfg, Rc::clone(&net), sources, None);
+            let commit_log = Rc::clone(middleware.commit_log());
+            slots.push(Slot {
+                middleware,
+                commit_log,
+                epoch,
+                permits: (config.max_inflight > 0)
+                    .then(|| Rc::new(Semaphore::new(config.max_inflight))),
+            });
+        }
+        let router = SessionRouter::new(Rc::clone(&membership));
+        Rc::new(Self {
+            config,
+            net,
+            sources: sources.to_vec(),
+            slots,
+            membership,
+            router,
+            stopped: Cell::new(false),
+            takeovers: Cell::new(0),
+        })
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The membership/lease table.
+    pub fn membership(&self) -> &Rc<MembershipTable> {
+        &self.membership
+    }
+
+    /// The session router.
+    pub fn router(&self) -> &SessionRouter {
+        &self.router
+    }
+
+    /// The shared data sources.
+    pub fn sources(&self) -> &[Rc<DataSource>] {
+        &self.sources
+    }
+
+    /// The middleware instance of slot `coord`.
+    pub fn middleware(&self, coord: u32) -> &Rc<Middleware> {
+        &self.slots[coord as usize].middleware
+    }
+
+    /// The durable commit log of slot `coord`.
+    pub fn commit_log(&self, coord: u32) -> &Rc<CommitLog> {
+        &self.slots[coord as usize].commit_log
+    }
+
+    /// The membership epoch granted to slot `coord` at build time.
+    pub fn epoch(&self, coord: u32) -> u64 {
+        self.slots[coord as usize].epoch
+    }
+
+    /// The durable decision for `gtrid`, looked up in its owner's commit log
+    /// (cross-coordinator: this is what cluster-wide invariant checkers use).
+    pub fn decision(&self, gtrid: u64) -> Option<geotp_middleware::Decision> {
+        let owner = geotp_middleware::gtrid_owner(gtrid) as usize;
+        self.slots
+            .get(owner)
+            .and_then(|s| s.commit_log.decision(gtrid))
+    }
+
+    /// Takeovers performed so far.
+    pub fn takeover_count(&self) -> u64 {
+        self.takeovers.get()
+    }
+
+    /// Crash coordinator `coord`'s process: in-flight transactions die, the
+    /// heartbeat task stops at its next tick, and the supervisor fences and
+    /// adopts the slot.
+    pub fn crash(&self, coord: u32) {
+        self.slots[coord as usize].middleware.crash();
+    }
+
+    /// Arm the §V-A fail point on slot `coord`: crash right after its next
+    /// commit-log flush (decision durable, never dispatched).
+    pub fn crash_after_next_flush(&self, coord: u32) {
+        self.slots[coord as usize]
+            .middleware
+            .crash_after_next_flush();
+    }
+
+    /// Stop the background heartbeat/supervisor tasks (they observe the flag
+    /// at their next tick). Used by harnesses before the final recovery pass.
+    pub fn stop(&self) {
+        self.stopped.set(true);
+    }
+
+    /// Spawn the lease heartbeats (one task per slot) and the supervisor.
+    pub fn start(self: &Rc<Self>) {
+        for coord in 0..self.slots.len() as u32 {
+            let cluster = Rc::clone(self);
+            spawn(async move { cluster.heartbeat_loop(coord).await });
+        }
+        let cluster = Rc::clone(self);
+        spawn(async move {
+            loop {
+                sleep(cluster.config.supervisor_interval).await;
+                if cluster.stopped.get() {
+                    return;
+                }
+                cluster.supervise_once().await;
+            }
+        });
+    }
+
+    /// One coordinator's lease-renewal loop. Renewals ride the simulated
+    /// network to the control node, so a partitioned coordinator's renewal
+    /// stalls and its lease lapses — the split-brain entry point the fencing
+    /// machinery exists for.
+    async fn heartbeat_loop(self: Rc<Self>, coord: u32) {
+        let dm = NodeId::middleware(coord);
+        let control = NodeId::control(0);
+        let interval = self.config.membership.heartbeat_interval;
+        let slot_epoch = self.slots[coord as usize].epoch;
+        loop {
+            sleep(interval).await;
+            if self.stopped.get() || self.slots[coord as usize].middleware.is_crashed() {
+                return;
+            }
+            self.net.transfer(dm, control).await;
+            if self.slots[coord as usize].middleware.is_crashed() {
+                return; // died while the renewal was in flight
+            }
+            if self.membership.renew(coord, slot_epoch).is_err() {
+                // Fenced or declared dead: this instance must stop claiming
+                // liveness (and its epoch is already rejected everywhere).
+                return;
+            }
+            self.net.transfer(control, dm).await;
+        }
+    }
+
+    /// One supervisor scan: lapse overdue leases, notice crashed processes,
+    /// fence and adopt every newly dead slot. Returns the takeovers performed.
+    pub async fn supervise_once(&self) -> Vec<TakeoverReport> {
+        let mut newly_dead = self.membership.expire_stale();
+        for coord in 0..self.slots.len() as u32 {
+            if self.slots[coord as usize].middleware.is_crashed() && self.membership.is_alive(coord)
+            {
+                self.membership.declare_dead(coord);
+                newly_dead.push(coord);
+            }
+        }
+        let mut reports = Vec::new();
+        for dead in newly_dead {
+            let Some(&by) = self
+                .membership
+                .live_coordinators()
+                .iter()
+                .find(|&&c| !self.slots[c as usize].middleware.is_crashed())
+            else {
+                continue; // nobody left to adopt; the harness's final pass will
+            };
+            reports.push(self.take_over(dead, by).await);
+        }
+        reports
+    }
+
+    /// Fence coordinator `dead` and let `by` adopt its in-doubt branches.
+    ///
+    /// Order matters: the commit log is sealed *before* it is read, so the
+    /// dead peer cannot slip in a decision after adoption resolved the
+    /// branches; the data sources are fenced *before* the scoped disconnect
+    /// and the adoption, so a stale dispatch cannot land between them.
+    pub async fn take_over(&self, dead: u32, by: u32) -> TakeoverReport {
+        assert_ne!(dead, by, "a coordinator cannot adopt itself");
+        let fencing_epoch = self.membership.fence(dead);
+        let dead_log = Rc::clone(&self.slots[dead as usize].commit_log);
+        // 1. Seal the dead peer's commit log (shared durable storage).
+        dead_log.fence(fencing_epoch);
+
+        // 2. Broadcast the fence + scoped disconnect handling to every data
+        //    source, in parallel. The fence is durable XA metadata on the
+        //    source (it survives a source crash alongside the prepared
+        //    branches it protects), so it is installed even on a currently
+        //    crashed source. The scoped abort only runs on live engines —
+        //    a crashed engine's unprepared branches die with it anyway.
+        let dead_node = NodeId::middleware(dead);
+        let by_node = NodeId::middleware(by);
+        let unprepared_counts = join_all(
+            self.sources
+                .iter()
+                .map(|ds| {
+                    let ds = Rc::clone(ds);
+                    let net = Rc::clone(&self.net);
+                    async move {
+                        net.transfer(by_node, ds.node()).await;
+                        ds.fence_coordinator(dead_node, fencing_epoch);
+                        let aborted = if ds.is_crashed() {
+                            0
+                        } else {
+                            ds.coordinator_disconnected_scoped(dead).await.len()
+                        };
+                        net.transfer(ds.node(), by_node).await;
+                        aborted
+                    }
+                })
+                .collect(),
+        )
+        .await;
+
+        // 3. Adopt: XA RECOVER scoped to the dead gtrid space, decisions from
+        //    the sealed log, driven over the survivor's (live-epoch)
+        //    connections.
+        let (adopted_committed, adopted_aborted) = self.slots[by as usize]
+            .middleware
+            .recover_owned_by(dead, &dead_log)
+            .await;
+
+        self.takeovers.set(self.takeovers.get() + 1);
+        TakeoverReport {
+            dead,
+            by,
+            fencing_epoch,
+            adopted_committed,
+            adopted_aborted,
+            unprepared_aborted: unprepared_counts.iter().sum(),
+        }
+    }
+
+    /// Run one client transaction for `session`: route to a live coordinator,
+    /// queue on its capacity gate, execute. `None` when no coordinator is
+    /// alive (the client should back off and retry).
+    pub async fn run_transaction(
+        &self,
+        session: u64,
+        spec: &TransactionSpec,
+    ) -> Option<RoutedOutcome> {
+        let coordinator = self.router.route(session)?;
+        let slot = &self.slots[coordinator as usize];
+        let _permit = match &slot.permits {
+            Some(semaphore) => Some(semaphore.acquire().await.ok()?),
+            None => None,
+        };
+        let middleware = Rc::clone(&slot.middleware);
+        let outcome = middleware.run_transaction(spec).await;
+        Some(RoutedOutcome {
+            coordinator,
+            outcome,
+        })
+    }
+
+    /// Final recovery pass (after every fault healed): every live coordinator
+    /// recovers its own gtrid space, then any still-dead slot that was never
+    /// adopted (e.g. every peer was down at the time) is adopted now by the
+    /// first live coordinator. Returns `(committed, aborted)` branch totals.
+    pub async fn recover_all(&self) -> (usize, usize) {
+        // A crashed process the (possibly stopped) supervisor never got to:
+        // declare it dead now so the adoption sweep below covers it.
+        for coord in 0..self.slots.len() as u32 {
+            if self.slots[coord as usize].middleware.is_crashed() {
+                self.membership.declare_dead(coord);
+            }
+        }
+        let mut committed = 0;
+        let mut aborted = 0;
+        for coord in 0..self.slots.len() as u32 {
+            let slot = &self.slots[coord as usize];
+            if self.membership.is_alive(coord) && !slot.middleware.is_crashed() {
+                let (c, a) = slot.middleware.recover().await;
+                committed += c;
+                aborted += a;
+            }
+        }
+        for dead in 0..self.slots.len() as u32 {
+            if self.membership.is_alive(dead) {
+                continue;
+            }
+            let Some(&by) = self
+                .membership
+                .live_coordinators()
+                .iter()
+                .find(|&&c| !self.slots[c as usize].middleware.is_crashed())
+            else {
+                break;
+            };
+            let report = self.take_over_if_unfenced(dead, by).await;
+            committed += report.adopted_committed;
+            aborted += report.adopted_aborted;
+        }
+        (committed, aborted)
+    }
+
+    /// Adopt `dead` by `by`; if the slot was already fenced by an earlier
+    /// takeover this only re-runs the (idempotent) adoption sweep for
+    /// branches a then-crashed data source has since recovered from its WAL.
+    async fn take_over_if_unfenced(&self, dead: u32, by: u32) -> TakeoverReport {
+        let dead_log = Rc::clone(&self.slots[dead as usize].commit_log);
+        if dead_log.min_epoch() <= self.slots[dead as usize].epoch {
+            return self.take_over(dead, by).await;
+        }
+        let (adopted_committed, adopted_aborted) = self.slots[by as usize]
+            .middleware
+            .recover_owned_by(dead, &dead_log)
+            .await;
+        TakeoverReport {
+            dead,
+            by,
+            fencing_epoch: dead_log.min_epoch(),
+            adopted_committed,
+            adopted_aborted,
+            unprepared_aborted: 0,
+        }
+    }
+}

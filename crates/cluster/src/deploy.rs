@@ -1,0 +1,86 @@
+//! Deployment helper: wire the network and data sources for a tier.
+//!
+//! Both the chaos cluster harness and the scale-out experiments need the same
+//! physical layout — every coordinator linked to every data source, a control
+//! node for the membership heartbeats, data sources inter-linked for the
+//! geo-agent early-abort traffic — differing only in engine configuration and
+//! what gets plugged into the fault plane afterwards.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::{DataSource, DataSourceConfig, Dialect};
+use geotp_net::{Network, NetworkBuilder, NodeId};
+use geotp_storage::EngineConfig;
+
+/// Physical layout of a cluster deployment.
+#[derive(Debug, Clone)]
+pub struct TierLayout {
+    /// Seed for network latency sampling.
+    pub seed: u64,
+    /// Number of coordinator slots (every one gets the same RTT vector — the
+    /// tier is assumed co-located, as proxy fleets are).
+    pub coordinators: usize,
+    /// Coordinator↔data-source RTTs in milliseconds, one per source.
+    pub ds_rtts_ms: Vec<u64>,
+    /// Coordinator↔control-node RTT in milliseconds (the membership service
+    /// lives near the tier).
+    pub control_rtt_ms: u64,
+    /// Storage-engine configuration applied to every source.
+    pub engine: EngineConfig,
+    /// LAN RTT between each geo-agent and its co-located database.
+    pub agent_lan_rtt: Duration,
+}
+
+/// Build the latency matrix and the data sources for `layout`:
+/// `dm_i ↔ ds_j` at the configured RTT, `dm_i ↔ ctl0` at the control RTT,
+/// `ds_i ↔ ds_j` at the max of the two endpoints' coordinator RTTs (the
+/// convention the facade's `ClusterBuilder` uses), geo-agent peers registered.
+pub fn build_tier(layout: &TierLayout) -> (Rc<Network>, Vec<Rc<DataSource>>) {
+    let control = NodeId::control(0);
+    let mut net_builder =
+        NetworkBuilder::new(layout.seed).default_lan_rtt(Duration::from_micros(500));
+    for dm in 0..layout.coordinators as u32 {
+        let dm_node = NodeId::middleware(dm);
+        for (j, rtt) in layout.ds_rtts_ms.iter().enumerate() {
+            net_builder = net_builder.static_link(
+                dm_node,
+                NodeId::data_source(j as u32),
+                Duration::from_millis(*rtt),
+            );
+        }
+        net_builder = net_builder.static_link(
+            dm_node,
+            control,
+            Duration::from_millis(layout.control_rtt_ms),
+        );
+    }
+    for i in 0..layout.ds_rtts_ms.len() {
+        for j in (i + 1)..layout.ds_rtts_ms.len() {
+            let rtt = layout.ds_rtts_ms[i].max(layout.ds_rtts_ms[j]);
+            net_builder = net_builder.static_link(
+                NodeId::data_source(i as u32),
+                NodeId::data_source(j as u32),
+                Duration::from_millis(rtt),
+            );
+        }
+    }
+    let net = net_builder.build();
+
+    let mut sources = Vec::with_capacity(layout.ds_rtts_ms.len());
+    for j in 0..layout.ds_rtts_ms.len() as u32 {
+        let mut cfg = DataSourceConfig::new(NodeId::data_source(j));
+        cfg.dialect = Dialect::MySql;
+        cfg.engine = layout.engine;
+        cfg.agent_lan_rtt = layout.agent_lan_rtt;
+        sources.push(DataSource::new(cfg, Rc::clone(&net)));
+    }
+    for a in &sources {
+        for b in &sources {
+            if a.index() != b.index() {
+                a.register_peer(b);
+            }
+        }
+    }
+    (net, sources)
+}

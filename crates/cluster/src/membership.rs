@@ -1,0 +1,271 @@
+//! The cluster membership table: leases, epochs and fencing.
+//!
+//! A tiny deterministic model of the consensus-backed membership service a
+//! production middleware tier would keep in etcd/ZooKeeper: every coordinator
+//! holds a *lease* it must renew before expiry, and every grant carries a
+//! monotonically increasing *epoch*. The table itself is an in-memory object
+//! (like [`geotp_middleware::CommitLog`], it models replicated storage that
+//! survives any single process); what makes it honest is that renewals travel
+//! the simulated network to the control node — a partitioned coordinator
+//! cannot renew, its lease lapses, and the cluster declares it dead even
+//! though the process is still running. Fencing (the epoch bump recorded here
+//! and broadcast to the commit log and every data source) is what keeps that
+//! split brain harmless: the stale coordinator can keep *trying*, but nothing
+//! at a lower epoch is accepted anywhere.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use geotp_simrt::{now, SimInstant};
+
+/// Health of one coordinator slot as the membership table sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotState {
+    /// Lease current (as of the last [`MembershipTable::expire_stale`] scan).
+    Alive,
+    /// Lease lapsed or crash reported; awaiting fencing + takeover.
+    Dead,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Epoch of the current (or last) grant. Starts at 1; every re-grant and
+    /// every fence moves it strictly upward.
+    epoch: u64,
+    lease_expires: SimInstant,
+    state: SlotState,
+}
+
+/// Why a renewal was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RenewError {
+    /// The slot was fenced at a higher epoch: this instance is dead to the
+    /// cluster and must stop deciding.
+    Fenced {
+        /// The epoch the cluster has moved on to.
+        current_epoch: u64,
+    },
+    /// The coordinator was declared dead (lease lapsed) but not yet fenced;
+    /// renewing cannot resurrect it — it must re-register for a fresh epoch.
+    DeclaredDead,
+}
+
+/// Configuration of the lease protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembershipConfig {
+    /// How long a granted lease lasts without renewal.
+    pub lease: Duration,
+    /// How often coordinators renew (must be comfortably below `lease`).
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        Self {
+            lease: Duration::from_millis(1_500),
+            heartbeat_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// The shared membership/lease table (one per cluster).
+pub struct MembershipTable {
+    config: MembershipConfig,
+    slots: RefCell<Vec<Slot>>,
+}
+
+impl MembershipTable {
+    /// An empty table for a cluster of `coordinators` slots. Every slot must
+    /// [`MembershipTable::register`] before it counts as alive.
+    pub fn new(coordinators: usize, config: MembershipConfig) -> Self {
+        Self {
+            config,
+            slots: RefCell::new(vec![
+                Slot {
+                    epoch: 0,
+                    lease_expires: SimInstant::ZERO,
+                    state: SlotState::Dead,
+                };
+                coordinators
+            ]),
+        }
+    }
+
+    /// The lease configuration.
+    pub fn config(&self) -> MembershipConfig {
+        self.config
+    }
+
+    /// Number of coordinator slots.
+    pub fn slots(&self) -> usize {
+        self.slots.borrow().len()
+    }
+
+    /// Grant (or re-grant) slot `coord` a fresh lease. Returns the granted
+    /// epoch — strictly above every previous grant and every fence, so a
+    /// re-registered instance can never collide with its own stale past.
+    pub fn register(&self, coord: u32) -> u64 {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[coord as usize];
+        slot.epoch += 1;
+        slot.lease_expires = now() + self.config.lease;
+        slot.state = SlotState::Alive;
+        slot.epoch
+    }
+
+    /// Renew the lease of slot `coord`, valid only while `epoch` is still the
+    /// current grant and the slot has not been declared dead.
+    pub fn renew(&self, coord: u32, epoch: u64) -> Result<(), RenewError> {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[coord as usize];
+        if epoch < slot.epoch {
+            return Err(RenewError::Fenced {
+                current_epoch: slot.epoch,
+            });
+        }
+        if slot.state == SlotState::Dead {
+            return Err(RenewError::DeclaredDead);
+        }
+        slot.lease_expires = now() + self.config.lease;
+        Ok(())
+    }
+
+    /// Scan for lapsed leases: every alive slot whose lease expired is
+    /// declared dead. Returns the newly dead slots (the supervisor fences and
+    /// adopts them).
+    pub fn expire_stale(&self) -> Vec<u32> {
+        let t = now();
+        let mut newly_dead = Vec::new();
+        for (i, slot) in self.slots.borrow_mut().iter_mut().enumerate() {
+            if slot.state == SlotState::Alive && slot.lease_expires < t {
+                slot.state = SlotState::Dead;
+                newly_dead.push(i as u32);
+            }
+        }
+        newly_dead
+    }
+
+    /// Report slot `coord` dead immediately (a detected process crash — the
+    /// supervisor need not wait out the lease). No-op if already dead.
+    /// Returns `true` if the slot was alive.
+    pub fn declare_dead(&self, coord: u32) -> bool {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[coord as usize];
+        let was_alive = slot.state == SlotState::Alive;
+        slot.state = SlotState::Dead;
+        was_alive
+    }
+
+    /// Fence a dead slot: bump its epoch past the dead holder's grant and
+    /// return the fencing epoch. Anything the dead instance signed with its
+    /// old epoch is rejected from here on (by the commit log and by every
+    /// data source the caller broadcasts this epoch to).
+    ///
+    /// # Panics
+    /// Panics if the slot is still alive — fencing a live coordinator is a
+    /// supervisor bug, not a runtime condition.
+    pub fn fence(&self, coord: u32) -> u64 {
+        let mut slots = self.slots.borrow_mut();
+        let slot = &mut slots[coord as usize];
+        assert_eq!(
+            slot.state,
+            SlotState::Dead,
+            "fencing a live coordinator (dm{coord})"
+        );
+        slot.epoch += 1;
+        slot.epoch
+    }
+
+    /// Whether slot `coord` is currently alive.
+    pub fn is_alive(&self, coord: u32) -> bool {
+        self.slots.borrow()[coord as usize].state == SlotState::Alive
+    }
+
+    /// The current epoch of slot `coord` (its last grant or fence).
+    pub fn current_epoch(&self, coord: u32) -> u64 {
+        self.slots.borrow()[coord as usize].epoch
+    }
+
+    /// The alive slots, in index order.
+    pub fn live_coordinators(&self) -> Vec<u32> {
+        self.slots
+            .borrow()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.state == SlotState::Alive)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_simrt::{sleep, Runtime};
+
+    fn config() -> MembershipConfig {
+        MembershipConfig {
+            lease: Duration::from_millis(100),
+            heartbeat_interval: Duration::from_millis(30),
+        }
+    }
+
+    #[test]
+    fn register_renew_expire_lifecycle() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let table = MembershipTable::new(2, config());
+            assert!(!table.is_alive(0));
+            let e0 = table.register(0);
+            let e1 = table.register(1);
+            assert_eq!((e0, e1), (1, 1));
+            assert_eq!(table.live_coordinators(), vec![0, 1]);
+
+            // Renewals inside the lease keep the slot alive.
+            sleep(Duration::from_millis(80)).await;
+            table.renew(0, e0).unwrap();
+            sleep(Duration::from_millis(80)).await;
+            // Slot 1 never renewed: its lease lapsed at t=100ms.
+            assert_eq!(table.expire_stale(), vec![1]);
+            assert!(table.is_alive(0));
+            assert!(!table.is_alive(1));
+            // A lapsed slot cannot renew itself back to life.
+            assert_eq!(table.renew(1, e1), Err(RenewError::DeclaredDead));
+        });
+    }
+
+    #[test]
+    fn fencing_moves_the_epoch_past_the_dead_grant() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let table = MembershipTable::new(1, config());
+            let epoch = table.register(0);
+            table.declare_dead(0);
+            let fence = table.fence(0);
+            assert!(fence > epoch);
+            assert_eq!(table.current_epoch(0), fence);
+            // The stale instance's renewals are refused as fenced.
+            assert_eq!(
+                table.renew(0, epoch),
+                Err(RenewError::Fenced {
+                    current_epoch: fence
+                })
+            );
+            // A re-registered successor gets an epoch above the fence.
+            let regrant = table.register(0);
+            assert!(regrant > fence);
+            assert!(table.is_alive(0));
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "fencing a live coordinator")]
+    fn fencing_a_live_slot_panics() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let table = MembershipTable::new(1, config());
+            table.register(0);
+            table.fence(0);
+        });
+    }
+}

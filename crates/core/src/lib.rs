@@ -41,6 +41,7 @@ use std::rc::Rc;
 use std::time::Duration;
 
 pub use geotp_chaos as chaos;
+pub use geotp_cluster as cluster;
 pub use geotp_datasource as datasource;
 pub use geotp_distdb as distdb;
 pub use geotp_middleware as middleware;
@@ -51,8 +52,13 @@ pub use geotp_storage as storage;
 pub use geotp_workloads as workloads;
 
 pub use geotp_chaos::{
-    shrink_schedule, ChaosConfig, ChaosReport, ChaosWorkload, DrillWorkload, FaultEvent,
-    FaultSchedule, InvariantReport, Scenario, ShrinkReport, TpccChaosWorkload, TransferWorkload,
+    shrink_schedule, shrink_workload, ChaosConfig, ChaosReport, ChaosWorkload, ClusterChaosConfig,
+    ClusterScenario, DrillWorkload, FaultEvent, FaultSchedule, InvariantReport, Scenario,
+    ShrinkReport, TpccChaosWorkload, TransferWorkload, WorkloadShrinkReport,
+};
+pub use geotp_cluster::{
+    run_open_loop, ClusterConfig, CoordinatorCluster, MembershipConfig, MembershipTable,
+    OpenLoopConfig, OpenLoopReport, SessionRouter, TierLayout,
 };
 pub use geotp_datasource::{DataSource, DataSourceConfig, Dialect, DsConnection};
 pub use geotp_middleware::{

@@ -19,12 +19,33 @@ pub struct DsConnection {
     dm: NodeId,
     ds: Rc<DataSource>,
     net: Rc<Network>,
+    /// The coordinator's membership epoch, stamped on every command so the
+    /// server can reject a fenced (declared-dead) coordinator. `0` is the
+    /// unfenced single-coordinator default.
+    epoch: u64,
 }
 
 impl DsConnection {
     /// Open a connection from middleware `dm` to the data source.
     pub fn new(dm: NodeId, ds: Rc<DataSource>, net: Rc<Network>) -> Self {
-        Self { dm, ds, net }
+        Self {
+            dm,
+            ds,
+            net,
+            epoch: 0,
+        }
+    }
+
+    /// Stamp every command on this connection with the coordinator's
+    /// membership epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// The epoch this connection stamps on its commands.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The data source this connection talks to.
@@ -54,29 +75,63 @@ impl DsConnection {
         out
     }
 
-    /// Execute a statement batch (one WAN round trip).
+    /// Execute a statement batch (one WAN round trip). A fenced coordinator's
+    /// batch is refused at the server before touching the engine.
     pub async fn execute(&self, req: StatementRequest) -> StatementResponse {
-        self.round_trip(self.ds.execute(self.dm, &req)).await
+        self.round_trip(async {
+            if let Err(error) = self.ds.fence_check(self.dm, self.epoch, req.xid) {
+                return StatementResponse {
+                    outcome: crate::messages::StatementOutcome::Failed { error },
+                    local_execution_latency: std::time::Duration::ZERO,
+                };
+            }
+            self.ds.execute(self.dm, &req).await
+        })
+        .await
     }
 
     /// Explicit prepare (one WAN round trip) — the classic XA path.
     pub async fn prepare(&self, xid: Xid) -> PrepareVote {
-        self.round_trip(self.ds.prepare(xid)).await
+        self.round_trip(async {
+            if self.ds.fence_check(self.dm, self.epoch, xid).is_err() {
+                return PrepareVote::Failure;
+            }
+            self.ds.prepare(xid).await
+        })
+        .await
     }
 
-    /// Commit a branch (one WAN round trip).
+    /// Commit a branch (one WAN round trip). Rejected if this coordinator's
+    /// epoch has been fenced — a stale COMMIT must not contradict the outcome
+    /// the adopting peer drove.
     pub async fn commit(&self, xid: Xid, one_phase: bool) -> Result<(), StorageError> {
-        self.round_trip(self.ds.commit(xid, one_phase)).await
+        self.round_trip(async {
+            self.ds.fence_check(self.dm, self.epoch, xid)?;
+            self.ds.commit(xid, one_phase).await
+        })
+        .await
     }
 
-    /// Roll back a branch (one WAN round trip).
+    /// Roll back a branch (one WAN round trip). Fenced like commit: the
+    /// branch belongs to the adopting peer once the epoch is sealed.
     pub async fn rollback(&self, xid: Xid) -> Result<(), StorageError> {
-        self.round_trip(self.ds.rollback(xid)).await
+        self.round_trip(async {
+            self.ds.fence_check(self.dm, self.epoch, xid)?;
+            self.ds.rollback(xid).await
+        })
+        .await
     }
 
     /// `XA RECOVER`: fetch the prepared-but-undecided branches (one round trip).
     pub async fn recover_prepared(&self) -> Vec<Xid> {
         self.round_trip(async { self.ds.recover_prepared() }).await
+    }
+
+    /// `XA RECOVER` scoped to coordinator `owner`'s gtrid space (one round
+    /// trip) — what peer takeover adopts.
+    pub async fn recover_prepared_owned_by(&self, owner: u32) -> Vec<Xid> {
+        self.round_trip(async { self.ds.recover_prepared_owned_by(owner) })
+            .await
     }
 
     /// Measure the current RTT with a ping.

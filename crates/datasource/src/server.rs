@@ -92,6 +92,12 @@ pub struct DataSource {
     /// request for a finished branch planted a bogus tombstone and
     /// double-counted `peer_rollbacks`.
     finished_branches: RefCell<FxHashSet<Xid>>,
+    /// Per-coordinator epoch fences: commands from a coordinator whose epoch
+    /// is below its fence are rejected (the cluster declared it dead and a
+    /// peer adopted its in-doubt branches — a stale COMMIT/ROLLBACK from the
+    /// walking dead must not contradict the adopted outcome). Coordinators
+    /// without an entry are unfenced (the single-coordinator world).
+    fences: RefCell<FxHashMap<NodeId, u64>>,
     stats: RefCell<DataSourceStats>,
 }
 
@@ -114,6 +120,7 @@ impl DataSource {
             branches: RefCell::new(FxHashMap::default()),
             abort_marks: RefCell::new(FxHashSet::default()),
             finished_branches: RefCell::new(FxHashSet::default()),
+            fences: RefCell::new(FxHashMap::default()),
             stats: RefCell::new(DataSourceStats::default()),
         })
     }
@@ -148,6 +155,34 @@ impl DataSource {
     /// cluster builder when a middleware connects.
     pub fn register_middleware(&self, dm: NodeId, channel: mpsc::Sender<AgentNotification>) {
         self.dm_channels.borrow_mut().insert(dm, channel);
+    }
+
+    /// Fence coordinator `dm`: every future command it issues with an epoch
+    /// below `min_epoch` is rejected. Idempotent and raising-only, like the
+    /// commit-log fence.
+    pub fn fence_coordinator(&self, dm: NodeId, min_epoch: u64) {
+        let mut fences = self.fences.borrow_mut();
+        let entry = fences.entry(dm).or_insert(0);
+        if min_epoch > *entry {
+            *entry = min_epoch;
+        }
+    }
+
+    /// The minimum epoch currently accepted from coordinator `dm` (0 when
+    /// unfenced).
+    pub fn coordinator_fence(&self, dm: NodeId) -> u64 {
+        self.fences.borrow().get(&dm).copied().unwrap_or(0)
+    }
+
+    /// Reject a command from `dm` at `epoch` if the coordinator is fenced.
+    pub fn fence_check(&self, dm: NodeId, epoch: u64, xid: Xid) -> Result<(), StorageError> {
+        if epoch < self.coordinator_fence(dm) {
+            return Err(StorageError::InvalidState {
+                xid,
+                reason: "command from a fenced coordinator epoch",
+            });
+        }
+        Ok(())
     }
 
     /// Register a peer geo-agent in this agent's connection pool.
@@ -501,11 +536,37 @@ impl DataSource {
         self.engine.prepared_xids()
     }
 
+    /// `XA RECOVER` scoped to one coordinator's gtrid space: the prepared
+    /// branches whose gtrid was allocated by coordinator `owner`. Peer
+    /// takeover adopts exactly these — the in-doubt branches of the live
+    /// coordinators are none of the adopter's business.
+    pub fn recover_prepared_owned_by(&self, owner: u32) -> Vec<Xid> {
+        let mut xids = self.engine.prepared_xids();
+        xids.retain(|xid| xid.owner() == owner);
+        xids
+    }
+
     /// Abort every branch that has not completed the prepare phase — what the
     /// data source does when its coordinator disconnects (paper setting ❶).
     pub async fn coordinator_disconnected(self: &Rc<Self>) -> Vec<Xid> {
         let victims = self.engine.abort_unprepared().await;
         for xid in &victims {
+            self.branches.borrow_mut().remove(xid);
+            self.mark_finished(*xid);
+        }
+        victims
+    }
+
+    /// Disconnect handling scoped to one coordinator: abort the unprepared
+    /// (ACTIVE/ENDED) branches in `owner`'s gtrid space only, leaving every
+    /// other coordinator's in-flight branches untouched. This is what a data
+    /// source does when the *cluster* declares one coordinator of many dead.
+    pub async fn coordinator_disconnected_scoped(self: &Rc<Self>, owner: u32) -> Vec<Xid> {
+        let mut victims = self.engine.unfinished_xids();
+        victims.retain(|xid| xid.owner() == owner);
+        for xid in &victims {
+            self.engine.lock_manager().cancel_waiters(*xid);
+            let _ = self.engine.rollback(*xid).await;
             self.branches.borrow_mut().remove(xid);
             self.mark_finished(*xid);
         }

@@ -1,0 +1,94 @@
+//! The cluster failure-drill table: every multi-coordinator chaos preset,
+//! seeded-swept, with the four invariant-checker verdicts.
+//!
+//! The tier analogue of [`crate::failure_drills`]: a 2-coordinator cluster
+//! with lease-based membership, epoch fencing and peer takeover, under the
+//! coordinator-crash-with-takeover and coordinator-partition presets. Every
+//! cell is deterministic and golden-gated (`tests/golden/cluster_drills_*`).
+
+use geotp::ClusterScenario;
+
+use crate::report::Table;
+use crate::scale::Scale;
+
+/// Seeds per preset at each scale.
+fn seeds(scale: Scale) -> u64 {
+    match scale {
+        Scale::Quick => 3,
+        Scale::Full => 32,
+    }
+}
+
+/// Run every cluster preset across the seed sweep.
+pub fn cluster_drills(scale: Scale) -> Vec<Table> {
+    let mut table = Table::new(
+        format!(
+            "Cluster failure drills — 2 coordinators, {} seed(s) per preset, transfer workload, GeoTP (O1-O3)",
+            seeds(scale)
+        ),
+        &[
+            "scenario",
+            "committed",
+            "aborted",
+            "indeterminate",
+            "atomicity",
+            "durability",
+            "liveness",
+            "serializability",
+            "trace fingerprint (seed 1)",
+        ],
+    );
+    for scenario in ClusterScenario::all() {
+        let mut committed = 0u64;
+        let mut aborted = 0u64;
+        let mut indeterminate = 0u64;
+        let mut atomicity = true;
+        let mut durability = true;
+        let mut liveness = true;
+        let mut serializability = true;
+        let mut fingerprint = String::new();
+        for seed in 1..=seeds(scale) {
+            let report = scenario.run(seed);
+            committed += report.committed;
+            aborted += report.aborted;
+            indeterminate += report.indeterminate;
+            atomicity &= report.invariants.atomicity_ok;
+            durability &= report.invariants.durability_ok;
+            liveness &= report.invariants.liveness_ok;
+            serializability &= report.invariants.serializability_ok;
+            if seed == 1 {
+                fingerprint = format!("{:016x}", report.fingerprint);
+            }
+        }
+        let verdict = |ok: bool| if ok { "ok" } else { "VIOLATED" };
+        table.push_row(vec![
+            scenario.name().to_string(),
+            committed.to_string(),
+            aborted.to_string(),
+            indeterminate.to_string(),
+            verdict(atomicity).to_string(),
+            verdict(durability).to_string(),
+            verdict(liveness).to_string(),
+            verdict(serializability).to_string(),
+            fingerprint,
+        ]);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+pub(crate) fn assert_tables_cover_every_preset_and_stay_green(tables: &[Table]) {
+    assert_eq!(tables.len(), 1);
+    let table = &tables[0];
+    assert_eq!(table.len(), ClusterScenario::all().len());
+    for scenario in ClusterScenario::all() {
+        for column in ["atomicity", "durability", "liveness", "serializability"] {
+            assert_eq!(
+                table.cell(scenario.name(), column),
+                Some("ok"),
+                "{} {column}",
+                scenario.name()
+            );
+        }
+    }
+}

@@ -125,6 +125,57 @@ mod tests {
         }
     }
 
+    /// The tier analogue: the cluster failure-drill table is deterministic
+    /// and golden-gated the same way (quick per push, full in the nightly).
+    #[test]
+    fn golden_cluster_drills() {
+        let scale = Scale::from_env();
+        let name = match scale {
+            Scale::Quick => "cluster_drills_quick",
+            Scale::Full => "cluster_drills_full",
+        };
+        let tables = crate::cluster_drills::cluster_drills(scale);
+        crate::cluster_drills::assert_tables_cover_every_preset_and_stay_green(&tables);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+    }
+
+    /// The scale-out table (open-loop throughput vs coordinator count) is
+    /// deterministic too. One sweep, two verdicts: the monotonic acceptance
+    /// shape, then the byte-level drift gate on the same tables.
+    #[test]
+    fn golden_scaleout() {
+        let scale = Scale::from_env();
+        let name = match scale {
+            Scale::Quick => "scaleout_quick",
+            Scale::Full => "scaleout_full",
+        };
+        let tables = crate::scaleout::scaleout(scale);
+        crate::scaleout::assert_throughput_increases_monotonically(&tables);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+    }
+
+    /// Golden coverage beyond the drill tables (the ROADMAP open item):
+    /// Fig. 6 is the cheapest deterministic figure experiment whose *quick*
+    /// table is non-degenerate in every column (Fig. 1b's quick run commits
+    /// no medium-contention centralized transactions, which would leave half
+    /// the gate vacuous), so it is the first one under the drift gate.
+    #[test]
+    fn golden_fig06_breakdown() {
+        let scale = Scale::from_env();
+        let name = match scale {
+            Scale::Quick => "fig06_breakdown_quick",
+            Scale::Full => "fig06_breakdown_full",
+        };
+        let tables = crate::figs_motivation::fig06_breakdown(scale);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+    }
+
     /// A tiny committed fixture (`tests/golden/selftest.txt`) matching this
     /// table exactly — lets the perturbation test exercise the full verify
     /// path (file read + diff) without re-running the drill sweep.

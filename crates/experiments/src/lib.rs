@@ -11,6 +11,7 @@
 //! every experiment in the seconds range; set `GEOTP_FULL=1` to run the
 //! paper-scale sweeps.
 
+pub mod cluster_drills;
 pub mod failure_drills;
 pub mod figs_ablation;
 pub mod figs_distributed;
@@ -21,6 +22,7 @@ pub mod golden;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scaleout;
 
 pub use report::Table;
 pub use runner::{RunResult, SystemUnderTest, TpccRunSpec, YcsbRunSpec};
@@ -53,6 +55,8 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("fig15_multi_dm", figs_overall::fig15_multi_dm),
         ("tab01_heterogeneous", figs_overall::tab01_heterogeneous),
         ("failure_drills", failure_drills::failure_drills),
+        ("cluster_drills", cluster_drills::cluster_drills),
+        ("scaleout", scaleout::scaleout),
     ]
 }
 
@@ -63,9 +67,11 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 14);
+        assert_eq!(names.len(), 16);
         assert!(names.contains(&"fig12_ablation"));
         assert!(names.contains(&"tab01_heterogeneous"));
         assert!(names.contains(&"failure_drills"));
+        assert!(names.contains(&"cluster_drills"));
+        assert!(names.contains(&"scaleout"));
     }
 }

@@ -22,6 +22,20 @@ struct Node<K, V> {
     height: i32,
     left: u32,
     right: u32,
+    /// Bumped every time the slot is freed, so an [`AvlHandle`] minted for a
+    /// previous tenant can never validate against a later one.
+    generation: u32,
+}
+
+/// A stable O(1) handle to one live entry's arena slot. Rotations never move
+/// nodes between slots, so the handle stays valid for the entry's whole
+/// lifetime; removal bumps the slot's generation, invalidating every
+/// outstanding handle. The hotspot footprint's LRU stores these so eviction
+/// validation is a slot probe instead of a tree descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AvlHandle {
+    slot: u32,
+    generation: u32,
 }
 
 /// An ordered map backed by an arena-allocated AVL tree.
@@ -134,6 +148,8 @@ impl<K: Ord, V> AvlMap<K, V> {
                 slot.height = 1;
                 slot.left = NIL;
                 slot.right = NIL;
+                // The generation was bumped when the slot was freed; the new
+                // tenant keeps the bumped value.
                 idx
             }
             None => {
@@ -144,6 +160,7 @@ impl<K: Ord, V> AvlMap<K, V> {
                     height: 1,
                     left: NIL,
                     right: NIL,
+                    generation: 0,
                 });
                 idx
             }
@@ -196,12 +213,41 @@ impl<K: Ord, V> AvlMap<K, V> {
     /// the key is absent — a single tree traversal either way (the hot-path
     /// upsert the hotspot footprint leans on).
     pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        self.get_or_insert_with_handle(key, make).1
+    }
+
+    /// Like [`AvlMap::get_or_insert_with`], additionally returning the
+    /// entry's stable [`AvlHandle`] for later O(1) re-access via
+    /// [`AvlMap::peek_handle`].
+    pub fn get_or_insert_with_handle(
+        &mut self,
+        key: K,
+        make: impl FnOnce() -> V,
+    ) -> (AvlHandle, &mut V) {
         let (root, found, inserted) = self.get_or_insert_at(self.root, key, make);
         self.root = root;
         if inserted {
             self.len += 1;
         }
-        &mut self.nodes[found as usize].value
+        let node = &mut self.nodes[found as usize];
+        (
+            AvlHandle {
+                slot: found,
+                generation: node.generation,
+            },
+            &mut node.value,
+        )
+    }
+
+    /// O(1) access to the entry `handle` was minted for: a direct arena-slot
+    /// probe, no tree descent. Returns `None` when the entry has since been
+    /// removed (the slot's generation moved on).
+    pub fn peek_handle(&self, handle: AvlHandle) -> Option<(&K, &V)> {
+        let node = self.nodes.get(handle.slot as usize)?;
+        if node.generation != handle.generation {
+            return None;
+        }
+        Some((&node.key, &node.value))
     }
 
     fn get_or_insert_at(&mut self, idx: u32, key: K, make: impl FnOnce() -> V) -> (u32, u32, bool) {
@@ -326,6 +372,9 @@ impl<K: Ord, V> AvlMap<K, V> {
                         self.rebalance(successor)
                     }
                 };
+                // Invalidate outstanding handles before the slot is recycled.
+                self.nodes[idx as usize].generation =
+                    self.nodes[idx as usize].generation.wrapping_add(1);
                 self.free.push(idx);
                 (new_subtree, Some(value))
             }

@@ -173,6 +173,20 @@ pub struct MiddlewareConfig {
     /// predecessor's sequence (see [`Middleware::next_txn_seq`]) so gtrids
     /// never collide across the failover.
     pub first_txn_seq: u64,
+    /// The coordinator's membership epoch. Every decision flush and every
+    /// data-source command is stamped with it; once a cluster peer fences
+    /// this epoch (lease expiry + takeover), the commit log and the data
+    /// sources reject everything this instance tries to decide. `0` (the
+    /// default) is the unfenced single-coordinator world.
+    pub epoch: u64,
+}
+
+/// The coordinator that allocated a gtrid (see `Middleware::alloc_gtrid` and
+/// [`Xid::OWNER_SHIFT`], the layout's single source of truth). Peer recovery
+/// uses this to scope `XA RECOVER` results to the dead coordinator's
+/// transactions.
+pub const fn gtrid_owner(gtrid: u64) -> u32 {
+    Xid::new(gtrid, 0).owner()
 }
 
 impl MiddlewareConfig {
@@ -190,6 +204,7 @@ impl MiddlewareConfig {
             decision_wait_timeout: Duration::from_secs(30),
             record_history: false,
             first_txn_seq: 1,
+            epoch: 0,
         }
     }
 }
@@ -264,7 +279,8 @@ impl Middleware {
             ds.register_middleware(config.node, hub.sender());
             connections.insert(
                 ds.index(),
-                DsConnection::new(config.node, Rc::clone(ds), Rc::clone(&net)),
+                DsConnection::new(config.node, Rc::clone(ds), Rc::clone(&net))
+                    .with_epoch(config.epoch),
             );
             targets.push(ds.node());
         }
@@ -367,12 +383,23 @@ impl Middleware {
 
     /// Flush a decision, honouring the [`Middleware::crash_after_next_flush`]
     /// fail point: the crash lands exactly between the durable flush and the
-    /// decision dispatch.
-    async fn flush_decision(&self, gtrid: u64, decision: Decision) {
-        self.commit_log.flush_decision(gtrid, decision).await;
-        if self.crash_after_flush.replace(false) {
+    /// decision dispatch. Returns `false` when the commit log rejected the
+    /// write because this coordinator's epoch has been fenced — the caller
+    /// must treat the transaction as undecided (a peer owns it now).
+    async fn flush_decision(&self, gtrid: u64, decision: Decision) -> bool {
+        let flushed = self
+            .commit_log
+            .try_flush_decision(gtrid, decision, self.config.epoch)
+            .await
+            .is_ok();
+        // The fail point models a crash after a *successful* durable flush
+        // (the §V-A window). A fence-rejected flush wrote nothing, so firing
+        // on it would stage a crash without the durable decision the drill
+        // exists to exercise; leave the fail point armed for a real flush.
+        if flushed && self.crash_after_flush.replace(false) {
             self.crashed.set(true);
         }
+        flushed
     }
 
     /// The simulated network this middleware is attached to.
@@ -383,7 +410,7 @@ impl Middleware {
     fn alloc_gtrid(&self) -> u64 {
         let seq = self.next_txn.get();
         self.next_txn.set(seq + 1);
-        ((self.config.node.index() as u64) << 48) | seq
+        ((self.config.node.index() as u64) << Xid::OWNER_SHIFT) | seq
     }
 
     fn conn(&self, ds: u32) -> &DsConnection {
@@ -922,8 +949,11 @@ impl Middleware {
         if !distributed {
             let ds = involved[0];
             let flush_started = now();
-            self.flush_decision(gtrid, Decision::Commit).await;
+            let flushed = self.flush_decision(gtrid, Decision::Commit).await;
             breakdown.log_flush = now().duration_since(flush_started);
+            if !flushed {
+                return Err(AbortReason::CoordinatorFenced);
+            }
             if self.crashed.get() {
                 // Crashed before dispatching the one-phase commit: the branch
                 // never prepared, so the data source's disconnect handling
@@ -977,8 +1007,11 @@ impl Middleware {
             Protocol::SspLocal => {
                 // One-phase commit everywhere, no vote collection.
                 let flush_started = now();
-                self.flush_decision(gtrid, Decision::Commit).await;
+                let flushed = self.flush_decision(gtrid, Decision::Commit).await;
                 breakdown.log_flush = now().duration_since(flush_started);
+                if !flushed {
+                    return Err(AbortReason::CoordinatorFenced);
+                }
                 if self.crashed.get() {
                     return Err(AbortReason::CoordinatorCrashed);
                 }
@@ -1043,8 +1076,15 @@ impl Middleware {
         } else {
             Decision::Abort
         };
-        self.flush_decision(gtrid, decision).await;
+        let flushed = self.flush_decision(gtrid, decision).await;
         breakdown.log_flush = now().duration_since(flush_started);
+        if !flushed {
+            // Fenced mid-transaction: the decision never became durable, so
+            // nothing may be dispatched. The prepared branches belong to the
+            // adopting peer now, which resolves them from the sealed log
+            // (no record ⇒ abort) — exactly the outcome we report.
+            return Err(AbortReason::CoordinatorFenced);
+        }
         if self.crashed.get() {
             // The §V-A window: decision durable, dispatch never happens. The
             // prepared branches stay in doubt until a successor replays the
@@ -1104,16 +1144,36 @@ impl Middleware {
     }
 
     /// Middleware failure recovery (§V-A): query every data source for
-    /// prepared-but-undecided branches and finish them according to the
-    /// durable commit log — commit if a commit decision was flushed, abort
-    /// otherwise. Returns `(committed, aborted)` branch counts.
+    /// prepared-but-undecided branches in *this coordinator's own gtrid
+    /// space* and finish them according to the durable commit log — commit if
+    /// a commit decision was flushed, abort otherwise. Returns
+    /// `(committed, aborted)` branch counts.
+    ///
+    /// Scoped by gtrid owner: in a multi-coordinator deployment the data
+    /// sources hold in-doubt branches from every coordinator, and finishing a
+    /// *peer's* branch against the wrong commit log would abort transactions
+    /// the peer durably committed. Adopting a dead peer's space is the
+    /// explicit [`Middleware::recover_owned_by`].
     pub async fn recover(&self) -> (usize, usize) {
+        self.recover_owned_by(self.config.node.index(), &Rc::clone(&self.commit_log))
+            .await
+    }
+
+    /// Peer recovery: finish the in-doubt branches of coordinator `owner`'s
+    /// gtrid space according to `decision_log` (the dead peer's sealed commit
+    /// log). Drives this instance's own connections, so the commands carry
+    /// *this* coordinator's (live) epoch and pass the data sources' fences.
+    pub async fn recover_owned_by(
+        &self,
+        owner: u32,
+        decision_log: &Rc<CommitLog>,
+    ) -> (usize, usize) {
         let mut committed = 0;
         let mut aborted = 0;
         for conn in self.connections.values() {
-            let prepared = conn.recover_prepared().await;
+            let prepared = conn.recover_prepared_owned_by(owner).await;
             for xid in prepared {
-                match self.commit_log.decision(xid.gtrid) {
+                match decision_log.decision(xid.gtrid) {
                     Some(Decision::Commit) => {
                         if conn.commit(xid, false).await.is_ok() {
                             committed += 1;

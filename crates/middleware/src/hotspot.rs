@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 use std::time::Duration;
 
-use crate::avl::AvlMap;
+use crate::avl::{AvlHandle, AvlMap};
 use crate::ops::GlobalKey;
 
 /// Statistics for one hot record.
@@ -82,8 +82,11 @@ impl Default for HotspotConfig {
 pub struct HotspotFootprint {
     config: HotspotConfig,
     records: AvlMap<GlobalKey, HotRecordStats>,
-    /// LRU queue of (key, touch) pairs; stale entries are skipped on eviction.
-    lru: VecDeque<(GlobalKey, u64)>,
+    /// LRU queue of `(key, touch, handle)` entries; stale entries are skipped
+    /// on eviction. The arena handle makes eviction *validation* O(1) — a
+    /// slot probe instead of the AVL lookup that used to cost ~11% inclusive
+    /// at the paper-default YCSB config (one tree descent per popped entry).
+    lru: VecDeque<(GlobalKey, u64, AvlHandle)>,
     touch_counter: u64,
     evictions: u64,
     /// Reusable buffer for [`HotspotFootprint::on_subtxn_feedback`].
@@ -134,13 +137,13 @@ impl HotspotFootprint {
         self.touch_counter += 1;
         let touch = self.touch_counter;
         let before = self.records.len();
-        let entry = self
+        let (handle, entry) = self
             .records
-            .get_or_insert_with(key, || HotRecordStats::new(touch));
+            .get_or_insert_with_handle(key, || HotRecordStats::new(touch));
         entry.last_touch = touch;
         f(entry);
         let inserted = self.records.len() != before;
-        self.lru.push_back((key, touch));
+        self.lru.push_back((key, touch, handle));
         if inserted {
             self.maybe_evict();
         }
@@ -148,13 +151,15 @@ impl HotspotFootprint {
 
     fn maybe_evict(&mut self) {
         while self.records.len() > self.config.capacity {
-            let Some((candidate, touch)) = self.lru.pop_front() else {
+            let Some((candidate, touch, handle)) = self.lru.pop_front() else {
                 return;
             };
-            let evict = match self.records.get(&candidate) {
-                // Only evict if this LRU entry is the record's latest touch and
-                // nothing is currently accessing it.
-                Some(stats) => stats.last_touch == touch && stats.a_cnt == 0,
+            // O(1) validation through the arena handle: only evict if the
+            // entry still exists (generation matches), this LRU entry is its
+            // latest touch, and nothing is currently accessing it. Only a
+            // *passing* validation pays the O(log n) tree removal.
+            let evict = match self.records.peek_handle(handle) {
+                Some((_, stats)) => stats.last_touch == touch && stats.a_cnt == 0,
                 None => false,
             };
             if evict {

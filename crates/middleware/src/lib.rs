@@ -26,8 +26,9 @@ pub mod parser;
 pub mod router;
 pub mod scheduler;
 
-pub use commit_log::{CommitLog, Decision};
-pub use coordinator::{Middleware, MiddlewareConfig, Protocol};
+pub use avl::{AvlHandle, AvlMap};
+pub use commit_log::{CommitLog, Decision, Fenced};
+pub use coordinator::{gtrid_owner, Middleware, MiddlewareConfig, Protocol};
 pub use hotspot::{HotRecordStats, HotspotConfig, HotspotFootprint};
 pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnHistory, TxnOutcome};
 pub use ops::{ClientOp, GlobalKey, TransactionSpec};

@@ -17,6 +17,12 @@ pub enum AbortReason {
     /// flight; the client's connection dropped with no outcome. In-doubt
     /// branches are resolved by failure recovery.
     CoordinatorCrashed,
+    /// The coordinating middleware was fenced: its lease expired, a peer
+    /// sealed its commit log and data sources reject its epoch, so it can no
+    /// longer decide anything. The transaction definitely did not commit (no
+    /// decision was durable before the fence); its branches are finished by
+    /// the adopting peer's recovery.
+    CoordinatorFenced,
 }
 
 /// Where a committed transaction's latency went. The fields mirror the

@@ -11,6 +11,10 @@ pub enum NodeKind {
     Middleware,
     /// A data source (MySQL/PostgreSQL-like node with its geo-agent).
     DataSource,
+    /// A control-plane service (the cluster membership/lease table). Heartbeat
+    /// and fencing traffic between coordinators and the membership service
+    /// rides ordinary network links, so partitions and latency storms apply.
+    Control,
 }
 
 /// Identifier of a node (client, middleware or data source) in the simulated
@@ -46,6 +50,14 @@ impl NodeId {
         }
     }
 
+    /// Identity of the `index`-th control-plane node (membership service).
+    pub const fn control(index: u32) -> Self {
+        Self {
+            kind: NodeKind::Control,
+            index,
+        }
+    }
+
     /// The node's role.
     pub const fn kind(&self) -> NodeKind {
         self.kind
@@ -63,6 +75,7 @@ impl fmt::Display for NodeId {
             NodeKind::Client => write!(f, "client{}", self.index),
             NodeKind::Middleware => write!(f, "dm{}", self.index),
             NodeKind::DataSource => write!(f, "ds{}", self.index),
+            NodeKind::Control => write!(f, "ctl{}", self.index),
         }
     }
 }
@@ -76,6 +89,7 @@ mod tests {
         assert_eq!(NodeId::client(0).to_string(), "client0");
         assert_eq!(NodeId::middleware(1).to_string(), "dm1");
         assert_eq!(NodeId::data_source(3).to_string(), "ds3");
+        assert_eq!(NodeId::control(0).to_string(), "ctl0");
     }
 
     #[test]

@@ -48,9 +48,21 @@ pub struct Xid {
 }
 
 impl Xid {
+    /// Bit position of the coordinator index inside a gtrid: the middleware
+    /// embeds its node index in the upper 16 bits, giving every coordinator
+    /// a disjoint gtrid space. The single source of truth for the layout —
+    /// gtrid allocation and owner extraction both use it.
+    pub const OWNER_SHIFT: u32 = 48;
+
     /// Construct an XA branch identifier.
     pub const fn new(gtrid: u64, bqual: u32) -> Self {
         Self { gtrid, bqual }
+    }
+
+    /// Index of the coordinator that allocated this branch's gtrid, so
+    /// recovery can be scoped to one coordinator's transactions.
+    pub const fn owner(&self) -> u32 {
+        (self.gtrid >> Self::OWNER_SHIFT) as u32
     }
 }
 
