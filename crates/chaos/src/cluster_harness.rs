@@ -148,6 +148,12 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
                                 "arm fail point: crash coordinator dm{dm} after next commit-log flush"
                             ));
                         }
+                        FaultEvent::RestartCoordinator { dm, .. } => {
+                            let epoch = cluster.restart(*dm).await;
+                            trace.record(&format!(
+                                "restart coordinator dm{dm}: successor registered at epoch {epoch}"
+                            ));
+                        }
                         other => {
                             trace.record(&format!(
                                 "cluster harness: ignoring single-coordinator event {other:?}"
@@ -170,25 +176,30 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
             let base = config.base.clone();
             clients.push(spawn(async move {
                 let mut rng = crate::harness::client_rng(base.seed, client);
-                let session = client as u64;
-                for _ in 0..base.txns_per_client {
+                // One durable session per client: the router pins it to a
+                // coordinator (affinity), re-homes it on takeover, and moves
+                // it back when its home slot re-registers.
+                let mut session = cluster.connect(client as u64);
+                for txn in 0..base.txns_per_client {
                     let spec = workload.next_spec(&mut rng);
+                    let crash_client = base
+                        .client_crash_every
+                        .is_some_and(|n| n > 0 && (txn as u64 + 1).is_multiple_of(n));
                     let mut attempts = 0;
                     loop {
                         attempts += 1;
-                        let refused = match cluster.run_transaction(session, &spec).await {
-                            None => true, // no live coordinator at all
-                            Some(routed) => {
-                                let refused = routed.outcome.gtrid == 0
-                                    && routed.outcome.abort_reason
-                                        == Some(AbortReason::CoordinatorCrashed);
-                                if !refused {
-                                    ledger.borrow_mut().push(routed.outcome);
-                                }
-                                refused
-                            }
+                        let Some(outcome) = crate::harness::drive_client_txn(
+                            &mut session,
+                            &spec,
+                            base.think_time,
+                            crash_client,
+                        )
+                        .await
+                        else {
+                            break; // client crashed mid-transaction on purpose
                         };
-                        if !refused {
+                        if !outcome.is_refusal() {
+                            ledger.borrow_mut().push(outcome);
                             break;
                         }
                         refused_connections.set(refused_connections.get() + 1);
@@ -308,15 +319,25 @@ pub enum ClusterScenario {
     /// timeouts fire, and everything must drain once the partition heals —
     /// with the other coordinator's traffic unaffected throughout.
     CoordinatorSourcePartition,
+    /// *Both* coordinators die mid-traffic (one inside the §V-A window) and
+    /// the tier must recover **from cold**: while everyone is down nobody can
+    /// adopt anybody, clients see only refusals, and in-doubt branches wait.
+    /// Staggered restarts then bring successors up at fresh epochs over the
+    /// shared commit logs — the first one back recovers its own gtrid space
+    /// and (via the supervisor's retry of never-adopted dead slots) fences
+    /// and adopts its still-dead peer; the router re-homes sessions both
+    /// ways. Everything must drain and the four invariants must hold.
+    DualCoordinatorCrash,
 }
 
 impl ClusterScenario {
     /// Every cluster preset, in a stable order.
-    pub fn all() -> [ClusterScenario; 3] {
+    pub fn all() -> [ClusterScenario; 4] {
         [
             ClusterScenario::CoordinatorCrashTakeover,
             ClusterScenario::CoordinatorPartition,
             ClusterScenario::CoordinatorSourcePartition,
+            ClusterScenario::DualCoordinatorCrash,
         ]
     }
 
@@ -326,6 +347,7 @@ impl ClusterScenario {
             ClusterScenario::CoordinatorCrashTakeover => "coordinator_crash_takeover",
             ClusterScenario::CoordinatorPartition => "coordinator_partition",
             ClusterScenario::CoordinatorSourcePartition => "coordinator_source_partition",
+            ClusterScenario::DualCoordinatorCrash => "dual_coordinator_cold_restart",
         }
     }
 
@@ -375,6 +397,17 @@ impl ClusterScenario {
                     b: geotp_net::NodeId::data_source(2),
                 })
             }
+            ClusterScenario::DualCoordinatorCrash => FaultSchedule::new()
+                .with(FaultEvent::CrashCoordinatorAfterFlush {
+                    at: ms(2_000),
+                    dm: 0,
+                })
+                .with(FaultEvent::CrashCoordinator {
+                    at: ms(2_400),
+                    dm: 1,
+                })
+                .with(FaultEvent::RestartCoordinator { at: s(6), dm: 0 })
+                .with(FaultEvent::RestartCoordinator { at: s(9), dm: 1 }),
         };
         (config, schedule)
     }

@@ -82,6 +82,18 @@ pub struct ChaosConfig {
     /// serializability checker catches a real isolation bug and to give the
     /// schedule shrinker a genuine failure to minimize.
     pub isolation_bug_read_stride: Option<u64>,
+    /// Client think time between the statement rounds of one transaction
+    /// (interactive terminals; needs multi-round specs to have any effect).
+    pub think_time: Duration,
+    /// Every n-th transaction of each client is *abandoned* mid-transaction:
+    /// the client executes the first round, thinks, and vanishes without
+    /// commit or rollback — the middleware's connection-loss handling must
+    /// roll the orphaned branches back. `None` disables client crashes.
+    pub client_crash_every: Option<u64>,
+    /// Issue transfers interactively (one operation per statement round, see
+    /// [`crate::workload::InteractiveTransferWorkload`]) instead of as a
+    /// single batched round.
+    pub interactive_transfers: bool,
 }
 
 impl Default for ChaosConfig {
@@ -99,6 +111,9 @@ impl Default for ChaosConfig {
             horizon: Duration::from_secs(300),
             protocol: Protocol::geotp(),
             isolation_bug_read_stride: None,
+            think_time: Duration::ZERO,
+            client_crash_every: None,
+            interactive_transfers: false,
         }
     }
 }
@@ -365,7 +380,9 @@ impl Deployment {
             // Cluster-tier events have no meaning in the single-coordinator
             // harness: record the skip so a replayed cluster timeline is
             // visibly (not silently) incomplete here.
-            FaultEvent::CrashCoordinator { .. } | FaultEvent::CrashCoordinatorAfterFlush { .. } => {
+            FaultEvent::CrashCoordinator { .. }
+            | FaultEvent::CrashCoordinatorAfterFlush { .. }
+            | FaultEvent::RestartCoordinator { .. } => {
                 self.trace.record(&format!(
                     "single-coordinator harness: ignoring cluster event {event:?} \
                      (replay it through run_cluster_scenario)"
@@ -378,10 +395,53 @@ impl Deployment {
 }
 
 /// Run `schedule` against a fresh cluster driving the balance-transfer
-/// workload described by `config` (the original drill shape).
+/// workload described by `config` (the original drill shape; with
+/// [`ChaosConfig::interactive_transfers`] the transfers ship one operation
+/// per statement round instead).
 pub fn run_scenario(config: ChaosConfig, schedule: FaultSchedule) -> ChaosReport {
-    let workload = Rc::new(TransferWorkload::from_config(&config));
-    run_scenario_with(config, schedule, workload)
+    let base = TransferWorkload::from_config(&config);
+    if config.interactive_transfers {
+        run_scenario_with(
+            config,
+            schedule,
+            Rc::new(crate::workload::InteractiveTransferWorkload(base)),
+        )
+    } else {
+        run_scenario_with(config, schedule, Rc::new(base))
+    }
+}
+
+/// Drive one client transaction through the session front door, honouring
+/// the interactive knobs. `crash_client` makes this the *mid-transaction
+/// client crash*: begin, execute the first statement round, think, vanish.
+/// Returns `None` when the client crashed mid-transaction (no client-side
+/// outcome exists — the middleware's connection-loss handling owns the
+/// cleanup) and `Some(outcome)` otherwise.
+pub(crate) async fn drive_client_txn(
+    session: &mut geotp_middleware::Session,
+    spec: &geotp_middleware::TransactionSpec,
+    think_time: Duration,
+    crash_client: bool,
+) -> Option<TxnOutcome> {
+    if !crash_client {
+        return Some(session.run_spec_thinking(spec, think_time).await);
+    }
+    let mut txn = match session.begin().await {
+        Ok(txn) => txn,
+        Err(refused) => return Some(refused.outcome),
+    };
+    let Some(first_round) = spec.rounds.first() else {
+        txn.abandon();
+        return None;
+    };
+    if let Err(error) = txn.execute(first_round).await {
+        return Some(error.outcome);
+    }
+    if !think_time.is_zero() {
+        txn.think(think_time).await;
+    }
+    txn.abandon();
+    None
 }
 
 /// The per-client workload RNG stream. One derivation, used by the seeded
@@ -492,19 +552,31 @@ fn run_scenario_impl(
                         Some(scripts) => scripts[client][txn].clone(),
                         None => workload.next_spec(&mut rng),
                     };
+                    let crash_client = config
+                        .client_crash_every
+                        .is_some_and(|n| n > 0 && (txn as u64 + 1).is_multiple_of(n));
                     // A crashed coordinator refuses the connection; real
-                    // clients reconnect and retry. Refusals never started a
-                    // transaction (gtrid 0), so they are counted separately
-                    // and kept out of the per-transaction ledger. Bounded so
-                    // a schedule without failover still drains.
+                    // clients reconnect and retry (re-`connect`ing their
+                    // session against whatever instance is serving). Refusals
+                    // never started a transaction (gtrid 0), so they are
+                    // counted separately and kept out of the per-transaction
+                    // ledger. Bounded so a schedule without failover still
+                    // drains.
                     let mut attempts = 0;
                     loop {
                         let mw = deployment.active_mw.borrow().clone();
-                        let outcome = mw.run_transaction(&spec).await;
-                        let refused = outcome.gtrid == 0
-                            && outcome.abort_reason == Some(AbortReason::CoordinatorCrashed);
+                        let mut session =
+                            geotp_middleware::SessionService::connect(&mw, client as u64);
                         attempts += 1;
-                        if refused {
+                        let Some(outcome) =
+                            drive_client_txn(&mut session, &spec, config.think_time, crash_client)
+                                .await
+                        else {
+                            // The client crashed mid-transaction: nobody is
+                            // waiting for an outcome; move on.
+                            break;
+                        };
+                        if outcome.is_refusal() {
                             refused_connections.set(refused_connections.get() + 1);
                             if attempts >= 40 {
                                 break;

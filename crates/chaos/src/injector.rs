@@ -138,6 +138,7 @@ impl ScheduleInjector {
                 | FaultEvent::FailoverMiddleware { .. }
                 | FaultEvent::CrashCoordinator { .. }
                 | FaultEvent::CrashCoordinatorAfterFlush { .. }
+                | FaultEvent::RestartCoordinator { .. }
                 | FaultEvent::ClockSkewRamp { .. } => {}
             }
         }

@@ -81,4 +81,6 @@ pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
 pub use shrink::{shrink_schedule, shrink_workload, ShrinkReport, WorkloadShrinkReport};
 pub use trace::EventTrace;
-pub use workload::{ChaosWorkload, TpccChaosWorkload, TransferWorkload, CHAOS_TABLE};
+pub use workload::{
+    ChaosWorkload, InteractiveTransferWorkload, TpccChaosWorkload, TransferWorkload, CHAOS_TABLE,
+};

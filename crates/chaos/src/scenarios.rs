@@ -77,11 +77,20 @@ pub enum Scenario {
     /// A seeded-random schedule ([`FaultSchedule::random`]) — different for
     /// every seed, always healing before the horizon.
     RandomizedFaults,
+    /// Interactive clients under chaos: transfers ship one statement round
+    /// at a time through live sessions, clients *think* between rounds
+    /// (locks span real client round trips), every 4th transaction of each
+    /// client is **abandoned mid-transaction** (connection drop — the
+    /// middleware's cleanup must roll the orphans back), and the coordinator
+    /// crashes in the §V-A window with a scripted failover while all of that
+    /// is in flight. The scenario the one-shot spec API structurally could
+    /// not express.
+    InteractiveClientChaos,
 }
 
 impl Scenario {
     /// Every preset, in a stable order.
-    pub fn all() -> [Scenario; 10] {
+    pub fn all() -> [Scenario; 11] {
         [
             Scenario::PreparePhaseCrash,
             Scenario::CommitPhasePartition,
@@ -93,6 +102,7 @@ impl Scenario {
             Scenario::ClockSkewDrift,
             Scenario::CrashDuringBrownout,
             Scenario::RandomizedFaults,
+            Scenario::InteractiveClientChaos,
         ]
     }
 
@@ -109,6 +119,7 @@ impl Scenario {
             Scenario::ClockSkewDrift => "clock_skew_drift",
             Scenario::CrashDuringBrownout => "crash_during_brownout",
             Scenario::RandomizedFaults => "randomized_faults",
+            Scenario::InteractiveClientChaos => "interactive_client_chaos",
         }
     }
 
@@ -124,6 +135,15 @@ impl Scenario {
             // (prepared branches + durable decision, nothing dispatched)
             // is actually exercised.
             config.distributed_ratio = 1.0;
+        }
+        if matches!(self, Scenario::InteractiveClientChaos) {
+            // Live sessions: one operation per statement round, client think
+            // time between rounds, and a deterministic mid-transaction client
+            // crash every 4th transaction per client.
+            config.interactive_transfers = true;
+            config.think_time = Duration::from_millis(20);
+            config.client_crash_every = Some(4);
+            config.distributed_ratio = 0.8;
         }
         let dm = NodeId::middleware(0);
         let ds = NodeId::data_source;
@@ -239,6 +259,15 @@ impl Scenario {
                     horizon: s(60),
                 },
             ),
+            Scenario::InteractiveClientChaos => FaultSchedule::new()
+                .with(FaultEvent::CrashMiddlewareAfterFlush { at: ms(2_500) })
+                .with(FaultEvent::FailoverMiddleware { at: s(5) })
+                .with(FaultEvent::Partition {
+                    at: s(6),
+                    until: ms(7_500),
+                    a: dm,
+                    b: ds(1),
+                }),
         };
         (config, schedule)
     }

@@ -79,6 +79,17 @@ pub enum FaultEvent {
         /// Index of the coordinator slot.
         dm: u32,
     },
+    /// Multi-coordinator tier: a successor process restarts slot `dm` at
+    /// `at` — it re-registers for a fresh epoch (above any fence), shares the
+    /// slot's durable commit log, recovers its own in-doubt branches and
+    /// resumes serving (the router re-homes the slot's sessions). With every
+    /// coordinator dead this is the tier's *cold* recovery entry point.
+    RestartCoordinator {
+        /// When the restart happens.
+        at: Duration,
+        /// Index of the coordinator slot.
+        dm: u32,
+    },
     /// Both directions between `a` and `b` are blocked during `[at, until)`.
     Partition {
         /// Partition start.
@@ -173,6 +184,7 @@ impl FaultEvent {
             | FaultEvent::FailoverMiddleware { at }
             | FaultEvent::CrashCoordinator { at, .. }
             | FaultEvent::CrashCoordinatorAfterFlush { at, .. }
+            | FaultEvent::RestartCoordinator { at, .. }
             | FaultEvent::Partition { at, .. }
             | FaultEvent::PartitionOneWay { at, .. }
             | FaultEvent::LatencyStorm { at, .. }
@@ -194,6 +206,7 @@ impl FaultEvent {
                 | FaultEvent::FailoverMiddleware { .. }
                 | FaultEvent::CrashCoordinator { .. }
                 | FaultEvent::CrashCoordinatorAfterFlush { .. }
+                | FaultEvent::RestartCoordinator { .. }
                 | FaultEvent::ClockSkewRamp { .. }
         )
     }
@@ -279,6 +292,9 @@ impl FaultSchedule {
                 }
                 FaultEvent::CrashCoordinatorAfterFlush { at, dm } => {
                     format!("crash_coordinator_after_flush at_us={} dm={dm}", us(at))
+                }
+                FaultEvent::RestartCoordinator { at, dm } => {
+                    format!("restart_coordinator at_us={} dm={dm}", us(at))
                 }
                 FaultEvent::Partition { at, until, a, b } => {
                     format!("partition at_us={} until_us={} a={a} b={b}", us(at), us(until))
@@ -506,6 +522,10 @@ fn parse_timeline_event(line: &str) -> Result<FaultEvent, String> {
             at: parse_us(&fields, "at_us")?,
             dm: parse_num(&fields, "dm")?,
         },
+        "restart_coordinator" => FaultEvent::RestartCoordinator {
+            at: parse_us(&fields, "at_us")?,
+            dm: parse_num(&fields, "dm")?,
+        },
         "partition" => FaultEvent::Partition {
             at: parse_us(&fields, "at_us")?,
             until: parse_us(&fields, "until_us")?,
@@ -642,6 +662,10 @@ mod tests {
             .with(FaultEvent::CrashCoordinatorAfterFlush {
                 at: ms(2250),
                 dm: 0,
+            })
+            .with(FaultEvent::RestartCoordinator {
+                at: ms(6000),
+                dm: 1,
             })
             .with(FaultEvent::Partition {
                 at: ms(1000),

@@ -295,6 +295,12 @@ fn simplify_event(event: &FaultEvent) -> Vec<FaultEvent> {
                 dm: *dm,
             })
         }
+        FaultEvent::RestartCoordinator { at, dm } => {
+            variants.push(FaultEvent::RestartCoordinator {
+                at: halve_at(at),
+                dm: *dm,
+            })
+        }
         FaultEvent::Partition { at, until, a, b } => {
             variants.push(FaultEvent::Partition {
                 at: *at,

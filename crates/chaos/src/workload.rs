@@ -158,6 +158,43 @@ impl ChaosWorkload for TransferWorkload {
     }
 }
 
+/// The transfer workload issued *interactively*: the debit and the credit
+/// ship as separate statement rounds (the credit carries the `/*+ last */`
+/// annotation), so the branch locks span a real client round trip and the
+/// harness's think-time and mid-transaction client-crash events have a
+/// between-rounds window to land in. Conservation conditions are unchanged.
+#[derive(Debug, Clone)]
+pub struct InteractiveTransferWorkload(pub TransferWorkload);
+
+impl ChaosWorkload for InteractiveTransferWorkload {
+    fn name(&self) -> &'static str {
+        "transfer_interactive"
+    }
+
+    fn partitioner(&self) -> Partitioner {
+        self.0.partitioner()
+    }
+
+    fn load(&self, sources: &[Rc<DataSource>]) {
+        self.0.load(sources);
+    }
+
+    fn next_spec(&self, rng: &mut StdRng) -> TransactionSpec {
+        let spec = self.0.next_spec(rng);
+        let rounds = spec
+            .rounds
+            .into_iter()
+            .flatten()
+            .map(|op| vec![op])
+            .collect();
+        TransactionSpec::multi_round(rounds)
+    }
+
+    fn consistency_violations(&self, sources: &[Rc<DataSource>]) -> Vec<String> {
+        self.0.consistency_violations(sources)
+    }
+}
+
 /// TPC-C at drill scale: the real five-profile mix over warehouse-partitioned
 /// data, small enough that a 10-preset × 32-seed sweep stays in CI budget.
 pub struct TpccChaosWorkload {

@@ -72,6 +72,42 @@ fn sweep_coordinator_source_partition() {
     }
 }
 
+#[test]
+fn sweep_dual_coordinator_cold_restart() {
+    for seed in 1..=sweep_seeds() {
+        assert_cluster_scenario_green(ClusterScenario::DualCoordinatorCrash, seed);
+    }
+}
+
+/// The cold-restart preset really goes through the dark window: both
+/// coordinators die, clients see refusals while nobody is alive, successors
+/// re-register at fresh epochs, and traffic commits again afterwards.
+#[test]
+fn dual_crash_recovers_from_cold_and_recommits() {
+    let report = ClusterScenario::DualCoordinatorCrash.run(1);
+    assert!(
+        report.invariants.all_hold(),
+        "{:?}",
+        report.invariants.violations
+    );
+    let trace = report.trace.join("\n");
+    assert!(
+        trace.contains("crash coordinator dm0")
+            || trace.contains("dm0 after next commit-log flush"),
+        "dm0 must die:\n{trace}"
+    );
+    assert!(trace.contains("crash coordinator dm1"), "dm1 must die");
+    assert!(
+        trace.contains("restart coordinator dm0") && trace.contains("restart coordinator dm1"),
+        "both slots must restart"
+    );
+    assert!(
+        trace.contains("refused"),
+        "the all-dead window must refuse connections:\n{trace}"
+    );
+    assert!(report.committed > 0);
+}
+
 /// The crash-takeover preset actually exercises the takeover machinery: the
 /// trace must show the supervisor adopting the dead coordinator (not just the
 /// clients failing over), and the run must still commit traffic afterwards.

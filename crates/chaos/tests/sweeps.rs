@@ -129,6 +129,36 @@ sweep_test!(
     sweep_tpcc_randomized_faults,
     Scenario::RandomizedFaults
 );
+sweep_test!(
+    sweep_interactive_client_chaos,
+    sweep_tpcc_interactive_client_chaos,
+    Scenario::InteractiveClientChaos
+);
+
+/// The interactive preset genuinely exercises the new surface: client crashes
+/// are booked on the coordinator (aborted without a ledger entry), think time
+/// spreads the statement stream, and the invariants still hold.
+#[test]
+fn interactive_preset_abandons_transactions_mid_flight() {
+    let (config, _schedule) = Scenario::InteractiveClientChaos.build(1);
+    assert!(config.interactive_transfers);
+    assert_eq!(config.client_crash_every, Some(4));
+    let report = Scenario::InteractiveClientChaos.run(1);
+    assert!(
+        report.invariants.all_hold(),
+        "{:?}",
+        report.invariants.violations
+    );
+    // Each client abandons every 4th transaction: those never reach the
+    // client-side ledger, so the ledger is visibly smaller than the offered
+    // transaction count (minus the indeterminate coordinator-crash window).
+    let offered = (config.clients * config.txns_per_client) as u64;
+    let recorded = report.committed + report.aborted + report.indeterminate;
+    assert!(
+        recorded < offered,
+        "abandoned transactions must be missing from the ledger: {recorded} vs {offered}"
+    );
+}
 
 /// The checkers are not vacuous: a protocol that genuinely lacks atomicity
 /// (SSP "local" mode one-phase-commits every branch independently) must turn

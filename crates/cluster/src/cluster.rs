@@ -22,15 +22,20 @@
 //! re-homes the dead coordinator's sessions onto survivors on their next
 //! request.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::time::Duration;
 
 use geotp_datasource::DataSource;
+use geotp_middleware::session::{
+    BoxFuture, RoundResult, Session, SessionLink, SessionService, Txn, TxnError, TxnHandle,
+};
 use geotp_middleware::{
-    CommitLog, Middleware, MiddlewareConfig, Partitioner, Protocol, TransactionSpec, TxnOutcome,
+    AbortReason, ClientOp, CommitLog, Middleware, MiddlewareConfig, Partitioner, Protocol,
+    TransactionSpec, TxnOutcome,
 };
 use geotp_net::{Network, NodeId};
+use geotp_simrt::sync::semaphore::SemaphorePermit;
 use geotp_simrt::sync::Semaphore;
 use geotp_simrt::{join_all, sleep, spawn};
 
@@ -85,14 +90,23 @@ impl ClusterConfig {
     }
 }
 
-/// One coordinator slot.
+/// One coordinator slot. The middleware instance behind a slot is
+/// *replaceable*: [`CoordinatorCluster::restart`] installs a successor
+/// process (fresh epoch, advanced gtrid space) over the slot's durable
+/// commit log — how a crashed tier recovers from cold.
 struct Slot {
-    middleware: Rc<Middleware>,
+    middleware: RefCell<Rc<Middleware>>,
     commit_log: Rc<CommitLog>,
-    /// The membership epoch this instance was granted.
-    epoch: u64,
+    /// The membership epoch of the current instance (re-granted on restart).
+    epoch: Cell<u64>,
     /// Concurrency gate (`None` when unbounded).
     permits: Option<Rc<Semaphore>>,
+}
+
+impl Slot {
+    fn middleware(&self) -> Rc<Middleware> {
+        self.middleware.borrow().clone()
+    }
 }
 
 /// What one peer takeover did.
@@ -132,8 +146,33 @@ pub struct CoordinatorCluster {
     router: SessionRouter,
     /// Stops the heartbeat/supervisor tasks (harness quiescing).
     stopped: Cell<bool>,
+    /// Whether [`CoordinatorCluster::start`] ran (restarted slots spawn
+    /// their own heartbeat only in that case).
+    started: Cell<bool>,
     /// Takeovers performed so far (telemetry for harnesses and tests).
     takeovers: Cell<u64>,
+}
+
+/// The [`MiddlewareConfig`] a slot's (current or successor) instance runs.
+fn slot_middleware_config(
+    config: &ClusterConfig,
+    coord: u32,
+    epoch: u64,
+    first_txn_seq: u64,
+) -> MiddlewareConfig {
+    let mut mw_cfg = MiddlewareConfig::new(
+        NodeId::middleware(coord),
+        config.protocol,
+        config.partitioner,
+    );
+    mw_cfg.analysis_cost = config.analysis_cost;
+    mw_cfg.log_flush_cost = config.log_flush_cost;
+    mw_cfg.decision_wait_timeout = config.decision_wait_timeout;
+    mw_cfg.record_history = config.record_history;
+    mw_cfg.scheduler.seed = config.seed.wrapping_add(coord as u64);
+    mw_cfg.epoch = epoch;
+    mw_cfg.first_txn_seq = first_txn_seq;
+    mw_cfg
 }
 
 impl CoordinatorCluster {
@@ -145,23 +184,13 @@ impl CoordinatorCluster {
         let mut slots = Vec::with_capacity(config.coordinators);
         for coord in 0..config.coordinators as u32 {
             let epoch = membership.register(coord);
-            let mut mw_cfg = MiddlewareConfig::new(
-                NodeId::middleware(coord),
-                config.protocol,
-                config.partitioner,
-            );
-            mw_cfg.analysis_cost = config.analysis_cost;
-            mw_cfg.log_flush_cost = config.log_flush_cost;
-            mw_cfg.decision_wait_timeout = config.decision_wait_timeout;
-            mw_cfg.record_history = config.record_history;
-            mw_cfg.scheduler.seed = config.seed.wrapping_add(coord as u64);
-            mw_cfg.epoch = epoch;
+            let mw_cfg = slot_middleware_config(&config, coord, epoch, 1);
             let middleware = Middleware::connect(mw_cfg, Rc::clone(&net), sources, None);
             let commit_log = Rc::clone(middleware.commit_log());
             slots.push(Slot {
-                middleware,
+                middleware: RefCell::new(middleware),
                 commit_log,
-                epoch,
+                epoch: Cell::new(epoch),
                 permits: (config.max_inflight > 0)
                     .then(|| Rc::new(Semaphore::new(config.max_inflight))),
             });
@@ -175,6 +204,7 @@ impl CoordinatorCluster {
             membership,
             router,
             stopped: Cell::new(false),
+            started: Cell::new(false),
             takeovers: Cell::new(0),
         })
     }
@@ -199,9 +229,10 @@ impl CoordinatorCluster {
         &self.sources
     }
 
-    /// The middleware instance of slot `coord`.
-    pub fn middleware(&self, coord: u32) -> &Rc<Middleware> {
-        &self.slots[coord as usize].middleware
+    /// The middleware instance currently serving slot `coord` (replaced by
+    /// [`CoordinatorCluster::restart`]).
+    pub fn middleware(&self, coord: u32) -> Rc<Middleware> {
+        self.slots[coord as usize].middleware()
     }
 
     /// The durable commit log of slot `coord`.
@@ -209,9 +240,9 @@ impl CoordinatorCluster {
         &self.slots[coord as usize].commit_log
     }
 
-    /// The membership epoch granted to slot `coord` at build time.
+    /// The membership epoch of slot `coord`'s current instance.
     pub fn epoch(&self, coord: u32) -> u64 {
-        self.slots[coord as usize].epoch
+        self.slots[coord as usize].epoch.get()
     }
 
     /// The durable decision for `gtrid`, looked up in its owner's commit log
@@ -232,15 +263,53 @@ impl CoordinatorCluster {
     /// heartbeat task stops at its next tick, and the supervisor fences and
     /// adopts the slot.
     pub fn crash(&self, coord: u32) {
-        self.slots[coord as usize].middleware.crash();
+        self.slots[coord as usize].middleware().crash();
     }
 
     /// Arm the §V-A fail point on slot `coord`: crash right after its next
     /// commit-log flush (decision durable, never dispatched).
     pub fn crash_after_next_flush(&self, coord: u32) {
         self.slots[coord as usize]
-            .middleware
+            .middleware()
             .crash_after_next_flush();
+    }
+
+    /// Restart a dead coordinator slot: a successor process re-registers for
+    /// a fresh membership epoch (strictly above any fence), shares the slot's
+    /// durable commit log, starts its gtrid space past the predecessor's,
+    /// resolves its own in-doubt branches against the log (idempotent when a
+    /// peer already adopted them), and resumes serving — the router re-homes
+    /// the slot's home sessions on their next request. This is how the tier
+    /// recovers *from cold* when every coordinator died and nobody was left
+    /// to adopt anyone. Returns the successor's epoch.
+    pub async fn restart(self: &Rc<Self>, coord: u32) -> u64 {
+        let slot = &self.slots[coord as usize];
+        let old = slot.middleware();
+        assert!(
+            old.is_crashed() || !self.membership.is_alive(coord),
+            "restarting a live coordinator (dm{coord})"
+        );
+        if self.membership.is_alive(coord) {
+            self.membership.declare_dead(coord);
+        }
+        let epoch = self.membership.register(coord);
+        let mw_cfg = slot_middleware_config(&self.config, coord, epoch, old.next_txn_seq());
+        let successor = Middleware::connect(
+            mw_cfg,
+            Rc::clone(&self.net),
+            &self.sources,
+            Some(Rc::clone(&slot.commit_log)),
+        );
+        *slot.middleware.borrow_mut() = Rc::clone(&successor);
+        slot.epoch.set(epoch);
+        // Cold recovery of the slot's own gtrid space: data sources may hold
+        // prepared branches nobody adopted while the whole tier was down.
+        let _ = successor.recover().await;
+        if self.started.get() {
+            let cluster = Rc::clone(self);
+            spawn(async move { cluster.heartbeat_loop(coord, epoch).await });
+        }
+        epoch
     }
 
     /// Stop the background heartbeat/supervisor tasks (they observe the flag
@@ -251,9 +320,11 @@ impl CoordinatorCluster {
 
     /// Spawn the lease heartbeats (one task per slot) and the supervisor.
     pub fn start(self: &Rc<Self>) {
+        self.started.set(true);
         for coord in 0..self.slots.len() as u32 {
             let cluster = Rc::clone(self);
-            spawn(async move { cluster.heartbeat_loop(coord).await });
+            let epoch = self.slots[coord as usize].epoch.get();
+            spawn(async move { cluster.heartbeat_loop(coord, epoch).await });
         }
         let cluster = Rc::clone(self);
         spawn(async move {
@@ -267,25 +338,28 @@ impl CoordinatorCluster {
         });
     }
 
-    /// One coordinator's lease-renewal loop. Renewals ride the simulated
-    /// network to the control node, so a partitioned coordinator's renewal
-    /// stalls and its lease lapses — the split-brain entry point the fencing
-    /// machinery exists for.
-    async fn heartbeat_loop(self: Rc<Self>, coord: u32) {
+    /// One coordinator instance's lease-renewal loop (generation-scoped: a
+    /// restarted slot spawns a fresh loop with its new epoch and this one
+    /// exits). Renewals ride the simulated network to the control node, so a
+    /// partitioned coordinator's renewal stalls and its lease lapses — the
+    /// split-brain entry point the fencing machinery exists for.
+    async fn heartbeat_loop(self: Rc<Self>, coord: u32, epoch: u64) {
         let dm = NodeId::middleware(coord);
         let control = NodeId::control(0);
         let interval = self.config.membership.heartbeat_interval;
-        let slot_epoch = self.slots[coord as usize].epoch;
         loop {
             sleep(interval).await;
-            if self.stopped.get() || self.slots[coord as usize].middleware.is_crashed() {
+            let stale = self.slots[coord as usize].epoch.get() != epoch;
+            if self.stopped.get() || stale || self.slots[coord as usize].middleware().is_crashed() {
                 return;
             }
             self.net.transfer(dm, control).await;
-            if self.slots[coord as usize].middleware.is_crashed() {
-                return; // died while the renewal was in flight
+            if self.slots[coord as usize].middleware().is_crashed()
+                || self.slots[coord as usize].epoch.get() != epoch
+            {
+                return; // died or was replaced while the renewal was in flight
             }
-            if self.membership.renew(coord, slot_epoch).is_err() {
+            if self.membership.renew(coord, epoch).is_err() {
                 // Fenced or declared dead: this instance must stop claiming
                 // liveness (and its epoch is already rejected everywhere).
                 return;
@@ -295,25 +369,36 @@ impl CoordinatorCluster {
     }
 
     /// One supervisor scan: lapse overdue leases, notice crashed processes,
-    /// fence and adopt every newly dead slot. Returns the takeovers performed.
+    /// fence and adopt every dead slot that has not been adopted yet.
+    /// A slot that died while *nobody* was left to adopt it (the whole tier
+    /// down) is retried on every scan — its commit log is still unfenced —
+    /// so the first coordinator to restart adopts the rest of the cold tier.
+    /// Returns the takeovers performed.
     pub async fn supervise_once(&self) -> Vec<TakeoverReport> {
-        let mut newly_dead = self.membership.expire_stale();
+        self.membership.expire_stale();
         for coord in 0..self.slots.len() as u32 {
-            if self.slots[coord as usize].middleware.is_crashed() && self.membership.is_alive(coord)
+            if self.slots[coord as usize].middleware().is_crashed()
+                && self.membership.is_alive(coord)
             {
                 self.membership.declare_dead(coord);
-                newly_dead.push(coord);
             }
         }
         let mut reports = Vec::new();
-        for dead in newly_dead {
+        for dead in 0..self.slots.len() as u32 {
+            if self.membership.is_alive(dead) {
+                continue;
+            }
+            let slot = &self.slots[dead as usize];
+            if slot.commit_log.min_epoch() > slot.epoch.get() {
+                continue; // already fenced + adopted at this incarnation
+            }
             let Some(&by) = self
                 .membership
                 .live_coordinators()
                 .iter()
-                .find(|&&c| !self.slots[c as usize].middleware.is_crashed())
+                .find(|&&c| !self.slots[c as usize].middleware().is_crashed())
             else {
-                continue; // nobody left to adopt; the harness's final pass will
+                continue; // nobody left to adopt; retried next scan / recover_all
             };
             reports.push(self.take_over(dead, by).await);
         }
@@ -367,7 +452,7 @@ impl CoordinatorCluster {
         //    the sealed log, driven over the survivor's (live-epoch)
         //    connections.
         let (adopted_committed, adopted_aborted) = self.slots[by as usize]
-            .middleware
+            .middleware()
             .recover_owned_by(dead, &dead_log)
             .await;
 
@@ -396,7 +481,7 @@ impl CoordinatorCluster {
             Some(semaphore) => Some(semaphore.acquire().await.ok()?),
             None => None,
         };
-        let middleware = Rc::clone(&slot.middleware);
+        let middleware = slot.middleware();
         let outcome = middleware.run_transaction(spec).await;
         Some(RoutedOutcome {
             coordinator,
@@ -412,7 +497,7 @@ impl CoordinatorCluster {
         // A crashed process the (possibly stopped) supervisor never got to:
         // declare it dead now so the adoption sweep below covers it.
         for coord in 0..self.slots.len() as u32 {
-            if self.slots[coord as usize].middleware.is_crashed() {
+            if self.slots[coord as usize].middleware().is_crashed() {
                 self.membership.declare_dead(coord);
             }
         }
@@ -420,8 +505,9 @@ impl CoordinatorCluster {
         let mut aborted = 0;
         for coord in 0..self.slots.len() as u32 {
             let slot = &self.slots[coord as usize];
-            if self.membership.is_alive(coord) && !slot.middleware.is_crashed() {
-                let (c, a) = slot.middleware.recover().await;
+            let middleware = slot.middleware();
+            if self.membership.is_alive(coord) && !middleware.is_crashed() {
+                let (c, a) = middleware.recover().await;
                 committed += c;
                 aborted += a;
             }
@@ -434,7 +520,7 @@ impl CoordinatorCluster {
                 .membership
                 .live_coordinators()
                 .iter()
-                .find(|&&c| !self.slots[c as usize].middleware.is_crashed())
+                .find(|&&c| !self.slots[c as usize].middleware().is_crashed())
             else {
                 break;
             };
@@ -450,11 +536,11 @@ impl CoordinatorCluster {
     /// branches a then-crashed data source has since recovered from its WAL.
     async fn take_over_if_unfenced(&self, dead: u32, by: u32) -> TakeoverReport {
         let dead_log = Rc::clone(&self.slots[dead as usize].commit_log);
-        if dead_log.min_epoch() <= self.slots[dead as usize].epoch {
+        if dead_log.min_epoch() <= self.slots[dead as usize].epoch.get() {
             return self.take_over(dead, by).await;
         }
         let (adopted_committed, adopted_aborted) = self.slots[by as usize]
-            .middleware
+            .middleware()
             .recover_owned_by(dead, &dead_log)
             .await;
         TakeoverReport {
@@ -465,5 +551,178 @@ impl CoordinatorCluster {
             adopted_aborted,
             unprepared_aborted: 0,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session front door (the interactive client API, tier edition).
+//
+// Sessions are *durable routing entities* here: the consistent-hash router
+// pins each session to a coordinator while it lives (affinity), re-homes it
+// to a survivor when that coordinator dies, and moves it back when its home
+// slot re-registers. A live transaction is pinned to the coordinator its
+// `begin` was routed to; a takeover mid-transaction surfaces as a
+// *retryable* abort on the handle, and the session's next `begin` re-routes.
+// ---------------------------------------------------------------------------
+
+/// The cluster's [`SessionService`].
+#[derive(Clone)]
+pub struct ClusterSessionService(Rc<CoordinatorCluster>);
+
+impl CoordinatorCluster {
+    /// The session front door for this tier.
+    pub fn session_service(self: &Rc<Self>) -> ClusterSessionService {
+        ClusterSessionService(Rc::clone(self))
+    }
+
+    /// Open a session directly (convenience for tests and drivers).
+    pub fn connect(self: &Rc<Self>, session_id: u64) -> Session {
+        self.session_service().connect(session_id)
+    }
+}
+
+impl SessionService for ClusterSessionService {
+    fn connect(&self, session_id: u64) -> Session {
+        Session::from_link(
+            session_id,
+            self.label(),
+            Box::new(ClusterLink {
+                cluster: Rc::clone(&self.0),
+                session: session_id,
+            }),
+        )
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} tier x{}",
+            self.0.config.protocol.name(),
+            self.0.config.coordinators
+        )
+    }
+}
+
+struct ClusterLink {
+    cluster: Rc<CoordinatorCluster>,
+    session: u64,
+}
+
+impl SessionLink for ClusterLink {
+    fn begin<'a>(&'a mut self) -> BoxFuture<'a, Result<Box<dyn TxnHandle>, TxnError>> {
+        let cluster = Rc::clone(&self.cluster);
+        let session = self.session;
+        Box::pin(async move {
+            // Route (affinity, else the first live coordinator clockwise).
+            let Some(coordinator) = cluster.router.route(session) else {
+                return Err(TxnError::refused()); // nobody alive; back off + retry
+            };
+            let slot = &cluster.slots[coordinator as usize];
+            let permit = match &slot.permits {
+                Some(semaphore) => match semaphore.acquire().await {
+                    Ok(permit) => Some(permit),
+                    Err(_) => return Err(TxnError::refused()),
+                },
+                None => None,
+            };
+            let middleware = slot.middleware();
+            let mut inner = SessionService::connect(&middleware, session);
+            match inner.begin().await {
+                Ok(txn) => Ok(Box::new(ClusterTxn {
+                    inner: Some(txn),
+                    _permit: permit,
+                }) as Box<dyn TxnHandle>),
+                Err(mut refused) => {
+                    // The routed coordinator is crashed but not yet declared
+                    // dead; the session re-routes once the supervisor
+                    // notices, so the refusal stays retryable.
+                    refused.retryable = true;
+                    Err(refused)
+                }
+            }
+        })
+    }
+}
+
+/// A live transaction pinned to one coordinator of the tier, holding its
+/// worker-capacity permit for the transaction's whole lifetime. (Which
+/// coordinator a session is pinned to is the router's knowledge:
+/// `cluster.router().route(session_id)`.)
+struct ClusterTxn {
+    inner: Option<Txn>,
+    _permit: Option<SemaphorePermit>,
+}
+
+/// Coordinator-loss abort reasons become *retryable* at the tier boundary:
+/// the session will be re-routed (takeover) or served by a successor.
+fn mark_tier_retryable(mut error: TxnError) -> TxnError {
+    if matches!(
+        error.reason,
+        AbortReason::CoordinatorCrashed | AbortReason::CoordinatorFenced
+    ) {
+        error.retryable = true;
+    }
+    error
+}
+
+impl TxnHandle for ClusterTxn {
+    fn execute<'a>(
+        &'a mut self,
+        ops: &'a [ClientOp],
+        last: bool,
+    ) -> BoxFuture<'a, Result<RoundResult, TxnError>> {
+        Box::pin(async move {
+            let inner = self.inner.as_mut().expect("transaction already concluded");
+            inner
+                .execute_round(ops, last)
+                .await
+                .map_err(mark_tier_retryable)
+        })
+    }
+
+    fn execute_sql<'a>(
+        &'a mut self,
+        statement: &'a str,
+    ) -> BoxFuture<'a, Result<RoundResult, TxnError>> {
+        Box::pin(async move {
+            let inner = self.inner.as_mut().expect("transaction already concluded");
+            inner
+                .execute_sql(statement)
+                .await
+                .map_err(mark_tier_retryable)
+        })
+    }
+
+    fn note_think(&mut self, thought: Duration) {
+        if let Some(inner) = self.inner.as_mut() {
+            inner.note_think(thought);
+        }
+    }
+
+    fn commit(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        let inner = self.inner.take().expect("transaction already concluded");
+        Box::pin(async move {
+            let outcome = inner.commit().await;
+            drop(self); // release the worker permit after the outcome is known
+            outcome
+        })
+    }
+
+    fn rollback(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        let inner = self.inner.take().expect("transaction already concluded");
+        Box::pin(async move {
+            let outcome = inner.rollback().await;
+            drop(self);
+            outcome
+        })
+    }
+
+    fn abandon(mut self: Box<Self>) {
+        // Dropping the inner handle runs the middleware's connection-loss
+        // cleanup; the permit frees with `self`.
+        drop(self.inner.take());
+    }
+
+    fn gtrid(&self) -> u64 {
+        self.inner.as_ref().map(|t| t.gtrid()).unwrap_or(0)
     }
 }

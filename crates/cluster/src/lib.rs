@@ -33,7 +33,9 @@ pub mod membership;
 pub mod openloop;
 pub mod ring;
 
-pub use cluster::{ClusterConfig, CoordinatorCluster, RoutedOutcome, TakeoverReport};
+pub use cluster::{
+    ClusterConfig, ClusterSessionService, CoordinatorCluster, RoutedOutcome, TakeoverReport,
+};
 pub use deploy::{build_tier, TierLayout};
 pub use membership::{MembershipConfig, MembershipTable, RenewError, SlotState};
 pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopReport};

@@ -111,24 +111,27 @@ pub async fn run_open_loop(
         let refused = Rc::clone(&refused);
         tasks.push(spawn(async move {
             let arrived = now();
-            match cluster.run_transaction(session, &spec).await {
-                None => {
-                    refused.set(refused.get() + 1);
-                }
-                Some(routed) => {
-                    let finished = now();
-                    if finished < measure_start || finished >= end {
-                        return;
-                    }
-                    if routed.outcome.committed {
-                        committed.set(committed.get() + 1);
-                        latencies
-                            .borrow_mut()
-                            .push(finished.duration_since(arrived));
-                    } else {
-                        aborted.set(aborted.get() + 1);
-                    }
-                }
+            // Each arrival drives its transaction through the session front
+            // door (session affinity + per-coordinator worker capacity live
+            // behind `begin`).
+            let mut conn = cluster.connect(session);
+            let outcome = conn.run_spec(&spec).await;
+            if outcome.is_refusal() {
+                // Refused: no live coordinator took the session's begin.
+                refused.set(refused.get() + 1);
+                return;
+            }
+            let finished = now();
+            if finished < measure_start || finished >= end {
+                return;
+            }
+            if outcome.committed {
+                committed.set(committed.get() + 1);
+                latencies
+                    .borrow_mut()
+                    .push(finished.duration_since(arrived));
+            } else {
+                aborted.set(aborted.get() + 1);
             }
         }));
     }

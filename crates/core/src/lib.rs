@@ -23,17 +23,31 @@
 //!         .build();
 //!     cluster.load_uniform(1_000, 10_000);
 //!
-//!     // Transfer 100 units between accounts on different continents.
-//!     let spec = TransactionSpec::single_round(vec![
-//!         ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1), -100),
-//!         ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1_001), 100),
-//!     ]);
-//!     let outcome = cluster.middleware().run_transaction(&spec).await;
+//!     // Connect a client session and transfer 100 units between accounts
+//!     // on different continents, one statement round at a time. The
+//!     // `/*+ last */` round (`execute_last`) triggers GeoTP's
+//!     // decentralized prepare as soon as it finishes.
+//!     let mut session = cluster.connect(1);
+//!     let mut txn = session.begin().await.unwrap();
+//!     txn.execute(&[ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1), -100)])
+//!         .await
+//!         .unwrap();
+//!     txn.execute_last(&[ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1_001), 100)])
+//!         .await
+//!         .unwrap();
+//!     let outcome = txn.commit().await;
 //!     assert!(outcome.committed);
 //!     // Decentralized prepare + latency-aware scheduling: two WAN round
 //!     // trips (~200 ms) instead of the three (~300 ms) a classic XA
 //!     // middleware needs.
 //!     assert!(outcome.latency < Duration::from_millis(220));
+//!
+//!     // Whole scripts still replay through the same live path.
+//!     let spec = TransactionSpec::single_round(vec![
+//!         ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1), -100),
+//!         ClientOp::add(GlobalKey::new(geotp::USERTABLE, 1_001), 100),
+//!     ]);
+//!     assert!(session.run_spec(&spec).await.committed);
 //! });
 //! ```
 
@@ -53,35 +67,39 @@ pub use geotp_workloads as workloads;
 
 pub use geotp_chaos::{
     shrink_schedule, shrink_workload, ChaosConfig, ChaosReport, ChaosWorkload, ClusterChaosConfig,
-    ClusterScenario, DrillWorkload, FaultEvent, FaultSchedule, InvariantReport, Scenario,
-    ShrinkReport, TpccChaosWorkload, TransferWorkload, WorkloadShrinkReport,
+    ClusterScenario, DrillWorkload, FaultEvent, FaultSchedule, InteractiveTransferWorkload,
+    InvariantReport, Scenario, ShrinkReport, TpccChaosWorkload, TransferWorkload,
+    WorkloadShrinkReport,
 };
 pub use geotp_cluster::{
-    run_open_loop, ClusterConfig, CoordinatorCluster, MembershipConfig, MembershipTable,
-    OpenLoopConfig, OpenLoopReport, SessionRouter, TierLayout,
+    run_open_loop, ClusterConfig, ClusterSessionService, CoordinatorCluster, MembershipConfig,
+    MembershipTable, OpenLoopConfig, OpenLoopReport, SessionRouter, TierLayout,
 };
 pub use geotp_datasource::{DataSource, DataSourceConfig, Dialect, DsConnection};
 pub use geotp_middleware::{
-    ClientOp, GlobalKey, Middleware, MiddlewareConfig, Partitioner, Protocol, TransactionSpec,
-    TxnOutcome,
+    ClientOp, GlobalKey, Middleware, MiddlewareConfig, MiddlewareSessionService, Partitioner,
+    Protocol, RoundResult, Session, SessionService, TransactionSpec, Txn, TxnError, TxnOutcome,
 };
 pub use geotp_net::{LatencyModel, Network, NetworkBuilder, NodeId, StaticLatency};
 pub use geotp_simrt::Runtime;
 pub use geotp_storage::{EngineConfig, Row, TableId};
 pub use geotp_workloads::ycsb::USERTABLE;
+pub use geotp_workloads::{run_session_benchmark, SessionDriverConfig};
 
 /// Commonly used items for building and driving a cluster.
 pub mod prelude {
     pub use crate::{Cluster, ClusterBuilder};
     pub use geotp_datasource::Dialect;
     pub use geotp_middleware::{
-        ClientOp, GlobalKey, Middleware, Partitioner, Protocol, TransactionSpec, TxnOutcome,
+        ClientOp, GlobalKey, Middleware, Partitioner, Protocol, RoundResult, Session,
+        SessionService, TransactionSpec, Txn, TxnError, TxnOutcome,
     };
     pub use geotp_net::NodeId;
     pub use geotp_storage::Row;
-    pub use geotp_workloads::driver::run_benchmark;
+    pub use geotp_workloads::driver::{run_benchmark, run_session_benchmark};
     pub use geotp_workloads::{
-        Contention, DriverConfig, TpccConfig, TpccGenerator, WorkloadMix, YcsbConfig, YcsbGenerator,
+        Contention, DriverConfig, SessionDriverConfig, TpccConfig, TpccGenerator, WorkloadMix,
+        YcsbConfig, YcsbGenerator,
     };
 }
 
@@ -324,6 +342,21 @@ impl Cluster {
     /// The primary middleware.
     pub fn middleware(&self) -> &Rc<Middleware> {
         &self.middlewares[0]
+    }
+
+    /// Connect a client session to the primary middleware (the session-first
+    /// front door; co-located client, so statement rounds pay no extra hops).
+    pub fn connect(&self, session_id: u64) -> Session {
+        SessionService::connect(&self.middlewares[0], session_id)
+    }
+
+    /// Connect a client session placed at `client`: every statement round
+    /// pays the client↔middleware round trip, which lands in
+    /// [`geotp_middleware::LatencyBreakdown::client_rtt`].
+    pub fn connect_from(&self, client: NodeId, session_id: u64) -> Session {
+        self.middlewares[0]
+            .session_service_from(client)
+            .connect(session_id)
     }
 
     /// All middlewares (more than one in multi-region deployments).

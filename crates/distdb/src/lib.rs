@@ -299,6 +299,329 @@ impl DistDb {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session front door (the interactive client API).
+//
+// An interactive transaction against the distributed database keeps one open
+// transaction per involved tablet leader: each statement round fans out from
+// the (client-co-located) query router to the involved shards, and commit
+// runs the single-shard fast path (one round trip, asynchronous apply) or a
+// router-driven 2PC over the open shard transactions. Unlike the one-shot
+// path — which ships the whole statement buffer at once and lets the first
+// shard coordinate — the interactive path cannot batch rounds, so locks are
+// held across client round trips: exactly the interactivity penalty the
+// paper's middleware avoids with its own session handling.
+// ---------------------------------------------------------------------------
+
+use geotp_middleware::session::{
+    BoxFuture, RoundResult, Session, SessionLink, SessionService, TxnError, TxnHandle,
+};
+
+impl DistDb {
+    /// The session front door for this database.
+    pub fn session_service(self: &Rc<Self>) -> DistDbService {
+        DistDbService(Rc::clone(self))
+    }
+
+    fn record_session_outcome(
+        &self,
+        gtrid: u64,
+        started: geotp_simrt::SimInstant,
+        distributed: bool,
+        committed: bool,
+        reason: Option<AbortReason>,
+    ) -> TxnOutcome {
+        let outcome = TxnOutcome {
+            gtrid,
+            committed,
+            abort_reason: reason,
+            latency: now().duration_since(started),
+            breakdown: LatencyBreakdown::default(),
+            distributed,
+            ..TxnOutcome::default()
+        };
+        self.stats.borrow_mut().record(&outcome);
+        outcome
+    }
+}
+
+impl SessionService for DistDbService {
+    fn connect(&self, session_id: u64) -> Session {
+        Session::from_link(
+            session_id,
+            TransactionService::label(self),
+            Box::new(DistDbLink(Rc::clone(&self.0))),
+        )
+    }
+
+    fn label(&self) -> String {
+        TransactionService::label(self)
+    }
+}
+
+struct DistDbLink(Rc<DistDb>);
+
+impl SessionLink for DistDbLink {
+    fn begin<'a>(&'a mut self) -> BoxFuture<'a, Result<Box<dyn TxnHandle>, TxnError>> {
+        let db = Rc::clone(&self.0);
+        Box::pin(async move {
+            let gtrid = db.next_txn.get();
+            db.next_txn.set(gtrid + 1);
+            Ok(Box::new(DistDbTxn {
+                db,
+                gtrid,
+                started: now(),
+                begun: Vec::new(),
+                concluded: false,
+                final_outcome: None,
+            }) as Box<dyn TxnHandle>)
+        })
+    }
+}
+
+struct DistDbTxn {
+    db: Rc<DistDb>,
+    gtrid: u64,
+    started: geotp_simrt::SimInstant,
+    /// Shards with an open transaction branch, in first-touch order.
+    begun: Vec<u32>,
+    concluded: bool,
+    /// The outcome of an already-concluded transaction: repeated
+    /// commit/rollback re-report it instead of re-touching the shards or
+    /// double-recording stats.
+    final_outcome: Option<TxnOutcome>,
+}
+
+impl DistDbTxn {
+    fn distributed(&self) -> bool {
+        self.begun.len() > 1
+    }
+
+    /// Roll every open shard transaction back (router-driven, parallel).
+    async fn rollback_shards(&mut self) {
+        let db = Rc::clone(&self.db);
+        let router = db.config.router;
+        join_all(
+            self.begun
+                .iter()
+                .map(|shard_idx| {
+                    let engine = Rc::clone(&db.shards[shard_idx].engine);
+                    let node = db.shards[shard_idx].node;
+                    let net = Rc::clone(&db.net);
+                    let xid = Xid::new(self.gtrid, *shard_idx);
+                    async move {
+                        net.transfer(router, node).await;
+                        if engine.state_of(xid).is_some() {
+                            let _ = engine.rollback(xid).await;
+                        }
+                        net.transfer(node, router).await;
+                    }
+                })
+                .collect(),
+        )
+        .await;
+    }
+
+    fn conclude(&mut self, committed: bool, reason: Option<AbortReason>) -> TxnOutcome {
+        self.concluded = true;
+        let outcome = self.db.record_session_outcome(
+            self.gtrid,
+            self.started,
+            self.distributed(),
+            committed,
+            reason,
+        );
+        self.final_outcome = Some(outcome.clone());
+        outcome
+    }
+
+    /// The outcome to re-report once the transaction has concluded.
+    fn concluded_outcome(&self) -> TxnOutcome {
+        self.final_outcome.clone().unwrap_or_else(|| {
+            TxnOutcome::aborted(
+                AbortReason::ExecutionFailed,
+                std::time::Duration::ZERO,
+                false,
+            )
+        })
+    }
+}
+
+impl TxnHandle for DistDbTxn {
+    fn execute<'a>(
+        &'a mut self,
+        ops: &'a [ClientOp],
+        _last: bool,
+    ) -> BoxFuture<'a, Result<RoundResult, TxnError>> {
+        Box::pin(async move {
+            let round_started = now();
+            let db = Rc::clone(&self.db);
+            let router = db.config.router;
+            let groups = db.partitioner.split(ops);
+            let mut futures = Vec::new();
+            for (shard_idx, shard_ops) in &groups {
+                let ops: Vec<ClientOp> = shard_ops.iter().map(|op| (*op).clone()).collect();
+                let xid = Xid::new(self.gtrid, *shard_idx);
+                let begin = !self.begun.contains(shard_idx);
+                let engine = Rc::clone(&db.shards[shard_idx].engine);
+                let node = db.shards[shard_idx].node;
+                let net = Rc::clone(&db.net);
+                futures.push(async move {
+                    net.transfer(router, node).await;
+                    let mut local_rows = Vec::new();
+                    let result: Result<(), StorageError> = async {
+                        if begin {
+                            engine.begin(xid)?;
+                        }
+                        DistDb::apply_ops(&engine, xid, &ops, &mut local_rows).await?;
+                        Ok(())
+                    }
+                    .await;
+                    if result.is_err() {
+                        let _ = engine.rollback(xid).await;
+                    }
+                    net.transfer(node, router).await;
+                    (result.is_ok(), local_rows)
+                });
+            }
+            for (shard_idx, _) in &groups {
+                if !self.begun.contains(shard_idx) {
+                    self.begun.push(*shard_idx);
+                }
+            }
+            let results = join_all(futures).await;
+            let mut rows = Vec::new();
+            let mut failed = false;
+            for (ok, local_rows) in results {
+                if ok {
+                    rows.extend(local_rows);
+                } else {
+                    failed = true;
+                }
+            }
+            if failed {
+                self.rollback_shards().await;
+                let outcome = self.conclude(false, Some(AbortReason::ExecutionFailed));
+                return Err(TxnError::aborted(outcome, false));
+            }
+            Ok(RoundResult {
+                rows,
+                latency: now().duration_since(round_started),
+            })
+        })
+    }
+
+    fn commit(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        Box::pin(async move {
+            if self.concluded {
+                // The transaction already failed and was rolled back:
+                // re-report the recorded outcome, never touch the shards.
+                return self.concluded_outcome();
+            }
+            let db = Rc::clone(&self.db);
+            let router = db.config.router;
+            if self.begun.is_empty() {
+                return self.conclude(true, None);
+            }
+            if self.begun.len() == 1 {
+                // Single-shard fast path: one round trip; the apply happens
+                // asynchronously after the response is sent.
+                let shard_idx = self.begun[0];
+                let engine = Rc::clone(&db.shards[&shard_idx].engine);
+                let node = db.shards[&shard_idx].node;
+                let xid = Xid::new(self.gtrid, shard_idx);
+                db.net.transfer(router, node).await;
+                let apply = Rc::clone(&engine);
+                spawn(async move {
+                    let _ = apply.commit(xid, true).await;
+                });
+                db.net.transfer(node, router).await;
+                return self.conclude(true, None);
+            }
+            // Router-driven 2PC over the open shard transactions.
+            let prepare_results = join_all(
+                self.begun
+                    .iter()
+                    .map(|shard_idx| {
+                        let engine = Rc::clone(&db.shards[shard_idx].engine);
+                        let node = db.shards[shard_idx].node;
+                        let net = Rc::clone(&db.net);
+                        let xid = Xid::new(self.gtrid, *shard_idx);
+                        async move {
+                            net.transfer(router, node).await;
+                            let result: Result<(), StorageError> = async {
+                                engine.end(xid)?;
+                                engine.prepare(xid).await?;
+                                Ok(())
+                            }
+                            .await;
+                            net.transfer(node, router).await;
+                            result.is_ok()
+                        }
+                    })
+                    .collect(),
+            )
+            .await;
+            let all_prepared = prepare_results.iter().all(|ok| *ok);
+            let commit = all_prepared;
+            join_all(
+                self.begun
+                    .iter()
+                    .map(|shard_idx| {
+                        let engine = Rc::clone(&db.shards[shard_idx].engine);
+                        let node = db.shards[shard_idx].node;
+                        let net = Rc::clone(&db.net);
+                        let xid = Xid::new(self.gtrid, *shard_idx);
+                        async move {
+                            net.transfer(router, node).await;
+                            if commit {
+                                let _ = engine.commit(xid, false).await;
+                            } else if engine.state_of(xid).is_some() {
+                                let _ = engine.rollback(xid).await;
+                            }
+                            net.transfer(node, router).await;
+                        }
+                    })
+                    .collect(),
+            )
+            .await;
+            if all_prepared {
+                self.conclude(true, None)
+            } else {
+                self.conclude(false, Some(AbortReason::PrepareFailed))
+            }
+        })
+    }
+
+    fn rollback(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        Box::pin(async move {
+            if self.concluded {
+                return self.concluded_outcome();
+            }
+            self.rollback_shards().await;
+            self.conclude(false, Some(AbortReason::ClientRollback))
+        })
+    }
+
+    fn abandon(mut self: Box<Self>) {
+        if self.concluded {
+            return;
+        }
+        // The router notices the dropped client connection and aborts the
+        // open shard transactions in the background.
+        let outcome = self.conclude(false, Some(AbortReason::ClientDisconnected));
+        let _ = outcome;
+        let mut this = self;
+        spawn(async move {
+            this.rollback_shards().await;
+        });
+    }
+
+    fn gtrid(&self) -> u64 {
+        self.gtrid
+    }
+}
+
 /// Cloneable handle implementing the benchmark driver's
 /// [`TransactionService`] interface for the distributed-database baseline.
 #[derive(Clone)]
@@ -421,6 +744,50 @@ mod tests {
                 db.peek(gk(7)).unwrap().int_value(),
                 Some(100 + committed as i64)
             );
+        });
+    }
+
+    #[test]
+    fn interactive_session_runs_rounds_and_commits_2pc() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let db = build();
+            let mut session = SessionService::connect(&db.session_service(), 1);
+            let mut txn = session.begin().await.unwrap();
+            txn.execute(&[ClientOp::add(gk(1), -30)]).await.unwrap();
+            txn.execute(&[ClientOp::add(gk(150), 30)]).await.unwrap();
+            let outcome = txn.commit().await;
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            assert_eq!(db.peek(gk(1)).unwrap().int_value(), Some(70));
+            assert_eq!(db.peek(gk(150)).unwrap().int_value(), Some(130));
+        });
+    }
+
+    /// Regression: `commit` on a transaction whose round already failed (and
+    /// was rolled back) must re-report the abort, not fabricate a commit or
+    /// double-record the outcome.
+    #[test]
+    fn commit_after_failed_round_reports_the_abort() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let db = build();
+            let mut session = SessionService::connect(&db.session_service(), 2);
+            let mut txn = session.begin().await.unwrap();
+            txn.execute(&[ClientOp::add(gk(1), 9)]).await.unwrap();
+            txn.execute(&[ClientOp::Read(gk(50_000))])
+                .await
+                .expect_err("missing key fails the round");
+            let outcome = txn.commit().await;
+            assert!(!outcome.committed, "a rolled-back txn cannot commit later");
+            geotp_simrt::sleep(Duration::from_millis(50)).await;
+            assert_eq!(
+                db.peek(gk(1)).unwrap().int_value(),
+                Some(100),
+                "the rolled-back write must not resurface"
+            );
+            let stats = db.stats();
+            assert_eq!((stats.committed, stats.aborted), (0, 1), "one abort, once");
         });
     }
 

@@ -176,6 +176,97 @@ mod tests {
         }
     }
 
+    /// Every remaining figure experiment under the drift gate (closing the
+    /// ROADMAP CI item): quick on every push, full in the nightly. Only
+    /// tables degenerate at quick scale are exempt from the quick gate —
+    /// currently just Fig. 1, whose quick medium-contention centralized
+    /// column commits nothing (it is gated at full scale below).
+    macro_rules! golden_figure {
+        ($test:ident, $name:literal, $runner:path) => {
+            #[test]
+            fn $test() {
+                let scale = Scale::from_env();
+                let name = match scale {
+                    Scale::Quick => concat!($name, "_quick"),
+                    Scale::Full => concat!($name, "_full"),
+                };
+                let tables = $runner(scale);
+                if let Err(drift) = verify(name, &tables) {
+                    panic!("{drift}");
+                }
+            }
+        };
+    }
+
+    golden_figure!(
+        golden_fig05_scalability,
+        "fig05_scalability",
+        crate::figs_overall::fig05_scalability
+    );
+    golden_figure!(
+        golden_fig07_dist_ratio_ycsb,
+        "fig07_dist_ratio_ycsb",
+        crate::figs_distributed::fig07_dist_ratio_ycsb
+    );
+    golden_figure!(
+        golden_fig08_latency_cdf,
+        "fig08_latency_cdf",
+        crate::figs_distributed::fig08_latency_cdf
+    );
+    golden_figure!(
+        golden_fig09_dist_ratio_tpcc,
+        "fig09_dist_ratio_tpcc",
+        crate::figs_distributed::fig09_dist_ratio_tpcc
+    );
+    golden_figure!(
+        golden_fig10_latency_config,
+        "fig10_latency_config",
+        crate::figs_network::fig10_latency_config
+    );
+    golden_figure!(
+        golden_fig11_random_dynamic,
+        "fig11_random_dynamic",
+        crate::figs_network::fig11_random_dynamic
+    );
+    golden_figure!(
+        golden_fig12_ablation,
+        "fig12_ablation",
+        crate::figs_ablation::fig12_ablation
+    );
+    golden_figure!(
+        golden_fig13_yugabyte,
+        "fig13_yugabyte",
+        crate::figs_overall::fig13_yugabyte
+    );
+    golden_figure!(
+        golden_fig14_txn_length,
+        "fig14_txn_length",
+        crate::figs_ablation::fig14_txn_length
+    );
+    golden_figure!(
+        golden_fig15_multi_dm,
+        "fig15_multi_dm",
+        crate::figs_overall::fig15_multi_dm
+    );
+    golden_figure!(
+        golden_tab01_heterogeneous,
+        "tab01_heterogeneous",
+        crate::figs_overall::tab01_heterogeneous
+    );
+
+    /// Fig. 1 at full scale only: the quick table is degenerate (see above),
+    /// so the per-push job skips it and the nightly holds the gate.
+    #[test]
+    fn golden_fig01_motivation_full_only() {
+        if Scale::from_env() == Scale::Quick {
+            return;
+        }
+        let tables = crate::figs_motivation::fig01_motivation(Scale::Full);
+        if let Err(drift) = verify("fig01_motivation_full", &tables) {
+            panic!("{drift}");
+        }
+    }
+
     /// A tiny committed fixture (`tests/golden/selftest.txt`) matching this
     /// table exactly — lets the perturbation test exercise the full verify
     /// path (file read + diff) without re-running the drill sweep.

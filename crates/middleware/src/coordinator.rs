@@ -26,7 +26,7 @@ use geotp_datasource::{
     DataSource, DsConnection, DsOperation, PrepareVote, StatementOutcome, StatementRequest,
 };
 use geotp_net::{LatencyMonitor, MonitorConfig, Network, NodeId};
-use geotp_simrt::{join_all, now, sleep, spawn};
+use geotp_simrt::{join_all, now, sleep, spawn, SimInstant};
 use geotp_storage::Xid;
 
 use crate::commit_log::{CommitLog, Decision};
@@ -36,6 +36,53 @@ use crate::ops::{ClientOp, GlobalKey, TransactionSpec};
 use crate::parser::{Catalog, SqlParser, TxnControl};
 use crate::router::Partitioner;
 use crate::scheduler::{AdmissionDecision, BranchPlan, GeoScheduler, Schedule, SchedulerConfig};
+use crate::session::TxnError;
+
+/// The server-side state of one live (interactively driven) transaction —
+/// what the session front door's [`crate::session::Txn`] handle points at.
+/// Involvement, peer lists and the latency breakdown grow round by round.
+pub struct LiveTxn {
+    gtrid: u64,
+    session: u64,
+    started: SimInstant,
+    breakdown: LatencyBreakdown,
+    scratch: TxnScratch,
+    distributed: bool,
+    annotated: bool,
+    rounds: usize,
+    concluded: bool,
+    #[cfg(feature = "history")]
+    history: crate::metrics::TxnHistory,
+}
+
+impl LiveTxn {
+    /// The global transaction id.
+    pub fn gtrid(&self) -> u64 {
+        self.gtrid
+    }
+
+    /// Whether the transaction has concluded (committed, rolled back,
+    /// aborted or abandoned).
+    pub fn concluded(&self) -> bool {
+        self.concluded
+    }
+
+    /// Move the transaction's latency origin back to `connected` (the
+    /// instant the client issued `begin`, before the client→middleware hop).
+    pub(crate) fn backdate(&mut self, connected: SimInstant) {
+        self.started = connected;
+    }
+
+    /// Account one client↔middleware hop.
+    pub(crate) fn note_client_rtt(&mut self, hop: Duration) {
+        self.breakdown.client_rtt += hop;
+    }
+
+    /// Account client think time (already slept by the session layer).
+    pub(crate) fn note_think(&mut self, thought: Duration) {
+        self.breakdown.think_time += thought;
+    }
+}
 
 /// The commit protocol / optimization set the coordinator runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +226,10 @@ pub struct MiddlewareConfig {
     /// sources reject everything this instance tries to decide. `0` (the
     /// default) is the unfenced single-coordinator world.
     pub epoch: u64,
+    /// Upper bound on distinct scripts kept in the parsed-SQL plan cache
+    /// (second-chance eviction; hot scripts survive capacity pressure).
+    /// `0` disables the cache.
+    pub sql_cache_capacity: usize,
 }
 
 /// The coordinator that allocated a gtrid (see `Middleware::alloc_gtrid` and
@@ -205,23 +256,98 @@ impl MiddlewareConfig {
             record_history: false,
             first_txn_seq: 1,
             epoch: 0,
+            sql_cache_capacity: SQL_CACHE_MAX,
         }
     }
 }
 
-/// Upper bound on distinct scripts kept in the parsed-statement cache. On
-/// overflow the cache is simply cleared: workload scripts are generated from
-/// small template sets, so refilling is cheap and eviction bookkeeping would
-/// cost more than it saves.
+/// Default upper bound on distinct scripts kept in the parsed-statement
+/// cache (see [`MiddlewareConfig::sql_cache_capacity`]).
 const SQL_CACHE_MAX: usize = 4_096;
 
 /// A cached, fully parsed SQL script: what `run_sql` needs to skip the parser
 /// on repeat executions of the same text.
-enum SqlPlan {
+pub(crate) enum SqlPlan {
     /// The script runs this transaction.
-    Run(TransactionSpec),
+    Run(Rc<TransactionSpec>),
     /// The script ends in ROLLBACK (or contains no operations).
     Rollback,
+}
+
+/// The parsed-SQL plan cache, bounded by cheap second-chance (clock)
+/// eviction. The previous policy wholesale-`clear()`ed a full cache, so a
+/// workload whose distinct-script count hovered just above capacity threw
+/// away its *hot* entries along with the cold ones and thrashed the parser;
+/// the clock gives every entry that was hit since its last inspection one
+/// more pass, so hot scripts survive capacity pressure indefinitely.
+struct SqlPlanCache {
+    capacity: usize,
+    map: FxHashMap<Rc<str>, CachedSqlPlan>,
+    /// Clock order: the front is the next eviction candidate.
+    clock: std::collections::VecDeque<Rc<str>>,
+}
+
+struct CachedSqlPlan {
+    plan: Rc<SqlPlan>,
+    /// Set on every hit, cleared when the clock hand passes over the entry.
+    referenced: bool,
+}
+
+impl SqlPlanCache {
+    fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            map: FxHashMap::default(),
+            clock: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn get(&mut self, script: &str) -> Option<Rc<SqlPlan>> {
+        let slot = self.map.get_mut(script)?;
+        slot.referenced = true;
+        Some(Rc::clone(&slot.plan))
+    }
+
+    fn insert(&mut self, script: &str, plan: Rc<SqlPlan>) {
+        if self.capacity == 0 || self.map.contains_key(script) {
+            return;
+        }
+        // Second chance: advance the clock hand until an unreferenced entry
+        // falls out. Bounded: one full revolution clears every flag, so the
+        // loop inspects at most 2×len entries.
+        while self.map.len() >= self.capacity {
+            let Some(key) = self.clock.pop_front() else {
+                break;
+            };
+            match self.map.get_mut(&*key) {
+                Some(slot) if slot.referenced => {
+                    slot.referenced = false;
+                    self.clock.push_back(key);
+                }
+                Some(_) => {
+                    self.map.remove(&*key);
+                }
+                None => {}
+            }
+        }
+        let key: Rc<str> = Rc::from(script);
+        self.clock.push_back(Rc::clone(&key));
+        self.map.insert(
+            key,
+            CachedSqlPlan {
+                plan,
+                referenced: false,
+            },
+        );
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    fn contains(&self, script: &str) -> bool {
+        self.map.contains_key(script)
+    }
 }
 
 /// Reusable per-transaction working memory. Each in-flight transaction pops
@@ -256,10 +382,24 @@ pub struct Middleware {
     crash_after_flush: Cell<bool>,
     stats: RefCell<MiddlewareStats>,
     catalog: RefCell<Catalog>,
-    /// Parsed-statement cache for [`Middleware::run_sql`], keyed by script text.
-    sql_cache: RefCell<FxHashMap<String, Rc<SqlPlan>>>,
+    /// Parsed-statement cache for [`Middleware::run_sql`], keyed by script
+    /// text, bounded by second-chance eviction.
+    sql_cache: RefCell<SqlPlanCache>,
     /// Pool of reusable per-transaction buffers.
     scratch_pool: RefCell<Vec<TxnScratch>>,
+    /// Per-session front-door state (the session API's server side): which
+    /// sessions are connected and which transaction each has in flight.
+    sessions: RefCell<FxHashMap<u64, SessionState>>,
+}
+
+/// Per-session state the coordinator keeps for the session front door.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionState {
+    /// Transactions begun on this session.
+    pub txns_begun: u64,
+    /// The gtrid of the session's in-flight transaction, if any. Sessions are
+    /// single-statement-stream entities: at most one live transaction each.
+    pub live_gtrid: Option<u64>,
 }
 
 impl Middleware {
@@ -295,6 +435,7 @@ impl Middleware {
         let scheduler = Rc::new(GeoScheduler::new(scheduler_config, Rc::clone(&monitor)));
         let commit_log = commit_log.unwrap_or_else(|| CommitLog::new(config.log_flush_cost));
         let first_txn_seq = config.first_txn_seq;
+        let sql_cache_capacity = config.sql_cache_capacity;
         Rc::new(Self {
             config,
             net,
@@ -308,8 +449,9 @@ impl Middleware {
             crash_after_flush: Cell::new(false),
             stats: RefCell::new(MiddlewareStats::default()),
             catalog: RefCell::new(Catalog::new()),
-            sql_cache: RefCell::new(FxHashMap::default()),
+            sql_cache: RefCell::new(SqlPlanCache::new(sql_cache_capacity)),
             scratch_pool: RefCell::new(Vec::new()),
+            sessions: RefCell::new(FxHashMap::default()),
         })
     }
 
@@ -457,20 +599,7 @@ impl Middleware {
         self: &Rc<Self>,
         script: &str,
     ) -> Result<TxnOutcome, crate::parser::ParseError> {
-        let cached = self.sql_cache.borrow().get(script).cloned();
-        let plan = match cached {
-            Some(plan) => plan,
-            None => {
-                let plan = Rc::new(self.parse_sql_plan(script)?);
-                let mut cache = self.sql_cache.borrow_mut();
-                if cache.len() >= SQL_CACHE_MAX {
-                    cache.clear();
-                }
-                cache.insert(script.to_string(), Rc::clone(&plan));
-                plan
-            }
-        };
-        match &*plan {
+        match &*self.sql_plan(script)? {
             SqlPlan::Rollback => Ok(TxnOutcome::aborted(
                 AbortReason::ClientRollback,
                 Duration::ZERO,
@@ -478,6 +607,52 @@ impl Middleware {
             )),
             SqlPlan::Run(spec) => Ok(self.run_transaction(spec).await),
         }
+    }
+
+    /// Look the script's plan up in the bounded cache, parsing on a miss.
+    pub(crate) fn sql_plan(&self, script: &str) -> Result<Rc<SqlPlan>, crate::parser::ParseError> {
+        if let Some(plan) = self.sql_cache.borrow_mut().get(script) {
+            return Ok(plan);
+        }
+        let plan = Rc::new(self.parse_sql_plan(script)?);
+        self.sql_cache.borrow_mut().insert(script, Rc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The script's plan in the session front door's vocabulary.
+    pub(crate) fn sql_script(
+        &self,
+        script: &str,
+    ) -> Result<crate::session::SqlScript, crate::parser::ParseError> {
+        Ok(match &*self.sql_plan(script)? {
+            SqlPlan::Rollback => crate::session::SqlScript::Rollback,
+            SqlPlan::Run(spec) => crate::session::SqlScript::Run(Rc::clone(spec)),
+        })
+    }
+
+    /// Parse a single SQL statement against the middleware's catalog (the
+    /// session front door's per-statement path).
+    pub(crate) fn parse_statement(
+        &self,
+        statement: &str,
+    ) -> Result<crate::parser::ParsedStatement, crate::parser::ParseError> {
+        let mut catalog = self.catalog.borrow_mut();
+        let mut parser = SqlParser::new();
+        std::mem::swap(parser.catalog_mut(), &mut catalog);
+        let parsed = parser.parse_statement(statement);
+        std::mem::swap(parser.catalog_mut(), &mut catalog);
+        parsed
+    }
+
+    /// Number of scripts currently in the parsed-SQL plan cache.
+    pub fn sql_cache_len(&self) -> usize {
+        self.sql_cache.borrow().len()
+    }
+
+    /// Whether the script's parsed plan is currently cached (diagnostics and
+    /// eviction-policy tests).
+    pub fn sql_cache_contains(&self, script: &str) -> bool {
+        self.sql_cache.borrow().contains(script)
     }
 
     /// Parse a SQL script into its executable plan (the slow path behind the
@@ -518,7 +693,7 @@ impl Middleware {
         }
         let mut spec = TransactionSpec::multi_round(rounds);
         spec.annotate_last = annotate_last || spec.rounds.len() == 1;
-        Ok(SqlPlan::Run(spec))
+        Ok(SqlPlan::Run(Rc::new(spec)))
     }
 
     /// Bookkeeping common to every transaction exit path.
@@ -729,7 +904,13 @@ impl Middleware {
 
             if failed {
                 breakdown.execution = now().duration_since(exec_started);
-                self.abort_started_branches(gtrid, &scratch.started_branches, &groups, &responses)
+                let failed_here: Vec<u32> = groups
+                    .iter()
+                    .zip(&responses)
+                    .filter(|(_, r)| !r.outcome.is_ok())
+                    .map(|((ds, _), _)| *ds)
+                    .collect();
+                self.abort_started_branches(gtrid, &scratch.started_branches, &failed_here)
                     .await;
                 let outcome = TxnOutcome {
                     gtrid,
@@ -857,22 +1038,10 @@ impl Middleware {
         responses.into_iter().map(|r| r.expect("filled")).collect()
     }
 
-    /// Abort path after an execution failure.
-    async fn abort_started_branches(
-        &self,
-        gtrid: u64,
-        started: &[u32],
-        groups: &[(u32, Vec<&ClientOp>)],
-        responses: &[geotp_datasource::StatementResponse],
-    ) {
-        // Branches whose statement failed have already been rolled back by
-        // their geo-agent.
-        let failed_here: Vec<u32> = groups
-            .iter()
-            .zip(responses)
-            .filter(|(_, r)| !r.outcome.is_ok())
-            .map(|((ds, _), _)| *ds)
-            .collect();
+    /// Abort path after an execution failure. `failed_here` names the
+    /// branches whose own statement failed — those have already been rolled
+    /// back by their geo-agent.
+    async fn abort_started_branches(&self, gtrid: u64, started: &[u32], failed_here: &[u32]) {
         if self.config.protocol.early_abort() {
             // The failing geo-agent has notified its peers directly; the
             // middleware only waits for the rollback confirmations. Bounded
@@ -1187,6 +1356,461 @@ impl Middleware {
             }
         }
         (committed, aborted)
+    }
+
+    // ------------------------------------------------------------------
+    // Session front door: per-session registry + live transactions.
+    //
+    // The interactive path genuinely differs from the one-shot
+    // `run_transaction` spec path: involvement, peer lists and the
+    // decentralized-prepare trigger are computed *incrementally*, because an
+    // interactive coordinator cannot see the future rounds of a live
+    // session. Branches whose last touching round is over prepare only when
+    // the client annotates a later round (or at commit, classically) — the
+    // one-shot path's per-branch `is_last` oracle is exactly the knowledge a
+    // real interactive middleware does not have.
+    // ------------------------------------------------------------------
+
+    /// Register a session (idempotent). Called by the session front door on
+    /// `connect`.
+    pub fn register_session(&self, session: u64) {
+        self.sessions.borrow_mut().entry(session).or_default();
+    }
+
+    /// This session's front-door state, if it ever connected.
+    pub fn session_state(&self, session: u64) -> Option<SessionState> {
+        self.sessions.borrow().get(&session).copied()
+    }
+
+    /// Number of sessions that have connected to this coordinator.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.borrow().len()
+    }
+
+    /// Number of live (in-flight) session transactions.
+    pub fn live_transactions(&self) -> usize {
+        self.sessions
+            .borrow()
+            .values()
+            .filter(|s| s.live_gtrid.is_some())
+            .count()
+    }
+
+    fn note_txn_begin(&self, session: u64, gtrid: u64) {
+        let mut sessions = self.sessions.borrow_mut();
+        let state = sessions.entry(session).or_default();
+        state.txns_begun += 1;
+        state.live_gtrid = Some(gtrid);
+    }
+
+    fn note_txn_end(&self, session: u64, gtrid: u64) {
+        if let Some(state) = self.sessions.borrow_mut().get_mut(&session) {
+            if state.live_gtrid == Some(gtrid) {
+                state.live_gtrid = None;
+            }
+        }
+    }
+
+    /// Begin a live transaction for `session`: the analysis slice is charged
+    /// here (parse/route/plan happens as the statement stream arrives), a
+    /// gtrid is allocated and the coordinator starts tracking the
+    /// transaction. Fails with a retryable refusal on a crashed coordinator.
+    pub(crate) async fn begin_live(self: &Rc<Self>, session: u64) -> Result<LiveTxn, TxnError> {
+        if self.crashed.get() {
+            return Err(TxnError::refused());
+        }
+        let started = now();
+        sleep(self.config.analysis_cost).await;
+        let breakdown = LatencyBreakdown {
+            analysis: self.config.analysis_cost,
+            ..LatencyBreakdown::default()
+        };
+        let gtrid = self.alloc_gtrid();
+        self.hub.register(gtrid);
+        self.note_txn_begin(session, gtrid);
+        let mut scratch = self.take_scratch();
+        scratch.keys.clear();
+        scratch.involved.clear();
+        scratch.started_branches.clear();
+        Ok(LiveTxn {
+            gtrid,
+            session,
+            started,
+            breakdown,
+            scratch,
+            distributed: false,
+            annotated: false,
+            rounds: 0,
+            concluded: false,
+            #[cfg(feature = "history")]
+            history: crate::metrics::TxnHistory::default(),
+        })
+    }
+
+    /// Execute one statement round of a live transaction. `last` is the
+    /// client's `/*+ last */` annotation: with a decentralized-prepare
+    /// protocol it triggers the implicit prepare on every started branch —
+    /// the round's participants prepare when their statement finishes, and
+    /// branches whose last statement is already behind them get an empty
+    /// end-of-branch trigger dispatched concurrently with the round.
+    pub(crate) async fn execute_live(
+        self: &Rc<Self>,
+        txn: &mut LiveTxn,
+        ops: &[ClientOp],
+        last: bool,
+    ) -> Result<Vec<geotp_storage::Row>, TxnError> {
+        debug_assert!(!txn.concluded, "round on a concluded transaction");
+        if self.crashed.get() {
+            return Err(self.conclude_crashed(txn));
+        }
+        let round_started = now();
+        let advanced = self.config.protocol.advanced();
+        let round_idx = txn.rounds;
+        txn.rounds += 1;
+
+        // Merge this round's keys into the transaction's accumulated key set
+        // and recompute the involvement (interactive transactions grow their
+        // footprint one round at a time).
+        let mut fresh_keys: Vec<GlobalKey> = Vec::new();
+        for op in ops {
+            let key = op.key();
+            if !txn.scratch.keys.contains(&key) {
+                txn.scratch.keys.push(key);
+                fresh_keys.push(key);
+            }
+            #[cfg(feature = "history")]
+            if self.config.record_history {
+                let set = match op {
+                    ClientOp::Read(_) | ClientOp::ReadForUpdate(_) => &mut txn.history.reads,
+                    _ => &mut txn.history.writes,
+                };
+                set.push(key);
+            }
+        }
+        self.config
+            .partitioner
+            .involved_nodes_into(&txn.scratch.keys, &mut txn.scratch.involved);
+        txn.distributed = txn.scratch.involved.len() > 1;
+        if advanced && !fresh_keys.is_empty() {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_access_start(&fresh_keys);
+        }
+
+        let mut groups = self.config.partitioner.split(ops);
+        if matches!(self.config.protocol, Protocol::Quro) {
+            for (_, ops) in groups.iter_mut() {
+                ops.sort_by_key(|op| op.is_write());
+            }
+        }
+        let plans: Vec<BranchPlan> = groups
+            .iter()
+            .map(|(ds, ops)| BranchPlan {
+                ds_index: *ds,
+                keys: ops.iter().map(|op| op.key()).collect(),
+            })
+            .collect();
+        let schedule = if matches!(self.config.protocol, Protocol::GeoTp { .. }) {
+            if advanced && round_idx == 0 {
+                match self.scheduler.schedule_with_admission(&plans) {
+                    AdmissionDecision::Admit(schedule) => schedule,
+                    AdmissionDecision::Reject { attempts } => {
+                        let backoff = self.config.scheduler.retry_backoff * attempts;
+                        sleep(backoff).await;
+                        let mut outcome = TxnOutcome::aborted(
+                            AbortReason::AdmissionRejected,
+                            now().duration_since(txn.started),
+                            txn.distributed,
+                        );
+                        outcome.gtrid = txn.gtrid;
+                        let outcome = self.finish_live(txn, outcome);
+                        return Err(TxnError::aborted(outcome, false));
+                    }
+                }
+            } else {
+                self.scheduler.schedule(&plans)
+            }
+        } else {
+            Schedule {
+                postpone: vec![Duration::ZERO; plans.len()],
+                horizon: Duration::ZERO,
+            }
+        };
+        self.stats.borrow_mut().total_postpone_micros += schedule
+            .postpone
+            .iter()
+            .map(|d| d.as_micros() as u64)
+            .sum::<u64>();
+
+        let decentralized = self.config.protocol.decentralized_prepare() && last;
+        let mut requests = Vec::with_capacity(groups.len());
+        for (ds, ops) in &groups {
+            requests.push(StatementRequest {
+                xid: Xid::new(txn.gtrid, *ds),
+                begin: !txn.scratch.started_branches.contains(ds),
+                ops: ops.iter().map(|op| Self::to_ds_op(op)).collect(),
+                is_last: decentralized,
+                decentralized_prepare: decentralized,
+                early_abort: self.config.protocol.early_abort() && txn.distributed,
+                peers: if txn.distributed {
+                    txn.scratch
+                        .involved
+                        .iter()
+                        .copied()
+                        .filter(|p| p != ds)
+                        .collect()
+                } else {
+                    Vec::new()
+                },
+            });
+        }
+        for (ds, _) in &groups {
+            if !txn.scratch.started_branches.contains(ds) {
+                txn.scratch.started_branches.push(*ds);
+            }
+        }
+
+        // The `/*+ last */` round triggers the decentralized prepare on every
+        // started branch. Branches not participating in this round get an
+        // empty end-of-branch statement, dispatched concurrently with the
+        // round itself (their prepare overlaps the round's execution — the
+        // interactive shape of the paper's O1).
+        if decentralized {
+            for ds in txn.scratch.started_branches.clone() {
+                if groups.iter().any(|(g, _)| *g == ds) {
+                    continue;
+                }
+                let conn = self.conn(ds).clone();
+                let request = StatementRequest {
+                    xid: Xid::new(txn.gtrid, ds),
+                    begin: false,
+                    ops: Vec::new(),
+                    is_last: true,
+                    decentralized_prepare: true,
+                    early_abort: self.config.protocol.early_abort() && txn.distributed,
+                    peers: txn
+                        .scratch
+                        .involved
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != ds)
+                        .collect(),
+                };
+                spawn(async move {
+                    let _ = conn.execute(request).await;
+                });
+            }
+            txn.annotated = true;
+        }
+
+        let mut responses = match self.config.protocol {
+            Protocol::Chiller if groups.len() > 1 => self.dispatch_chiller(&groups, requests).await,
+            _ => self.dispatch_parallel(&groups, requests, &schedule).await,
+        };
+
+        if self.crashed.get() {
+            // Crashed while the round was in flight: no rollbacks are
+            // dispatched (a dead process sends nothing); disconnect handling
+            // and recovery clean the branches up.
+            return Err(self.conclude_crashed(txn));
+        }
+
+        let mut failed_here = Vec::new();
+        for ((ds, ops), response) in groups.iter().zip(&responses) {
+            if advanced {
+                txn.scratch.branch_keys.clear();
+                txn.scratch
+                    .branch_keys
+                    .extend(ops.iter().map(|op| op.key()));
+                self.scheduler
+                    .footprint()
+                    .borrow_mut()
+                    .on_subtxn_feedback(&txn.scratch.branch_keys, response.local_execution_latency);
+            }
+            if !response.outcome.is_ok() {
+                failed_here.push(*ds);
+            }
+        }
+
+        if !failed_here.is_empty() {
+            txn.breakdown.execution += now().duration_since(round_started);
+            let started_branches = txn.scratch.started_branches.clone();
+            self.abort_started_branches(txn.gtrid, &started_branches, &failed_here)
+                .await;
+            let mut outcome = TxnOutcome::aborted(
+                AbortReason::ExecutionFailed,
+                now().duration_since(txn.started),
+                txn.distributed,
+            );
+            outcome.gtrid = txn.gtrid;
+            outcome.breakdown = txn.breakdown;
+            let outcome = self.finish_live(txn, outcome);
+            return Err(TxnError::aborted(outcome, false));
+        }
+
+        let mut rows = Vec::new();
+        for response in &mut responses {
+            if let StatementOutcome::Ok { rows: r } = &mut response.outcome {
+                rows.append(r);
+            }
+        }
+        txn.breakdown.execution += now().duration_since(round_started);
+        Ok(rows)
+    }
+
+    /// Commit a live transaction: with a decentralized-prepare protocol and
+    /// an annotated last round the coordinator only waits for the pushed
+    /// votes; otherwise it drives the classic explicit prepare round.
+    pub(crate) async fn commit_live(self: &Rc<Self>, txn: &mut LiveTxn) -> TxnOutcome {
+        debug_assert!(!txn.concluded, "commit on a concluded transaction");
+        if self.crashed.get() {
+            return self.conclude_crashed(txn).outcome;
+        }
+        if txn.scratch.involved.is_empty() {
+            // An empty transaction commits trivially — nothing was decided.
+            let mut outcome = TxnOutcome {
+                gtrid: txn.gtrid,
+                committed: true,
+                latency: now().duration_since(txn.started),
+                distributed: false,
+                ..TxnOutcome::default()
+            };
+            outcome.breakdown = txn.breakdown;
+            return self.finish_live(txn, outcome);
+        }
+        let involved = txn.scratch.involved.clone();
+        let commit_outcome = self
+            .commit_phase(
+                txn.gtrid,
+                &involved,
+                txn.distributed,
+                txn.annotated,
+                &mut txn.breakdown,
+            )
+            .await;
+        let outcome = TxnOutcome {
+            gtrid: txn.gtrid,
+            committed: commit_outcome.is_ok(),
+            abort_reason: commit_outcome.err(),
+            latency: now().duration_since(txn.started),
+            breakdown: txn.breakdown,
+            distributed: txn.distributed,
+            ..TxnOutcome::default()
+        };
+        self.finish_live(txn, outcome)
+    }
+
+    /// Roll a live transaction back at the client's request.
+    pub(crate) async fn rollback_live(self: &Rc<Self>, txn: &mut LiveTxn) -> TxnOutcome {
+        debug_assert!(!txn.concluded, "rollback on a concluded transaction");
+        if self.crashed.get() {
+            return self.conclude_crashed(txn).outcome;
+        }
+        let rollback_started = now();
+        let started = txn.scratch.started_branches.clone();
+        join_all(
+            started
+                .iter()
+                .map(|ds| {
+                    let conn = self.conn(*ds).clone();
+                    let xid = Xid::new(txn.gtrid, *ds);
+                    async move {
+                        let _ = conn.rollback(xid).await;
+                    }
+                })
+                .collect(),
+        )
+        .await;
+        txn.breakdown.commit += now().duration_since(rollback_started);
+        let mut outcome = TxnOutcome::aborted(
+            AbortReason::ClientRollback,
+            now().duration_since(txn.started),
+            txn.distributed,
+        );
+        outcome.gtrid = txn.gtrid;
+        outcome.breakdown = txn.breakdown;
+        self.finish_live(txn, outcome)
+    }
+
+    /// The client's connection dropped mid-transaction: conclude the
+    /// bookkeeping immediately and roll the orphaned branches back in the
+    /// background (the middleware's TCP-reset handling; nobody is waiting
+    /// for the result). A crashed coordinator dispatches nothing — its
+    /// branches die via disconnect handling and recovery, as always.
+    pub(crate) fn abandon_live(self: &Rc<Self>, mut txn: LiveTxn) {
+        if txn.concluded {
+            return;
+        }
+        let mut outcome = TxnOutcome::aborted(
+            AbortReason::ClientDisconnected,
+            now().duration_since(txn.started),
+            txn.distributed,
+        );
+        outcome.gtrid = txn.gtrid;
+        outcome.breakdown = txn.breakdown;
+        let gtrid = txn.gtrid;
+        let cleanup: Vec<(DsConnection, Xid)> = txn
+            .scratch
+            .started_branches
+            .iter()
+            .map(|ds| (self.conn(*ds).clone(), Xid::new(gtrid, *ds)))
+            .collect();
+        let _ = self.finish_live(&mut txn, outcome);
+        if !cleanup.is_empty() && !self.crashed.get() {
+            spawn(async move {
+                join_all(
+                    cleanup
+                        .into_iter()
+                        .map(|(conn, xid)| async move {
+                            let _ = conn.rollback(xid).await;
+                        })
+                        .collect(),
+                )
+                .await;
+            });
+        }
+    }
+
+    /// Conclude a live transaction whose coordinator crashed under it.
+    fn conclude_crashed(&self, txn: &mut LiveTxn) -> TxnError {
+        let mut outcome = TxnOutcome::aborted(
+            AbortReason::CoordinatorCrashed,
+            now().duration_since(txn.started),
+            txn.distributed,
+        );
+        outcome.gtrid = txn.gtrid;
+        outcome.breakdown = txn.breakdown;
+        let outcome = self.finish_live(txn, outcome);
+        TxnError::aborted(outcome, true)
+    }
+
+    /// Bookkeeping common to every live-transaction exit path (the live
+    /// analogue of [`Middleware::finish_txn`]).
+    #[cfg_attr(not(feature = "history"), allow(unused_mut))]
+    fn finish_live(&self, txn: &mut LiveTxn, mut outcome: TxnOutcome) -> TxnOutcome {
+        debug_assert!(!txn.concluded);
+        txn.concluded = true;
+        self.hub.unregister(txn.gtrid);
+        if self.config.protocol.advanced() {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_txn_finish(&txn.scratch.keys, outcome.committed);
+        }
+        #[cfg(feature = "history")]
+        if self.config.record_history && outcome.gtrid != 0 {
+            let mut history = std::mem::take(&mut txn.history);
+            history.reads.sort();
+            history.reads.dedup();
+            history.writes.sort();
+            history.writes.dedup();
+            outcome.history = history;
+        }
+        self.stats.borrow_mut().record(&outcome);
+        self.note_txn_end(txn.session, txn.gtrid);
+        self.return_scratch(std::mem::take(&mut txn.scratch));
+        outcome
     }
 
     /// Spawn a background task running `count` transactions from an async

@@ -25,16 +25,21 @@ pub mod ops;
 pub mod parser;
 pub mod router;
 pub mod scheduler;
+pub mod session;
 
 pub use avl::{AvlHandle, AvlMap};
 pub use commit_log::{CommitLog, Decision, Fenced};
-pub use coordinator::{gtrid_owner, Middleware, MiddlewareConfig, Protocol};
+pub use coordinator::{gtrid_owner, Middleware, MiddlewareConfig, Protocol, SessionState};
 pub use hotspot::{HotRecordStats, HotspotConfig, HotspotFootprint};
 pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnHistory, TxnOutcome};
 pub use ops::{ClientOp, GlobalKey, TransactionSpec};
 pub use parser::{Catalog, ParseError, ParsedStatement, Rewriter, SqlParser, TxnControl};
 pub use router::Partitioner;
 pub use scheduler::{AdmissionDecision, BranchPlan, GeoScheduler, Schedule, SchedulerConfig};
+pub use session::{
+    MiddlewareSessionService, RoundResult, Session, SessionLink, SessionService, SqlScript, Txn,
+    TxnError, TxnHandle,
+};
 
 #[cfg(test)]
 mod tests {
@@ -677,6 +682,291 @@ mod tests {
                     Some(1000)
                 );
             }
+        });
+    }
+
+    #[test]
+    fn session_replay_matches_one_shot_latency_and_effects() {
+        // The spec-replay adapter drives the live path; with a co-located
+        // client it must cost exactly what the one-shot front door costs.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, _sources, oneshot_mw) = cluster(Protocol::geotp());
+            let oneshot = oneshot_mw.run_transaction(&transfer_spec()).await;
+
+            let (_net2, sources2, session_mw) = cluster(Protocol::geotp());
+            let mut session = session::SessionService::connect(&session_mw, 7);
+            let outcome = session.run_spec(&transfer_spec()).await;
+            assert!(outcome.committed);
+            assert_eq!(
+                outcome.latency, oneshot.latency,
+                "co-located session replay is free"
+            );
+            assert_eq!(outcome.breakdown.prepare_wait, Duration::ZERO);
+            assert_eq!(outcome.breakdown.client_rtt, Duration::ZERO);
+            assert_eq!(
+                sources2[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(900)
+            );
+            let state = session_mw.session_state(7).unwrap();
+            assert_eq!(state.txns_begun, 1);
+            assert_eq!(state.live_gtrid, None, "the transaction concluded");
+            assert_eq!(session_mw.active_sessions(), 1);
+        });
+    }
+
+    #[test]
+    fn interactive_multi_round_txn_commits_through_live_handles() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            let mut session = session::SessionService::connect(&mw, 1);
+            let mut txn = session.begin().await.unwrap();
+            assert!(txn.gtrid() != 0);
+            assert_eq!(mw.live_transactions(), 1);
+            // Round 1: debit on the fast source; the branch stays open (and
+            // locked) while the client decides what to do next.
+            let r1 = txn.execute(&[ClientOp::add(gk(1), -100)]).await.unwrap();
+            assert_eq!(r1.rows.len(), 1);
+            txn.think(Duration::from_millis(25)).await;
+            // Round 2, annotated: credit on the slow source; the fast branch
+            // gets its end-of-branch prepare trigger concurrently.
+            let r2 = txn
+                .execute_last(&[ClientOp::add(gk(1001), 100)])
+                .await
+                .unwrap();
+            assert_eq!(r2.rows.len(), 1);
+            let outcome = txn.commit().await;
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            assert_eq!(outcome.breakdown.think_time, Duration::from_millis(25));
+            // Decentralized prepare ran on both branches — no explicit
+            // prepare round trip.
+            assert_eq!(sources[0].stats().decentralized_prepares, 1);
+            assert_eq!(sources[1].stats().decentralized_prepares, 1);
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(900)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1100)
+            );
+            assert_eq!(mw.live_transactions(), 0);
+        });
+    }
+
+    #[test]
+    fn per_statement_client_rtt_lands_in_the_breakdown() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let dm = NodeId::middleware(0);
+            let client = NodeId::client(0);
+            let ds0 = NodeId::data_source(0);
+            let ds1 = NodeId::data_source(1);
+            let net = NetworkBuilder::new(7)
+                .default_lan_rtt(Duration::ZERO)
+                .static_link(client, dm, Duration::from_millis(20))
+                .static_link(dm, ds0, Duration::from_millis(10))
+                .static_link(dm, ds1, Duration::from_millis(100))
+                .static_link(ds0, ds1, Duration::from_millis(100))
+                .build();
+            let mut sources = Vec::new();
+            for node in [ds0, ds1] {
+                let mut cfg = DataSourceConfig::new(node);
+                cfg.agent_lan_rtt = Duration::ZERO;
+                cfg.engine = EngineConfig {
+                    lock_wait_timeout: Duration::from_secs(5),
+                    cost: CostModel::zero(),
+                    record_history: false,
+                };
+                let ds = DataSource::new(cfg, Rc::clone(&net));
+                for row in 0..ROWS_PER_NODE {
+                    let global = node.index() as u64 * ROWS_PER_NODE + row;
+                    ds.load(gk(global).storage_key(), Row::int(1000));
+                }
+                sources.push(ds);
+            }
+            for a in &sources {
+                for b in &sources {
+                    if a.index() != b.index() {
+                        a.register_peer(b);
+                    }
+                }
+            }
+            let mut cfg = MiddlewareConfig::new(
+                dm,
+                Protocol::geotp(),
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            let mw = Middleware::connect(cfg, Rc::clone(&net), &sources, None);
+
+            let mut session = session::SessionService::connect(&mw.session_service_from(client), 3);
+            let outcome = session.run_spec(&transfer_spec()).await;
+            assert!(outcome.committed);
+            // One 20 ms client round trip each for begin, the single round
+            // and commit, on top of the middleware's 200 ms.
+            assert_eq!(outcome.breakdown.client_rtt, Duration::from_millis(60));
+            assert_eq!(outcome.latency, Duration::from_millis(260));
+        });
+    }
+
+    #[test]
+    fn abandoned_txn_is_rolled_back_and_locks_released() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            let mut session = session::SessionService::connect(&mw, 9);
+            let mut txn = session.begin().await.unwrap();
+            txn.execute(&[ClientOp::add(gk(1), -500)]).await.unwrap();
+            // The client crashes mid-transaction: drop without conclusion.
+            txn.abandon();
+            // The middleware's connection-loss cleanup rolls the branch back.
+            geotp_simrt::sleep(Duration::from_millis(50)).await;
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1000),
+                "the abandoned write must be undone"
+            );
+            // The lock is free again: a conflicting transaction commits.
+            let outcome = mw
+                .run_transaction(&TransactionSpec::single_round(vec![ClientOp::add(
+                    gk(1),
+                    7,
+                )]))
+                .await;
+            assert!(outcome.committed);
+            let stats = mw.stats();
+            assert_eq!(stats.aborted, 1, "the abandoned txn is booked as aborted");
+            assert_eq!(mw.live_transactions(), 0);
+        });
+    }
+
+    #[test]
+    fn session_rollback_undoes_nothing_and_reports_client_rollback() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            let mut session = session::SessionService::connect(&mw, 4);
+            let mut txn = session.begin().await.unwrap();
+            txn.execute(&[ClientOp::add(gk(2), 999)]).await.unwrap();
+            let outcome = txn.rollback().await;
+            assert!(!outcome.committed);
+            assert_eq!(outcome.abort_reason, Some(AbortReason::ClientRollback));
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(2).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1000)
+            );
+        });
+    }
+
+    #[test]
+    fn session_sql_front_door_runs_scripts_and_statements() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = cluster(Protocol::geotp());
+            let mut session = session::SessionService::connect(&mw, 5);
+            // Whole-script path (parsed through the shared plan cache).
+            let outcome = session
+                .run_sql(
+                    "BEGIN; \
+                     UPDATE usertable SET bal = bal - 50 WHERE id = 1; \
+                     UPDATE usertable SET bal = bal + 50 WHERE id = 1001 /*+ last */; \
+                     COMMIT;",
+                )
+                .await
+                .unwrap();
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            // Per-statement path with the /*+ last */ annotation.
+            let mut txn = session.begin().await.unwrap();
+            txn.execute_sql("UPDATE usertable SET bal = bal - 1 WHERE id = 1")
+                .await
+                .unwrap();
+            txn.execute_sql("UPDATE usertable SET bal = bal + 1 WHERE id = 1001 /*+ last */")
+                .await
+                .unwrap();
+            let outcome = txn.commit().await;
+            assert!(outcome.committed);
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(949)
+            );
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(1001).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1051)
+            );
+        });
+    }
+
+    #[test]
+    fn sql_plan_cache_keeps_hot_entries_under_capacity_pressure() {
+        // Regression test for the wholesale-clear policy: a hot script must
+        // survive a stream of one-shot scripts overflowing the cache.
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (net, sources, _) = cluster(Protocol::geotp());
+            let mut cfg = MiddlewareConfig::new(
+                NodeId::middleware(0),
+                Protocol::geotp(),
+                Partitioner::Range {
+                    rows_per_node: ROWS_PER_NODE,
+                    nodes: 2,
+                },
+            );
+            cfg.analysis_cost = Duration::ZERO;
+            cfg.log_flush_cost = Duration::ZERO;
+            cfg.sql_cache_capacity = 4;
+            let mw = Middleware::connect(cfg, net, &sources, None);
+            let hot = "BEGIN; UPDATE usertable SET bal = bal + 1 WHERE id = 1 /*+ last */; COMMIT;";
+            assert!(mw.run_sql(hot).await.unwrap().committed);
+            for i in 0..16u64 {
+                // Touch the hot script between fillers, as a workload would.
+                assert!(mw.run_sql(hot).await.unwrap().committed);
+                let filler = format!(
+                    "BEGIN; UPDATE usertable SET bal = bal + 1 WHERE id = {} /*+ last */; COMMIT;",
+                    100 + i
+                );
+                assert!(mw.run_sql(&filler).await.unwrap().committed);
+            }
+            assert!(mw.sql_cache_len() <= 4, "cache stays bounded");
+            assert!(
+                mw.sql_cache_contains(hot),
+                "the hot script must survive capacity pressure (second chance)"
+            );
         });
     }
 

@@ -23,6 +23,12 @@ pub enum AbortReason {
     /// decision was durable before the fence); its branches are finished by
     /// the adopting peer's recovery.
     CoordinatorFenced,
+    /// The client's connection dropped mid-transaction (a crashed or
+    /// abandoned session). The middleware noticed the disconnect and rolled
+    /// the in-flight branches back, like a real proxy reacting to a TCP
+    /// reset. The client, having vanished, never sees this outcome — it
+    /// exists for the coordinator's own bookkeeping.
+    ClientDisconnected,
 }
 
 /// Where a committed transaction's latency went. The fields mirror the
@@ -42,6 +48,15 @@ pub struct LatencyBreakdown {
     pub log_flush: Duration,
     /// Dispatching the final decision and collecting acknowledgements.
     pub commit: Duration,
+    /// Client↔middleware network hops (session front door only: one
+    /// round trip per statement round, plus the begin and commit hops).
+    /// Zero for co-located clients and for the one-shot spec path, which
+    /// never models the client link.
+    pub client_rtt: Duration,
+    /// Client think time between statement rounds (interactive sessions
+    /// only). Part of the end-to-end latency a terminal observes, but not of
+    /// the middleware's service time.
+    pub think_time: Duration,
 }
 
 impl LatencyBreakdown {
@@ -53,6 +68,8 @@ impl LatencyBreakdown {
             + self.prepare_wait
             + self.log_flush
             + self.commit
+            + self.client_rtt
+            + self.think_time
     }
 }
 
@@ -125,6 +142,15 @@ impl TxnOutcome {
             distributed,
             ..Self::default()
         }
+    }
+
+    /// Whether this outcome is a *refused connection*: no transaction ever
+    /// started (`gtrid == 0`) because no live coordinator accepted the
+    /// session's `begin`. Drivers and harnesses retry these with a backoff
+    /// and keep them out of per-transaction ledgers — this is the single
+    /// definition every caller should use.
+    pub fn is_refusal(&self) -> bool {
+        self.gtrid == 0 && self.abort_reason == Some(AbortReason::CoordinatorCrashed)
     }
 }
 
@@ -210,7 +236,9 @@ mod tests {
             execution: Duration::from_millis(70),
             prepare_wait: Duration::from_millis(3),
             log_flush: Duration::from_millis(1),
-            commit: Duration::from_millis(73),
+            commit: Duration::from_millis(63),
+            client_rtt: Duration::from_millis(6),
+            think_time: Duration::from_millis(4),
         };
         assert_eq!(b.total(), Duration::from_millis(150));
     }

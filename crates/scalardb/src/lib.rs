@@ -381,6 +381,380 @@ impl WriteIntent {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Session front door (the interactive client API).
+//
+// ScalarDB's architecture is genuinely interactive-friendly: concurrency
+// control lives at the coordinator, so a live transaction acquires
+// coordinator-side locks and fetches reads round by round, buffering writes;
+// only `commit` touches the stores with the Consensus-Commit write path.
+// ---------------------------------------------------------------------------
+
+use geotp_middleware::session::{
+    BoxFuture, RoundResult, Session, SessionLink, SessionService, TxnError, TxnHandle,
+};
+
+impl ScalarDbCluster {
+    /// The session front door for this coordinator.
+    pub fn session_service(self: &Rc<Self>) -> ScalarDbService {
+        ScalarDbService(Rc::clone(self))
+    }
+
+    fn record_outcome(
+        &self,
+        gtrid: u64,
+        started: geotp_simrt::SimInstant,
+        keys: &[geotp_middleware::GlobalKey],
+        distributed: bool,
+        committed: bool,
+        reason: Option<AbortReason>,
+    ) -> TxnOutcome {
+        if self.config.advanced {
+            self.scheduler
+                .footprint()
+                .borrow_mut()
+                .on_txn_finish(keys, committed);
+        }
+        let outcome = TxnOutcome {
+            gtrid,
+            committed,
+            abort_reason: reason,
+            latency: now().duration_since(started),
+            breakdown: LatencyBreakdown::default(),
+            distributed,
+            ..TxnOutcome::default()
+        };
+        self.stats.borrow_mut().record(&outcome);
+        outcome
+    }
+}
+
+impl SessionService for ScalarDbService {
+    fn connect(&self, session_id: u64) -> Session {
+        Session::from_link(
+            session_id,
+            TransactionService::label(self),
+            Box::new(ScalarDbLink(Rc::clone(&self.0))),
+        )
+    }
+
+    fn label(&self) -> String {
+        TransactionService::label(self)
+    }
+}
+
+struct ScalarDbLink(Rc<ScalarDbCluster>);
+
+impl SessionLink for ScalarDbLink {
+    fn begin<'a>(&'a mut self) -> BoxFuture<'a, Result<Box<dyn TxnHandle>, TxnError>> {
+        let cluster = Rc::clone(&self.0);
+        Box::pin(async move {
+            let started = now();
+            let gtrid = cluster.next_txn.get();
+            cluster.next_txn.set(gtrid + 1);
+            // Coordinator-side validation happens as the statement stream
+            // arrives; charge it up front like the one-shot path does.
+            sleep(cluster.config.validation_cost).await;
+            Ok(Box::new(ScalarDbTxn {
+                cluster,
+                gtrid,
+                xid: geotp_storage::Xid::new(gtrid, 0),
+                started,
+                keys: Vec::new(),
+                involved: Vec::new(),
+                write_buffer: Vec::new(),
+                rounds: 0,
+                concluded: false,
+                failed: None,
+            }) as Box<dyn TxnHandle>)
+        })
+    }
+}
+
+struct ScalarDbTxn {
+    cluster: Rc<ScalarDbCluster>,
+    gtrid: u64,
+    xid: geotp_storage::Xid,
+    started: geotp_simrt::SimInstant,
+    keys: Vec<geotp_middleware::GlobalKey>,
+    involved: Vec<u32>,
+    write_buffer: Vec<(u32, Key, WriteIntent)>,
+    rounds: usize,
+    concluded: bool,
+    /// The aborted outcome of a transaction that already failed: repeated
+    /// commit/rollback on the handle re-report it instead of re-running the
+    /// (lock-free by then!) write path or double-recording stats.
+    failed: Option<TxnOutcome>,
+}
+
+impl ScalarDbTxn {
+    fn distributed(&self) -> bool {
+        self.involved.len() > 1
+    }
+
+    fn fail(&mut self, reason: AbortReason) -> TxnError {
+        self.concluded = true;
+        self.cluster.locks.release_all(self.xid);
+        let outcome = self.cluster.record_outcome(
+            self.gtrid,
+            self.started,
+            &self.keys,
+            self.distributed(),
+            false,
+            Some(reason),
+        );
+        self.failed = Some(outcome.clone());
+        TxnError::aborted(outcome, false)
+    }
+
+    /// The outcome to re-report once the transaction has concluded.
+    fn concluded_outcome(&self) -> TxnOutcome {
+        self.failed.clone().unwrap_or_else(|| {
+            TxnOutcome::aborted(AbortReason::ExecutionFailed, Duration::ZERO, false)
+        })
+    }
+}
+
+impl TxnHandle for ScalarDbTxn {
+    fn execute<'a>(
+        &'a mut self,
+        ops: &'a [ClientOp],
+        _last: bool,
+    ) -> BoxFuture<'a, Result<RoundResult, TxnError>> {
+        Box::pin(async move {
+            let round_started = now();
+            let round_idx = self.rounds;
+            self.rounds += 1;
+            let cluster = Rc::clone(&self.cluster);
+            let advanced = cluster.config.advanced;
+            let mut fresh = Vec::new();
+            for op in ops {
+                let key = op.key();
+                if !self.keys.contains(&key) {
+                    self.keys.push(key);
+                    fresh.push(key);
+                }
+                let ds = cluster.partitioner.route(key);
+                if !self.involved.contains(&ds) {
+                    self.involved.push(ds);
+                }
+            }
+            if advanced && !fresh.is_empty() {
+                cluster
+                    .scheduler
+                    .footprint()
+                    .borrow_mut()
+                    .on_access_start(&fresh);
+            }
+
+            // Admission control on the opening round (ScalarDB+ only).
+            if advanced && round_idx == 0 {
+                let plans: Vec<BranchPlan> = self
+                    .involved
+                    .iter()
+                    .map(|ds| BranchPlan {
+                        ds_index: *ds,
+                        keys: self
+                            .keys
+                            .iter()
+                            .copied()
+                            .filter(|k| cluster.partitioner.route(*k) == *ds)
+                            .collect(),
+                    })
+                    .collect();
+                if let geotp_middleware::AdmissionDecision::Reject { .. } =
+                    cluster.scheduler.schedule_with_admission(&plans)
+                {
+                    return Err(self.fail(AbortReason::AdmissionRejected));
+                }
+            }
+
+            // Coordinator-side 2PL before any store access.
+            for op in ops {
+                let mode = if op.is_write() {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                };
+                if cluster
+                    .locks
+                    .acquire(self.xid, op.key().storage_key(), mode)
+                    .await
+                    .is_err()
+                {
+                    return Err(self.fail(AbortReason::ExecutionFailed));
+                }
+            }
+
+            // Latency-aware postponing of per-data-source read batches.
+            let groups = cluster.partitioner.split(ops);
+            let plans: Vec<BranchPlan> = groups
+                .iter()
+                .map(|(ds, ops)| BranchPlan {
+                    ds_index: *ds,
+                    keys: ops.iter().map(|op| op.key()).collect(),
+                })
+                .collect();
+            let schedule = cluster.scheduler.schedule(&plans);
+            let mut batches = Vec::new();
+            for (idx, (ds, ops)) in groups.iter().enumerate() {
+                let reads: Vec<Key> = ops
+                    .iter()
+                    .filter(|op| !op.is_write())
+                    .map(|op| op.key().storage_key())
+                    .collect();
+                let postpone = schedule
+                    .postpone
+                    .get(idx)
+                    .copied()
+                    .unwrap_or(Duration::ZERO);
+                let this = Rc::clone(&cluster);
+                let ds = *ds;
+                batches.push(async move {
+                    if !postpone.is_zero() {
+                        sleep(postpone).await;
+                    }
+                    this.round_trip(ds, |source| {
+                        reads
+                            .iter()
+                            .map(|k| source.engine().peek(*k))
+                            .collect::<Vec<Option<Row>>>()
+                    })
+                    .await
+                });
+            }
+            let read_results = join_all(batches).await;
+            let mut rows = Vec::new();
+            for results in read_results {
+                for row in results {
+                    match row {
+                        Some(r) => rows.push(r),
+                        None => return Err(self.fail(AbortReason::ExecutionFailed)),
+                    }
+                }
+            }
+
+            // Buffer writes for the commit write phase.
+            for (ds, ops) in &groups {
+                for op in ops {
+                    match op {
+                        ClientOp::AddInt { key, col, delta } => self.write_buffer.push((
+                            *ds,
+                            key.storage_key(),
+                            WriteIntent::Add {
+                                col: *col,
+                                delta: *delta,
+                            },
+                        )),
+                        ClientOp::Write { key, row } | ClientOp::Insert { key, row } => self
+                            .write_buffer
+                            .push((*ds, key.storage_key(), WriteIntent::Put(row.clone()))),
+                        ClientOp::Delete(key) => {
+                            self.write_buffer
+                                .push((*ds, key.storage_key(), WriteIntent::Delete))
+                        }
+                        ClientOp::Read(_) | ClientOp::ReadForUpdate(_) => {}
+                    }
+                }
+            }
+            Ok(RoundResult {
+                rows,
+                latency: now().duration_since(round_started),
+            })
+        })
+    }
+
+    fn commit(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        Box::pin(async move {
+            if self.concluded {
+                // The transaction already failed (locks gone, abort
+                // recorded): re-report the failure, never replay the
+                // buffered writes.
+                return self.concluded_outcome();
+            }
+            let cluster = Rc::clone(&self.cluster);
+            self.concluded = true;
+            // Consensus Commit: prepare-record writes, then the commit-status
+            // record, then (asynchronous) apply — modelled as in the one-shot
+            // path.
+            let mut write_groups: HashMap<u32, Vec<(Key, WriteIntent)>> = HashMap::new();
+            for (ds, key, intent) in self.write_buffer.drain(..) {
+                write_groups.entry(ds).or_default().push((key, intent));
+            }
+            if !write_groups.is_empty() {
+                let prepare_rounds = write_groups
+                    .iter()
+                    .map(|(ds, writes)| {
+                        let this = Rc::clone(&cluster);
+                        let ds = *ds;
+                        let writes = writes.clone();
+                        async move {
+                            this.round_trip(ds, move |source| {
+                                for (key, intent) in &writes {
+                                    intent.apply(source, *key);
+                                }
+                            })
+                            .await
+                        }
+                    })
+                    .collect();
+                join_all(prepare_rounds).await;
+            }
+            let status_ds = self.involved.first().copied().unwrap_or(0);
+            cluster.round_trip(status_ds, |_| ()).await;
+            cluster.locks.release_all(self.xid);
+            cluster.record_outcome(
+                self.gtrid,
+                self.started,
+                &self.keys,
+                self.distributed(),
+                true,
+                None,
+            )
+        })
+    }
+
+    fn rollback(mut self: Box<Self>) -> BoxFuture<'static, TxnOutcome> {
+        Box::pin(async move {
+            if self.concluded {
+                return self.concluded_outcome();
+            }
+            self.concluded = true;
+            // Writes were only buffered; dropping them and releasing the
+            // coordinator-side locks is the whole rollback.
+            self.cluster.locks.release_all(self.xid);
+            self.cluster.record_outcome(
+                self.gtrid,
+                self.started,
+                &self.keys,
+                self.distributed(),
+                false,
+                Some(AbortReason::ClientRollback),
+            )
+        })
+    }
+
+    fn abandon(mut self: Box<Self>) {
+        if self.concluded {
+            return;
+        }
+        self.concluded = true;
+        self.cluster.locks.release_all(self.xid);
+        let _ = self.cluster.record_outcome(
+            self.gtrid,
+            self.started,
+            &self.keys,
+            self.distributed(),
+            false,
+            Some(AbortReason::ClientDisconnected),
+        );
+    }
+
+    fn gtrid(&self) -> u64 {
+        self.gtrid
+    }
+}
+
 /// Cloneable handle implementing the benchmark driver's
 /// [`TransactionService`] interface for a ScalarDB cluster.
 #[derive(Clone)]
@@ -515,6 +889,62 @@ mod tests {
             assert!(!outcome.committed);
             assert_eq!(outcome.abort_reason, Some(AbortReason::ExecutionFailed));
             assert_eq!(cluster.stats().aborted, 1);
+        });
+    }
+
+    #[test]
+    fn interactive_session_commits_round_by_round() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (cluster, sources) = cluster(false);
+            let mut session = SessionService::connect(&cluster.session_service(), 3);
+            let mut txn = session.begin().await.unwrap();
+            let r1 = txn.execute(&[ClientOp::Read(gk(1))]).await.unwrap();
+            assert_eq!(r1.rows.len(), 1);
+            txn.execute(&[ClientOp::add(gk(101), 25)]).await.unwrap();
+            let outcome = txn.commit().await;
+            assert!(outcome.committed);
+            assert!(outcome.distributed);
+            assert_eq!(
+                sources[1]
+                    .engine()
+                    .peek(gk(101).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(525)
+            );
+        });
+    }
+
+    /// Regression: `commit` on a transaction that already failed must
+    /// re-report the abort — never replay the buffered writes (the locks are
+    /// long gone) or double-record stats.
+    #[test]
+    fn commit_after_failed_round_reapplies_nothing() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (cluster, sources) = cluster(false);
+            let mut session = SessionService::connect(&cluster.session_service(), 4);
+            let mut txn = session.begin().await.unwrap();
+            txn.execute(&[ClientOp::add(gk(1), 77)]).await.unwrap();
+            let error = txn
+                .execute(&[ClientOp::Read(gk(99_999))])
+                .await
+                .expect_err("missing key fails the round");
+            assert_eq!(error.reason, AbortReason::ExecutionFailed);
+            let outcome = txn.commit().await;
+            assert!(!outcome.committed, "a failed txn cannot commit later");
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(500),
+                "the buffered write must never be applied"
+            );
+            let stats = cluster.stats();
+            assert_eq!((stats.committed, stats.aborted), (0, 1), "one abort, once");
         });
     }
 

@@ -2,16 +2,27 @@
 //!
 //! The paper drives every experiment with Benchbase terminals: each terminal
 //! submits one transaction, waits for its outcome and immediately submits the
-//! next. [`run_benchmark`] reproduces that loop over any
-//! [`TransactionService`] — the GeoTP/SSP middleware, the ScalarDB-style
-//! baseline or the distributed-database baseline — for a configurable number
-//! of terminals, warm-up period and measurement window (all in virtual time).
+//! next. Two front doors are supported:
+//!
+//! * [`run_session_benchmark`] — the session-first driver: each terminal
+//!   `connect`s one [`SessionService`] session and replays its generated
+//!   specs through live transaction handles (optionally with client think
+//!   time between statement rounds, the interactive-terminal shape);
+//! * [`run_benchmark`] — the legacy one-shot driver over
+//!   [`TransactionService`], kept as a compatibility shim so the recorded
+//!   golden experiment tables stay reproducible.
+//!
+//! Both work over every backend — the GeoTP/SSP middleware, the coordinator
+//! cluster tier, the ScalarDB-style baseline and the distributed-database
+//! baseline — for a configurable number of terminals, warm-up period and
+//! measurement window (all in virtual time).
 
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
 use std::time::Duration;
 
+use geotp_middleware::session::SessionService;
 use geotp_middleware::{Middleware, TransactionSpec, TxnOutcome};
 use geotp_simrt::{join_all, now, spawn};
 use rand::rngs::StdRng;
@@ -21,7 +32,8 @@ use crate::metrics::MetricsCollector;
 use crate::tpcc::TpccGenerator;
 use crate::ycsb::YcsbGenerator;
 
-/// Anything that can execute a client transaction end to end.
+/// Anything that can execute a client transaction end to end (the one-shot
+/// compatibility shim; new code drives sessions via [`SessionService`]).
 pub trait TransactionService {
     /// Execute one transaction and return its outcome.
     fn run<'a>(
@@ -146,7 +158,98 @@ impl BenchmarkReport {
     }
 }
 
-/// Run a closed-loop benchmark of `workload` against `service`.
+/// Session-driver configuration: the closed-loop terminal parameters plus
+/// the interactive knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionDriverConfig {
+    /// Terminals, warm-up, measurement window and seed.
+    pub base: DriverConfig,
+    /// Client think time between the statement rounds of one transaction
+    /// (the interactive-terminal shape; lands in the latency breakdown's
+    /// `think_time` slice). Zero replays specs back-to-back.
+    pub think_time: Duration,
+}
+
+impl SessionDriverConfig {
+    /// A session driver with no think time.
+    pub fn new(base: DriverConfig) -> Self {
+        Self {
+            base,
+            think_time: Duration::ZERO,
+        }
+    }
+}
+
+/// Run a closed-loop benchmark of `workload` through the session front door:
+/// each terminal connects one session (`session_id == terminal`) and replays
+/// its generated specs through live transaction handles. Refused connections
+/// (no live coordinator) are retried with a small backoff, like a real
+/// client reconnecting.
+pub async fn run_session_benchmark<S>(
+    service: S,
+    workload: WorkloadMix,
+    config: SessionDriverConfig,
+) -> BenchmarkReport
+where
+    S: SessionService + Clone + 'static,
+{
+    let start = now();
+    let measure_start = start + config.base.warmup;
+    let end = measure_start + config.base.measure;
+    let label = service.label();
+    let think_time = config.think_time;
+
+    let mut handles = Vec::with_capacity(config.base.terminals);
+    for terminal in 0..config.base.terminals {
+        let service = service.clone();
+        let workload = workload.clone();
+        let mut rng = StdRng::seed_from_u64(
+            config
+                .base
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(terminal as u64),
+        );
+        handles.push(spawn(async move {
+            let mut collector = MetricsCollector::new(measure_start);
+            let mut session = service.connect(terminal as u64);
+            loop {
+                if now() >= end {
+                    break;
+                }
+                let spec = workload.next(&mut rng);
+                let outcome = session.run_spec_thinking(&spec, think_time).await;
+                if outcome.is_refusal() {
+                    // Refused connection: back off and retry with a new spec
+                    // (the terminal reconnects; the backoff keeps a dead
+                    // deployment from busy-looping the driver).
+                    geotp_simrt::sleep(Duration::from_millis(250)).await;
+                    continue;
+                }
+                let finished = now();
+                if finished >= measure_start && finished < end {
+                    collector.record(&outcome, finished);
+                }
+            }
+            collector
+        }));
+    }
+
+    let collectors = join_all(handles.into_iter().collect()).await;
+    let mut merged = MetricsCollector::new(measure_start);
+    for collector in &collectors {
+        merged.merge(collector);
+    }
+    BenchmarkReport {
+        metrics: merged,
+        measured: config.base.measure,
+        label,
+    }
+}
+
+/// Run a closed-loop benchmark of `workload` against `service` through the
+/// legacy one-shot front door (the compatibility shim the recorded golden
+/// tables were measured through).
 ///
 /// `service` is cloned once per terminal; services are typically `Rc`-wrapped
 /// handles, so the clone is cheap reference counting.
@@ -327,6 +430,117 @@ mod tests {
             })
         }
         assert_eq!(once(), once());
+    }
+
+    #[test]
+    fn session_driver_matches_one_shot_driver_without_think_time() {
+        // With a co-located client and zero think time the session driver is
+        // the one-shot driver: same terminals, same RNG streams, same
+        // committed counts and latency distribution.
+        let mut rt = Runtime::new();
+        let (oneshot, sessions) = rt.block_on(async {
+            let cfg = DriverConfig::quick(6, Duration::from_secs(3));
+            let (mw_a, gen_a) = build_cluster(Protocol::geotp());
+            let oneshot = run_benchmark(mw_a, WorkloadMix::Ycsb(gen_a), cfg).await;
+            let (mw_b, gen_b) = build_cluster(Protocol::geotp());
+            let sessions = run_session_benchmark(
+                mw_b,
+                WorkloadMix::Ycsb(gen_b),
+                SessionDriverConfig::new(cfg),
+            )
+            .await;
+            (oneshot, sessions)
+        });
+        assert_eq!(oneshot.metrics.committed(), sessions.metrics.committed());
+        assert_eq!(oneshot.metrics.aborted(), sessions.metrics.aborted());
+        assert_eq!(oneshot.mean_latency(), sessions.mean_latency());
+    }
+
+    fn build_tpcc_cluster(
+        tpcc: &crate::tpcc::TpccConfig,
+    ) -> (Rc<Middleware>, Rc<crate::tpcc::TpccGenerator>) {
+        let dm = NodeId::middleware(0);
+        let mut builder = NetworkBuilder::new(5).default_lan_rtt(Duration::from_micros(200));
+        for (i, rtt) in [10u64, 50].iter().enumerate() {
+            builder = builder.static_link(
+                dm,
+                NodeId::data_source(i as u32),
+                Duration::from_millis(*rtt),
+            );
+        }
+        let net = builder.build();
+        let sources: Vec<_> = (0..2)
+            .map(|i| {
+                let mut cfg = DataSourceConfig::new(NodeId::data_source(i));
+                cfg.engine = EngineConfig {
+                    lock_wait_timeout: Duration::from_secs(2),
+                    cost: CostModel::default(),
+                    record_history: false,
+                };
+                DataSource::new(cfg, Rc::clone(&net))
+            })
+            .collect();
+        for a in &sources {
+            for b in &sources {
+                if a.index() != b.index() {
+                    a.register_peer(b);
+                }
+            }
+        }
+        let generator = Rc::new(crate::tpcc::TpccGenerator::new(tpcc.clone()));
+        generator.load(&sources);
+        let mw = Middleware::connect(
+            MiddlewareConfig::new(dm, Protocol::geotp(), tpcc.partitioner()),
+            net,
+            &sources,
+            None,
+        );
+        (mw, generator)
+    }
+
+    #[test]
+    fn think_time_slows_terminals_and_lands_in_latency() {
+        let mut rt = Runtime::new();
+        let (eager, thinking) = rt.block_on(async {
+            let cfg = DriverConfig::quick(4, Duration::from_secs(3));
+            // TPC-C transactions are multi-round, so think time has
+            // between-round windows to land in.
+            let tpcc = {
+                let mut t = crate::tpcc::TpccConfig::new(2, 1);
+                t.items = 40;
+                t.customers_per_district = 20;
+                t
+            };
+            let (mw_a, gen_a) = build_tpcc_cluster(&tpcc);
+            let eager = run_session_benchmark(
+                mw_a,
+                WorkloadMix::Tpcc(gen_a),
+                SessionDriverConfig::new(cfg),
+            )
+            .await;
+            let (mw_b, gen_b) = build_tpcc_cluster(&tpcc);
+            let thinking = run_session_benchmark(
+                mw_b,
+                WorkloadMix::Tpcc(gen_b),
+                SessionDriverConfig {
+                    base: cfg,
+                    think_time: Duration::from_millis(50),
+                },
+            )
+            .await;
+            (eager, thinking)
+        });
+        assert!(eager.metrics.committed() > 0 && thinking.metrics.committed() > 0);
+        assert!(
+            thinking.throughput() < eager.throughput(),
+            "think time must cost throughput: {} vs {}",
+            thinking.throughput(),
+            eager.throughput()
+        );
+        assert!(
+            thinking.mean_latency() > eager.mean_latency(),
+            "think time is part of the client-observed latency"
+        );
     }
 
     #[test]

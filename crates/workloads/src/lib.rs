@@ -21,7 +21,10 @@ pub mod tpcc;
 pub mod ycsb;
 pub mod zipfian;
 
-pub use driver::{BenchmarkReport, DriverConfig, TransactionService, WorkloadMix};
+pub use driver::{
+    run_session_benchmark, BenchmarkReport, DriverConfig, SessionDriverConfig, TransactionService,
+    WorkloadMix,
+};
 pub use metrics::{Histogram, MetricsCollector, ThroughputTimeline};
 pub use tpcc::{consistency_violations, TpccConfig, TpccGenerator, TpccTransaction};
 pub use ycsb::{Contention, YcsbConfig, YcsbGenerator};

@@ -1,6 +1,6 @@
-//! Quickstart: build a two-region deployment, run a cross-region bank
-//! transfer through the GeoTP middleware (via the SQL front door) and print
-//! where the latency went.
+//! Quickstart: build a two-region deployment, connect a client session, run
+//! a cross-region bank transfer interactively (via the SQL front door) and
+//! print where the latency went.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -25,11 +25,13 @@ fn main() {
         println!("== GeoTP quickstart ==");
         println!("DS0 (PostgreSQL): RTT 10 ms   DS1 (MySQL): RTT 100 ms\n");
 
-        // Bob's account (id 42) lives on DS0, Alice's (id 10_042) on DS1.
-        // The `/*+ last */` annotation lets GeoTP trigger the decentralized
-        // prepare as soon as that statement finishes.
-        let outcome = cluster
-            .middleware()
+        // Connect a client session — the front door is session-first: the
+        // session holds live transactions and ships statements one round at
+        // a time. Bob's account (id 42) lives on DS0, Alice's (id 10_042) on
+        // DS1. The `/*+ last */` annotation lets GeoTP trigger the
+        // decentralized prepare as soon as that statement finishes.
+        let mut session = cluster.connect(1);
+        let outcome = session
             .run_sql(
                 "BEGIN; \
                  UPDATE savings SET bal = bal - 100 WHERE id = 10042; \
@@ -60,5 +62,30 @@ fn main() {
         println!("\nbalances after transfer: Alice={alice}  Bob={bob}");
         assert!(outcome.committed);
         assert_eq!(alice + bob, 2_000);
+
+        // The same transfer from a *remote* client 40 ms from the middleware:
+        // every statement round pays the client↔middleware hop, and that
+        // time is visible in the breakdown.
+        let remote_client = NodeId::client(0);
+        cluster.network().set_link(
+            remote_client,
+            NodeId::middleware(0),
+            geotp::StaticLatency::new(std::time::Duration::from_millis(40)),
+        );
+        let mut remote = cluster.connect_from(remote_client, 2);
+        let mut txn = remote.begin().await.unwrap();
+        txn.execute_sql("UPDATE savings SET bal = bal - 10 WHERE id = 10042")
+            .await
+            .unwrap();
+        txn.execute_sql("UPDATE savings SET bal = bal + 10 WHERE id = 42 /*+ last */")
+            .await
+            .unwrap();
+        let remote_outcome = txn.commit().await;
+        assert!(remote_outcome.committed);
+        println!(
+            "\nremote client (40 ms away): total {:.1} ms, of which client\u{2194}middleware {:.1} ms",
+            remote_outcome.latency.as_secs_f64() * 1e3,
+            remote_outcome.breakdown.client_rtt.as_secs_f64() * 1e3
+        );
     });
 }
