@@ -1,0 +1,12 @@
+//! Overload target: graceful degradation vs collapse on one saturated
+//! coordinator (bounded admission + load shedding vs the legacy unbounded
+//! queue), under the same open-loop offered load.
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench overload
+//! GEOTP_FULL=1 cargo bench -p geotp-bench --bench overload   # longer window
+//! ```
+
+fn main() {
+    geotp_bench::run_and_print("overload", geotp_experiments::overload::overload);
+}

@@ -21,10 +21,15 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::time::Duration;
 
-use geotp_cluster::{build_tier, ClusterConfig, CoordinatorCluster, MembershipConfig, TierLayout};
+use geotp_cluster::{
+    build_tier, AdmissionPolicy, ClusterConfig, CoordinatorCluster, MembershipConfig,
+    SessionReaperConfig, TierLayout,
+};
+use geotp_middleware::session::RetryPolicy;
 use geotp_middleware::{AbortReason, Protocol, TxnOutcome};
 use geotp_simrt::{sleep, sleep_until, spawn, SimInstant};
 use geotp_storage::{CostModel, EngineConfig};
+use geotp_workloads::ZipfianGenerator;
 
 use crate::harness::{ChaosConfig, ChaosReport};
 use crate::injector::ScheduleInjector;
@@ -48,6 +53,20 @@ pub struct ClusterChaosConfig {
     pub supervisor_interval: Duration,
     /// Coordinator↔control-node RTT in milliseconds.
     pub control_rtt_ms: u64,
+    /// Per-coordinator worker capacity (`0` = unbounded, the legacy shape).
+    pub max_inflight: usize,
+    /// Admission policy at each coordinator's capacity gate.
+    pub admission: AdmissionPolicy,
+    /// Idle-session reaper schedule (`None` = never reap).
+    pub session_reaper: Option<SessionReaperConfig>,
+    /// Client retry policy for transient non-starts (refused connections,
+    /// overload sheds, reaped sessions). The default reproduces the legacy
+    /// loop exactly — 40 attempts, flat 250 ms pauses, no RNG consumed — so
+    /// existing preset traces stay bit-identical.
+    pub retry: RetryPolicy,
+    /// When set, the run drives a flash crowd (idle-session registration +
+    /// zipfian arrival spike) instead of/alongside the per-client loops.
+    pub flash_crowd: Option<FlashCrowdConfig>,
 }
 
 impl Default for ClusterChaosConfig {
@@ -61,6 +80,51 @@ impl Default for ClusterChaosConfig {
             },
             supervisor_interval: Duration::from_millis(500),
             control_rtt_ms: 2,
+            max_inflight: 0,
+            admission: AdmissionPolicy::default(),
+            session_reaper: None,
+            retry: RetryPolicy::fixed(40, Duration::from_millis(250)),
+            flash_crowd: None,
+        }
+    }
+}
+
+/// The flash-crowd drive: a large mostly-idle session population is
+/// registered up front (router affinity + registry entries on every
+/// coordinator), then a sudden open-loop arrival spike hits a zipfian hot
+/// set of those sessions — typically with a coordinator failover armed
+/// mid-spike and bounded admission shedding the overflow.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashCrowdConfig {
+    /// Sessions registered before the spike (the mostly-idle crowd).
+    pub idle_sessions: u64,
+    /// When the arrival spike starts.
+    pub spike_at: Duration,
+    /// How long the spike lasts.
+    pub spike_duration: Duration,
+    /// Spike arrival rate (open loop: arrivals do not wait for completions).
+    pub spike_arrivals_per_sec: u64,
+    /// Zipfian skew of the spike's session choice (item 0 hottest).
+    pub zipf_theta: f64,
+    /// Retry policy of each spike arrival (exponential backoff with seeded
+    /// jitter — the schedule is a pure function of the run's seed).
+    pub retry: RetryPolicy,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        Self {
+            idle_sessions: 200_000,
+            spike_at: Duration::from_secs(2),
+            spike_duration: Duration::from_millis(1_500),
+            spike_arrivals_per_sec: 400,
+            zipf_theta: 0.9,
+            retry: RetryPolicy {
+                max_attempts: 6,
+                base_backoff: Duration::from_millis(25),
+                max_backoff: Duration::from_secs(1),
+                jitter: 0.5,
+            },
         }
     }
 }
@@ -69,6 +133,19 @@ impl Default for ClusterChaosConfig {
 /// transfer workload, and return the invariant-checked, replayable report.
 pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule) -> ChaosReport {
     let workload = Rc::new(TransferWorkload::from_config(&config.base));
+    run_cluster_scenario_with(config, schedule, workload)
+}
+
+/// Run `schedule` against a fresh coordinator tier driving an arbitrary
+/// [`ChaosWorkload`] (the TPC-C mix, interactive transfers, ...): the
+/// workload supplies the partitioner, the initial load, the per-client
+/// transaction stream and the consistency conditions, exactly as in the
+/// single-coordinator [`crate::run_scenario_with`].
+pub fn run_cluster_scenario_with(
+    config: ClusterChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+) -> ChaosReport {
     let mut rt = geotp_simrt::Runtime::new();
     rt.block_on(async move {
         let trace = EventTrace::new();
@@ -114,6 +191,9 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
         tier_cfg.decision_wait_timeout = config.base.decision_wait_timeout;
         tier_cfg.record_history = true;
         tier_cfg.seed = config.base.seed;
+        tier_cfg.max_inflight = config.max_inflight;
+        tier_cfg.admission = config.admission;
+        tier_cfg.session_reaper = config.session_reaper;
         let cluster = CoordinatorCluster::build(tier_cfg, Rc::clone(&net), &sources);
         cluster.start();
 
@@ -167,13 +247,16 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
         // ---------------- workload (one session per client) ----------------
         let ledger: Rc<RefCell<Vec<TxnOutcome>>> = Rc::new(RefCell::new(Vec::new()));
         let refused_connections = Rc::new(std::cell::Cell::new(0u64));
+        let degraded_retries = Rc::new(std::cell::Cell::new(0u64));
         let mut clients = Vec::new();
         for client in 0..config.base.clients {
             let cluster = Rc::clone(&cluster);
             let ledger = Rc::clone(&ledger);
             let refused_connections = Rc::clone(&refused_connections);
+            let degraded_retries = Rc::clone(&degraded_retries);
             let workload: Rc<dyn ChaosWorkload> = Rc::clone(&workload) as _;
             let base = config.base.clone();
+            let retry = config.retry;
             clients.push(spawn(async move {
                 let mut rng = crate::harness::client_rng(base.seed, client);
                 // One durable session per client: the router pins it to a
@@ -198,18 +281,98 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
                         else {
                             break; // client crashed mid-transaction on purpose
                         };
-                        if !outcome.is_refusal() {
+                        // Transient non-starts (gtrid 0: refused connection,
+                        // overload shed, reaped session) are retried under
+                        // the budget; everything that actually ran lands in
+                        // the ledger.
+                        let transient = outcome.is_refusal()
+                            || outcome.is_overloaded()
+                            || outcome.abort_reason == Some(AbortReason::SessionExpired);
+                        if !transient {
                             ledger.borrow_mut().push(outcome);
                             break;
                         }
-                        refused_connections.set(refused_connections.get() + 1);
-                        if attempts >= 40 {
+                        if outcome.is_refusal() {
+                            refused_connections.set(refused_connections.get() + 1);
+                        } else {
+                            degraded_retries.set(degraded_retries.get() + 1);
+                        }
+                        if attempts >= retry.max_attempts {
                             break;
                         }
-                        sleep(Duration::from_millis(250)).await;
+                        let mut pause = retry.backoff(attempts - 1, &mut rng);
+                        if let Some(hint) = outcome.retry_after {
+                            pause = pause.max(hint);
+                        }
+                        sleep(pause).await;
                     }
                 }
             }));
+        }
+
+        // ---------------- flash crowd (idle sessions + arrival spike) ----------------
+        if let Some(fc) = config.flash_crowd {
+            // Register the mostly-idle crowd up front: every session pins its
+            // router affinity and lands a registry entry on its coordinator —
+            // the state the reaper must keep lean.
+            let mut registered = 0u64;
+            for session in 0..fc.idle_sessions {
+                if let Some(coord) = cluster.router().route(session) {
+                    cluster.middleware(coord).register_session(session);
+                    registered += 1;
+                }
+            }
+            trace.record(&format!(
+                "flash crowd: {registered} idle session(s) registered, spike {}/s for {:?} at {:?}",
+                fc.spike_arrivals_per_sec, fc.spike_duration, fc.spike_at
+            ));
+            let arrivals = (fc.spike_duration.as_micros() as u64 * fc.spike_arrivals_per_sec
+                / 1_000_000)
+                .max(1);
+            let interval_micros =
+                (fc.spike_duration.as_micros() as u64 / arrivals).max(1);
+            let zipf = Rc::new(ZipfianGenerator::new(fc.idle_sessions, fc.zipf_theta));
+            for arrival in 0..arrivals {
+                let cluster = Rc::clone(&cluster);
+                let ledger = Rc::clone(&ledger);
+                let refused_connections = Rc::clone(&refused_connections);
+                let degraded_retries = Rc::clone(&degraded_retries);
+                let workload: Rc<dyn ChaosWorkload> = Rc::clone(&workload) as _;
+                let zipf = Rc::clone(&zipf);
+                let seed = config.base.seed;
+                clients.push(spawn(async move {
+                    let at = SimInstant::ZERO
+                        + fc.spike_at
+                        + Duration::from_micros(arrival * interval_micros);
+                    sleep_until(at).await;
+                    // Each arrival gets its own derived RNG stream: the whole
+                    // spike (session choice, spec, backoff jitter) is a pure
+                    // function of the run's seed.
+                    let mut rng =
+                        crate::harness::client_rng(seed, 0x0f1a_5000 + arrival as usize);
+                    let session_id = zipf.next(&mut rng);
+                    let spec = workload.next_spec(&mut rng);
+                    let mut session = cluster.connect(session_id);
+                    let retried = session
+                        .run_spec_with_retries(&spec, Duration::ZERO, fc.retry, &mut rng)
+                        .await;
+                    let outcome = retried.outcome;
+                    let transient = outcome.is_refusal()
+                        || outcome.is_overloaded()
+                        || outcome.abort_reason == Some(AbortReason::SessionExpired);
+                    if transient {
+                        // Budget exhausted without ever starting a
+                        // transaction: shed load, not an abort.
+                        if outcome.is_refusal() {
+                            refused_connections.set(refused_connections.get() + 1);
+                        } else {
+                            degraded_retries.set(degraded_retries.get() + 1);
+                        }
+                    } else {
+                        ledger.borrow_mut().push(outcome);
+                    }
+                }));
+            }
         }
 
         // ---------------- drain, bounded by the liveness horizon ----------------
@@ -265,6 +428,15 @@ pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule)
             trace.record(&format!(
                 "router/coordinators refused {} connection attempt(s)",
                 refused_connections.get()
+            ));
+        }
+        if degraded_retries.get() > 0 || cluster.shed_count() > 0 || cluster.reaped_sessions() > 0 {
+            trace.record(&format!(
+                "degradation: {} transient non-start(s) (shed/expired) seen by clients, \
+                 {} begin(s) shed by admission, {} idle session(s) reaped",
+                degraded_retries.get(),
+                cluster.shed_count(),
+                cluster.reaped_sessions()
             ));
         }
 
@@ -328,16 +500,24 @@ pub enum ClusterScenario {
     /// and adopts its still-dead peer; the router re-homes sessions both
     /// ways. Everything must drain and the four invariants must hold.
     DualCoordinatorCrash,
+    /// Flash crowd: 200k mostly-idle registered sessions, then a sudden
+    /// open-loop arrival spike on a zipfian hot set of them — with bounded
+    /// admission (queue 64, 250 ms queue deadline) shedding the overflow,
+    /// session-level retry budgets backing the arrivals off, the idle-session
+    /// reaper keeping the registries lean, and a coordinator crash-after-
+    /// flush armed *mid-spike* so takeover happens under overload.
+    FlashCrowd,
 }
 
 impl ClusterScenario {
     /// Every cluster preset, in a stable order.
-    pub fn all() -> [ClusterScenario; 4] {
+    pub fn all() -> [ClusterScenario; 5] {
         [
             ClusterScenario::CoordinatorCrashTakeover,
             ClusterScenario::CoordinatorPartition,
             ClusterScenario::CoordinatorSourcePartition,
             ClusterScenario::DualCoordinatorCrash,
+            ClusterScenario::FlashCrowd,
         ]
     }
 
@@ -348,13 +528,14 @@ impl ClusterScenario {
             ClusterScenario::CoordinatorPartition => "coordinator_partition",
             ClusterScenario::CoordinatorSourcePartition => "coordinator_source_partition",
             ClusterScenario::DualCoordinatorCrash => "dual_coordinator_cold_restart",
+            ClusterScenario::FlashCrowd => "flash_crowd",
         }
     }
 
     /// The preset's configuration and schedule for a given seed: a
     /// 2-coordinator tier over the default 3 data sources.
     pub fn build(&self, seed: u64) -> (ClusterChaosConfig, FaultSchedule) {
-        let config = ClusterChaosConfig {
+        let mut config = ClusterChaosConfig {
             base: ChaosConfig {
                 seed,
                 // Distributed transfers everywhere: cross-coordinator fencing
@@ -408,6 +589,25 @@ impl ClusterScenario {
                 })
                 .with(FaultEvent::RestartCoordinator { at: s(6), dm: 0 })
                 .with(FaultEvent::RestartCoordinator { at: s(9), dm: 1 }),
+            ClusterScenario::FlashCrowd => {
+                // No per-client loops: the spike *is* the workload. Bounded
+                // admission per coordinator, reaper keeping the 200k-session
+                // registries lean, takeover armed mid-spike (spike runs
+                // 2.0 s – 3.5 s; the crash lands ~2.6 s, inside it).
+                config.base.clients = 0;
+                config.base.txns_per_client = 0;
+                config.max_inflight = 32;
+                config.admission = AdmissionPolicy::bounded(64, ms(250));
+                config.session_reaper = Some(SessionReaperConfig {
+                    interval: ms(500),
+                    idle_for: s(5),
+                });
+                config.flash_crowd = Some(FlashCrowdConfig::default());
+                FaultSchedule::new().with(FaultEvent::CrashCoordinatorAfterFlush {
+                    at: ms(2_600),
+                    dm: 1,
+                })
+            }
         };
         (config, schedule)
     }
@@ -416,6 +616,14 @@ impl ClusterScenario {
     pub fn run(&self, seed: u64) -> ChaosReport {
         let (config, schedule) = self.build(seed);
         run_cluster_scenario(config, schedule)
+    }
+
+    /// Build and run this preset's *deployment and schedule* under `seed`,
+    /// but drive `workload` instead of the default balance transfers — e.g.
+    /// the TPC-C mix at drill scale with a takeover mid-`NewOrder`.
+    pub fn run_with(&self, seed: u64, workload: Rc<dyn ChaosWorkload>) -> ChaosReport {
+        let (config, schedule) = self.build(seed);
+        run_cluster_scenario_with(config, schedule, workload)
     }
 }
 

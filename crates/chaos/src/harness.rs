@@ -94,6 +94,11 @@ pub struct ChaosConfig {
     /// [`crate::workload::InteractiveTransferWorkload`]) instead of as a
     /// single batched round.
     pub interactive_transfers: bool,
+    /// Client retry policy for transient non-starts (refused connections,
+    /// overload sheds, reaped sessions). The default reproduces the original
+    /// hard-coded loop exactly — 40 attempts, flat 250 ms pauses, no RNG
+    /// consumed — so preset traces stay bit-identical.
+    pub retry: geotp_middleware::session::RetryPolicy,
 }
 
 impl Default for ChaosConfig {
@@ -114,6 +119,7 @@ impl Default for ChaosConfig {
             think_time: Duration::ZERO,
             client_crash_every: None,
             interactive_transfers: false,
+            retry: geotp_middleware::session::RetryPolicy::fixed(40, Duration::from_millis(250)),
         }
     }
 }
@@ -557,11 +563,13 @@ fn run_scenario_impl(
                         .is_some_and(|n| n > 0 && (txn as u64 + 1).is_multiple_of(n));
                     // A crashed coordinator refuses the connection; real
                     // clients reconnect and retry (re-`connect`ing their
-                    // session against whatever instance is serving). Refusals
-                    // never started a transaction (gtrid 0), so they are
-                    // counted separately and kept out of the per-transaction
-                    // ledger. Bounded so a schedule without failover still
-                    // drains.
+                    // session against whatever instance is serving) under
+                    // the config's retry policy. Refusals and other transient
+                    // non-starts never started a transaction (gtrid 0), so
+                    // they are counted separately and kept out of the
+                    // per-transaction ledger. Bounded so a schedule without
+                    // failover still drains.
+                    let retry = config.retry;
                     let mut attempts = 0;
                     loop {
                         let mw = deployment.active_mw.borrow().clone();
@@ -576,16 +584,22 @@ fn run_scenario_impl(
                             // waiting for an outcome; move on.
                             break;
                         };
-                        if outcome.is_refusal() {
-                            refused_connections.set(refused_connections.get() + 1);
-                            if attempts >= 40 {
-                                break;
-                            }
-                            sleep(Duration::from_millis(250)).await;
-                            continue;
+                        let transient = outcome.is_refusal()
+                            || outcome.is_overloaded()
+                            || outcome.abort_reason == Some(AbortReason::SessionExpired);
+                        if !transient {
+                            ledger.borrow_mut().push(outcome);
+                            break;
                         }
-                        ledger.borrow_mut().push(outcome);
-                        break;
+                        refused_connections.set(refused_connections.get() + 1);
+                        if attempts >= retry.max_attempts {
+                            break;
+                        }
+                        let mut pause = retry.backoff(attempts - 1, &mut rng);
+                        if let Some(hint) = outcome.retry_after {
+                            pause = pause.max(hint);
+                        }
+                        sleep(pause).await;
                     }
                 }
             }));

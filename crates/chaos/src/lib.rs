@@ -69,7 +69,10 @@ pub mod shrink;
 pub mod trace;
 pub mod workload;
 
-pub use cluster_harness::{run_cluster_scenario, ClusterChaosConfig, ClusterScenario};
+pub use cluster_harness::{
+    run_cluster_scenario, run_cluster_scenario_with, ClusterChaosConfig, ClusterScenario,
+    FlashCrowdConfig,
+};
 pub use geotp_middleware::Protocol;
 pub use harness::{
     client_rng, client_scripts, run_scenario, run_scenario_scripted, run_scenario_with,

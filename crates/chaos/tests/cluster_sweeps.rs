@@ -7,7 +7,9 @@
 //! by default and ≥32 with `GEOTP_CHAOS_SWEEP=32` / `GEOTP_FULL=1` (the
 //! chaos-drills CI job and the nightly sweep both set it).
 
-use geotp_chaos::ClusterScenario;
+use std::rc::Rc;
+
+use geotp_chaos::{ClusterScenario, TpccChaosWorkload};
 
 fn sweep_seeds() -> u64 {
     if let Ok(v) = std::env::var("GEOTP_CHAOS_SWEEP") {
@@ -77,6 +79,82 @@ fn sweep_dual_coordinator_cold_restart() {
     for seed in 1..=sweep_seeds() {
         assert_cluster_scenario_green(ClusterScenario::DualCoordinatorCrash, seed);
     }
+}
+
+#[test]
+fn sweep_flash_crowd() {
+    for seed in 1..=sweep_seeds() {
+        assert_cluster_scenario_green(ClusterScenario::FlashCrowd, seed);
+    }
+}
+
+/// TPC-C at drill scale through the *cluster* harness: the real NewOrder /
+/// Payment / Delivery mix runs on a 2-coordinator tier and a coordinator is
+/// crashed after a commit-log flush mid-traffic (takeover mid-`NewOrder`),
+/// with all four checkers — including the TPC-C consistency conditions —
+/// green across the seed spread.
+#[test]
+fn sweep_cluster_tpcc_takeover() {
+    for seed in 1..=sweep_seeds() {
+        let workload = Rc::new(TpccChaosWorkload::drill_scale(3));
+        let report = ClusterScenario::CoordinatorCrashTakeover.run_with(seed, workload);
+        assert!(
+            report.invariants.all_hold(),
+            "cluster tpcc takeover seed {} violated invariants:\n  {}",
+            seed,
+            report.invariants.violations.join("\n  "),
+        );
+        assert!(report.committed > 0, "seed {seed}: nothing committed");
+    }
+}
+
+/// The flash-crowd preset actually degrades gracefully rather than merely
+/// surviving: admission sheds load, the reaper drains the 200k-session
+/// registries, and the mid-spike coordinator crash is taken over — all in
+/// the same run.
+#[test]
+fn flash_crowd_sheds_reaps_and_takes_over() {
+    let report = ClusterScenario::FlashCrowd.run(1);
+    assert!(
+        report.invariants.all_hold(),
+        "{:?}",
+        report.invariants.violations
+    );
+    let trace = report.trace.join("\n");
+    assert!(
+        trace.contains("flash crowd: 200000 idle session(s) registered"),
+        "the crowd must be registered:\n{trace}"
+    );
+    assert!(
+        trace.contains("shed by admission"),
+        "bounded admission must shed under the spike:\n{trace}"
+    );
+    assert!(
+        trace.contains("session(s) reaped") && !trace.contains("0 idle session(s) reaped"),
+        "the reaper must evict idle sessions:\n{trace}"
+    );
+    let takeovers_line = report
+        .trace
+        .iter()
+        .find(|l| l.contains("takeovers so far:"))
+        .expect("trace records the takeover count");
+    assert!(
+        !takeovers_line.contains("takeovers so far: 0"),
+        "the mid-spike crash must be taken over: {takeovers_line}"
+    );
+    assert!(report.committed > 0);
+}
+
+/// Flash-crowd replay is bit-identical: the spike's session choices, specs
+/// and jittered backoff schedules are all pure functions of the seed.
+#[test]
+fn flash_crowd_replay_is_bit_identical_in_process() {
+    let a = ClusterScenario::FlashCrowd.run(3);
+    let b = ClusterScenario::FlashCrowd.run(3);
+    assert_eq!(a.trace, b.trace, "traces must match line for line");
+    assert_eq!(a.fingerprint, b.fingerprint);
+    let c = ClusterScenario::FlashCrowd.run(4);
+    assert_ne!(a.fingerprint, c.fingerprint);
 }
 
 /// The cold-restart preset really goes through the dark window: both

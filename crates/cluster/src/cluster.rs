@@ -36,9 +36,9 @@ use geotp_middleware::{
 };
 use geotp_net::{Network, NodeId};
 use geotp_simrt::sync::semaphore::SemaphorePermit;
-use geotp_simrt::sync::Semaphore;
 use geotp_simrt::{join_all, sleep, spawn};
 
+use crate::admission::{AdmissionGate, AdmissionPolicy, CoordinatorLoad, ShedReason};
 use crate::membership::{MembershipConfig, MembershipTable};
 use crate::ring::SessionRouter;
 
@@ -69,6 +69,24 @@ pub struct ClusterConfig {
     pub record_history: bool,
     /// Seed for the coordinators' schedulers (slot index is mixed in).
     pub seed: u64,
+    /// Graceful-degradation policy at each coordinator's capacity gate (only
+    /// meaningful with `max_inflight > 0`). The default is the legacy
+    /// unbounded FIFO wait — no shedding, no deadlines.
+    pub admission: AdmissionPolicy,
+    /// When set, a background task reaps sessions idle past the deadline
+    /// (registry entries and router affinity), keeping per-session state
+    /// memory-lean toward 10^6 mostly-idle sessions. `None` = never reap.
+    pub session_reaper: Option<SessionReaperConfig>,
+}
+
+/// Idle-session reaper schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReaperConfig {
+    /// How often the reaper scans the registries.
+    pub interval: Duration,
+    /// Sessions idle (no live transaction, no activity) for at least this
+    /// long are evicted; their next `begin` reconnects transparently.
+    pub idle_for: Duration,
 }
 
 impl ClusterConfig {
@@ -86,6 +104,8 @@ impl ClusterConfig {
             log_flush_cost: Duration::from_micros(200),
             record_history: false,
             seed: 42,
+            admission: AdmissionPolicy::default(),
+            session_reaper: None,
         }
     }
 }
@@ -99,8 +119,8 @@ struct Slot {
     commit_log: Rc<CommitLog>,
     /// The membership epoch of the current instance (re-granted on restart).
     epoch: Cell<u64>,
-    /// Concurrency gate (`None` when unbounded).
-    permits: Option<Rc<Semaphore>>,
+    /// Worker-capacity admission gate (pass-through when unbounded).
+    admission: Rc<AdmissionGate>,
 }
 
 impl Slot {
@@ -151,6 +171,8 @@ pub struct CoordinatorCluster {
     started: Cell<bool>,
     /// Takeovers performed so far (telemetry for harnesses and tests).
     takeovers: Cell<u64>,
+    /// Idle sessions reaped so far (telemetry for harnesses and tests).
+    reaped: Cell<u64>,
 }
 
 /// The [`MiddlewareConfig`] a slot's (current or successor) instance runs.
@@ -191,11 +213,19 @@ impl CoordinatorCluster {
                 middleware: RefCell::new(middleware),
                 commit_log,
                 epoch: Cell::new(epoch),
-                permits: (config.max_inflight > 0)
-                    .then(|| Rc::new(Semaphore::new(config.max_inflight))),
+                admission: Rc::new(AdmissionGate::new(config.max_inflight, config.admission)),
             });
         }
         let router = SessionRouter::new(Rc::clone(&membership));
+        // Degradation signal: routing consults each gate's saturation state,
+        // steering new sessions off saturated coordinators before their
+        // leases lapse.
+        let gates: Vec<Rc<AdmissionGate>> = slots.iter().map(|s| Rc::clone(&s.admission)).collect();
+        router.set_saturation_probe(move |coord| {
+            gates
+                .get(coord as usize)
+                .is_some_and(|gate| gate.is_saturated())
+        });
         Rc::new(Self {
             config,
             net,
@@ -206,6 +236,7 @@ impl CoordinatorCluster {
             stopped: Cell::new(false),
             started: Cell::new(false),
             takeovers: Cell::new(0),
+            reaped: Cell::new(0),
         })
     }
 
@@ -257,6 +288,43 @@ impl CoordinatorCluster {
     /// Takeovers performed so far.
     pub fn takeover_count(&self) -> u64 {
         self.takeovers.get()
+    }
+
+    /// Load snapshot of coordinator `coord`'s admission gate: permit
+    /// occupancy, queue depth and shed counters — the degradation signals
+    /// the router's saturation probe reads.
+    pub fn load(&self, coord: u32) -> CoordinatorLoad {
+        self.slots[coord as usize].admission.load()
+    }
+
+    /// Total `begin`s shed (queue full or deadline expired) across the tier.
+    pub fn shed_count(&self) -> u64 {
+        self.slots.iter().map(|s| s.admission.load().shed()).sum()
+    }
+
+    /// Idle sessions reaped so far.
+    pub fn reaped_sessions(&self) -> u64 {
+        self.reaped.get()
+    }
+
+    /// One reaper pass: every live coordinator evicts sessions idle for at
+    /// least `idle_for`, and the router drops their affinity entries. Returns
+    /// how many sessions were reaped. (The background reaper task calls this
+    /// on the configured interval; harnesses may call it directly.)
+    pub fn reap_idle_sessions_once(&self, idle_for: Duration) -> usize {
+        let mut total = 0;
+        for slot in &self.slots {
+            let middleware = slot.middleware();
+            if middleware.is_crashed() {
+                continue; // its registry dies with the process
+            }
+            for session in middleware.reap_idle_sessions(idle_for) {
+                self.router.forget(session);
+                total += 1;
+            }
+        }
+        self.reaped.set(self.reaped.get() + total as u64);
+        total
     }
 
     /// Crash coordinator `coord`'s process: in-flight transactions die, the
@@ -336,6 +404,18 @@ impl CoordinatorCluster {
                 cluster.supervise_once().await;
             }
         });
+        if let Some(reaper) = self.config.session_reaper {
+            let cluster = Rc::clone(self);
+            spawn(async move {
+                loop {
+                    sleep(reaper.interval).await;
+                    if cluster.stopped.get() {
+                        return;
+                    }
+                    cluster.reap_idle_sessions_once(reaper.idle_for);
+                }
+            });
+        }
     }
 
     /// One coordinator instance's lease-renewal loop (generation-scoped: a
@@ -477,12 +557,25 @@ impl CoordinatorCluster {
     ) -> Option<RoutedOutcome> {
         let coordinator = self.router.route(session)?;
         let slot = &self.slots[coordinator as usize];
-        let _permit = match &slot.permits {
-            Some(semaphore) => Some(semaphore.acquire().await.ok()?),
-            None => None,
+        let ticket = match slot.admission.admit().await {
+            Ok(ticket) => ticket,
+            Err(reject) => {
+                if reject.reason == ShedReason::Closed {
+                    return None;
+                }
+                return Some(RoutedOutcome {
+                    coordinator,
+                    outcome: TxnError::overloaded(reject.retry_after).outcome,
+                });
+            }
         };
+        let _permit = ticket.permit;
         let middleware = slot.middleware();
-        let outcome = middleware.run_transaction(spec).await;
+        let mut outcome = middleware.run_transaction(spec).await;
+        if !ticket.queue_time.is_zero() {
+            outcome.breakdown.queue_time += ticket.queue_time;
+            outcome.latency += ticket.queue_time;
+        }
         Some(RoutedOutcome {
             coordinator,
             outcome,
@@ -617,20 +710,32 @@ impl SessionLink for ClusterLink {
                 return Err(TxnError::refused()); // nobody alive; back off + retry
             };
             let slot = &cluster.slots[coordinator as usize];
-            let permit = match &slot.permits {
-                Some(semaphore) => match semaphore.acquire().await {
-                    Ok(permit) => Some(permit),
-                    Err(_) => return Err(TxnError::refused()),
-                },
-                None => None,
+            let ticket = match slot.admission.admit().await {
+                Ok(ticket) => ticket,
+                Err(reject) => {
+                    return Err(if reject.reason == ShedReason::Closed {
+                        TxnError::refused()
+                    } else {
+                        // Explicit load shed: overloaded, back off for the
+                        // hinted duration and retry.
+                        TxnError::overloaded(reject.retry_after)
+                    });
+                }
             };
             let middleware = slot.middleware();
             let mut inner = SessionService::connect(&middleware, session);
             match inner.begin().await {
-                Ok(txn) => Ok(Box::new(ClusterTxn {
-                    inner: Some(txn),
-                    _permit: permit,
-                }) as Box<dyn TxnHandle>),
+                Ok(mut txn) => {
+                    if !ticket.queue_time.is_zero() {
+                        // The wait for a worker permit is part of the client's
+                        // observed begin latency.
+                        txn.note_queue_time(ticket.queue_time);
+                    }
+                    Ok(Box::new(ClusterTxn {
+                        inner: Some(txn),
+                        _permit: ticket.permit,
+                    }) as Box<dyn TxnHandle>)
+                }
                 Err(mut refused) => {
                     // The routed coordinator is crashed but not yet declared
                     // dead; the session re-routes once the supervisor

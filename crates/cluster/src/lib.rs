@@ -25,16 +25,26 @@
 //!   branches (and nobody else's);
 //! * **open-loop load** ([`run_open_loop`]) — a fixed-arrival-rate driver
 //!   that exposes the tier's capacity (and its queueing tail) instead of the
-//!   closed-loop ceiling, for the scale-out experiments.
+//!   closed-loop ceiling, for the scale-out experiments;
+//! * **graceful degradation** ([`AdmissionGate`]) — bounded FIFO admission
+//!   queues with queue-time deadlines and explicit load shedding per
+//!   coordinator, load-aware routing away from saturated coordinators, and
+//!   an idle-session reaper ([`SessionReaperConfig`]) keeping per-session
+//!   state memory-lean under flash crowds.
 
+pub mod admission;
 pub mod cluster;
 pub mod deploy;
 pub mod membership;
 pub mod openloop;
 pub mod ring;
 
+pub use admission::{
+    AdmissionGate, AdmissionPolicy, AdmissionReject, AdmissionTicket, CoordinatorLoad, ShedReason,
+};
 pub use cluster::{
-    ClusterConfig, ClusterSessionService, CoordinatorCluster, RoutedOutcome, TakeoverReport,
+    ClusterConfig, ClusterSessionService, CoordinatorCluster, RoutedOutcome, SessionReaperConfig,
+    TakeoverReport,
 };
 pub use deploy::{build_tier, TierLayout};
 pub use membership::{MembershipConfig, MembershipTable, RenewError, SlotState};

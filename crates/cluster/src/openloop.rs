@@ -63,6 +63,11 @@ pub struct OpenLoopReport {
     pub aborted: u64,
     /// Arrivals (any time) that found no live coordinator.
     pub refused: u64,
+    /// Arrivals (any time) shed by admission control (bounded queue full or
+    /// queue-time deadline expired). Sheds are the tier degrading *on
+    /// purpose*: they are excluded from `aborted` and from the latency
+    /// population, exactly like refusals.
+    pub overloaded: u64,
     /// Committed transactions per second of the measurement window.
     pub throughput: f64,
     /// Mean arrival-to-outcome latency of measured committed transactions
@@ -93,6 +98,7 @@ pub async fn run_open_loop(
     let committed = Rc::new(std::cell::Cell::new(0u64));
     let aborted = Rc::new(std::cell::Cell::new(0u64));
     let refused = Rc::new(std::cell::Cell::new(0u64));
+    let overloaded = Rc::new(std::cell::Cell::new(0u64));
     let mut offered = 0u64;
     let mut tasks = Vec::with_capacity(total_arrivals as usize);
 
@@ -109,6 +115,7 @@ pub async fn run_open_loop(
         let committed = Rc::clone(&committed);
         let aborted = Rc::clone(&aborted);
         let refused = Rc::clone(&refused);
+        let overloaded = Rc::clone(&overloaded);
         tasks.push(spawn(async move {
             let arrived = now();
             // Each arrival drives its transaction through the session front
@@ -119,6 +126,12 @@ pub async fn run_open_loop(
             if outcome.is_refusal() {
                 // Refused: no live coordinator took the session's begin.
                 refused.set(refused.get() + 1);
+                return;
+            }
+            if outcome.is_overloaded() {
+                // Shed by admission control: an explicit, fast rejection —
+                // the degradation the bounded queue exists to produce.
+                overloaded.set(overloaded.get() + 1);
                 return;
             }
             let finished = now();
@@ -155,6 +168,7 @@ pub async fn run_open_loop(
         committed: committed.get(),
         aborted: aborted.get(),
         refused: refused.get(),
+        overloaded: overloaded.get(),
         throughput: committed.get() as f64 / config.measure.as_secs_f64(),
         mean_latency: mean,
         p99_latency: p99,

@@ -11,6 +11,15 @@
 //! * **minimal rebalance** — when a coordinator dies, only *its* sessions
 //!   move (each to the next live point on the ring); when it re-registers,
 //!   only the sessions that originally hashed to its vnodes move back.
+//!
+//! A third, optional input is **load**: a cluster can install a *saturation
+//! probe* ([`SessionRouter::set_saturation_probe`]) reporting which
+//! coordinators are currently saturated (all worker permits taken and
+//! arrivals queueing). Routing then steers sessions away from saturated
+//! coordinators — before their leases lapse — whenever an unsaturated live
+//! alternative exists, and the displaced-goes-home rule brings them back
+//! once the pressure clears. Without a probe, routing is pure
+//! liveness-driven consistent hashing, unchanged.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -44,6 +53,9 @@ fn session_position(session: u64) -> u64 {
     mix(session ^ 0x005e_5510)
 }
 
+/// `probe(coord)` → "is this coordinator saturated right now?".
+type SaturationProbe = Box<dyn Fn(u32) -> bool>;
+
 /// The session router for one cluster.
 pub struct SessionRouter {
     membership: Rc<MembershipTable>,
@@ -54,6 +66,9 @@ pub struct SessionRouter {
     /// at that epoch, or when the session's home coordinator comes back. The
     /// home is cached so the common path (affinity hit) stays O(1).
     affinity: RefCell<FxHashMap<u64, (u32, u64, u32)>>,
+    /// Optional load signal: `probe(coord)` reports whether the coordinator
+    /// is saturated right now. `None` = routing ignores load.
+    saturation: RefCell<Option<SaturationProbe>>,
 }
 
 impl SessionRouter {
@@ -70,7 +85,30 @@ impl SessionRouter {
             membership,
             vnodes,
             affinity: RefCell::new(FxHashMap::default()),
+            saturation: RefCell::new(None),
         }
+    }
+
+    /// Install the saturation probe (see module docs). The cluster wires this
+    /// to its admission gates at build time.
+    pub fn set_saturation_probe(&self, probe: impl Fn(u32) -> bool + 'static) {
+        *self.saturation.borrow_mut() = Some(Box::new(probe));
+    }
+
+    fn saturated(&self, coord: u32) -> bool {
+        self.saturation
+            .borrow()
+            .as_ref()
+            .is_some_and(|probe| probe(coord))
+    }
+
+    /// Whether some live coordinator other than `coord` is not saturated —
+    /// i.e. routing away from `coord` has somewhere better to go.
+    fn has_unsaturated_alternative(&self, coord: u32) -> bool {
+        self.membership
+            .live_coordinators()
+            .iter()
+            .any(|&c| c != coord && !self.saturated(c))
     }
 
     /// Route `session` to a live coordinator: the cached assignment while its
@@ -86,6 +124,7 @@ impl SessionRouter {
             if self.membership.is_alive(coord)
                 && self.membership.current_epoch(coord) == epoch
                 && !displaced
+                && !(self.saturated(coord) && self.has_unsaturated_alternative(coord))
             {
                 return Some(coord);
             }
@@ -112,7 +151,10 @@ impl SessionRouter {
         self.vnodes[start % self.vnodes.len()].1
     }
 
-    /// First live coordinator clockwise from `hash(session)`.
+    /// First live coordinator clockwise from `hash(session)`, preferring
+    /// unsaturated ones: the walk skips saturated coordinators on its first
+    /// lap and falls back to the first live one when the whole tier is
+    /// saturated (liveness beats load).
     fn ring_walk(&self, session: u64) -> Option<u32> {
         if self.vnodes.is_empty() {
             return None;
@@ -120,18 +162,34 @@ impl SessionRouter {
         let position = session_position(session);
         let start = self.vnodes.partition_point(|&(p, _)| p < position);
         let n = self.vnodes.len();
+        let mut first_live = None;
         for i in 0..n {
             let (_, coord) = self.vnodes[(start + i) % n];
             if self.membership.is_alive(coord) {
-                return Some(coord);
+                if !self.saturated(coord) {
+                    return Some(coord);
+                }
+                first_live.get_or_insert(coord);
             }
         }
-        None
+        first_live
     }
 
     /// Drop every cached assignment (tests / explicit rebalance).
     pub fn clear_affinity(&self) {
         self.affinity.borrow_mut().clear();
+    }
+
+    /// Drop one session's cached assignment (idle-session reaping): its next
+    /// `begin` re-routes from the ring as if it had never connected.
+    pub fn forget(&self, session: u64) {
+        self.affinity.borrow_mut().remove(&session);
+    }
+
+    /// Number of sessions with a cached assignment (memory telemetry for the
+    /// reaper's 10^6-session story).
+    pub fn affinity_len(&self) -> usize {
+        self.affinity.borrow().len()
     }
 }
 
@@ -240,6 +298,62 @@ mod tests {
                     "session {s} must be back on its home coordinator"
                 );
             }
+        });
+    }
+
+    /// Load-aware routing: a session leaves its saturated coordinator while
+    /// an unsaturated live alternative exists, and returns home when the
+    /// pressure clears; when *every* coordinator is saturated it stays put
+    /// (shedding happens at admission, not in the router).
+    #[test]
+    fn saturated_coordinator_is_avoided_until_pressure_clears() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let membership = table(2);
+            let router = SessionRouter::new(Rc::clone(&membership));
+            let hot: Rc<std::cell::Cell<Option<u32>>> = Rc::new(std::cell::Cell::new(None));
+            let probe_hot = Rc::clone(&hot);
+            router.set_saturation_probe(move |c| {
+                let h = probe_hot.get();
+                h == Some(c) || h == Some(u32::MAX)
+            });
+            let session = (0..100u64)
+                .find(|&s| router.route(s) == Some(0))
+                .expect("some session homes on coordinator 0");
+            hot.set(Some(0));
+            assert_eq!(
+                router.route(session),
+                Some(1),
+                "session leaves its saturated home"
+            );
+            // Everyone saturated: load no longer discriminates, so routing
+            // degenerates to plain consistent hashing — the displaced
+            // session returns to its ring home (shedding happens at
+            // admission, not in the router).
+            hot.set(Some(u32::MAX));
+            assert_eq!(router.route(session), Some(0), "uniform load goes home");
+            hot.set(Some(0));
+            assert_eq!(router.route(session), Some(1), "leaves again under load");
+            hot.set(None);
+            assert_eq!(
+                router.route(session),
+                Some(0),
+                "returns home once the pressure clears"
+            );
+        });
+    }
+
+    #[test]
+    fn forget_drops_affinity_for_one_session() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let membership = table(2);
+            let router = SessionRouter::new(Rc::clone(&membership));
+            let home = router.route(7).unwrap();
+            assert_eq!(router.affinity_len(), 1);
+            router.forget(7);
+            assert_eq!(router.affinity_len(), 0);
+            assert_eq!(router.route(7), Some(home), "re-routes to the same home");
         });
     }
 

@@ -67,18 +67,20 @@ pub use geotp_workloads as workloads;
 
 pub use geotp_chaos::{
     shrink_schedule, shrink_workload, ChaosConfig, ChaosReport, ChaosWorkload, ClusterChaosConfig,
-    ClusterScenario, DrillWorkload, FaultEvent, FaultSchedule, InteractiveTransferWorkload,
-    InvariantReport, Scenario, ShrinkReport, TpccChaosWorkload, TransferWorkload,
-    WorkloadShrinkReport,
+    ClusterScenario, DrillWorkload, FaultEvent, FaultSchedule, FlashCrowdConfig,
+    InteractiveTransferWorkload, InvariantReport, Scenario, ShrinkReport, TpccChaosWorkload,
+    TransferWorkload, WorkloadShrinkReport,
 };
 pub use geotp_cluster::{
-    run_open_loop, ClusterConfig, ClusterSessionService, CoordinatorCluster, MembershipConfig,
-    MembershipTable, OpenLoopConfig, OpenLoopReport, SessionRouter, TierLayout,
+    run_open_loop, AdmissionPolicy, ClusterConfig, ClusterSessionService, CoordinatorCluster,
+    CoordinatorLoad, MembershipConfig, MembershipTable, OpenLoopConfig, OpenLoopReport,
+    SessionReaperConfig, SessionRouter, TierLayout,
 };
 pub use geotp_datasource::{DataSource, DataSourceConfig, Dialect, DsConnection};
 pub use geotp_middleware::{
     ClientOp, GlobalKey, Middleware, MiddlewareConfig, MiddlewareSessionService, Partitioner,
-    Protocol, RoundResult, Session, SessionService, TransactionSpec, Txn, TxnError, TxnOutcome,
+    Protocol, RetriedOutcome, RetryPolicy, RoundResult, Session, SessionService, TransactionSpec,
+    Txn, TxnError, TxnOutcome,
 };
 pub use geotp_net::{LatencyModel, Network, NetworkBuilder, NodeId, StaticLatency};
 pub use geotp_simrt::Runtime;

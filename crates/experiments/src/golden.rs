@@ -158,6 +158,24 @@ mod tests {
         }
     }
 
+    /// The overload table (graceful degradation vs collapse on a saturated
+    /// coordinator) under the same two-verdict gate: the robustness shape
+    /// (shedding bounds the served p99, no shedding collapses), then the
+    /// byte-level drift gate.
+    #[test]
+    fn golden_overload() {
+        let scale = Scale::from_env();
+        let name = match scale {
+            Scale::Quick => "overload_quick",
+            Scale::Full => "overload_full",
+        };
+        let tables = crate::overload::overload(scale);
+        crate::overload::assert_shedding_bounds_the_tail(&tables);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+    }
+
     /// Golden coverage beyond the drill tables (the ROADMAP open item):
     /// Fig. 6 is the cheapest deterministic figure experiment whose *quick*
     /// table is non-degenerate in every column (Fig. 1b's quick run commits

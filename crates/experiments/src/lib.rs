@@ -19,6 +19,7 @@ pub mod figs_motivation;
 pub mod figs_network;
 pub mod figs_overall;
 pub mod golden;
+pub mod overload;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -57,6 +58,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("failure_drills", failure_drills::failure_drills),
         ("cluster_drills", cluster_drills::cluster_drills),
         ("scaleout", scaleout::scaleout),
+        ("overload", overload::overload),
     ]
 }
 
@@ -67,11 +69,12 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 16);
+        assert_eq!(names.len(), 17);
         assert!(names.contains(&"fig12_ablation"));
         assert!(names.contains(&"tab01_heterogeneous"));
         assert!(names.contains(&"failure_drills"));
         assert!(names.contains(&"cluster_drills"));
         assert!(names.contains(&"scaleout"));
+        assert!(names.contains(&"overload"));
     }
 }

@@ -82,6 +82,15 @@ impl LiveTxn {
     pub(crate) fn note_think(&mut self, thought: Duration) {
         self.breakdown.think_time += thought;
     }
+
+    /// Account admission-queue wait (already elapsed at an outer layer before
+    /// `begin` reached this coordinator): the latency origin moves back so
+    /// the end-to-end latency covers the queue, and the wait lands in
+    /// [`LatencyBreakdown::queue_time`].
+    pub(crate) fn note_queue_time(&mut self, queued: Duration) {
+        self.breakdown.queue_time += queued;
+        self.started = self.started - queued;
+    }
 }
 
 /// The commit protocol / optimization set the coordinator runs.
@@ -400,6 +409,10 @@ pub struct SessionState {
     /// The gtrid of the session's in-flight transaction, if any. Sessions are
     /// single-statement-stream entities: at most one live transaction each.
     pub live_gtrid: Option<u64>,
+    /// Last instant this session connected, began or concluded a transaction.
+    /// The idle-session reaper evicts sessions whose `last_active` is older
+    /// than its deadline, keeping the registry memory-lean at 10^6 sessions.
+    pub last_active: SimInstant,
 }
 
 impl Middleware {
@@ -1372,9 +1385,35 @@ impl Middleware {
     // ------------------------------------------------------------------
 
     /// Register a session (idempotent). Called by the session front door on
-    /// `connect`.
+    /// `connect`; refreshes the session's idle clock, so reconnecting after a
+    /// reap simply re-creates the registry entry.
     pub fn register_session(&self, session: u64) {
-        self.sessions.borrow_mut().entry(session).or_default();
+        let at = now();
+        self.sessions
+            .borrow_mut()
+            .entry(session)
+            .or_default()
+            .last_active = at;
+    }
+
+    /// Evict every session that has no transaction in flight and has been
+    /// idle for at least `idle_for`. Returns the reaped session ids (sorted,
+    /// for deterministic traces). A reaped session's next `begin` fails with
+    /// a clean retryable [`AbortReason::SessionExpired`]; reconnecting
+    /// re-registers it.
+    pub fn reap_idle_sessions(&self, idle_for: Duration) -> Vec<u64> {
+        let cutoff = now();
+        let mut reaped = Vec::new();
+        self.sessions.borrow_mut().retain(|&id, state| {
+            let idle =
+                state.live_gtrid.is_none() && cutoff.duration_since(state.last_active) >= idle_for;
+            if idle {
+                reaped.push(id);
+            }
+            !idle
+        });
+        reaped.sort_unstable();
+        reaped
     }
 
     /// This session's front-door state, if it ever connected.
@@ -1397,10 +1436,12 @@ impl Middleware {
     }
 
     fn note_txn_begin(&self, session: u64, gtrid: u64) {
+        let at = now();
         let mut sessions = self.sessions.borrow_mut();
         let state = sessions.entry(session).or_default();
         state.txns_begun += 1;
         state.live_gtrid = Some(gtrid);
+        state.last_active = at;
     }
 
     fn note_txn_end(&self, session: u64, gtrid: u64) {
@@ -1408,6 +1449,7 @@ impl Middleware {
             if state.live_gtrid == Some(gtrid) {
                 state.live_gtrid = None;
             }
+            state.last_active = now();
         }
     }
 
@@ -1418,6 +1460,12 @@ impl Middleware {
     pub(crate) async fn begin_live(self: &Rc<Self>, session: u64) -> Result<LiveTxn, TxnError> {
         if self.crashed.get() {
             return Err(TxnError::refused());
+        }
+        if !self.sessions.borrow().contains_key(&session) {
+            // The idle-session reaper evicted this session: reject cleanly
+            // (retryable) instead of silently resurrecting registry state.
+            self.stats.borrow_mut().sessions_expired += 1;
+            return Err(TxnError::session_expired());
         }
         let started = now();
         sleep(self.config.analysis_cost).await;

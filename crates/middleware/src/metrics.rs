@@ -29,12 +29,27 @@ pub enum AbortReason {
     /// reset. The client, having vanished, never sees this outcome — it
     /// exists for the coordinator's own bookkeeping.
     ClientDisconnected,
+    /// The coordinator shed the request at admission: its worker pool was
+    /// saturated and the bounded wait queue was full (or the queue-time
+    /// deadline expired before a permit freed up). No transaction ever
+    /// started (`gtrid == 0`); the outcome carries a retry-after hint and the
+    /// client should back off before re-submitting.
+    Overloaded,
+    /// The session was reaped by the idle-session reaper: the registry no
+    /// longer knows this session, so the `begin` was rejected cleanly. The
+    /// client reconnects (which re-registers the session) and retries; the
+    /// cluster front door does this transparently on the next `begin`.
+    SessionExpired,
 }
 
 /// Where a committed transaction's latency went. The fields mirror the
 /// breakdown reported in the paper's Fig. 6c.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencyBreakdown {
+    /// Time spent waiting in a coordinator's bounded admission queue before
+    /// `begin` was granted a worker permit. Zero when admission is unbounded
+    /// (the legacy behaviour) or the permit was free on arrival.
+    pub queue_time: Duration,
     /// Parsing, routing and scheduling work at the middleware.
     pub analysis: Duration,
     /// Admission-control delay (late transaction scheduling backoff).
@@ -62,7 +77,8 @@ pub struct LatencyBreakdown {
 impl LatencyBreakdown {
     /// Total latency across all phases.
     pub fn total(&self) -> Duration {
-        self.analysis
+        self.queue_time
+            + self.analysis
             + self.admission_delay
             + self.execution
             + self.prepare_wait
@@ -126,6 +142,10 @@ pub struct TxnOutcome {
     pub distributed: bool,
     /// Rows returned by read operations (in execution order).
     pub rows: Vec<geotp_storage::Row>,
+    /// When the backend shed this request ([`AbortReason::Overloaded`]), how
+    /// long it suggests the client wait before retrying. `None` for every
+    /// other outcome.
+    pub retry_after: Option<Duration>,
     /// The transaction's declared read/write key sets (only with the
     /// `history` cargo feature; see [`TxnHistory`]).
     #[cfg(feature = "history")]
@@ -151,6 +171,14 @@ impl TxnOutcome {
     /// definition every caller should use.
     pub fn is_refusal(&self) -> bool {
         self.gtrid == 0 && self.abort_reason == Some(AbortReason::CoordinatorCrashed)
+    }
+
+    /// Whether this outcome is an *overload shed*: admission control rejected
+    /// the request before a transaction started. Like a refusal, no
+    /// transaction exists (`gtrid == 0`); unlike a refusal, the backend is
+    /// alive and telling the client to back off ([`TxnOutcome::retry_after`]).
+    pub fn is_overloaded(&self) -> bool {
+        self.abort_reason == Some(AbortReason::Overloaded)
     }
 }
 
@@ -183,6 +211,12 @@ pub struct MiddlewareStats {
     /// Transactions whose prepare-vote or rollback-confirmation wait hit the
     /// decision-wait timeout (a participant crashed or was partitioned away).
     pub decision_wait_timeouts: u64,
+    /// Requests shed at admission (bounded queue full or queue-time deadline
+    /// expired) — the explicit load-shedding path, not a failure.
+    pub overload_sheds: u64,
+    /// `begin`s rejected because the session had been reaped by the
+    /// idle-session reaper.
+    pub sessions_expired: u64,
 }
 
 impl MiddlewareStats {
@@ -200,6 +234,8 @@ impl MiddlewareStats {
                 Some(AbortReason::AdmissionRejected) => self.admission_rejections += 1,
                 Some(AbortReason::ExecutionFailed) => self.execution_failures += 1,
                 Some(AbortReason::PrepareFailed) => self.prepare_failures += 1,
+                Some(AbortReason::Overloaded) => self.overload_sheds += 1,
+                Some(AbortReason::SessionExpired) => self.sessions_expired += 1,
                 _ => {}
             }
         }
@@ -231,6 +267,7 @@ mod tests {
     #[test]
     fn breakdown_total_sums_phases() {
         let b = LatencyBreakdown {
+            queue_time: Duration::from_millis(5),
             analysis: Duration::from_millis(1),
             admission_delay: Duration::from_millis(2),
             execution: Duration::from_millis(70),
@@ -240,7 +277,7 @@ mod tests {
             client_rtt: Duration::from_millis(6),
             think_time: Duration::from_millis(4),
         };
-        assert_eq!(b.total(), Duration::from_millis(150));
+        assert_eq!(b.total(), Duration::from_millis(155));
     }
 
     #[test]

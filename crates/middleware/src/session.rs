@@ -71,6 +71,8 @@ use std::time::Duration;
 use geotp_net::NodeId;
 use geotp_simrt::{now, sleep};
 use geotp_storage::Row;
+use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::coordinator::{LiveTxn, Middleware};
 use crate::metrics::{AbortReason, TxnOutcome};
@@ -118,11 +120,125 @@ impl TxnError {
         }
     }
 
+    /// An overload shed: admission control rejected the `begin` (bounded
+    /// queue full or queue-time deadline expired) before any transaction
+    /// started. Retryable after the supplied retry-after backoff.
+    pub fn overloaded(retry_after: Duration) -> Self {
+        let mut outcome = TxnOutcome::aborted(AbortReason::Overloaded, Duration::ZERO, false);
+        outcome.retry_after = Some(retry_after);
+        Self {
+            reason: AbortReason::Overloaded,
+            retryable: true,
+            outcome,
+        }
+    }
+
+    /// The session was reaped by the idle-session reaper. Retryable: the
+    /// client reconnects (re-registering the session) and begins again.
+    pub fn session_expired() -> Self {
+        Self {
+            reason: AbortReason::SessionExpired,
+            retryable: true,
+            outcome: TxnOutcome::aborted(AbortReason::SessionExpired, Duration::ZERO, false),
+        }
+    }
+
     /// Whether this error is a refused connection (the transaction never
     /// started; the session should back off and re-`begin`).
     pub fn is_refused(&self) -> bool {
         self.outcome.gtrid == 0 && self.reason == AbortReason::CoordinatorCrashed
     }
+
+    /// Whether this error is an overload shed (see [`TxnOutcome::is_overloaded`]).
+    pub fn is_overloaded(&self) -> bool {
+        self.reason == AbortReason::Overloaded
+    }
+}
+
+/// Session-level retry policy: a budget of attempts with capped exponential
+/// backoff and seeded jitter. The jitter is drawn from the caller's RNG
+/// stream, so every retry schedule is a pure function of the run's seed and
+/// fingerprints stay bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` means never retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per retry thereafter.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff (pre-jitter).
+    pub max_backoff: Duration,
+    /// Jitter width as a fraction of the backoff: the slept pause is
+    /// uniformly drawn from `backoff * [1 - jitter/2, 1 + jitter/2)`. Zero
+    /// disables jitter (and draws nothing from the RNG stream).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A fixed-interval policy with no jitter — every retry waits exactly
+    /// `backoff`. This reproduces the legacy harness behaviour (and consumes
+    /// no RNG), so pre-existing chaos fingerprints are unchanged.
+    pub fn fixed(max_attempts: u32, backoff: Duration) -> Self {
+        Self {
+            max_attempts,
+            base_backoff: backoff,
+            max_backoff: backoff,
+            jitter: 0.0,
+        }
+    }
+
+    /// The pause before retry number `retry` (0-based): exponential from
+    /// `base_backoff`, capped at `max_backoff`, jittered from `rng`.
+    pub fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = retry.min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return raw;
+        }
+        let factor = 1.0 - self.jitter / 2.0 + self.jitter * rng.gen::<f64>();
+        Duration::from_secs_f64(raw.as_secs_f64() * factor)
+    }
+
+    /// Whether the session layer may retry this outcome. True for refused
+    /// connections, overload sheds, expired sessions and fenced coordinators
+    /// (all *definite* non-commits); never true for an indeterminate
+    /// coordinator crash (`gtrid != 0`, outcome unknown — retrying could
+    /// double-apply).
+    pub fn should_retry(outcome: &TxnOutcome) -> bool {
+        outcome.is_refusal()
+            || matches!(
+                outcome.abort_reason,
+                Some(AbortReason::Overloaded)
+                    | Some(AbortReason::SessionExpired)
+                    | Some(AbortReason::CoordinatorFenced)
+            )
+    }
+}
+
+/// What [`Session::run_spec_with_retries`] observed: the final outcome plus
+/// how the retry budget was spent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetriedOutcome {
+    /// The last attempt's outcome (committed, or the abort that exhausted the
+    /// budget — the original abort reason survives retry exhaustion).
+    pub outcome: TxnOutcome,
+    /// Attempts made (1 = first try succeeded or was not retryable).
+    pub attempts: u32,
+    /// Total backoff slept between attempts.
+    pub backoff: Duration,
 }
 
 /// The client-observed result of one statement round.
@@ -204,6 +320,12 @@ pub trait TxnHandle {
     /// Record client think time (already slept by the caller) so it lands in
     /// the latency breakdown.
     fn note_think(&mut self, _thought: Duration) {}
+
+    /// Record time this transaction's `begin` spent in an admission queue
+    /// (already elapsed at an outer layer, e.g. the cluster front door) so it
+    /// lands in [`LatencyBreakdown::queue_time`](crate::LatencyBreakdown::queue_time)
+    /// and the end-to-end latency.
+    fn note_queue_time(&mut self, _queued: Duration) {}
 
     /// Commit the transaction.
     fn commit(self: Box<Self>) -> BoxFuture<'static, TxnOutcome>;
@@ -296,6 +418,42 @@ impl Session {
         outcome
     }
 
+    /// [`Session::run_spec_thinking`] under a [`RetryPolicy`]: retryable
+    /// non-commits (refused connections, overload sheds, expired sessions,
+    /// fenced coordinators — see [`RetryPolicy::should_retry`]) are re-run
+    /// after a deterministic backoff until the budget is exhausted. The pause
+    /// honours a shed's retry-after hint when it exceeds the policy's own
+    /// backoff. Jitter comes from `rng`, so the whole schedule is a function
+    /// of the run's seed.
+    pub async fn run_spec_with_retries(
+        &mut self,
+        spec: &TransactionSpec,
+        think_time: Duration,
+        policy: RetryPolicy,
+        rng: &mut StdRng,
+    ) -> RetriedOutcome {
+        let budget = policy.max_attempts.max(1);
+        let mut attempts = 0;
+        let mut backoff_total = Duration::ZERO;
+        loop {
+            attempts += 1;
+            let outcome = self.run_spec_thinking(spec, think_time).await;
+            if outcome.committed || !RetryPolicy::should_retry(&outcome) || attempts >= budget {
+                return RetriedOutcome {
+                    outcome,
+                    attempts,
+                    backoff: backoff_total,
+                };
+            }
+            let mut pause = policy.backoff(attempts - 1, rng);
+            if let Some(hint) = outcome.retry_after {
+                pause = pause.max(hint);
+            }
+            sleep(pause).await;
+            backoff_total += pause;
+        }
+    }
+
     /// Execute a SQL script (BEGIN ... COMMIT) as one transaction through the
     /// live path. Each statement becomes one interactive round; the
     /// `/*+ last */` annotation is honoured.
@@ -367,6 +525,12 @@ impl Txn {
     /// wrap another backend's handle and have slept at their own layer).
     pub fn note_think(&mut self, thought: Duration) {
         self.handle_mut().note_think(thought);
+    }
+
+    /// Record already-elapsed admission-queue time (see
+    /// [`TxnHandle::note_queue_time`]).
+    pub fn note_queue_time(&mut self, queued: Duration) {
+        self.handle_mut().note_queue_time(queued);
     }
 
     /// Commit.
@@ -630,6 +794,12 @@ impl TxnHandle for MiddlewareTxn {
     fn note_think(&mut self, thought: Duration) {
         if let Some(live) = self.live.as_mut() {
             live.note_think(thought);
+        }
+    }
+
+    fn note_queue_time(&mut self, queued: Duration) {
+        if let Some(live) = self.live.as_mut() {
+            live.note_queue_time(queued);
         }
     }
 
