@@ -66,6 +66,7 @@ pub mod invariants;
 pub mod scenarios;
 pub mod schedule;
 pub mod shrink;
+pub mod telemetry;
 pub mod trace;
 pub mod workload;
 
@@ -83,6 +84,9 @@ pub use invariants::{InvariantReport, SerializabilityReport};
 pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
 pub use shrink::{shrink_schedule, shrink_workload, ShrinkReport, WorkloadShrinkReport};
+pub use telemetry::{
+    attach_trace_on_failure, run_scenario_traced, run_scenario_with_traced, write_failure_artifact,
+};
 pub use trace::EventTrace;
 pub use workload::{
     ChaosWorkload, InteractiveTransferWorkload, TpccChaosWorkload, TransferWorkload, CHAOS_TABLE,

@@ -1,0 +1,104 @@
+//! Traced chaos runs: run any scenario with a `geotp-telemetry` collector
+//! installed, and turn a failing drill into an on-disk trace artifact.
+//!
+//! Tracing is guaranteed not to perturb the schedule — the collector only
+//! reads the virtual clock and appends to in-memory structures — so a traced
+//! run's [`ChaosReport::fingerprint`] is byte-identical to the untraced
+//! run's (the golden test in `tests/telemetry_golden.rs` sweeps presets and
+//! seeds to prove it). That makes the trace a *free* diagnostic: when a
+//! drill fails, re-running it traced reproduces the exact same failure with
+//! a full span tree attached.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use geotp_middleware::TransactionSpec;
+use geotp_telemetry::Telemetry;
+
+use crate::harness::{
+    run_scenario, run_scenario_scripted, run_scenario_with, ChaosConfig, ChaosReport,
+};
+use crate::schedule::FaultSchedule;
+use crate::workload::ChaosWorkload;
+
+/// Run `f` with a fresh telemetry collector installed, returning both its
+/// report and the collector. Restores the previous install state afterwards,
+/// so nesting a traced run inside another instrumented context is safe.
+pub fn traced<F: FnOnce() -> ChaosReport>(f: F) -> (ChaosReport, Rc<Telemetry>) {
+    let previous = geotp_telemetry::uninstall();
+    let telemetry = geotp_telemetry::install();
+    let report = f();
+    geotp_telemetry::uninstall();
+    if let Some(previous) = previous {
+        geotp_telemetry::install_collector(previous);
+    }
+    (report, telemetry)
+}
+
+/// [`run_scenario`], traced: same fingerprint, plus the full span tree and
+/// metrics registry for the run.
+pub fn run_scenario_traced(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+) -> (ChaosReport, Rc<Telemetry>) {
+    traced(|| run_scenario(config, schedule))
+}
+
+/// [`run_scenario_with`], traced.
+pub fn run_scenario_with_traced(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+) -> (ChaosReport, Rc<Telemetry>) {
+    traced(|| run_scenario_with(config, schedule, workload))
+}
+
+/// [`run_scenario_scripted`], traced — the replay vehicle for minimized
+/// workloads, with the span tree attached.
+pub fn run_scenario_scripted_traced(
+    config: ChaosConfig,
+    schedule: FaultSchedule,
+    workload: Rc<dyn ChaosWorkload>,
+    scripts: Vec<Vec<TransactionSpec>>,
+) -> (ChaosReport, Rc<Telemetry>) {
+    traced(|| run_scenario_scripted(config, schedule, workload, scripts))
+}
+
+/// Write the failure artifact for a (typically minimized) failing run:
+/// `<name>.trace.json` — the Chrome-trace/Perfetto export of every span —
+/// and `<name>.events.txt` — the replayable event trace and the metrics
+/// snapshot. Returns the trace-file path.
+pub fn write_failure_artifact(
+    dir: &Path,
+    name: &str,
+    report: &ChaosReport,
+    telemetry: &Telemetry,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let trace_path = dir.join(format!("{name}.trace.json"));
+    geotp_telemetry::write_chrome_trace(&trace_path, &telemetry.tracer.spans())?;
+    let mut text = String::new();
+    for line in &report.trace {
+        text.push_str(line);
+        text.push('\n');
+    }
+    text.push('\n');
+    text.push_str(&telemetry.metrics.snapshot().render());
+    std::fs::write(dir.join(format!("{name}.events.txt")), text)?;
+    Ok(trace_path)
+}
+
+/// If `report` violated an invariant, write the failure artifact and return
+/// its path; a green run writes nothing.
+pub fn attach_trace_on_failure(
+    dir: &Path,
+    name: &str,
+    report: &ChaosReport,
+    telemetry: &Telemetry,
+) -> io::Result<Option<PathBuf>> {
+    if report.invariants.all_hold() {
+        return Ok(None);
+    }
+    write_failure_artifact(dir, name, report, telemetry).map(Some)
+}

@@ -146,12 +146,14 @@ impl CoordinatorLoad {
 /// Decrements the gate's queue-depth counter even if the waiting future is
 /// dropped mid-queue (client abandoned the `begin`).
 struct QueueSlot<'a> {
-    queued: &'a Cell<usize>,
+    gate: &'a AdmissionGate,
 }
 
 impl Drop for QueueSlot<'_> {
     fn drop(&mut self) {
-        self.queued.set(self.queued.get() - 1);
+        let gate = self.gate;
+        gate.queued.set(gate.queued.get() - 1);
+        gate.publish_queue_depth();
     }
 }
 
@@ -165,6 +167,8 @@ pub struct AdmissionGate {
     admitted: Cell<u64>,
     shed_queue_full: Cell<u64>,
     shed_deadline: Cell<u64>,
+    /// Coordinator index used to label this gate's telemetry metrics.
+    metrics_index: Cell<u32>,
 }
 
 impl AdmissionGate {
@@ -179,7 +183,24 @@ impl AdmissionGate {
             admitted: Cell::new(0),
             shed_queue_full: Cell::new(0),
             shed_deadline: Cell::new(0),
+            metrics_index: Cell::new(0),
         }
+    }
+
+    /// Tag the gate with its coordinator index so its metrics don't collide
+    /// across a multi-coordinator tier.
+    pub fn with_metrics_index(self, index: u32) -> Self {
+        self.metrics_index.set(index);
+        self
+    }
+
+    fn publish_queue_depth(&self) {
+        geotp_telemetry::gauge_set(
+            "cluster.admission_queue",
+            "",
+            self.metrics_index.get(),
+            self.queued.get() as i64,
+        );
     }
 
     /// The configured policy.
@@ -232,6 +253,7 @@ impl AdmissionGate {
         };
         if let Some(permit) = sem.try_acquire() {
             self.admitted.set(self.admitted.get() + 1);
+            geotp_telemetry::counter_add("cluster.admitted", "", self.metrics_index.get(), 1);
             return Ok(AdmissionTicket {
                 permit: Some(permit),
                 queue_time: Duration::ZERO,
@@ -240,6 +262,12 @@ impl AdmissionGate {
         if let Some(max_queue) = self.policy.max_queue {
             if self.queued.get() >= max_queue {
                 self.shed_queue_full.set(self.shed_queue_full.get() + 1);
+                geotp_telemetry::counter_add(
+                    "cluster.sheds",
+                    "queue_full",
+                    self.metrics_index.get(),
+                    1,
+                );
                 return Err(AdmissionReject {
                     reason: ShedReason::QueueFull,
                     retry_after: self.retry_after_hint(),
@@ -248,14 +276,19 @@ impl AdmissionGate {
         }
         let enqueued = now();
         self.queued.set(self.queued.get() + 1);
-        let _slot = QueueSlot {
-            queued: &self.queued,
-        };
+        self.publish_queue_depth();
+        let _slot = QueueSlot { gate: self };
         let acquired = match self.policy.queue_deadline {
             Some(deadline) => match timeout(deadline, sem.acquire()).await {
                 Ok(result) => result,
                 Err(_elapsed) => {
                     self.shed_deadline.set(self.shed_deadline.get() + 1);
+                    geotp_telemetry::counter_add(
+                        "cluster.sheds",
+                        "deadline",
+                        self.metrics_index.get(),
+                        1,
+                    );
                     return Err(AdmissionReject {
                         reason: ShedReason::DeadlineExpired,
                         retry_after: self.retry_after_hint(),
@@ -267,6 +300,7 @@ impl AdmissionGate {
         match acquired {
             Ok(permit) => {
                 self.admitted.set(self.admitted.get() + 1);
+                geotp_telemetry::counter_add("cluster.admitted", "", self.metrics_index.get(), 1);
                 Ok(AdmissionTicket {
                     permit: Some(permit),
                     queue_time: now().duration_since(enqueued),

@@ -36,7 +36,7 @@ use geotp_middleware::{
 };
 use geotp_net::{Network, NodeId};
 use geotp_simrt::sync::semaphore::SemaphorePermit;
-use geotp_simrt::{join_all, sleep, spawn};
+use geotp_simrt::{join_all, now, sleep, spawn};
 
 use crate::admission::{AdmissionGate, AdmissionPolicy, CoordinatorLoad, ShedReason};
 use crate::membership::{MembershipConfig, MembershipTable};
@@ -206,6 +206,7 @@ impl CoordinatorCluster {
         let mut slots = Vec::with_capacity(config.coordinators);
         for coord in 0..config.coordinators as u32 {
             let epoch = membership.register(coord);
+            geotp_telemetry::gauge_set("cluster.epoch", "", coord, epoch as i64);
             let mw_cfg = slot_middleware_config(&config, coord, epoch, 1);
             let middleware = Middleware::connect(mw_cfg, Rc::clone(&net), sources, None);
             let commit_log = Rc::clone(middleware.commit_log());
@@ -213,7 +214,10 @@ impl CoordinatorCluster {
                 middleware: RefCell::new(middleware),
                 commit_log,
                 epoch: Cell::new(epoch),
-                admission: Rc::new(AdmissionGate::new(config.max_inflight, config.admission)),
+                admission: Rc::new(
+                    AdmissionGate::new(config.max_inflight, config.admission)
+                        .with_metrics_index(coord),
+                ),
             });
         }
         let router = SessionRouter::new(Rc::clone(&membership));
@@ -361,6 +365,7 @@ impl CoordinatorCluster {
             self.membership.declare_dead(coord);
         }
         let epoch = self.membership.register(coord);
+        geotp_telemetry::gauge_set("cluster.epoch", "", coord, epoch as i64);
         let mw_cfg = slot_middleware_config(&self.config, coord, epoch, old.next_txn_seq());
         let successor = Middleware::connect(
             mw_cfg,
@@ -537,6 +542,8 @@ impl CoordinatorCluster {
             .await;
 
         self.takeovers.set(self.takeovers.get() + 1);
+        geotp_telemetry::counter_add("cluster.takeovers", "", by, 1);
+        geotp_telemetry::gauge_set("cluster.epoch", "", dead, fencing_epoch as i64);
         TakeoverReport {
             dead,
             by,
@@ -557,6 +564,7 @@ impl CoordinatorCluster {
     ) -> Option<RoutedOutcome> {
         let coordinator = self.router.route(session)?;
         let slot = &self.slots[coordinator as usize];
+        let enqueued = now();
         let ticket = match slot.admission.admit().await {
             Ok(ticket) => ticket,
             Err(reject) => {
@@ -575,6 +583,20 @@ impl CoordinatorCluster {
         if !ticket.queue_time.is_zero() {
             outcome.breakdown.queue_time += ticket.queue_time;
             outcome.latency += ticket.queue_time;
+            // The queue wait predates the transaction's gtrid; backdate it
+            // into the trace now that the id is known.
+            if outcome.gtrid != 0 {
+                geotp_telemetry::span_leaf_window(
+                    outcome.gtrid,
+                    geotp_telemetry::TraceNode::middleware(coordinator),
+                    geotp_telemetry::SpanKind::Admission,
+                    0,
+                    enqueued,
+                    geotp_simrt::SimInstant::from_micros(
+                        enqueued.as_micros() + ticket.queue_time.as_micros() as u64,
+                    ),
+                );
+            }
         }
         Some(RoutedOutcome {
             coordinator,
@@ -705,11 +727,13 @@ impl SessionLink for ClusterLink {
         let cluster = Rc::clone(&self.cluster);
         let session = self.session;
         Box::pin(async move {
+            let begin_started = now();
             // Route (affinity, else the first live coordinator clockwise).
             let Some(coordinator) = cluster.router.route(session) else {
                 return Err(TxnError::refused()); // nobody alive; back off + retry
             };
             let slot = &cluster.slots[coordinator as usize];
+            let enqueued = now();
             let ticket = match slot.admission.admit().await {
                 Ok(ticket) => ticket,
                 Err(reject) => {
@@ -730,6 +754,32 @@ impl SessionLink for ClusterLink {
                         // The wait for a worker permit is part of the client's
                         // observed begin latency.
                         txn.note_queue_time(ticket.queue_time);
+                    }
+                    if geotp_telemetry::enabled() && txn.gtrid() != 0 {
+                        // Backdate the front-door segments into the trace now
+                        // that the transaction has an id: the full session
+                        // begin, and the admission-queue wait inside it.
+                        let dm = geotp_telemetry::TraceNode::middleware(coordinator);
+                        geotp_telemetry::span_leaf_window(
+                            txn.gtrid(),
+                            dm,
+                            geotp_telemetry::SpanKind::SessionBegin,
+                            session,
+                            begin_started,
+                            now(),
+                        );
+                        if !ticket.queue_time.is_zero() {
+                            geotp_telemetry::span_leaf_window(
+                                txn.gtrid(),
+                                dm,
+                                geotp_telemetry::SpanKind::Admission,
+                                0,
+                                enqueued,
+                                geotp_simrt::SimInstant::from_micros(
+                                    enqueued.as_micros() + ticket.queue_time.as_micros() as u64,
+                                ),
+                            );
+                        }
                     }
                     Ok(Box::new(ClusterTxn {
                         inner: Some(txn),

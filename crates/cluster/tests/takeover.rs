@@ -153,6 +153,7 @@ async fn prepare_in_doubt(cluster: &Rc<CoordinatorCluster>, gtrid: u64) -> Vec<D
                 decentralized_prepare: false,
                 early_abort: false,
                 peers: vec![1 - i as u32],
+                trace_parent: None,
             })
             .await;
         assert!(resp.outcome.is_ok());

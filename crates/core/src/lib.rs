@@ -63,6 +63,7 @@ pub use geotp_net as net;
 pub use geotp_scalardb as scalardb;
 pub use geotp_simrt as simrt;
 pub use geotp_storage as storage;
+pub use geotp_telemetry as telemetry;
 pub use geotp_workloads as workloads;
 
 pub use geotp_chaos::{

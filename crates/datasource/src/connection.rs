@@ -183,6 +183,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![],
+                    trace_parent: None,
                 })
                 .await;
             assert!(matches!(resp.outcome, StatementOutcome::Ok { .. }));
@@ -228,6 +229,7 @@ mod tests {
                 decentralized_prepare: false,
                 early_abort: false,
                 peers: vec![0],
+                trace_parent: None,
             })
             .await;
             conn.prepare(xid).await;

@@ -131,6 +131,12 @@ pub struct StatementRequest {
     /// Data-source indexes of the sibling branches of this distributed
     /// transaction (empty for centralized transactions).
     pub peers: Vec<u32>,
+    /// Trace context riding the message: the dispatching coordinator's open
+    /// span, under which the geo-agent parents its own spans so one trace
+    /// crosses the client → coordinator → data-source boundary. `None` when
+    /// telemetry is off (the common case) — propagation adds no RNG draws, no
+    /// sleeps and no schedule changes either way.
+    pub trace_parent: Option<geotp_telemetry::SpanId>,
 }
 
 impl StatementRequest {
@@ -145,6 +151,7 @@ impl StatementRequest {
             decentralized_prepare: false,
             early_abort: false,
             peers: Vec::new(),
+            trace_parent: None,
         }
     }
 }

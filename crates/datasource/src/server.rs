@@ -259,6 +259,17 @@ impl DataSource {
     ) -> StatementResponse {
         let started = now();
         self.stats.borrow_mut().statements += 1;
+        // The geo-agent's slice of the transaction's trace: parented under
+        // the coordinator span that rode the request, so one trace crosses
+        // the middleware → data-source boundary. Scoped, so the storage
+        // layer's `LockWait` leaves nest under it.
+        let exec_span = geotp_telemetry::span_scoped_under(
+            req.xid.gtrid,
+            geotp_telemetry::TraceNode::data_source(self.index()),
+            geotp_telemetry::SpanKind::AgentExec,
+            req.ops.len() as u64,
+            req.trace_parent,
+        );
 
         // A peer already asked to abort this branch (early abort raced ahead
         // of the branch's first statement): refuse it and confirm the rollback.
@@ -266,6 +277,7 @@ impl DataSource {
             self.mark_finished(req.xid);
             self.stats.borrow_mut().failed_statements += 1;
             self.notify_dm(from, AgentNotification::Rollbacked { xid: req.xid });
+            geotp_telemetry::span_end(exec_span);
             return StatementResponse {
                 outcome: StatementOutcome::Failed {
                     error: StorageError::InvalidState {
@@ -287,6 +299,7 @@ impl DataSource {
             );
             if let Err(error) = self.engine.begin(req.xid) {
                 self.stats.borrow_mut().failed_statements += 1;
+                geotp_telemetry::span_end(exec_span);
                 return StatementResponse {
                     outcome: StatementOutcome::Failed { error },
                     local_execution_latency: now().duration_since(started),
@@ -308,6 +321,7 @@ impl DataSource {
                 Err(error) => {
                     self.stats.borrow_mut().failed_statements += 1;
                     self.fail_branch(from, req, error.clone()).await;
+                    geotp_telemetry::span_end(exec_span);
                     return StatementResponse {
                         outcome: StatementOutcome::Failed { error },
                         local_execution_latency: now().duration_since(started),
@@ -320,6 +334,7 @@ impl DataSource {
             self.spawn_decentralized_prepare(from, req);
         }
 
+        geotp_telemetry::span_end(exec_span);
         StatementResponse {
             outcome: StatementOutcome::Ok { rows },
             local_execution_latency: now().duration_since(started),
@@ -451,10 +466,19 @@ impl DataSource {
         let this = Rc::clone(self);
         let xid = req.xid;
         let peers_empty = req.peers.is_empty();
+        let trace_parent = req.trace_parent;
         spawn(async move {
             // One LAN round trip from the geo-agent to its database.
             sleep(this.config.agent_lan_rtt).await;
+            let prepare_span = geotp_telemetry::span_leaf_under(
+                xid.gtrid,
+                geotp_telemetry::TraceNode::data_source(this.index()),
+                geotp_telemetry::SpanKind::Prepare,
+                xid.bqual as u64,
+                trace_parent,
+            );
             let vote = this.async_prepare(xid, peers_empty).await;
+            geotp_telemetry::span_end(prepare_span);
             this.notify_dm_inline(dm, AgentNotification::PrepareResult { xid, vote })
                 .await;
         });
@@ -641,6 +665,7 @@ mod tests {
                 decentralized_prepare: false,
                 early_abort: false,
                 peers: vec![],
+                trace_parent: None,
             };
             let resp = ds.execute(dm, &req).await;
             match resp.outcome {
@@ -676,6 +701,7 @@ mod tests {
                 decentralized_prepare: true,
                 early_abort: false,
                 peers: vec![1],
+                trace_parent: None,
             };
             let started = now();
             let resp = ds.execute(dm, &req).await;
@@ -713,6 +739,7 @@ mod tests {
                 decentralized_prepare: true,
                 early_abort: false,
                 peers: vec![],
+                trace_parent: None,
             };
             ds.execute(dm, &req).await;
             let notification = rx.recv().await.unwrap();
@@ -778,6 +805,7 @@ mod tests {
                         decentralized_prepare: true,
                         early_abort: true,
                         peers: vec![0],
+                        trace_parent: None,
                     },
                 )
                 .await;
@@ -805,6 +833,7 @@ mod tests {
                         decentralized_prepare: true,
                         early_abort: true,
                         peers: vec![1],
+                        trace_parent: None,
                     },
                 )
                 .await;
@@ -845,6 +874,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: true,
                     peers: vec![1],
+                    trace_parent: None,
                 },
             )
             .await;
@@ -916,6 +946,7 @@ mod tests {
                             decentralized_prepare: true,
                             early_abort: true,
                             peers: vec![1],
+                            trace_parent: None,
                         },
                     )
                     .await
@@ -954,6 +985,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![],
+                    trace_parent: None,
                 },
             )
             .await;
@@ -972,6 +1004,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![1],
+                    trace_parent: None,
                 },
             )
             .await;
@@ -1004,6 +1037,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![1],
+                    trace_parent: None,
                 },
             )
             .await;

@@ -222,6 +222,11 @@ mod tests {
         crate::figs_overall::fig05_scalability
     );
     golden_figure!(
+        golden_fig06_trace_breakdown,
+        "fig06_trace_breakdown",
+        crate::figs_motivation::fig06_trace_breakdown
+    );
+    golden_figure!(
         golden_fig07_dist_ratio_ycsb,
         "fig07_dist_ratio_ycsb",
         crate::figs_distributed::fig07_dist_ratio_ycsb

@@ -40,6 +40,10 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("fig05_scalability", figs_overall::fig05_scalability),
         ("fig06_breakdown", figs_motivation::fig06_breakdown),
         (
+            "fig06_trace_breakdown",
+            figs_motivation::fig06_trace_breakdown,
+        ),
+        (
             "fig07_dist_ratio_ycsb",
             figs_distributed::fig07_dist_ratio_ycsb,
         ),
@@ -69,7 +73,8 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 17);
+        assert_eq!(names.len(), 18);
+        assert!(names.contains(&"fig06_trace_breakdown"));
         assert!(names.contains(&"fig12_ablation"));
         assert!(names.contains(&"tab01_heterogeneous"));
         assert!(names.contains(&"failure_drills"));

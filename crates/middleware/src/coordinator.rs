@@ -28,6 +28,7 @@ use geotp_datasource::{
 use geotp_net::{LatencyMonitor, MonitorConfig, Network, NodeId};
 use geotp_simrt::{join_all, now, sleep, spawn, SimInstant};
 use geotp_storage::Xid;
+use geotp_telemetry::{SpanKind, TraceNode};
 
 use crate::commit_log::{CommitLog, Decision};
 use crate::metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnOutcome};
@@ -731,7 +732,25 @@ impl Middleware {
             outcome.history = crate::metrics::TxnHistory::from_spec(spec);
         }
         self.stats.borrow_mut().record(&outcome);
+        self.trace_txn_exit(gtrid, &outcome);
         outcome
+    }
+
+    /// Telemetry hook shared by every transaction exit path: close whatever
+    /// spans are still open for this transaction on this coordinator (the
+    /// root `Txn` span on the happy path; a dangling `Round` too on crash and
+    /// abandon paths) and mirror the outcome into the metrics registry.
+    fn trace_txn_exit(&self, gtrid: u64, outcome: &TxnOutcome) {
+        if !geotp_telemetry::enabled() {
+            return;
+        }
+        let idx = self.config.node.index();
+        geotp_telemetry::span_end_all(gtrid, TraceNode::middleware(idx));
+        if outcome.committed {
+            geotp_telemetry::counter_add("mw.committed", "", idx, 1);
+        } else if let Some(reason) = outcome.abort_reason {
+            geotp_telemetry::counter_add("mw.aborts", reason.label(), idx, 1);
+        }
     }
 
     /// Run one client transaction end to end and return its outcome.
@@ -761,6 +780,11 @@ impl Middleware {
         let distributed = scratch.involved.len() > 1;
         let gtrid = self.alloc_gtrid();
         self.hub.register(gtrid);
+        // Trace root + the analysis slice (backdated: the gtrid only exists
+        // now, after the analysis already ran).
+        let dm = TraceNode::middleware(self.config.node.index());
+        geotp_telemetry::span_root_at(gtrid, dm, SpanKind::Txn, spec.rounds.len() as u64, started);
+        geotp_telemetry::span_leaf_closed(gtrid, dm, SpanKind::Analysis, 0, started);
         let advanced = self.config.protocol.advanced();
         if advanced {
             self.scheduler
@@ -776,6 +800,8 @@ impl Middleware {
         let mut rows = Vec::new();
 
         for (round_idx, round_ops) in spec.rounds.iter().enumerate() {
+            let round_span =
+                geotp_telemetry::span_scoped(gtrid, dm, SpanKind::Round, round_idx as u64);
             // Per-branch operation groups borrow from the spec — nothing is
             // cloned for routing.
             let mut groups = self.config.partitioner.split(round_ops);
@@ -859,6 +885,7 @@ impl Middleware {
                     } else {
                         Vec::new()
                     },
+                    trace_parent: round_span,
                 });
             }
             for (ds, _) in &groups {
@@ -916,6 +943,7 @@ impl Middleware {
             }
 
             if failed {
+                geotp_telemetry::span_end(round_span);
                 breakdown.execution = now().duration_since(exec_started);
                 let failed_here: Vec<u32> = groups
                     .iter()
@@ -923,8 +951,15 @@ impl Middleware {
                     .filter(|(_, r)| !r.outcome.is_ok())
                     .map(|((ds, _), _)| *ds)
                     .collect();
+                let abort_span = geotp_telemetry::span_leaf(
+                    gtrid,
+                    dm,
+                    SpanKind::RollbackDispatch,
+                    scratch.started_branches.len() as u64,
+                );
                 self.abort_started_branches(gtrid, &scratch.started_branches, &failed_here)
                     .await;
+                geotp_telemetry::span_end(abort_span);
                 let outcome = TxnOutcome {
                     gtrid,
                     committed: false,
@@ -938,6 +973,7 @@ impl Middleware {
                 self.return_scratch(scratch);
                 return outcome;
             }
+            geotp_telemetry::span_end(round_span);
         }
         breakdown.execution = now().duration_since(exec_started);
 
@@ -1127,11 +1163,14 @@ impl Middleware {
         annotated: bool,
         breakdown: &mut LatencyBreakdown,
     ) -> Result<(), AbortReason> {
+        let dm = TraceNode::middleware(self.config.node.index());
         // Centralized transaction: a single one-phase commit round trip.
         if !distributed {
             let ds = involved[0];
             let flush_started = now();
+            let flush_span = geotp_telemetry::span_leaf(gtrid, dm, SpanKind::LogFlush, 0);
             let flushed = self.flush_decision(gtrid, Decision::Commit).await;
+            geotp_telemetry::span_end(flush_span);
             breakdown.log_flush = now().duration_since(flush_started);
             if !flushed {
                 return Err(AbortReason::CoordinatorFenced);
@@ -1143,7 +1182,9 @@ impl Middleware {
                 return Err(AbortReason::CoordinatorCrashed);
             }
             let commit_started = now();
+            let commit_span = geotp_telemetry::span_leaf(gtrid, dm, SpanKind::CommitDispatch, 1);
             let result = self.conn(ds).commit(Xid::new(gtrid, ds), true).await;
+            geotp_telemetry::span_end(commit_span);
             breakdown.commit = now().duration_since(commit_started);
             return match result {
                 Ok(()) => Ok(()),
@@ -1163,6 +1204,12 @@ impl Middleware {
                 // transaction aborts, exactly like a real XA coordinator
                 // giving up on a dead participant.
                 let wait_started = now();
+                let wait_span = geotp_telemetry::span_leaf(
+                    gtrid,
+                    dm,
+                    SpanKind::VoteWait,
+                    involved.len() as u64,
+                );
                 let votes = match geotp_simrt::timeout(
                     self.config.decision_wait_timeout,
                     self.hub.wait_for_votes(gtrid, involved),
@@ -1179,6 +1226,7 @@ impl Middleware {
                         votes
                     }
                 };
+                geotp_telemetry::span_end(wait_span);
                 breakdown.prepare_wait = now().duration_since(wait_started);
                 let all_yes = involved
                     .iter()
@@ -1189,7 +1237,9 @@ impl Middleware {
             Protocol::SspLocal => {
                 // One-phase commit everywhere, no vote collection.
                 let flush_started = now();
+                let flush_span = geotp_telemetry::span_leaf(gtrid, dm, SpanKind::LogFlush, 0);
                 let flushed = self.flush_decision(gtrid, Decision::Commit).await;
+                geotp_telemetry::span_end(flush_span);
                 breakdown.log_flush = now().duration_since(flush_started);
                 if !flushed {
                     return Err(AbortReason::CoordinatorFenced);
@@ -1198,6 +1248,12 @@ impl Middleware {
                     return Err(AbortReason::CoordinatorCrashed);
                 }
                 let commit_started = now();
+                let commit_span = geotp_telemetry::span_leaf(
+                    gtrid,
+                    dm,
+                    SpanKind::CommitDispatch,
+                    involved.len() as u64,
+                );
                 let results = join_all(
                     involved
                         .iter()
@@ -1209,6 +1265,7 @@ impl Middleware {
                         .collect(),
                 )
                 .await;
+                geotp_telemetry::span_end(commit_span);
                 breakdown.commit = now().duration_since(commit_started);
                 // No atomicity guarantee: report commit if any branch made it.
                 if results.iter().any(Result::is_ok) {
@@ -1221,6 +1278,8 @@ impl Middleware {
                 // Classic XA: explicit prepare round trip (SSP, QURO, and any
                 // GeoTP transaction the client did not annotate).
                 let wait_started = now();
+                let prepare_span =
+                    geotp_telemetry::span_leaf(gtrid, dm, SpanKind::Prepare, involved.len() as u64);
                 let votes_vec = join_all(
                     involved
                         .iter()
@@ -1232,6 +1291,7 @@ impl Middleware {
                         .collect(),
                 )
                 .await;
+                geotp_telemetry::span_end(prepare_span);
                 breakdown.prepare_wait = now().duration_since(wait_started);
                 let votes: HashMap<u32, PrepareVote> = votes_vec.into_iter().collect();
                 let all_yes = involved
@@ -1252,13 +1312,16 @@ impl Middleware {
         votes: &HashMap<u32, PrepareVote>,
         breakdown: &mut LatencyBreakdown,
     ) -> Result<(), AbortReason> {
+        let dm = TraceNode::middleware(self.config.node.index());
         let flush_started = now();
         let decision = if all_yes {
             Decision::Commit
         } else {
             Decision::Abort
         };
+        let flush_span = geotp_telemetry::span_leaf(gtrid, dm, SpanKind::LogFlush, 0);
         let flushed = self.flush_decision(gtrid, decision).await;
+        geotp_telemetry::span_end(flush_span);
         breakdown.log_flush = now().duration_since(flush_started);
         if !flushed {
             // Fenced mid-transaction: the decision never became durable, so
@@ -1276,6 +1339,12 @@ impl Middleware {
 
         let commit_started = now();
         if all_yes {
+            let dispatch_span = geotp_telemetry::span_leaf(
+                gtrid,
+                dm,
+                SpanKind::CommitDispatch,
+                involved.len() as u64,
+            );
             let results = join_all(
                 involved
                     .iter()
@@ -1288,6 +1357,7 @@ impl Middleware {
                     .collect(),
             )
             .await;
+            geotp_telemetry::span_end(dispatch_span);
             breakdown.commit = now().duration_since(commit_started);
             // The commit decision is durable, so the transaction *is*
             // committed no matter what the per-branch dispatch returned. A
@@ -1307,6 +1377,12 @@ impl Middleware {
                 .copied()
                 .filter(|ds| votes.get(ds).map(|v| v.is_yes()).unwrap_or(false))
                 .collect();
+            let dispatch_span = geotp_telemetry::span_leaf(
+                gtrid,
+                dm,
+                SpanKind::RollbackDispatch,
+                to_rollback.len() as u64,
+            );
             join_all(
                 to_rollback
                     .iter()
@@ -1320,6 +1396,7 @@ impl Middleware {
                     .collect(),
             )
             .await;
+            geotp_telemetry::span_end(dispatch_span);
             breakdown.commit = now().duration_since(commit_started);
             Err(AbortReason::PrepareFailed)
         }
@@ -1352,20 +1429,40 @@ impl Middleware {
     ) -> (usize, usize) {
         let mut committed = 0;
         let mut aborted = 0;
+        let dm = TraceNode::middleware(self.config.node.index());
         for conn in self.connections.values() {
             let prepared = conn.recover_prepared_owned_by(owner).await;
             for xid in prepared {
+                // Recovery spans attach to the *original* transaction's trace
+                // (keyed by its gtrid), even when this coordinator is a peer
+                // adopting a dead owner's space — the trace of an in-doubt
+                // transaction shows who finished it, and how.
+                let rec_span =
+                    geotp_telemetry::span_root(xid.gtrid, dm, SpanKind::Recovery, xid.bqual as u64);
                 match decision_log.decision(xid.gtrid) {
                     Some(Decision::Commit) => {
                         if conn.commit(xid, false).await.is_ok() {
                             committed += 1;
                         }
+                        geotp_telemetry::counter_add(
+                            "mw.recovered",
+                            "commit",
+                            self.config.node.index(),
+                            1,
+                        );
                     }
                     Some(Decision::Abort) | None => {
                         let _ = conn.rollback(xid).await;
                         aborted += 1;
+                        geotp_telemetry::counter_add(
+                            "mw.recovered",
+                            "abort",
+                            self.config.node.index(),
+                            1,
+                        );
                     }
                 }
+                geotp_telemetry::span_end(rec_span);
             }
         }
         (committed, aborted)
@@ -1476,6 +1573,9 @@ impl Middleware {
         let gtrid = self.alloc_gtrid();
         self.hub.register(gtrid);
         self.note_txn_begin(session, gtrid);
+        let dm = TraceNode::middleware(self.config.node.index());
+        geotp_telemetry::span_root_at(gtrid, dm, SpanKind::Txn, session, started);
+        geotp_telemetry::span_leaf_closed(gtrid, dm, SpanKind::Analysis, 0, started);
         let mut scratch = self.take_scratch();
         scratch.keys.clear();
         scratch.involved.clear();
@@ -1515,6 +1615,9 @@ impl Middleware {
         let advanced = self.config.protocol.advanced();
         let round_idx = txn.rounds;
         txn.rounds += 1;
+        let dm = TraceNode::middleware(self.config.node.index());
+        let round_span =
+            geotp_telemetry::span_scoped(txn.gtrid, dm, SpanKind::Round, round_idx as u64);
 
         // Merge this round's keys into the transaction's accumulated key set
         // and recompute the involvement (interactive transactions grow their
@@ -1611,6 +1714,7 @@ impl Middleware {
                 } else {
                     Vec::new()
                 },
+                trace_parent: round_span,
             });
         }
         for (ds, _) in &groups {
@@ -1644,6 +1748,7 @@ impl Middleware {
                         .copied()
                         .filter(|p| *p != ds)
                         .collect(),
+                    trace_parent: round_span,
                 };
                 spawn(async move {
                     let _ = conn.execute(request).await;
@@ -1682,6 +1787,7 @@ impl Middleware {
         }
 
         if !failed_here.is_empty() {
+            geotp_telemetry::span_end(round_span);
             txn.breakdown.execution += now().duration_since(round_started);
             let started_branches = txn.scratch.started_branches.clone();
             self.abort_started_branches(txn.gtrid, &started_branches, &failed_here)
@@ -1703,6 +1809,7 @@ impl Middleware {
                 rows.append(r);
             }
         }
+        geotp_telemetry::span_end(round_span);
         txn.breakdown.execution += now().duration_since(round_started);
         Ok(rows)
     }
@@ -1856,6 +1963,7 @@ impl Middleware {
             outcome.history = history;
         }
         self.stats.borrow_mut().record(&outcome);
+        self.trace_txn_exit(txn.gtrid, &outcome);
         self.note_txn_end(txn.session, txn.gtrid);
         self.return_scratch(std::mem::take(&mut txn.scratch));
         outcome

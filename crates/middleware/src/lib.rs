@@ -31,7 +31,9 @@ pub use avl::{AvlHandle, AvlMap};
 pub use commit_log::{CommitLog, Decision, Fenced};
 pub use coordinator::{gtrid_owner, Middleware, MiddlewareConfig, Protocol, SessionState};
 pub use hotspot::{HotRecordStats, HotspotConfig, HotspotFootprint};
-pub use metrics::{AbortReason, LatencyBreakdown, MiddlewareStats, TxnHistory, TxnOutcome};
+pub use metrics::{
+    AbortReason, LatencyBreakdown, MiddlewareStats, TxnHistory, TxnOutcome, ABORT_REASONS,
+};
 pub use ops::{ClientOp, GlobalKey, TransactionSpec};
 pub use parser::{Catalog, ParseError, ParsedStatement, Rewriter, SqlParser, TxnControl};
 pub use router::Partitioner;
@@ -455,6 +457,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![1 - i as u32],
+                    trace_parent: None,
                 })
                 .await;
                 assert_eq!(
@@ -488,6 +491,7 @@ mod tests {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![1],
+                    trace_parent: None,
                 })
                 .await;
             conn0.prepare(xid2).await;

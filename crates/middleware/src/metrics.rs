@@ -42,6 +42,42 @@ pub enum AbortReason {
     SessionExpired,
 }
 
+/// Every abort reason, in declaration order. Collectors index breakdown
+/// arrays with [`AbortReason::ordinal`], which points into this list.
+pub const ABORT_REASONS: [AbortReason; 9] = [
+    AbortReason::AdmissionRejected,
+    AbortReason::ExecutionFailed,
+    AbortReason::PrepareFailed,
+    AbortReason::ClientRollback,
+    AbortReason::CoordinatorCrashed,
+    AbortReason::CoordinatorFenced,
+    AbortReason::ClientDisconnected,
+    AbortReason::Overloaded,
+    AbortReason::SessionExpired,
+];
+
+impl AbortReason {
+    /// Stable machine-readable label (used as a metric label).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortReason::AdmissionRejected => "admission_rejected",
+            AbortReason::ExecutionFailed => "execution_failed",
+            AbortReason::PrepareFailed => "prepare_failed",
+            AbortReason::ClientRollback => "client_rollback",
+            AbortReason::CoordinatorCrashed => "coordinator_crashed",
+            AbortReason::CoordinatorFenced => "coordinator_fenced",
+            AbortReason::ClientDisconnected => "client_disconnected",
+            AbortReason::Overloaded => "overloaded",
+            AbortReason::SessionExpired => "session_expired",
+        }
+    }
+
+    /// Index into [`ABORT_REASONS`]-shaped accumulation arrays.
+    pub fn ordinal(self) -> usize {
+        ABORT_REASONS.iter().position(|r| *r == self).unwrap()
+    }
+}
+
 /// Where a committed transaction's latency went. The fields mirror the
 /// breakdown reported in the paper's Fig. 6c.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -217,6 +253,14 @@ pub struct MiddlewareStats {
     /// `begin`s rejected because the session had been reaped by the
     /// idle-session reaper.
     pub sessions_expired: u64,
+    /// Aborts the client asked for (explicit ROLLBACK scripts).
+    pub client_rollbacks: u64,
+    /// Transactions lost to a coordinator crash mid-flight.
+    pub coordinator_crashes: u64,
+    /// Transactions aborted because their coordinator was fenced by a peer.
+    pub coordinator_fences: u64,
+    /// Transactions rolled back after the client's connection dropped.
+    pub client_disconnects: u64,
 }
 
 impl MiddlewareStats {
@@ -236,7 +280,11 @@ impl MiddlewareStats {
                 Some(AbortReason::PrepareFailed) => self.prepare_failures += 1,
                 Some(AbortReason::Overloaded) => self.overload_sheds += 1,
                 Some(AbortReason::SessionExpired) => self.sessions_expired += 1,
-                _ => {}
+                Some(AbortReason::ClientRollback) => self.client_rollbacks += 1,
+                Some(AbortReason::CoordinatorCrashed) => self.coordinator_crashes += 1,
+                Some(AbortReason::CoordinatorFenced) => self.coordinator_fences += 1,
+                Some(AbortReason::ClientDisconnected) => self.client_disconnects += 1,
+                None => {}
             }
         }
     }

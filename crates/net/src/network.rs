@@ -23,6 +23,11 @@ pub struct LinkStats {
     pub total_latency_micros: u64,
 }
 
+/// Estimated wire size charged per simulated message (the simulation carries
+/// no real payloads; this keeps the `net.bytes` metric proportional to
+/// message counts at a realistic RPC-frame scale).
+const ESTIMATED_FRAME_BYTES: u64 = 64;
+
 struct Link {
     model: Box<dyn LatencyModel>,
     stats: LinkStats,
@@ -149,6 +154,20 @@ impl Network {
         if a == b {
             return Duration::ZERO;
         }
+        // Simulated messages carry no real payloads, so bytes are an
+        // estimated wire size: one fixed-size frame per message. Both
+        // counters bump inside one collector access — this is the hottest
+        // instrumentation point in the tier.
+        geotp_telemetry::with(|t| {
+            t.metrics
+                .counter_add("net.messages", a.kind_label(), a.index(), 1);
+            t.metrics.counter_add(
+                "net.bytes",
+                a.kind_label(),
+                a.index(),
+                ESTIMATED_FRAME_BYTES,
+            );
+        });
         let mut links = self.links.borrow_mut();
         let mut rng = self.rng.borrow_mut();
         match links.get_mut(&Self::key(a, b)) {
@@ -228,6 +247,7 @@ impl Network {
                 .unwrap_or(1)
         };
         if copies == 0 {
+            geotp_telemetry::counter_add("net.drops", from.kind_label(), from.index(), 1);
             return 0;
         }
         self.transfer(from, to).await;

@@ -67,6 +67,30 @@ impl NodeId {
     pub const fn index(&self) -> u32 {
         self.index
     }
+
+    /// Short static label for the node's role, used as a metric label.
+    pub const fn kind_label(&self) -> &'static str {
+        match self.kind {
+            NodeKind::Client => "client",
+            NodeKind::Middleware => "dm",
+            NodeKind::DataSource => "ds",
+            NodeKind::Control => "ctl",
+        }
+    }
+}
+
+/// A [`NodeId`] and the telemetry crate's [`geotp_telemetry::TraceNode`]
+/// describe the same node; telemetry sits below this crate in the dependency
+/// graph, so the conversion lives here.
+impl From<NodeId> for geotp_telemetry::TraceNode {
+    fn from(id: NodeId) -> Self {
+        match id.kind {
+            NodeKind::Client => geotp_telemetry::TraceNode::client(id.index),
+            NodeKind::Middleware => geotp_telemetry::TraceNode::middleware(id.index),
+            NodeKind::DataSource => geotp_telemetry::TraceNode::data_source(id.index),
+            NodeKind::Control => geotp_telemetry::TraceNode::control(id.index),
+        }
+    }
 }
 
 impl fmt::Display for NodeId {

@@ -408,6 +408,15 @@ pub(crate) fn current_now() -> SimInstant {
     with_current(|inner| SimInstant::from_micros(inner.now_micros()))
 }
 
+/// Like [`current_now`], but `None` when no runtime is active on this thread.
+pub(crate) fn try_current_now() -> Option<SimInstant> {
+    CURRENT.with(|cur| {
+        cur.borrow()
+            .as_ref()
+            .map(|inner| SimInstant::from_micros(inner.now_micros()))
+    })
+}
+
 /// Register a wake-up at `deadline` (virtual) for `waker` on the active runtime.
 pub(crate) fn current_register_timer(deadline: SimInstant, waker: Waker) {
     with_current(|inner| inner.register_timer(deadline.as_micros(), waker));

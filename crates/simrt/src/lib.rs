@@ -51,7 +51,7 @@ pub use future_util::{
     join_all, race, timeout, timeout_unpin, yield_now, Either, Elapsed, Timeout,
 };
 pub use task::JoinHandle;
-pub use time::{now, sleep, sleep_until, SimInstant, Sleep};
+pub use time::{now, sleep, sleep_until, try_now, SimInstant, Sleep};
 
 /// Convenience: build a fresh [`Runtime`] and run `fut` to completion on it.
 ///

@@ -93,6 +93,13 @@ pub fn now() -> SimInstant {
     current_now()
 }
 
+/// Current virtual time of the active runtime, or `None` when no runtime is
+/// running on this thread (e.g. inspecting collected telemetry after
+/// `block_on` returned).
+pub fn try_now() -> Option<SimInstant> {
+    crate::executor::try_current_now()
+}
+
 /// Future returned by [`sleep`] / [`sleep_until`].
 #[derive(Debug)]
 pub struct Sleep {

@@ -682,6 +682,7 @@ impl StorageEngine {
         sleep(self.config.cost.decision_apply).await;
         self.wal.flush();
         self.finish(xid, false);
+        geotp_telemetry::counter_add("storage.branch_rollbacks", "", xid.bqual, 1);
         Ok(())
     }
 

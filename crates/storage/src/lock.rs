@@ -345,6 +345,16 @@ impl LockManager {
             });
         self.index_waiting(xid, key);
 
+        // Contended wait: visible to telemetry as a LockWait leaf span on the
+        // data source (nested under whatever agent span is open) plus a
+        // wait-latency histogram sample, labelled by how the wait ended.
+        let wait_span = geotp_telemetry::span_leaf(
+            xid.gtrid,
+            geotp_telemetry::TraceNode::data_source(xid.bqual),
+            geotp_telemetry::SpanKind::LockWait,
+            key.row,
+        );
+
         // `timeout_unpin` keeps the deadline state inline: together with the
         // pooled grant channel, a contended acquire performs no allocations in
         // the steady state (`timeout` would box both future and sleep).
@@ -353,6 +363,15 @@ impl LockManager {
         self.stats
             .total_wait_micros
             .set(self.stats.total_wait_micros.get() + waited.as_micros() as u64);
+        if geotp_telemetry::enabled() {
+            geotp_telemetry::span_end(wait_span);
+            let fate = match &outcome {
+                Ok(Ok(Ok(()))) => "granted",
+                Ok(Ok(Err(LockError::Cancelled))) | Ok(Err(_)) => "cancelled",
+                Ok(Ok(Err(LockError::Timeout))) | Err(_) => "timeout",
+            };
+            geotp_telemetry::observe("storage.lock_wait", fate, xid.bqual, waited);
+        }
         match outcome {
             Ok(Ok(Ok(()))) => {
                 // The granting side (promote_waiters) has already moved this

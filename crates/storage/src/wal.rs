@@ -99,6 +99,7 @@ impl WriteAheadLog {
         }
         *self.durable_len.borrow_mut() = records.len();
         *self.flush_count.borrow_mut() += 1;
+        geotp_telemetry::counter_add("storage.wal_flushes", "", 0, 1);
     }
 
     /// Number of flush (fsync) operations performed.

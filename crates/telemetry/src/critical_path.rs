@@ -1,0 +1,276 @@
+//! Critical-path analysis over recorded trace trees.
+//!
+//! For one transaction the analysis walks its span tree *backwards in
+//! virtual time* from the root's end: at every level the child that was still
+//! running latest is the blocking work, the gap after it belongs to the
+//! parent itself, and the walk recurses into the child's window. Every
+//! microsecond of the root span is attributed to exactly one [`SpanKind`], so
+//! the per-kind breakdown always sums to the root's duration — the same
+//! latency decomposition the paper's figure 6 presents, but derived from the
+//! trace instead of hand-placed timers.
+
+use std::time::Duration;
+
+use geotp_simrt::hash::FxHashMap;
+
+use crate::span::{Span, SpanId, SpanKind, SPAN_KINDS};
+
+/// The critical-path attribution of one transaction (or an aggregate of
+/// many): total root latency plus per-kind blocking time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// Total attributed latency in virtual microseconds.
+    pub total_micros: u64,
+    /// Blocking micros per span kind, indexed by [`SpanKind::ordinal`].
+    pub by_kind: [u64; SPAN_KINDS.len()],
+    /// Number of transactions aggregated (1 for a single-txn path).
+    pub txns: u64,
+}
+
+impl CriticalPath {
+    /// Blocking time attributed to one span kind.
+    pub fn micros(&self, kind: SpanKind) -> u64 {
+        self.by_kind[kind.ordinal()]
+    }
+
+    /// Blocking time attributed to one span kind, as a [`Duration`].
+    pub fn duration(&self, kind: SpanKind) -> Duration {
+        Duration::from_micros(self.micros(kind))
+    }
+
+    /// Merge another attribution into this one (for per-scenario aggregates).
+    pub fn merge(&mut self, other: &CriticalPath) {
+        self.total_micros += other.total_micros;
+        for (a, b) in self.by_kind.iter_mut().zip(&other.by_kind) {
+            *a += b;
+        }
+        self.txns += other.txns;
+    }
+
+    /// `(kind, micros)` rows with non-zero attribution, largest first; ties
+    /// break on taxonomy order so output is deterministic.
+    pub fn rows(&self) -> Vec<(SpanKind, u64)> {
+        let mut rows: Vec<(SpanKind, u64)> = SPAN_KINDS
+            .iter()
+            .map(|k| (*k, self.by_kind[k.ordinal()]))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        rows.sort_by_key(|(kind, v)| (std::cmp::Reverse(*v), kind.ordinal()));
+        rows
+    }
+
+    /// Render as aligned `kind  micros  percent` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (kind, micros) in self.rows() {
+            let pct = if self.total_micros == 0 {
+                0.0
+            } else {
+                micros as f64 * 100.0 / self.total_micros as f64
+            };
+            out.push_str(&format!(
+                "{:<18} {:>10} us  {:>5.1}%\n",
+                kind.label(),
+                micros,
+                pct
+            ));
+        }
+        out.push_str(&format!(
+            "{:<18} {:>10} us  100.0%\n",
+            "total", self.total_micros
+        ));
+        out
+    }
+}
+
+/// Attribute the window `[lo, hi]` of `span` across its subtree.
+fn attribute(
+    span: &Span,
+    lo: u64,
+    hi: u64,
+    children: &FxHashMap<SpanId, Vec<Span>>,
+    acc: &mut [u64; SPAN_KINDS.len()],
+) {
+    let mut cursor = hi;
+    if let Some(kids) = children.get(&span.id) {
+        // Walk backwards: the child still running latest is the blocking one.
+        let mut kids: Vec<&Span> = kids.iter().collect();
+        kids.sort_by_key(|c| {
+            (
+                std::cmp::Reverse(c.end.as_micros()),
+                std::cmp::Reverse(c.start.as_micros()),
+                c.id.seq,
+            )
+        });
+        for child in kids {
+            let c_start = child.start.as_micros();
+            if c_start >= cursor {
+                continue; // fully after the remaining window (a sibling we already passed)
+            }
+            let c_hi = child.end.as_micros().min(cursor);
+            let c_lo = c_start.max(lo);
+            if c_hi <= c_lo {
+                continue;
+            }
+            // The gap after the blocking child is the parent's own work.
+            acc[span.kind.ordinal()] += cursor - c_hi;
+            attribute(child, c_lo, c_hi, children, acc);
+            cursor = c_lo;
+            if cursor <= lo {
+                break;
+            }
+        }
+    }
+    acc[span.kind.ordinal()] += cursor.saturating_sub(lo);
+}
+
+/// Compute the critical path of one transaction from a span slice (typically
+/// [`crate::Tracer::spans_for`]). The root is the transaction's [`SpanKind::Txn`]
+/// span, falling back to the first parentless span. Returns `None` when no
+/// spans exist for the transaction.
+pub fn critical_path(spans: &[Span], gtrid: u64) -> Option<CriticalPath> {
+    let mine: Vec<&Span> = spans.iter().filter(|s| s.id.gtrid == gtrid).collect();
+    let root = mine
+        .iter()
+        .find(|s| s.kind == SpanKind::Txn && s.parent.is_none())
+        .or_else(|| mine.iter().find(|s| s.parent.is_none()))?;
+    let mut children: FxHashMap<SpanId, Vec<Span>> = FxHashMap::default();
+    for span in &mine {
+        if let Some(parent) = span.parent {
+            children.entry(parent).or_default().push(**span);
+        }
+    }
+    let lo = root.start.as_micros();
+    let hi = root.end.as_micros();
+    let mut acc = [0u64; SPAN_KINDS.len()];
+    attribute(root, lo, hi, &children, &mut acc);
+    Some(CriticalPath {
+        total_micros: hi.saturating_sub(lo),
+        by_kind: acc,
+        txns: 1,
+    })
+}
+
+/// Aggregate the critical paths of many transactions into one breakdown.
+pub fn aggregate_critical_path(spans: &[Span], gtrids: &[u64]) -> CriticalPath {
+    let mut total = CriticalPath::default();
+    for gtrid in gtrids {
+        if let Some(path) = critical_path(spans, *gtrid) {
+            total.merge(&path);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceNode;
+    use crate::tracer::Tracer;
+    use geotp_simrt::{sleep, Runtime};
+
+    #[test]
+    fn attribution_sums_exactly_to_root_duration() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let root = tracer.start_root(1, dm, SpanKind::Txn, 0);
+            sleep(Duration::from_micros(100)).await; // own work: 100
+            let round = tracer.start_scoped(1, dm, SpanKind::Round, 0);
+            sleep(Duration::from_micros(50)).await;
+            let exec = tracer.start_scoped_under(
+                1,
+                TraceNode::data_source(0),
+                SpanKind::AgentExec,
+                0,
+                Some(round),
+            );
+            sleep(Duration::from_micros(300)).await; // blocking exec: 300
+            tracer.end(exec);
+            sleep(Duration::from_micros(50)).await;
+            tracer.end(round);
+            sleep(Duration::from_micros(25)).await;
+            tracer.end(root);
+
+            let spans = tracer.spans_for(1);
+            let path = critical_path(&spans, 1).unwrap();
+            assert_eq!(path.total_micros, 525);
+            assert_eq!(
+                path.by_kind.iter().sum::<u64>(),
+                path.total_micros,
+                "every microsecond is attributed to exactly one kind"
+            );
+            assert_eq!(path.micros(SpanKind::Txn), 125); // 100 before + 25 after the round
+            assert_eq!(path.micros(SpanKind::Round), 100); // 50 before + 50 after exec
+            assert_eq!(path.micros(SpanKind::AgentExec), 300);
+        });
+    }
+
+    #[test]
+    fn latest_ending_child_wins_overlaps() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let root = tracer.start_root(2, dm, SpanKind::Txn, 0);
+            // Two overlapping children (parallel data sources): the one that
+            // finishes last is the blocking chain; the faster one must not be
+            // double-counted.
+            let slow = tracer.start_leaf_under(
+                2,
+                TraceNode::data_source(0),
+                SpanKind::AgentExec,
+                0,
+                Some(root),
+            );
+            let fast = tracer.start_leaf_under(
+                2,
+                TraceNode::data_source(1),
+                SpanKind::Prepare,
+                1,
+                Some(root),
+            );
+            sleep(Duration::from_micros(40)).await;
+            tracer.end(fast);
+            sleep(Duration::from_micros(60)).await;
+            tracer.end(slow);
+            tracer.end(root);
+
+            let spans = tracer.spans_for(2);
+            let path = critical_path(&spans, 2).unwrap();
+            assert_eq!(path.total_micros, 100);
+            assert_eq!(
+                path.micros(SpanKind::AgentExec),
+                100,
+                "slow child covers the window"
+            );
+            assert_eq!(
+                path.micros(SpanKind::Prepare),
+                0,
+                "shadowed child contributes nothing"
+            );
+            assert_eq!(path.by_kind.iter().sum::<u64>(), 100);
+        });
+    }
+
+    #[test]
+    fn aggregate_merges_and_rows_sort_deterministically() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            for gtrid in [10u64, 11] {
+                let root = tracer.start_root(gtrid, dm, SpanKind::Txn, 0);
+                sleep(Duration::from_micros(10)).await;
+                tracer.end(root);
+            }
+            let spans: Vec<Span> = tracer.spans().clone();
+            let agg = aggregate_critical_path(&spans, &tracer.gtrids());
+            assert_eq!(agg.txns, 2);
+            assert_eq!(agg.total_micros, 20);
+            assert_eq!(agg.rows(), vec![(SpanKind::Txn, 20)]);
+            assert!(agg.render().contains("total"));
+        });
+    }
+}

@@ -1,0 +1,457 @@
+//! The deterministic tracer: records span trees stamped with virtual time.
+//!
+//! The tracer **never consumes randomness and never sleeps** — it only reads
+//! the virtual clock and appends to in-memory vectors — so installing it
+//! cannot perturb schedules: replay fingerprints are byte-identical with
+//! tracing on or off (proved by a golden test in `geotp-chaos`).
+//!
+//! Internals are built for the hot path: one `RefCell` guards everything,
+//! per-`(gtrid, node)` state is a fixed-size record (no per-transaction
+//! allocations), and the open-scope stack is threaded *intrusively* through
+//! the span storage (`open_prev` links), so starting or ending a span is one
+//! hash lookup plus array writes.
+
+use std::cell::{Ref, RefCell};
+
+use geotp_simrt::hash::FxHashMap;
+use geotp_simrt::now;
+
+use crate::span::{Span, SpanId, SpanKind, TraceNode};
+
+/// "No span" sentinel for the intrusive open-stack links.
+const NONE: u32 = u32::MAX;
+/// Link value for spans that were never on the open stack (leaves): lets
+/// [`Tracer::end`] skip stack maintenance without a chain walk.
+const NOT_SCOPED: u32 = u32::MAX - 1;
+
+/// How a new span finds its parent.
+enum Parent {
+    /// Use this id (or none), as handed across a message boundary.
+    Explicit(Option<SpanId>),
+    /// The innermost open scoped span of the same `(gtrid, node)`.
+    Stack,
+}
+
+/// Per-`(gtrid, node)` bookkeeping: a fixed-size record, so creating it
+/// never allocates. The open-scope stack lives in `Inner::open_prev`.
+struct TxnTrace {
+    /// Next sequence number to allocate.
+    next_seq: u32,
+    /// Span-storage index of the innermost open scoped span ([`NONE`] when
+    /// the stack is empty); older entries chain through `Inner::open_prev`.
+    open_head: u32,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// All recorded spans, in program (deterministic) order.
+    spans: Vec<Span>,
+    /// Parallel to `spans`: the open-stack link captured when the span was
+    /// pushed — the previous `open_head` for scoped spans, [`NOT_SCOPED`]
+    /// for leaves.
+    open_prev: Vec<u32>,
+    txns: FxHashMap<(u64, TraceNode), TxnTrace>,
+}
+
+/// Records spans for every transaction observed while installed.
+#[derive(Default)]
+pub struct Tracer {
+    inner: RefCell<Inner>,
+}
+
+impl Tracer {
+    /// A fresh, empty tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        parent: Parent,
+        scoped: bool,
+        window: Option<(geotp_simrt::SimInstant, Option<geotp_simrt::SimInstant>)>,
+    ) -> SpanId {
+        let at = now();
+        let (start, end) = match window {
+            Some((start, end)) => (start, end.unwrap_or(at)),
+            None => (at, at),
+        };
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            spans,
+            open_prev,
+            txns,
+        } = &mut *inner;
+        let idx = spans.len() as u32;
+        let txn = txns.entry((gtrid, node)).or_insert(TxnTrace {
+            next_seq: 0,
+            open_head: NONE,
+        });
+        // Implicit parenting resolves against the same map entry — the hot
+        // path pays exactly one hash lookup per span start.
+        let parent = match parent {
+            Parent::Explicit(p) => p,
+            Parent::Stack => spans.get(txn.open_head as usize).map(|s| s.id),
+        };
+        let id = SpanId::new(gtrid, node, txn.next_seq, idx);
+        txn.next_seq += 1;
+        if scoped {
+            open_prev.push(txn.open_head);
+            txn.open_head = idx;
+        } else {
+            open_prev.push(NOT_SCOPED);
+        }
+        spans.push(Span {
+            id,
+            parent,
+            kind,
+            arg,
+            start,
+            end,
+        });
+        id
+    }
+
+    /// The innermost open scoped span for `(gtrid, node)`, if any.
+    pub fn current(&self, gtrid: u64, node: TraceNode) -> Option<SpanId> {
+        let inner = self.inner.borrow();
+        let head = inner.txns.get(&(gtrid, node))?.open_head;
+        inner.spans.get(head as usize).map(|s| s.id)
+    }
+
+    /// Start a root span (no parent). Scoped: later same-`(gtrid, node)`
+    /// spans nest under it until it ends.
+    pub fn start_root(&self, gtrid: u64, node: TraceNode, kind: SpanKind, arg: u64) -> SpanId {
+        self.push(gtrid, node, kind, arg, Parent::Explicit(None), true, None)
+    }
+
+    /// Start a root span backdated to `start`. Needed by instrumentation
+    /// points that only learn the transaction id *after* timed work already
+    /// happened (the coordinator allocates the gtrid after the analysis
+    /// slice).
+    pub fn start_root_at(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        start: geotp_simrt::SimInstant,
+    ) -> SpanId {
+        self.push(
+            gtrid,
+            node,
+            kind,
+            arg,
+            Parent::Explicit(None),
+            true,
+            Some((start, None)),
+        )
+    }
+
+    /// Record an already-finished leaf span covering `[start, now()]` under
+    /// the current innermost span of `(gtrid, node)`.
+    pub fn leaf_closed(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        start: geotp_simrt::SimInstant,
+    ) -> SpanId {
+        self.push(
+            gtrid,
+            node,
+            kind,
+            arg,
+            Parent::Stack,
+            false,
+            Some((start, None)),
+        )
+    }
+
+    /// Record an already-finished leaf span with an explicit `[start, end]`
+    /// window, under the current innermost span of `(gtrid, node)`. Used by
+    /// instrumentation points that learn the transaction id only after the
+    /// timed work happened (the admission queue waits before a gtrid exists).
+    pub fn leaf_window(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        start: geotp_simrt::SimInstant,
+        end: geotp_simrt::SimInstant,
+    ) -> SpanId {
+        self.push(
+            gtrid,
+            node,
+            kind,
+            arg,
+            Parent::Stack,
+            false,
+            Some((start, Some(end))),
+        )
+    }
+
+    /// Close every open scoped span of `(gtrid, node)`, innermost first, at
+    /// the current virtual instant. The single close point for transaction
+    /// exit paths (commit, abort, crash, abandon) — whatever is still open
+    /// ends when the transaction's outcome is recorded.
+    pub fn end_all(&self, gtrid: u64, node: TraceNode) {
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            spans,
+            open_prev,
+            txns,
+        } = &mut *inner;
+        let Some(txn) = txns.get_mut(&(gtrid, node)) else {
+            return;
+        };
+        if txn.open_head == NONE {
+            return;
+        }
+        let at = now();
+        let mut cur = txn.open_head;
+        while cur != NONE {
+            spans[cur as usize].end = at;
+            cur = open_prev[cur as usize];
+        }
+        txn.open_head = NONE;
+    }
+
+    /// Start a scoped span under the current innermost span of
+    /// `(gtrid, node)` (root if none is open).
+    pub fn start_scoped(&self, gtrid: u64, node: TraceNode, kind: SpanKind, arg: u64) -> SpanId {
+        self.push(gtrid, node, kind, arg, Parent::Stack, true, None)
+    }
+
+    /// Start a scoped span under an explicit parent — the cross-node case,
+    /// where the parent id rode the message metadata.
+    pub fn start_scoped_under(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        self.push(gtrid, node, kind, arg, Parent::Explicit(parent), true, None)
+    }
+
+    /// Start a leaf span (never a parent itself) under the current innermost
+    /// span of `(gtrid, node)`.
+    pub fn start_leaf(&self, gtrid: u64, node: TraceNode, kind: SpanKind, arg: u64) -> SpanId {
+        self.push(gtrid, node, kind, arg, Parent::Stack, false, None)
+    }
+
+    /// Start a leaf span under an explicit parent.
+    pub fn start_leaf_under(
+        &self,
+        gtrid: u64,
+        node: TraceNode,
+        kind: SpanKind,
+        arg: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        self.push(
+            gtrid,
+            node,
+            kind,
+            arg,
+            Parent::Explicit(parent),
+            false,
+            None,
+        )
+    }
+
+    /// Close a span at the current virtual instant.
+    pub fn end(&self, id: SpanId) {
+        let mut inner = self.inner.borrow_mut();
+        let Inner {
+            spans,
+            open_prev,
+            txns,
+        } = &mut *inner;
+        let idx = id.slot() as usize;
+        // Ids carry their storage slot, so closing is O(1); the identity
+        // check rejects ids minted by a previously installed tracer.
+        let Some(span) = spans.get_mut(idx) else {
+            return;
+        };
+        if span.id != id {
+            return;
+        }
+        span.end = now();
+        if open_prev[idx] == NOT_SCOPED {
+            return;
+        }
+        let Some(txn) = txns.get_mut(&(id.gtrid, id.node)) else {
+            return;
+        };
+        if txn.open_head == id.slot() {
+            txn.open_head = open_prev[idx];
+            return;
+        }
+        // Out-of-order close (abandon paths): if the span is still on the
+        // open chain, drop it and everything opened inside it — those scopes
+        // can never close normally.
+        let mut cur = txn.open_head;
+        while cur != NONE {
+            if cur == id.slot() {
+                txn.open_head = open_prev[idx];
+                return;
+            }
+            cur = open_prev[cur as usize];
+        }
+    }
+
+    /// All spans recorded so far, in program (deterministic) order.
+    pub fn spans(&self) -> Ref<'_, Vec<Span>> {
+        Ref::map(self.inner.borrow(), |inner| &inner.spans)
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().spans.len()
+    }
+
+    /// Whether no spans were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The spans belonging to one transaction, in program order.
+    pub fn spans_for(&self, gtrid: u64) -> Vec<Span> {
+        self.inner
+            .borrow()
+            .spans
+            .iter()
+            .filter(|s| s.id.gtrid == gtrid)
+            .copied()
+            .collect()
+    }
+
+    /// Every traced gtrid, ascending.
+    pub fn gtrids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .inner
+            .borrow()
+            .spans
+            .iter()
+            .map(|s| s.id.gtrid)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geotp_simrt::{sleep, Runtime};
+    use std::time::Duration;
+
+    #[test]
+    fn span_identity_is_stable_per_gtrid_and_node() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let root = tracer.start_root(7, dm, SpanKind::Txn, 0);
+            assert_eq!(root.seq, 0);
+            let child = tracer.start_scoped(7, dm, SpanKind::Analysis, 0);
+            assert_eq!(child.seq, 1);
+            assert_eq!(
+                tracer.spans()[1].parent,
+                Some(root),
+                "scoped spans nest under the innermost open span"
+            );
+            sleep(Duration::from_millis(2)).await;
+            tracer.end(child);
+            tracer.end(root);
+            assert_eq!(tracer.spans()[1].duration_micros(), 2_000);
+            // A different node gets its own sequence space.
+            let ds = TraceNode::data_source(1);
+            assert_eq!(tracer.start_root(7, ds, SpanKind::AgentExec, 1).seq, 0);
+        });
+    }
+
+    #[test]
+    fn leaf_spans_do_not_become_parents() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let ds = TraceNode::data_source(0);
+            let exec = tracer.start_root(1, ds, SpanKind::AgentExec, 0);
+            let wait = tracer.start_leaf(1, ds, SpanKind::LockWait, 42);
+            assert_eq!(tracer.spans()[1].parent, Some(exec));
+            // A second leaf still parents to the exec span, not the wait.
+            let wait2 = tracer.start_leaf(1, ds, SpanKind::LockWait, 43);
+            assert_eq!(tracer.spans()[2].parent, Some(exec));
+            tracer.end(wait);
+            tracer.end(wait2);
+            tracer.end(exec);
+            assert!(tracer.current(1, ds).is_none());
+        });
+    }
+
+    #[test]
+    fn out_of_order_close_unwinds_the_stack() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let root = tracer.start_root(9, dm, SpanKind::Txn, 0);
+            let _inner = tracer.start_scoped(9, dm, SpanKind::Round, 0);
+            // Abandon path: the root closes while the round is still open.
+            tracer.end(root);
+            assert!(tracer.current(9, dm).is_none());
+        });
+    }
+
+    #[test]
+    fn end_all_closes_every_open_span_and_later_ends_still_work() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let root = tracer.start_root(5, dm, SpanKind::Txn, 0);
+            let round = tracer.start_scoped(5, dm, SpanKind::Round, 0);
+            sleep(Duration::from_millis(3)).await;
+            tracer.end_all(5, dm);
+            assert!(tracer.current(5, dm).is_none());
+            assert_eq!(tracer.spans()[0].duration_micros(), 3_000);
+            assert_eq!(tracer.spans()[1].duration_micros(), 3_000);
+            // Ending an already-closed span just restamps its end; ids stay
+            // valid after end_all.
+            sleep(Duration::from_millis(1)).await;
+            tracer.end(round);
+            assert_eq!(tracer.spans()[1].duration_micros(), 4_000);
+            let _ = root;
+        });
+    }
+
+    #[test]
+    fn stale_ids_from_a_previous_tracer_are_rejected() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let old = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            let stale = old.start_root(1, dm, SpanKind::Txn, 0);
+            let fresh = Tracer::new();
+            let root = fresh.start_root(2, dm, SpanKind::Txn, 0);
+            sleep(Duration::from_millis(1)).await;
+            // Same storage slot, different identity: must not restamp.
+            fresh.end(stale);
+            assert_eq!(fresh.spans()[0].duration_micros(), 0);
+            fresh.end(root);
+            assert_eq!(fresh.spans()[0].duration_micros(), 1_000);
+        });
+    }
+}

@@ -3,141 +3,13 @@
 
 use std::time::Duration;
 
-use geotp_middleware::{AbortReason, TxnOutcome};
+use geotp_middleware::{AbortReason, TxnOutcome, ABORT_REASONS};
 use geotp_simrt::SimInstant;
 
-/// A logarithmically-bucketed latency histogram (1 µs – ~1 hour range) with
-/// exact tracking of count, sum, min and max.
-#[derive(Debug, Clone)]
-pub struct Histogram {
-    /// Bucket `i` counts samples in `[bucket_floor(i), bucket_floor(i+1))`,
-    /// with sub-bucket resolution of 1/32 of each power of two.
-    buckets: Vec<u64>,
-    count: u64,
-    sum_micros: u128,
-    min_micros: u64,
-    max_micros: u64,
-}
-
-const SUB_BUCKETS: usize = 32;
-const MAX_POWER: usize = 32; // 2^32 µs ≈ 1.2 hours
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Histogram {
-    /// Create an empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: vec![0; MAX_POWER * SUB_BUCKETS],
-            count: 0,
-            sum_micros: 0,
-            min_micros: u64::MAX,
-            max_micros: 0,
-        }
-    }
-
-    fn bucket_index(micros: u64) -> usize {
-        if micros < SUB_BUCKETS as u64 {
-            return micros as usize;
-        }
-        let power = 63 - micros.leading_zeros() as usize;
-        let base = (power.saturating_sub(4)).min(MAX_POWER - 1) * SUB_BUCKETS;
-        let sub = ((micros >> power.saturating_sub(5)) as usize) & (SUB_BUCKETS - 1);
-        (base + sub).min(MAX_POWER * SUB_BUCKETS - 1)
-    }
-
-    fn bucket_value(index: usize) -> u64 {
-        if index < SUB_BUCKETS {
-            return index as u64;
-        }
-        let power = index / SUB_BUCKETS + 4;
-        let sub = (index % SUB_BUCKETS) as u64;
-        (1u64 << power) + (sub << (power - 5))
-    }
-
-    /// Record one latency sample.
-    pub fn record(&mut self, latency: Duration) {
-        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
-        self.buckets[Self::bucket_index(micros)] += 1;
-        self.count += 1;
-        self.sum_micros += micros as u128;
-        self.min_micros = self.min_micros.min(micros);
-        self.max_micros = self.max_micros.max(micros);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency.
-    pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros((self.sum_micros / self.count as u128) as u64)
-        }
-    }
-
-    /// Smallest recorded sample.
-    pub fn min(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(self.min_micros)
-        }
-    }
-
-    /// Largest recorded sample.
-    pub fn max(&self) -> Duration {
-        Duration::from_micros(self.max_micros)
-    }
-
-    /// Latency at the given percentile (0.0–100.0), approximated by the
-    /// bucket's representative value.
-    pub fn percentile(&self, p: f64) -> Duration {
-        if self.count == 0 {
-            return Duration::ZERO;
-        }
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (idx, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket;
-            if seen >= target {
-                return Duration::from_micros(Self::bucket_value(idx).max(self.min_micros));
-            }
-        }
-        self.max()
-    }
-
-    /// Extract `(latency, cumulative_fraction)` points for a CDF plot.
-    pub fn cdf(&self, points: usize) -> Vec<(Duration, f64)> {
-        if self.count == 0 || points == 0 {
-            return Vec::new();
-        }
-        (1..=points)
-            .map(|i| {
-                let frac = i as f64 / points as f64;
-                (self.percentile(frac * 100.0), frac)
-            })
-            .collect()
-    }
-
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
-        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.sum_micros += other.sum_micros;
-        self.min_micros = self.min_micros.min(other.min_micros);
-        self.max_micros = self.max_micros.max(other.max_micros);
-    }
-}
+/// The log-bucketed latency histogram now lives in `geotp-telemetry` (the
+/// unified metrics registry shares it); re-exported so existing
+/// `geotp_workloads::Histogram` callers keep working.
+pub use geotp_telemetry::Histogram;
 
 /// Throughput over time: committed transactions per window, used for the
 /// dynamic-latency timeline of Fig. 11b.
@@ -176,6 +48,51 @@ impl ThroughputTimeline {
             .map(|c| *c as f64 / secs)
             .collect()
     }
+
+    /// When this timeline starts.
+    pub fn start(&self) -> SimInstant {
+        self.start
+    }
+
+    /// The window length.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Merge another timeline into this one, aligning both on the earliest
+    /// start so commits land in the window they actually happened in (merging
+    /// bin-by-bin without alignment silently shifts the later timeline's
+    /// history earlier). Window lengths must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window lengths differ — there is no faithful rebinning
+    /// between different resolutions.
+    pub fn merge(&mut self, other: &ThroughputTimeline) {
+        assert_eq!(
+            self.window, other.window,
+            "cannot merge throughput timelines with different windows"
+        );
+        let window_micros = self.window.as_micros().max(1) as u64;
+        let new_start =
+            SimInstant::from_micros(self.start.as_micros().min(other.start.as_micros()));
+        let self_shift = (self.start.as_micros() - new_start.as_micros()) / window_micros;
+        if self_shift > 0 {
+            let mut shifted = vec![0u64; self_shift as usize];
+            shifted.extend_from_slice(&self.commits_per_window);
+            self.commits_per_window = shifted;
+            self.start = new_start;
+        }
+        let other_shift =
+            ((other.start.as_micros() - new_start.as_micros()) / window_micros) as usize;
+        let needed = other_shift + other.commits_per_window.len();
+        if self.commits_per_window.len() < needed {
+            self.commits_per_window.resize(needed, 0);
+        }
+        for (idx, count) in other.commits_per_window.iter().enumerate() {
+            self.commits_per_window[other_shift + idx] += count;
+        }
+    }
 }
 
 /// Collects transaction outcomes for one benchmark run.
@@ -185,9 +102,9 @@ pub struct MetricsCollector {
     window: Duration,
     committed: u64,
     aborted: u64,
-    admission_rejections: u64,
-    execution_failures: u64,
-    prepare_failures: u64,
+    /// Aborts per cause, indexed by [`AbortReason::ordinal`]. Every variant
+    /// is counted — nothing falls through a catch-all arm.
+    aborts_by_reason: [u64; ABORT_REASONS.len()],
     commit_latency: Histogram,
     distributed_commit_latency: Histogram,
     centralized_commit_latency: Histogram,
@@ -207,9 +124,7 @@ impl MetricsCollector {
             window,
             committed: 0,
             aborted: 0,
-            admission_rejections: 0,
-            execution_failures: 0,
-            prepare_failures: 0,
+            aborts_by_reason: [0; ABORT_REASONS.len()],
             commit_latency: Histogram::new(),
             distributed_commit_latency: Histogram::new(),
             centralized_commit_latency: Histogram::new(),
@@ -230,11 +145,8 @@ impl MetricsCollector {
             self.timeline.record_commit(at);
         } else {
             self.aborted += 1;
-            match outcome.abort_reason {
-                Some(AbortReason::AdmissionRejected) => self.admission_rejections += 1,
-                Some(AbortReason::ExecutionFailed) => self.execution_failures += 1,
-                Some(AbortReason::PrepareFailed) => self.prepare_failures += 1,
-                _ => {}
+            if let Some(reason) = outcome.abort_reason {
+                self.aborts_by_reason[reason.ordinal()] += 1;
             }
         }
     }
@@ -302,33 +214,55 @@ impl MetricsCollector {
         self.window
     }
 
-    /// Breakdown of abort causes `(admission, execution, prepare)`.
+    /// Aborts attributed to one specific cause.
+    pub fn aborts_for(&self, reason: AbortReason) -> u64 {
+        self.aborts_by_reason[reason.ordinal()]
+    }
+
+    /// The full abort breakdown as `(reason, count)` pairs in
+    /// [`ABORT_REASONS`] order, zero counts included.
+    pub fn abort_breakdown_full(&self) -> Vec<(AbortReason, u64)> {
+        ABORT_REASONS
+            .iter()
+            .map(|r| (*r, self.aborts_by_reason[r.ordinal()]))
+            .collect()
+    }
+
+    /// Legacy 3-way breakdown `(admission, execution, prepare)`; prefer
+    /// [`Self::abort_breakdown_full`], which covers every cause.
     pub fn abort_breakdown(&self) -> (u64, u64, u64) {
         (
-            self.admission_rejections,
-            self.execution_failures,
-            self.prepare_failures,
+            self.aborts_for(AbortReason::AdmissionRejected),
+            self.aborts_for(AbortReason::ExecutionFailed),
+            self.aborts_for(AbortReason::PrepareFailed),
         )
     }
 
     /// Merge another collector (e.g. from another terminal) into this one.
+    /// Timelines align on the earliest start (see
+    /// [`ThroughputTimeline::merge`]), so collectors that began at different
+    /// virtual instants merge without shifting either history.
     pub fn merge(&mut self, other: &MetricsCollector) {
         self.committed += other.committed;
         self.aborted += other.aborted;
-        self.admission_rejections += other.admission_rejections;
-        self.execution_failures += other.execution_failures;
-        self.prepare_failures += other.prepare_failures;
+        for (a, b) in self
+            .aborts_by_reason
+            .iter_mut()
+            .zip(&other.aborts_by_reason)
+        {
+            *a += b;
+        }
         self.commit_latency.merge(&other.commit_latency);
         self.distributed_commit_latency
             .merge(&other.distributed_commit_latency);
         self.centralized_commit_latency
             .merge(&other.centralized_commit_latency);
-        for (idx, count) in other.timeline.commits_per_window.iter().enumerate() {
-            if self.timeline.commits_per_window.len() <= idx {
-                self.timeline.commits_per_window.resize(idx + 1, 0);
-            }
-            self.timeline.commits_per_window[idx] += count;
-        }
+        self.timeline.merge(&other.timeline);
+        self.started_at = SimInstant::from_micros(
+            self.started_at
+                .as_micros()
+                .min(other.started_at.as_micros()),
+        );
     }
 }
 
@@ -420,6 +354,35 @@ mod tests {
     }
 
     #[test]
+    fn every_abort_reason_is_counted() {
+        // Regression: Overloaded, SessionExpired, CoordinatorFenced,
+        // ClientDisconnected (and friends) used to fall through a `_ => {}`
+        // arm and vanish from the breakdown.
+        let start = SimInstant::ZERO;
+        let mut c = MetricsCollector::new(start);
+        for (i, reason) in ABORT_REASONS.iter().enumerate() {
+            for _ in 0..=i {
+                c.record(
+                    &TxnOutcome::aborted(*reason, Duration::from_millis(1), false),
+                    start,
+                );
+            }
+        }
+        assert_eq!(c.aborted(), (1..=ABORT_REASONS.len() as u64).sum::<u64>());
+        for (i, (reason, count)) in c.abort_breakdown_full().iter().enumerate() {
+            assert_eq!(
+                *count,
+                i as u64 + 1,
+                "abort cause {reason:?} must be counted, not dropped"
+            );
+            assert_eq!(c.aborts_for(*reason), i as u64 + 1);
+        }
+        // The full breakdown accounts for every abort.
+        let total: u64 = c.abort_breakdown_full().iter().map(|(_, n)| n).sum();
+        assert_eq!(total, c.aborted());
+    }
+
+    #[test]
     fn merge_combines_collectors() {
         let start = SimInstant::ZERO;
         let mut a = MetricsCollector::new(start);
@@ -432,5 +395,49 @@ mod tests {
         assert_eq!(a.aborted(), 1);
         assert_eq!(a.latency().count(), 2);
         assert_eq!(a.timeline().series_tps().len(), 3);
+    }
+
+    #[test]
+    fn merge_aligns_timelines_with_different_starts() {
+        // Regression: merging used to add bin i of `other` into bin i of
+        // `self` even when the collectors started at different virtual
+        // instants, silently time-shifting the later collector's commits.
+        let early = SimInstant::ZERO;
+        let late = early + Duration::from_secs(3);
+        let mut a = MetricsCollector::new(late);
+        let mut b = MetricsCollector::new(early);
+        // `a` starts 3 s in and commits immediately (absolute t = 3 s).
+        a.record(&outcome(true, 10, false), late);
+        // `b` starts at zero and commits at absolute t = 1 s.
+        b.record(&outcome(true, 10, false), early + Duration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(
+            a.started_at(),
+            early,
+            "merged collector adopts earliest start"
+        );
+        assert_eq!(a.timeline().start(), early);
+        let series = a.timeline().series_tps();
+        assert_eq!(series.len(), 4, "windows span the union of both histories");
+        assert_eq!(
+            series,
+            vec![0.0, 1.0, 0.0, 1.0],
+            "each commit stays in the window it actually happened in"
+        );
+        // Symmetric case: merging the late collector into the early one.
+        let mut c = MetricsCollector::new(early);
+        c.record(&outcome(true, 10, false), early + Duration::from_secs(1));
+        let mut d = MetricsCollector::new(late);
+        d.record(&outcome(true, 10, false), late);
+        c.merge(&d);
+        assert_eq!(c.timeline().series_tps(), series);
+    }
+
+    #[test]
+    #[should_panic(expected = "different windows")]
+    fn merging_mismatched_windows_is_rejected() {
+        let mut a = ThroughputTimeline::new(SimInstant::ZERO, Duration::from_secs(1));
+        let b = ThroughputTimeline::new(SimInstant::ZERO, Duration::from_millis(100));
+        a.merge(&b);
     }
 }

@@ -49,6 +49,7 @@ fn main() {
                     decentralized_prepare: false,
                     early_abort: false,
                     peers: vec![1 - i as u32],
+                    trace_parent: None,
                 })
                 .await;
             assert!(resp.outcome.is_ok());

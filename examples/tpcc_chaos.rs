@@ -12,11 +12,14 @@
 //! (every 2nd read skips its shared lock — a deliberately injected isolation
 //! bug), proves the checker catches it under a noisy seeded-random schedule,
 //! then delta-debugs the schedule down to a minimal repro and writes it to
-//! `target/chaos/minimized_timeline.txt` (the chaos-drills CI job uploads
-//! that file as an artifact).
+//! `target/chaos/minimized_timeline.txt`, replays the minimized repro with
+//! the deterministic tracer installed, and attaches the span tree as
+//! `target/chaos/minimized.trace.json` (Perfetto-loadable; the chaos-drills
+//! CI job uploads both files as artifacts).
 
 use std::rc::Rc;
 
+use geotp::chaos::telemetry::{attach_trace_on_failure, run_scenario_with_traced};
 use geotp::chaos::{
     run_scenario_with, shrink_schedule, DrillWorkload, FaultSchedule, RandomFaultConfig, Scenario,
     TpccChaosWorkload,
@@ -101,4 +104,23 @@ fn main() {
     let out = out_dir.join("minimized_timeline.txt");
     std::fs::write(&out, &timeline).expect("write timeline artifact");
     println!("artifact written: {}", out.display());
+
+    // Replay the minimized repro once more with the deterministic tracer
+    // installed (tracing never changes the schedule, so it reproduces the
+    // exact same failure) and attach the full span tree to the bug report:
+    // a Chrome-trace/Perfetto JSON plus the event trace + metrics snapshot.
+    let workload = Rc::new(TpccChaosWorkload::drill_scale(config.nodes()));
+    let (traced_run, telemetry) = run_scenario_with_traced(config.clone(), replayed, workload);
+    assert!(
+        !traced_run.invariants.serializability_ok,
+        "traced replay must reproduce the failure"
+    );
+    let trace_artifact = attach_trace_on_failure(out_dir, "minimized", &traced_run, &telemetry)
+        .expect("write trace artifact")
+        .expect("a failing run always attaches its trace");
+    println!(
+        "trace attached: {} ({} spans) — load it in ui.perfetto.dev",
+        trace_artifact.display(),
+        telemetry.tracer.len()
+    );
 }

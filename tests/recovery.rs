@@ -49,6 +49,7 @@ async fn prepare_two_branches(cluster: &geotp::Cluster, gtrid: u64, delta: i64) 
                 decentralized_prepare: false,
                 early_abort: false,
                 peers: vec![1 - i as u32],
+                trace_parent: None,
             })
             .await;
         assert!(resp.outcome.is_ok());
@@ -145,6 +146,7 @@ fn coordinator_disconnect_aborts_unprepared_work_only() {
             decentralized_prepare: false,
             early_abort: false,
             peers: vec![],
+            trace_parent: None,
         })
         .await;
 
