@@ -22,7 +22,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use geotp::prelude::*;
-use geotp_simrt::Runtime;
+use geotp_simrt::{Runtime, RuntimeBuilder};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -36,6 +36,20 @@ fn env_f64(name: &str, default: f64) -> f64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// Topology-declared runtime for the paper-default deployment. The whole
+/// object graph is `Rc`-shared, so every node is pinned to shard 0: the
+/// measured schedule is bit-identical at any `GEOTP_WORKERS` value.
+fn paper_runtime(seed: u64) -> Runtime {
+    let mut builder = RuntimeBuilder::from_env().seed(seed).assign("mw0", 0);
+    for (i, rtt_ms) in geotp_net::PAPER_DEFAULT_RTTS_MS.iter().enumerate() {
+        let ds = format!("ds{i}");
+        builder = builder
+            .link("mw0", &ds, Duration::from_millis(*rtt_ms))
+            .assign(&ds, 0);
+    }
+    builder.build()
 }
 
 fn main() {
@@ -57,7 +71,7 @@ fn main() {
         measure.as_secs()
     );
 
-    let mut rt = Runtime::new();
+    let mut rt = paper_runtime(seed);
     let setup_started = Instant::now();
     let (report, run_wall) = rt.block_on(async move {
         let cluster = ClusterBuilder::new()

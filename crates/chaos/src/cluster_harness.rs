@@ -129,6 +129,38 @@ impl Default for FlashCrowdConfig {
     }
 }
 
+/// Build the simulator runtime for a cluster chaos run: coordinators,
+/// control node and data sources become topology nodes, all pinned to
+/// shard 0 (the tier is one `Rc`-shared object graph). `base.workers`
+/// (default: the `GEOTP_WORKERS` environment variable) sets the shard
+/// count; extra shards idle at the barrier without perturbing the trace.
+fn cluster_runtime(config: &ClusterChaosConfig) -> geotp_simrt::Runtime {
+    let mut builder = geotp_simrt::RuntimeBuilder::from_env()
+        .seed(config.base.seed)
+        .node("control0")
+        .assign("control0", 0);
+    for c in 0..config.coordinators {
+        let mw = format!("mw{c}");
+        builder = builder
+            .link(
+                "control0",
+                &mw,
+                Duration::from_millis(config.control_rtt_ms),
+            )
+            .assign(&mw, 0);
+        for (i, rtt_ms) in config.base.ds_rtts_ms.iter().enumerate() {
+            let ds = format!("ds{i}");
+            builder = builder
+                .link(&mw, &ds, Duration::from_millis(*rtt_ms))
+                .assign(&ds, 0);
+        }
+    }
+    if let Some(workers) = config.base.workers {
+        builder = builder.workers(workers);
+    }
+    builder.build()
+}
+
 /// Run `schedule` against a fresh coordinator tier driving the balance
 /// transfer workload, and return the invariant-checked, replayable report.
 pub fn run_cluster_scenario(config: ClusterChaosConfig, schedule: FaultSchedule) -> ChaosReport {
@@ -146,7 +178,7 @@ pub fn run_cluster_scenario_with(
     schedule: FaultSchedule,
     workload: Rc<dyn ChaosWorkload>,
 ) -> ChaosReport {
-    let mut rt = geotp_simrt::Runtime::new();
+    let mut rt = cluster_runtime(&config);
     rt.block_on(async move {
         let trace = EventTrace::new();
         trace.record(&format!(

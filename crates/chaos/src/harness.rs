@@ -99,6 +99,12 @@ pub struct ChaosConfig {
     /// hard-coded loop exactly — 40 attempts, flat 250 ms pauses, no RNG
     /// consumed — so preset traces stay bit-identical.
     pub retry: geotp_middleware::session::RetryPolicy,
+    /// Worker shards for the simulator runtime. `None` (the default) honours
+    /// the `GEOTP_WORKERS` environment variable, falling back to 1. The
+    /// chaos deployment shares one `Rc` object graph, so it is pinned to
+    /// shard 0 regardless — traces and fingerprints are bit-identical at
+    /// every worker count (the CI worker matrix asserts exactly this).
+    pub workers: Option<usize>,
 }
 
 impl Default for ChaosConfig {
@@ -120,6 +126,7 @@ impl Default for ChaosConfig {
             client_crash_every: None,
             interactive_transfers: false,
             retry: geotp_middleware::session::RetryPolicy::fixed(40, Duration::from_millis(250)),
+            workers: None,
         }
     }
 }
@@ -501,13 +508,35 @@ pub fn run_scenario_with(
     run_scenario_impl(config, schedule, workload, None)
 }
 
+/// Build the simulator runtime for a chaos run: the middleware and data
+/// sources are declared as topology nodes (links carry the configured WAN
+/// RTTs) but pinned to shard 0, because the deployment is one `Rc`-shared
+/// object graph. Extra worker shards idle at the barrier, which is exactly
+/// the scheduler-independence property the worker-matrix tests pin down.
+fn chaos_runtime(config: &ChaosConfig) -> geotp_simrt::Runtime {
+    let mut builder = geotp_simrt::RuntimeBuilder::from_env()
+        .seed(config.seed)
+        .node("mw0")
+        .assign("mw0", 0);
+    for (i, rtt_ms) in config.ds_rtts_ms.iter().enumerate() {
+        let ds = format!("ds{i}");
+        builder = builder
+            .link("mw0", &ds, Duration::from_millis(*rtt_ms))
+            .assign(&ds, 0);
+    }
+    if let Some(workers) = config.workers {
+        builder = builder.workers(workers);
+    }
+    builder.build()
+}
+
 fn run_scenario_impl(
     config: ChaosConfig,
     schedule: FaultSchedule,
     workload: Rc<dyn ChaosWorkload>,
     scripts: Option<Vec<Vec<geotp_middleware::TransactionSpec>>>,
 ) -> ChaosReport {
-    let mut rt = geotp_simrt::Runtime::new();
+    let mut rt = chaos_runtime(&config);
     rt.block_on(async move {
         let trace = EventTrace::new();
         trace.record(&format!(

@@ -85,7 +85,8 @@ pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
 pub use shrink::{shrink_schedule, shrink_workload, ShrinkReport, WorkloadShrinkReport};
 pub use telemetry::{
-    attach_trace_on_failure, run_scenario_traced, run_scenario_with_traced, write_failure_artifact,
+    attach_trace_on_failure, run_scenario_traced, run_scenario_with_traced, traced, traced_capped,
+    write_failure_artifact,
 };
 pub use trace::EventTrace;
 pub use workload::{

@@ -277,6 +277,27 @@ impl Scenario {
         self.run_with(seed, DrillWorkload::Transfer)
     }
 
+    /// Build and run this preset under `seed`, driving the chosen workload
+    /// on a simulator with an explicit worker-shard count (the
+    /// scheduler-independence matrix; `run_with` honours `GEOTP_WORKERS`
+    /// instead).
+    pub fn run_with_workers(
+        &self,
+        seed: u64,
+        workload: DrillWorkload,
+        workers: usize,
+    ) -> ChaosReport {
+        let (mut config, schedule) = self.build(seed);
+        config.workers = Some(workers);
+        match workload {
+            DrillWorkload::Transfer => run_scenario(config, schedule),
+            DrillWorkload::Tpcc => {
+                let tpcc = Rc::new(TpccChaosWorkload::drill_scale(config.nodes()));
+                run_scenario_with(config, schedule, tpcc)
+            }
+        }
+    }
+
     /// Build and run this preset under `seed`, driving the chosen workload.
     pub fn run_with(&self, seed: u64, workload: DrillWorkload) -> ChaosReport {
         let (config, schedule) = self.build(seed);

@@ -26,8 +26,25 @@ use crate::workload::ChaosWorkload;
 /// report and the collector. Restores the previous install state afterwards,
 /// so nesting a traced run inside another instrumented context is safe.
 pub fn traced<F: FnOnce() -> ChaosReport>(f: F) -> (ChaosReport, Rc<Telemetry>) {
+    traced_into(Telemetry::new(), f)
+}
+
+/// [`traced`] with a bounded tracer: the collector retains at most `cap`
+/// spans, evicting whole closed transactions oldest-first (see
+/// [`geotp_telemetry::Tracer::set_span_cap`]). Use for long drills — a
+/// flash crowd, an overnight soak — whose full span set would dominate
+/// memory. Eviction is pure bookkeeping on the in-memory span store, so the
+/// fingerprint guarantee above holds for capped runs too.
+pub fn traced_capped<F: FnOnce() -> ChaosReport>(cap: usize, f: F) -> (ChaosReport, Rc<Telemetry>) {
+    traced_into(Telemetry::with_span_cap(cap), f)
+}
+
+fn traced_into<F: FnOnce() -> ChaosReport>(
+    telemetry: Rc<Telemetry>,
+    f: F,
+) -> (ChaosReport, Rc<Telemetry>) {
     let previous = geotp_telemetry::uninstall();
-    let telemetry = geotp_telemetry::install();
+    geotp_telemetry::install_collector(telemetry.clone());
     let report = f();
     geotp_telemetry::uninstall();
     if let Some(previous) = previous {

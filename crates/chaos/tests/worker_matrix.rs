@@ -1,0 +1,70 @@
+//! Scheduler-independence matrix: chaos traces are a pure function of
+//! `(preset, seed, workload)` — never of the simulator's worker-shard
+//! count. Three presets × three seeds run at `workers ∈ {1, 2, 4, 8}` and
+//! must produce bit-identical fingerprints (plus one TPC-C drill, whose
+//! multi-round statement streams exercise a different scheduling shape).
+//!
+//! The chaos deployment is a single `Rc`-shared object graph pinned to
+//! shard 0, so this pins down exactly the property the sharded runtime
+//! promises: extra shards idle at the conservative barrier without
+//! perturbing the shard-0 schedule by a single poll.
+
+use geotp_chaos::{DrillWorkload, Scenario};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn assert_worker_independent(scenario: Scenario, workload: DrillWorkload, seed: u64) {
+    let baseline = scenario.run_with_workers(seed, workload, 1);
+    assert!(
+        baseline.invariants.all_hold(),
+        "{} ({}) seed {} violated invariants at workers=1",
+        scenario.name(),
+        workload.name(),
+        seed
+    );
+    for workers in &WORKER_COUNTS[1..] {
+        let report = scenario.run_with_workers(seed, workload, *workers);
+        assert_eq!(
+            baseline.fingerprint,
+            report.fingerprint,
+            "{} ({}) seed {}: trace fingerprint diverged at workers={workers}",
+            scenario.name(),
+            workload.name(),
+            seed
+        );
+        assert_eq!(
+            baseline.trace,
+            report.trace,
+            "{} ({}) seed {}: fingerprints collided but traces differ at workers={workers}",
+            scenario.name(),
+            workload.name(),
+            seed
+        );
+    }
+}
+
+#[test]
+fn prepare_phase_crash_is_worker_independent() {
+    for seed in 1..=3 {
+        assert_worker_independent(Scenario::PreparePhaseCrash, DrillWorkload::Transfer, seed);
+    }
+}
+
+#[test]
+fn coordinator_failover_is_worker_independent() {
+    for seed in 1..=3 {
+        assert_worker_independent(Scenario::CoordinatorFailover, DrillWorkload::Transfer, seed);
+    }
+}
+
+#[test]
+fn wan_brownout_is_worker_independent() {
+    for seed in 1..=3 {
+        assert_worker_independent(Scenario::WanBrownout, DrillWorkload::Transfer, seed);
+    }
+}
+
+#[test]
+fn tpcc_drill_is_worker_independent() {
+    assert_worker_independent(Scenario::PreparePhaseCrash, DrillWorkload::Tpcc, 1);
+}

@@ -4,7 +4,6 @@
 use std::time::Duration;
 
 use geotp::{ClientOp, ClusterBuilder, GlobalKey, Protocol, TransactionSpec};
-use geotp_simrt::Runtime;
 use geotp_storage::{CostModel, EngineConfig};
 use geotp_workloads::ycsb::USERTABLE;
 use geotp_workloads::{Contention, YcsbConfig};
@@ -96,7 +95,7 @@ pub fn fig06_breakdown(scale: Scale) -> Vec<Table> {
         "Fig. 6c — latency breakdown of one distributed GeoTP transaction (paper deployment)",
         &["phase", "latency (ms)"],
     );
-    let mut rt = Runtime::new();
+    let mut rt = crate::runner::sim_runtime(42, &geotp_net::PAPER_DEFAULT_RTTS_MS);
     rt.block_on(async {
         let cluster = ClusterBuilder::new()
             .paper_default_sources()
@@ -150,7 +149,7 @@ pub fn fig06_trace_breakdown(_scale: Scale) -> Vec<Table> {
         "Fig. 6c (trace-derived) — critical-path attribution of the same transaction",
         &["span kind", "blocking time (ms)"],
     );
-    let mut rt = Runtime::new();
+    let mut rt = crate::runner::sim_runtime(42, &geotp_net::PAPER_DEFAULT_RTTS_MS);
     rt.block_on(async {
         let session = telemetry::install();
         let cluster = ClusterBuilder::new()
@@ -264,7 +263,7 @@ mod tests {
     /// Cheap helper used by the unit test: only the single-transaction
     /// breakdown part of Fig. 6.
     fn fig06_breakdown_single_txn_only() -> Table {
-        let mut rt = Runtime::new();
+        let mut rt = crate::runner::sim_runtime(42, &geotp_net::PAPER_DEFAULT_RTTS_MS);
         let mut breakdown = Table::new("test", &["phase", "latency (ms)"]);
         rt.block_on(async {
             let cluster = ClusterBuilder::new()

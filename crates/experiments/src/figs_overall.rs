@@ -6,7 +6,6 @@ use std::time::Duration;
 
 use geotp::{ClusterBuilder, Dialect, Protocol};
 use geotp_net::PAPER_DM2_RTTS_MS;
-use geotp_simrt::Runtime;
 use geotp_storage::{CostModel, EngineConfig};
 use geotp_workloads::driver::run_benchmark;
 use geotp_workloads::{
@@ -96,7 +95,7 @@ pub fn fig15_multi_dm(scale: Scale) -> Vec<Table> {
         &["deployment", "throughput (txn/s)"],
     );
     for multi in [false, true] {
-        let mut rt = Runtime::new();
+        let mut rt = crate::runner::sim_runtime(42, &geotp_net::PAPER_DEFAULT_RTTS_MS);
         let throughput = rt.block_on(async {
             let mut builder = ClusterBuilder::new()
                 .paper_default_sources()

@@ -46,15 +46,21 @@ pub fn render(tables: &[Table]) -> String {
 /// change lands as a reviewable diff. Errors carry the first differing line
 /// and the bless instructions.
 pub fn verify(name: &str, tables: &[Table]) -> Result<(), String> {
-    let actual = render(tables);
-    let path = golden_dir().join(format!("{name}.txt"));
+    verify_raw(&format!("{name}.txt"), &render(tables))
+}
+
+/// Compare raw artifact bytes (a CSV, a rendered table set) against the
+/// committed golden file `<filename>` (extension included). Same bless
+/// protocol as [`verify`].
+pub fn verify_raw(filename: &str, actual: &str) -> Result<(), String> {
+    let path = golden_dir().join(filename);
     if std::env::var("GEOTP_BLESS")
         .map(|v| v == "1")
         .unwrap_or(false)
     {
         std::fs::create_dir_all(golden_dir())
             .map_err(|e| format!("golden: create {}: {e}", golden_dir().display()))?;
-        std::fs::write(&path, &actual)
+        std::fs::write(&path, actual)
             .map_err(|e| format!("golden: write {}: {e}", path.display()))?;
         return Ok(());
     }
@@ -64,7 +70,7 @@ pub fn verify(name: &str, tables: &[Table]) -> Result<(), String> {
              GEOTP_BLESS=1 and commit the file",
         )
     })?;
-    diff(name, &expected, &actual)
+    diff(filename, &expected, actual)
 }
 
 /// Line-level comparison with a drift report naming the first divergence.
@@ -72,7 +78,7 @@ fn diff(name: &str, expected: &str, actual: &str) -> Result<(), String> {
     if expected == actual {
         return Ok(());
     }
-    let mut report = format!("golden: `{name}` drifted from tests/golden/{name}.txt\n");
+    let mut report = format!("golden: `{name}` drifted from tests/golden/{name}\n");
     let expected_lines: Vec<&str> = expected.lines().collect();
     let actual_lines: Vec<&str> = actual.lines().collect();
     let mut shown = 0;
@@ -165,14 +171,29 @@ mod tests {
     #[test]
     fn golden_overload() {
         let scale = Scale::from_env();
-        let name = match scale {
-            Scale::Quick => "overload_quick",
-            Scale::Full => "overload_full",
+        let (name, suffix) = match scale {
+            Scale::Quick => ("overload_quick", "quick"),
+            Scale::Full => ("overload_full", "full"),
         };
-        let tables = crate::overload::overload(scale);
+        let (tables, timelines) = crate::overload::overload_with_timelines(scale);
         crate::overload::assert_shedding_bounds_the_tail(&tables);
         if let Err(drift) = verify(name, &tables) {
             panic!("{drift}");
+        }
+        // The metrics timeline of each policy's run is an artifact of its
+        // own: the CSV pins how the registry evolved (arrival counters,
+        // queue gauges, latency histograms) sample by sample, so a change
+        // that keeps the end-of-run aggregates but warps the trajectory
+        // still trips the gate.
+        for (policy, csv) in &timelines {
+            assert!(
+                csv.lines().count() > 2,
+                "overload {policy}: timeline CSV is degenerate ({csv:?})"
+            );
+            let file = format!("overload_timeline_{policy}_{suffix}.csv");
+            if let Err(drift) = verify_raw(&file, csv) {
+                panic!("{drift}");
+            }
         }
     }
 

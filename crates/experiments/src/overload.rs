@@ -10,6 +10,7 @@
 //! delay into explicit `Overloaded` rejections, keeping the p99 of the
 //! transactions that *are* served bounded instead of collapsing.
 
+use std::rc::Rc;
 use std::time::Duration;
 
 use geotp::cluster::{
@@ -18,7 +19,6 @@ use geotp::cluster::{
 };
 use geotp::{ClientOp, GlobalKey, Partitioner, Protocol, TableId};
 use geotp_middleware::TransactionSpec;
-use geotp_simrt::Runtime;
 use geotp_storage::{CostModel, EngineConfig, Row};
 use rand::Rng;
 
@@ -32,14 +32,24 @@ const WORKERS: usize = 32;
 /// Offered load — roughly 3× what 32 workers can complete at these RTTs.
 const ARRIVALS_PER_SEC: u64 = 600;
 
+/// How often the metrics registry is snapshotted into the timeline during
+/// the run (virtual time). The sampler only reads the registry, so the
+/// simulated schedule and the golden tables are untouched by sampling.
+const TIMELINE_SAMPLE_EVERY: Duration = Duration::from_millis(500);
+
 struct OverloadRow {
     report: geotp::OpenLoopReport,
     shed: u64,
+    /// Metrics-timeline CSV for this run (sampled every
+    /// [`TIMELINE_SAMPLE_EVERY`]), golden-gated next to the table.
+    timeline_csv: String,
 }
 
 fn drive(admission: AdmissionPolicy, scale: Scale) -> OverloadRow {
-    let mut rt = Runtime::new();
-    rt.block_on(async {
+    let previous = geotp_telemetry::uninstall();
+    let telemetry = geotp_telemetry::install();
+    let mut rt = crate::runner::sim_runtime(42, &DS_RTTS_MS);
+    let mut row = rt.block_on(async {
         let (net, sources) = build_tier(&TierLayout {
             seed: 42,
             coordinators: 1,
@@ -74,6 +84,21 @@ fn drive(admission: AdmissionPolicy, scale: Scale) -> OverloadRow {
         config.admission = admission;
         let cluster = CoordinatorCluster::build(config, net, &sources);
 
+        // Periodic registry snapshots while the load runs. Sampling only
+        // reads the registry — no randomness, no cluster state — so it
+        // cannot move an event in the simulated run.
+        let done = Rc::new(std::cell::Cell::new(false));
+        let sampler = {
+            let done = Rc::clone(&done);
+            let telemetry = Rc::clone(&telemetry);
+            geotp_simrt::spawn(async move {
+                while !done.get() {
+                    geotp_simrt::sleep(TIMELINE_SAMPLE_EVERY).await;
+                    telemetry.metrics.snapshot_to_timeline();
+                }
+            })
+        };
+
         let total_rows = ROWS_PER_NODE * nodes as u64;
         let report = run_open_loop(
             &cluster,
@@ -94,17 +119,36 @@ fn drive(admission: AdmissionPolicy, scale: Scale) -> OverloadRow {
             },
         )
         .await;
+        done.set(true);
+        sampler.await;
         OverloadRow {
             report,
             shed: cluster.shed_count(),
+            timeline_csv: String::new(),
         }
-    })
+    });
+    geotp_telemetry::uninstall();
+    if let Some(previous) = previous {
+        geotp_telemetry::install_collector(previous);
+    }
+    row.timeline_csv = geotp_telemetry::metrics_timeline_csv(&telemetry.metrics.timeline());
+    row
 }
 
 /// The overload table: one saturated coordinator under the same offered
 /// load, with load shedding off (legacy unbounded queueing) and on (bounded
 /// queue + queue-time deadline).
 pub fn overload(scale: Scale) -> Vec<Table> {
+    overload_with_timelines(scale).0
+}
+
+/// [`overload`], also returning each policy's metrics-timeline CSV
+/// (`("off" | "on", csv)`) — the registry sampled every
+/// [`TIMELINE_SAMPLE_EVERY`] of virtual time, golden-gated next to the
+/// table so the *shape over time* of the collapse (queue depth ramps,
+/// latency histograms fattening) is pinned, not just the end-of-run
+/// aggregates.
+pub fn overload_with_timelines(scale: Scale) -> (Vec<Table>, Vec<(&'static str, String)>) {
     let mut table = Table::new(
         "Overload — graceful degradation vs collapse (1 coordinator, 32 workers, \
          600 arrivals/s; shedding = queue 64, 250 ms queue deadline)",
@@ -124,6 +168,7 @@ pub fn overload(scale: Scale) -> Vec<Table> {
             AdmissionPolicy::bounded(64, Duration::from_millis(250)),
         ),
     ];
+    let mut timelines = Vec::new();
     for (label, admission) in policies {
         let row = drive(admission, scale);
         table.push_row(vec![
@@ -134,8 +179,9 @@ pub fn overload(scale: Scale) -> Vec<Table> {
             ms(row.report.mean_latency),
             ms(row.report.p99_latency),
         ]);
+        timelines.push((label, row.timeline_csv));
     }
-    vec![table]
+    (vec![table], timelines)
 }
 
 /// The acceptance shape, asserted on already-materialized tables so the

@@ -21,7 +21,6 @@ use geotp::cluster::{
 };
 use geotp::{ClientOp, GlobalKey, Partitioner, Protocol, TableId};
 use geotp_middleware::TransactionSpec;
-use geotp_simrt::Runtime;
 use geotp_storage::{CostModel, EngineConfig, Row};
 use rand::Rng;
 
@@ -34,7 +33,7 @@ const DS_RTTS_MS: [u64; 3] = [10, 60, 120];
 const WORKERS_PER_COORDINATOR: usize = 32;
 
 fn drive(coordinators: usize, scale: Scale) -> geotp::OpenLoopReport {
-    let mut rt = Runtime::new();
+    let mut rt = crate::runner::sim_runtime(42, &DS_RTTS_MS);
     rt.block_on(async {
         let (net, sources) = build_tier(&TierLayout {
             seed: 42,

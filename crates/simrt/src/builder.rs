@@ -1,0 +1,196 @@
+//! The topology-aware front door: [`RuntimeBuilder`].
+//!
+//! ```
+//! use std::time::Duration;
+//! use geotp_simrt::RuntimeBuilder;
+//!
+//! let mut builder = RuntimeBuilder::new()
+//!     .node("coord0")
+//!     .node("ds1")
+//!     .link("coord0", "ds1", Duration::from_millis(27))
+//!     .workers(1)
+//!     .seed(42);
+//! let (tx, rx) = builder.mailbox::<u32>("ds1");
+//! let mut rt = builder
+//!     .spawn_node("ds1", move || async move {
+//!         let mailbox = rx.bind();
+//!         let msg = mailbox.recv().await;
+//!         assert_eq!(msg.payload, 7);
+//!     })
+//!     .build();
+//! rt.block_on(async move {
+//!     let tx = tx.bind_src("coord0");
+//!     tx.send(13_500, 7); // one-way WAN latency, in virtual µs
+//!     geotp_simrt::sleep(Duration::from_millis(20)).await;
+//! });
+//! ```
+
+use std::future::Future;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::executor::{PendingSpawn, Runtime};
+use crate::mailbox::{MailboxSender, MailboxToken};
+use crate::topology::{build_lookahead, RunMeta, Topology};
+
+/// Builder for a [`Runtime`]: declare the cluster's nodes and links, choose
+/// the worker count and seed, register node-affine tasks and mailboxes, then
+/// [`RuntimeBuilder::build`].
+///
+/// With `workers(1)` (the default) the runtime is the classic single-threaded
+/// discrete-event executor; the topology is carried as metadata only, so the
+/// schedule is byte-identical with or without node/link declarations. With
+/// `workers(n)` nodes are partitioned across `n` shards (round-robin in
+/// declaration order unless pinned via [`RuntimeBuilder::assign`]) and the
+/// declared link latencies become the conservative lookahead of the barrier
+/// protocol in [`crate::shard`].
+pub struct RuntimeBuilder {
+    topology: Topology,
+    pinned: Vec<bool>,
+    workers: usize,
+    seed: u64,
+    pending: Vec<PendingSpawn>,
+    next_mailbox: u64,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RuntimeBuilder {
+    pub fn new() -> Self {
+        Self {
+            topology: Topology::default(),
+            pinned: Vec::new(),
+            workers: 1,
+            seed: 0,
+            pending: Vec::new(),
+            next_mailbox: 0,
+        }
+    }
+
+    /// Like [`RuntimeBuilder::new`], but the worker count defaults from the
+    /// `GEOTP_WORKERS` environment variable (unset or invalid → 1). The
+    /// standard entry point for harnesses that should honour the CI
+    /// worker-count matrix.
+    pub fn from_env() -> Self {
+        let workers = std::env::var("GEOTP_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&w| w >= 1)
+            .unwrap_or(1);
+        Self::new().workers(workers)
+    }
+
+    fn intern(&mut self, name: &str) -> u32 {
+        let idx = self.topology.add_node(name);
+        if idx as usize == self.pinned.len() {
+            self.pinned.push(false);
+        }
+        idx
+    }
+
+    /// Declare a node (data source, coordinator, client driver…). Declaring
+    /// the same name twice is idempotent; declaration order determines the
+    /// default shard placement.
+    pub fn node(mut self, name: &str) -> Self {
+        self.intern(name);
+        self
+    }
+
+    /// Declare a symmetric link between two nodes with round-trip time
+    /// `rtt`. Auto-declares unknown endpoints. The link's one-way latency
+    /// (floored at 1µs) bounds how early messages can cross between the
+    /// endpoints' shards.
+    pub fn link(mut self, a: &str, b: &str, rtt: Duration) -> Self {
+        let a = self.intern(a);
+        let b = self.intern(b);
+        self.topology.add_link(a, b, rtt.as_micros() as u64);
+        self
+    }
+
+    /// Pin `node` to a specific worker shard, overriding round-robin
+    /// placement. Useful for keeping chatty zero-latency neighbours
+    /// co-resident.
+    pub fn assign(mut self, node: &str, shard: u32) -> Self {
+        let idx = self.intern(node);
+        self.topology.set_shard(idx, shard);
+        self.pinned[idx as usize] = true;
+        self
+    }
+
+    /// Number of worker shards. `1` (the default) is the historical
+    /// single-threaded executor.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "workers must be >= 1");
+        self.workers = workers;
+        self
+    }
+
+    /// Root seed for the run; per-component RNG streams derive from it via
+    /// [`crate::RuntimeHandle::stream_seed`].
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Register a task with affinity to `node`: at start-of-run it is
+    /// spawned on the node's shard, before the root future's first poll,
+    /// in declaration order. The closure runs on the shard's thread, so the
+    /// future it returns may freely hold `Rc`/`RefCell` state created there.
+    pub fn spawn_node<F, Fut>(mut self, node: &str, f: F) -> Self
+    where
+        F: FnOnce() -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let node = self.intern(node);
+        self.pending.push(PendingSpawn {
+            node,
+            thunk: Box::new(move || {
+                drop(crate::spawn(f()));
+            }),
+        });
+        self
+    }
+
+    /// Allocate a mailbox owned by `node`. Returns the `Send + Clone`
+    /// sending half and the one-shot token the owning task uses to
+    /// [`MailboxToken::bind`] the receiving half on its shard. (`&mut self`
+    /// so handles can be captured by later `spawn_node` closures.)
+    pub fn mailbox<T: Send + 'static>(
+        &mut self,
+        node: &str,
+    ) -> (MailboxSender<T>, MailboxToken<T>) {
+        let owner = self.intern(node);
+        let id = self.next_mailbox;
+        self.next_mailbox += 1;
+        (MailboxSender::new(id, owner), MailboxToken::new(id, owner))
+    }
+
+    /// Finalize shard placement and produce the [`Runtime`].
+    pub fn build(mut self) -> Runtime {
+        self.topology
+            .assign_round_robin(self.workers as u32, &self.pinned);
+        for (i, &pinned) in self.pinned.iter().enumerate() {
+            if pinned {
+                let shard = self.topology.shard_of(i as u32);
+                assert!(
+                    (shard as usize) < self.workers,
+                    "node '{}' pinned to shard {shard} but workers = {}",
+                    self.topology.node_name(i as u32),
+                    self.workers
+                );
+            }
+        }
+        let lookahead = build_lookahead(&self.topology, self.workers);
+        let meta = Arc::new(RunMeta {
+            seed: self.seed,
+            workers: self.workers,
+            topology: self.topology,
+            lookahead,
+        });
+        Runtime::from_parts(meta, self.pending)
+    }
+}

@@ -39,19 +39,32 @@
 //! // Virtual time advanced by exactly 50ms even though the test ran instantly.
 //! ```
 
+mod builder;
 mod executor;
 mod future_util;
+mod handle;
 pub mod hash;
+mod mailbox;
+mod shard;
 pub mod sync;
 mod task;
 mod time;
+mod topology;
+mod wheel;
 
+pub use builder::RuntimeBuilder;
 pub use executor::{spawn, RunMetrics, Runtime};
 pub use future_util::{
     join_all, race, timeout, timeout_unpin, yield_now, Either, Elapsed, Timeout,
 };
+pub use handle::{handle, try_handle, RuntimeHandle};
+pub use mailbox::{BoundSender, Delivery, Mailbox, MailboxSender, MailboxToken, RecvFuture};
 pub use task::JoinHandle;
-pub use time::{now, sleep, sleep_until, try_now, SimInstant, Sleep};
+pub use time::{now, sleep, sleep_until, SimInstant, Sleep};
+pub use topology::Topology;
+
+#[allow(deprecated)]
+pub use time::try_now;
 
 /// Convenience: build a fresh [`Runtime`] and run `fut` to completion on it.
 ///

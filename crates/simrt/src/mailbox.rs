@@ -1,0 +1,329 @@
+//! Typed, latency-stamped mailboxes: the only channel that crosses shards.
+//!
+//! A [`Mailbox<T>`] is owned by one node and receives messages of type `T`
+//! from any node, each stamped with a delivery delay at send time. Delivery
+//! order is a pure function of `(deliver_at, src_node, seq)` — never of
+//! which worker shard ran first — so a run's observable behaviour is
+//! identical at any worker count.
+//!
+//! Mechanics: `send` computes the absolute `deliver_at`. Same-shard sends
+//! hand the envelope to the receiving runtime immediately; cross-shard sends
+//! park it in the shard's outbox, which the window barrier routes at the next
+//! synchronization point (conservative lookahead guarantees the barrier
+//! happens before `deliver_at`). On the receiving shard the envelope enters
+//! the mailbox's pending heap and a *delivery-class* timer is registered at
+//! `deliver_at`; delivery timers fire before ordinary timers at the same
+//! instant, so a message wakes its receiver ahead of the receiver's own
+//! same-instant timeouts in both single- and multi-worker modes.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::marker::PhantomData;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::executor::{with_current_ctx, RuntimeInner};
+
+/// A message in flight: payload plus the delivery key that totally orders it.
+pub(crate) struct Envelope {
+    pub(crate) mailbox: u64,
+    pub(crate) dst_shard: u32,
+    pub(crate) deliver_at: u64,
+    pub(crate) src_node: u32,
+    pub(crate) seq: u64,
+    pub(crate) payload: Box<dyn Any + Send>,
+}
+
+/// Per-mailbox delivery hook installed on the owning shard's runtime: takes
+/// the envelope, downcasts the payload and registers the delivery timer.
+pub(crate) type DeliverHook = Rc<dyn Fn(&RuntimeInner, Envelope)>;
+
+/// Wakes the mailbox's pending `recv` when a delivery timer fires. Lives
+/// behind `Arc<Mutex<..>>` only to satisfy `Wake`'s bounds; it is only ever
+/// touched from the owning shard's thread.
+struct Signal {
+    waker: Mutex<Option<Waker>>,
+}
+
+impl Wake for Signal {
+    fn wake(self: Arc<Self>) {
+        if let Some(w) = self.waker.lock().unwrap().take() {
+            w.wake();
+        }
+    }
+}
+
+struct MsgEntry<T> {
+    deliver_at: u64,
+    src_node: u32,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> MsgEntry<T> {
+    fn key(&self) -> (u64, u32, u64) {
+        (self.deliver_at, self.src_node, self.seq)
+    }
+}
+
+impl<T> PartialEq for MsgEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<T> Eq for MsgEntry<T> {}
+impl<T> PartialOrd for MsgEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for MsgEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+struct MailState<T> {
+    heap: BinaryHeap<Reverse<MsgEntry<T>>>,
+    signal: Arc<Signal>,
+}
+
+/// A received message with its provenance.
+pub struct Delivery<T> {
+    /// Virtual time (µs) the message became visible to the receiver.
+    pub at_micros: u64,
+    /// Topology index of the sending node.
+    pub src_node: u32,
+    pub payload: T,
+}
+
+/// The receiving half of a mailbox, created by binding a [`MailboxToken`]
+/// on the owning node's shard. `!Send`: it lives on its shard.
+pub struct Mailbox<T> {
+    state: Rc<RefCell<MailState<T>>>,
+}
+
+impl<T: 'static> Mailbox<T> {
+    /// Receive the next message, in `(deliver_at, src_node, seq)` order,
+    /// waiting (in virtual time) until one is deliverable.
+    pub fn recv(&self) -> RecvFuture<'_, T> {
+        RecvFuture { mailbox: self }
+    }
+}
+
+/// Future returned by [`Mailbox::recv`].
+pub struct RecvFuture<'a, T> {
+    mailbox: &'a Mailbox<T>,
+}
+
+impl<T: 'static> Future for RecvFuture<'_, T> {
+    type Output = Delivery<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let now = crate::executor::current_now().as_micros();
+        let mut state = self.mailbox.state.borrow_mut();
+        if let Some(Reverse(head)) = state.heap.peek() {
+            if head.deliver_at <= now {
+                let Reverse(entry) = state.heap.pop().unwrap();
+                return Poll::Ready(Delivery {
+                    at_micros: entry.deliver_at,
+                    src_node: entry.src_node,
+                    payload: entry.payload,
+                });
+            }
+        }
+        // Not deliverable yet: the delivery-class timer registered when the
+        // envelope arrived will fire the signal at `deliver_at`; park the
+        // task waker there. (If no message is pending at all, a future
+        // delivery installs the timer and finds this waker.)
+        *state.signal.waker.lock().unwrap() = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Capability to bind a mailbox on its owning node's shard. `Send`, so the
+/// builder can hand it into a `spawn_node` closure.
+pub struct MailboxToken<T> {
+    id: u64,
+    owner: u32,
+    _marker: PhantomData<fn() -> T>,
+}
+
+// The token carries no T values, only the right to create the mailbox.
+unsafe impl<T> Send for MailboxToken<T> {}
+
+impl<T: 'static> MailboxToken<T> {
+    pub(crate) fn new(id: u64, owner: u32) -> Self {
+        Self {
+            id,
+            owner,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Bind the mailbox on the current shard. Must be called from a task
+    /// running on the owning node's shard (asserted), exactly once.
+    pub fn bind(self) -> Mailbox<T> {
+        let state = Rc::new(RefCell::new(MailState::<T> {
+            heap: BinaryHeap::new(),
+            signal: Arc::new(Signal {
+                waker: Mutex::new(None),
+            }),
+        }));
+        let hook_state = Rc::clone(&state);
+        let hook: DeliverHook = Rc::new(move |inner: &RuntimeInner, env: Envelope| {
+            let payload = *env
+                .payload
+                .downcast::<T>()
+                .expect("mailbox payload type mismatch");
+            let mut st = hook_state.borrow_mut();
+            st.heap.push(Reverse(MsgEntry {
+                deliver_at: env.deliver_at,
+                src_node: env.src_node,
+                seq: env.seq,
+                payload,
+            }));
+            let signal = Arc::clone(&st.signal);
+            drop(st);
+            // One delivery-class timer per message: wakes the receiver at
+            // deliver_at, ahead of ordinary timers at the same instant.
+            inner.register_delivery(env.deliver_at, Waker::from(signal));
+        });
+        with_current_ctx(|ctx| {
+            if let Some(shard) = &ctx.shard {
+                assert_eq!(
+                    shard.shard,
+                    ctx.meta.topology.shard_of(self.owner),
+                    "mailbox for node '{}' bound on the wrong shard",
+                    ctx.meta.topology.node_name(self.owner)
+                );
+            }
+            ctx.inner.bind_mailbox(self.id, hook);
+        });
+        Mailbox { state }
+    }
+}
+
+/// The sending half: `Send + Clone`, addressable from any node. Call
+/// [`MailboxSender::bind_src`] on the sending node's shard to obtain a
+/// [`BoundSender`] that stamps messages with that node's identity.
+pub struct MailboxSender<T> {
+    id: u64,
+    dst_node: u32,
+    _marker: PhantomData<fn(T)>,
+}
+
+unsafe impl<T> Send for MailboxSender<T> {}
+
+impl<T> Clone for MailboxSender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            id: self.id,
+            dst_node: self.dst_node,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + 'static> MailboxSender<T> {
+    pub(crate) fn new(id: u64, dst_node: u32) -> Self {
+        Self {
+            id,
+            dst_node,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Resolve this sender for messages originating at node `src` (a name
+    /// declared on the builder). Must be called on `src`'s shard.
+    pub fn bind_src(&self, src: &str) -> BoundSender<T> {
+        let (src_node, dst_shard) = with_current_ctx(|ctx| {
+            let src_node = ctx
+                .meta
+                .topology
+                .node_index(src)
+                .unwrap_or_else(|| panic!("unknown source node '{src}'"));
+            if let Some(shard) = &ctx.shard {
+                assert_eq!(
+                    shard.shard,
+                    ctx.meta.topology.shard_of(src_node),
+                    "bind_src('{src}') called on the wrong shard"
+                );
+            }
+            (src_node, ctx.meta.topology.shard_of(self.dst_node))
+        });
+        BoundSender {
+            id: self.id,
+            dst_node: self.dst_node,
+            dst_shard,
+            src_node,
+            next_seq: Cell::new(0),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A sender bound to a source node: stamps each message with
+/// `(deliver_at, src_node, seq)` and routes it locally or via the shard
+/// outbox. `!Send` (per-shard sequence counter); one per (source, mailbox).
+pub struct BoundSender<T> {
+    id: u64,
+    dst_node: u32,
+    dst_shard: u32,
+    src_node: u32,
+    next_seq: Cell<u64>,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T: Send + 'static> BoundSender<T> {
+    /// Send `payload`, arriving `delay_micros` of virtual time from now.
+    ///
+    /// Cross-shard sends must respect the declared link latency: `delay`
+    /// below the topology's one-way lookahead for the shard pair is a bug in
+    /// the model (the barrier protocol relies on it) and panics.
+    pub fn send(&self, delay_micros: u64, payload: T) {
+        let seq = self.next_seq.get();
+        self.next_seq.set(seq + 1);
+        with_current_ctx(|ctx| {
+            let deliver_at = ctx.inner.now_micros() + delay_micros;
+            let env = Envelope {
+                mailbox: self.id,
+                dst_shard: self.dst_shard,
+                deliver_at,
+                src_node: self.src_node,
+                seq,
+                payload: Box::new(payload),
+            };
+            match &ctx.shard {
+                Some(link) if link.shard != self.dst_shard => {
+                    let min = ctx.meta.declared_lookahead(link.shard, self.dst_shard);
+                    assert!(
+                        min != u64::MAX,
+                        "no link declared between the shards of '{}' and '{}'",
+                        ctx.meta.topology.node_name(self.src_node),
+                        ctx.meta.topology.node_name(self.dst_node),
+                    );
+                    assert!(
+                        delay_micros >= min,
+                        "cross-shard send with delay {delay_micros}us below the \
+                         declared one-way link latency {min}us",
+                    );
+                    link.outbox.borrow_mut().push(env);
+                }
+                // Same shard (or single-worker mode): deliver immediately;
+                // the delivery-class timer provides the time gating.
+                _ => ctx.inner.deliver(env),
+            }
+        });
+    }
+
+    /// Topology index of the destination node.
+    pub fn dst_node(&self) -> u32 {
+        self.dst_node
+    }
+}

@@ -96,6 +96,11 @@ pub fn now() -> SimInstant {
 /// Current virtual time of the active runtime, or `None` when no runtime is
 /// running on this thread (e.g. inspecting collected telemetry after
 /// `block_on` returned).
+#[deprecated(
+    since = "0.6.0",
+    note = "use geotp_simrt::try_handle().map(|h| h.now()) — the RuntimeHandle \
+            also carries the run seed, shard placement and topology"
+)]
 pub fn try_now() -> Option<SimInstant> {
     crate::executor::try_current_now()
 }

@@ -1,0 +1,189 @@
+//! Simulation topology: named nodes, weighted links, shard assignment.
+//!
+//! The topology serves two purposes. For the *model*, it names the places
+//! (data sources, coordinators, client drivers) that tasks belong to. For the
+//! *engine*, it bounds how early a message from one worker shard can reach
+//! another: the minimum one-way link latency between two shards is the
+//! conservative **lookahead** that lets each shard run ahead of its peers
+//! without ever receiving a message from its past (classic conservative
+//! parallel discrete-event simulation).
+
+use crate::hash::FxHashMap;
+
+/// Immutable description of the simulated cluster: node names, their worker
+/// shard assignment, and the declared links between them.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    names: Vec<String>,
+    shards: Vec<u32>,
+    /// `(a, b, rtt_micros)` — links are symmetric.
+    links: Vec<(u32, u32, u64)>,
+    index: FxHashMap<String, u32>,
+}
+
+impl Topology {
+    pub(crate) fn add_node(&mut self, name: &str) -> u32 {
+        if let Some(&idx) = self.index.get(name) {
+            return idx;
+        }
+        let idx = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.shards.push(0);
+        self.index.insert(name.to_string(), idx);
+        idx
+    }
+
+    pub(crate) fn add_link(&mut self, a: u32, b: u32, rtt_micros: u64) {
+        self.links.push((a, b, rtt_micros));
+    }
+
+    pub(crate) fn set_shard(&mut self, node: u32, shard: u32) {
+        self.shards[node as usize] = shard;
+    }
+
+    /// Default placement: node `i` on shard `i % workers`, in declaration
+    /// order. Explicit [`crate::RuntimeBuilder::assign`] calls override this.
+    pub(crate) fn assign_round_robin(&mut self, workers: u32, pinned: &[bool]) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            if !pinned[i] {
+                *shard = i as u32 % workers;
+            }
+        }
+    }
+
+    /// Index of a declared node, or `None` if the name is unknown.
+    pub fn node_index(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of node `idx`.
+    pub fn node_name(&self, idx: u32) -> &str {
+        &self.names[idx as usize]
+    }
+
+    /// Worker shard that node `idx` is assigned to.
+    pub fn shard_of(&self, idx: u32) -> u32 {
+        self.shards[idx as usize]
+    }
+
+    /// Number of declared nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Declared links as `(a, b, rtt_micros)`.
+    pub fn links(&self) -> &[(u32, u32, u64)] {
+        &self.links
+    }
+}
+
+/// Minimum one-way latency from shard `src` to shard `dst`, in microseconds,
+/// derived from the declared links. `u64::MAX` means no declared link crosses
+/// that shard pair (no constraint — messages between them are not allowed
+/// without a link anyway, and the barrier falls back to a 1µs window).
+pub(crate) fn build_lookahead(topology: &Topology, workers: usize) -> Vec<u64> {
+    let mut lookahead = vec![u64::MAX; workers * workers];
+    for &(a, b, rtt) in topology.links() {
+        let (sa, sb) = (topology.shard_of(a), topology.shard_of(b));
+        if sa == sb {
+            continue;
+        }
+        // One-way latency, conservatively floored at 1µs so zero-latency
+        // links still permit the window barrier to make progress.
+        let one_way = (rtt / 2).max(1);
+        for (s, d) in [(sa, sb), (sb, sa)] {
+            let cell = &mut lookahead[s as usize * workers + d as usize];
+            *cell = (*cell).min(one_way);
+        }
+    }
+    lookahead
+}
+
+/// Run-wide metadata shared by every shard: the seed, worker count, topology
+/// and the precomputed shard-to-shard lookahead matrix.
+pub(crate) struct RunMeta {
+    pub(crate) seed: u64,
+    pub(crate) workers: usize,
+    pub(crate) topology: Topology,
+    /// `lookahead[src * workers + dst]`, microseconds; `u64::MAX` = no link.
+    pub(crate) lookahead: Vec<u64>,
+}
+
+impl RunMeta {
+    /// Conservative lookahead from shard `src` to shard `dst`: how far ahead
+    /// of `src`'s clock a message to `dst` is guaranteed *not* to arrive.
+    /// The 1µs floor keeps the barrier protocol live even between shards
+    /// with no declared cross link (time-window fallback).
+    pub(crate) fn lookahead(&self, src: u32, dst: u32) -> u64 {
+        let l = self.lookahead[src as usize * self.workers + dst as usize];
+        if l == u64::MAX {
+            1
+        } else {
+            l
+        }
+    }
+
+    /// The raw matrix entry (`u64::MAX` when no cross link was declared).
+    /// Used for the send-time assertion that cross-shard messages respect
+    /// the declared link latency.
+    pub(crate) fn declared_lookahead(&self, src: u32, dst: u32) -> u64 {
+        self.lookahead[src as usize * self.workers + dst as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_indices_are_stable_and_deduplicated() {
+        let mut t = Topology::default();
+        let a = t.add_node("coord0");
+        let b = t.add_node("ds1");
+        assert_eq!(t.add_node("coord0"), a);
+        assert_eq!(t.node_index("ds1"), Some(b));
+        assert_eq!(t.node_name(a), "coord0");
+        assert_eq!(t.node_count(), 2);
+    }
+
+    #[test]
+    fn round_robin_respects_pins() {
+        let mut t = Topology::default();
+        for name in ["a", "b", "c", "d"] {
+            t.add_node(name);
+        }
+        t.set_shard(2, 0); // pin "c" to shard 0
+        t.assign_round_robin(2, &[false, false, true, false]);
+        assert_eq!(
+            (0..4).map(|i| t.shard_of(i)).collect::<Vec<_>>(),
+            vec![0, 1, 0, 1]
+        );
+    }
+
+    #[test]
+    fn lookahead_is_min_one_way_over_cross_links() {
+        let mut t = Topology::default();
+        let a = t.add_node("a"); // shard 0
+        let b = t.add_node("b"); // shard 1
+        let c = t.add_node("c"); // shard 0
+        t.assign_round_robin(2, &[false, false, false]);
+        t.add_link(a, b, 100_000); // 50ms one-way
+        t.add_link(c, b, 27_000); // 13.5ms one-way — the min
+        t.add_link(a, c, 500); // same shard: ignored
+        let l = build_lookahead(&t, 2);
+        assert_eq!(l[1], 13_500); // 0 -> 1
+        assert_eq!(l[2], 13_500); // 1 -> 0
+        assert_eq!(l[0], u64::MAX);
+    }
+
+    #[test]
+    fn zero_latency_link_floors_at_one_micro() {
+        let mut t = Topology::default();
+        let a = t.add_node("a");
+        let b = t.add_node("b");
+        t.assign_round_robin(2, &[false, false]);
+        t.add_link(a, b, 0);
+        let l = build_lookahead(&t, 2);
+        assert_eq!(l[1], 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! Hierarchical timer wheel: the executor's pending-timer store.
+//!
+//! Replaces the earlier `BinaryHeap<Reverse<TimerEntry>>` with the classic
+//! hashed hierarchical wheel (as in tokio's time driver and Varghese &
+//! Lauck's original design): `LEVELS` levels of 64 slots each, where level
+//! `L` has slot granularity `64^L` microseconds. Insertion and removal are
+//! O(1); finding the next deadline scans at most 64 occupancy bits per
+//! level.
+//!
+//! ## Semantics (kept bit-compatible with the heap)
+//!
+//! * Timers fire in `(deadline, class, seq)` order, where `seq` is the
+//!   registration sequence number. Legacy timers all use
+//!   [`CLASS_NORMAL`], so their firing order is exactly the heap's
+//!   `(deadline, seq)` order and recorded poll counts do not move.
+//! * [`TimerWheel::next_deadline`] reports the *exact* minimum pending
+//!   deadline — never a slot boundary — so the executor's single
+//!   clock-jump-per-advance accounting (`clock_advances`) is unchanged.
+//! * Cancellation ([`TimerWheel::cancel`]) is lazy: the entry is
+//!   tombstoned and physically removed when its slot is next scanned.
+//!   A cancelled timer is invisible to `next_deadline`, so it never
+//!   causes a clock advance. Legacy `Sleep` never cancels (stale wakers
+//!   are absorbed by task generations), keeping the hot path free of
+//!   bookkeeping: when no tombstone exists the per-fire overhead is one
+//!   `is_empty` check.
+//!
+//! ## Delivery class
+//!
+//! Cross-node mailbox deliveries register with [`CLASS_DELIVERY`] (0),
+//! which sorts before [`CLASS_NORMAL`] (1) at an equal deadline. This is
+//! the cross-shard determinism anchor: a message arriving at instant `t`
+//! wakes its receiver *before* any local timer scheduled for `t`,
+//! regardless of registration order — and therefore regardless of whether
+//! the sender lived on the same shard (registered at send time) or a
+//! remote one (registered at the window barrier).
+
+use std::task::Waker;
+
+use crate::hash::FxHashSet;
+
+/// Slot-index bits per level.
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of levels. Capacity is `64^LEVELS` µs ≈ 51 simulated days;
+/// deadlines beyond that horizon go to the unsorted overflow list.
+const LEVELS: usize = 7;
+/// Horizon covered by the levels, relative to `elapsed`.
+const CAPACITY: u64 = 1 << (BITS * LEVELS as u32);
+
+/// Firing class for cross-node message deliveries (sorts first).
+pub(crate) const CLASS_DELIVERY: u8 = 0;
+/// Firing class for ordinary timers (`sleep` etc.).
+pub(crate) const CLASS_NORMAL: u8 = 1;
+
+/// Opaque handle for cancelling a registered timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// One registered timer.
+pub(crate) struct TimerEntry {
+    pub(crate) deadline: u64,
+    pub(crate) class: u8,
+    pub(crate) seq: u64,
+    pub(crate) waker: Waker,
+}
+
+impl TimerEntry {
+    fn key(&self) -> (u64, u8, u64) {
+        (self.deadline, self.class, self.seq)
+    }
+}
+
+struct Level {
+    /// Bit `s` set ⇔ `slots[s]` is non-empty.
+    occupied: u64,
+    slots: [Vec<TimerEntry>; SLOTS],
+}
+
+impl Level {
+    fn new() -> Self {
+        Self {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// Where `scan_candidate` found the minimum pending deadline.
+enum Candidate {
+    /// In a wheel slot (level, slot index, exact min deadline within it).
+    Slot(usize, usize, u64),
+    /// In the overflow list (min deadline).
+    Overflow(u64),
+}
+
+/// The wheel. Single-threaded; owned by one shard's `RuntimeInner`.
+pub(crate) struct TimerWheel {
+    /// Wheel-relative "now": the last instant `expire` completed at. All
+    /// live entries have `deadline >= elapsed`.
+    elapsed: u64,
+    next_seq: u64,
+    /// Live (non-tombstoned) entry count across levels and overflow.
+    len: usize,
+    levels: Vec<Level>,
+    /// Entries beyond `elapsed + CAPACITY`, unsorted; migrated into the
+    /// levels as `elapsed` advances.
+    overflow: Vec<TimerEntry>,
+    /// Sequence numbers cancelled but not yet physically removed.
+    tombstones: FxHashSet<u64>,
+}
+
+impl TimerWheel {
+    pub(crate) fn new() -> Self {
+        Self {
+            elapsed: 0,
+            next_seq: 0,
+            len: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: Vec::new(),
+            tombstones: FxHashSet::default(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Level an entry with `deadline` belongs to, relative to `elapsed`.
+    /// `LEVELS` means "overflow".
+    fn level_for(&self, deadline: u64) -> usize {
+        let masked = deadline ^ self.elapsed;
+        if masked == 0 {
+            0
+        } else {
+            (63 - masked.leading_zeros() as usize) / BITS as usize
+        }
+    }
+
+    fn slot_for(deadline: u64, level: usize) -> usize {
+        ((deadline >> (BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    /// Register a timer; returns a handle usable with [`Self::cancel`].
+    pub(crate) fn push(&mut self, deadline: u64, class: u8, waker: Waker) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_entry(TimerEntry {
+            deadline,
+            class,
+            seq,
+            waker,
+        });
+        self.len += 1;
+        TimerId(seq)
+    }
+
+    fn push_entry(&mut self, entry: TimerEntry) {
+        debug_assert!(
+            entry.deadline >= self.elapsed,
+            "timer registered in the past: deadline={} elapsed={}",
+            entry.deadline,
+            self.elapsed
+        );
+        let level = self.level_for(entry.deadline);
+        if level >= LEVELS {
+            self.overflow.push(entry);
+            return;
+        }
+        let slot = Self::slot_for(entry.deadline, level);
+        let lvl = &mut self.levels[level];
+        lvl.slots[slot].push(entry);
+        lvl.occupied |= 1 << slot;
+    }
+
+    /// Cancel a pending timer. Lazy: the entry is dropped when its slot is
+    /// next scanned, and it is never reported by [`Self::next_deadline`].
+    /// Cancelling an already-fired timer never mis-fires or blocks anything
+    /// (sequence numbers are unique), but it leaves a stale tombstone and
+    /// may undercount [`Self::len`]; callers should cancel only pending
+    /// timers.
+    #[allow(dead_code)] // timer-wheel API surface; exercised by the unit suite
+    pub(crate) fn cancel(&mut self, id: TimerId) {
+        if id.0 < self.next_seq && self.tombstones.insert(id.0) {
+            self.len = self.len.saturating_sub(1);
+        }
+    }
+
+    /// Drop tombstoned entries from one slot; clears the occupancy bit if
+    /// the slot empties. Returns whether the slot still holds entries.
+    fn purge_slot(&mut self, level: usize, slot: usize) -> bool {
+        if !self.tombstones.is_empty() {
+            let tombstones = &mut self.tombstones;
+            self.levels[level].slots[slot].retain(|e| !tombstones.remove(&e.seq));
+        }
+        if self.levels[level].slots[slot].is_empty() {
+            self.levels[level].occupied &= !(1u64 << slot);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Exact minimum pending deadline, or `None` when no live timer exists.
+    pub(crate) fn next_deadline(&mut self) -> Option<u64> {
+        self.scan_candidate().map(|c| match c {
+            Candidate::Slot(_, _, d) | Candidate::Overflow(d) => d,
+        })
+    }
+
+    fn scan_candidate(&mut self) -> Option<Candidate> {
+        for level in 0..LEVELS {
+            let cur = Self::slot_for(self.elapsed, level);
+            // No-wrap invariant: every live entry's slot index at its level
+            // is >= the current position, so scanning the bits >= `cur`
+            // covers the whole level.
+            debug_assert_eq!(
+                self.levels[level].occupied & ((1u64 << cur) - 1),
+                0,
+                "stale timer slot behind the wheel cursor at level {level}"
+            );
+            let mut mask = self.levels[level].occupied >> cur << cur;
+            while mask != 0 {
+                let slot = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if !self.purge_slot(level, slot) {
+                    continue;
+                }
+                let min = self.levels[level].slots[slot]
+                    .iter()
+                    .map(|e| e.deadline)
+                    .min()
+                    .expect("purged slot is non-empty");
+                return Some(Candidate::Slot(level, slot, min));
+            }
+        }
+        if !self.tombstones.is_empty() {
+            let tombstones = &mut self.tombstones;
+            self.overflow.retain(|e| !tombstones.remove(&e.seq));
+        }
+        self.overflow
+            .iter()
+            .map(|e| e.deadline)
+            .min()
+            .map(Candidate::Overflow)
+    }
+
+    /// Advance wheel time to `now`, appending every entry with
+    /// `deadline <= now` to `out` in `(deadline, class, seq)` order.
+    pub(crate) fn expire(&mut self, now: u64, out: &mut Vec<TimerEntry>) {
+        debug_assert!(now >= self.elapsed);
+        let start = out.len();
+        while let Some(candidate) = self.scan_candidate() {
+            match candidate {
+                Candidate::Slot(_, _, d) | Candidate::Overflow(d) if d > now => break,
+                Candidate::Slot(0, slot, d) => {
+                    // Level-0 slots hold exactly one deadline; all due.
+                    self.elapsed = d;
+                    let drained = std::mem::take(&mut self.levels[0].slots[slot]);
+                    self.levels[0].occupied &= !(1u64 << slot);
+                    self.len -= drained.len();
+                    out.extend(drained);
+                }
+                Candidate::Slot(level, slot, d) => {
+                    // Cascade: advance to the slot's minimum deadline and
+                    // re-insert its entries; they land at lower levels
+                    // (the minimum lands at level 0) and the loop repeats.
+                    self.elapsed = d;
+                    let drained = std::mem::take(&mut self.levels[level].slots[slot]);
+                    self.levels[level].occupied &= !(1u64 << slot);
+                    for entry in drained {
+                        self.push_entry(entry);
+                    }
+                }
+                Candidate::Overflow(d) => {
+                    // The whole wheel is empty up to the overflow horizon:
+                    // jump to the overflow minimum and migrate every entry
+                    // that now fits within the level horizon.
+                    self.elapsed = d;
+                    let overflow = std::mem::take(&mut self.overflow);
+                    for entry in overflow {
+                        self.push_entry(entry);
+                    }
+                }
+            }
+        }
+        if now > self.elapsed {
+            // `now` lies strictly between pending deadlines (every due entry
+            // was already fired above). Crossing slot boundaries can leave
+            // entries parked at a coarser level than the new `elapsed`
+            // warrants, so re-place whatever sits in each level's new cursor
+            // slot; re-pushed entries always land at a strictly lower level.
+            self.elapsed = now;
+            for level in (1..LEVELS).rev() {
+                let cur = Self::slot_for(now, level);
+                if self.levels[level].occupied & (1u64 << cur) != 0 {
+                    let drained = std::mem::take(&mut self.levels[level].slots[cur]);
+                    self.levels[level].occupied &= !(1u64 << cur);
+                    for entry in drained {
+                        self.push_entry(entry);
+                    }
+                }
+            }
+            if self
+                .overflow
+                .iter()
+                .any(|e| e.deadline < now.saturating_add(CAPACITY))
+            {
+                let overflow = std::mem::take(&mut self.overflow);
+                for entry in overflow {
+                    self.push_entry(entry);
+                }
+            }
+        }
+        out[start..].sort_unstable_by_key(|e| e.key());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::task::Wake;
+
+    struct NoopWaker;
+    impl Wake for NoopWaker {
+        fn wake(self: Arc<Self>) {}
+    }
+
+    fn waker() -> Waker {
+        Waker::from(Arc::new(NoopWaker))
+    }
+
+    /// Waker that records fires, for end-to-end checks.
+    struct CountWaker(AtomicU64);
+    impl Wake for CountWaker {
+        fn wake(self: Arc<Self>) {
+            self.0.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn fire_upto(wheel: &mut TimerWheel, now: u64) -> Vec<(u64, u8, u64)> {
+        let mut out = Vec::new();
+        wheel.expire(now, &mut out);
+        out.iter().map(|e| (e.deadline, e.class, e.seq)).collect()
+    }
+
+    #[test]
+    fn fires_in_deadline_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(20, CLASS_NORMAL, waker());
+        w.push(10, CLASS_NORMAL, waker());
+        w.push(10, CLASS_NORMAL, waker());
+        assert_eq!(w.next_deadline(), Some(10));
+        assert_eq!(fire_upto(&mut w, 10), vec![(10, 1, 1), (10, 1, 2)]);
+        assert_eq!(w.next_deadline(), Some(20));
+        assert_eq!(fire_upto(&mut w, 20), vec![(20, 1, 0)]);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn delivery_class_fires_before_normal_at_equal_deadline() {
+        let mut w = TimerWheel::new();
+        w.push(50, CLASS_NORMAL, waker()); // seq 0
+        w.push(50, CLASS_DELIVERY, waker()); // seq 1
+        assert_eq!(fire_upto(&mut w, 50), vec![(50, 0, 1), (50, 1, 0)]);
+    }
+
+    #[test]
+    fn cascade_boundaries_are_exact() {
+        // Deadlines straddling every level boundary: 64^1, 64^2, 64^3.
+        let mut boundaries = Vec::new();
+        for level in 1..4u32 {
+            let b = 1u64 << (BITS * level);
+            boundaries.extend([b - 1, b, b + 1]);
+        }
+        let mut w = TimerWheel::new();
+        for &d in &boundaries {
+            w.push(d, CLASS_NORMAL, waker());
+        }
+        let mut sorted = boundaries.clone();
+        sorted.sort();
+        for &d in &sorted {
+            assert_eq!(w.next_deadline(), Some(d), "next_deadline before {d}");
+            let fired = fire_upto(&mut w, d);
+            assert_eq!(fired.len(), 1, "exactly one timer due at {d}");
+            assert_eq!(fired[0].0, d);
+        }
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn far_future_timers_take_the_overflow_path() {
+        let mut w = TimerWheel::new();
+        let far = CAPACITY * 3 + 12_345; // beyond the 64^7 horizon
+        w.push(far, CLASS_NORMAL, waker());
+        w.push(far + 7, CLASS_NORMAL, waker());
+        assert_eq!(w.overflow.len(), 2, "entries beyond horizon overflow");
+        assert_eq!(w.next_deadline(), Some(far));
+        assert_eq!(fire_upto(&mut w, far), vec![(far, 1, 0)]);
+        // The second migrated into the levels when the clock jumped.
+        assert!(w.overflow.is_empty());
+        assert_eq!(w.next_deadline(), Some(far + 7));
+        assert_eq!(fire_upto(&mut w, far + 7), vec![(far + 7, 1, 1)]);
+    }
+
+    #[test]
+    fn cancellation_is_invisible_to_next_deadline() {
+        let mut w = TimerWheel::new();
+        let a = w.push(100, CLASS_NORMAL, waker());
+        w.push(200, CLASS_NORMAL, waker());
+        assert_eq!(w.next_deadline(), Some(100));
+        w.cancel(a);
+        assert_eq!(w.len(), 1);
+        // The cancelled timer must not be reported (it would otherwise
+        // cause a spurious clock advance to t=100).
+        assert_eq!(w.next_deadline(), Some(200));
+        assert_eq!(fire_upto(&mut w, 200), vec![(200, 1, 1)]);
+        // Cancel-after-fire is a no-op.
+        let b = w.push(300, CLASS_NORMAL, waker());
+        assert_eq!(fire_upto(&mut w, 300), vec![(300, 1, 2)]);
+        w.cancel(b);
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn cancelled_overflow_entry_is_dropped() {
+        let mut w = TimerWheel::new();
+        let far = w.push(CAPACITY + 99, CLASS_NORMAL, waker());
+        w.cancel(far);
+        assert_eq!(w.next_deadline(), None);
+        assert!(w.overflow.is_empty(), "tombstone purged from overflow");
+    }
+
+    #[test]
+    fn wakers_fire_on_expire() {
+        let counter = Arc::new(CountWaker(AtomicU64::new(0)));
+        let mut w = TimerWheel::new();
+        for d in [5u64, 5, 9] {
+            w.push(d, CLASS_NORMAL, Waker::from(Arc::clone(&counter)));
+        }
+        let mut out = Vec::new();
+        w.expire(5, &mut out);
+        for e in out.drain(..) {
+            e.waker.wake();
+        }
+        assert_eq!(counter.0.load(Ordering::Relaxed), 2);
+        w.expire(9, &mut out);
+        for e in out.drain(..) {
+            e.waker.wake();
+        }
+        assert_eq!(counter.0.load(Ordering::Relaxed), 3);
+    }
+
+    /// Differential test: the wheel must agree with a sorted reference
+    /// model on a long, deterministic pseudo-random schedule that mixes
+    /// short/medium/far deadlines, classes, and cancellations.
+    #[test]
+    fn matches_reference_model_on_random_schedule() {
+        // Tiny deterministic PRNG (splitmix64) — simrt has no deps.
+        struct Rng(u64);
+        impl Rng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+        }
+        let mut rng = Rng(0xfeed_f00d);
+        let mut wheel = TimerWheel::new();
+        // Reference: Vec of (deadline, class, seq), kept live until fired.
+        let mut model: Vec<(u64, u8, u64)> = Vec::new();
+        let mut ids: Vec<(TimerId, (u64, u8, u64))> = Vec::new();
+        let mut now = 0u64;
+        for round in 0..2_000 {
+            // Register 0..4 timers at varied horizons.
+            for _ in 0..(rng.next() % 4) {
+                let horizon = match rng.next() % 10 {
+                    0..=5 => rng.next() % 1_000,           // level 0-1
+                    6..=7 => rng.next() % 5_000_000,       // mid levels
+                    8 => rng.next() % (CAPACITY / 2),      // high levels
+                    _ => CAPACITY + rng.next() % CAPACITY, // overflow
+                };
+                let deadline = now + horizon;
+                let class = (rng.next() % 2) as u8;
+                let id = wheel.push(deadline, class, waker());
+                let key = (deadline, class, id.0);
+                model.push(key);
+                ids.push((id, key));
+            }
+            // Occasionally cancel a random live timer.
+            if round % 7 == 0 && !ids.is_empty() {
+                let pick = (rng.next() % ids.len() as u64) as usize;
+                let (id, key) = ids.swap_remove(pick);
+                wheel.cancel(id);
+                model.retain(|k| *k != key);
+            }
+            assert_eq!(wheel.len(), model.len(), "round {round} len");
+            let expect_next = model.iter().map(|k| k.0).min();
+            assert_eq!(wheel.next_deadline(), expect_next, "round {round} next");
+            // Every few rounds, advance to the next deadline and fire.
+            if let Some(d) = expect_next {
+                if round % 3 != 0 {
+                    now = d;
+                    let mut out = Vec::new();
+                    wheel.expire(now, &mut out);
+                    let fired: Vec<_> = out.iter().map(|e| e.key()).collect();
+                    let mut expect: Vec<_> = model.iter().copied().filter(|k| k.0 <= now).collect();
+                    expect.sort_unstable();
+                    assert_eq!(fired, expect, "round {round} fire order");
+                    model.retain(|k| k.0 > now);
+                    ids.retain(|(_, k)| k.0 > now);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Scheduler-independence tests for the sharded runtime: the observable
+//! behaviour of a topology workload (every message delivery, with its
+//! virtual timestamp and provenance) must be identical at any worker count,
+//! including worker counts above the node count (idle shards).
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use geotp_simrt::RuntimeBuilder;
+
+#[derive(Clone, Copy)]
+struct Token {
+    id: u64,
+    hops_left: u32,
+}
+
+/// Delivery record: (virtual µs, receiver, sender node, token id, hops_left).
+type Record = (u64, u32, u32, u64, u32);
+
+const REGIONS: usize = 5;
+const TOKENS_PER_REGION: u64 = 3;
+const HOPS: u32 = 12;
+
+/// Forward delay: ring one-way latency (10ms) plus a deterministic per-hop
+/// jitter, so deliveries land at irregular instants.
+fn fwd_delay(id: u64, hops_left: u32) -> u64 {
+    10_000
+        + id.wrapping_mul(2_654_435_761)
+            .wrapping_add(hops_left as u64 * 40_503)
+            % 5_000
+}
+
+/// Run the token-ring workload: each region launches tokens around a ring of
+/// WAN links, every hop is recorded, and each token's final holder notifies
+/// the coordinator (the root future). Returns the sorted delivery log.
+fn run_token_ring(workers: usize) -> Vec<Record> {
+    let log: Arc<Mutex<Vec<Record>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let mut builder = RuntimeBuilder::new()
+        .workers(workers)
+        .seed(7)
+        .assign("coord", 0);
+    for i in 0..REGIONS {
+        let next = (i + 1) % REGIONS;
+        builder = builder
+            .link(
+                &format!("r{i}"),
+                &format!("r{next}"),
+                Duration::from_millis(20),
+            )
+            .link("coord", &format!("r{i}"), Duration::from_millis(30));
+    }
+
+    let token_mailboxes: Vec<_> = (0..REGIONS)
+        .map(|i| builder.mailbox::<Token>(&format!("r{i}")))
+        .collect();
+    let (done_tx, done_rx) = builder.mailbox::<u64>("coord");
+
+    let mut token_rx = Vec::new();
+    let token_tx: Vec<_> = token_mailboxes
+        .into_iter()
+        .map(|(tx, rx)| {
+            token_rx.push(rx);
+            tx
+        })
+        .collect();
+
+    for (i, rx) in token_rx.into_iter().enumerate() {
+        let name = format!("r{i}");
+        let next_tx = token_tx[(i + 1) % REGIONS].clone();
+        let done_tx = done_tx.clone();
+        let log = Arc::clone(&log);
+        builder = builder.spawn_node(&name.clone(), move || async move {
+            let mailbox = rx.bind();
+            let next = next_tx.bind_src(&name);
+            let done = done_tx.bind_src(&name);
+            for k in 0..TOKENS_PER_REGION {
+                let id = i as u64 * 100 + k;
+                next.send(
+                    fwd_delay(id, HOPS),
+                    Token {
+                        id,
+                        hops_left: HOPS,
+                    },
+                );
+            }
+            loop {
+                let d = mailbox.recv().await;
+                log.lock().unwrap().push((
+                    d.at_micros,
+                    i as u32,
+                    d.src_node,
+                    d.payload.id,
+                    d.payload.hops_left,
+                ));
+                if d.payload.hops_left == 1 {
+                    done.send(15_000, d.payload.id);
+                } else {
+                    let fwd = Token {
+                        id: d.payload.id,
+                        hops_left: d.payload.hops_left - 1,
+                    };
+                    next.send(fwd_delay(fwd.id, fwd.hops_left), fwd);
+                }
+            }
+        });
+    }
+
+    let root_log = Arc::clone(&log);
+    let mut rt = builder.build();
+    rt.block_on(async move {
+        let mailbox = done_rx.bind();
+        for _ in 0..REGIONS as u64 * TOKENS_PER_REGION {
+            let d = mailbox.recv().await;
+            root_log
+                .lock()
+                .unwrap()
+                .push((d.at_micros, u32::MAX, d.src_node, d.payload, 0));
+        }
+    });
+
+    // Abandoned region tasks (still owned by the runtime) keep clones of
+    // the Arc alive, so read the log rather than unwrapping it.
+    let mut out = log.lock().unwrap().clone();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn token_ring_is_deterministic_across_worker_counts() {
+    let baseline = run_token_ring(1);
+    // Every token hop plus every completion notification was recorded.
+    let expected = REGIONS as u64 * TOKENS_PER_REGION * (HOPS as u64 + 1);
+    assert_eq!(baseline.len() as u64, expected);
+    for workers in [2, 4, 8] {
+        let other = run_token_ring(workers);
+        assert_eq!(
+            baseline, other,
+            "delivery log diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn same_instant_messages_order_by_sender_then_seq() {
+    let mut builder = RuntimeBuilder::new();
+    let (tx, rx) = builder.mailbox::<&'static str>("sink");
+    let tx_b = tx.clone();
+    let mut rt = builder
+        .node("sink")
+        .node("a")
+        .node("b")
+        .spawn_node("b", move || async move {
+            // Declared second, sends first — sender order must still win.
+            let tx = tx_b.bind_src("b");
+            tx.send(1_000, "b0");
+            tx.send(1_000, "b1");
+        })
+        .spawn_node("a", {
+            let tx = tx.clone();
+            move || async move {
+                let tx = tx.bind_src("a");
+                tx.send(1_000, "a0");
+            }
+        })
+        .build();
+    let order = rt.block_on(async move {
+        let mailbox = rx.bind();
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(mailbox.recv().await.payload);
+        }
+        got
+    });
+    // Node "a" has the lower topology index: (deliver_at, src_node, seq).
+    assert_eq!(order, vec!["a0", "b0", "b1"]);
+}
+
+#[test]
+#[should_panic(expected = "simulation deadlock")]
+fn sharded_deadlock_is_detected() {
+    let mut rt = RuntimeBuilder::new()
+        .node("a")
+        .node("b")
+        .link("a", "b", Duration::from_millis(10))
+        .workers(2)
+        .build();
+    rt.block_on(std::future::pending::<()>());
+}
+
+#[test]
+#[should_panic(expected = "worker shard boom")]
+fn worker_panic_propagates_to_the_caller() {
+    let mut rt = RuntimeBuilder::new()
+        .node("a")
+        .node("b")
+        .link("a", "b", Duration::from_millis(10))
+        .workers(2)
+        .spawn_node("b", || async {
+            geotp_simrt::sleep(Duration::from_millis(1)).await;
+            panic!("worker shard boom");
+        })
+        .build();
+    rt.block_on(async {
+        geotp_simrt::sleep(Duration::from_secs(1)).await;
+    });
+}
+
+#[test]
+#[should_panic(expected = "below the declared one-way link latency")]
+fn cross_shard_send_below_lookahead_panics() {
+    let mut builder = RuntimeBuilder::new()
+        .node("a")
+        .node("b")
+        .link("a", "b", Duration::from_millis(20))
+        .workers(2);
+    let (tx, _rx) = builder.mailbox::<u8>("b");
+    let mut rt = builder
+        .spawn_node("a", move || async move {
+            let tx = tx.bind_src("a");
+            tx.send(1_000, 7); // 1ms < the 10ms one-way latency of the link
+        })
+        .build();
+    rt.block_on(async {
+        geotp_simrt::sleep(Duration::from_millis(50)).await;
+    });
+}

@@ -88,6 +88,50 @@ pub fn write_chrome_trace(path: &Path, spans: &[Span]) -> io::Result<()> {
     std::fs::write(path, chrome_trace_json(spans))
 }
 
+/// Render a metrics timeline (snapshots recorded with
+/// [`crate::MetricsRegistry::snapshot_to_timeline`]) as CSV — long format,
+/// one row per `(snapshot, metric)`, ready for a spreadsheet or a plotting
+/// script. Counters and gauges fill `value`; histograms fill `value` with
+/// the sample count plus `mean_us`/`p99_us`. Snapshots are already
+/// key-sorted, so the bytes are deterministic.
+pub fn metrics_timeline_csv(timeline: &[crate::MetricsSnapshot]) -> String {
+    use crate::MetricValue;
+    let mut out = String::from("at_us,name,label,index,kind,value,mean_us,p99_us\n");
+    for snap in timeline {
+        let at = snap.at.as_micros();
+        for ((name, label, index), value) in &snap.entries {
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "{at},{name},{label},{index},counter,{c},,");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "{at},{name},{label},{index},gauge,{g},,");
+                }
+                MetricValue::Histogram { count, mean, p99 } => {
+                    let _ = writeln!(
+                        out,
+                        "{at},{name},{label},{index},histogram,{count},{},{}",
+                        mean.as_micros(),
+                        p99.as_micros()
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Write a metrics-timeline CSV (see [`metrics_timeline_csv`]).
+pub fn write_metrics_timeline_csv(
+    path: &Path,
+    timeline: &[crate::MetricsSnapshot],
+) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, metrics_timeline_csv(timeline))
+}
+
 fn sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;

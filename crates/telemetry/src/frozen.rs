@@ -1,0 +1,243 @@
+//! Cross-shard telemetry: `Send` collector snapshots and their
+//! deterministic merge.
+//!
+//! Collectors themselves are thread-local `Rc` structures — on a
+//! multi-worker runtime each shard thread records into its own — so after a
+//! sharded run the per-shard data must be brought back together. The merge
+//! is *canonical*: spans are re-sorted by `(start, gtrid, node, seq)` and
+//! re-slotted in that order, parents are re-resolved by stable triple, and
+//! metrics fold commutatively (counters and gauges sum, histograms merge
+//! bucket-wise). The merged artifact is therefore a pure function of what
+//! was recorded, independent of how nodes were laid out across shards or
+//! threads — the same property the runtime guarantees for schedules,
+//! extended to observability.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use geotp_simrt::hash::FxHashMap;
+use geotp_simrt::SimInstant;
+
+use crate::histogram::Histogram;
+use crate::registry::{MetricKey, MetricValue, MetricsSnapshot};
+use crate::span::{Span, SpanId, TraceNode};
+use crate::Telemetry;
+
+/// A `Send` snapshot of one collector's contents.
+#[derive(Default, Clone)]
+pub struct FrozenTelemetry {
+    /// Recorded spans. In a freshly frozen collector these are in that
+    /// collector's storage order; after [`FrozenTelemetry::merge`] they are
+    /// in canonical `(start, gtrid, node, seq)` order with canonical slots.
+    pub spans: Vec<Span>,
+    /// Counter totals, key-sorted.
+    pub counters: Vec<(MetricKey, u64)>,
+    /// Gauge levels, key-sorted.
+    pub gauges: Vec<(MetricKey, i64)>,
+    /// Histograms, key-sorted.
+    pub histograms: Vec<(MetricKey, Histogram)>,
+}
+
+impl Telemetry {
+    /// Freeze this collector into its `Send` form.
+    pub fn freeze(&self) -> FrozenTelemetry {
+        let (counters, gauges, histograms) = self.metrics.dump();
+        FrozenTelemetry {
+            spans: self.tracer.spans().clone(),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl FrozenTelemetry {
+    /// Merge snapshots into one canonical artifact. Counters and gauges sum
+    /// per key (partition instrumentation by `index` if per-shard levels
+    /// must stay distinguishable), histograms merge bucket-wise, and spans
+    /// are re-sorted and re-slotted canonically, so any partition of the
+    /// same recorded work merges to identical bytes.
+    pub fn merge(parts: impl IntoIterator<Item = FrozenTelemetry>) -> FrozenTelemetry {
+        let mut spans: Vec<Span> = Vec::new();
+        let mut counters: BTreeMap<MetricKey, u64> = BTreeMap::new();
+        let mut gauges: BTreeMap<MetricKey, i64> = BTreeMap::new();
+        let mut histograms: BTreeMap<MetricKey, Histogram> = BTreeMap::new();
+        for part in parts {
+            spans.extend(part.spans);
+            for (key, value) in part.counters {
+                *counters.entry(key).or_insert(0) += value;
+            }
+            for (key, value) in part.gauges {
+                *gauges.entry(key).or_insert(0) += value;
+            }
+            for (key, value) in part.histograms {
+                histograms.entry(key).or_default().merge(&value);
+            }
+        }
+        spans.sort_unstable_by_key(|s| (s.start, s.id.gtrid, s.id.node, s.id.seq));
+        // Canonical slots: position in sorted order. Parents re-resolve by
+        // stable triple; a parent outside the merged set (evicted by a
+        // retention cap, or recorded on an undeposited collector) keeps its
+        // triple but gets the orphan slot, so equality never depends on a
+        // dead collector's storage layout.
+        let mut slot_of: FxHashMap<(u64, TraceNode, u32), u32> = FxHashMap::default();
+        for (idx, span) in spans.iter().enumerate() {
+            slot_of.insert((span.id.gtrid, span.id.node, span.id.seq), idx as u32);
+        }
+        for (idx, span) in spans.iter_mut().enumerate() {
+            span.id = SpanId::new(span.id.gtrid, span.id.node, span.id.seq, idx as u32);
+            if let Some(parent) = span.parent {
+                let slot = slot_of
+                    .get(&(parent.gtrid, parent.node, parent.seq))
+                    .copied()
+                    .unwrap_or(u32::MAX);
+                span.parent = Some(SpanId::new(parent.gtrid, parent.node, parent.seq, slot));
+            }
+        }
+        FrozenTelemetry {
+            spans,
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        }
+    }
+
+    /// Total across all counters with this name, any label/index.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((n, _, _), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Render the metrics as a [`MetricsSnapshot`] (timestamped zero: the
+    /// merge happens after `block_on`, outside any virtual clock).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut entries: Vec<(MetricKey, MetricValue)> = Vec::new();
+        for (key, value) in &self.counters {
+            entries.push((*key, MetricValue::Counter(*value)));
+        }
+        for (key, value) in &self.gauges {
+            entries.push((*key, MetricValue::Gauge(*value)));
+        }
+        for (key, hist) in &self.histograms {
+            entries.push((
+                *key,
+                MetricValue::Histogram {
+                    count: hist.count(),
+                    mean: hist.mean(),
+                    p99: hist.percentile(99.0),
+                },
+            ));
+        }
+        entries.sort_by_key(|(key, _)| *key);
+        MetricsSnapshot {
+            at: SimInstant::from_micros(0),
+            entries,
+        }
+    }
+}
+
+/// A deposit point for per-shard collectors, shared across shard threads
+/// (`Arc<ShardTelemetry>`). Each depositor — typically one per topology
+/// node, from the task that owns that node's instrumentation — freezes its
+/// collector under a caller-chosen slot; [`ShardTelemetry::merged`] then
+/// folds the deposits in slot order. Because the merge is canonical, the
+/// result is byte-identical at every worker count as long as the slots
+/// partition the instrumentation the same way.
+#[derive(Default)]
+pub struct ShardTelemetry {
+    slots: Mutex<BTreeMap<u32, FrozenTelemetry>>,
+}
+
+impl ShardTelemetry {
+    /// An empty deposit point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freeze `telemetry` under `slot`. Panics if the slot was already
+    /// deposited — each partition of the instrumentation deposits once.
+    pub fn deposit(&self, slot: u32, telemetry: &Telemetry) {
+        let mut slots = self.slots.lock().unwrap();
+        let previous = slots.insert(slot, telemetry.freeze());
+        assert!(
+            previous.is_none(),
+            "telemetry slot {slot} deposited twice — each shard/node partition \
+             must deposit exactly once"
+        );
+    }
+
+    /// Number of deposits so far.
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been deposited.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merge every deposit into the canonical run artifact.
+    pub fn merged(&self) -> FrozenTelemetry {
+        FrozenTelemetry::merge(self.slots.lock().unwrap().values().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpanKind, TraceNode};
+
+    #[test]
+    fn merge_is_independent_of_partitioning() {
+        let mut rt = geotp_simrt::Runtime::new();
+        rt.block_on(async {
+            let record = |t: &Telemetry, gtrid: u64| {
+                let node = TraceNode::middleware(gtrid as u32);
+                let root = t.tracer.start_root(gtrid, node, SpanKind::Txn, 0);
+                let leaf = t.tracer.start_leaf(gtrid, node, SpanKind::Analysis, 1);
+                t.tracer.end(leaf);
+                t.tracer.end(root);
+                t.metrics.counter_add("txn.committed", "", 0, 1);
+                t.metrics
+                    .observe("lat", "", 0, std::time::Duration::from_micros(50 * gtrid));
+            };
+            // Same work recorded as one collector vs split across two.
+            let all = Telemetry::new();
+            record(&all, 1);
+            record(&all, 2);
+            let left = Telemetry::new();
+            let right = Telemetry::new();
+            record(&left, 1);
+            record(&right, 2);
+
+            let one = FrozenTelemetry::merge([all.freeze()]);
+            let split = ShardTelemetry::new();
+            split.deposit(0, &left);
+            split.deposit(1, &right);
+            let two = split.merged();
+
+            assert_eq!(one.spans, two.spans);
+            assert_eq!(one.counters, two.counters);
+            assert_eq!(one.gauges, two.gauges);
+            assert_eq!(one.counter_total("txn.committed"), 2);
+            assert_eq!(
+                one.metrics_snapshot().render(),
+                two.metrics_snapshot().render()
+            );
+        });
+    }
+
+    #[test]
+    fn duplicate_deposit_slot_panics() {
+        let shard = ShardTelemetry::new();
+        shard.deposit(3, &Telemetry::new());
+        assert_eq!(shard.len(), 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shard.deposit(3, &Telemetry::new());
+        }));
+        assert!(result.is_err());
+    }
+}

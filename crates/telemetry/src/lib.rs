@@ -43,13 +43,17 @@
 
 mod critical_path;
 mod export;
+mod frozen;
 mod histogram;
 mod registry;
 mod span;
 mod tracer;
 
 pub use critical_path::{aggregate_critical_path, critical_path, CriticalPath};
-pub use export::{chrome_trace_json, write_chrome_trace};
+pub use export::{
+    chrome_trace_json, metrics_timeline_csv, write_chrome_trace, write_metrics_timeline_csv,
+};
+pub use frozen::{FrozenTelemetry, ShardTelemetry};
 pub use histogram::Histogram;
 pub use registry::{MetricKey, MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use span::{NodeClass, Span, SpanId, SpanKind, TraceNode, SPAN_KINDS};
@@ -73,6 +77,16 @@ impl Telemetry {
     pub fn new() -> Rc<Self> {
         Rc::new(Self::default())
     }
+
+    /// A collector whose tracer retains at most `cap` spans (per-gtrid
+    /// eviction — see [`Tracer::set_span_cap`]). For long-running drills
+    /// where an unbounded trace would dominate memory.
+    pub fn with_span_cap(cap: usize) -> Rc<Self> {
+        Rc::new(Self {
+            tracer: Tracer::with_span_cap(cap),
+            metrics: MetricsRegistry::new(),
+        })
+    }
 }
 
 thread_local! {
@@ -84,6 +98,14 @@ thread_local! {
 /// the run").
 pub fn install() -> Rc<Telemetry> {
     let t = Telemetry::new();
+    install_collector(t.clone());
+    t
+}
+
+/// Install a fresh collector whose tracer retains at most `cap` spans (see
+/// [`Tracer::set_span_cap`]) and return it.
+pub fn install_with_span_cap(cap: usize) -> Rc<Telemetry> {
+    let t = Telemetry::with_span_cap(cap);
     install_collector(t.clone());
     t
 }

@@ -196,9 +196,40 @@ impl MetricsRegistry {
         MetricsSnapshot {
             // Post-run inspection happens after `block_on` returned, where no
             // virtual clock exists; stamp those snapshots with zero.
-            at: geotp_simrt::try_now().unwrap_or(SimInstant::from_micros(0)),
+            at: geotp_simrt::try_handle()
+                .map(|h| h.now())
+                .unwrap_or(SimInstant::from_micros(0)),
             entries,
         }
+    }
+
+    /// Dump the raw registry contents as key-sorted vectors — the `Send`
+    /// form the cross-shard merge works on.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn dump(
+        &self,
+    ) -> (
+        Vec<(MetricKey, u64)>,
+        Vec<(MetricKey, i64)>,
+        Vec<(MetricKey, Histogram)>,
+    ) {
+        let mut counters: Vec<_> = self
+            .counters
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        counters.sort_unstable_by_key(|(k, _)| *k);
+        let mut gauges: Vec<_> = self.gauges.borrow().iter().map(|(k, v)| (*k, *v)).collect();
+        gauges.sort_unstable_by_key(|(k, _)| *k);
+        let mut histograms: Vec<_> = self
+            .histograms
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        histograms.sort_unstable_by_key(|(k, _)| *k);
+        (counters, gauges, histograms)
     }
 
     /// Take a snapshot and append it to the internal timeline.

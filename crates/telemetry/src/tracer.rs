@@ -11,9 +11,9 @@
 //! the span storage (`open_prev` links), so starting or ending a span is one
 //! hash lookup plus array writes.
 
-use std::cell::{Ref, RefCell};
+use std::cell::{Cell, Ref, RefCell};
 
-use geotp_simrt::hash::FxHashMap;
+use geotp_simrt::hash::{FxHashMap, FxHashSet};
 use geotp_simrt::now;
 
 use crate::span::{Span, SpanId, SpanKind, TraceNode};
@@ -57,12 +57,43 @@ struct Inner {
 #[derive(Default)]
 pub struct Tracer {
     inner: RefCell<Inner>,
+    /// Optional retention cap on stored spans. `None` (the default) retains
+    /// everything — the mode every golden/fingerprint suite runs in.
+    cap: Cell<Option<usize>>,
 }
 
 impl Tracer {
     /// A fresh, empty tracer.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A tracer that retains at most `cap` spans (see [`Tracer::set_span_cap`]).
+    pub fn with_span_cap(cap: usize) -> Self {
+        let t = Self::default();
+        t.set_span_cap(Some(cap));
+        t
+    }
+
+    /// Bound tracer memory: when more than `cap` spans are stored, whole
+    /// *fully-closed* transactions are evicted oldest-first (per-gtrid
+    /// retention — a transaction's spans leave together, across nodes) until
+    /// the store is back under half the cap. Transactions with any span
+    /// still open are never evicted, so a capped long run retains its live
+    /// working set plus the most recent completed history. Setting `None`
+    /// restores unbounded retention.
+    ///
+    /// Under a cap, span *storage order* remains deterministic but is no
+    /// longer the full program order (evicted prefixes are gone), and
+    /// re-closing an already-closed span after an eviction pass is a no-op.
+    /// Exports sort before emitting, so capped traces stay stable artifacts.
+    pub fn set_span_cap(&self, cap: Option<usize>) {
+        self.cap.set(cap);
+    }
+
+    /// The configured retention cap, if any.
+    pub fn span_cap(&self) -> Option<usize> {
+        self.cap.get()
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -114,6 +145,11 @@ impl Tracer {
             start,
             end,
         });
+        if let Some(cap) = self.cap.get() {
+            if spans.len() > cap {
+                compact(spans, open_prev, txns, cap, gtrid);
+            }
+        }
         id
     }
 
@@ -277,23 +313,31 @@ impl Tracer {
             open_prev,
             txns,
         } = &mut *inner;
-        let idx = id.slot() as usize;
-        // Ids carry their storage slot, so closing is O(1); the identity
-        // check rejects ids minted by a previously installed tracer.
-        let Some(span) = spans.get_mut(idx) else {
-            return;
+        // Ids carry their storage slot, so closing is normally O(1); the
+        // identity check rejects ids minted by a previously installed
+        // tracer. Under a retention cap, compaction may have moved an open
+        // span, so fall back to resolving the stable `(gtrid, node, seq)`
+        // triple along the txn's open chain (closed spans never move while
+        // an id to them is still actionable).
+        let fast = spans
+            .get(id.slot() as usize)
+            .is_some_and(|span| span.id == id);
+        let idx = if fast {
+            id.slot() as usize
+        } else {
+            let Some(found) = find_open(spans, open_prev, txns, id) else {
+                return;
+            };
+            found
         };
-        if span.id != id {
-            return;
-        }
-        span.end = now();
+        spans[idx].end = now();
         if open_prev[idx] == NOT_SCOPED {
             return;
         }
         let Some(txn) = txns.get_mut(&(id.gtrid, id.node)) else {
             return;
         };
-        if txn.open_head == id.slot() {
+        if txn.open_head == idx as u32 {
             txn.open_head = open_prev[idx];
             return;
         }
@@ -302,7 +346,7 @@ impl Tracer {
         // can never close normally.
         let mut cur = txn.open_head;
         while cur != NONE {
-            if cur == id.slot() {
+            if cur == idx as u32 {
                 txn.open_head = open_prev[idx];
                 return;
             }
@@ -349,6 +393,115 @@ impl Tracer {
         ids.dedup();
         ids
     }
+}
+
+/// Resolve a span whose storage slot went stale (retention compaction moved
+/// it) by walking the txn's open chain for the stable sequence number.
+fn find_open(
+    spans: &[Span],
+    open_prev: &[u32],
+    txns: &FxHashMap<(u64, TraceNode), TxnTrace>,
+    id: SpanId,
+) -> Option<usize> {
+    let txn = txns.get(&(id.gtrid, id.node))?;
+    let mut cur = txn.open_head;
+    while cur != NONE {
+        if spans[cur as usize].id.seq == id.seq {
+            return Some(cur as usize);
+        }
+        cur = open_prev[cur as usize];
+    }
+    None
+}
+
+/// Per-gtrid retention: evict whole fully-closed transactions, oldest first
+/// (by their first stored span), until the store is back under `cap / 2` —
+/// the half-full goal amortises the O(spans) rebuild over at least `cap / 2`
+/// subsequent pushes. Transactions with any open span, and the transaction
+/// a span was just pushed for (`protect`), are never evicted. Storage slots
+/// are remapped; every stored reference (span ids, parents, open chains,
+/// per-txn heads) is rewritten consistently, and evicted transactions also
+/// drop their per-txn bookkeeping so memory is bounded end to end.
+fn compact(
+    spans: &mut Vec<Span>,
+    open_prev: &mut Vec<u32>,
+    txns: &mut FxHashMap<(u64, TraceNode), TxnTrace>,
+    cap: usize,
+    protect: u64,
+) {
+    let mut pinned: FxHashSet<u64> = FxHashSet::default();
+    pinned.insert(protect);
+    for ((gtrid, _), txn) in txns.iter() {
+        if txn.open_head != NONE {
+            pinned.insert(*gtrid);
+        }
+    }
+    // First stored index and span count per gtrid: eviction order and size.
+    let mut extent: FxHashMap<u64, (u32, u32)> = FxHashMap::default();
+    for (i, span) in spans.iter().enumerate() {
+        let entry = extent.entry(span.id.gtrid).or_insert((i as u32, 0));
+        entry.1 += 1;
+    }
+    let mut evictable: Vec<(u32, u64, u32)> = extent
+        .iter()
+        .filter(|(gtrid, _)| !pinned.contains(gtrid))
+        .map(|(gtrid, (first, count))| (*first, *gtrid, *count))
+        .collect();
+    evictable.sort_unstable();
+    let goal = cap / 2;
+    let mut len = spans.len();
+    let mut evict: FxHashSet<u64> = FxHashSet::default();
+    for (_, gtrid, count) in evictable {
+        if len <= goal {
+            break;
+        }
+        evict.insert(gtrid);
+        len -= count as usize;
+    }
+    if evict.is_empty() {
+        return;
+    }
+    let mut remap: Vec<u32> = vec![NONE; spans.len()];
+    let mut new_spans: Vec<Span> = Vec::with_capacity(len);
+    let mut new_open_prev: Vec<u32> = Vec::with_capacity(len);
+    for (i, span) in spans.iter().enumerate() {
+        if evict.contains(&span.id.gtrid) {
+            continue;
+        }
+        let new_idx = new_spans.len() as u32;
+        remap[i] = new_idx;
+        let mut moved = *span;
+        moved.id = SpanId::new(moved.id.gtrid, moved.id.node, moved.id.seq, new_idx);
+        new_spans.push(moved);
+        new_open_prev.push(open_prev[i]);
+    }
+    for (i, span) in new_spans.iter_mut().enumerate() {
+        if let Some(parent) = span.parent {
+            let old = parent.slot() as usize;
+            if old < remap.len() && remap[old] != NONE {
+                span.parent = Some(SpanId::new(
+                    parent.gtrid,
+                    parent.node,
+                    parent.seq,
+                    remap[old],
+                ));
+            }
+        }
+        // Open chains only reference spans of the same (gtrid, node), and
+        // retained gtrids keep every span, so chain targets always remap.
+        let prev = new_open_prev[i];
+        if prev != NONE && prev != NOT_SCOPED {
+            new_open_prev[i] = remap[prev as usize];
+        }
+    }
+    txns.retain(|(gtrid, _), _| !evict.contains(gtrid));
+    for txn in txns.values_mut() {
+        if txn.open_head != NONE {
+            txn.open_head = remap[txn.open_head as usize];
+        }
+    }
+    *spans = new_spans;
+    *open_prev = new_open_prev;
 }
 
 #[cfg(test)]
@@ -434,6 +587,68 @@ mod tests {
             tracer.end(round);
             assert_eq!(tracer.spans()[1].duration_micros(), 4_000);
             let _ = root;
+        });
+    }
+
+    #[test]
+    fn span_cap_evicts_whole_closed_transactions_oldest_first() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::with_span_cap(10);
+            let dm = TraceNode::middleware(0);
+            // A long-lived transaction that stays open across every
+            // compaction pass — it must survive them all.
+            let pinned = tracer.start_root(1_000, dm, SpanKind::Txn, 7);
+            for gtrid in 0..40u64 {
+                let root = tracer.start_root(gtrid, dm, SpanKind::Txn, 0);
+                let leaf = tracer.start_leaf(gtrid, dm, SpanKind::Analysis, 0);
+                tracer.end(leaf);
+                tracer.end(root);
+            }
+            assert!(
+                tracer.len() <= 10,
+                "cap exceeded: {} spans retained",
+                tracer.len()
+            );
+            // The open transaction survived; the oldest closed ones did not.
+            assert_eq!(tracer.spans_for(1_000).len(), 1);
+            assert!(tracer.spans_for(0).is_empty());
+            assert!(!tracer.spans_for(39).is_empty(), "newest txn retained");
+            // The pre-compaction id still closes the moved span.
+            sleep(Duration::from_millis(2)).await;
+            tracer.end(pinned);
+            assert_eq!(tracer.spans_for(1_000)[0].duration_micros(), 2_000);
+            assert!(tracer.current(1_000, dm).is_none());
+        });
+    }
+
+    #[test]
+    fn span_cap_keeps_parent_links_consistent_after_compaction() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let tracer = Tracer::with_span_cap(6);
+            let dm = TraceNode::middleware(0);
+            for gtrid in 0..20u64 {
+                let root = tracer.start_root(gtrid, dm, SpanKind::Txn, 0);
+                let child = tracer.start_scoped(gtrid, dm, SpanKind::Round, 0);
+                tracer.end(child);
+                tracer.end(root);
+            }
+            // Every retained child still points at its own root, and the
+            // rewritten parent ids resolve within the retained storage.
+            let spans = tracer.spans().clone();
+            assert!(spans.len() <= 6);
+            for span in &spans {
+                if let Some(parent) = span.parent {
+                    let target = spans.iter().find(|s| s.id == parent);
+                    assert!(
+                        target.is_some(),
+                        "dangling parent {parent} for span {}",
+                        span.id
+                    );
+                    assert_eq!(parent.gtrid, span.id.gtrid);
+                }
+            }
         });
     }
 

@@ -1,0 +1,74 @@
+//! Per-shard collectors merge to the same canonical artifact at every
+//! worker count: two instrumented nodes record into their own collectors
+//! (on their own shard threads when `workers > 1`), deposit into a shared
+//! [`ShardTelemetry`], and the merged spans/metrics must be byte-identical
+//! whether the nodes shared one thread or ran truly in parallel.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use geotp_simrt::{sleep, RuntimeBuilder};
+use geotp_telemetry::{FrozenTelemetry, ShardTelemetry, SpanKind, Telemetry, TraceNode};
+
+fn run(workers: usize) -> FrozenTelemetry {
+    let shard_tel = Arc::new(ShardTelemetry::new());
+    let mut builder = RuntimeBuilder::new()
+        .workers(workers)
+        .seed(7)
+        .assign("coord", 0)
+        .link("a", "coord", Duration::from_millis(20))
+        .link("b", "coord", Duration::from_millis(20));
+    let (done_tx, done_tok) = builder.mailbox::<u32>("coord");
+    for (i, name) in ["a", "b"].into_iter().enumerate() {
+        let deposits = Arc::clone(&shard_tel);
+        let tx = done_tx.clone();
+        builder = builder.spawn_node(name, move || async move {
+            let t = Telemetry::new();
+            let node = TraceNode::data_source(i as u32);
+            for g in 0..5u64 {
+                sleep(Duration::from_millis(3 + i as u64)).await;
+                let gtrid = g * 2 + i as u64;
+                let root = t.tracer.start_root(gtrid, node, SpanKind::Txn, 0);
+                let leaf = t.tracer.start_leaf(gtrid, node, SpanKind::AgentExec, g);
+                sleep(Duration::from_millis(1)).await;
+                t.tracer.end(leaf);
+                t.tracer.end(root);
+                t.metrics.counter_add("work.done", "", i as u32, 1);
+                t.metrics
+                    .observe("work.lat", "", i as u32, Duration::from_millis(g + 1));
+            }
+            deposits.deposit(i as u32, &t);
+            tx.bind_src(name).send(10_000, i as u32);
+        });
+    }
+    let mut rt = builder.build();
+    rt.block_on(async move {
+        let mb = done_tok.bind();
+        for _ in 0..2 {
+            mb.recv().await;
+        }
+    });
+    shard_tel.merged()
+}
+
+#[test]
+fn merged_telemetry_is_identical_across_worker_counts() {
+    let base = run(1);
+    assert_eq!(base.spans.len(), 20);
+    assert_eq!(base.counter_total("work.done"), 10);
+    let base_metrics = base.metrics_snapshot().render();
+    for workers in [2, 4] {
+        let other = run(workers);
+        assert_eq!(
+            base.spans, other.spans,
+            "span set diverged at workers={workers}"
+        );
+        assert_eq!(base.counters, other.counters);
+        assert_eq!(base.gauges, other.gauges);
+        assert_eq!(
+            base_metrics,
+            other.metrics_snapshot().render(),
+            "metrics diverged at workers={workers}"
+        );
+    }
+}
