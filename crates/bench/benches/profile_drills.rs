@@ -1,0 +1,16 @@
+//! Sweep-profiling target: trace every chaos preset across the seed sweep,
+//! merge critical paths over all committed transactions, and print the
+//! phase-dominance tables (p50/p99 critical-path latency, dominant phase,
+//! per-kind shares).
+//!
+//! ```text
+//! cargo bench -p geotp-bench --bench profile_drills
+//! GEOTP_FULL=1 cargo bench -p geotp-bench --bench profile_drills   # 32-seed sweep
+//! ```
+
+fn main() {
+    geotp_bench::run_and_print(
+        "profile_drills",
+        geotp_experiments::profile_drills::profile_drills,
+    );
+}

@@ -472,13 +472,19 @@ pub fn run_cluster_scenario_with(
             ));
         }
 
-        let invariants = invariants::check(
+        let mut invariants = invariants::check(
             &sources,
             || workload.consistency_violations(&sources),
             &ledger,
             |gtrid| cluster.decision(gtrid),
             workload_drained,
         );
+        // Traced runs also get the trace oracle (fifth checker); its verdict
+        // stays out of the event trace so fingerprints remain byte-identical
+        // between traced and untraced replays.
+        if let Some(telemetry) = geotp_telemetry::installed() {
+            invariants::trace::apply(&mut invariants, &telemetry, &sources, &ledger);
+        }
         trace.record(&format!(
             "summary: committed={committed} aborted={aborted} indeterminate={indeterminate} \
              takeovers={}",

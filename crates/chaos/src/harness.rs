@@ -82,6 +82,14 @@ pub struct ChaosConfig {
     /// serializability checker catches a real isolation bug and to give the
     /// schedule shrinker a genuine failure to minimize.
     pub isolation_bug_read_stride: Option<u64>,
+    /// Checker-validation fail point: the coordinator dispatches voted-2PC
+    /// commits *before* flushing the decision to its commit log. The durable
+    /// end state stays correct (the flush still happens), so the four
+    /// state-based checkers stay green — only the trace oracle's
+    /// flush-before-dispatch rule convicts it. Tests set this to prove the
+    /// fifth checker has teeth and to give the shrinker a trace-level
+    /// failure to minimize.
+    pub commit_before_flush_bug: bool,
     /// Client think time between the statement rounds of one transaction
     /// (interactive terminals; needs multi-round specs to have any effect).
     pub think_time: Duration,
@@ -122,6 +130,7 @@ impl Default for ChaosConfig {
             horizon: Duration::from_secs(300),
             protocol: Protocol::geotp(),
             isolation_bug_read_stride: None,
+            commit_before_flush_bug: false,
             think_time: Duration::ZERO,
             client_crash_every: None,
             interactive_transfers: false,
@@ -300,6 +309,10 @@ impl Deployment {
             &sources,
             None,
         );
+        if config.commit_before_flush_bug {
+            mw.fail_point_dispatch_before_flush();
+            trace.record("fail point armed: commit dispatch precedes its log flush");
+        }
         let commit_log = Rc::clone(mw.commit_log());
 
         workload.load(&sources);
@@ -688,13 +701,19 @@ fn run_scenario_impl(
             ));
         }
 
-        let invariants = invariants::check(
+        let mut invariants = invariants::check(
             &deployment.sources,
             || workload.consistency_violations(&deployment.sources),
             &ledger,
             |gtrid| deployment.commit_log.decision(gtrid),
             workload_drained,
         );
+        // Traced runs also get the trace oracle (fifth checker). Its verdict
+        // is deliberately kept out of the event trace: fingerprints must stay
+        // byte-identical between traced and untraced replays of one seed.
+        if let Some(telemetry) = geotp_telemetry::installed() {
+            invariants::trace::apply(&mut invariants, &telemetry, &deployment.sources, &ledger);
+        }
         trace.record(&format!(
             "summary: committed={committed} aborted={aborted} indeterminate={indeterminate}"
         ));

@@ -27,8 +27,16 @@
 //! record stores) plus the engines' observer-side histories — not
 //! coordinator in-memory state — so they hold across arbitrary failover
 //! histories.
+//!
+//! A fifth, *trace-based* oracle lives in [`trace`]: when a run is traced,
+//! it checks the protocol's happens-before rules (log flush before commit
+//! dispatch, vote collection before decision, admission before txn body,
+//! recovery only with durable evidence, well-formed span trees) over the
+//! telemetry span record, catching ordering bugs that leave durably
+//! correct state.
 
 pub mod serializability;
+pub mod trace;
 
 use std::rc::Rc;
 
@@ -55,6 +63,10 @@ pub struct InvariantReport {
     /// The committed transactions admit a serial order and every read
     /// observed a committed version.
     pub serializability_ok: bool,
+    /// The telemetry span record obeys the protocol's happens-before rules
+    /// (see [`trace`]). Vacuously `true` on untraced runs — [`check`] sets
+    /// it and [`trace::apply`] can only lower it.
+    pub trace_ok: bool,
     /// One line per violation (empty when everything holds).
     pub violations: Vec<String>,
 }
@@ -62,7 +74,11 @@ pub struct InvariantReport {
 impl InvariantReport {
     /// Whether every invariant held.
     pub fn all_hold(&self) -> bool {
-        self.atomicity_ok && self.durability_ok && self.liveness_ok && self.serializability_ok
+        self.atomicity_ok
+            && self.durability_ok
+            && self.liveness_ok
+            && self.serializability_ok
+            && self.trace_ok
     }
 }
 
@@ -103,6 +119,7 @@ pub fn check(
         durability_ok: true,
         liveness_ok: true,
         serializability_ok: true,
+        trace_ok: true,
         violations: Vec::new(),
     };
 

@@ -84,8 +84,10 @@ pub fn run_scenario_scripted_traced(
 
 /// Write the failure artifact for a (typically minimized) failing run:
 /// `<name>.trace.json` — the Chrome-trace/Perfetto export of every span —
-/// and `<name>.events.txt` — the replayable event trace and the metrics
-/// snapshot. Returns the trace-file path.
+/// `<name>.events.txt` — the replayable event trace with the metrics
+/// snapshot appended — and `<name>.metrics.txt` — the metrics snapshot
+/// alone, for tooling that wants counters/histograms without parsing the
+/// event log. Returns the trace-file path.
 pub fn write_failure_artifact(
     dir: &Path,
     name: &str,
@@ -95,14 +97,16 @@ pub fn write_failure_artifact(
     std::fs::create_dir_all(dir)?;
     let trace_path = dir.join(format!("{name}.trace.json"));
     geotp_telemetry::write_chrome_trace(&trace_path, &telemetry.tracer.spans())?;
+    let metrics = telemetry.metrics.snapshot().render();
     let mut text = String::new();
     for line in &report.trace {
         text.push_str(line);
         text.push('\n');
     }
     text.push('\n');
-    text.push_str(&telemetry.metrics.snapshot().render());
+    text.push_str(&metrics);
     std::fs::write(dir.join(format!("{name}.events.txt")), text)?;
+    std::fs::write(dir.join(format!("{name}.metrics.txt")), metrics)?;
     Ok(trace_path)
 }
 

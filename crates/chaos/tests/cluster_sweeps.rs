@@ -9,7 +9,7 @@
 
 use std::rc::Rc;
 
-use geotp_chaos::{ClusterScenario, TpccChaosWorkload};
+use geotp_chaos::{traced, traced_capped, ClusterScenario, TpccChaosWorkload};
 
 fn sweep_seeds() -> u64 {
     if let Ok(v) = std::env::var("GEOTP_CHAOS_SWEEP") {
@@ -28,7 +28,15 @@ fn sweep_seeds() -> u64 {
 }
 
 fn assert_cluster_scenario_green(scenario: ClusterScenario, seed: u64) {
-    let report = scenario.run(seed);
+    // Traced, so the trace oracle (fifth checker, folded into `all_hold`)
+    // runs on every preset × seed. The flash-crowd preset uses a capped
+    // tracer — its span volume is the largest in the suite, and the cap
+    // proves the per-gtrid trace rules survive whole-txn eviction.
+    let (report, _telemetry) = if scenario == ClusterScenario::FlashCrowd {
+        traced_capped(8192, || scenario.run(seed))
+    } else {
+        traced(|| scenario.run(seed))
+    };
     assert!(
         report.invariants.all_hold(),
         "{} seed {} violated invariants:\n  {}\ntrace tail:\n  {}",
@@ -97,7 +105,8 @@ fn sweep_flash_crowd() {
 fn sweep_cluster_tpcc_takeover() {
     for seed in 1..=sweep_seeds() {
         let workload = Rc::new(TpccChaosWorkload::drill_scale(3));
-        let report = ClusterScenario::CoordinatorCrashTakeover.run_with(seed, workload);
+        let (report, _telemetry) =
+            traced(|| ClusterScenario::CoordinatorCrashTakeover.run_with(seed, workload));
         assert!(
             report.invariants.all_hold(),
             "cluster tpcc takeover seed {} violated invariants:\n  {}",

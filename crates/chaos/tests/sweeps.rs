@@ -13,7 +13,7 @@
 //! does not depend on address-space layout, environment or any other
 //! process-local accident.
 
-use geotp_chaos::{DrillWorkload, Scenario};
+use geotp_chaos::{traced, traced_capped, DrillWorkload, Scenario};
 
 /// Seeds per preset: 4 by default, honouring `GEOTP_CHAOS_SWEEP` /
 /// `GEOTP_FULL=1` (which bumps to 32) for the paper-scale runs.
@@ -34,7 +34,15 @@ fn sweep_seeds() -> u64 {
 }
 
 fn assert_scenario_green(scenario: Scenario, workload: DrillWorkload, seed: u64) {
-    let report = scenario.run_with(seed, workload);
+    // Sweeps run traced so the trace oracle (the fifth checker, folded into
+    // `all_hold`) is exercised on every preset × seed. Tracing never perturbs
+    // the schedule, so the drills themselves are unchanged. The TPC-C leg
+    // uses a capped tracer to prove the per-gtrid rules survive whole-txn
+    // eviction mid-drill.
+    let (report, _telemetry) = match workload {
+        DrillWorkload::Transfer => traced(|| scenario.run_with(seed, workload)),
+        DrillWorkload::Tpcc => traced_capped(4096, || scenario.run_with(seed, workload)),
+    };
     assert!(
         report.invariants.all_hold(),
         "{} ({}) seed {} violated invariants:\n  {}\ntrace tail:\n  {}",

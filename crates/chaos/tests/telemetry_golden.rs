@@ -116,12 +116,19 @@ fn failure_artifact_is_written_only_for_red_runs() {
     let none = attach_trace_on_failure(dir, "green_run", &report, &telemetry).unwrap();
     assert!(none.is_none());
     assert!(!dir.join("green_run.trace.json").exists());
-    // Forced write (the path a failed minimized drill takes): both artifact
-    // files appear and the trace file is Chrome-trace JSON.
+    assert!(!dir.join("green_run.metrics.txt").exists());
+    // Forced write (the path a failed minimized drill takes): all three
+    // artifact files appear and the trace file is Chrome-trace JSON.
     let path = write_failure_artifact(dir, "forced", &report, &telemetry).unwrap();
     let json = std::fs::read_to_string(&path).unwrap();
     assert!(json.starts_with("{\"displayTimeUnit\"") && json.contains("\"ph\":\"X\""));
     let events = std::fs::read_to_string(dir.join("forced.events.txt")).unwrap();
     assert!(events.contains("scenario start"));
     assert!(events.contains("mw.committed"));
+    // The standalone metrics snapshot matches what the event log embeds:
+    // every line of metrics.txt also closes out events.txt.
+    let metrics = std::fs::read_to_string(dir.join("forced.metrics.txt")).unwrap();
+    assert!(metrics.contains("mw.committed"));
+    assert!(!metrics.contains("scenario start"));
+    assert!(events.ends_with(&metrics));
 }

@@ -9,7 +9,7 @@
 //! promises: extra shards idle at the conservative barrier without
 //! perturbing the shard-0 schedule by a single poll.
 
-use geotp_chaos::{DrillWorkload, Scenario};
+use geotp_chaos::{traced, DrillWorkload, Scenario};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -67,4 +67,41 @@ fn wan_brownout_is_worker_independent() {
 #[test]
 fn tpcc_drill_is_worker_independent() {
     assert_worker_independent(Scenario::PreparePhaseCrash, DrillWorkload::Tpcc, 1);
+}
+
+/// The trace oracle's verdict is part of the same promise: a traced run at
+/// any worker count produces the identical fifth-checker verdict and the
+/// identical violation list — both for a green preset and for the armed
+/// write-ahead fail point (which every worker count must convict).
+#[test]
+fn trace_oracle_verdict_is_worker_independent() {
+    for armed in [false, true] {
+        let run = |workers: usize| {
+            traced(|| {
+                let (mut config, schedule) = Scenario::PreparePhaseCrash.build(2);
+                config.commit_before_flush_bug = armed;
+                config.workers = Some(workers);
+                geotp_chaos::run_scenario(config, schedule)
+            })
+            .0
+        };
+        let baseline = run(1);
+        assert_eq!(
+            baseline.invariants.trace_ok, !armed,
+            "armed={armed}: unexpected baseline verdict: {:?}",
+            baseline.invariants.violations
+        );
+        for workers in [2, 4] {
+            let report = run(workers);
+            assert_eq!(
+                baseline.invariants.trace_ok, report.invariants.trace_ok,
+                "armed={armed}: trace verdict diverged at workers={workers}"
+            );
+            assert_eq!(
+                baseline.invariants.violations, report.invariants.violations,
+                "armed={armed}: violation lists diverged at workers={workers}"
+            );
+            assert_eq!(baseline.fingerprint, report.fingerprint);
+        }
+    }
 }

@@ -268,9 +268,20 @@ impl AdmissionGate {
                     self.metrics_index.get(),
                     1,
                 );
+                let retry_after = self.retry_after_hint();
+                // The hint *distribution* matters for tuning the backoff
+                // policy, not just the shed count — record it as a histogram
+                // so the metrics timeline shows how hard clients were told
+                // to back off as the queue deepened.
+                geotp_telemetry::observe(
+                    "cluster.retry_after",
+                    "queue_full",
+                    self.metrics_index.get(),
+                    retry_after,
+                );
                 return Err(AdmissionReject {
                     reason: ShedReason::QueueFull,
-                    retry_after: self.retry_after_hint(),
+                    retry_after,
                 });
             }
         }
@@ -289,9 +300,25 @@ impl AdmissionGate {
                         self.metrics_index.get(),
                         1,
                     );
+                    let retry_after = self.retry_after_hint();
+                    geotp_telemetry::observe(
+                        "cluster.retry_after",
+                        "deadline",
+                        self.metrics_index.get(),
+                        retry_after,
+                    );
+                    // How long the shed `begin` actually waited before its
+                    // deadline expired (= the deadline, but recorded from
+                    // the clock so the histogram pins real queue residence).
+                    geotp_telemetry::observe(
+                        "cluster.queue_wait",
+                        "expired",
+                        self.metrics_index.get(),
+                        now().duration_since(enqueued),
+                    );
                     return Err(AdmissionReject {
                         reason: ShedReason::DeadlineExpired,
-                        retry_after: self.retry_after_hint(),
+                        retry_after,
                     });
                 }
             },
@@ -379,6 +406,53 @@ mod tests {
             assert_eq!(load.shed_deadline, 1);
             assert_eq!(load.queue_depth, 0, "timed-out waiter left the queue");
         });
+    }
+
+    #[test]
+    fn shed_paths_record_retry_hint_and_queue_wait_histograms() {
+        let mut rt = Runtime::new();
+        let telemetry = geotp_telemetry::install();
+        rt.block_on(async {
+            // Queue-full shed: capacity 1, queue 1, so a third arrival bounces.
+            let policy = AdmissionPolicy::bounded(1, Duration::from_secs(10));
+            let gate = Rc::new(AdmissionGate::new(1, policy));
+            let held = gate.admit().await.unwrap();
+            let waiter = {
+                let gate = Rc::clone(&gate);
+                spawn(async move { gate.admit().await })
+            };
+            sleep(Duration::from_millis(1)).await;
+            let reject = gate.admit().await.unwrap_err();
+            assert_eq!(reject.reason, ShedReason::QueueFull);
+            drop(held);
+            drop(waiter.await.unwrap());
+
+            // Deadline shed: the queued begin waits out its full deadline.
+            let gate = Rc::new(AdmissionGate::new(
+                1,
+                AdmissionPolicy::bounded(4, Duration::from_millis(100)),
+            ));
+            let _held = gate.admit().await.unwrap();
+            let reject = gate.admit().await.unwrap_err();
+            assert_eq!(reject.reason, ShedReason::DeadlineExpired);
+        });
+        geotp_telemetry::uninstall();
+
+        let snapshot = telemetry.metrics.snapshot();
+        let histogram = |name: &str, label: &str| match snapshot.get(name, label, 0) {
+            Some(geotp_telemetry::MetricValue::Histogram { count, mean, .. }) => (*count, *mean),
+            other => panic!("{name}{{{label}}}: expected histogram, got {other:?}"),
+        };
+        // Both shed paths record the hint they handed back...
+        let (count, mean) = histogram("cluster.retry_after", "queue_full");
+        assert_eq!(count, 1);
+        assert_eq!(mean, AdmissionPolicy::default().retry_after * 2);
+        let (count, _mean) = histogram("cluster.retry_after", "deadline");
+        assert_eq!(count, 1);
+        // ...and the deadline path records how long the shed begin waited.
+        let (count, mean) = histogram("cluster.queue_wait", "expired");
+        assert_eq!(count, 1);
+        assert_eq!(mean, Duration::from_millis(100));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The cluster failure-drill table: every multi-coordinator chaos preset,
-//! seeded-swept, with the four invariant-checker verdicts.
+//! seeded-swept, with the five invariant-checker verdicts (traced runs, so
+//! the trace oracle's happens-before rules are checked too).
 //!
 //! The tier analogue of [`crate::failure_drills`]: a 2-coordinator cluster
 //! with lease-based membership, epoch fencing and peer takeover, under the
 //! coordinator-crash-with-takeover and coordinator-partition presets. Every
 //! cell is deterministic and golden-gated (`tests/golden/cluster_drills_*`).
 
+use geotp::chaos::traced;
 use geotp::ClusterScenario;
 
 use crate::report::Table;
@@ -35,6 +37,7 @@ pub fn cluster_drills(scale: Scale) -> Vec<Table> {
             "durability",
             "liveness",
             "serializability",
+            "trace",
             "trace fingerprint (seed 1)",
         ],
     );
@@ -46,9 +49,10 @@ pub fn cluster_drills(scale: Scale) -> Vec<Table> {
         let mut durability = true;
         let mut liveness = true;
         let mut serializability = true;
+        let mut trace_ok = true;
         let mut fingerprint = String::new();
         for seed in 1..=seeds(scale) {
-            let report = scenario.run(seed);
+            let (report, _telemetry) = traced(|| scenario.run(seed));
             committed += report.committed;
             aborted += report.aborted;
             indeterminate += report.indeterminate;
@@ -56,6 +60,7 @@ pub fn cluster_drills(scale: Scale) -> Vec<Table> {
             durability &= report.invariants.durability_ok;
             liveness &= report.invariants.liveness_ok;
             serializability &= report.invariants.serializability_ok;
+            trace_ok &= report.invariants.trace_ok;
             if seed == 1 {
                 fingerprint = format!("{:016x}", report.fingerprint);
             }
@@ -70,6 +75,7 @@ pub fn cluster_drills(scale: Scale) -> Vec<Table> {
             verdict(durability).to_string(),
             verdict(liveness).to_string(),
             verdict(serializability).to_string(),
+            verdict(trace_ok).to_string(),
             fingerprint,
         ]);
     }
@@ -82,7 +88,13 @@ pub(crate) fn assert_tables_cover_every_preset_and_stay_green(tables: &[Table]) 
     let table = &tables[0];
     assert_eq!(table.len(), ClusterScenario::all().len());
     for scenario in ClusterScenario::all() {
-        for column in ["atomicity", "durability", "liveness", "serializability"] {
+        for column in [
+            "atomicity",
+            "durability",
+            "liveness",
+            "serializability",
+            "trace",
+        ] {
             assert_eq!(
                 table.cell(scenario.name(), column),
                 Some("ok"),

@@ -1,5 +1,6 @@
 //! The failure-drill tables: every chaos scenario preset, seeded-swept under
-//! both drill workloads, with the four invariant-checker verdicts.
+//! both drill workloads, with the five invariant-checker verdicts (the runs
+//! are traced, so the trace oracle's happens-before rules are checked too).
 //!
 //! This is the evaluation-side face of `geotp-chaos` (paper §V: correct
 //! behaviour under middleware setting ❶ and data-source setting ❷ failures,
@@ -7,14 +8,14 @@
 //! preset runs across a seed sweep — 3 seeds at `Quick` scale, 32 at `Full`
 //! — once driving balance transfers and once driving the TPC-C five-profile
 //! mix, and the tables report client-visible outcomes plus the atomicity /
-//! durability / liveness / serializability verdicts. Any `VIOLATED` cell is
-//! a protocol regression.
+//! durability / liveness / serializability / trace verdicts. Any `VIOLATED`
+//! cell is a protocol regression.
 //!
 //! Every cell is deterministic (bit-reproducible runs), so the rendered
 //! tables are committed as golden references under `tests/golden/` and
 //! diffed in CI ([`crate::golden`]): silent result drift fails the job.
 
-use geotp::chaos::{DrillWorkload, Scenario};
+use geotp::chaos::{traced, DrillWorkload, Scenario};
 
 use crate::report::Table;
 use crate::scale::Scale;
@@ -43,6 +44,7 @@ fn drill_table(scale: Scale, workload: DrillWorkload) -> Table {
             "durability",
             "liveness",
             "serializability",
+            "trace",
             "trace fingerprint (seed 1)",
         ],
     );
@@ -54,9 +56,13 @@ fn drill_table(scale: Scale, workload: DrillWorkload) -> Table {
         let mut durability = true;
         let mut liveness = true;
         let mut serializability = true;
+        let mut trace_ok = true;
         let mut fingerprint = String::new();
         for seed in 1..=seeds(scale) {
-            let report = scenario.run_with(seed, workload);
+            // Traced, so the trace oracle (fifth checker) runs too; tracing
+            // never perturbs the schedule, so the fingerprint column is the
+            // same one an untraced run would report.
+            let (report, _telemetry) = traced(|| scenario.run_with(seed, workload));
             committed += report.committed;
             aborted += report.aborted;
             indeterminate += report.indeterminate;
@@ -64,6 +70,7 @@ fn drill_table(scale: Scale, workload: DrillWorkload) -> Table {
             durability &= report.invariants.durability_ok;
             liveness &= report.invariants.liveness_ok;
             serializability &= report.invariants.serializability_ok;
+            trace_ok &= report.invariants.trace_ok;
             if seed == 1 {
                 fingerprint = format!("{:016x}", report.fingerprint);
             }
@@ -78,6 +85,7 @@ fn drill_table(scale: Scale, workload: DrillWorkload) -> Table {
             verdict(durability).to_string(),
             verdict(liveness).to_string(),
             verdict(serializability).to_string(),
+            verdict(trace_ok).to_string(),
             fingerprint,
         ]);
     }
@@ -102,7 +110,13 @@ pub(crate) fn assert_tables_cover_every_preset_and_stay_green(tables: &[Table]) 
         assert!(table.title.contains(workload.name()));
         assert_eq!(table.len(), Scenario::all().len());
         for scenario in Scenario::all() {
-            for column in ["atomicity", "durability", "liveness", "serializability"] {
+            for column in [
+                "atomicity",
+                "durability",
+                "liveness",
+                "serializability",
+                "trace",
+            ] {
                 assert_eq!(
                     table.cell(scenario.name(), column),
                     Some("ok"),

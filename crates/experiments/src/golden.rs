@@ -197,6 +197,26 @@ mod tests {
         }
     }
 
+    /// The sweep-wide profiler: per-preset phase-dominance tables plus the
+    /// critical-path CSV, both under the drift gate (quick per push, full in
+    /// the nightly; CI uploads the CSV as a build artifact).
+    #[test]
+    fn golden_profile_drills() {
+        let scale = Scale::from_env();
+        let (name, suffix) = match scale {
+            Scale::Quick => ("profile_drills_quick", "quick"),
+            Scale::Full => ("profile_drills_full", "full"),
+        };
+        let (tables, csv) = crate::profile_drills::profile_drills_with_csv(scale);
+        crate::profile_drills::assert_profiles_are_nondegenerate(&tables);
+        if let Err(drift) = verify(name, &tables) {
+            panic!("{drift}");
+        }
+        if let Err(drift) = verify_raw(&format!("profile_drills_{suffix}.csv"), &csv) {
+            panic!("{drift}");
+        }
+    }
+
     /// Golden coverage beyond the drill tables (the ROADMAP open item):
     /// Fig. 6 is the cheapest deterministic figure experiment whose *quick*
     /// table is non-degenerate in every column (Fig. 1b's quick run commits

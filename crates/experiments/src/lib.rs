@@ -20,6 +20,7 @@ pub mod figs_network;
 pub mod figs_overall;
 pub mod golden;
 pub mod overload;
+pub mod profile_drills;
 pub mod report;
 pub mod runner;
 pub mod scale;
@@ -61,6 +62,7 @@ pub fn all_experiments() -> Vec<ExperimentEntry> {
         ("tab01_heterogeneous", figs_overall::tab01_heterogeneous),
         ("failure_drills", failure_drills::failure_drills),
         ("cluster_drills", cluster_drills::cluster_drills),
+        ("profile_drills", profile_drills::profile_drills),
         ("scaleout", scaleout::scaleout),
         ("overload", overload::overload),
     ]
@@ -73,7 +75,8 @@ mod tests {
     #[test]
     fn experiment_registry_is_complete() {
         let names: Vec<&str> = all_experiments().iter().map(|(n, _)| *n).collect();
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
+        assert!(names.contains(&"profile_drills"));
         assert!(names.contains(&"fig06_trace_breakdown"));
         assert!(names.contains(&"fig12_ablation"));
         assert!(names.contains(&"tab01_heterogeneous"));

@@ -390,6 +390,11 @@ pub struct Middleware {
     /// One-shot fail point: crash immediately after the *next* commit-log
     /// flush (the paper's §V-A window — decision durable, not dispatched).
     crash_after_flush: Cell<bool>,
+    /// Checker-validation fail point: dispatch commits *before* flushing the
+    /// decision in the voted-2PC path, violating the write-ahead rule of the
+    /// commit point. Leaves durably correct state as long as nothing crashes
+    /// in the gap — only the trace oracle can convict it.
+    dispatch_before_flush: Cell<bool>,
     stats: RefCell<MiddlewareStats>,
     catalog: RefCell<Catalog>,
     /// Parsed-statement cache for [`Middleware::run_sql`], keyed by script
@@ -461,6 +466,7 @@ impl Middleware {
             next_txn: Cell::new(first_txn_seq),
             crashed: Cell::new(false),
             crash_after_flush: Cell::new(false),
+            dispatch_before_flush: Cell::new(false),
             stats: RefCell::new(MiddlewareStats::default()),
             catalog: RefCell::new(Catalog::new()),
             sql_cache: RefCell::new(SqlPlanCache::new(sql_cache_capacity)),
@@ -527,6 +533,16 @@ impl Middleware {
     /// paper's §V-A recovery window, hit deterministically.
     pub fn crash_after_next_flush(&self) {
         self.crash_after_flush.set(true);
+    }
+
+    /// Checker-validation fail point: from now on, voted-2PC commits are
+    /// dispatched *before* their decision is flushed to the commit log. The
+    /// durable end state is indistinguishable from a correct run (the flush
+    /// still happens), so the state-based invariant checkers stay green —
+    /// this exists to prove the trace oracle's flush-before-dispatch rule
+    /// has teeth.
+    pub fn fail_point_dispatch_before_flush(&self) {
+        self.dispatch_before_flush.set(true);
     }
 
     /// The next transaction sequence number this coordinator would assign.
@@ -1313,12 +1329,20 @@ impl Middleware {
         breakdown: &mut LatencyBreakdown,
     ) -> Result<(), AbortReason> {
         let dm = TraceNode::middleware(self.config.node.index());
-        let flush_started = now();
         let decision = if all_yes {
             Decision::Commit
         } else {
             Decision::Abort
         };
+        let dispatched_early = all_yes && self.dispatch_before_flush.get();
+        if dispatched_early {
+            // Fail point: the commit reaches the branches before the decision
+            // is durable. See [`Middleware::fail_point_dispatch_before_flush`].
+            let commit_started = now();
+            self.dispatch_commits(gtrid, involved, votes, dm).await;
+            breakdown.commit = now().duration_since(commit_started);
+        }
+        let flush_started = now();
         let flush_span = geotp_telemetry::span_leaf(gtrid, dm, SpanKind::LogFlush, 0);
         let flushed = self.flush_decision(gtrid, decision).await;
         geotp_telemetry::span_end(flush_span);
@@ -1339,34 +1363,9 @@ impl Middleware {
 
         let commit_started = now();
         if all_yes {
-            let dispatch_span = geotp_telemetry::span_leaf(
-                gtrid,
-                dm,
-                SpanKind::CommitDispatch,
-                involved.len() as u64,
-            );
-            let results = join_all(
-                involved
-                    .iter()
-                    .map(|ds| {
-                        let conn = self.conn(*ds).clone();
-                        let xid = Xid::new(gtrid, *ds);
-                        let one_phase = votes.get(ds) == Some(&PrepareVote::Idle);
-                        async move { conn.commit(xid, one_phase).await }
-                    })
-                    .collect(),
-            )
-            .await;
-            geotp_telemetry::span_end(dispatch_span);
-            breakdown.commit = now().duration_since(commit_started);
-            // The commit decision is durable, so the transaction *is*
-            // committed no matter what the per-branch dispatch returned. A
-            // branch whose commit failed (its data source crashed between
-            // prepare and commit) is finished later by failure recovery —
-            // report it, but do not lie to the client about the outcome.
-            let deferred = results.iter().filter(|r| r.is_err()).count() as u64;
-            if deferred > 0 {
-                self.stats.borrow_mut().commits_deferred_to_recovery += deferred;
+            if !dispatched_early {
+                self.dispatch_commits(gtrid, involved, votes, dm).await;
+                breakdown.commit = now().duration_since(commit_started);
             }
             Ok(())
         } else {
@@ -1399,6 +1398,42 @@ impl Middleware {
             geotp_telemetry::span_end(dispatch_span);
             breakdown.commit = now().duration_since(commit_started);
             Err(AbortReason::PrepareFailed)
+        }
+    }
+
+    /// Dispatch the commit decision to every involved branch.
+    ///
+    /// The commit decision is durable (barring the early-dispatch fail
+    /// point), so the transaction *is* committed no matter what the
+    /// per-branch dispatch returned. A branch whose commit failed (its data
+    /// source crashed between prepare and commit) is finished later by
+    /// failure recovery — count it, but do not lie to the client about the
+    /// outcome.
+    async fn dispatch_commits(
+        &self,
+        gtrid: u64,
+        involved: &[u32],
+        votes: &HashMap<u32, PrepareVote>,
+        dm: TraceNode,
+    ) {
+        let dispatch_span =
+            geotp_telemetry::span_leaf(gtrid, dm, SpanKind::CommitDispatch, involved.len() as u64);
+        let results = join_all(
+            involved
+                .iter()
+                .map(|ds| {
+                    let conn = self.conn(*ds).clone();
+                    let xid = Xid::new(gtrid, *ds);
+                    let one_phase = votes.get(ds) == Some(&PrepareVote::Idle);
+                    async move { conn.commit(xid, one_phase).await }
+                })
+                .collect(),
+        )
+        .await;
+        geotp_telemetry::span_end(dispatch_span);
+        let deferred = results.iter().filter(|r| r.is_err()).count() as u64;
+        if deferred > 0 {
+            self.stats.borrow_mut().commits_deferred_to_recovery += deferred;
         }
     }
 

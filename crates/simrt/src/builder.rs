@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use crate::executor::{PendingSpawn, Runtime};
 use crate::mailbox::{MailboxSender, MailboxToken};
-use crate::topology::{build_lookahead, RunMeta, Topology};
+use crate::topology::{build_lookahead, RunMeta, ShardHooks, Topology};
 
 /// Builder for a [`Runtime`]: declare the cluster's nodes and links, choose
 /// the worker count and seed, register node-affine tasks and mailboxes, then
@@ -51,6 +51,7 @@ pub struct RuntimeBuilder {
     seed: u64,
     pending: Vec<PendingSpawn>,
     next_mailbox: u64,
+    shard_hooks: Vec<ShardHooks>,
 }
 
 impl Default for RuntimeBuilder {
@@ -68,6 +69,7 @@ impl RuntimeBuilder {
             seed: 0,
             pending: Vec::new(),
             next_mailbox: 0,
+            shard_hooks: Vec::new(),
         }
     }
 
@@ -155,6 +157,31 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Register a per-shard lifecycle hook pair. `enter(shard)` runs on each
+    /// shard's thread after the runtime context is active but before any
+    /// node-affine task (or the root future) is polled; `teardown(shard)`
+    /// runs on the same thread once the shard's event loop has finished,
+    /// while its thread-local state is still alive. Hooks run strictly
+    /// outside the event loop — they see virtual time frozen and cannot
+    /// perturb the deterministic schedule.
+    ///
+    /// The canonical use is per-shard telemetry collection: install a fresh
+    /// thread-local collector on enter, deposit it into a shared merge sink
+    /// on teardown (see `geotp_telemetry`'s `RuntimeBuilderTelemetryExt`).
+    /// Hooks fire once per `block_on`; runtimes using them should be driven
+    /// by a single `block_on` call.
+    pub fn shard_scope(
+        mut self,
+        enter: impl Fn(u32) + Send + Sync + 'static,
+        teardown: impl Fn(u32) + Send + Sync + 'static,
+    ) -> Self {
+        self.shard_hooks.push(ShardHooks {
+            enter: Arc::new(enter),
+            teardown: Arc::new(teardown),
+        });
+        self
+    }
+
     /// Allocate a mailbox owned by `node`. Returns the `Send + Clone`
     /// sending half and the one-shot token the owning task uses to
     /// [`MailboxToken::bind`] the receiving half on its shard. (`&mut self`
@@ -190,6 +217,7 @@ impl RuntimeBuilder {
             workers: self.workers,
             topology: self.topology,
             lookahead,
+            shard_hooks: self.shard_hooks,
         });
         Runtime::from_parts(meta, self.pending)
     }

@@ -571,6 +571,9 @@ impl Runtime {
                     meta: Arc::clone(&self.meta),
                     shard: None,
                 });
+                for hooks in &self.meta.shard_hooks {
+                    (hooks.enter)(0);
+                }
                 // Node-affine tasks enter the ready queue ahead of the root,
                 // matching the per-shard startup order of multi-worker runs.
                 for spawn in pending {
@@ -586,7 +589,12 @@ impl Runtime {
                     out: &mut out,
                 });
                 match inner.run_window(None, &mut root_ctx, || false) {
-                    WindowPause::RootDone => out.expect("root future completed"),
+                    WindowPause::RootDone => {
+                        for hooks in self.meta.shard_hooks.iter().rev() {
+                            (hooks.teardown)(0);
+                        }
+                        out.expect("root future completed")
+                    }
                     WindowPause::Blocked => panic!(
                         "geotp-simrt: simulation deadlock at t={}us — the root task is \
                          pending but no task is runnable and no timer is registered",

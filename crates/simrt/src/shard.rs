@@ -262,18 +262,24 @@ fn worker_main(
     let _abort = AbortOnPanic(Arc::clone(&ctl));
     let _guard = CurrentGuard::enter(CurrentCtx {
         inner: Rc::clone(&inner),
-        meta,
+        meta: Arc::clone(&meta),
         shard: Some(ShardLink {
             shard,
             ctl: Arc::clone(&ctl),
             outbox: Rc::clone(&outbox),
         }),
     });
+    for hooks in &meta.shard_hooks {
+        (hooks.enter)(shard);
+    }
     for thunk in thunks {
         thunk();
     }
     let mut no_root: Option<RootCtx<'static, std::future::Ready<()>>> = None;
     drive_shard(shard, &inner, &ctl, &outbox, no_root.take());
+    for hooks in meta.shard_hooks.iter().rev() {
+        (hooks.teardown)(shard);
+    }
     (inner.metrics(), inner.now_micros())
 }
 
@@ -319,6 +325,9 @@ pub(crate) fn run_sharded<F: Future>(
                 outbox: Rc::clone(&outbox),
             }),
         });
+        for hooks in &meta.shard_hooks {
+            (hooks.enter)(0);
+        }
         for thunk in shard0_thunks {
             thunk();
         }
@@ -331,6 +340,9 @@ pub(crate) fn run_sharded<F: Future>(
             out: &mut out,
         });
         let outcome = drive_shard(0, &inner, &ctl, &outbox, root_ctx.take());
+        for hooks in meta.shard_hooks.iter().rev() {
+            (hooks.teardown)(0);
+        }
         let now0 = inner.now_micros();
         let mut metrics = vec![inner.metrics()];
         let mut now = now0;

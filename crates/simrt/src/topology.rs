@@ -99,6 +99,16 @@ pub(crate) fn build_lookahead(topology: &Topology, workers: usize) -> Vec<u64> {
     lookahead
 }
 
+/// A per-shard lifecycle hook pair registered via
+/// [`crate::RuntimeBuilder::shard_scope`]. `enter` runs on each shard's
+/// thread before any task is spawned there; `teardown` runs on the same
+/// thread after the shard's event loop has finished. Hooks run outside the
+/// event loop, so they cannot perturb the deterministic schedule.
+pub(crate) struct ShardHooks {
+    pub(crate) enter: std::sync::Arc<dyn Fn(u32) + Send + Sync>,
+    pub(crate) teardown: std::sync::Arc<dyn Fn(u32) + Send + Sync>,
+}
+
 /// Run-wide metadata shared by every shard: the seed, worker count, topology
 /// and the precomputed shard-to-shard lookahead matrix.
 pub(crate) struct RunMeta {
@@ -107,6 +117,9 @@ pub(crate) struct RunMeta {
     pub(crate) topology: Topology,
     /// `lookahead[src * workers + dst]`, microseconds; `u64::MAX` = no link.
     pub(crate) lookahead: Vec<u64>,
+    /// Per-shard lifecycle hooks, fired in registration order on enter and
+    /// reverse order on teardown.
+    pub(crate) shard_hooks: Vec<ShardHooks>,
 }
 
 impl RunMeta {

@@ -1,0 +1,71 @@
+//! Auto-deposit of per-shard collectors at runtime teardown.
+//!
+//! Multi-shard instrumented runs used to thread a collector into every
+//! `spawn_node` closure and deposit it explicitly before the run ended.
+//! [`RuntimeBuilderTelemetryExt`] removes that boilerplate: it registers a
+//! per-shard lifecycle scope on the [`RuntimeBuilder`] that installs a fresh
+//! thread-local collector when each shard thread starts (so the free
+//! instrumentation helpers are live on every shard) and deposits it into a
+//! shared [`ShardTelemetry`] sink when the shard's event loop tears down.
+//! After `block_on` returns, `sink.merged()` is the canonical run artifact —
+//! byte-identical at every worker count.
+//!
+//! Any collector that was already installed on a thread (e.g. the chaos
+//! harness's) is saved on enter and restored on teardown, mirroring
+//! `traced_into`'s save/restore discipline.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use geotp_simrt::RuntimeBuilder;
+
+use crate::{ShardTelemetry, Telemetry};
+
+thread_local! {
+    /// Collectors displaced by a shard enter, restored at teardown. A stack,
+    /// because nothing stops two scopes from being registered on one builder.
+    static SAVED: RefCell<Vec<Option<Rc<Telemetry>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Wires per-shard telemetry collection into a [`RuntimeBuilder`]: every
+/// shard gets its own thread-local collector for the duration of the run,
+/// and each is deposited into `sink` (slot = shard index) at teardown.
+/// Runtimes using this must be driven by a single `block_on` call (a second
+/// run would deposit the same slots twice).
+pub trait RuntimeBuilderTelemetryExt {
+    /// Collect with unbounded span retention.
+    fn collect_telemetry(self, sink: &Arc<ShardTelemetry>) -> Self;
+    /// Collect with per-shard tracers capped at `cap` retained spans (see
+    /// [`crate::Tracer::set_span_cap`]).
+    fn collect_telemetry_capped(self, sink: &Arc<ShardTelemetry>, cap: usize) -> Self;
+}
+
+impl RuntimeBuilderTelemetryExt for RuntimeBuilder {
+    fn collect_telemetry(self, sink: &Arc<ShardTelemetry>) -> Self {
+        wire(self, Arc::clone(sink), None)
+    }
+
+    fn collect_telemetry_capped(self, sink: &Arc<ShardTelemetry>, cap: usize) -> Self {
+        wire(self, Arc::clone(sink), Some(cap))
+    }
+}
+
+fn wire(builder: RuntimeBuilder, sink: Arc<ShardTelemetry>, cap: Option<usize>) -> RuntimeBuilder {
+    builder.shard_scope(
+        move |_shard| {
+            SAVED.with(|saved| saved.borrow_mut().push(crate::uninstall()));
+            match cap {
+                Some(cap) => drop(crate::install_with_span_cap(cap)),
+                None => drop(crate::install()),
+            }
+        },
+        move |shard| {
+            let t = crate::uninstall().expect("shard collector installed at enter");
+            sink.deposit(shard, &t);
+            if let Some(prev) = SAVED.with(|saved| saved.borrow_mut().pop()).flatten() {
+                crate::install_collector(prev);
+            }
+        },
+    )
+}

@@ -41,6 +41,7 @@
 //! });
 //! ```
 
+mod auto_deposit;
 mod critical_path;
 mod export;
 mod frozen;
@@ -49,6 +50,7 @@ mod registry;
 mod span;
 mod tracer;
 
+pub use auto_deposit::RuntimeBuilderTelemetryExt;
 pub use critical_path::{aggregate_critical_path, critical_path, CriticalPath};
 pub use export::{
     chrome_trace_json, metrics_timeline_csv, write_chrome_trace, write_metrics_timeline_csv,

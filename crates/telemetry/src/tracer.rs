@@ -380,6 +380,25 @@ impl Tracer {
             .collect()
     }
 
+    /// Every *scoped* span still open (started but not yet ended), as stable
+    /// ids sorted by `(gtrid, node, seq)`. Leaves are recorded pre-closed
+    /// (`end == start`) and never sit on the open stack, so they are not
+    /// reported. Open spans pin their transaction against retention
+    /// eviction, so the result is exact even under a span cap.
+    pub fn open_spans(&self) -> Vec<SpanId> {
+        let inner = self.inner.borrow();
+        let mut open = Vec::new();
+        for txn in inner.txns.values() {
+            let mut cur = txn.open_head;
+            while cur != NONE {
+                open.push(inner.spans[cur as usize].id);
+                cur = inner.open_prev[cur as usize];
+            }
+        }
+        open.sort_unstable_by_key(|id| (id.gtrid, id.node, id.seq));
+        open
+    }
+
     /// Every traced gtrid, ascending.
     pub fn gtrids(&self) -> Vec<u64> {
         let mut ids: Vec<u64> = self

@@ -1,14 +1,19 @@
 //! Per-shard collectors merge to the same canonical artifact at every
-//! worker count: two instrumented nodes record into their own collectors
-//! (on their own shard threads when `workers > 1`), deposit into a shared
-//! [`ShardTelemetry`], and the merged spans/metrics must be byte-identical
-//! whether the nodes shared one thread or ran truly in parallel.
+//! worker count: two instrumented nodes record through the free helpers
+//! into auto-installed per-shard collectors (on their own shard threads
+//! when `workers > 1`), the runtime deposits each shard's collector at
+//! teardown ([`RuntimeBuilderTelemetryExt`] — no explicit deposit calls),
+//! and the merged spans/metrics must be byte-identical whether the nodes
+//! shared one thread or ran truly in parallel.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use geotp_simrt::{sleep, RuntimeBuilder};
-use geotp_telemetry::{FrozenTelemetry, ShardTelemetry, SpanKind, Telemetry, TraceNode};
+use geotp_telemetry as telemetry;
+use geotp_telemetry::{
+    FrozenTelemetry, RuntimeBuilderTelemetryExt, ShardTelemetry, SpanKind, TraceNode,
+};
 
 fn run(workers: usize) -> FrozenTelemetry {
     let shard_tel = Arc::new(ShardTelemetry::new());
@@ -17,27 +22,24 @@ fn run(workers: usize) -> FrozenTelemetry {
         .seed(7)
         .assign("coord", 0)
         .link("a", "coord", Duration::from_millis(20))
-        .link("b", "coord", Duration::from_millis(20));
+        .link("b", "coord", Duration::from_millis(20))
+        .collect_telemetry(&shard_tel);
     let (done_tx, done_tok) = builder.mailbox::<u32>("coord");
     for (i, name) in ["a", "b"].into_iter().enumerate() {
-        let deposits = Arc::clone(&shard_tel);
         let tx = done_tx.clone();
         builder = builder.spawn_node(name, move || async move {
-            let t = Telemetry::new();
             let node = TraceNode::data_source(i as u32);
             for g in 0..5u64 {
                 sleep(Duration::from_millis(3 + i as u64)).await;
                 let gtrid = g * 2 + i as u64;
-                let root = t.tracer.start_root(gtrid, node, SpanKind::Txn, 0);
-                let leaf = t.tracer.start_leaf(gtrid, node, SpanKind::AgentExec, g);
+                let root = telemetry::span_root(gtrid, node, SpanKind::Txn, 0);
+                let leaf = telemetry::span_leaf(gtrid, node, SpanKind::AgentExec, g);
                 sleep(Duration::from_millis(1)).await;
-                t.tracer.end(leaf);
-                t.tracer.end(root);
-                t.metrics.counter_add("work.done", "", i as u32, 1);
-                t.metrics
-                    .observe("work.lat", "", i as u32, Duration::from_millis(g + 1));
+                telemetry::span_end(leaf);
+                telemetry::span_end(root);
+                telemetry::counter_add("work.done", "", i as u32, 1);
+                telemetry::observe("work.lat", "", i as u32, Duration::from_millis(g + 1));
             }
-            deposits.deposit(i as u32, &t);
             tx.bind_src(name).send(10_000, i as u32);
         });
     }
@@ -48,6 +50,11 @@ fn run(workers: usize) -> FrozenTelemetry {
             mb.recv().await;
         }
     });
+    assert_eq!(
+        shard_tel.len(),
+        workers,
+        "every shard auto-deposited exactly once"
+    );
     shard_tel.merged()
 }
 
