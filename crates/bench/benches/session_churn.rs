@@ -44,6 +44,7 @@ fn churn_once() -> Duration {
                 lock_wait_timeout: Duration::from_secs(2),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             },
             agent_lan_rtt: Duration::ZERO,
         });

@@ -203,6 +203,8 @@ pub fn run_cluster_scenario_with(
                 cost: CostModel::default(),
                 // The serializability checker needs the versioned histories.
                 record_history: true,
+                isolation: config.base.isolation,
+                group_commit_window: config.base.group_commit_window,
             },
             agent_lan_rtt: Duration::from_micros(500),
         });
@@ -222,6 +224,7 @@ pub fn run_cluster_scenario_with(
         tier_cfg.supervisor_interval = config.supervisor_interval;
         tier_cfg.decision_wait_timeout = config.base.decision_wait_timeout;
         tier_cfg.record_history = true;
+        tier_cfg.snapshot_reads = config.base.snapshot_reads;
         tier_cfg.seed = config.base.seed;
         tier_cfg.max_inflight = config.max_inflight;
         tier_cfg.admission = config.admission;
@@ -483,7 +486,13 @@ pub fn run_cluster_scenario_with(
         // stays out of the event trace so fingerprints remain byte-identical
         // between traced and untraced replays.
         if let Some(telemetry) = geotp_telemetry::installed() {
-            invariants::trace::apply(&mut invariants, &telemetry, &sources, &ledger);
+            invariants::trace::apply_with(
+                &mut invariants,
+                &telemetry,
+                &sources,
+                &ledger,
+                &config.base.trace_rules,
+            );
         }
         trace.record(&format!(
             "summary: committed={committed} aborted={aborted} indeterminate={indeterminate} \

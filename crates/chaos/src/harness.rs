@@ -33,7 +33,7 @@ use geotp_middleware::{
 use geotp_net::{NetworkBuilder, NodeId};
 use geotp_simrt::hash::FxHashMap;
 use geotp_simrt::{now, sleep, sleep_until, spawn, SimInstant};
-use geotp_storage::{CostModel, EngineConfig};
+use geotp_storage::{CostModel, EngineConfig, IsolationLevel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -113,6 +113,25 @@ pub struct ChaosConfig {
     /// shard 0 regardless — traces and fingerprints are bit-identical at
     /// every worker count (the CI worker matrix asserts exactly this).
     pub workers: Option<usize>,
+    /// Storage isolation level on every engine. The default
+    /// (`Serializable2pl`) is the legacy strict-2PL path and replays every
+    /// existing preset byte-identically; `SnapshotRead` serves plain reads
+    /// from MVCC snapshots without locks; `ReadCommitted` deliberately
+    /// weakens snapshots so the serializability checker has something to
+    /// convict.
+    pub isolation: IsolationLevel,
+    /// Group-commit window on every engine's WAL. `Duration::ZERO` (the
+    /// default) flushes each commit solo — the legacy path; a nonzero
+    /// window parks committers so one flush amortizes across the batch.
+    pub group_commit_window: Duration,
+    /// Let the coordinator commit unannotated read-only transactions via
+    /// the snapshot-read fast path (no prepare, no WAL flush, no locks
+    /// under `SnapshotRead` isolation). Off by default.
+    pub snapshot_reads: bool,
+    /// Extra trace-oracle rules evaluated after the built-ins on traced
+    /// runs (see [`crate::invariants::trace::TraceRule`]). Empty by
+    /// default.
+    pub trace_rules: crate::invariants::trace::TraceRules,
 }
 
 impl Default for ChaosConfig {
@@ -136,6 +155,10 @@ impl Default for ChaosConfig {
             interactive_transfers: false,
             retry: geotp_middleware::session::RetryPolicy::fixed(40, Duration::from_millis(250)),
             workers: None,
+            isolation: IsolationLevel::Serializable2pl,
+            group_commit_window: Duration::ZERO,
+            snapshot_reads: false,
+            trace_rules: crate::invariants::trace::TraceRules::default(),
         }
     }
 }
@@ -237,6 +260,7 @@ impl Deployment {
         cfg.record_history = true;
         cfg.scheduler.seed = config.seed;
         cfg.first_txn_seq = first_txn_seq;
+        cfg.snapshot_reads = config.snapshot_reads;
         cfg
     }
 
@@ -282,6 +306,8 @@ impl Deployment {
                 cost: CostModel::default(),
                 // The serializability checker needs the versioned histories.
                 record_history: true,
+                isolation: config.isolation,
+                group_commit_window: config.group_commit_window,
             };
             ds_cfg.agent_lan_rtt = Duration::from_micros(500);
             sources.push(DataSource::new(ds_cfg, Rc::clone(&net)));
@@ -712,7 +738,13 @@ fn run_scenario_impl(
         // is deliberately kept out of the event trace: fingerprints must stay
         // byte-identical between traced and untraced replays of one seed.
         if let Some(telemetry) = geotp_telemetry::installed() {
-            invariants::trace::apply(&mut invariants, &telemetry, &deployment.sources, &ledger);
+            invariants::trace::apply_with(
+                &mut invariants,
+                &telemetry,
+                &deployment.sources,
+                &ledger,
+                &deployment.config.trace_rules,
+            );
         }
         trace.record(&format!(
             "summary: committed={committed} aborted={aborted} indeterminate={indeterminate}"

@@ -204,6 +204,13 @@ pub fn check(
             continue;
         }
         let logged = decision_of(outcome.gtrid);
+        // A read-only commit writes nothing, so there is no decision to make
+        // durable: the coordinator never flushes one and the branches never
+        // prepare. Losing it on a crash is indistinguishable from it never
+        // having run.
+        if outcome.committed && outcome.read_only {
+            continue;
+        }
         if outcome.committed && logged != Some(Decision::Commit) {
             report.durability_ok = false;
             report.violations.push(format!(

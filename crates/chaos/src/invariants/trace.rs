@@ -7,7 +7,13 @@
 //! final state: a coordinator that dispatches a commit *before* its log
 //! flush is durably indistinguishable from a correct one unless it crashes
 //! in the gap. The trace oracle closes that hole by checking the recorded
-//! spans themselves:
+//! spans themselves.
+//!
+//! Every rule is a [`TraceRule`] — a named predicate over a [`TraceContext`]
+//! (the span record plus the durable/concluded gtrid sets). The built-in
+//! rules ship in [`builtin_rules`] and always run; harnesses register extra
+//! scenario-specific rules through `ChaosConfig::trace_rules`, which
+//! [`apply_with`] evaluates after the built-ins. The built-ins:
 //!
 //! * **R1 flush-before-dispatch** — on each `(gtrid, middleware)` pair,
 //!   every `CommitDispatch` span starts at or after some `LogFlush` span of
@@ -43,6 +49,55 @@ use geotp_telemetry::{NodeClass, Span, SpanId, SpanKind, Telemetry, TraceNode};
 
 use super::InvariantReport;
 
+/// Everything a trace rule may inspect: the recorded spans, the spans still
+/// open at run end, the gtrids with at least one durable branch record, and
+/// the gtrids whose client got a definite answer.
+pub struct TraceContext<'a> {
+    /// Every recorded span, in deterministic program order.
+    pub spans: &'a [Span],
+    /// Spans still open when the run ended.
+    pub open: &'a [SpanId],
+    /// Gtrids with a durable `Prepare`/`Commit`/`Abort` in some WAL.
+    pub durable_gtrids: &'a FxHashSet<u64>,
+    /// Gtrids whose outcome the client saw (not coordinator-crash limbo).
+    pub concluded_gtrids: &'a FxHashSet<u64>,
+}
+
+/// One named happens-before predicate over a run's span record.
+///
+/// Implementations must be pure over the [`TraceContext`] — no clock, no
+/// randomness, no I/O — so that enabling a rule never perturbs schedules
+/// and its verdict is deterministic. Violations are returned one line each,
+/// in an order derived only from the context (span program order or sorted
+/// key order).
+pub trait TraceRule {
+    /// Short stable identifier, used to label the rule's violations.
+    fn name(&self) -> &'static str;
+    /// Evaluate the rule; one line per violation, empty when it holds.
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String>;
+}
+
+/// An ordered set of extra [`TraceRule`]s for a harness to evaluate after
+/// the built-ins. `Default` is empty — the built-ins alone.
+#[derive(Clone, Default)]
+pub struct TraceRules(pub Vec<Rc<dyn TraceRule>>);
+
+impl TraceRules {
+    /// Register one more rule, builder-style.
+    pub fn with(mut self, rule: Rc<dyn TraceRule>) -> Self {
+        self.0.push(rule);
+        self
+    }
+}
+
+impl std::fmt::Debug for TraceRules {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.0.iter().map(|r| r.name()))
+            .finish()
+    }
+}
+
 /// Per-`(gtrid, node)` extrema accumulated in one pass over the spans.
 #[derive(Default)]
 struct Group {
@@ -67,37 +122,9 @@ fn max_in(slot: &mut Option<u64>, v: u64) {
     *slot = Some(slot.map_or(v, |cur| cur.max(v)));
 }
 
-/// Evaluate every trace rule over a span record. Pure function over the
-/// inputs; returns one line per violation, in deterministic order (span
-/// program order, then sorted group order).
-pub fn check_spans(
-    spans: &[Span],
-    open: &[SpanId],
-    durable_gtrids: &FxHashSet<u64>,
-    concluded_gtrids: &FxHashSet<u64>,
-) -> Vec<String> {
-    let mut violations = Vec::new();
-
-    let ids: FxHashSet<(u64, TraceNode, u32)> = spans
-        .iter()
-        .map(|s| (s.id.gtrid, s.id.node, s.id.seq))
-        .collect();
-
-    // Single pass: R4 + R5a inline (span program order is deterministic),
-    // extrema for the windowed rules.
+fn group_extrema(spans: &[Span]) -> FxHashMap<(u64, TraceNode), Group> {
     let mut groups: FxHashMap<(u64, TraceNode), Group> = FxHashMap::default();
     for s in spans {
-        if let Some(p) = s.parent {
-            if !ids.contains(&(p.gtrid, p.node, p.seq)) {
-                violations.push(format!("span {} has unresolved parent {p}", s.id));
-            }
-        }
-        if s.kind == SpanKind::Recovery && !durable_gtrids.contains(&s.id.gtrid) {
-            violations.push(format!(
-                "recovery span {} attaches to gtrid {} with no durable branch record",
-                s.id, s.id.gtrid
-            ));
-        }
         let g = groups.entry((s.id.gtrid, s.id.node)).or_default();
         let (start, end) = (s.start.as_micros(), s.end.as_micros());
         match s.kind {
@@ -111,74 +138,215 @@ pub fn check_spans(
             _ => {}
         }
     }
+    groups
+}
 
-    // R1: per dispatch, so a late flush cannot excuse an early dispatch.
-    for s in spans {
-        if s.kind != SpanKind::CommitDispatch {
-            continue;
-        }
-        let flushed = groups
-            .get(&(s.id.gtrid, s.id.node))
-            .and_then(|g| g.flush_end_min);
-        match flushed {
-            None => violations.push(format!(
-                "commit dispatch {} has no log flush on its node",
-                s.id
-            )),
-            Some(f) if f > s.start.as_micros() => violations.push(format!(
-                "commit dispatch {} starts at {}us before the earliest log flush ends at {f}us",
-                s.id,
-                s.start.as_micros()
-            )),
-            Some(_) => {}
-        }
-    }
-
-    // R2 + R3 over the per-group extrema, in sorted group order.
+/// Walk the per-group extrema in sorted key order.
+fn each_group(
+    groups: &FxHashMap<(u64, TraceNode), Group>,
+    mut visit: impl FnMut(u64, TraceNode, &Group),
+) {
     let mut keys: Vec<&(u64, TraceNode)> = groups.keys().collect();
     keys.sort_unstable();
     for key in keys {
-        let (gtrid, node) = *key;
-        let g = &groups[key];
-        if let (Some(vote), Some(dispatch)) = (g.vote_end_max, g.dispatch_start_min) {
-            if vote > dispatch {
+        visit(key.0, key.1, &groups[key]);
+    }
+}
+
+/// R1: per dispatch, so a late flush cannot excuse an early dispatch.
+struct FlushBeforeDispatch;
+
+impl TraceRule for FlushBeforeDispatch {
+    fn name(&self) -> &'static str {
+        "flush-before-dispatch"
+    }
+
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+        let groups = group_extrema(ctx.spans);
+        let mut violations = Vec::new();
+        for s in ctx.spans {
+            if s.kind != SpanKind::CommitDispatch {
+                continue;
+            }
+            let flushed = groups
+                .get(&(s.id.gtrid, s.id.node))
+                .and_then(|g| g.flush_end_min);
+            match flushed {
+                None => violations.push(format!(
+                    "commit dispatch {} has no log flush on its node",
+                    s.id
+                )),
+                Some(f) if f > s.start.as_micros() => violations.push(format!(
+                    "commit dispatch {} starts at {}us before the earliest log flush ends at {f}us",
+                    s.id,
+                    s.start.as_micros()
+                )),
+                Some(_) => {}
+            }
+        }
+        violations
+    }
+}
+
+/// R2: decisions never race their own vote collection.
+struct VoteBeforeDecision;
+
+impl TraceRule for VoteBeforeDecision {
+    fn name(&self) -> &'static str {
+        "vote-before-decision"
+    }
+
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+        let mut violations = Vec::new();
+        each_group(&group_extrema(ctx.spans), |gtrid, node, g| {
+            if let (Some(vote), Some(dispatch)) = (g.vote_end_max, g.dispatch_start_min) {
+                if vote > dispatch {
+                    violations.push(format!(
+                        "gtrid {gtrid}: vote wait on {node} still open at {vote}us when the \
+                         decision dispatched at {dispatch}us"
+                    ));
+                }
+            }
+        });
+        violations
+    }
+}
+
+/// R3: admitted work never begins while still queued.
+struct AdmissionBeforeBody;
+
+impl TraceRule for AdmissionBeforeBody {
+    fn name(&self) -> &'static str {
+        "admission-before-body"
+    }
+
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+        let mut violations = Vec::new();
+        each_group(&group_extrema(ctx.spans), |gtrid, node, g| {
+            if let (Some(admission), Some(txn)) = (g.admission_end_max, g.txn_start_min) {
+                if admission > txn {
+                    violations.push(format!(
+                        "gtrid {gtrid}: admission queue on {node} released at {admission}us \
+                         after the txn body started at {txn}us"
+                    ));
+                }
+            }
+        });
+        violations
+    }
+}
+
+/// R4: recovery spans only attach to gtrids with durable evidence.
+struct RecoveryNeedsEvidence;
+
+impl TraceRule for RecoveryNeedsEvidence {
+    fn name(&self) -> &'static str {
+        "recovery-needs-evidence"
+    }
+
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+        let mut violations = Vec::new();
+        for s in ctx.spans {
+            if s.kind == SpanKind::Recovery && !ctx.durable_gtrids.contains(&s.id.gtrid) {
                 violations.push(format!(
-                    "gtrid {gtrid}: vote wait on {node} still open at {vote}us when the \
-                     decision dispatched at {dispatch}us"
+                    "recovery span {} attaches to gtrid {} with no durable branch record",
+                    s.id, s.id.gtrid
                 ));
             }
         }
-        if let (Some(admission), Some(txn)) = (g.admission_end_max, g.txn_start_min) {
-            if admission > txn {
-                violations.push(format!(
-                    "gtrid {gtrid}: admission queue on {node} released at {admission}us \
-                     after the txn body started at {txn}us"
-                ));
+        violations
+    }
+}
+
+/// R5: parent references resolve, and no coordinator-side span of a
+/// concluded transaction is left open. Indeterminate outcomes are exempt —
+/// a crashed coordinator legitimately strands its open spans.
+struct WellFormedSpanTrees;
+
+impl TraceRule for WellFormedSpanTrees {
+    fn name(&self) -> &'static str {
+        "well-formed-span-trees"
+    }
+
+    fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+        let mut violations = Vec::new();
+        let ids: FxHashSet<(u64, TraceNode, u32)> = ctx
+            .spans
+            .iter()
+            .map(|s| (s.id.gtrid, s.id.node, s.id.seq))
+            .collect();
+        for s in ctx.spans {
+            if let Some(p) = s.parent {
+                if !ids.contains(&(p.gtrid, p.node, p.seq)) {
+                    violations.push(format!("span {} has unresolved parent {p}", s.id));
+                }
             }
         }
-    }
-
-    // R5b: a concluded transaction (client got a definite answer) must have
-    // closed every coordinator-side span. Indeterminate outcomes are exempt
-    // — a crashed coordinator legitimately strands its open spans.
-    for id in open {
-        if id.node.class == NodeClass::Middleware && concluded_gtrids.contains(&id.gtrid) {
-            violations.push(format!("span {id} still open after its txn concluded"));
+        for id in ctx.open {
+            if id.node.class == NodeClass::Middleware && ctx.concluded_gtrids.contains(&id.gtrid) {
+                violations.push(format!("span {id} still open after its txn concluded"));
+            }
         }
+        violations
     }
+}
 
+/// The five built-in happens-before rules, in evaluation order.
+pub fn builtin_rules() -> Vec<Rc<dyn TraceRule>> {
+    vec![
+        Rc::new(FlushBeforeDispatch),
+        Rc::new(VoteBeforeDecision),
+        Rc::new(AdmissionBeforeBody),
+        Rc::new(RecoveryNeedsEvidence),
+        Rc::new(WellFormedSpanTrees),
+    ]
+}
+
+/// Evaluate every built-in trace rule over a span record. Pure function
+/// over the inputs; returns one line per violation, in deterministic order
+/// (rule order, then each rule's own span/sorted-group order).
+pub fn check_spans(
+    spans: &[Span],
+    open: &[SpanId],
+    durable_gtrids: &FxHashSet<u64>,
+    concluded_gtrids: &FxHashSet<u64>,
+) -> Vec<String> {
+    let ctx = TraceContext {
+        spans,
+        open,
+        durable_gtrids,
+        concluded_gtrids,
+    };
+    let mut violations = Vec::new();
+    for rule in builtin_rules() {
+        violations.extend(rule.check(&ctx));
+    }
     violations
 }
 
-/// Run the trace oracle over the installed run's telemetry and fold the
-/// verdict into `report.trace_ok`. Harvests the durable-gtrid set from the
-/// WALs and the concluded set from the client ledger (outcomes with a
-/// definite answer — everything except coordinator-crash indeterminates).
+/// Run the trace oracle — built-ins only — over the installed run's
+/// telemetry and fold the verdict into `report.trace_ok`.
 pub fn apply(
     report: &mut InvariantReport,
     telemetry: &Telemetry,
     sources: &[Rc<DataSource>],
     ledger: &[TxnOutcome],
+) {
+    apply_with(report, telemetry, sources, ledger, &TraceRules::default());
+}
+
+/// Run the trace oracle — built-ins plus `extra` rules — over the installed
+/// run's telemetry and fold the verdict into `report.trace_ok`. Harvests
+/// the durable-gtrid set from the WALs and the concluded set from the
+/// client ledger (outcomes with a definite answer — everything except
+/// coordinator-crash indeterminates). Extra-rule violations carry the
+/// rule's name so a conviction points at the predicate that fired.
+pub fn apply_with(
+    report: &mut InvariantReport,
+    telemetry: &Telemetry,
+    sources: &[Rc<DataSource>],
+    ledger: &[TxnOutcome],
+    extra: &TraceRules,
 ) {
     let mut durable: FxHashSet<u64> = FxHashSet::default();
     for ds in sources {
@@ -197,13 +365,27 @@ pub fn apply(
 
     let open = telemetry.tracer.open_spans();
     let spans = telemetry.tracer.spans();
-    let violations = check_spans(&spans, &open, &durable, &concluded);
+    let ctx = TraceContext {
+        spans: &spans,
+        open: &open,
+        durable_gtrids: &durable,
+        concluded_gtrids: &concluded,
+    };
+    let mut violations = Vec::new();
+    for rule in builtin_rules() {
+        violations.extend(rule.check(&ctx).into_iter().map(|v| format!("trace: {v}")));
+    }
+    for rule in &extra.0 {
+        violations.extend(
+            rule.check(&ctx)
+                .into_iter()
+                .map(|v| format!("trace[{}]: {v}", rule.name())),
+        );
+    }
     drop(spans);
     if !violations.is_empty() {
         report.trace_ok = false;
-        report
-            .violations
-            .extend(violations.into_iter().map(|v| format!("trace: {v}")));
+        report.violations.extend(violations);
     }
 }
 
@@ -368,5 +550,72 @@ mod tests {
             &[1],
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// A custom rule caps transaction span fan-out per gtrid.
+    struct MaxSpansPerTxn(usize);
+
+    impl TraceRule for MaxSpansPerTxn {
+        fn name(&self) -> &'static str {
+            "max-spans-per-txn"
+        }
+
+        fn check(&self, ctx: &TraceContext<'_>) -> Vec<String> {
+            let mut counts: FxHashMap<u64, usize> = FxHashMap::default();
+            for s in ctx.spans {
+                *counts.entry(s.id.gtrid).or_default() += 1;
+            }
+            let mut gtrids: Vec<u64> = counts
+                .iter()
+                .filter(|(_, &n)| n > self.0)
+                .map(|(&g, _)| g)
+                .collect();
+            gtrids.sort_unstable();
+            gtrids
+                .into_iter()
+                .map(|g| format!("gtrid {g} recorded more than {} spans", self.0))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn custom_rules_run_after_the_builtins() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let t = Tracer::new();
+            let dm = TraceNode::middleware(0);
+            t.leaf_window(1, dm, SpanKind::LogFlush, 0, us(0), us(10));
+            t.leaf_window(1, dm, SpanKind::CommitDispatch, 1, us(10), us(20));
+
+            let (durable, concluded) = sets(&[1], &[1]);
+            let spans = t.spans();
+            let open = t.open_spans();
+            let ctx = TraceContext {
+                spans: &spans,
+                open: &open,
+                durable_gtrids: &durable,
+                concluded_gtrids: &concluded,
+            };
+            // Built-ins are clean; a tight custom rule convicts, a loose
+            // one does not.
+            for rule in builtin_rules() {
+                assert!(rule.check(&ctx).is_empty(), "{}", rule.name());
+            }
+            let tight = MaxSpansPerTxn(1);
+            let loose = MaxSpansPerTxn(10);
+            assert_eq!(
+                tight.check(&ctx),
+                vec!["gtrid 1 recorded more than 1 spans".to_string()]
+            );
+            assert!(loose.check(&ctx).is_empty());
+
+            let rules = TraceRules::default()
+                .with(Rc::new(MaxSpansPerTxn(1)))
+                .with(Rc::new(MaxSpansPerTxn(10)));
+            assert_eq!(
+                format!("{rules:?}"),
+                "[\"max-spans-per-txn\", \"max-spans-per-txn\"]"
+            );
+        });
     }
 }

@@ -63,6 +63,7 @@ pub mod cluster_harness;
 pub mod harness;
 pub mod injector;
 pub mod invariants;
+pub mod mvcc;
 pub mod scenarios;
 pub mod schedule;
 pub mod shrink;
@@ -80,7 +81,9 @@ pub use harness::{
     ChaosConfig, ChaosReport,
 };
 pub use injector::ScheduleInjector;
+pub use invariants::trace::{TraceContext, TraceRule, TraceRules};
 pub use invariants::{InvariantReport, SerializabilityReport};
+pub use mvcc::{LongReaderOltpWorkload, MvccScenario, WriteSkewWorkload};
 pub use scenarios::{DrillWorkload, Scenario};
 pub use schedule::{FaultEvent, FaultSchedule, RandomFaultConfig};
 pub use shrink::{shrink_schedule, shrink_workload, ShrinkReport, WorkloadShrinkReport};

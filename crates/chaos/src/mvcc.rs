@@ -1,0 +1,413 @@
+//! MVCC and group-commit failure drills.
+//!
+//! These presets exercise the storage tier's versioned read path and the
+//! WAL's group-commit window under the same five checkers as the classic
+//! drills. They are deliberately *not* part of [`crate::Scenario::all`]:
+//! the legacy presets pin the default strict-2PL engine byte-identically,
+//! while everything here opts into the new `EngineConfig` knobs
+//! (`isolation`, `group_commit_window`) and the coordinator's
+//! snapshot-read fast path.
+//!
+//! * [`MvccScenario::LongReadersSnapshot`] — long multi-round read-only
+//!   scans (unannotated, so the coordinator commits them via the
+//!   snapshot-read fast path) against an OLTP write stream on disjoint
+//!   keys, under `SnapshotRead`. Readers acquire **zero** locks: the run's
+//!   `storage.lock_wait` histogram stays empty, which the sweep asserts.
+//! * [`MvccScenario::LongReaders2pl`] — the same workload under the legacy
+//!   `Serializable2pl` engine, as the contrast run: the same scans *do*
+//!   contend there, so the lock-wait histogram is non-empty.
+//! * [`MvccScenario::WriteSkewSnapshot`] / [`MvccScenario::WriteSkewReadCommitted`]
+//!   — a write-skew-prone hot-pair workload under the deliberately weak
+//!   isolation modes; the serializability checker must convict at least
+//!   one seed (the adversarial leg of the checker suite).
+//! * [`MvccScenario::GroupCommitCrashWindow`] — balance transfers with a
+//!   10 ms group-commit window and a data source crashing mid-traffic, so
+//!   crashes land *between a commit's WAL append and the deferred group
+//!   flush* (§V-A at the storage tier). Unacknowledged commits must roll
+//!   back on recovery; all five checkers stay green.
+
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use geotp_datasource::DataSource;
+use geotp_middleware::{ClientOp, GlobalKey, Partitioner, TransactionSpec};
+use geotp_storage::{IsolationLevel, Row};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::harness::{run_scenario_with, ChaosConfig, ChaosReport};
+use crate::schedule::{FaultEvent, FaultSchedule};
+use crate::workload::{ChaosWorkload, TransferWorkload, CHAOS_TABLE};
+
+/// Long read-only scans interleaved with an OLTP write stream that never
+/// contends with itself.
+///
+/// Every `reader_every`-th transaction is a *reader*: an unannotated,
+/// multi-round, read-only scan of the first `scan_window` rows (all on
+/// ds0), holding its snapshot — or, under 2PL, its shared locks — across a
+/// client round trip plus think time. Every other transaction is a
+/// *writer*: `+1` then `−1` on one key from a monotonically advancing
+/// cursor, so concurrent writers always touch distinct keys and the only
+/// possible lock contention is reader-vs-writer. Every row therefore stays
+/// at its initial balance, which the consistency condition checks.
+#[derive(Debug)]
+pub struct LongReaderOltpWorkload {
+    /// Data sources in the deployment.
+    pub nodes: u32,
+    /// Rows per data source.
+    pub records_per_node: u64,
+    /// Initial integer balance of every row.
+    pub initial_balance: i64,
+    /// Rows 0..scan_window (on ds0) that each reader scans.
+    pub scan_window: u64,
+    /// Every n-th transaction is a reader.
+    pub reader_every: u64,
+    txn_counter: Cell<u64>,
+    writer_cursor: Cell<u64>,
+}
+
+impl LongReaderOltpWorkload {
+    /// The drill-scale mix: 3 sources × 64 rows, a 32-row scan window,
+    /// every 3rd transaction a reader.
+    pub fn drill_scale(nodes: u32) -> Self {
+        Self {
+            nodes,
+            records_per_node: 64,
+            initial_balance: 100,
+            scan_window: 32,
+            reader_every: 3,
+            txn_counter: Cell::new(0),
+            writer_cursor: Cell::new(0),
+        }
+    }
+}
+
+impl ChaosWorkload for LongReaderOltpWorkload {
+    fn name(&self) -> &'static str {
+        "long_reader_oltp"
+    }
+
+    fn partitioner(&self) -> Partitioner {
+        Partitioner::Range {
+            rows_per_node: self.records_per_node,
+            nodes: self.nodes,
+        }
+    }
+
+    fn load(&self, sources: &[Rc<DataSource>]) {
+        let partitioner = self.partitioner();
+        for row in 0..self.records_per_node * self.nodes as u64 {
+            let key = GlobalKey::new(CHAOS_TABLE, row);
+            let ds = partitioner.route(key) as usize;
+            sources[ds].load(key.storage_key(), Row::int(self.initial_balance));
+        }
+    }
+
+    fn next_spec(&self, _rng: &mut StdRng) -> TransactionSpec {
+        let n = self.txn_counter.get();
+        self.txn_counter.set(n + 1);
+        if n.is_multiple_of(self.reader_every) {
+            // A long reader: two statement rounds covering the scan window,
+            // unannotated so the coordinator's snapshot-read fast path (when
+            // enabled) commits it without prepare or WAL flush.
+            let half = self.scan_window / 2;
+            let read = |row| ClientOp::Read(GlobalKey::new(CHAOS_TABLE, row));
+            TransactionSpec::multi_round(vec![
+                (0..half).map(read).collect(),
+                (half..self.scan_window).map(read).collect(),
+            ])
+            .without_annotation()
+        } else {
+            // A writer on the next cursor key: concurrent writers always
+            // hold distinct keys, so writer-writer lock waits are impossible
+            // and any lock contention is reader-vs-writer by construction.
+            let total = self.records_per_node * self.nodes as u64;
+            let key = GlobalKey::new(CHAOS_TABLE, self.writer_cursor.get() % total);
+            self.writer_cursor.set(self.writer_cursor.get() + 1);
+            TransactionSpec::single_round(vec![ClientOp::add(key, 1), ClientOp::add(key, -1)])
+        }
+    }
+
+    fn consistency_violations(&self, sources: &[Rc<DataSource>]) -> Vec<String> {
+        let mut violations = Vec::new();
+        let partitioner = self.partitioner();
+        for row in 0..self.records_per_node * self.nodes as u64 {
+            let key = GlobalKey::new(CHAOS_TABLE, row);
+            let ds = partitioner.route(key) as usize;
+            let balance = sources[ds]
+                .engine()
+                .peek(key.storage_key())
+                .and_then(|r| r.int_value());
+            if balance != Some(self.initial_balance) {
+                violations.push(format!(
+                    "long_reader_oltp: row {row} is {balance:?}, expected {} \
+                     (every writer nets zero)",
+                    self.initial_balance
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// A write-skew-prone workload: every transaction plain-reads a hot pair of
+/// rows and then increments exactly one of them. Two overlapping
+/// transactions that write *different* halves of the pair form an
+/// rw-antidependency cycle under snapshot or read-committed reads — the
+/// textbook anomaly strict 2PL forbids — so the serializability checker
+/// must convict runs under the weak isolation modes.
+#[derive(Debug)]
+pub struct WriteSkewWorkload {
+    /// Data sources in the deployment (the hot pair lives on ds0).
+    pub nodes: u32,
+    /// Rows per data source.
+    pub records_per_node: u64,
+}
+
+impl WriteSkewWorkload {
+    /// Hot pair = rows 0 and 1 on ds0.
+    pub fn drill_scale(nodes: u32) -> Self {
+        Self {
+            nodes,
+            records_per_node: 64,
+        }
+    }
+}
+
+impl ChaosWorkload for WriteSkewWorkload {
+    fn name(&self) -> &'static str {
+        "write_skew"
+    }
+
+    fn partitioner(&self) -> Partitioner {
+        Partitioner::Range {
+            rows_per_node: self.records_per_node,
+            nodes: self.nodes,
+        }
+    }
+
+    fn load(&self, sources: &[Rc<DataSource>]) {
+        let partitioner = self.partitioner();
+        for row in 0..self.records_per_node * self.nodes as u64 {
+            let key = GlobalKey::new(CHAOS_TABLE, row);
+            let ds = partitioner.route(key) as usize;
+            sources[ds].load(key.storage_key(), Row::int(0));
+        }
+    }
+
+    fn next_spec(&self, rng: &mut StdRng) -> TransactionSpec {
+        let a = GlobalKey::new(CHAOS_TABLE, 0);
+        let b = GlobalKey::new(CHAOS_TABLE, 1);
+        let target = if rng.gen::<bool>() { a } else { b };
+        TransactionSpec::single_round(vec![
+            ClientOp::Read(a),
+            ClientOp::Read(b),
+            ClientOp::add(target, 1),
+        ])
+    }
+
+    fn consistency_violations(&self, _sources: &[Rc<DataSource>]) -> Vec<String> {
+        // Write skew leaves no single-row state violation — that is the
+        // point: only the serializability checker's dependency graph sees
+        // the anomaly.
+        Vec::new()
+    }
+}
+
+/// The MVCC / group-commit failure drills. Not part of
+/// [`crate::Scenario::all`]: every preset here opts into non-default
+/// engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MvccScenario {
+    /// Long readers vs. OLTP under `SnapshotRead` with the coordinator's
+    /// snapshot-read fast path: readers acquire zero locks.
+    LongReadersSnapshot,
+    /// The same workload under legacy strict 2PL — the contrast run whose
+    /// lock-wait histogram is non-empty.
+    LongReaders2pl,
+    /// Write-skew hot pair under `SnapshotRead` (snapshot isolation's
+    /// classic anomaly).
+    WriteSkewSnapshot,
+    /// Write-skew hot pair under `ReadCommitted`.
+    WriteSkewReadCommitted,
+    /// Balance transfers with a 10 ms group-commit window and a data source
+    /// crashing mid-traffic: crashes land between WAL append and the
+    /// deferred group flush; unacknowledged commits roll back on recovery.
+    GroupCommitCrashWindow,
+}
+
+impl MvccScenario {
+    /// Every preset, in a stable order.
+    pub fn all() -> [MvccScenario; 5] {
+        [
+            MvccScenario::LongReadersSnapshot,
+            MvccScenario::LongReaders2pl,
+            MvccScenario::WriteSkewSnapshot,
+            MvccScenario::WriteSkewReadCommitted,
+            MvccScenario::GroupCommitCrashWindow,
+        ]
+    }
+
+    /// Stable identifier used in traces and CI output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MvccScenario::LongReadersSnapshot => "long_readers_snapshot",
+            MvccScenario::LongReaders2pl => "long_readers_2pl",
+            MvccScenario::WriteSkewSnapshot => "write_skew_snapshot",
+            MvccScenario::WriteSkewReadCommitted => "write_skew_read_committed",
+            MvccScenario::GroupCommitCrashWindow => "group_commit_crash_window",
+        }
+    }
+
+    /// The preset's configuration, fault schedule and workload for a seed.
+    pub fn build(&self, seed: u64) -> (ChaosConfig, FaultSchedule, Rc<dyn ChaosWorkload>) {
+        let mut config = ChaosConfig {
+            seed,
+            ..ChaosConfig::default()
+        };
+        let s = Duration::from_secs;
+        match self {
+            MvccScenario::LongReadersSnapshot | MvccScenario::LongReaders2pl => {
+                config.isolation = if matches!(self, MvccScenario::LongReadersSnapshot) {
+                    IsolationLevel::SnapshotRead
+                } else {
+                    IsolationLevel::Serializable2pl
+                };
+                config.snapshot_reads = matches!(self, MvccScenario::LongReadersSnapshot);
+                // O3's late scheduling would refuse admission to the hot
+                // scans and serialize access before it ever reaches the
+                // engines; these drills study the *engine's* read path, so
+                // run O1–O2 and let the conflicting transactions through.
+                config.protocol = geotp_middleware::Protocol::geotp_o1_o2();
+                config.clients = 6;
+                config.txns_per_client = 20;
+                // Readers span two statement rounds with think time between
+                // them, so their snapshot (or, under 2PL, their shared
+                // locks) outlives several writer commits.
+                config.think_time = Duration::from_millis(20);
+                let workload = LongReaderOltpWorkload::drill_scale(config.nodes());
+                (config, FaultSchedule::new(), Rc::new(workload))
+            }
+            MvccScenario::WriteSkewSnapshot | MvccScenario::WriteSkewReadCommitted => {
+                config.isolation = if matches!(self, MvccScenario::WriteSkewSnapshot) {
+                    IsolationLevel::SnapshotRead
+                } else {
+                    IsolationLevel::ReadCommitted
+                };
+                // Same reasoning as the long-reader presets: the hot pair
+                // must actually reach the engines concurrently for the
+                // anomaly to form, so keep O3's admission lottery out.
+                config.protocol = geotp_middleware::Protocol::geotp_o1_o2();
+                config.clients = 6;
+                config.txns_per_client = 15;
+                let workload = WriteSkewWorkload::drill_scale(config.nodes());
+                (config, FaultSchedule::new(), Rc::new(workload))
+            }
+            MvccScenario::GroupCommitCrashWindow => {
+                // Default (strict-2PL) isolation: group commit is orthogonal
+                // to the read path, and the transfer workload's checkers are
+                // the sharpest about torn commits.
+                config.group_commit_window = Duration::from_millis(10);
+                let workload = TransferWorkload::from_config(&config);
+                let schedule = FaultSchedule::new()
+                    .with(FaultEvent::CrashDataSource { at: s(3), ds: 1 })
+                    .with(FaultEvent::RestartDataSource { at: s(6), ds: 1 })
+                    .with(FaultEvent::CrashDataSource { at: s(8), ds: 0 })
+                    .with(FaultEvent::RestartDataSource { at: s(10), ds: 0 });
+                (config, schedule, Rc::new(workload))
+            }
+        }
+    }
+
+    /// Build and run this preset under `seed`.
+    pub fn run(&self, seed: u64) -> ChaosReport {
+        let (config, schedule, workload) = self.build(seed);
+        run_scenario_with(config, schedule, workload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preset_names_are_unique_and_disjoint_from_the_legacy_drills() {
+        let mut names: Vec<&str> = MvccScenario::all().iter().map(|p| p.name()).collect();
+        names.extend(crate::Scenario::all().iter().map(|p| p.name()));
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn long_reader_mix_interleaves_unannotated_scans_with_conserving_writes() {
+        let workload = LongReaderOltpWorkload::drill_scale(3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let reader = workload.next_spec(&mut rng);
+        assert_eq!(reader.rounds.len(), 2, "readers span two rounds");
+        assert!(
+            !reader.annotate_last,
+            "readers must dodge the fast-path gate"
+        );
+        assert!(reader.all_ops().all(|op| !op.is_write()));
+        assert_eq!(reader.op_count() as u64, workload.scan_window);
+
+        let writer_a = workload.next_spec(&mut rng);
+        let writer_b = workload.next_spec(&mut rng);
+        for writer in [&writer_a, &writer_b] {
+            assert_eq!(writer.keys().len(), 1, "one key per writer");
+            let net: i64 = writer
+                .all_ops()
+                .map(|op| match op {
+                    ClientOp::AddInt { delta, .. } => *delta,
+                    other => panic!("unexpected op {other:?}"),
+                })
+                .sum();
+            assert_eq!(net, 0, "writers net zero");
+        }
+        assert_ne!(
+            writer_a.keys(),
+            writer_b.keys(),
+            "consecutive writers advance the cursor"
+        );
+    }
+
+    #[test]
+    fn write_skew_spec_reads_the_pair_and_writes_one_half() {
+        let workload = WriteSkewWorkload::drill_scale(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut targets = std::collections::BTreeSet::new();
+        for _ in 0..20 {
+            let spec = workload.next_spec(&mut rng);
+            assert_eq!(spec.op_count(), 3);
+            let reads = spec.all_ops().filter(|op| !op.is_write()).count();
+            assert_eq!(reads, 2, "both halves of the pair are read");
+            let write = spec.all_ops().find(|op| op.is_write()).unwrap();
+            targets.insert(write.key().row);
+        }
+        assert_eq!(
+            targets.into_iter().collect::<Vec<_>>(),
+            vec![0, 1],
+            "both halves get written across specs"
+        );
+    }
+
+    #[test]
+    fn presets_opt_into_the_new_engine_knobs() {
+        let (snap, _, _) = MvccScenario::LongReadersSnapshot.build(1);
+        assert_eq!(snap.isolation, IsolationLevel::SnapshotRead);
+        assert!(snap.snapshot_reads);
+        let (legacy, _, _) = MvccScenario::LongReaders2pl.build(1);
+        assert_eq!(legacy.isolation, IsolationLevel::Serializable2pl);
+        assert!(!legacy.snapshot_reads);
+        let (gc, schedule, _) = MvccScenario::GroupCommitCrashWindow.build(1);
+        assert_eq!(gc.group_commit_window, Duration::from_millis(10));
+        assert!(
+            schedule.last_fault_instant() + gc.decision_wait_timeout * 2 < gc.horizon,
+            "faults must heal comfortably before the horizon"
+        );
+    }
+}

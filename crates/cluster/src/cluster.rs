@@ -67,6 +67,10 @@ pub struct ClusterConfig {
     pub log_flush_cost: Duration,
     /// Populate per-transaction histories (chaos checkers).
     pub record_history: bool,
+    /// Commit unannotated read-only transactions via the snapshot-read fast
+    /// path (no prepare, no WAL flush). Passed through to each
+    /// [`MiddlewareConfig`].
+    pub snapshot_reads: bool,
     /// Seed for the coordinators' schedulers (slot index is mixed in).
     pub seed: u64,
     /// Graceful-degradation policy at each coordinator's capacity gate (only
@@ -103,6 +107,7 @@ impl ClusterConfig {
             analysis_cost: Duration::from_micros(200),
             log_flush_cost: Duration::from_micros(200),
             record_history: false,
+            snapshot_reads: false,
             seed: 42,
             admission: AdmissionPolicy::default(),
             session_reaper: None,
@@ -191,6 +196,7 @@ fn slot_middleware_config(
     mw_cfg.log_flush_cost = config.log_flush_cost;
     mw_cfg.decision_wait_timeout = config.decision_wait_timeout;
     mw_cfg.record_history = config.record_history;
+    mw_cfg.snapshot_reads = config.snapshot_reads;
     mw_cfg.scheduler.seed = config.seed.wrapping_add(coord as u64);
     mw_cfg.epoch = epoch;
     mw_cfg.first_txn_seq = first_txn_seq;

@@ -51,6 +51,7 @@ fn build_with(
             lock_wait_timeout: Duration::from_secs(2),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         },
         agent_lan_rtt: Duration::ZERO,
     });

@@ -29,6 +29,7 @@ fn build(coordinators: usize) -> Rc<CoordinatorCluster> {
             lock_wait_timeout: Duration::from_secs(2),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         },
         agent_lan_rtt: Duration::ZERO,
     });
@@ -197,6 +198,7 @@ fn worker_permit_is_held_for_the_whole_transaction() {
                 lock_wait_timeout: Duration::from_secs(2),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             },
             agent_lan_rtt: Duration::ZERO,
         });

@@ -31,6 +31,7 @@ fn layout(coordinators: usize, ds_rtts_ms: Vec<u64>) -> TierLayout {
             lock_wait_timeout: Duration::from_secs(2),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         },
         agent_lan_rtt: Duration::ZERO,
     }

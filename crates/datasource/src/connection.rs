@@ -112,6 +112,16 @@ impl DsConnection {
         .await
     }
 
+    /// Commit a branch that performed no writes (one WAN round trip, no
+    /// prepare, no WAL flush on the server). Fenced like a normal commit.
+    pub async fn commit_read_only(&self, xid: Xid) -> Result<(), StorageError> {
+        self.round_trip(async {
+            self.ds.fence_check(self.dm, self.epoch, xid)?;
+            self.ds.commit_read_only(xid)
+        })
+        .await
+    }
+
     /// Roll back a branch (one WAN round trip). Fenced like commit: the
     /// branch belongs to the adopting peer once the epoch is sealed.
     pub async fn rollback(&self, xid: Xid) -> Result<(), StorageError> {
@@ -163,6 +173,7 @@ mod tests {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             };
             let ds = DataSource::new(cfg, Rc::clone(&net));
             ds.load(Key::new(TableId(0), 1), Row::int(10));
@@ -212,6 +223,7 @@ mod tests {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             };
             let ds = DataSource::new(cfg, Rc::clone(&net));
             ds.load(Key::new(TableId(0), 1), Row::int(10));

@@ -541,6 +541,18 @@ impl DataSource {
         result
     }
 
+    /// Commit a branch that performed no writes: no prepare, no WAL flush, no
+    /// decision-apply cost. The engine refuses if the branch wrote anything,
+    /// so the fast path can never lose a durable decision.
+    pub fn commit_read_only(self: &Rc<Self>, xid: Xid) -> Result<(), StorageError> {
+        let result = self.engine.commit_read_only(xid);
+        self.branches.borrow_mut().remove(&xid);
+        if result.is_ok() {
+            self.mark_finished(xid);
+        }
+        result
+    }
+
     /// Roll back a branch on the middleware's request.
     pub async fn rollback(self: &Rc<Self>, xid: Xid) -> Result<(), StorageError> {
         self.engine.lock_manager().cancel_waiters(xid);
@@ -637,6 +649,7 @@ mod tests {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         };
         let ds = DataSource::new(cfg, Rc::clone(&net));
         ds.load(key(1), Row::int(100));
@@ -773,6 +786,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_millis(50),
                     cost: CostModel::zero(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 cfg.agent_lan_rtt = Duration::ZERO;
                 DataSource::new(cfg, Rc::clone(&net))
@@ -913,6 +927,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_secs(60),
                     cost: CostModel::zero(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 cfg.agent_lan_rtt = Duration::ZERO;
                 DataSource::new(cfg, Rc::clone(&net))

@@ -669,6 +669,7 @@ mod tests {
             lock_wait_timeout: Duration::from_secs(2),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         };
         let db = DistDb::new(
             config,

@@ -105,6 +105,7 @@ pub fn fig06_breakdown(scale: Scale) -> Vec<Table> {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::default(),
                 record_history: false,
+                ..EngineConfig::default()
             })
             .build();
         cluster.load_uniform(1_000, 10_000);
@@ -160,6 +161,7 @@ pub fn fig06_trace_breakdown(_scale: Scale) -> Vec<Table> {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::default(),
                 record_history: false,
+                ..EngineConfig::default()
             })
             .build();
         cluster.load_uniform(1_000, 10_000);

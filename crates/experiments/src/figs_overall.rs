@@ -105,6 +105,7 @@ pub fn fig15_multi_dm(scale: Scale) -> Vec<Table> {
                     lock_wait_timeout: Duration::from_secs(5),
                     cost: CostModel::default(),
                     record_history: false,
+                    ..EngineConfig::default()
                 });
             if multi {
                 builder = builder.extra_middleware(PAPER_DM2_RTTS_MS.to_vec());

@@ -59,6 +59,7 @@ fn drive(admission: AdmissionPolicy, scale: Scale) -> OverloadRow {
                 lock_wait_timeout: Duration::from_secs(2),
                 cost: CostModel::default(),
                 record_history: false,
+                ..EngineConfig::default()
             },
             agent_lan_rtt: Duration::from_micros(500),
         });

@@ -328,6 +328,7 @@ fn engine_config(lock_wait_timeout: Duration) -> EngineConfig {
         lock_wait_timeout,
         cost: CostModel::default(),
         record_history: false,
+        ..EngineConfig::default()
     }
 }
 

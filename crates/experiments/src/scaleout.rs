@@ -44,6 +44,7 @@ fn drive(coordinators: usize, scale: Scale) -> geotp::OpenLoopReport {
                 lock_wait_timeout: Duration::from_secs(2),
                 cost: CostModel::default(),
                 record_history: false,
+                ..EngineConfig::default()
             },
             agent_lan_rtt: Duration::from_micros(500),
         });

@@ -50,6 +50,10 @@ pub struct LiveTxn {
     scratch: TxnScratch,
     distributed: bool,
     annotated: bool,
+    /// True until the transaction issues anything besides a plain read; a
+    /// still-read-only transaction qualifies for the snapshot-read commit
+    /// fast path ([`MiddlewareConfig::snapshot_reads`]).
+    read_only: bool,
     rounds: usize,
     concluded: bool,
     #[cfg(feature = "history")]
@@ -240,6 +244,12 @@ pub struct MiddlewareConfig {
     /// (second-chance eviction; hot scripts survive capacity pressure).
     /// `0` disables the cache.
     pub sql_cache_capacity: usize,
+    /// Snapshot-read fast path: a live transaction that issued only plain
+    /// reads (no writes, no `FOR UPDATE`, no `/*+ last */` annotation)
+    /// commits read-only — one parallel `commit_read_only` per started
+    /// branch, no prepare round, no decision flush. Only meaningful when the
+    /// data sources run an MVCC isolation level; off by default.
+    pub snapshot_reads: bool,
 }
 
 /// The coordinator that allocated a gtrid (see `Middleware::alloc_gtrid` and
@@ -267,6 +277,7 @@ impl MiddlewareConfig {
             first_txn_seq: 1,
             epoch: 0,
             sql_cache_capacity: SQL_CACHE_MAX,
+            snapshot_reads: false,
         }
     }
 }
@@ -1623,6 +1634,7 @@ impl Middleware {
             scratch,
             distributed: false,
             annotated: false,
+            read_only: true,
             rounds: 0,
             concluded: false,
             #[cfg(feature = "history")]
@@ -1660,6 +1672,12 @@ impl Middleware {
         let mut fresh_keys: Vec<GlobalKey> = Vec::new();
         for op in ops {
             let key = op.key();
+            // Anything besides a plain read (writes, but also FOR UPDATE —
+            // it takes an exclusive lock) disqualifies the transaction from
+            // the read-only snapshot commit fast path.
+            if !matches!(op, ClientOp::Read(_)) {
+                txn.read_only = false;
+            }
             if !txn.scratch.keys.contains(&key) {
                 txn.scratch.keys.push(key);
                 fresh_keys.push(key);
@@ -1867,6 +1885,41 @@ impl Middleware {
                 ..TxnOutcome::default()
             };
             outcome.breakdown = txn.breakdown;
+            return self.finish_live(txn, outcome);
+        }
+        if self.config.snapshot_reads && txn.read_only && !txn.annotated {
+            // Snapshot-read fast path: every branch only read, so there is no
+            // decision to make durable — no prepare round, no log flush, just
+            // one parallel read-only commit per started branch. No commit
+            // dispatch span either: the trace oracle's flush-before-dispatch
+            // rule is about decisions, and this path decides nothing.
+            let commit_started = now();
+            let gtrid = txn.gtrid;
+            let started = txn.scratch.started_branches.clone();
+            let results = join_all(
+                started
+                    .iter()
+                    .map(|ds| {
+                        let conn = self.conn(*ds).clone();
+                        let xid = Xid::new(gtrid, *ds);
+                        async move { conn.commit_read_only(xid).await }
+                    })
+                    .collect(),
+            )
+            .await;
+            txn.breakdown.commit += now().duration_since(commit_started);
+            let committed = results.iter().all(Result::is_ok);
+            geotp_telemetry::counter_add("mw.readonly_commits", "", self.config.node.index(), 1);
+            let outcome = TxnOutcome {
+                gtrid,
+                committed,
+                abort_reason: (!committed).then_some(AbortReason::ExecutionFailed),
+                latency: now().duration_since(txn.started),
+                breakdown: txn.breakdown,
+                distributed: txn.distributed,
+                read_only: true,
+                ..TxnOutcome::default()
+            };
             return self.finish_live(txn, outcome);
         }
         let involved = txn.scratch.involved.clone();

@@ -85,6 +85,7 @@ mod tests {
                 lock_wait_timeout: Duration::from_secs(5),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             };
             cfg.dialect = if node == ds0 {
                 Dialect::Postgres
@@ -328,6 +329,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_millis(150),
                     cost: CostModel::zero(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 let ds = DataSource::new(cfg, Rc::clone(&net));
                 for row in 0..ROWS_PER_NODE {
@@ -795,6 +797,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_secs(5),
                     cost: CostModel::zero(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 let ds = DataSource::new(cfg, Rc::clone(&net));
                 for row in 0..ROWS_PER_NODE {
@@ -993,6 +996,117 @@ mod tests {
             assert_eq!(stats.decentralized_prepares, 5);
             assert!(stats.total_postpone_micros >= 5 * 80_000);
             assert!(stats.mean_commit_latency() >= Duration::from_millis(190));
+        });
+    }
+
+    /// Build the 2-source cluster with `SnapshotRead` engines and the
+    /// coordinator's snapshot-read fast path enabled.
+    fn snapshot_cluster() -> (Rc<Network>, Vec<Rc<DataSource>>, Rc<Middleware>) {
+        let dm = NodeId::middleware(0);
+        let ds0 = NodeId::data_source(0);
+        let ds1 = NodeId::data_source(1);
+        let net = NetworkBuilder::new(7)
+            .default_lan_rtt(Duration::ZERO)
+            .static_link(dm, ds0, Duration::from_millis(10))
+            .static_link(dm, ds1, Duration::from_millis(100))
+            .static_link(ds0, ds1, Duration::from_millis(100))
+            .build();
+        let mut sources = Vec::new();
+        for node in [ds0, ds1] {
+            let mut cfg = DataSourceConfig::new(node);
+            cfg.agent_lan_rtt = Duration::ZERO;
+            cfg.engine = EngineConfig {
+                lock_wait_timeout: Duration::from_secs(5),
+                cost: CostModel::zero(),
+                record_history: false,
+                isolation: geotp_storage::IsolationLevel::SnapshotRead,
+                ..EngineConfig::default()
+            };
+            let ds = DataSource::new(cfg, Rc::clone(&net));
+            for row in 0..ROWS_PER_NODE {
+                let global = node.index() as u64 * ROWS_PER_NODE + row;
+                ds.load(gk(global).storage_key(), Row::int(1000));
+            }
+            sources.push(ds);
+        }
+        for a in &sources {
+            for b in &sources {
+                if a.index() != b.index() {
+                    a.register_peer(b);
+                }
+            }
+        }
+        let mut cfg = MiddlewareConfig::new(
+            dm,
+            Protocol::geotp(),
+            Partitioner::Range {
+                rows_per_node: ROWS_PER_NODE,
+                nodes: 2,
+            },
+        );
+        cfg.analysis_cost = Duration::ZERO;
+        cfg.log_flush_cost = Duration::ZERO;
+        cfg.snapshot_reads = true;
+        let mw = Middleware::connect(cfg, Rc::clone(&net), &sources, None);
+        (net, sources, mw)
+    }
+
+    #[test]
+    fn snapshot_read_fast_path_commits_unannotated_read_only_txns() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, _sources, mw) = snapshot_cluster();
+            // An unannotated cross-source scan: both branches only read, so
+            // the coordinator must skip prepare and the WAL entirely.
+            let scan = TransactionSpec::multi_round(vec![
+                vec![ClientOp::Read(gk(1)), ClientOp::Read(gk(1001))],
+                vec![ClientOp::Read(gk(2))],
+            ])
+            .without_annotation();
+            let mut session = session::SessionService::connect(&mw, 11);
+            let outcome = session.run_spec(&scan).await;
+            assert!(outcome.committed);
+            assert!(outcome.read_only, "the fast path must mark the outcome");
+            assert_eq!(outcome.rows.len(), 3);
+            assert!(outcome.rows.iter().all(|r| r.int_value() == Some(1000)));
+            assert_eq!(
+                outcome.breakdown.prepare_wait,
+                Duration::ZERO,
+                "read-only commits never prepare"
+            );
+        });
+    }
+
+    #[test]
+    fn one_write_disqualifies_a_txn_from_the_read_only_fast_path() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let (_net, sources, mw) = snapshot_cluster();
+            let spec = TransactionSpec::multi_round(vec![
+                vec![ClientOp::Read(gk(1))],
+                vec![ClientOp::add(gk(1), 5)],
+                // Read-your-writes: the third round re-reads the row the
+                // transaction itself just wrote.
+                vec![ClientOp::Read(gk(1))],
+            ])
+            .without_annotation();
+            let mut session = session::SessionService::connect(&mw, 12);
+            let outcome = session.run_spec(&spec).await;
+            assert!(outcome.committed);
+            assert!(!outcome.read_only, "a write forces the full commit path");
+            assert_eq!(
+                outcome.rows.last().and_then(|r| r.int_value()),
+                Some(1005),
+                "a transaction reads its own uncommitted write"
+            );
+            assert_eq!(
+                sources[0]
+                    .engine()
+                    .peek(gk(1).storage_key())
+                    .unwrap()
+                    .int_value(),
+                Some(1005)
+            );
         });
     }
 }

@@ -182,6 +182,11 @@ pub struct TxnOutcome {
     /// long it suggests the client wait before retrying. `None` for every
     /// other outcome.
     pub retry_after: Option<Duration>,
+    /// Whether the transaction committed through the read-only snapshot fast
+    /// path: no prepare, no decision flush, no branch WAL flush. A read-only
+    /// commit needs no durable decision — durability checkers must not demand
+    /// one.
+    pub read_only: bool,
     /// The transaction's declared read/write key sets (only with the
     /// `history` cargo feature; see [`TxnHistory`]).
     #[cfg(feature = "history")]

@@ -16,6 +16,7 @@ use crate::history::{
     row_fingerprint, BranchHistory, ReadAccess, VersionedValue, WriteAccess, TOMBSTONE_FINGERPRINT,
 };
 use crate::lock::{LockManager, LockMode, LockStats};
+use crate::mvcc::{ChainVersion, VersionStore};
 use crate::row::Row;
 use crate::types::{Key, StorageError, TableId, Xid};
 use crate::wal::{LogRecord, WriteAheadLog};
@@ -57,6 +58,28 @@ impl CostModel {
     }
 }
 
+/// Concurrency-control mode for plain reads.
+///
+/// Writes (and `SELECT ... FOR UPDATE`) always go through strict 2PL in every
+/// mode; the isolation level only chooses how *plain reads* resolve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum IsolationLevel {
+    /// Strict two-phase locking: plain reads take shared locks and observe
+    /// the record store directly. Serializable; byte-identical to the legacy
+    /// engine behavior.
+    #[default]
+    Serializable2pl,
+    /// Multi-version snapshot reads: the first plain read pins a snapshot
+    /// timestamp and every later plain read resolves against the version
+    /// chain as of that instant — consistent, and entirely lock-free.
+    SnapshotRead,
+    /// Deliberately weaker: each plain read observes the newest committed
+    /// version *at its own execution instant* without pinning a snapshot.
+    /// Lock-free, but admits classic anomalies (non-repeatable reads, write
+    /// skew) that the serializability checker is expected to convict.
+    ReadCommitted,
+}
+
 /// Engine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -69,6 +92,13 @@ pub struct EngineConfig {
     /// Off by default: the recording costs a few hash lookups per statement,
     /// which performance workloads should not pay.
     pub record_history: bool,
+    /// Concurrency-control mode for plain reads (writes are always 2PL).
+    pub isolation: IsolationLevel,
+    /// Group-commit window: a committing branch parks this long so one WAL
+    /// flush amortizes across every branch that reaches its commit point in
+    /// the window. `Duration::ZERO` (the default) disables group commit and
+    /// keeps the legacy flush-per-commit behavior byte-identical.
+    pub group_commit_window: Duration,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +107,8 @@ impl Default for EngineConfig {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::default(),
             record_history: false,
+            isolation: IsolationLevel::Serializable2pl,
+            group_commit_window: Duration::ZERO,
         }
     }
 }
@@ -114,6 +146,11 @@ pub struct EngineStats {
     pub total_contention_span_micros: u64,
     /// Number of finished branches that held at least one lock.
     pub contention_span_samples: u64,
+    /// Plain reads served lock-free from the version store (MVCC modes).
+    pub snapshot_reads: u64,
+    /// Commit-window waits aborted because the engine crashed (or was
+    /// restarted) before the group flush made their records durable.
+    pub group_commit_aborted_waits: u64,
 }
 
 struct TxnEntry {
@@ -126,6 +163,10 @@ struct TxnEntry {
     /// Versioned reads recorded for serializability checking (only populated
     /// when [`EngineConfig::record_history`] is on).
     reads: Vec<ReadAccess>,
+    /// Snapshot timestamp pinned by the branch's first plain read under
+    /// [`IsolationLevel::SnapshotRead`]; registered with the version store so
+    /// GC cannot reclaim the versions the snapshot can reach.
+    snapshot_ts: Option<u64>,
 }
 
 impl TxnEntry {
@@ -135,8 +176,25 @@ impl TxnEntry {
             undo: Vec::new(),
             first_lock_at: None,
             reads: Vec::new(),
+            snapshot_ts: None,
         }
     }
+}
+
+/// Shared state of the engine's group-commit protocol: at most one committer
+/// is the *leader* (it sleeps out the commit window and performs the batched
+/// flush); every other committer parks on `notify` as a follower. A crash
+/// bumps `epoch` so parked committers — whose volatile records were just
+/// lost — fail instead of acknowledging a commit that is not durable.
+#[derive(Default)]
+struct GroupCommitState {
+    leader: Cell<bool>,
+    /// Followers parked waiting for the in-flight group flush.
+    pending: Cell<u64>,
+    /// Incremented by [`StorageEngine::crash`]; waiters from an older epoch
+    /// must abort (their WAL tail was truncated).
+    epoch: Cell<u64>,
+    notify: geotp_simrt::sync::Notify,
 }
 
 /// One simulated data source's storage engine.
@@ -164,6 +222,11 @@ pub struct StorageEngine {
     /// lock (0 = disabled). See [`StorageEngine::fail_point_bypass_read_locks`].
     read_bypass_stride: Cell<u64>,
     read_counter: Cell<u64>,
+    /// Per-key committed version chains (populated in the MVCC isolation
+    /// modes; empty under pure 2PL).
+    mvcc: VersionStore,
+    /// Group-commit window state (leader election + follower parking).
+    group: GroupCommitState,
 }
 
 impl StorageEngine {
@@ -182,6 +245,8 @@ impl StorageEngine {
             base_fingerprints: RefCell::new(FxHashMap::default()),
             read_bypass_stride: Cell::new(0),
             read_counter: Cell::new(0),
+            mvcc: VersionStore::new(),
+            group: GroupCommitState::default(),
         })
     }
 
@@ -211,9 +276,21 @@ impl StorageEngine {
         &self.locks
     }
 
+    /// Whether plain reads resolve against the version store instead of the
+    /// lock manager + record store.
+    fn mvcc_enabled(&self) -> bool {
+        self.config.isolation != IsolationLevel::Serializable2pl
+    }
+
+    /// The engine's version store (tests and GC audits). Empty under the
+    /// default [`IsolationLevel::Serializable2pl`].
+    pub fn version_store(&self) -> &VersionStore {
+        &self.mvcc
+    }
+
     /// Bulk-load a record without locking or logging (initial population).
     pub fn load(&self, key: Key, row: Row) {
-        if self.config.record_history {
+        if self.config.record_history || self.mvcc_enabled() {
             let fingerprint = row_fingerprint(&row);
             self.versions.borrow_mut().insert(
                 key,
@@ -223,6 +300,9 @@ impl StorageEngine {
                 },
             );
             self.base_fingerprints.borrow_mut().insert(key, fingerprint);
+            if self.mvcc_enabled() {
+                self.mvcc.load(key, row.clone(), fingerprint);
+            }
         }
         self.records.borrow_mut().insert(key, row);
     }
@@ -296,10 +376,15 @@ impl StorageEngine {
         }
     }
 
-    /// Read a record under a shared lock.
+    /// Read a record. Under the default 2PL isolation this takes a shared
+    /// lock and observes the record store; under the MVCC modes it is served
+    /// lock-free from the version chain (see [`IsolationLevel`]).
     pub async fn read(&self, xid: Xid, key: Key) -> Result<Row, StorageError> {
         self.check_available()?;
         self.ensure_active(xid)?;
+        if self.mvcc_enabled() {
+            return self.read_versioned(xid, key).await;
+        }
         if !self.bypass_read_lock() {
             self.lock(xid, key, LockMode::Shared).await?;
         }
@@ -336,6 +421,64 @@ impl StorageEngine {
             .ok_or(StorageError::KeyNotFound(key))?;
         self.record_read(xid, key, &row);
         Ok(row)
+    }
+
+    /// Serve a plain read from the version store: no lock acquisition in any
+    /// MVCC mode. `SnapshotRead` pins a snapshot timestamp at the branch's
+    /// first plain read and resolves every later read as of that instant;
+    /// `ReadCommitted` resolves each read at its own execution instant.
+    async fn read_versioned(&self, xid: Xid, key: Key) -> Result<Row, StorageError> {
+        sleep(self.config.cost.statement_execute).await;
+        // Re-check after the await: the branch may have been aborted (early
+        // abort from a peer geo-agent) while this statement was in flight.
+        self.ensure_active(xid)?;
+        self.stats.borrow_mut().reads += 1;
+        // Read-your-writes: the branch's own uncommitted writes (it holds
+        // their exclusive locks) are served from the record store. Such reads
+        // create no inter-transaction dependency and are never recorded.
+        let own_write = self
+            .txns
+            .borrow()
+            .get(&xid)
+            .is_some_and(|e| e.undo.iter().any(|(k, _)| *k == key));
+        if own_write {
+            return self
+                .records
+                .borrow()
+                .get(&key)
+                .cloned()
+                .ok_or(StorageError::KeyNotFound(key));
+        }
+        let version = match self.config.isolation {
+            IsolationLevel::SnapshotRead => {
+                let ts = self.snapshot_ts_of(xid);
+                self.mvcc.read_at(key, ts)
+            }
+            _ => self.mvcc.read_latest(key),
+        };
+        self.stats.borrow_mut().snapshot_reads += 1;
+        let version = version.ok_or(StorageError::KeyNotFound(key))?;
+        let row = version.row.clone().ok_or(StorageError::KeyNotFound(key))?;
+        self.record_versioned_read(xid, key, &version);
+        Ok(row)
+    }
+
+    /// The branch's pinned snapshot timestamp, pinning one (and registering
+    /// it with the version store's GC horizon) on the first call.
+    fn snapshot_ts_of(&self, xid: Xid) -> u64 {
+        let mut txns = self.txns.borrow_mut();
+        let Some(entry) = txns.get_mut(&xid) else {
+            return now().as_micros();
+        };
+        match entry.snapshot_ts {
+            Some(ts) => ts,
+            None => {
+                let ts = now().as_micros();
+                entry.snapshot_ts = Some(ts);
+                self.mvcc.open_snapshot(ts);
+                ts
+            }
+        }
     }
 
     /// Checker-validation fail point: make every `stride`-th read on this
@@ -386,6 +529,33 @@ impl StorageEngine {
         if entry.undo.iter().any(|(k, _)| *k == key) {
             return;
         }
+        if entry
+            .reads
+            .iter()
+            .any(|r| r.key == key && r.observed == observed)
+        {
+            return;
+        }
+        entry.reads.push(ReadAccess { key, observed });
+    }
+
+    /// Record a version-store read into the branch's access history. Unlike
+    /// [`StorageEngine::record_read`], the observation is the *actual chain
+    /// version served* — the checker validates against real version chains,
+    /// not recorder shadows. Own-write reads never reach here (filtered in
+    /// [`StorageEngine::read_versioned`]).
+    fn record_versioned_read(&self, xid: Xid, key: Key, version: &ChainVersion) {
+        if !self.config.record_history {
+            return;
+        }
+        let observed = VersionedValue {
+            version: version.version,
+            fingerprint: version.fingerprint,
+        };
+        let mut txns = self.txns.borrow_mut();
+        let Some(entry) = txns.get_mut(&xid) else {
+            return;
+        };
         if entry
             .reads
             .iter()
@@ -532,15 +702,69 @@ impl StorageEngine {
         }
         self.wal.append(LogRecord::Prepare(xid));
         sleep(self.config.cost.prepare).await;
-        self.wal.flush();
+        self.flush_wal().await?;
         self.stats.borrow_mut().prepares += 1;
         Ok(())
+    }
+
+    /// Make the WAL durable up to this branch's records. With group commit
+    /// disabled (the default) this is an immediate solo flush; otherwise the
+    /// caller joins the group-commit window and only returns once its
+    /// watermark is durable — or with an error if a crash intervened, in
+    /// which case the commit must NOT be acknowledged (§V-A: a decision
+    /// record lost from the volatile tail aborts on recovery).
+    async fn flush_wal(&self) -> Result<(), StorageError> {
+        if self.config.group_commit_window.is_zero() {
+            self.wal.flush();
+            return Ok(());
+        }
+        self.group_flush().await
+    }
+
+    /// Group commit: the first committer to arrive becomes the leader, sleeps
+    /// out the commit window, and flushes once on behalf of everyone who
+    /// arrived meanwhile (the followers park on the notify). Everyone checks
+    /// their own durable watermark — acknowledgement strictly follows
+    /// durability.
+    async fn group_flush(&self) -> Result<(), StorageError> {
+        let target = self.wal.len();
+        let epoch0 = self.group.epoch.get();
+        loop {
+            if self.wal.durable_len() >= target {
+                return Ok(());
+            }
+            if self.crashed.get() || self.group.epoch.get() != epoch0 {
+                self.stats.borrow_mut().group_commit_aborted_waits += 1;
+                return Err(StorageError::Unavailable);
+            }
+            if !self.group.leader.get() {
+                self.group.leader.set(true);
+                sleep(self.config.group_commit_window).await;
+                if self.crashed.get() || self.group.epoch.get() != epoch0 {
+                    // The crash reset the group state (and truncated the
+                    // volatile tail this flush would have covered); the new
+                    // epoch's leader flag is not ours to clear.
+                    self.stats.borrow_mut().group_commit_aborted_waits += 1;
+                    return Err(StorageError::Unavailable);
+                }
+                self.group.leader.set(false);
+                let batch = self.group.pending.replace(0) + 1;
+                self.wal.flush_group(batch);
+                self.group.notify.notify_waiters();
+                return Ok(());
+            }
+            self.group.pending.set(self.group.pending.get() + 1);
+            self.group.notify.notified().await;
+        }
     }
 
     fn finish(&self, xid: Xid, committed: bool) {
         let entry = self.txns.borrow_mut().remove(&xid);
         let Some(mut entry) = entry else { return };
-        if committed && self.config.record_history {
+        if let Some(ts) = entry.snapshot_ts {
+            self.mvcc.close_snapshot(ts);
+        }
+        if committed && (self.config.record_history || self.mvcc_enabled()) {
             self.record_commit_history(xid, &mut entry);
         }
         let released = self.locks.release_all(xid);
@@ -558,9 +782,12 @@ impl StorageEngine {
         }
     }
 
-    /// History recording at commit: every key the branch wrote installs the
+    /// Commit-time version install: every key the branch wrote installs the
     /// key's next committed version, fingerprinted from the (now committed)
-    /// record store, and the branch's access history becomes part of
+    /// record store. In the MVCC modes the new version is also appended to
+    /// the key's chain, every key stamped with the *same* commit instant so
+    /// the whole commit is atomic in snapshot space; with history recording
+    /// on, the branch's access history becomes part of
     /// [`StorageEngine::committed_history`]. Runs atomically with the lock
     /// release in [`StorageEngine::finish`] — under strict 2PL no other
     /// branch can touch these keys until the locks drop, so version order
@@ -572,30 +799,43 @@ impl StorageEngine {
                 write_keys.push(*key);
             }
         }
-        let records = self.records.borrow();
-        let mut versions = self.versions.borrow_mut();
-        let writes: Vec<WriteAccess> = write_keys
-            .into_iter()
-            .map(|key| {
-                let fingerprint = records
-                    .get(&key)
-                    .map(row_fingerprint)
-                    .unwrap_or(TOMBSTONE_FINGERPRINT);
-                let slot = versions.entry(key).or_insert(VersionedValue {
-                    version: 0,
-                    fingerprint: 0,
-                });
-                slot.version += 1;
-                slot.fingerprint = fingerprint;
-                let installed = *slot;
-                WriteAccess { key, installed }
-            })
-            .collect();
-        self.history.borrow_mut().push(BranchHistory {
-            xid,
-            reads: std::mem::take(&mut entry.reads),
-            writes,
-        });
+        let mvcc_enabled = self.mvcc_enabled();
+        let commit_ts = now().as_micros();
+        let writes: Vec<WriteAccess> = {
+            let records = self.records.borrow();
+            let mut versions = self.versions.borrow_mut();
+            write_keys
+                .into_iter()
+                .map(|key| {
+                    let row = records.get(&key);
+                    let fingerprint = row.map(row_fingerprint).unwrap_or(TOMBSTONE_FINGERPRINT);
+                    let slot = versions.entry(key).or_insert(VersionedValue {
+                        version: 0,
+                        fingerprint: 0,
+                    });
+                    slot.version += 1;
+                    slot.fingerprint = fingerprint;
+                    let installed = *slot;
+                    if mvcc_enabled {
+                        self.mvcc.install(
+                            key,
+                            installed.version,
+                            commit_ts,
+                            row.cloned(),
+                            fingerprint,
+                        );
+                    }
+                    WriteAccess { key, installed }
+                })
+                .collect()
+        };
+        if self.config.record_history {
+            self.history.borrow_mut().push(BranchHistory {
+                xid,
+                reads: std::mem::take(&mut entry.reads),
+                writes,
+            });
+        }
     }
 
     /// The versioned access histories of every branch committed on this
@@ -657,7 +897,39 @@ impl StorageEngine {
         }
         self.wal.append(LogRecord::Commit(xid));
         sleep(self.config.cost.decision_apply).await;
-        self.wal.flush();
+        self.flush_wal().await?;
+        self.finish(xid, true);
+        Ok(())
+    }
+
+    /// Commit a branch that performed no writes. Valid from `Active`/`Ended`;
+    /// pays no WAL append, no flush and no decision-apply cost — a read-only
+    /// branch needs no durable decision (there is nothing to redo or undo).
+    /// Its recorded reads still enter the committed history, so the
+    /// serializability checker sees the snapshot it observed.
+    pub fn commit_read_only(&self, xid: Xid) -> Result<(), StorageError> {
+        self.check_available()?;
+        {
+            let txns = self.txns.borrow();
+            let entry = txns
+                .get(&xid)
+                .ok_or(StorageError::UnknownTransaction(xid))?;
+            if !matches!(entry.state, XaState::Active | XaState::Ended) {
+                return Err(StorageError::InvalidState {
+                    xid,
+                    reason: "read-only commit requires an ACTIVE or ENDED branch",
+                });
+            }
+            if !entry.undo.is_empty() {
+                return Err(StorageError::InvalidState {
+                    xid,
+                    reason: "read-only commit on a branch that wrote",
+                });
+            }
+        }
+        // The decision record keeps WAL compaction effective (the branch's
+        // Begin would otherwise pin log space forever); it needs no flush.
+        self.wal.append(LogRecord::Commit(xid));
         self.finish(xid, true);
         Ok(())
     }
@@ -680,7 +952,7 @@ impl StorageEngine {
         self.undo_writes(xid);
         self.wal.append(LogRecord::Abort(xid));
         sleep(self.config.cost.decision_apply).await;
-        self.wal.flush();
+        self.flush_wal().await?;
         self.finish(xid, false);
         geotp_telemetry::counter_add("storage.branch_rollbacks", "", xid.bqual, 1);
         Ok(())
@@ -761,6 +1033,14 @@ impl StorageEngine {
         self.crashed.set(true);
         self.wal.truncate_to_durable();
         self.locks.cancel_all_waiters();
+        // Reset the group-commit window: the epoch bump makes every parked
+        // committer (leader mid-window or follower on the notify) fail
+        // instead of acknowledging a commit whose record was just truncated
+        // from the volatile tail.
+        self.group.epoch.set(self.group.epoch.get() + 1);
+        self.group.pending.set(0);
+        self.group.leader.set(false);
+        self.group.notify.notify_waiters();
     }
 
     /// Restart after a crash: branches whose prepare record is durable come
@@ -817,6 +1097,7 @@ mod tests {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         });
         eng.load(key(1), Row::int(100));
         eng.load(key(2), Row::int(200));
@@ -967,6 +1248,7 @@ mod tests {
                 lock_wait_timeout: Duration::from_millis(50),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             });
             eng.load(key(1), Row::int(0));
             eng.begin(xid(1)).unwrap();
@@ -1043,6 +1325,7 @@ mod tests {
                 lock_wait_timeout: Duration::from_secs(60),
                 cost: CostModel::zero(),
                 record_history: false,
+                ..EngineConfig::default()
             });
             eng.load(key(1), Row::int(0));
             eng.begin(xid(1)).unwrap();
@@ -1089,6 +1372,7 @@ mod tests {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
             record_history: true,
+            ..EngineConfig::default()
         });
         eng.load(key(1), Row::int(100));
         eng.load(key(2), Row::int(200));
@@ -1214,6 +1498,249 @@ mod tests {
         });
     }
 
+    fn mvcc_engine(isolation: IsolationLevel) -> Rc<StorageEngine> {
+        let eng = StorageEngine::new(EngineConfig {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::zero(),
+            record_history: true,
+            isolation,
+            ..EngineConfig::default()
+        });
+        eng.load(key(1), Row::int(100));
+        eng.load(key(2), Row::int(200));
+        eng
+    }
+
+    #[test]
+    fn snapshot_reads_do_not_block_on_writers() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            // Writer holds the exclusive lock with uncommitted data...
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 77).await.unwrap();
+            // ...and a snapshot reader neither blocks nor sees it.
+            eng.begin(xid(2)).unwrap();
+            let started = now();
+            let row = eng.read(xid(2), key(1)).await.unwrap();
+            assert_eq!(now(), started, "the read must not wait on any lock");
+            assert_eq!(row.int_value(), Some(100));
+            assert_eq!(eng.stats().snapshot_reads, 1);
+            eng.commit_read_only(xid(2)).unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn snapshot_read_pins_a_repeatable_snapshot() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            eng.begin(xid(2)).unwrap();
+            assert_eq!(
+                eng.read(xid(2), key(1)).await.unwrap().int_value(),
+                Some(100)
+            );
+            // A concurrent writer commits a new version...
+            geotp_simrt::sleep(Duration::from_millis(1)).await;
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 50).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(150));
+            // ...which the pinned snapshot must not observe.
+            assert_eq!(
+                eng.read(xid(2), key(1)).await.unwrap().int_value(),
+                Some(100)
+            );
+            eng.commit_read_only(xid(2)).unwrap();
+            // A fresh branch snapshots after the commit and sees it.
+            eng.begin(xid(3)).unwrap();
+            assert_eq!(
+                eng.read(xid(3), key(1)).await.unwrap().int_value(),
+                Some(150)
+            );
+            eng.commit_read_only(xid(3)).unwrap();
+        });
+    }
+
+    #[test]
+    fn read_committed_observes_each_new_commit() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::ReadCommitted);
+            eng.begin(xid(2)).unwrap();
+            assert_eq!(
+                eng.read(xid(2), key(1)).await.unwrap().int_value(),
+                Some(100)
+            );
+            geotp_simrt::sleep(Duration::from_millis(1)).await;
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 50).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            // Non-repeatable read: the same branch sees the new version.
+            assert_eq!(
+                eng.read(xid(2), key(1)).await.unwrap().int_value(),
+                Some(150)
+            );
+            eng.commit_read_only(xid(2)).unwrap();
+        });
+    }
+
+    #[test]
+    fn mvcc_reads_observe_own_uncommitted_writes() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 5).await.unwrap();
+            // Read-your-writes inside the branch, lock-free for other keys.
+            assert_eq!(
+                eng.read(xid(1), key(1)).await.unwrap().int_value(),
+                Some(105)
+            );
+            eng.commit(xid(1), true).await.unwrap();
+            // The own-write read is not part of the committed history.
+            let history = eng.committed_history();
+            assert_eq!(history.len(), 1);
+            assert!(history[0].reads.is_empty());
+        });
+    }
+
+    #[test]
+    fn versioned_reads_record_the_real_chain_version() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            eng.commit(xid(1), true).await.unwrap();
+            geotp_simrt::sleep(Duration::from_millis(1)).await;
+            eng.begin(xid(2)).unwrap();
+            eng.read(xid(2), key(1)).await.unwrap();
+            eng.add_int(xid(2), key(2), 0, 1).await.unwrap();
+            eng.commit(xid(2), true).await.unwrap();
+            let history = eng.committed_history();
+            // T2's read observed T1's installed chain version (v1), with the
+            // fingerprint taken from the chain itself.
+            assert_eq!(history[1].reads[0].observed, history[0].writes[0].installed);
+            let chain_tip = eng.version_store().read_latest(key(1)).unwrap();
+            assert_eq!(chain_tip.version, history[0].writes[0].installed.version);
+            assert_eq!(
+                chain_tip.fingerprint,
+                history[0].writes[0].installed.fingerprint
+            );
+        });
+    }
+
+    #[test]
+    fn snapshot_gc_reclaims_versions_behind_the_horizon() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            for n in 0..10 {
+                geotp_simrt::sleep(Duration::from_millis(1)).await;
+                eng.begin(xid(10 + n)).unwrap();
+                eng.add_int(xid(10 + n), key(1), 0, 1).await.unwrap();
+                eng.commit(xid(10 + n), true).await.unwrap();
+            }
+            // No snapshot is open: an explicit GC collapses the chain.
+            eng.version_store().gc();
+            assert_eq!(eng.version_store().chain_len(key(1)), 1);
+            assert!(eng.version_store().stats().versions_gced >= 9);
+        });
+    }
+
+    fn group_commit_engine(window: Duration) -> Rc<StorageEngine> {
+        let eng = StorageEngine::new(EngineConfig {
+            lock_wait_timeout: Duration::from_secs(5),
+            cost: CostModel::zero(),
+            record_history: false,
+            group_commit_window: window,
+            ..EngineConfig::default()
+        });
+        for n in 1..=8 {
+            eng.load(key(n), Row::int(0));
+        }
+        eng
+    }
+
+    #[test]
+    fn group_commit_amortizes_one_flush_across_committers() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = group_commit_engine(Duration::from_millis(1));
+            let mut handles = Vec::new();
+            for n in 1..=8 {
+                let eng = Rc::clone(&eng);
+                handles.push(spawn(async move {
+                    eng.begin(xid(n)).unwrap();
+                    eng.add_int(xid(n), key(n), 0, 1).await.unwrap();
+                    eng.commit(xid(n), true).await.unwrap();
+                }));
+            }
+            for h in handles {
+                h.await;
+            }
+            assert_eq!(eng.stats().commits, 8);
+            assert_eq!(
+                eng.wal().flush_count(),
+                1,
+                "eight concurrent commits share one group flush"
+            );
+            // Acknowledgement strictly followed durability.
+            assert_eq!(eng.wal().durable_len(), eng.wal().len());
+        });
+    }
+
+    #[test]
+    fn crash_inside_the_commit_window_aborts_unacknowledged_commits() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = group_commit_engine(Duration::from_millis(10));
+            eng.begin(xid(1)).unwrap();
+            eng.add_int(xid(1), key(1), 0, 1).await.unwrap();
+            let eng2 = Rc::clone(&eng);
+            let committer = spawn(async move { eng2.commit(xid(1), true).await });
+            // The Commit record sits in the volatile tail, parked on the
+            // commit window, when the crash hits.
+            geotp_simrt::sleep(Duration::from_millis(2)).await;
+            eng.crash();
+            let err = committer.await.unwrap_err();
+            assert!(matches!(err, StorageError::Unavailable));
+            assert!(eng.stats().group_commit_aborted_waits >= 1);
+            // §V-A: the unacknowledged commit rolls back on recovery.
+            eng.restart().await;
+            assert_eq!(eng.peek(key(1)).unwrap().int_value(), Some(0));
+            assert_eq!(eng.stats().commits, 0);
+        });
+    }
+
+    #[test]
+    fn commit_read_only_needs_no_flush_but_keeps_history() {
+        let mut rt = Runtime::new();
+        rt.block_on(async {
+            let eng = mvcc_engine(IsolationLevel::SnapshotRead);
+            eng.begin(xid(1)).unwrap();
+            eng.read(xid(1), key(1)).await.unwrap();
+            eng.commit_read_only(xid(1)).unwrap();
+            assert_eq!(eng.wal().flush_count(), 0, "nothing to make durable");
+            assert_eq!(eng.stats().commits, 1);
+            // The reads still enter the committed history for the checker.
+            let history = eng.committed_history();
+            assert_eq!(history.len(), 1);
+            assert_eq!(history[0].reads.len(), 1);
+            assert!(history[0].writes.is_empty());
+            // A branch that wrote must be refused.
+            eng.begin(xid(2)).unwrap();
+            eng.add_int(xid(2), key(2), 0, 1).await.unwrap();
+            assert!(matches!(
+                eng.commit_read_only(xid(2)).unwrap_err(),
+                StorageError::InvalidState { .. }
+            ));
+            eng.rollback(xid(2)).await.unwrap();
+        });
+    }
+
     #[test]
     fn costs_are_charged_in_virtual_time() {
         let mut rt = Runtime::new();
@@ -1226,6 +1753,7 @@ mod tests {
                     decision_apply: Duration::from_millis(3),
                 },
                 record_history: false,
+                ..EngineConfig::default()
             });
             eng.load(key(1), Row::int(0));
             let start = now();

@@ -9,7 +9,13 @@
 //!   record locks, FIFO wait queues, lock upgrades and a lock-wait timeout
 //!   (the paper configures MySQL/PostgreSQL with a 5 s timeout),
 //! * a write-ahead log ([`wal::WriteAheadLog`]) whose flush latency is part of
-//!   the simulated prepare cost,
+//!   the simulated prepare cost, with optional group commit (one flush
+//!   amortized across a commit window of concurrently-committing branches),
+//! * a multi-version store ([`mvcc::VersionStore`]): per-key version chains
+//!   stamped with virtual-time commit timestamps, behind an
+//!   [`engine::IsolationLevel`] knob — `Serializable2pl` (the default, pure
+//!   2PL), `SnapshotRead` (lock-free consistent snapshots) and the
+//!   deliberately weaker `ReadCommitted`,
 //! * an XA participant state machine (`ACTIVE → ENDED → PREPARED →
 //!   COMMITTED/ABORTED`) with crash/recovery semantics matching the two
 //!   assumptions the paper relies on (§V-A ❶❷): unprepared subtransactions are
@@ -22,14 +28,16 @@
 pub mod engine;
 pub mod history;
 pub mod lock;
+pub mod mvcc;
 pub mod row;
 pub mod small_vec;
 pub mod types;
 pub mod wal;
 
-pub use engine::{CostModel, EngineConfig, EngineStats, StorageEngine, XaState};
+pub use engine::{CostModel, EngineConfig, EngineStats, IsolationLevel, StorageEngine, XaState};
 pub use history::{row_fingerprint, BranchHistory, ReadAccess, VersionedValue, WriteAccess};
 pub use lock::{LockError, LockManager, LockMode, LockStats};
+pub use mvcc::{ChainVersion, MvccStats, VersionStore};
 pub use row::{Row, Value};
 pub use small_vec::SmallVec;
 pub use types::{Key, StorageError, TableId, Xid};

@@ -1,0 +1,278 @@
+//! Multi-version storage: per-key version chains stamped with virtual-time
+//! commit timestamps.
+//!
+//! The version store sits beside the record store. Writers still go through
+//! strict 2PL and mutate the records map; at commit, [`StorageEngine`]
+//! installs one [`ChainVersion`] per written key, all stamped with the same
+//! commit instant. Snapshot readers never consult the records map (it holds
+//! uncommitted writer data) — they resolve against the chain, visible-as-of
+//! their snapshot timestamp, and acquire **no locks**.
+//!
+//! Garbage collection prunes chain prefixes no open snapshot can reach: for
+//! each key, every version strictly older than the newest version visible at
+//! the oldest open snapshot is dead. GC is triggered deterministically (an
+//! install-count stride plus every snapshot close), so replays stay
+//! bit-identical.
+//!
+//! [`StorageEngine`]: crate::engine::StorageEngine
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use geotp_simrt::hash::FxHashMap;
+
+use crate::row::Row;
+use crate::types::Key;
+
+/// One committed version of one key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChainVersion {
+    /// Monotonic per-key version number (v0 = bulk load), shared with the
+    /// history recorder's numbering so the serializability checker sees one
+    /// consistent version space.
+    pub version: u64,
+    /// Commit timestamp in virtual microseconds (0 for bulk-loaded rows).
+    pub commit_ts: u64,
+    /// The committed value (`None` = tombstone: the key was deleted).
+    pub row: Option<Row>,
+    /// FNV-1a fingerprint of the value (tombstone fingerprint for deletes).
+    pub fingerprint: u64,
+}
+
+/// Version-store counters (GC effectiveness, chain growth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MvccStats {
+    /// Versions installed by committed branches (excludes bulk load).
+    pub versions_installed: u64,
+    /// Versions reclaimed by garbage collection.
+    pub versions_gced: u64,
+    /// Number of GC passes run.
+    pub gc_passes: u64,
+}
+
+/// Run a GC pass after this many installs (amortizes the full-map scan;
+/// deterministic, so replay fingerprints are unaffected).
+const GC_INSTALL_STRIDE: u64 = 64;
+
+/// Per-key version chains plus the open-snapshot registry that bounds GC.
+#[derive(Debug, Default)]
+pub struct VersionStore {
+    chains: RefCell<FxHashMap<Key, Vec<ChainVersion>>>,
+    /// Open snapshot timestamps → refcount (several branches may pin the
+    /// same virtual instant).
+    open_snapshots: RefCell<BTreeMap<u64, u64>>,
+    installs_since_gc: Cell<u64>,
+    stats: Cell<MvccStats>,
+}
+
+impl VersionStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install the bulk-loaded version 0 of a key (no GC accounting: load
+    /// happens before any snapshot opens).
+    pub fn load(&self, key: Key, row: Row, fingerprint: u64) {
+        self.chains.borrow_mut().insert(
+            key,
+            vec![ChainVersion {
+                version: 0,
+                commit_ts: 0,
+                row: Some(row),
+                fingerprint,
+            }],
+        );
+    }
+
+    /// Append a committed version to a key's chain. The caller stamps every
+    /// key of one commit with the same `commit_ts`, making the commit atomic
+    /// in snapshot space.
+    pub fn install(
+        &self,
+        key: Key,
+        version: u64,
+        commit_ts: u64,
+        row: Option<Row>,
+        fingerprint: u64,
+    ) {
+        let mut chains = self.chains.borrow_mut();
+        let chain = chains.entry(key).or_default();
+        chain.push(ChainVersion {
+            version,
+            commit_ts,
+            row,
+            fingerprint,
+        });
+        geotp_telemetry::observe(
+            "storage.version_chain_len",
+            "",
+            0,
+            Duration::from_micros(chain.len() as u64),
+        );
+        drop(chains);
+        let mut stats = self.stats.get();
+        stats.versions_installed += 1;
+        self.stats.set(stats);
+        let n = self.installs_since_gc.get() + 1;
+        if n >= GC_INSTALL_STRIDE {
+            self.installs_since_gc.set(0);
+            self.gc();
+        } else {
+            self.installs_since_gc.set(n);
+        }
+    }
+
+    /// The newest version with `commit_ts <= ts`, i.e. what a snapshot taken
+    /// at `ts` observes. `None` when the key had no committed version yet.
+    pub fn read_at(&self, key: Key, ts: u64) -> Option<ChainVersion> {
+        self.chains
+            .borrow()
+            .get(&key)?
+            .iter()
+            .rev()
+            .find(|v| v.commit_ts <= ts)
+            .cloned()
+    }
+
+    /// The newest committed version of a key (read-committed visibility).
+    pub fn read_latest(&self, key: Key) -> Option<ChainVersion> {
+        self.chains.borrow().get(&key)?.last().cloned()
+    }
+
+    /// Register an open snapshot at `ts`, pinning versions it can reach
+    /// against GC.
+    pub fn open_snapshot(&self, ts: u64) {
+        *self.open_snapshots.borrow_mut().entry(ts).or_insert(0) += 1;
+    }
+
+    /// Release one reference on the snapshot at `ts`; runs a GC pass when the
+    /// snapshot fully closes (it may have been the GC horizon).
+    pub fn close_snapshot(&self, ts: u64) {
+        let fully_closed = {
+            let mut open = self.open_snapshots.borrow_mut();
+            match open.get_mut(&ts) {
+                Some(count) if *count > 1 => {
+                    *count -= 1;
+                    false
+                }
+                Some(_) => {
+                    open.remove(&ts);
+                    true
+                }
+                None => false,
+            }
+        };
+        if fully_closed {
+            self.gc();
+        }
+    }
+
+    /// The oldest open snapshot timestamp, if any (the GC horizon).
+    pub fn oldest_open_snapshot(&self) -> Option<u64> {
+        self.open_snapshots.borrow().keys().next().copied()
+    }
+
+    /// Length of a key's version chain (tests and telemetry audits).
+    pub fn chain_len(&self, key: Key) -> usize {
+        self.chains.borrow().get(&key).map_or(0, Vec::len)
+    }
+
+    /// Version-store counters.
+    pub fn stats(&self) -> MvccStats {
+        self.stats.get()
+    }
+
+    /// Prune versions no open snapshot can reach: per key, everything
+    /// strictly older than the newest version visible at the oldest open
+    /// snapshot (or everything but the tip when no snapshot is open).
+    pub fn gc(&self) {
+        let horizon = self.oldest_open_snapshot().unwrap_or(u64::MAX);
+        let mut reclaimed = 0u64;
+        let mut chains = self.chains.borrow_mut();
+        for chain in chains.values_mut() {
+            // Index of the newest version with commit_ts <= horizon; versions
+            // before it are unreachable by any current or future snapshot.
+            let keep_from = chain
+                .iter()
+                .rposition(|v| v.commit_ts <= horizon)
+                .unwrap_or(0);
+            if keep_from > 0 {
+                reclaimed += keep_from as u64;
+                chain.drain(..keep_from);
+            }
+        }
+        drop(chains);
+        let mut stats = self.stats.get();
+        stats.versions_gced += reclaimed;
+        stats.gc_passes += 1;
+        self.stats.set(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TableId;
+
+    fn key(row: u64) -> Key {
+        Key::new(TableId(0), row)
+    }
+
+    fn store_with_versions(ts_list: &[u64]) -> VersionStore {
+        let store = VersionStore::new();
+        store.load(key(1), Row::int(0), 1);
+        for (i, ts) in ts_list.iter().enumerate() {
+            store.install(key(1), (i + 1) as u64, *ts, Some(Row::int(i as i64)), 2);
+        }
+        store
+    }
+
+    #[test]
+    fn read_at_resolves_snapshot_visibility() {
+        let store = store_with_versions(&[100, 200, 300]);
+        assert_eq!(store.read_at(key(1), 0).unwrap().version, 0);
+        assert_eq!(store.read_at(key(1), 150).unwrap().version, 1);
+        assert_eq!(store.read_at(key(1), 200).unwrap().version, 2);
+        assert_eq!(store.read_at(key(1), 999).unwrap().version, 3);
+        assert_eq!(store.read_latest(key(1)).unwrap().version, 3);
+        assert!(store.read_at(key(9), 999).is_none());
+    }
+
+    #[test]
+    fn gc_prunes_below_oldest_open_snapshot() {
+        let store = store_with_versions(&[100, 200, 300]);
+        store.open_snapshot(250); // sees version 2 (ts=200)
+        store.gc();
+        // Versions 0 (ts 0) and 1 (ts 100) are unreachable; 2 and 3 survive.
+        assert_eq!(store.chain_len(key(1)), 2);
+        assert_eq!(store.read_at(key(1), 250).unwrap().version, 2);
+        // Closing the snapshot collapses the chain to the tip.
+        store.close_snapshot(250);
+        assert_eq!(store.chain_len(key(1)), 1);
+        assert_eq!(store.read_latest(key(1)).unwrap().version, 3);
+        assert!(store.stats().versions_gced >= 3);
+    }
+
+    #[test]
+    fn snapshot_refcounts_pin_the_horizon() {
+        let store = store_with_versions(&[100, 200]);
+        store.open_snapshot(150);
+        store.open_snapshot(150);
+        store.close_snapshot(150);
+        // One reference remains: version 1 (ts=100) must stay reachable.
+        store.gc();
+        assert_eq!(store.read_at(key(1), 150).unwrap().version, 1);
+        store.close_snapshot(150);
+        assert_eq!(store.chain_len(key(1)), 1);
+    }
+
+    #[test]
+    fn tombstones_are_versions_too() {
+        let store = store_with_versions(&[100]);
+        store.install(key(1), 2, 200, None, crate::history::TOMBSTONE_FINGERPRINT);
+        assert!(store.read_at(key(1), 150).unwrap().row.is_some());
+        assert!(store.read_at(key(1), 250).unwrap().row.is_none());
+    }
+}

@@ -79,8 +79,28 @@ impl WriteAheadLog {
         self.records.borrow_mut().push(record);
     }
 
-    /// Make every appended record durable.
+    /// Make every appended record durable (a solo flush: one committer, one
+    /// fsync).
     pub fn flush(&self) {
+        self.do_flush();
+        geotp_telemetry::counter_add("storage.wal_flushes", "solo", 0, 1);
+    }
+
+    /// Make every appended record durable on behalf of `batch` concurrently
+    /// committing branches (group commit: one fsync amortized across the
+    /// whole commit window).
+    pub fn flush_group(&self, batch: u64) {
+        self.do_flush();
+        geotp_telemetry::counter_add("storage.wal_flushes", "group", 0, 1);
+        geotp_telemetry::observe(
+            "storage.group_commit_batch",
+            "",
+            0,
+            std::time::Duration::from_micros(batch),
+        );
+    }
+
+    fn do_flush(&self) {
         let mut records = self.records.borrow_mut();
         if records.len() >= COMPACT_THRESHOLD {
             // Checkpoint: everything is durable after this flush, so records
@@ -99,12 +119,16 @@ impl WriteAheadLog {
         }
         *self.durable_len.borrow_mut() = records.len();
         *self.flush_count.borrow_mut() += 1;
-        geotp_telemetry::counter_add("storage.wal_flushes", "", 0, 1);
     }
 
     /// Number of flush (fsync) operations performed.
     pub fn flush_count(&self) -> u64 {
         *self.flush_count.borrow()
+    }
+
+    /// Number of records below the durable watermark (what a crash keeps).
+    pub fn durable_len(&self) -> usize {
+        *self.durable_len.borrow()
     }
 
     /// Total records appended (durable + volatile).

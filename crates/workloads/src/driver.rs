@@ -339,6 +339,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_secs(2),
                     cost: CostModel::default(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 DataSource::new(cfg, Rc::clone(&net))
             })
@@ -476,6 +477,7 @@ mod tests {
                     lock_wait_timeout: Duration::from_secs(2),
                     cost: CostModel::default(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 DataSource::new(cfg, Rc::clone(&net))
             })

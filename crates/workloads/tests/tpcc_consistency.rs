@@ -59,6 +59,7 @@ fn run_tpcc_mix(seed: u64, clients: usize, txns: usize) -> (TpccConfig, Vec<Rc<D
                     lock_wait_timeout: Duration::from_secs(2),
                     cost: CostModel::default(),
                     record_history: false,
+                    ..EngineConfig::default()
                 };
                 sources.push(DataSource::new(ds_cfg, Rc::clone(&net)));
             }

@@ -27,6 +27,7 @@ fn build(protocol: Protocol, lock_timeout_ms: u64, seed: u64) -> geotp::Cluster 
             lock_wait_timeout: Duration::from_millis(lock_timeout_ms),
             cost: CostModel::default(),
             record_history: false,
+            ..EngineConfig::default()
         })
         .build();
     cluster.load_uniform(RECORDS, 1_000);

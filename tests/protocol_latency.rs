@@ -22,6 +22,7 @@ fn build(protocol: Protocol) -> geotp::Cluster {
             lock_wait_timeout: Duration::from_secs(5),
             cost: CostModel::zero(),
             record_history: false,
+            ..EngineConfig::default()
         })
         .analysis_cost(Duration::ZERO)
         .log_flush_cost(Duration::ZERO)
